@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Ablations of the substrate's design choices (DESIGN.md §5 / §6):
+ *
+ *  1. bandwidth modelling off (pure latency model) — quantifies how
+ *     much the saturation term shapes memory-bound grids;
+ *  2. measurement noise off — shows the optimal-tracking transition
+ *     counts collapse, i.e. the paper's transition phenomenology
+ *     depends on measured grids being noisy;
+ *  3. warm-up off — shows the cold-start transient that would
+ *     otherwise masquerade as a phase;
+ *  4. next-line prefetch on — how latency hiding shifts the
+ *     energy-performance frontier;
+ *  5. DRAM power-down on — how much background energy a deeper
+ *     memory low-power mode would recover.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "sim/grid_runner.hh"
+#include "trace/workloads.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+struct Row
+{
+    std::string name;
+    double imax;
+    double time_at_13;      // optimal tracking, seconds
+    std::size_t transitions_13;
+    double mem_energy_frac; // at max setting
+};
+
+Row
+evaluate(const std::string &name, const SystemConfig &config,
+         const std::string &workload)
+{
+    GridRunner runner(config);
+    const MeasuredGrid grid =
+        runner.run(workloadByName(workload), SettingsSpace::coarse());
+    GridAnalyses a(grid);
+
+    Row row;
+    row.name = name;
+    row.imax = a.analysis.maxRunInefficiency();
+    const PolicyOutcome outcome = a.tradeoff.optimalTracking(1.3);
+    row.time_at_13 = outcome.time;
+    row.transitions_13 = outcome.transitions;
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    double mem = 0.0;
+    double total = 0.0;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        mem += grid.cell(s, max_idx).memEnergy;
+        total += grid.cell(s, max_idx).energy();
+    }
+    row.mem_energy_frac = mem / total;
+    return row;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (const std::string workload : {"gobmk", "lbm"}) {
+        Table table({"variant", "Imax", "time@1.3 (ms)",
+                     "transitions@1.3", "mem E share @max"});
+        table.setTitle("model ablations: " + workload);
+
+        SystemConfig base;
+        table.addRow([&] {
+            const Row r = evaluate("baseline", base, workload);
+            return std::vector<std::string>{
+                r.name, Table::num(r.imax, 2),
+                Table::num(r.time_at_13 * 1e3, 1),
+                Table::num(static_cast<long long>(r.transitions_13)),
+                Table::num(r.mem_energy_frac * 100, 1) + "%"};
+        }());
+
+        SystemConfig no_bw = base;
+        no_bw.timing.modelBandwidth = false;
+        table.addRow([&] {
+            const Row r = evaluate("no-bandwidth-model", no_bw, workload);
+            return std::vector<std::string>{
+                r.name, Table::num(r.imax, 2),
+                Table::num(r.time_at_13 * 1e3, 1),
+                Table::num(static_cast<long long>(r.transitions_13)),
+                Table::num(r.mem_energy_frac * 100, 1) + "%"};
+        }());
+
+        SystemConfig no_noise = base;
+        no_noise.measurementNoise = 0.0;
+        table.addRow([&] {
+            const Row r =
+                evaluate("no-measurement-noise", no_noise, workload);
+            return std::vector<std::string>{
+                r.name, Table::num(r.imax, 2),
+                Table::num(r.time_at_13 * 1e3, 1),
+                Table::num(static_cast<long long>(r.transitions_13)),
+                Table::num(r.mem_energy_frac * 100, 1) + "%"};
+        }());
+
+        SystemConfig no_warmup = base;
+        no_warmup.sampler.warmupInstructions = 0;
+        table.addRow([&] {
+            const Row r = evaluate("no-warmup", no_warmup, workload);
+            return std::vector<std::string>{
+                r.name, Table::num(r.imax, 2),
+                Table::num(r.time_at_13 * 1e3, 1),
+                Table::num(static_cast<long long>(r.transitions_13)),
+                Table::num(r.mem_energy_frac * 100, 1) + "%"};
+        }());
+
+        SystemConfig prefetch = base;
+        prefetch.sampler.hierarchy.nextLinePrefetch = true;
+        table.addRow([&] {
+            const Row r =
+                evaluate("next-line-prefetch", prefetch, workload);
+            return std::vector<std::string>{
+                r.name, Table::num(r.imax, 2),
+                Table::num(r.time_at_13 * 1e3, 1),
+                Table::num(static_cast<long long>(r.transitions_13)),
+                Table::num(r.mem_energy_frac * 100, 1) + "%"};
+        }());
+
+        SystemConfig powerdown = base;
+        powerdown.dramPower.enablePowerDown = true;
+        table.addRow([&] {
+            const Row r =
+                evaluate("dram-power-down", powerdown, workload);
+            return std::vector<std::string>{
+                r.name, Table::num(r.imax, 2),
+                Table::num(r.time_at_13 * 1e3, 1),
+                Table::num(static_cast<long long>(r.transitions_13)),
+                Table::num(r.mem_energy_frac * 100, 1) + "%"};
+        }());
+
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared renderer for the Figure 4/5 performance-cluster panels:
+ * per-sample cluster extents for budgets {1.0, 1.3} x thresholds
+ * {1%, 5%}.
+ */
+
+#ifndef MCDVFS_BENCH_CLUSTER_PANELS_HH
+#define MCDVFS_BENCH_CLUSTER_PANELS_HH
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+namespace mcdvfs
+{
+
+/** Render one (budget, threshold) cluster panel for a workload. */
+inline void
+printClusterPanel(const MeasuredGrid &grid, GridAnalyses &a,
+                  double budget, double threshold)
+{
+    Table table({"sample", "cpu lo", "cpu hi", "mem lo", "mem hi",
+                 "size", "opt"});
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "clusters: %s, I=%.1f, threshold=%.0f%%",
+                  grid.workload().c_str(), budget, threshold * 100.0);
+    table.setTitle(title);
+
+    std::size_t total_settings = 0;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const PerformanceCluster cluster =
+            a.clusters.clusterForSample(s, budget, threshold);
+        Hertz cpu_lo = grid.space().cpuLadder().highest();
+        Hertz cpu_hi = grid.space().cpuLadder().lowest();
+        Hertz mem_lo = grid.space().memLadder().highest();
+        Hertz mem_hi = grid.space().memLadder().lowest();
+        for (const std::size_t k : cluster.settings) {
+            const FrequencySetting setting = grid.space().at(k);
+            cpu_lo = std::min(cpu_lo, setting.cpu);
+            cpu_hi = std::max(cpu_hi, setting.cpu);
+            mem_lo = std::min(mem_lo, setting.mem);
+            mem_hi = std::max(mem_hi, setting.mem);
+        }
+        total_settings += cluster.settings.size();
+        table.addRow({Table::num(static_cast<long long>(s)),
+                      Table::num(toMegaHertz(cpu_lo), 0),
+                      Table::num(toMegaHertz(cpu_hi), 0),
+                      Table::num(toMegaHertz(mem_lo), 0),
+                      Table::num(toMegaHertz(mem_hi), 0),
+                      Table::num(static_cast<long long>(
+                          cluster.settings.size())),
+                      cluster.optimal.setting.label()});
+    }
+    table.print(std::cout);
+
+    const auto regions = a.regions.find(budget, threshold);
+    std::cout << "avg cluster size: "
+              << Table::num(static_cast<double>(total_settings) /
+                                static_cast<double>(grid.sampleCount()),
+                            2)
+              << "; stable regions: " << regions.size()
+              << "; transitions: "
+              << a.transitions.forClusterPolicy(budget, threshold)
+                     .transitions
+              << "\n\n";
+}
+
+/** Render the full four-panel figure for one workload. */
+inline void
+printClusterPanels(ReproSuite &suite, const std::string &workload)
+{
+    const MeasuredGrid &grid = suite.grid(workload);
+    GridAnalyses a(grid);
+    for (const double budget : {1.0, 1.3}) {
+        for (const double threshold : {0.01, 0.05})
+            printClusterPanel(grid, a, budget, threshold);
+    }
+}
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_BENCH_CLUSTER_PANELS_HH

@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Figure 4: performance clusters of gobmk for budgets {1.0, 1.3} and
+ * cluster thresholds {1%, 5%}.
+ *
+ * Reproduced observations (§VI-A): raising the threshold widens the
+ * per-sample cluster (more settings available), which raises the
+ * chance of consecutive samples sharing a setting and so reduces
+ * transitions; whether a higher budget lengthens stable regions is
+ * workload dependent.
+ */
+
+#include "cluster_panels.hh"
+
+int
+main()
+{
+    mcdvfs::ReproSuite suite;
+    mcdvfs::printClusterPanels(suite, "gobmk");
+    return 0;
+}

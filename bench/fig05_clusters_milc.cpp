@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Figure 5: performance clusters of milc for budgets {1.0, 1.3} and
+ * cluster thresholds {1%, 5%}.
+ *
+ * Reproduced observation (§VI-A): milc is largely CPU intensive with
+ * memory-intensive bursts; at higher thresholds the CPU frequency
+ * stays tightly bound while the cluster spans a wide range of memory
+ * frequencies (small performance difference across memory settings).
+ */
+
+#include "cluster_panels.hh"
+
+int
+main()
+{
+    mcdvfs::ReproSuite suite;
+    mcdvfs::printClusterPanels(suite, "milc");
+    return 0;
+}

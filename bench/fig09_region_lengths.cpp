@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 9: distribution of stable-region lengths.
+ *
+ *  (a) gobmk across budgets {1.0, 1.2, 1.3, 1.6} and thresholds
+ *      {1%, 3%, 5%} — rapidly changing phases keep regions short;
+ *  (b) bzip2 across the same sweep — at budget 1.6 a single region
+ *      covers the entire benchmark at 3%/5% thresholds;
+ *  (c) all benchmarks at budget 1.3.
+ *
+ * Each row is a box-plot five-number summary (min / Q1 / median / Q3 /
+ * max) of region lengths in samples.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+Distribution
+regionLengths(GridAnalyses &a, double budget, double threshold)
+{
+    Distribution lengths;
+    for (const StableRegion &region : a.regions.find(budget, threshold))
+        lengths.add(static_cast<double>(region.length()));
+    return lengths;
+}
+
+void
+addBoxRow(Table &table, const std::string &label,
+          const Distribution &lengths)
+{
+    const BoxSummary box = lengths.summary();
+    table.addRow({label, Table::num(static_cast<long long>(box.count)),
+                  Table::num(box.min, 0), Table::num(box.q1, 1),
+                  Table::num(box.median, 1), Table::num(box.q3, 1),
+                  Table::num(box.max, 0), Table::num(box.mean, 2)});
+}
+
+} // namespace
+
+int
+main()
+{
+    ReproSuite suite;
+
+    // Panels (a) and (b): per-benchmark budget sweep.
+    for (const std::string workload : {"gobmk", "bzip2"}) {
+        const MeasuredGrid &grid = suite.grid(workload);
+        GridAnalyses a(grid);
+        Table table({"budget/thr", "regions", "min", "q1", "median",
+                     "q3", "max", "mean"});
+        table.setTitle("Fig 9: stable-region lengths, " + workload);
+        for (const double budget : {1.0, 1.2, 1.3, 1.6}) {
+            for (const double threshold : {0.01, 0.03, 0.05}) {
+                char label[32];
+                std::snprintf(label, sizeof(label), "%.1f/%.0f%%",
+                              budget, threshold * 100.0);
+                addBoxRow(table, label,
+                          regionLengths(a, budget, threshold));
+            }
+        }
+        table.print(std::cout);
+        std::cout << '\n';
+    }
+
+    // Panel (c): all benchmarks at budget 1.3.
+    Table table({"benchmark/thr", "regions", "min", "q1", "median",
+                 "q3", "max", "mean"});
+    table.setTitle("Fig 9(c): stable-region lengths at I=1.3");
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        const MeasuredGrid &grid = suite.grid(name);
+        GridAnalyses a(grid);
+        for (const double threshold : {0.01, 0.03, 0.05}) {
+            char label[48];
+            std::snprintf(label, sizeof(label), "%s/%.0f%%",
+                          name.c_str(), threshold * 100.0);
+            addBoxRow(table, label, regionLengths(a, 1.3, threshold));
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * §VII implications: comparing re-tune schedules.
+ *
+ * For every benchmark at budget 1.3 / threshold 3%, four schedules are
+ * simulated end to end with tuning overhead charged per event:
+ * re-tune every sample, the Isci-style run-length predictor, an
+ * offline stable-region profile, and the future-knowing oracle.
+ *
+ * Reproduced claims: learning and offline profiling cut tuning events
+ * drastically versus every-sample re-tuning at nearly the same
+ * performance and energy, and all schedules keep the run within the
+ * inefficiency budget.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+#include "runtime/tuning_loop.hh"
+
+using namespace mcdvfs;
+
+int
+main()
+{
+    const double budget = 1.3;
+    const double threshold = 0.03;
+
+    ReproSuite suite;
+
+    Table table({"benchmark", "policy", "events", "transitions",
+                 "time+oh (ms)", "energy (mJ)", "achieved I",
+                 "violations %"});
+    table.setTitle("retune schedules at I=1.3, threshold=3%");
+
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        const MeasuredGrid &grid = suite.grid(name);
+        GridAnalyses a(grid);
+        TuningLoop loop(a.clusters, a.regions, a.costModel);
+
+        const OfflineProfile profile = OfflineProfile::fromRegions(
+            name, a.regions.find(budget, threshold), grid.space());
+
+        const TuningLoopResult results[] = {
+            loop.runEverySample(budget, threshold),
+            loop.runPredictive(budget, threshold),
+            loop.runReactive(budget, threshold),
+            loop.runProfileDriven(budget, threshold, profile),
+            loop.runOracle(budget, threshold),
+        };
+        for (const TuningLoopResult &r : results) {
+            table.addRow(
+                {name, r.policy,
+                 Table::num(static_cast<long long>(r.tuningEvents)),
+                 Table::num(static_cast<long long>(r.transitions)),
+                 Table::num(r.timeWithOverhead * 1e3, 2),
+                 Table::num(r.energyWithOverhead * 1e3, 2),
+                 Table::num(r.achievedInefficiency, 3),
+                 Table::num(r.budgetViolationFrac * 100.0, 1)});
+        }
+    }
+    table.print(std::cout);
+    return 0;
+}

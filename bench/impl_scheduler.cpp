@@ -1,0 +1,72 @@
+/**
+ * @file
+ * §II-A at system scale: several apps with priority-derived
+ * inefficiency budgets share one device.  Compares sample-granular
+ * round robin against run-to-completion batching: per-app budgets
+ * hold under both, but interleaving apps whose budgets choose
+ * different settings multiplies frequency transitions.
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/suite.hh"
+#include "sched/scheduler.hh"
+
+using namespace mcdvfs;
+
+int
+main()
+{
+    ReproSuite suite;
+
+    std::vector<AppTask> apps(4);
+    apps[0].name = "gobmk";
+    apps[0].grid = &suite.grid("gobmk");
+    apps[0].budget = 1.5;
+    apps[0].threshold = 0.01;
+    apps[1].name = "bzip2";
+    apps[1].grid = &suite.grid("bzip2");
+    apps[1].budget = 1.1;
+    apps[1].threshold = 0.05;
+    apps[2].name = "lbm";
+    apps[2].grid = &suite.grid("lbm");
+    apps[2].budget = 1.15;
+    apps[2].threshold = 0.05;
+    apps[3].name = "milc";
+    apps[3].grid = &suite.grid("milc");
+    apps[3].budget = 1.3;
+    apps[3].threshold = 0.03;
+
+    BudgetScheduler scheduler;
+    Table table({"policy", "makespan (ms)", "energy (mJ)",
+                 "ctx switches", "freq transitions",
+                 "transition time (ms)", "budgets held"});
+    table.setTitle("multi-app scheduling under per-app budgets");
+
+    for (const auto [policy, label] :
+         {std::pair{SchedPolicy::RoundRobin, "round-robin"},
+          std::pair{SchedPolicy::RunToCompletion,
+                    "run-to-completion"}}) {
+        const ScheduleResult result = scheduler.run(apps, policy);
+        bool held = true;
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            held &= result.apps[i].achievedInefficiency <=
+                    apps[i].budget + 1e-9;
+        }
+        table.addRow(
+            {label, Table::num(result.makespan * 1e3, 1),
+             Table::num(result.totalEnergy * 1e3, 1),
+             Table::num(static_cast<long long>(result.contextSwitches)),
+             Table::num(static_cast<long long>(
+                 result.frequencyTransitions)),
+             Table::num(result.transitionLatency * 1e3, 2),
+             held ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nper-app outcomes are identical across policies "
+                 "(the budget is tied to the app's work, not to the "
+                 "schedule).\n";
+    return 0;
+}

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * §VI-C micro-benchmarks: the cost of one tuning event's software
+ * components, measured with google-benchmark.
+ *
+ * The paper reports ~500 us per tuning event over 70 settings
+ * (inefficiency computation + optimal-settings search + hardware
+ * transition) on its simulated platform.  These benchmarks measure
+ * the analogous software costs in this implementation — the
+ * optimal-settings search and cluster computation over the 70- and
+ * 496-setting spaces — plus the per-sample characterization and
+ * whole-grid construction costs that bound offline profiling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/search_strategies.hh"
+#include "repro/analyses.hh"
+#include "sim/grid_runner.hh"
+#include "sim/sample_simulator.hh"
+#include "trace/workloads.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+/** Lazily built shared fixtures (grids are expensive to construct). */
+struct Fixtures
+{
+    MeasuredGrid coarse;
+    MeasuredGrid fine;
+
+    static const Fixtures &
+    get()
+    {
+        static const Fixtures fixtures;
+        return fixtures;
+    }
+
+  private:
+    Fixtures()
+        : coarse(buildGrid(SettingsSpace::coarse())),
+          fine(buildGrid(SettingsSpace::fine()))
+    {
+    }
+
+    static MeasuredGrid
+    buildGrid(const SettingsSpace &space)
+    {
+        GridRunner runner;
+        return runner.run(workloadByName("gobmk"), space);
+    }
+};
+
+void
+BM_OptimalSearch70(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().coarse;
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    std::size_t s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finder.optimalForSample(s, 1.3));
+        s = (s + 1) % grid.sampleCount();
+    }
+}
+BENCHMARK(BM_OptimalSearch70);
+
+void
+BM_OptimalSearch496(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().fine;
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    std::size_t s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(finder.optimalForSample(s, 1.3));
+        s = (s + 1) % grid.sampleCount();
+    }
+}
+BENCHMARK(BM_OptimalSearch496);
+
+void
+BM_ClusterSearch70(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().coarse;
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    std::size_t s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            clusters.clusterForSample(s, 1.3, 0.03));
+        s = (s + 1) % grid.sampleCount();
+    }
+}
+BENCHMARK(BM_ClusterSearch70);
+
+void
+BM_StableRegions70(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().coarse;
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(regions.find(1.3, 0.03));
+}
+BENCHMARK(BM_StableRegions70);
+
+void
+BM_TimingModelEval(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().coarse;
+    TimingModel model;
+    const SampleProfile &profile = grid.profile(0);
+    const FrequencySetting setting{megaHertz(700), megaHertz(500)};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            model.evaluate(profile, setting, 10'000'000));
+    }
+}
+BENCHMARK(BM_TimingModelEval);
+
+void
+BM_CharacterizeSample(benchmark::State &state)
+{
+    SampleSimulator simulator;
+    const WorkloadProfile workload = workloadByName("gobmk");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(simulator.characterizeOne(
+            workload.phaseFor(0), workload.traceSeedFor(0), 50'000));
+    }
+}
+BENCHMARK(BM_CharacterizeSample);
+
+void
+BM_HillClimbCold70(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().coarse;
+    InefficiencyAnalysis analysis(grid);
+    SettingsSearch search(analysis);
+    const std::size_t min_idx =
+        grid.space().indexOf(grid.space().minSetting());
+    std::size_t s = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(search.hillClimb(s, 1.3, min_idx));
+        s = (s + 1) % grid.sampleCount();
+    }
+}
+BENCHMARK(BM_HillClimbCold70);
+
+void
+BM_HillClimbWarm70(benchmark::State &state)
+{
+    const MeasuredGrid &grid = Fixtures::get().coarse;
+    InefficiencyAnalysis analysis(grid);
+    SettingsSearch search(analysis);
+    std::size_t s = 0;
+    std::size_t start = grid.space().indexOf(grid.space().minSetting());
+    for (auto _ : state) {
+        const SearchOutcome outcome = search.hillClimb(s, 1.3, start);
+        benchmark::DoNotOptimize(outcome);
+        start = outcome.settingIndex;
+        s = (s + 1) % grid.sampleCount();
+    }
+}
+BENCHMARK(BM_HillClimbWarm70);
+
+} // namespace
+
+BENCHMARK_MAIN();

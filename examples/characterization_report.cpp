@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Phase-characterization viewer: per-sample CPI and MPKI traces plus
+ * cluster/region statistics for one workload.
+ *
+ * This is the paper's Figure 3 "top panel" as a tool: it shows how a
+ * workload's phases evolve sample by sample and how wide its
+ * performance clusters are under a budget, which is the information an
+ * energy-management algorithm designer needs before picking a cluster
+ * threshold.
+ *
+ * Usage: characterization_report [workload] [budget] [threshold%]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+using namespace mcdvfs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "gobmk";
+    const double budget = argc > 2 ? std::atof(argv[2]) : 1.3;
+    const double threshold =
+        (argc > 3 ? std::atof(argv[3]) : 1.0) / 100.0;
+
+    ReproSuite suite;
+    const MeasuredGrid &grid = suite.grid(workload);
+    GridAnalyses a(grid);
+
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+
+    std::cout << "== characterization: " << workload << " (budget "
+              << budget << ", threshold " << threshold * 100 << "%) ==\n\n";
+
+    Table table({"sample", "phase", "CPI@max", "L1 MPKI", "L2 MPKI",
+                 "rowhit%", "opt cpu", "opt mem", "opt I", "cluster",
+                 "busy%"});
+    table.setTitle("per-sample characterization");
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const SampleProfile &profile = grid.profile(s);
+        const GridCell &cell = grid.cell(s, max_idx);
+        const double cpi = cell.seconds * grid.space().maxSetting().cpu /
+                           static_cast<double>(
+                               grid.instructionsPerSample());
+        const PerformanceCluster cluster =
+            a.clusters.clusterForSample(s, budget, threshold);
+        table.addRow({Table::num(static_cast<long long>(s)),
+                      profile.phaseName, Table::num(cpi, 2),
+                      Table::num(profile.l1Mpki, 1),
+                      Table::num(profile.l2Mpki, 1),
+                      Table::num(profile.rowHitFrac * 100, 0),
+                      Table::num(toMegaHertz(cluster.optimal.setting.cpu), 0),
+                      Table::num(toMegaHertz(cluster.optimal.setting.mem), 0),
+                      Table::num(cluster.optimal.inefficiency, 2),
+                      Table::num(static_cast<long long>(
+                          cluster.settings.size())),
+                      Table::num(cell.busyFrac * 100, 0)});
+    }
+    table.print(std::cout);
+
+    const auto regions = a.regions.find(budget, threshold);
+    std::cout << "\nstable regions: " << regions.size() << "; lengths:";
+    for (const auto &region : regions)
+        std::cout << ' ' << region.length();
+    std::cout << "\n";
+    return 0;
+}

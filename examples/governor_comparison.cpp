@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Governor shoot-out: drive the same workload with the Linux-style
+ * governors (performance, powersave, ondemand, userspace) and the
+ * paper's inefficiency governor, end to end through the Governor
+ * interface, and compare time / energy / achieved inefficiency /
+ * transitions.
+ *
+ * Usage: governor_comparison [workload] [budget] [threshold%]
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/table.hh"
+#include "dvfs/governor.hh"
+#include "dvfs/transition.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+#include "runtime/inefficiency_governor.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+/** Drive one governor across the workload's samples. */
+struct DriveResult
+{
+    Seconds time = 0.0;
+    Joules energy = 0.0;
+    double achievedInefficiency = 0.0;
+    std::size_t transitions = 0;
+};
+
+DriveResult
+drive(Governor &governor, const MeasuredGrid &grid,
+      const TransitionModel &transitions)
+{
+    DriveResult result;
+    Joules emin_sum = 0.0;
+    SampleObservation last;
+    bool have_last = false;
+    FrequencySetting current{};
+
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const FrequencySetting chosen =
+            governor.decide(have_last ? &last : nullptr);
+        if (have_last) {
+            const TransitionCost cost = transitions.cost(current, chosen);
+            result.time += cost.latency;
+            result.energy += cost.energy;
+            result.transitions +=
+                TransitionModel::domainsChanged(current, chosen) > 0;
+        }
+        current = chosen;
+
+        const GridCell &cell =
+            grid.cell(s, grid.space().indexOf(chosen));
+        result.time += cell.seconds;
+        result.energy += cell.energy();
+        emin_sum += grid.sampleEmin(s);
+
+        last = SampleObservation{};
+        last.sampleIndex = s;
+        last.setting = chosen;
+        last.duration = cell.seconds;
+        last.energy = cell.energy();
+        last.cpuBusyFrac = cell.busyFrac;
+        last.memBwUtil = cell.bwUtil;
+        have_last = true;
+    }
+    result.achievedInefficiency = result.energy / emin_sum;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "gobmk";
+    const double budget = argc > 2 ? std::atof(argv[2]) : 1.3;
+    const double threshold =
+        (argc > 3 ? std::atof(argv[3]) : 3.0) / 100.0;
+
+    ReproSuite suite;
+    const MeasuredGrid &grid = suite.grid(workload);
+    GridAnalyses a(grid);
+    const TransitionModel transition_model;
+
+    std::vector<std::unique_ptr<Governor>> governors;
+    governors.push_back(
+        std::make_unique<PerformanceGovernor>(grid.space()));
+    governors.push_back(
+        std::make_unique<PowersaveGovernor>(grid.space()));
+    governors.push_back(std::make_unique<OndemandGovernor>(grid.space()));
+    governors.push_back(std::make_unique<UserspaceGovernor>(
+        FrequencySetting{megaHertz(600), megaHertz(400)}));
+    governors.push_back(std::make_unique<InefficiencyGovernor>(
+        a.clusters, budget, threshold));
+
+    Table table({"governor", "time (ms)", "energy (mJ)", "achieved I",
+                 "transitions"});
+    table.setTitle(workload + ": governor comparison (budget " +
+                   Table::num(budget, 2) + ", threshold " +
+                   Table::num(threshold * 100, 0) + "%)");
+    for (const auto &governor : governors) {
+        const DriveResult result =
+            drive(*governor, grid, transition_model);
+        table.addRow({governor->name(),
+                      Table::num(result.time * 1e3, 2),
+                      Table::num(result.energy * 1e3, 2),
+                      Table::num(result.achievedInefficiency, 3),
+                      Table::num(static_cast<long long>(
+                          result.transitions))});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nThe inefficiency governor is the only one that "
+                 "takes an energy budget as input; the others either "
+                 "ignore energy (performance, userspace), ignore "
+                 "performance (powersave), or react to utilization "
+                 "with no budget at all (ondemand).\n";
+    return 0;
+}

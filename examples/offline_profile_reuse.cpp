@@ -1,0 +1,72 @@
+/**
+ * @file
+ * §VII "Offline Analysis" end to end: profile an application once,
+ * serialize the stable-region profile (as a vendor would ship it with
+ * the app), then run the application following the parsed profile and
+ * compare against re-tuning every sample.
+ *
+ * Usage: offline_profile_reuse [workload] [budget] [threshold%]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+#include "runtime/tuning_loop.hh"
+
+using namespace mcdvfs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "gcc";
+    const double budget = argc > 2 ? std::atof(argv[2]) : 1.3;
+    const double threshold =
+        (argc > 3 ? std::atof(argv[3]) : 3.0) / 100.0;
+
+    ReproSuite suite;
+    const MeasuredGrid &grid = suite.grid(workload);
+    GridAnalyses a(grid);
+
+    // --- Profiling pass (offline, once per application) ---
+    const auto regions = a.regions.find(budget, threshold);
+    const OfflineProfile profile = OfflineProfile::fromRegions(
+        workload, regions, grid.space());
+    const std::string shipped = profile.serialize();
+    std::cout << "profiled " << regions.size() << " stable regions ("
+              << shipped.size() << " bytes serialized):\n\n"
+              << shipped << '\n';
+
+    // --- Deployment pass (parse what shipped, follow it) ---
+    const OfflineProfile parsed = OfflineProfile::parse(shipped);
+    TuningLoop loop(a.clusters, a.regions, a.costModel);
+
+    const TuningLoopResult results[] = {
+        loop.runEverySample(budget, threshold),
+        loop.runProfileDriven(budget, threshold, parsed),
+    };
+
+    Table table({"policy", "tuning events", "transitions",
+                 "time+overhead (ms)", "energy (mJ)", "achieved I"});
+    table.setTitle(workload + ": profile reuse vs per-sample tuning");
+    for (const TuningLoopResult &result : results) {
+        table.addRow(
+            {result.policy,
+             Table::num(static_cast<long long>(result.tuningEvents)),
+             Table::num(static_cast<long long>(result.transitions)),
+             Table::num(result.timeWithOverhead * 1e3, 2),
+             Table::num(result.energyWithOverhead * 1e3, 2),
+             Table::num(result.achievedInefficiency, 3)});
+    }
+    table.print(std::cout);
+
+    const double saved =
+        100.0 * (1.0 - static_cast<double>(results[1].tuningEvents) /
+                           static_cast<double>(results[0].tuningEvents));
+    std::cout << "\nprofile reuse eliminates "
+              << Table::num(saved, 1)
+              << "% of tuning events at the same budget.\n";
+    return 0;
+}

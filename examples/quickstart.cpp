@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Quickstart: characterize one workload, compute inefficiency, and
+ * pick frequency settings under an energy budget.
+ *
+ * This walks the library's main flow end to end:
+ *   1. build a measured grid (performance + energy at every CPU/memory
+ *      frequency pair) for a workload;
+ *   2. ask inefficiency questions about it (how efficient is a given
+ *      setting? what is the most efficient one?);
+ *   3. find the per-sample optimal settings under a budget;
+ *   4. widen them into performance clusters and stable regions so the
+ *      system barely ever has to change frequency.
+ *
+ * Usage: quickstart [workload]     (default: gobmk)
+ */
+
+#include <iostream>
+
+#include "common/table.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+using namespace mcdvfs;
+
+int
+main(int argc, char **argv)
+{
+    const std::string workload = argc > 1 ? argv[1] : "gobmk";
+
+    std::cout << "== mcdvfs quickstart: " << workload << " ==\n\n";
+
+    // 1. Build the measured grid over the paper's 70-setting space.
+    ReproSuite suite;
+    const MeasuredGrid &grid = suite.grid(workload);
+    std::cout << grid.sampleCount() << " samples x "
+              << grid.settingCount() << " settings ("
+              << grid.space().cpuLadder().size() << " CPU x "
+              << grid.space().memLadder().size() << " memory steps)\n\n";
+
+    // 2. Whole-run inefficiency landscape (Fig. 2 flavour).
+    GridAnalyses a(grid);
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    const std::size_t min_idx =
+        grid.space().indexOf(grid.space().minSetting());
+    std::cout << "max setting " << grid.space().maxSetting().label()
+              << " MHz: speedup " << Table::num(a.analysis.runSpeedup(max_idx), 2)
+              << ", inefficiency "
+              << Table::num(a.analysis.runInefficiency(max_idx), 2) << "\n";
+    std::cout << "min setting " << grid.space().minSetting().label()
+              << " MHz: speedup " << Table::num(a.analysis.runSpeedup(min_idx), 2)
+              << ", inefficiency "
+              << Table::num(a.analysis.runInefficiency(min_idx), 2) << "\n";
+    std::cout << "max achievable inefficiency (Imax): "
+              << Table::num(a.analysis.maxRunInefficiency(), 2) << "\n\n";
+
+    // 3. Optimal settings under budgets.
+    Table budgets({"budget", "exec time (norm)", "optimal transitions",
+                   "achieved I"});
+    budgets.setTitle("optimal tracking under inefficiency budgets");
+    for (const double budget : {1.0, 1.1, 1.2, 1.3, 1.6}) {
+        const PolicyOutcome outcome = a.tradeoff.optimalTracking(budget);
+        budgets.addRow({Table::num(budget, 1),
+                        Table::num(a.tradeoff.normalizedExecutionTime(budget), 3),
+                        Table::num(static_cast<long long>(outcome.transitions)),
+                        Table::num(outcome.achievedInefficiency, 3)});
+    }
+    budgets.print(std::cout);
+    std::cout << '\n';
+
+    // 4. Clusters + stable regions: trade 3% performance for fewer
+    //    transitions at a budget of 1.3.
+    const double budget = 1.3;
+    const double threshold = 0.03;
+    const auto regions = a.regions.find(budget, threshold);
+    const PolicyOutcome cluster = a.tradeoff.clusterPolicy(budget, threshold);
+    const PolicyOutcome optimal = a.tradeoff.optimalTracking(budget);
+    std::cout << "budget 1.3, cluster threshold 3%:\n";
+    std::cout << "  stable regions: " << regions.size() << " (vs "
+              << grid.sampleCount() << " samples)\n";
+    std::cout << "  transitions: " << cluster.transitions << " (optimal "
+              << "tracking: " << optimal.transitions << ")\n";
+    const TradeoffRow row = a.tradeoff.compare(budget, threshold);
+    std::cout << "  performance vs optimal: " << Table::num(row.perfPct, 2)
+              << "% (with tuning overhead: "
+              << Table::num(row.perfPctWithOverhead, 2) << "%)\n";
+    std::cout << "  energy vs optimal: " << Table::num(row.energyPct, 2)
+              << "% (with tuning overhead: "
+              << Table::num(row.energyPctWithOverhead, 2) << "%)\n";
+    return 0;
+}

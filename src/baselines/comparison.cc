@@ -1,0 +1,99 @@
+#include "baselines/comparison.hh"
+
+#include "baselines/coscale.hh"
+#include "baselines/rate_limiter.hh"
+#include "core/stable_regions.hh"
+#include "core/tradeoff.hh"
+#include "core/tuning_cost.hh"
+
+namespace mcdvfs
+{
+
+BaselineComparison::BaselineComparison(const MeasuredGrid &grid)
+    : grid_(grid)
+{
+}
+
+std::vector<PolicyComparisonRow>
+BaselineComparison::compare(double budget, double threshold,
+                            double coscale_slack,
+                            std::size_t epochs) const
+{
+    std::vector<PolicyComparisonRow> rows;
+
+    InefficiencyAnalysis analysis(grid_);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+    TuningCostModel cost;
+    TradeoffEvaluator evaluator(regions, clusters, cost);
+
+    Joules emin_sum = 0.0;
+    for (std::size_t s = 0; s < grid_.sampleCount(); ++s)
+        emin_sum += grid_.sampleEmin(s);
+
+    // The paper's policy: clusters + stable regions under the budget.
+    {
+        const PolicyOutcome outcome =
+            evaluator.clusterPolicy(budget, threshold);
+        rows.push_back({"inefficiency-cluster", outcome.time,
+                        outcome.energy, outcome.achievedInefficiency,
+                        outcome.transitions, outcome.tuningEvents,
+                        "energy-constrained, work-tied budget"});
+    }
+    // Optimal tracking under the same budget (retune every sample).
+    {
+        const PolicyOutcome outcome = evaluator.optimalTracking(budget);
+        rows.push_back({"inefficiency-optimal", outcome.time,
+                        outcome.energy, outcome.achievedInefficiency,
+                        outcome.transitions, outcome.tuningEvents,
+                        "per-sample optimal"});
+    }
+    // CoScale both ways.
+    {
+        CoScaleSearch coscale(grid_, coscale_slack);
+        const CoScaleResult from_max = coscale.runFromMax();
+        rows.push_back({"coscale-from-max", from_max.time,
+                        from_max.energy, from_max.achievedInefficiency,
+                        from_max.transitions, from_max.settingsEvaluated,
+                        "perf-constrained, search restarts at max"});
+        const CoScaleResult warm = coscale.runWarmStart();
+        rows.push_back({"coscale-warm-start", warm.time, warm.energy,
+                        warm.achievedInefficiency, warm.transitions,
+                        warm.settingsEvaluated,
+                        "perf-constrained, warm-started search"});
+    }
+    // Rate limiting with the same total allowance the inefficiency
+    // budget grants (budget x sum of per-sample Emin), spread evenly
+    // over wall-clock epochs at max settings.
+    {
+        const std::size_t max_idx =
+            grid_.space().indexOf(grid_.space().maxSetting());
+        RateLimiterConfig config;
+        config.setting = grid_.space().maxSetting();
+        config.energyPerEpoch =
+            budget * emin_sum / static_cast<double>(epochs);
+        config.epochLength = grid_.totalTime(max_idx) /
+                             static_cast<double>(epochs);
+        RateLimiter limiter(config);
+        const RateLimiterResult outcome = limiter.run(grid_);
+        rows.push_back({"rate-limiter", outcome.time,
+                        outcome.totalEnergy(),
+                        outcome.achievedInefficiency, 0, epochs,
+                        "absolute energy per epoch; pauses burn idle "
+                        "energy"});
+    }
+    // Static performance governor: max settings end to end.
+    {
+        const std::size_t max_idx =
+            grid_.space().indexOf(grid_.space().maxSetting());
+        rows.push_back({"performance-governor",
+                        grid_.totalTime(max_idx),
+                        grid_.totalEnergy(max_idx),
+                        grid_.totalEnergy(max_idx) / emin_sum, 0, 0,
+                        "unconstrained"});
+    }
+    return rows;
+}
+
+} // namespace mcdvfs

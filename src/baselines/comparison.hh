@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Side-by-side comparison of energy-management policies (§II/§IV
+ * narrative): the paper's inefficiency-constrained cluster policy vs.
+ * CoScale-style performance-constrained search vs. absolute-energy
+ * rate limiting vs. the static performance governor.
+ */
+
+#ifndef MCDVFS_BASELINES_COMPARISON_HH
+#define MCDVFS_BASELINES_COMPARISON_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/measured_grid.hh"
+
+namespace mcdvfs
+{
+
+/** One comparison row. */
+struct PolicyComparisonRow
+{
+    std::string policy;
+    Seconds time = 0.0;
+    Joules energy = 0.0;
+    double achievedInefficiency = 0.0;
+    std::size_t transitions = 0;
+    /** Tuning events or search evaluations, policy dependent. */
+    std::size_t workDone = 0;
+    std::string note;
+};
+
+/** Builds the comparison table for one workload's grid. */
+class BaselineComparison
+{
+  public:
+    /** @param grid measured grid (must outlive the comparison) */
+    explicit BaselineComparison(const MeasuredGrid &grid);
+
+    /**
+     * Compare policies.
+     *
+     * @param budget inefficiency budget for the paper's policy
+     * @param threshold cluster threshold for the paper's policy
+     * @param coscale_slack CoScale performance slack
+     * @param epochs number of rate-limiter epochs over the run
+     */
+    std::vector<PolicyComparisonRow> compare(double budget,
+                                             double threshold,
+                                             double coscale_slack,
+                                             std::size_t epochs = 20) const;
+
+  private:
+    const MeasuredGrid &grid_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_BASELINES_COMPARISON_HH

@@ -1,0 +1,159 @@
+#include "baselines/coscale.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+CoScaleSearch::CoScaleSearch(const MeasuredGrid &grid, double slack)
+    : grid_(grid), slack_(slack),
+      maxIdx_(grid.space().indexOf(grid.space().maxSetting()))
+{
+    if (slack < 0.0)
+        fatal("coscale: slack must be >= 0");
+}
+
+bool
+CoScaleSearch::meetsConstraint(std::size_t sample,
+                               std::size_t setting) const
+{
+    const Seconds at_max = grid_.cell(sample, maxIdx_).seconds;
+    return grid_.cell(sample, setting).seconds <=
+           at_max * (1.0 + slack_);
+}
+
+std::size_t
+CoScaleSearch::searchInterval(std::size_t sample, std::size_t start,
+                              std::size_t &evaluated) const
+{
+    const SettingsSpace &space = grid_.space();
+    const std::size_t mem_steps = space.memLadder().size();
+    const std::size_t cpu_steps = space.cpuLadder().size();
+
+    auto idx_of = [mem_steps](std::size_t cpu, std::size_t mem) {
+        return cpu * mem_steps + mem;
+    };
+    std::size_t cpu = start / mem_steps;
+    std::size_t mem = start % mem_steps;
+
+    ++evaluated;  // the starting point itself
+    // If the warm start violates the constraint, climb back up first
+    // (CoScale's expand step).
+    while (!meetsConstraint(sample, idx_of(cpu, mem))) {
+        bool moved = false;
+        if (cpu + 1 < cpu_steps) {
+            ++cpu;
+            moved = true;
+        }
+        if (mem + 1 < mem_steps) {
+            ++mem;
+            moved = true;
+        }
+        ++evaluated;
+        if (!moved)
+            break;  // already at max; constraint holds there trivially
+    }
+
+    // Greedy descent: at each step, evaluate lowering either domain by
+    // one step and take the move with the larger energy saving that
+    // still meets the performance constraint.
+    for (;;) {
+        const std::size_t here = idx_of(cpu, mem);
+        const Joules e_here = grid_.cell(sample, here).energy();
+
+        double best_gain = 0.0;
+        int best_move = -1;  // 0 = lower cpu, 1 = lower mem
+        if (cpu > 0) {
+            const std::size_t cand = idx_of(cpu - 1, mem);
+            ++evaluated;
+            if (meetsConstraint(sample, cand)) {
+                const double gain =
+                    e_here - grid_.cell(sample, cand).energy();
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_move = 0;
+                }
+            }
+        }
+        if (mem > 0) {
+            const std::size_t cand = idx_of(cpu, mem - 1);
+            ++evaluated;
+            if (meetsConstraint(sample, cand)) {
+                const double gain =
+                    e_here - grid_.cell(sample, cand).energy();
+                if (gain > best_gain) {
+                    best_gain = gain;
+                    best_move = 1;
+                }
+            }
+        }
+        if (best_move == 0)
+            --cpu;
+        else if (best_move == 1)
+            --mem;
+        else
+            break;  // no downhill move left
+    }
+    return idx_of(cpu, mem);
+}
+
+namespace
+{
+
+/** Fill the aggregate fields shared by both CoScale variants. */
+void
+finalize(const MeasuredGrid &grid, std::size_t max_idx,
+         CoScaleResult &result)
+{
+    Joules emin_sum = 0.0;
+    for (std::size_t s = 0; s < result.settingPerSample.size(); ++s) {
+        const std::size_t k = result.settingPerSample[s];
+        result.time += grid.cell(s, k).seconds;
+        result.energy += grid.cell(s, k).energy();
+        emin_sum += grid.sampleEmin(s);
+        const double slowdown = grid.cell(s, k).seconds /
+                                    grid.cell(s, max_idx).seconds -
+                                1.0;
+        result.worstSlowdownPct =
+            std::max(result.worstSlowdownPct, slowdown * 100.0);
+        if (s > 0 &&
+            result.settingPerSample[s] != result.settingPerSample[s - 1])
+            ++result.transitions;
+    }
+    result.achievedInefficiency = result.energy / emin_sum;
+}
+
+} // namespace
+
+CoScaleResult
+CoScaleSearch::runFromMax() const
+{
+    CoScaleResult result;
+    result.settingPerSample.reserve(grid_.sampleCount());
+    for (std::size_t s = 0; s < grid_.sampleCount(); ++s) {
+        result.settingPerSample.push_back(
+            searchInterval(s, maxIdx_, result.settingsEvaluated));
+    }
+    finalize(grid_, maxIdx_, result);
+    return result;
+}
+
+CoScaleResult
+CoScaleSearch::runWarmStart() const
+{
+    CoScaleResult result;
+    result.settingPerSample.reserve(grid_.sampleCount());
+    std::size_t start = maxIdx_;
+    for (std::size_t s = 0; s < grid_.sampleCount(); ++s) {
+        const std::size_t chosen =
+            searchInterval(s, start, result.settingsEvaluated);
+        result.settingPerSample.push_back(chosen);
+        start = chosen;
+    }
+    finalize(grid_, maxIdx_, result);
+    return result;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,59 @@
+#include "baselines/rate_limiter.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+RateLimiter::RateLimiter(const RateLimiterConfig &config)
+    : config_(config)
+{
+    if (config_.energyPerEpoch <= 0.0)
+        fatal("rate limiter: energyPerEpoch must be positive");
+    if (config_.epochLength <= 0.0)
+        fatal("rate limiter: epochLength must be positive");
+    if (config_.idlePower < 0.0)
+        fatal("rate limiter: idlePower must be >= 0");
+}
+
+RateLimiterResult
+RateLimiter::run(const MeasuredGrid &grid) const
+{
+    const std::size_t setting = grid.space().indexOf(config_.setting);
+
+    RateLimiterResult result;
+    Joules emin_sum = 0.0;
+    Seconds clock = 0.0;
+    Joules allowance = config_.energyPerEpoch;
+
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const GridCell &cell = grid.cell(s, setting);
+        emin_sum += grid.sampleEmin(s);
+
+        // Samples are the scheduling granularity: if the remaining
+        // allowance cannot cover the next sample, pause until enough
+        // future epochs have granted budget.  Idle power accrues the
+        // whole time and does not count against the allowance (it is
+        // the platform, not the task).
+        while (allowance < cell.energy()) {
+            const Seconds next_epoch =
+                (std::floor(clock / config_.epochLength) + 1.0) *
+                config_.epochLength;
+            const Seconds pause = next_epoch - clock;
+            clock = next_epoch;
+            result.pausedTime += pause;
+            result.idleEnergy += config_.idlePower * pause;
+            allowance += config_.energyPerEpoch;
+        }
+        allowance -= cell.energy();
+        clock += cell.seconds;
+        result.taskEnergy += cell.energy();
+    }
+    result.time = clock;
+    result.achievedInefficiency = result.totalEnergy() / emin_sum;
+    return result;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Absolute-energy rate limiting baseline (Cinder / ECOSystem style).
+ *
+ * The approaches the paper contrasts inefficiency against (§II) give a
+ * task a fixed energy allowance per time epoch; when the allowance is
+ * exhausted the task is paused until the next epoch begins.  Pausing
+ * does not stop background and leakage power, so rate limiting can
+ * burn energy while making no progress — the energy-waste problem
+ * inefficiency is designed to mitigate (the budget is tied to work,
+ * not wall-clock time).
+ */
+
+#ifndef MCDVFS_BASELINES_RATE_LIMITER_HH
+#define MCDVFS_BASELINES_RATE_LIMITER_HH
+
+#include "dvfs/settings_space.hh"
+#include "sim/measured_grid.hh"
+
+namespace mcdvfs
+{
+
+/** Rate-limiter policy parameters. */
+struct RateLimiterConfig
+{
+    /** Energy allowance granted at the start of every epoch. */
+    Joules energyPerEpoch = 0.0;
+    /** Epoch length. */
+    Seconds epochLength = 0.0;
+    /** Fixed frequency setting the task runs at. */
+    FrequencySetting setting{};
+    /** Platform idle power drawn while the task is paused. */
+    Watts idlePower = 0.25;
+};
+
+/** Outcome of a rate-limited run. */
+struct RateLimiterResult
+{
+    Seconds time = 0.0;        ///< wall-clock completion time
+    Seconds pausedTime = 0.0;  ///< time spent paused
+    Joules taskEnergy = 0.0;   ///< energy of useful execution
+    Joules idleEnergy = 0.0;   ///< energy burned while paused
+    /** Total energy over the sum of per-sample Emin. */
+    double achievedInefficiency = 0.0;
+
+    Joules totalEnergy() const { return taskEnergy + idleEnergy; }
+};
+
+/** Simulates epoch-based energy rate limiting over a measured grid. */
+class RateLimiter
+{
+  public:
+    /** @throws FatalError on invalid configuration */
+    explicit RateLimiter(const RateLimiterConfig &config);
+
+    /** Run @c grid's workload to completion under the rate limit. */
+    RateLimiterResult run(const MeasuredGrid &grid) const;
+
+    const RateLimiterConfig &config() const { return config_; }
+
+  private:
+    RateLimiterConfig config_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_BASELINES_RATE_LIMITER_HH

@@ -1,0 +1,114 @@
+#include "common/args.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+ArgParser::ArgParser(std::string program)
+    : program_(std::move(program))
+{
+}
+
+void
+ArgParser::addOption(const std::string &name)
+{
+    knownOptions_.insert(name);
+}
+
+void
+ArgParser::addFlag(const std::string &name)
+{
+    knownFlags_.insert(name);
+}
+
+void
+ArgParser::parse(const std::vector<std::string> &args)
+{
+    bool options_done = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const std::string &arg = args[i];
+        if (!options_done && arg == "--") {
+            options_done = true;
+            continue;
+        }
+        if (!options_done && arg.rfind("--", 0) == 0) {
+            const std::string name = arg.substr(2);
+            if (knownFlags_.count(name)) {
+                flags_.insert(name);
+                continue;
+            }
+            if (knownOptions_.count(name)) {
+                if (i + 1 >= args.size()) {
+                    fatal(program_, ": option --", name,
+                          " needs a value");
+                }
+                values_[name] = args[++i];
+                continue;
+            }
+            fatal(program_, ": unknown option --", name);
+        }
+        positionals_.push_back(arg);
+    }
+}
+
+void
+ArgParser::parse(int argc, char **argv)
+{
+    std::vector<std::string> args;
+    for (int i = 1; i < argc; ++i)
+        args.emplace_back(argv[i]);
+    parse(args);
+}
+
+bool
+ArgParser::flag(const std::string &name) const
+{
+    return flags_.count(name) > 0;
+}
+
+bool
+ArgParser::has(const std::string &name) const
+{
+    return values_.count(name) > 0;
+}
+
+std::string
+ArgParser::get(const std::string &name, const std::string &fallback) const
+{
+    const auto it = values_.find(name);
+    return it != values_.end() ? it->second : fallback;
+}
+
+double
+ArgParser::getDouble(const std::string &name, double fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal(program_, ": option --", name, " expects a number, got '",
+              it->second, "'");
+    return value;
+}
+
+long long
+ArgParser::getInt(const std::string &name, long long fallback) const
+{
+    const auto it = values_.find(name);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long long value =
+        std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal(program_, ": option --", name,
+              " expects an integer, got '", it->second, "'");
+    return value;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal command-line argument parsing for the CLI tool and
+ * examples: positionals plus "--key value" options plus "--flag"
+ * switches.  Unknown options are errors; "--" ends option parsing.
+ */
+
+#ifndef MCDVFS_COMMON_ARGS_HH
+#define MCDVFS_COMMON_ARGS_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcdvfs
+{
+
+/** Declarative parser: declare options/flags, then parse. */
+class ArgParser
+{
+  public:
+    /** @param program name used in error messages */
+    explicit ArgParser(std::string program);
+
+    /** Declare a value option, e.g. addOption("budget"). */
+    void addOption(const std::string &name);
+
+    /** Declare a boolean flag, e.g. addFlag("csv"). */
+    void addFlag(const std::string &name);
+
+    /**
+     * Parse an argument vector (excluding argv[0]).
+     * @throws FatalError on unknown options or missing values.
+     */
+    void parse(const std::vector<std::string> &args);
+
+    /** Convenience overload for main()'s argc/argv. */
+    void parse(int argc, char **argv);
+
+    /** True when a declared flag was given. */
+    bool flag(const std::string &name) const;
+
+    /** True when a declared option was given a value. */
+    bool has(const std::string &name) const;
+
+    /** Option value, or @c fallback when absent. */
+    std::string get(const std::string &name,
+                    const std::string &fallback = "") const;
+
+    /** Option value as double, or @c fallback when absent. */
+    double getDouble(const std::string &name, double fallback) const;
+
+    /** Option value as integer, or @c fallback when absent. */
+    long long getInt(const std::string &name, long long fallback) const;
+
+    /** Positional arguments in order. */
+    const std::vector<std::string> &positionals() const
+    {
+        return positionals_;
+    }
+
+  private:
+    std::string program_;
+    std::set<std::string> knownOptions_;
+    std::set<std::string> knownFlags_;
+    std::map<std::string, std::string> values_;
+    std::set<std::string> flags_;
+    std::vector<std::string> positionals_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_ARGS_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Error-reporting and logging primitives.
+ *
+ * The conventions follow the gem5 distinction:
+ *  - fatal():  the situation is the caller's fault (bad configuration,
+ *              invalid argument).  Throws FatalError so library users and
+ *              tests can recover.
+ *  - panic():  an internal invariant of this library was violated (a bug
+ *              in mcdvfs itself).  Aborts the process.
+ *  - warn()/inform(): advisory messages on stderr.
+ */
+
+#ifndef MCDVFS_COMMON_LOGGING_HH
+#define MCDVFS_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcdvfs
+{
+
+/** Exception thrown by fatal() for user-correctable errors. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report a user-correctable error (bad configuration or argument).
+ *
+ * @throws FatalError always.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    throw FatalError(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit a warning to stderr (does not stop execution). */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Emit an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort on an internal invariant violation (a bug in mcdvfs itself).
+ * Use MCDVFS_PANIC so the failing file/line are captured.
+ */
+#define MCDVFS_PANIC(...)                                                   \
+    ::mcdvfs::detail::panicImpl(__FILE__, __LINE__,                         \
+                                ::mcdvfs::detail::concat(__VA_ARGS__))
+
+/** Assert an internal invariant; panics with the condition text. */
+#define MCDVFS_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            MCDVFS_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_LOGGING_HH

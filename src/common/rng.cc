@@ -1,0 +1,125 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** SplitMix64 step, used only for seeding. */
+std::uint64_t
+splitMix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &word : state_)
+        word = splitMix64(s);
+    // xoshiro's state must not be all zero; SplitMix64 cannot produce
+    // four zero words from any seed, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 0x9e3779b97f4a7c15ull;
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits give a uniform double in [0, 1).
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t bound)
+{
+    MCDVFS_ASSERT(bound > 0, "uniformInt bound must be positive");
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        const std::uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+std::int64_t
+Rng::uniformRange(std::int64_t lo, std::int64_t hi)
+{
+    MCDVFS_ASSERT(lo <= hi, "uniformRange requires lo <= hi");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::chance(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+std::uint64_t
+Rng::geometric(double p)
+{
+    if (p >= 1.0)
+        return 0;
+    MCDVFS_ASSERT(p > 0.0, "geometric requires p > 0");
+    const double u = uniform();
+    return static_cast<std::uint64_t>(std::log1p(-u) / std::log1p(-p));
+}
+
+double
+Rng::gaussian()
+{
+    // Box-Muller; draw u1 away from zero to keep log finite.
+    double u1 = uniform();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next() ^ 0xd1b54a32d192ed03ull);
+}
+
+} // namespace mcdvfs

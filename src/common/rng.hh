@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Workload traces must be exactly reproducible across runs and across
+ * machines, so mcdvfs does not use std::mt19937 (whose distributions
+ * are implementation-defined).  Rng implements xoshiro256** seeded via
+ * SplitMix64, with distribution helpers defined by this library.
+ */
+
+#ifndef MCDVFS_COMMON_RNG_HH
+#define MCDVFS_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace mcdvfs
+{
+
+/** Deterministic xoshiro256** generator with convenience draws. */
+class Rng
+{
+  public:
+    /** Seed deterministically from a 64-bit seed via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [0, bound) without modulo bias; bound > 0. */
+    std::uint64_t uniformInt(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    std::int64_t uniformRange(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw: true with probability p (clamped to [0,1]). */
+    bool chance(double p);
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p in (0, 1]; returns 0 when p >= 1.
+     */
+    std::uint64_t geometric(double p);
+
+    /** Standard normal draw (Box-Muller, deterministic). */
+    double gaussian();
+
+    /** Fork a child generator whose stream is independent of ours. */
+    Rng fork();
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_RNG_HH

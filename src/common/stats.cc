@@ -1,0 +1,84 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+void
+RunningStats::add(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Distribution::quantile(double q) const
+{
+    MCDVFS_ASSERT(!values_.empty(), "quantile of empty distribution");
+    MCDVFS_ASSERT(q >= 0.0 && q <= 1.0, "quantile requires q in [0,1]");
+    std::vector<double> sorted(values_);
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted.front();
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BoxSummary
+Distribution::summary() const
+{
+    BoxSummary box;
+    if (values_.empty())
+        return box;
+    box.min = quantile(0.0);
+    box.q1 = quantile(0.25);
+    box.median = quantile(0.5);
+    box.q3 = quantile(0.75);
+    box.max = quantile(1.0);
+    box.mean = mean();
+    box.count = values_.size();
+    return box;
+}
+
+double
+Distribution::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    const double total =
+        std::accumulate(values_.begin(), values_.end(), 0.0);
+    return total / static_cast<double>(values_.size());
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Descriptive statistics used by the characterization analyses.
+ *
+ * RunningStats accumulates streaming mean/variance/min/max (Welford's
+ * algorithm); Distribution keeps all values and provides quantiles and
+ * the five-number box-plot summary the paper's Figure 9 reports.
+ */
+
+#ifndef MCDVFS_COMMON_STATS_HH
+#define MCDVFS_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace mcdvfs
+{
+
+/** Streaming mean/variance/extrema accumulator (Welford). */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of observations so far. */
+    std::size_t count() const { return count_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sample variance (n-1 denominator); 0 when fewer than 2 values. */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Smallest observation; 0 when empty. */
+    double min() const { return count_ ? min_ : 0.0; }
+
+    /** Largest observation; 0 when empty. */
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sum_; }
+
+  private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Five-number summary for box plots (Figure 9 style). */
+struct BoxSummary
+{
+    double min = 0.0;
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    std::size_t count = 0;
+};
+
+/** Value collection with quantile queries. */
+class Distribution
+{
+  public:
+    /** Add one observation. */
+    void add(double x) { values_.push_back(x); }
+
+    /** Number of observations. */
+    std::size_t count() const { return values_.size(); }
+
+    /** True when no observations have been added. */
+    bool empty() const { return values_.empty(); }
+
+    /**
+     * Quantile by linear interpolation between closest ranks.
+     *
+     * @param q requested quantile in [0, 1].
+     */
+    double quantile(double q) const;
+
+    /** Five-number summary plus mean. */
+    BoxSummary summary() const;
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const;
+
+    /** Read access to raw values (unsorted insertion order). */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_STATS_HH

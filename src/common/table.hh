@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Aligned text tables and CSV emission for the figure harnesses.
+ *
+ * Every bench binary prints the series a paper figure reports; Table
+ * renders them as aligned columns on stdout and, optionally, as CSV so
+ * the data can be re-plotted.
+ */
+
+#ifndef MCDVFS_COMMON_TABLE_HH
+#define MCDVFS_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcdvfs
+{
+
+/** Column-aligned table with an optional title, built row by row. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Optional title printed above the table. */
+    void setTitle(std::string title) { title_ = std::move(title); }
+
+    /** Append a fully formed row; must match the header count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with the given precision (helper for rows). */
+    static std::string num(double value, int precision = 3);
+
+    /** Format an integer (helper for rows). */
+    static std::string num(long long value);
+
+    /** Render as aligned text. */
+    void print(std::ostream &os) const;
+
+    /** Render as CSV (no alignment padding). */
+    void printCsv(std::ostream &os) const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_TABLE_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Physical-unit conventions used throughout mcdvfs.
+ *
+ * All quantities are stored as doubles in SI base units and named for
+ * their unit: frequencies in hertz (Hz), voltages in volts (V), power
+ * in watts (W), energy in joules (J), time in seconds (s).  The helpers
+ * below construct values from the scaled units the paper uses (MHz, mW,
+ * uJ, us) so call sites read like the paper's text.
+ */
+
+#ifndef MCDVFS_COMMON_UNITS_HH
+#define MCDVFS_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace mcdvfs
+{
+
+/** Frequency in hertz. */
+using Hertz = double;
+/** Voltage in volts. */
+using Volts = double;
+/** Power in watts. */
+using Watts = double;
+/** Energy in joules. */
+using Joules = double;
+/** Time in seconds. */
+using Seconds = double;
+/** Counts of events (instructions, accesses, cycles). */
+using Count = std::uint64_t;
+
+/** Construct a frequency from megahertz. */
+constexpr Hertz
+megaHertz(double mhz)
+{
+    return mhz * 1e6;
+}
+
+/** Convert a frequency to megahertz (for printing). */
+constexpr double
+toMegaHertz(Hertz hz)
+{
+    return hz / 1e6;
+}
+
+/** Construct a time from nanoseconds. */
+constexpr Seconds
+nanoSeconds(double ns)
+{
+    return ns * 1e-9;
+}
+
+/** Construct a time from microseconds. */
+constexpr Seconds
+microSeconds(double us)
+{
+    return us * 1e-6;
+}
+
+/** Convert a time to nanoseconds (for printing). */
+constexpr double
+toNanoSeconds(Seconds s)
+{
+    return s * 1e9;
+}
+
+/** Construct a power from milliwatts. */
+constexpr Watts
+milliWatts(double mw)
+{
+    return mw * 1e-3;
+}
+
+/** Construct an energy from microjoules. */
+constexpr Joules
+microJoules(double uj)
+{
+    return uj * 1e-6;
+}
+
+/** Construct an energy from millijoules. */
+constexpr Joules
+milliJoules(double mj)
+{
+    return mj * 1e-3;
+}
+
+/** Construct a current from milliamperes (value in amperes). */
+constexpr double
+milliAmps(double ma)
+{
+    return ma * 1e-3;
+}
+
+/** Bytes per kibibyte / mebibyte, for cache sizing. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * 1024;
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_UNITS_HH

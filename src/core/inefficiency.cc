@@ -1,0 +1,77 @@
+#include "core/inefficiency.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+InefficiencyAnalysis::InefficiencyAnalysis(const MeasuredGrid &grid)
+    : grid_(grid)
+{
+    const std::size_t samples = grid.sampleCount();
+    const std::size_t settings = grid.settingCount();
+    sampleEmin_.resize(samples);
+    sampleSlowest_.resize(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+        sampleEmin_[s] = grid.sampleEmin(s);
+        sampleSlowest_[s] = grid.sampleSlowest(s);
+        MCDVFS_ASSERT(sampleEmin_[s] > 0.0,
+                      "sample energy must be positive");
+    }
+    runEnergy_.resize(settings);
+    runTime_.resize(settings);
+    for (std::size_t k = 0; k < settings; ++k) {
+        runEnergy_[k] = grid.totalEnergy(k);
+        runTime_[k] = grid.totalTime(k);
+    }
+    eminTotal_ = *std::min_element(runEnergy_.begin(), runEnergy_.end());
+    slowestTotal_ = *std::max_element(runTime_.begin(), runTime_.end());
+}
+
+double
+InefficiencyAnalysis::sampleInefficiency(std::size_t sample,
+                                         std::size_t setting) const
+{
+    return grid_.cell(sample, setting).energy() / sampleEmin_[sample];
+}
+
+double
+InefficiencyAnalysis::sampleSpeedup(std::size_t sample,
+                                    std::size_t setting) const
+{
+    return sampleSlowest_[sample] / grid_.cell(sample, setting).seconds;
+}
+
+Joules
+InefficiencyAnalysis::sampleEmin(std::size_t sample) const
+{
+    MCDVFS_ASSERT(sample < sampleEmin_.size(), "sample out of range");
+    return sampleEmin_[sample];
+}
+
+double
+InefficiencyAnalysis::runInefficiency(std::size_t setting) const
+{
+    MCDVFS_ASSERT(setting < runEnergy_.size(), "setting out of range");
+    return runEnergy_[setting] / eminTotal_;
+}
+
+double
+InefficiencyAnalysis::runSpeedup(std::size_t setting) const
+{
+    MCDVFS_ASSERT(setting < runTime_.size(), "setting out of range");
+    return slowestTotal_ / runTime_[setting];
+}
+
+double
+InefficiencyAnalysis::maxRunInefficiency() const
+{
+    double imax = 0.0;
+    for (std::size_t k = 0; k < runEnergy_.size(); ++k)
+        imax = std::max(imax, runInefficiency(k));
+    return imax;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's central metric: inefficiency I = E / Emin (§II).
+ *
+ * Emin is found by brute-force search over all settings — the first of
+ * the paper's two proposed computation methods; the learning-based
+ * predictor lives in src/runtime/.  Inefficiency is computed both per
+ * sample (for budget-constrained tuning, §V-§VI) and for the whole run
+ * at a fixed setting (Fig. 2).
+ */
+
+#ifndef MCDVFS_CORE_INEFFICIENCY_HH
+#define MCDVFS_CORE_INEFFICIENCY_HH
+
+#include <limits>
+#include <vector>
+
+#include "sim/measured_grid.hh"
+
+namespace mcdvfs
+{
+
+/** Budget value meaning "unconstrained" (the paper's infinity). */
+inline constexpr double kUnboundedBudget =
+    std::numeric_limits<double>::infinity();
+
+/** Precomputed inefficiency tables over a measured grid. */
+class InefficiencyAnalysis
+{
+  public:
+    /**
+     * Precompute per-sample Emin/slowest-time and whole-run
+     * aggregates by brute force over the grid.
+     *
+     * The grid must outlive this analysis.
+     */
+    explicit InefficiencyAnalysis(const MeasuredGrid &grid);
+
+    /** A temporary grid would dangle — forbidden at compile time. */
+    explicit InefficiencyAnalysis(MeasuredGrid &&) = delete;
+
+    /** Per-sample inefficiency I_s(k) = E_s(k) / Emin_s. */
+    double sampleInefficiency(std::size_t sample,
+                              std::size_t setting) const;
+
+    /**
+     * Per-sample speedup: slowest execution of this sample over its
+     * execution at @c setting (>= 1, paper §IV convention).
+     */
+    double sampleSpeedup(std::size_t sample, std::size_t setting) const;
+
+    /** Brute-force per-sample Emin. */
+    Joules sampleEmin(std::size_t sample) const;
+
+    /** Whole-run inefficiency of a fixed setting (Fig. 2 y-axis). */
+    double runInefficiency(std::size_t setting) const;
+
+    /** Whole-run speedup of a fixed setting (Fig. 2 x-axis). */
+    double runSpeedup(std::size_t setting) const;
+
+    /** Whole-run brute-force Emin. */
+    Joules eminTotal() const { return eminTotal_; }
+
+    /**
+     * The workload's maximum achievable whole-run inefficiency Imax
+     * (the paper observes 1.5-2 across its benchmarks).
+     */
+    double maxRunInefficiency() const;
+
+    const MeasuredGrid &grid() const { return grid_; }
+
+  private:
+    const MeasuredGrid &grid_;
+    std::vector<Joules> sampleEmin_;
+    std::vector<Seconds> sampleSlowest_;
+    std::vector<Joules> runEnergy_;
+    std::vector<Seconds> runTime_;
+    Joules eminTotal_ = 0.0;
+    Seconds slowestTotal_ = 0.0;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_INEFFICIENCY_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Per-sample optimal frequency settings under an inefficiency budget
+ * (the paper's §V algorithm).
+ *
+ * For each sample: filter all settings whose per-sample inefficiency
+ * is within the budget, find the feasible setting with the highest
+ * speedup, and — to filter simulation noise — among all feasible
+ * settings within 0.5% of that speedup pick the one with the highest
+ * CPU frequency first and then the highest memory frequency.
+ */
+
+#ifndef MCDVFS_CORE_OPTIMAL_SETTINGS_HH
+#define MCDVFS_CORE_OPTIMAL_SETTINGS_HH
+
+#include <vector>
+
+#include "core/inefficiency.hh"
+#include "dvfs/settings_space.hh"
+
+namespace mcdvfs
+{
+
+/** The chosen optimum for one sample. */
+struct OptimalChoice
+{
+    std::size_t settingIndex = 0;
+    FrequencySetting setting{};
+    double speedup = 0.0;       ///< per-sample speedup at the optimum
+    double inefficiency = 0.0;  ///< per-sample inefficiency at the optimum
+};
+
+/** §V search: budget filter, speedup maximization, noise tie-break. */
+class OptimalSettingsFinder
+{
+  public:
+    /**
+     * @param analysis precomputed inefficiency tables (must outlive
+     *                 the finder)
+     * @param noise_threshold relative speedup window treated as a tie
+     *                        (paper: 0.5%)
+     * @throws FatalError for a negative noise threshold
+     */
+    explicit OptimalSettingsFinder(const InefficiencyAnalysis &analysis,
+                                   double noise_threshold = 0.005);
+
+    /**
+     * All settings whose per-sample inefficiency is within @c budget.
+     *
+     * @param budget inefficiency budget >= 1 (kUnboundedBudget for
+     *               the unconstrained case)
+     * @throws FatalError for budgets below 1
+     */
+    std::vector<std::size_t> feasibleSettings(std::size_t sample,
+                                              double budget) const;
+
+    /** The optimal setting of one sample under @c budget. */
+    OptimalChoice optimalForSample(std::size_t sample,
+                                   double budget) const;
+
+    /** Optimal settings for every sample in order. */
+    std::vector<OptimalChoice> optimalTrajectory(double budget) const;
+
+    const InefficiencyAnalysis &analysis() const { return analysis_; }
+    double noiseThreshold() const { return noiseThreshold_; }
+
+  private:
+    const InefficiencyAnalysis &analysis_;
+    double noiseThreshold_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_OPTIMAL_SETTINGS_HH

@@ -1,0 +1,97 @@
+#include "core/pareto.hh"
+
+#include <algorithm>
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Strict Pareto dominance in (time, energy): a <= b and a < b once. */
+bool
+dominatesPair(Seconds ta, Joules ea, Seconds tb, Joules eb)
+{
+    return ta <= tb && ea <= eb && (ta < tb || ea < eb);
+}
+
+} // namespace
+
+ParetoAnalysis::ParetoAnalysis(const InefficiencyAnalysis &analysis)
+    : analysis_(analysis)
+{
+}
+
+bool
+ParetoAnalysis::dominates(std::size_t a, std::size_t b) const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    return dominatesPair(grid.totalTime(a), grid.totalEnergy(a),
+                         grid.totalTime(b), grid.totalEnergy(b));
+}
+
+std::vector<ParetoPoint>
+ParetoAnalysis::runFrontier() const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    const std::size_t settings = grid.settingCount();
+
+    std::vector<ParetoPoint> frontier;
+    for (std::size_t k = 0; k < settings; ++k) {
+        bool dominated = false;
+        for (std::size_t other = 0; other < settings && !dominated;
+             ++other) {
+            dominated = other != k && dominates(other, k);
+        }
+        if (!dominated) {
+            ParetoPoint point;
+            point.settingIndex = k;
+            point.setting = grid.space().at(k);
+            point.time = grid.totalTime(k);
+            point.energy = grid.totalEnergy(k);
+            point.speedup = analysis_.runSpeedup(k);
+            point.inefficiency = analysis_.runInefficiency(k);
+            frontier.push_back(point);
+        }
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  return a.time < b.time;
+              });
+    return frontier;
+}
+
+std::vector<std::size_t>
+ParetoAnalysis::sampleFrontier(std::size_t sample) const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    const std::size_t settings = grid.settingCount();
+
+    std::vector<std::size_t> frontier;
+    for (std::size_t k = 0; k < settings; ++k) {
+        const GridCell &cell = grid.cell(sample, k);
+        bool dominated = false;
+        for (std::size_t other = 0; other < settings && !dominated;
+             ++other) {
+            if (other == k)
+                continue;
+            const GridCell &oc = grid.cell(sample, other);
+            dominated = dominatesPair(oc.seconds, oc.energy(),
+                                      cell.seconds, cell.energy());
+        }
+        if (!dominated)
+            frontier.push_back(k);
+    }
+    return frontier;
+}
+
+double
+ParetoAnalysis::dominatedFraction() const
+{
+    const std::size_t settings = analysis_.grid().settingCount();
+    const std::size_t frontier = runFrontier().size();
+    return 1.0 - static_cast<double>(frontier) /
+                     static_cast<double>(settings);
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Energy-performance Pareto analysis.
+ *
+ * The paper's introduction argues that adding memory DFS to CPU DVFS
+ * enlarges the setting space but "also provides more incorrect
+ * settings that waste energy or degrade performance".  This analysis
+ * makes that quantitative: a setting is *dominated* when some other
+ * setting is at least as fast and uses at most as much energy (and is
+ * strictly better in one of the two); dominated settings are exactly
+ * the "incorrect" ones a tuner must avoid.
+ */
+
+#ifndef MCDVFS_CORE_PARETO_HH
+#define MCDVFS_CORE_PARETO_HH
+
+#include <vector>
+
+#include "core/inefficiency.hh"
+
+namespace mcdvfs
+{
+
+/** One point of a Pareto frontier. */
+struct ParetoPoint
+{
+    std::size_t settingIndex = 0;
+    FrequencySetting setting{};
+    Seconds time = 0.0;
+    Joules energy = 0.0;
+    double speedup = 0.0;
+    double inefficiency = 0.0;
+};
+
+/** Whole-run and per-sample Pareto frontiers over a measured grid. */
+class ParetoAnalysis
+{
+  public:
+    /** @param analysis inefficiency tables (must outlive this) */
+    explicit ParetoAnalysis(const InefficiencyAnalysis &analysis);
+
+    /**
+     * Whole-run frontier: non-dominated settings in (total time,
+     * total energy), sorted fastest first.
+     */
+    std::vector<ParetoPoint> runFrontier() const;
+
+    /** Indices of one sample's non-dominated settings. */
+    std::vector<std::size_t> sampleFrontier(std::size_t sample) const;
+
+    /**
+     * Fraction of the whole-run settings that are dominated — the
+     * "incorrect settings" mass the paper's introduction warns about.
+     */
+    double dominatedFraction() const;
+
+    /** True when setting @c a dominates setting @c b (whole run). */
+    bool dominates(std::size_t a, std::size_t b) const;
+
+  private:
+    const InefficiencyAnalysis &analysis_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_PARETO_HH

@@ -1,0 +1,59 @@
+#include "core/performance_clusters.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+bool
+PerformanceCluster::contains(std::size_t setting_index) const
+{
+    return std::find(settings.begin(), settings.end(), setting_index) !=
+           settings.end();
+}
+
+ClusterFinder::ClusterFinder(const OptimalSettingsFinder &finder)
+    : finder_(finder)
+{
+}
+
+PerformanceCluster
+ClusterFinder::clusterForSample(std::size_t sample, double budget,
+                                double threshold) const
+{
+    if (threshold < 0.0)
+        fatal("cluster threshold must be >= 0, got ", threshold);
+
+    const InefficiencyAnalysis &analysis = finder_.analysis();
+
+    PerformanceCluster cluster;
+    // First pass (paper §VI-A): the optimal setting under the budget.
+    cluster.optimal = finder_.optimalForSample(sample, budget);
+
+    // Second pass: every feasible setting whose speedup is within the
+    // threshold of the optimal speedup.
+    const double cutoff = cluster.optimal.speedup * (1.0 - threshold);
+    for (const std::size_t k : finder_.feasibleSettings(sample, budget)) {
+        if (analysis.sampleSpeedup(sample, k) >= cutoff)
+            cluster.settings.push_back(k);
+    }
+    MCDVFS_ASSERT(cluster.contains(cluster.optimal.settingIndex),
+                  "cluster must contain its optimum");
+    return cluster;
+}
+
+std::vector<PerformanceCluster>
+ClusterFinder::clusters(double budget, double threshold) const
+{
+    const std::size_t samples =
+        finder_.analysis().grid().sampleCount();
+    std::vector<PerformanceCluster> out;
+    out.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s)
+        out.push_back(clusterForSample(s, budget, threshold));
+    return out;
+}
+
+} // namespace mcdvfs

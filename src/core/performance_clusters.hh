@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Performance clusters (§VI-A).
+ *
+ * The performance cluster of a sample, for a given inefficiency budget
+ * and cluster threshold, is the set of all settings that (a) are
+ * within the inefficiency budget and (b) perform within the threshold
+ * of the optimal setting's performance for that budget.  Clusters are
+ * what let a tuner trade a bounded performance loss for dramatically
+ * fewer frequency transitions.
+ */
+
+#ifndef MCDVFS_CORE_PERFORMANCE_CLUSTERS_HH
+#define MCDVFS_CORE_PERFORMANCE_CLUSTERS_HH
+
+#include <vector>
+
+#include "core/optimal_settings.hh"
+
+namespace mcdvfs
+{
+
+/** One sample's cluster: the optimum plus all near-optimal settings. */
+struct PerformanceCluster
+{
+    OptimalChoice optimal;
+    /** Setting indices in the cluster (always contains the optimum). */
+    std::vector<std::size_t> settings;
+
+    bool contains(std::size_t setting_index) const;
+};
+
+/** Computes performance clusters over a measured grid. */
+class ClusterFinder
+{
+  public:
+    /**
+     * @param finder optimal-settings search to cluster around (must
+     *               outlive the ClusterFinder)
+     */
+    explicit ClusterFinder(const OptimalSettingsFinder &finder);
+
+    /**
+     * Cluster of one sample.
+     *
+     * @param budget inefficiency budget (>= 1)
+     * @param threshold tolerated performance degradation relative to
+     *        the optimum, e.g. 0.01 for 1%
+     * @throws FatalError for negative thresholds or budgets below 1
+     */
+    PerformanceCluster clusterForSample(std::size_t sample, double budget,
+                                        double threshold) const;
+
+    /** Clusters for every sample in order. */
+    std::vector<PerformanceCluster> clusters(double budget,
+                                             double threshold) const;
+
+    const OptimalSettingsFinder &finder() const { return finder_; }
+
+  private:
+    const OptimalSettingsFinder &finder_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_PERFORMANCE_CLUSTERS_HH

@@ -1,0 +1,180 @@
+#include "core/search_strategies.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+SettingsSearch::SettingsSearch(const InefficiencyAnalysis &analysis)
+    : analysis_(analysis)
+{
+}
+
+double
+SettingsSearch::evaluate(std::size_t sample, std::size_t setting,
+                         double budget, std::size_t &evaluations) const
+{
+    ++evaluations;
+    if (analysis_.sampleInefficiency(sample, setting) > budget)
+        return -1.0;
+    return analysis_.sampleSpeedup(sample, setting);
+}
+
+SearchOutcome
+SettingsSearch::bruteForce(std::size_t sample, double budget) const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    SearchOutcome outcome;
+    double best = -1.0;
+    for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+        const double speedup =
+            evaluate(sample, k, budget, outcome.evaluations);
+        if (speedup > best) {
+            best = speedup;
+            outcome.settingIndex = k;
+        }
+    }
+    MCDVFS_ASSERT(best >= 0.0, "no feasible setting at budget");
+    outcome.speedup = best;
+    return outcome;
+}
+
+SearchOutcome
+SettingsSearch::hillClimb(std::size_t sample, double budget,
+                          std::size_t start) const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    const std::size_t mem_steps = grid.space().memLadder().size();
+    const std::size_t cpu_steps = grid.space().cpuLadder().size();
+
+    SearchOutcome outcome;
+    // A real tuner caches what it already computed this interval:
+    // each setting is evaluated (and charged) at most once per climb.
+    std::vector<double> memo(grid.settingCount(), -2.0);
+    auto cached = [&](std::size_t k) {
+        if (memo[k] < -1.5)
+            memo[k] = evaluate(sample, k, budget, outcome.evaluations);
+        return memo[k];
+    };
+
+    std::size_t here = start;
+    double here_speedup = cached(here);
+    if (here_speedup < 0.0) {
+        // Infeasible start: fall back to the guaranteed-feasible
+        // minimum-energy direction by restarting at the Emin setting
+        // (found with a linear scan over energies — each a lookup the
+        // tuner already has, charged as evaluations).
+        double best_energy = 1e300;
+        std::size_t emin = 0;
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            ++outcome.evaluations;
+            const double energy = grid.cell(sample, k).energy();
+            if (energy < best_energy) {
+                best_energy = energy;
+                emin = k;
+            }
+        }
+        here = emin;
+        here_speedup = cached(here);
+        MCDVFS_ASSERT(here_speedup >= 0.0, "Emin must be feasible");
+    }
+
+    for (;;) {
+        const std::size_t cpu = here / mem_steps;
+        const std::size_t mem = here % mem_steps;
+        std::size_t best_neighbour = here;
+        double best_speedup = here_speedup;
+
+        auto consider = [&](std::size_t candidate) {
+            const double speedup = cached(candidate);
+            if (speedup > best_speedup) {
+                best_speedup = speedup;
+                best_neighbour = candidate;
+            }
+        };
+        if (cpu + 1 < cpu_steps)
+            consider(here + mem_steps);
+        if (cpu > 0)
+            consider(here - mem_steps);
+        if (mem + 1 < mem_steps)
+            consider(here + 1);
+        if (mem > 0)
+            consider(here - 1);
+
+        if (best_neighbour == here)
+            break;
+        here = best_neighbour;
+        here_speedup = best_speedup;
+    }
+    outcome.settingIndex = here;
+    outcome.speedup = here_speedup;
+    return outcome;
+}
+
+void
+SettingsSearch::finalize(SearchTrajectory &trajectory,
+                         double budget) const
+{
+    const std::size_t samples = analysis_.grid().sampleCount();
+    double gap = 0.0;
+    for (std::size_t s = 0; s < samples; ++s) {
+        std::size_t ignored = 0;
+        double best = -1.0;
+        for (std::size_t k = 0; k < analysis_.grid().settingCount();
+             ++k) {
+            best = std::max(best, evaluate(s, k, budget, ignored));
+        }
+        gap += (best - trajectory.perSample[s].speedup) / best;
+        trajectory.totalEvaluations +=
+            trajectory.perSample[s].evaluations;
+    }
+    trajectory.optimalityGapPct =
+        gap / static_cast<double>(samples) * 100.0;
+}
+
+SearchTrajectory
+SettingsSearch::runBruteForce(double budget) const
+{
+    SearchTrajectory trajectory;
+    const std::size_t samples = analysis_.grid().sampleCount();
+    trajectory.perSample.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s)
+        trajectory.perSample.push_back(bruteForce(s, budget));
+    finalize(trajectory, budget);
+    return trajectory;
+}
+
+SearchTrajectory
+SettingsSearch::runColdClimb(double budget) const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    const std::size_t min_idx =
+        grid.space().indexOf(grid.space().minSetting());
+    SearchTrajectory trajectory;
+    trajectory.perSample.reserve(grid.sampleCount());
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        trajectory.perSample.push_back(hillClimb(s, budget, min_idx));
+    finalize(trajectory, budget);
+    return trajectory;
+}
+
+SearchTrajectory
+SettingsSearch::runWarmClimb(double budget) const
+{
+    const MeasuredGrid &grid = analysis_.grid();
+    const std::size_t min_idx =
+        grid.space().indexOf(grid.space().minSetting());
+    SearchTrajectory trajectory;
+    trajectory.perSample.reserve(grid.sampleCount());
+    std::size_t start = min_idx;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        trajectory.perSample.push_back(hillClimb(s, budget, start));
+        start = trajectory.perSample.back().settingIndex;
+    }
+    finalize(trajectory, budget);
+    return trajectory;
+}
+
+} // namespace mcdvfs

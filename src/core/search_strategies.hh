@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Search strategies for the per-sample optimal-settings problem.
+ *
+ * §VI-C prices the tuning event partly by its search, and §VI-B
+ * observes that "algorithms can reduce the overhead of optimal
+ * settings search by starting search from the settings selected for
+ * the previous interval as application phases are often stable".
+ * This module implements three searches for the *energy-constrained*
+ * problem (maximize speedup s.t. I <= budget) so the claim can be
+ * measured on the problem the paper actually poses:
+ *
+ *  - brute force: evaluate every setting (the reference);
+ *  - steepest ascent from the minimum setting: hill-climb in the
+ *    2-D frequency lattice;
+ *  - warm-started ascent: the same climber started from the previous
+ *    sample's answer.
+ *
+ * Each search counts candidate evaluations, the currency of §VI-C's
+ * 500 µs event cost.
+ */
+
+#ifndef MCDVFS_CORE_SEARCH_STRATEGIES_HH
+#define MCDVFS_CORE_SEARCH_STRATEGIES_HH
+
+#include <vector>
+
+#include "core/optimal_settings.hh"
+
+namespace mcdvfs
+{
+
+/** Outcome of one search over one sample. */
+struct SearchOutcome
+{
+    std::size_t settingIndex = 0;
+    double speedup = 0.0;
+    /** Candidate settings whose (time, energy) were evaluated. */
+    std::size_t evaluations = 0;
+};
+
+/** Aggregate over a whole trajectory. */
+struct SearchTrajectory
+{
+    std::vector<SearchOutcome> perSample;
+    std::size_t totalEvaluations = 0;
+    /** Mean speedup shortfall vs brute force, in percent. */
+    double optimalityGapPct = 0.0;
+};
+
+/** Lattice searches for the budget-constrained optimum. */
+class SettingsSearch
+{
+  public:
+    /** @param analysis inefficiency tables (must outlive this) */
+    explicit SettingsSearch(const InefficiencyAnalysis &analysis);
+
+    /** Reference: evaluate all settings (the §V algorithm). */
+    SearchOutcome bruteForce(std::size_t sample, double budget) const;
+
+    /**
+     * Greedy hill climb from @c start: repeatedly move to the
+     * feasible lattice neighbour (one step in either domain, up or
+     * down) with the best speedup; stop at a local optimum.
+     */
+    SearchOutcome hillClimb(std::size_t sample, double budget,
+                            std::size_t start) const;
+
+    /** Full trajectories, counting evaluations per §VI-C. */
+    SearchTrajectory runBruteForce(double budget) const;
+    SearchTrajectory runColdClimb(double budget) const;  ///< from min
+    SearchTrajectory runWarmClimb(double budget) const;  ///< warm start
+
+  private:
+    /** Speedup if feasible, -1 otherwise; counts the evaluation. */
+    double evaluate(std::size_t sample, std::size_t setting,
+                    double budget, std::size_t &evaluations) const;
+
+    /** Fill the gap statistics of @c trajectory vs brute force. */
+    void finalize(SearchTrajectory &trajectory, double budget) const;
+
+    const InefficiencyAnalysis &analysis_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_SEARCH_STRATEGIES_HH

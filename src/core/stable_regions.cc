@@ -1,0 +1,91 @@
+#include "core/stable_regions.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Intersection of a sorted available set with a cluster's settings. */
+std::vector<std::size_t>
+intersect(const std::vector<std::size_t> &available,
+          const std::vector<std::size_t> &cluster)
+{
+    std::vector<std::size_t> out;
+    out.reserve(std::min(available.size(), cluster.size()));
+    std::set_intersection(available.begin(), available.end(),
+                          cluster.begin(), cluster.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+} // namespace
+
+StableRegionFinder::StableRegionFinder(const ClusterFinder &clusters)
+    : clusters_(clusters)
+{
+}
+
+std::vector<StableRegion>
+StableRegionFinder::find(double budget, double threshold) const
+{
+    return fromClusters(clusters_.clusters(budget, threshold));
+}
+
+std::vector<StableRegion>
+StableRegionFinder::fromClusters(
+    const std::vector<PerformanceCluster> &clusters) const
+{
+    MCDVFS_ASSERT(!clusters.empty(), "no clusters to regionize");
+    const SettingsSpace &space =
+        clusters_.finder().analysis().grid().space();
+
+    auto sorted_settings = [](const PerformanceCluster &cluster) {
+        std::vector<std::size_t> s = cluster.settings;
+        std::sort(s.begin(), s.end());
+        return s;
+    };
+
+    auto choose = [&space](const std::vector<std::size_t> &available) {
+        MCDVFS_ASSERT(!available.empty(), "region with no settings");
+        std::size_t best = available.front();
+        for (const std::size_t k : available) {
+            if (settingPreferred(space.at(k), space.at(best)))
+                best = k;
+        }
+        return best;
+    };
+
+    std::vector<StableRegion> regions;
+    StableRegion current;
+    current.first = 0;
+    current.availableSettings = sorted_settings(clusters.front());
+
+    for (std::size_t s = 1; s < clusters.size(); ++s) {
+        std::vector<std::size_t> next =
+            intersect(current.availableSettings, sorted_settings(clusters[s]));
+        if (next.empty()) {
+            // Close the region at the previous sample.
+            current.last = s - 1;
+            current.chosenSettingIndex = choose(current.availableSettings);
+            current.chosenSetting = space.at(current.chosenSettingIndex);
+            regions.push_back(std::move(current));
+            current = StableRegion{};
+            current.first = s;
+            current.availableSettings = sorted_settings(clusters[s]);
+        } else {
+            current.availableSettings = std::move(next);
+        }
+    }
+    current.last = clusters.size() - 1;
+    current.chosenSettingIndex = choose(current.availableSettings);
+    current.chosenSetting = space.at(current.chosenSettingIndex);
+    regions.push_back(std::move(current));
+    return regions;
+}
+
+} // namespace mcdvfs

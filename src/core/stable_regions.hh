@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stable regions (§VI-B).
+ *
+ * A stable region is a maximal run of consecutive samples that share
+ * at least one common setting across all their performance clusters.
+ * The finder implements the paper's greedy algorithm: walk sample by
+ * sample intersecting the available-settings set with the next
+ * sample's cluster; when the intersection would become empty, close
+ * the region and start a new one.  The setting chosen for a region is
+ * the common setting with the highest CPU frequency first, then the
+ * highest memory frequency.
+ */
+
+#ifndef MCDVFS_CORE_STABLE_REGIONS_HH
+#define MCDVFS_CORE_STABLE_REGIONS_HH
+
+#include <vector>
+
+#include "core/performance_clusters.hh"
+
+namespace mcdvfs
+{
+
+/** One stable region of consecutive samples. */
+struct StableRegion
+{
+    std::size_t first = 0;  ///< first sample (inclusive)
+    std::size_t last = 0;   ///< last sample (inclusive)
+    /** Settings common to every sample's cluster in the region. */
+    std::vector<std::size_t> availableSettings;
+    /** The preferred common setting the region runs at. */
+    std::size_t chosenSettingIndex = 0;
+    FrequencySetting chosenSetting{};
+
+    /** Region length in samples. */
+    std::size_t length() const { return last - first + 1; }
+};
+
+/** Greedy stable-region construction over per-sample clusters. */
+class StableRegionFinder
+{
+  public:
+    /** @param clusters cluster source (must outlive the finder) */
+    explicit StableRegionFinder(const ClusterFinder &clusters);
+
+    /**
+     * All stable regions of the run for a budget and threshold.
+     * Regions tile the run: region i+1 starts at region i's last+1.
+     */
+    std::vector<StableRegion> find(double budget, double threshold) const;
+
+    /**
+     * Build regions from precomputed clusters (lets callers reuse one
+     * cluster computation across analyses).
+     */
+    std::vector<StableRegion> fromClusters(
+        const std::vector<PerformanceCluster> &clusters) const;
+
+  private:
+    const ClusterFinder &clusters_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_STABLE_REGIONS_HH

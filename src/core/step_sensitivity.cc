@@ -1,0 +1,87 @@
+#include "core/step_sensitivity.hh"
+
+#include "sim/sample_simulator.hh"
+
+namespace mcdvfs
+{
+
+double
+StepSensitivityResult::finePerfImprovementPct() const
+{
+    if (coarse.optimalTime <= 0.0)
+        return 0.0;
+    return (coarse.optimalTime - fine.optimalTime) / coarse.optimalTime *
+           100.0;
+}
+
+StepSensitivity::StepSensitivity(GridRunner &runner)
+    : runner_(runner)
+{
+}
+
+SpaceCharacterization
+StepSensitivity::characterizeSpace(const MeasuredGrid &grid, double budget,
+                                   double threshold) const
+{
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+    TransitionAnalysis transitions(regions, clusters);
+
+    SpaceCharacterization out;
+    out.settings = grid.settingCount();
+
+    const std::vector<PerformanceCluster> per_sample =
+        clusters.clusters(budget, threshold);
+    double cluster_total = 0.0;
+    for (const PerformanceCluster &cluster : per_sample)
+        cluster_total += static_cast<double>(cluster.settings.size());
+    out.avgClusterSize =
+        cluster_total / static_cast<double>(per_sample.size());
+
+    const std::vector<StableRegion> region_list =
+        regions.fromClusters(per_sample);
+    double length_total = 0.0;
+    for (const StableRegion &region : region_list)
+        length_total += static_cast<double>(region.length());
+    out.avgRegionLength =
+        length_total / static_cast<double>(region_list.size());
+
+    out.transitions =
+        transitions.forClusterPolicy(budget, threshold).transitions;
+
+    Seconds optimal_time = 0.0;
+    std::size_t sample = 0;
+    for (const OptimalChoice &choice : finder.optimalTrajectory(budget)) {
+        optimal_time += grid.cell(sample, choice.settingIndex).seconds;
+        ++sample;
+    }
+    out.optimalTime = optimal_time;
+    return out;
+}
+
+StepSensitivityResult
+StepSensitivity::compare(const WorkloadProfile &workload, double budget,
+                         double threshold, const SettingsSpace &coarse,
+                         const SettingsSpace &fine)
+{
+    // One characterization pass shared by both grids.
+    SampleSimulator simulator(runner_.config().sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+
+    const MeasuredGrid coarse_grid = runner_.runWithProfiles(
+        workload.name(), profiles, coarse,
+        workload.modeledInstructionsPerSample());
+    const MeasuredGrid fine_grid = runner_.runWithProfiles(
+        workload.name(), profiles, fine,
+        workload.modeledInstructionsPerSample());
+
+    StepSensitivityResult result;
+    result.coarse = characterizeSpace(coarse_grid, budget, threshold);
+    result.fine = characterizeSpace(fine_grid, budget, threshold);
+    return result;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Sensitivity of performance clusters to frequency step size (§VI-D,
+ * Fig. 12).
+ *
+ * The same characterization (one set of sample profiles) is evaluated
+ * over two settings spaces — the coarse 70-setting grid and the fine
+ * 496-setting grid — and the resulting cluster/region structures are
+ * compared.  The paper's findings this reproduces: finer steps give
+ * more (and slightly better) choices, so stable regions get shorter,
+ * while the performance gain with free tuning stays under 1%.
+ */
+
+#ifndef MCDVFS_CORE_STEP_SENSITIVITY_HH
+#define MCDVFS_CORE_STEP_SENSITIVITY_HH
+
+#include "core/tradeoff.hh"
+#include "sim/grid_runner.hh"
+
+namespace mcdvfs
+{
+
+/** Comparison of one settings space's cluster structure. */
+struct SpaceCharacterization
+{
+    std::size_t settings = 0;
+    std::size_t transitions = 0;
+    double avgRegionLength = 0.0;   ///< samples per stable region
+    double avgClusterSize = 0.0;    ///< settings per cluster
+    Seconds optimalTime = 0.0;      ///< optimal tracking, no overhead
+};
+
+/** Fig. 12 result: coarse vs. fine side by side. */
+struct StepSensitivityResult
+{
+    SpaceCharacterization coarse;
+    SpaceCharacterization fine;
+
+    /** Performance gain of the fine grid with free tuning, %. */
+    double finePerfImprovementPct() const;
+};
+
+/** Runs the §VI-D comparison. */
+class StepSensitivity
+{
+  public:
+    /** @param runner grid builder (must outlive the analysis) */
+    explicit StepSensitivity(GridRunner &runner);
+
+    /**
+     * Characterize @c workload once and compare the two spaces at the
+     * given budget and cluster threshold.
+     */
+    StepSensitivityResult compare(const WorkloadProfile &workload,
+                                  double budget, double threshold,
+                                  const SettingsSpace &coarse,
+                                  const SettingsSpace &fine);
+
+  private:
+    SpaceCharacterization characterizeSpace(const MeasuredGrid &grid,
+                                            double budget,
+                                            double threshold) const;
+
+    GridRunner &runner_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_STEP_SENSITIVITY_HH

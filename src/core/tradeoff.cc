@@ -1,0 +1,98 @@
+#include "core/tradeoff.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+TradeoffEvaluator::TradeoffEvaluator(const StableRegionFinder &regions,
+                                     const ClusterFinder &clusters,
+                                     const TuningCostModel &cost_model)
+    : regions_(regions), clusters_(clusters), costModel_(cost_model)
+{
+}
+
+PolicyOutcome
+TradeoffEvaluator::evaluateSequence(
+    const std::vector<std::size_t> &setting_per_sample,
+    std::size_t tuning_events) const
+{
+    const InefficiencyAnalysis &analysis = clusters_.finder().analysis();
+    const MeasuredGrid &grid = analysis.grid();
+    MCDVFS_ASSERT(setting_per_sample.size() == grid.sampleCount(),
+                  "sequence length mismatch");
+
+    PolicyOutcome outcome;
+    Joules emin_sum = 0.0;
+    for (std::size_t s = 0; s < setting_per_sample.size(); ++s) {
+        const GridCell &cell = grid.cell(s, setting_per_sample[s]);
+        outcome.time += cell.seconds;
+        outcome.energy += cell.energy();
+        emin_sum += analysis.sampleEmin(s);
+        if (s > 0 && setting_per_sample[s] != setting_per_sample[s - 1])
+            ++outcome.transitions;
+    }
+    outcome.tuningEvents = tuning_events;
+    const TuningOverhead overhead =
+        costModel_.overhead(tuning_events, grid.settingCount());
+    outcome.timeWithOverhead = outcome.time + overhead.latency;
+    outcome.energyWithOverhead = outcome.energy + overhead.energy;
+    outcome.achievedInefficiency = outcome.energy / emin_sum;
+    return outcome;
+}
+
+PolicyOutcome
+TradeoffEvaluator::optimalTracking(double budget) const
+{
+    const OptimalSettingsFinder &finder = clusters_.finder();
+    std::vector<std::size_t> sequence;
+    sequence.reserve(finder.analysis().grid().sampleCount());
+    for (const OptimalChoice &choice : finder.optimalTrajectory(budget))
+        sequence.push_back(choice.settingIndex);
+    // Optimal tracking re-tunes at the end of every sample.
+    return evaluateSequence(sequence, sequence.size());
+}
+
+PolicyOutcome
+TradeoffEvaluator::clusterPolicy(double budget, double threshold) const
+{
+    const MeasuredGrid &grid = clusters_.finder().analysis().grid();
+    const std::vector<StableRegion> regions =
+        regions_.find(budget, threshold);
+    std::vector<std::size_t> sequence(grid.sampleCount(), 0);
+    for (const StableRegion &region : regions) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            sequence[s] = region.chosenSettingIndex;
+    }
+    // One tuning event at the start of each stable region.
+    return evaluateSequence(sequence, regions.size());
+}
+
+TradeoffRow
+TradeoffEvaluator::compare(double budget, double threshold) const
+{
+    const PolicyOutcome optimal = optimalTracking(budget);
+    const PolicyOutcome cluster = clusterPolicy(budget, threshold);
+
+    TradeoffRow row;
+    row.perfPct = (optimal.time - cluster.time) / optimal.time * 100.0;
+    row.energyPct =
+        (cluster.energy - optimal.energy) / optimal.energy * 100.0;
+    row.perfPctWithOverhead = (optimal.timeWithOverhead -
+                               cluster.timeWithOverhead) /
+                              optimal.timeWithOverhead * 100.0;
+    row.energyPctWithOverhead = (cluster.energyWithOverhead -
+                                 optimal.energyWithOverhead) /
+                                optimal.energyWithOverhead * 100.0;
+    return row;
+}
+
+double
+TradeoffEvaluator::normalizedExecutionTime(double budget) const
+{
+    const Seconds at_budget = optimalTracking(budget).time;
+    const Seconds at_unity = optimalTracking(1.0).time;
+    return at_budget / at_unity;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Whole-run energy-performance trade-off evaluation (§VI-C, Figs.
+ * 10 and 11).
+ *
+ * Two policies are compared under an inefficiency budget:
+ *
+ *  - optimal tracking: re-tune every sample to the per-sample optimal
+ *    setting (the paper's "ideal" but expensive policy);
+ *  - cluster policy: run every stable region at its common setting,
+ *    re-tuning only at region boundaries.
+ *
+ * Each policy is evaluated with and without the §VI-C tuning overhead
+ * (500 us + 30 uJ per tuning event): with overhead included, allowing
+ * a small performance degradation can *improve* end-to-end performance
+ * because the cluster policy tunes so much less often.
+ */
+
+#ifndef MCDVFS_CORE_TRADEOFF_HH
+#define MCDVFS_CORE_TRADEOFF_HH
+
+#include "core/stable_regions.hh"
+#include "core/transitions.hh"
+#include "core/tuning_cost.hh"
+
+namespace mcdvfs
+{
+
+/** End-to-end outcome of one policy run. */
+struct PolicyOutcome
+{
+    Seconds time = 0.0;    ///< execution time, no tuning overhead
+    Joules energy = 0.0;   ///< energy, no tuning overhead
+    std::size_t tuningEvents = 0;
+    std::size_t transitions = 0;
+    Seconds timeWithOverhead = 0.0;
+    Joules energyWithOverhead = 0.0;
+    /** Run inefficiency vs. the sum of per-sample Emin. */
+    double achievedInefficiency = 0.0;
+};
+
+/** Relative trade-off of the cluster policy vs. optimal tracking. */
+struct TradeoffRow
+{
+    /** Performance change, % (negative = cluster policy slower). */
+    double perfPct = 0.0;
+    /** Energy change, % (negative = cluster policy saves energy). */
+    double energyPct = 0.0;
+    /** Same, with tuning overhead charged to both policies. */
+    double perfPctWithOverhead = 0.0;
+    double energyPctWithOverhead = 0.0;
+};
+
+/** Evaluates policies over a measured grid. */
+class TradeoffEvaluator
+{
+  public:
+    /**
+     * @param regions stable-region machinery (must outlive the
+     *        evaluator)
+     * @param clusters cluster finder feeding @c regions
+     * @param cost_model per-event tuning overhead
+     */
+    TradeoffEvaluator(const StableRegionFinder &regions,
+                      const ClusterFinder &clusters,
+                      const TuningCostModel &cost_model);
+
+    /** Optimal-tracking policy: re-tune every sample. */
+    PolicyOutcome optimalTracking(double budget) const;
+
+    /** Cluster policy: one tuning event per stable region. */
+    PolicyOutcome clusterPolicy(double budget, double threshold) const;
+
+    /** Fig. 11 comparison at one (budget, threshold) point. */
+    TradeoffRow compare(double budget, double threshold) const;
+
+    /**
+     * Fig. 10 series: execution time of optimal tracking at @c budget
+     * normalized to the execution time at budget 1.0.
+     */
+    double normalizedExecutionTime(double budget) const;
+
+  private:
+    /** Evaluate a per-sample setting sequence end to end. */
+    PolicyOutcome evaluateSequence(
+        const std::vector<std::size_t> &setting_per_sample,
+        std::size_t tuning_events) const;
+
+    const StableRegionFinder &regions_;
+    const ClusterFinder &clusters_;
+    TuningCostModel costModel_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_TRADEOFF_HH

@@ -1,0 +1,77 @@
+#include "core/transitions.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+TransitionAnalysis::TransitionAnalysis(
+    const StableRegionFinder &region_finder,
+    const ClusterFinder &cluster_finder)
+    : regionFinder_(region_finder), clusterFinder_(cluster_finder)
+{
+}
+
+TransitionReport
+TransitionAnalysis::fromSettingSequence(
+    const std::vector<std::size_t> &setting_per_sample,
+    Count total_instructions)
+{
+    MCDVFS_ASSERT(!setting_per_sample.empty(), "empty setting sequence");
+    TransitionReport report;
+    std::size_t run_length = 1;
+    for (std::size_t s = 1; s < setting_per_sample.size(); ++s) {
+        if (setting_per_sample[s] != setting_per_sample[s - 1]) {
+            ++report.transitions;
+            report.runLengths.add(static_cast<double>(run_length));
+            run_length = 1;
+        } else {
+            ++run_length;
+        }
+    }
+    report.runLengths.add(static_cast<double>(run_length));
+    if (total_instructions > 0) {
+        report.perBillionInstructions =
+            static_cast<double>(report.transitions) * 1e9 /
+            static_cast<double>(total_instructions);
+    }
+    return report;
+}
+
+TransitionReport
+TransitionAnalysis::forOptimalTracking(double budget) const
+{
+    const OptimalSettingsFinder &finder = clusterFinder_.finder();
+    const MeasuredGrid &grid = finder.analysis().grid();
+    std::vector<std::size_t> sequence;
+    sequence.reserve(grid.sampleCount());
+    for (const OptimalChoice &choice : finder.optimalTrajectory(budget))
+        sequence.push_back(choice.settingIndex);
+    return fromSettingSequence(sequence, grid.totalInstructions());
+}
+
+std::vector<std::size_t>
+TransitionAnalysis::clusterSettingSequence(double budget,
+                                           double threshold) const
+{
+    const MeasuredGrid &grid =
+        clusterFinder_.finder().analysis().grid();
+    std::vector<std::size_t> sequence(grid.sampleCount(), 0);
+    for (const StableRegion &region :
+         regionFinder_.find(budget, threshold)) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            sequence[s] = region.chosenSettingIndex;
+    }
+    return sequence;
+}
+
+TransitionReport
+TransitionAnalysis::forClusterPolicy(double budget, double threshold) const
+{
+    const MeasuredGrid &grid =
+        clusterFinder_.finder().analysis().grid();
+    return fromSettingSequence(clusterSettingSequence(budget, threshold),
+                               grid.totalInstructions());
+}
+
+} // namespace mcdvfs

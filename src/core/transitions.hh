@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Frequency-transition accounting (Figs. 6-9).
+ *
+ * Given a per-sample setting sequence — produced either by tracking
+ * the optimal settings every sample or by running each stable region
+ * at its common setting — TransitionAnalysis counts the actual setting
+ * changes, normalizes them per billion modeled instructions (the
+ * paper's Fig. 8 metric), and collects the distribution of
+ * constant-setting run lengths (Fig. 9).
+ */
+
+#ifndef MCDVFS_CORE_TRANSITIONS_HH
+#define MCDVFS_CORE_TRANSITIONS_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "core/stable_regions.hh"
+
+namespace mcdvfs
+{
+
+/** Transition counts for one policy run. */
+struct TransitionReport
+{
+    /** Number of samples whose setting differs from the previous. */
+    std::size_t transitions = 0;
+    /** Transitions normalized per 10^9 modeled instructions. */
+    double perBillionInstructions = 0.0;
+    /** Lengths (in samples) of maximal constant-setting runs. */
+    Distribution runLengths;
+};
+
+/** Computes transition statistics for the paper's two policies. */
+class TransitionAnalysis
+{
+  public:
+    /**
+     * @param region_finder stable-region machinery (provides cluster
+     *        and optimal-settings access; must outlive the analysis)
+     * @param cluster_finder the underlying cluster finder
+     */
+    TransitionAnalysis(const StableRegionFinder &region_finder,
+                       const ClusterFinder &cluster_finder);
+
+    /** Tracking the per-sample optimum exactly (threshold "optimal"). */
+    TransitionReport forOptimalTracking(double budget) const;
+
+    /** Running each stable region at its common setting. */
+    TransitionReport forClusterPolicy(double budget,
+                                      double threshold) const;
+
+    /** Per-sample setting sequence of the cluster policy. */
+    std::vector<std::size_t> clusterSettingSequence(
+        double budget, double threshold) const;
+
+    /**
+     * Count transitions and run lengths of an arbitrary per-sample
+     * setting sequence.
+     */
+    static TransitionReport fromSettingSequence(
+        const std::vector<std::size_t> &setting_per_sample,
+        Count total_instructions);
+
+  private:
+    const StableRegionFinder &regionFinder_;
+    const ClusterFinder &clusterFinder_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_TRANSITIONS_HH

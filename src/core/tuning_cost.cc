@@ -1,0 +1,51 @@
+#include "core/tuning_cost.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+TuningCostModel::TuningCostModel(const TuningCostParams &params)
+    : params_(params)
+{
+    if (params_.latencyPerEvent < 0.0 || params_.energyPerEvent < 0.0)
+        fatal("tuning cost: per-event costs must be non-negative");
+    if (params_.referenceSettings == 0)
+        fatal("tuning cost: reference settings count must be positive");
+    if (params_.searchFraction < 0.0 || params_.searchFraction > 1.0)
+        fatal("tuning cost: searchFraction must be in [0,1]");
+}
+
+double
+TuningCostModel::scale(std::size_t settings) const
+{
+    const double ratio = static_cast<double>(settings) /
+                         static_cast<double>(params_.referenceSettings);
+    // Search scales linearly with the space; the transition is fixed.
+    return params_.searchFraction * ratio +
+           (1.0 - params_.searchFraction);
+}
+
+Seconds
+TuningCostModel::eventLatency(std::size_t settings) const
+{
+    return params_.latencyPerEvent * scale(settings);
+}
+
+Joules
+TuningCostModel::eventEnergy(std::size_t settings) const
+{
+    return params_.energyPerEvent * scale(settings);
+}
+
+TuningOverhead
+TuningCostModel::overhead(std::size_t events, std::size_t settings) const
+{
+    TuningOverhead total;
+    total.events = events;
+    total.latency = eventLatency(settings) * static_cast<double>(events);
+    total.energy = eventEnergy(settings) * static_cast<double>(events);
+    return total;
+}
+
+} // namespace mcdvfs

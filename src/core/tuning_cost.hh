@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tuning-overhead model (§VI-C).
+ *
+ * The paper measured that one tuning event over the 70-setting space —
+ * computing inefficiencies, searching for the optimal setting, and
+ * transitioning the hardware — costs about 500 us and 30 uJ.  The
+ * model charges that lump per tuning event and scales the search
+ * component linearly with the size of the settings space (brute-force
+ * search is linear in the number of settings).
+ */
+
+#ifndef MCDVFS_CORE_TUNING_COST_HH
+#define MCDVFS_CORE_TUNING_COST_HH
+
+#include <cstddef>
+
+#include "common/units.hh"
+
+namespace mcdvfs
+{
+
+/** Calibration of the per-event overhead. */
+struct TuningCostParams
+{
+    /** Latency of one tuning event at the reference space size. */
+    Seconds latencyPerEvent = microSeconds(500.0);
+    /** Energy of one tuning event at the reference space size. */
+    Joules energyPerEvent = microJoules(30.0);
+    /** Settings-space size the costs were measured at (paper: 70). */
+    std::size_t referenceSettings = 70;
+    /**
+     * Fraction of the event cost that is search (scales with the
+     * space size); the rest is the hardware transition (fixed).
+     */
+    double searchFraction = 0.6;
+};
+
+/** Accumulated overhead of a policy's tuning events. */
+struct TuningOverhead
+{
+    std::size_t events = 0;
+    Seconds latency = 0.0;
+    Joules energy = 0.0;
+};
+
+/** Charges tuning overhead per event. */
+class TuningCostModel
+{
+  public:
+    /** @throws FatalError on invalid calibration */
+    explicit TuningCostModel(const TuningCostParams &params = {});
+
+    /** Latency of one event over a space of @c settings points. */
+    Seconds eventLatency(std::size_t settings) const;
+
+    /** Energy of one event over a space of @c settings points. */
+    Joules eventEnergy(std::size_t settings) const;
+
+    /** Total overhead of @c events tuning events. */
+    TuningOverhead overhead(std::size_t events,
+                            std::size_t settings) const;
+
+    const TuningCostParams &params() const { return params_; }
+
+  private:
+    /** Scale factor for a space of @c settings points. */
+    double scale(std::size_t settings) const;
+
+    TuningCostParams params_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_TUNING_COST_HH

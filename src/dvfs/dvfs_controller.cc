@@ -1,0 +1,76 @@
+#include "dvfs/dvfs_controller.hh"
+
+namespace mcdvfs
+{
+
+FrequencyDriver::FrequencyDriver(std::string name, FrequencyLadder ladder,
+                                 Seconds latency, Joules energy)
+    : name_(std::move(name)), ladder_(std::move(ladder)),
+      latency_(latency), energy_(energy),
+      current_(ladder_.highest())
+{
+}
+
+TransitionCost
+FrequencyDriver::set(Hertz target)
+{
+    const Hertz snapped = ladder_.at(ladder_.closestIndex(target));
+    TransitionCost cost;
+    if (snapped == current_)
+        return cost;
+    current_ = snapped;
+    ++transitions_;
+    cost.latency = latency_;
+    cost.energy = energy_;
+    return cost;
+}
+
+DvfsController::DvfsController(const SettingsSpace &space,
+                               const TransitionParams &params)
+    : cpu_("cpufreq", space.cpuLadder(), params.cpuLatency,
+           params.cpuEnergy),
+      mem_("memfreq", space.memLadder(), params.memLatency,
+           params.memEnergy)
+{
+}
+
+TransitionCost
+DvfsController::set(const FrequencySetting &setting)
+{
+    const FrequencySetting before = current();
+    TransitionCost total;
+    total += cpu_.set(setting.cpu);
+    total += mem_.set(setting.mem);
+    if (total.latency > 0.0 || total.energy > 0.0) {
+        totalLatency_ += total.latency;
+        totalEnergy_ += total.energy;
+        if (log_.size() < kLogCapacity) {
+            TransitionLogEntry entry;
+            entry.sequence = sequence_;
+            entry.from = before;
+            entry.to = current();
+            entry.cost = total;
+            log_.push_back(entry);
+        }
+    }
+    ++sequence_;
+    return total;
+}
+
+FrequencySetting
+DvfsController::current() const
+{
+    return FrequencySetting{cpu_.current(), mem_.current()};
+}
+
+void
+DvfsController::updateCounters(const PmuCounters &delta)
+{
+    counters_.instructions += delta.instructions;
+    counters_.cycles += delta.cycles;
+    counters_.l1Misses += delta.l1Misses;
+    counters_.l2Misses += delta.l2Misses;
+    counters_.dramAccesses += delta.dramAccesses;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * The paper's Figure 1 system stack made concrete: per-domain
+ * frequency drivers (cpufreq / memfreq), the DVFS controller device
+ * the OS programs, and PMU-style counters the governors read.
+ *
+ * The drivers validate requested frequencies against their ladder,
+ * snap to the nearest step, and account transition latency/energy;
+ * the controller coordinates joint (CPU, memory) changes and keeps a
+ * transition log, which is what the characterization analyses charge
+ * as overhead.
+ */
+
+#ifndef MCDVFS_DVFS_DVFS_CONTROLLER_HH
+#define MCDVFS_DVFS_DVFS_CONTROLLER_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "dvfs/settings_space.hh"
+#include "dvfs/transition.hh"
+
+namespace mcdvfs
+{
+
+/** One frequency domain's driver (cpufreq- / devfreq-style). */
+class FrequencyDriver
+{
+  public:
+    /**
+     * @param name driver name ("cpufreq", "memfreq")
+     * @param ladder selectable frequencies
+     * @param latency hardware relock latency per change
+     * @param energy hardware energy per change
+     */
+    FrequencyDriver(std::string name, FrequencyLadder ladder,
+                    Seconds latency, Joules energy);
+
+    /**
+     * Request a target frequency; snaps to the nearest ladder step.
+     *
+     * @return the transition cost (zero when already at the target)
+     */
+    TransitionCost set(Hertz target);
+
+    /** Currently programmed frequency. */
+    Hertz current() const { return current_; }
+
+    /** Number of actual hardware transitions so far. */
+    Count transitions() const { return transitions_; }
+
+    const std::string &name() const { return name_; }
+    const FrequencyLadder &ladder() const { return ladder_; }
+
+  private:
+    std::string name_;
+    FrequencyLadder ladder_;
+    Seconds latency_;
+    Joules energy_;
+    Hertz current_;
+    Count transitions_ = 0;
+};
+
+/** One entry of the controller's transition log. */
+struct TransitionLogEntry
+{
+    std::size_t sequence = 0;
+    FrequencySetting from{};
+    FrequencySetting to{};
+    TransitionCost cost{};
+};
+
+/** PMU-style counters a governor can sample between decisions. */
+struct PmuCounters
+{
+    Count instructions = 0;
+    Count cycles = 0;
+    Count l1Misses = 0;
+    Count l2Misses = 0;
+    Count dramAccesses = 0;
+
+    /** Cycles per instruction; 0 when idle. */
+    double
+    cpi() const
+    {
+        return instructions
+                   ? static_cast<double>(cycles) /
+                         static_cast<double>(instructions)
+                   : 0.0;
+    }
+};
+
+/**
+ * The DVFS controller device: the OS-visible interface that programs
+ * both domains (paper Fig. 1, "DVFS Controller Device").
+ */
+class DvfsController
+{
+  public:
+    /**
+     * Build a controller over a settings space with the given
+     * per-domain transition costs.
+     */
+    DvfsController(const SettingsSpace &space,
+                   const TransitionParams &params = {});
+
+    /**
+     * Program a joint setting.  Frequencies snap to ladder steps;
+     * only domains that actually change pay a transition.
+     *
+     * @return the combined transition cost
+     */
+    TransitionCost set(const FrequencySetting &setting);
+
+    /** Currently programmed joint setting. */
+    FrequencySetting current() const;
+
+    /** Total latency spent in transitions so far. */
+    Seconds totalTransitionLatency() const { return totalLatency_; }
+
+    /** Total energy spent in transitions so far. */
+    Joules totalTransitionEnergy() const { return totalEnergy_; }
+
+    /** Full transition log (bounded to the last @c kLogCapacity). */
+    const std::vector<TransitionLogEntry> &log() const { return log_; }
+
+    /** Per-domain drivers (for inspection). */
+    const FrequencyDriver &cpuDriver() const { return cpu_; }
+    const FrequencyDriver &memDriver() const { return mem_; }
+
+    /** Update the PMU registers after an execution window. */
+    void updateCounters(const PmuCounters &delta);
+
+    /** Current PMU register values (cumulative). */
+    const PmuCounters &counters() const { return counters_; }
+
+  private:
+    static constexpr std::size_t kLogCapacity = 4096;
+
+    FrequencyDriver cpu_;
+    FrequencyDriver mem_;
+    std::vector<TransitionLogEntry> log_;
+    std::size_t sequence_ = 0;
+    Seconds totalLatency_ = 0.0;
+    Joules totalEnergy_ = 0.0;
+    PmuCounters counters_{};
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_DVFS_DVFS_CONTROLLER_HH

@@ -1,0 +1,80 @@
+#include "dvfs/frequency_ladder.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+FrequencyLadder::FrequencyLadder(Hertz lo, Hertz hi, Hertz step)
+{
+    if (lo <= 0.0 || hi < lo || step <= 0.0)
+        fatal("frequency ladder: need 0 < lo <= hi and step > 0");
+    for (Hertz f = lo; f <= hi + 1e-3; f += step)
+        steps_.push_back(f);
+    // Guarantee the top step is exactly hi even with rounding drift.
+    if (std::abs(steps_.back() - hi) > 1.0)
+        steps_.push_back(hi);
+}
+
+FrequencyLadder::FrequencyLadder(std::vector<Hertz> steps)
+    : steps_(std::move(steps))
+{
+    if (steps_.empty())
+        fatal("frequency ladder: empty step list");
+    if (!std::is_sorted(steps_.begin(), steps_.end()))
+        fatal("frequency ladder: steps must be ascending");
+    if (steps_.front() <= 0.0)
+        fatal("frequency ladder: frequencies must be positive");
+}
+
+FrequencyLadder
+FrequencyLadder::cpuCoarse()
+{
+    return FrequencyLadder(megaHertz(100), megaHertz(1000),
+                           megaHertz(100));
+}
+
+FrequencyLadder
+FrequencyLadder::memCoarse()
+{
+    return FrequencyLadder(megaHertz(200), megaHertz(800), megaHertz(100));
+}
+
+FrequencyLadder
+FrequencyLadder::cpuFine()
+{
+    return FrequencyLadder(megaHertz(100), megaHertz(1000), megaHertz(30));
+}
+
+FrequencyLadder
+FrequencyLadder::memFine()
+{
+    return FrequencyLadder(megaHertz(200), megaHertz(800), megaHertz(40));
+}
+
+Hertz
+FrequencyLadder::at(std::size_t idx) const
+{
+    MCDVFS_ASSERT(idx < steps_.size(), "ladder index out of range");
+    return steps_[idx];
+}
+
+std::size_t
+FrequencyLadder::closestIndex(Hertz freq) const
+{
+    std::size_t best = 0;
+    double best_dist = std::abs(steps_[0] - freq);
+    for (std::size_t i = 1; i < steps_.size(); ++i) {
+        const double dist = std::abs(steps_[i] - freq);
+        if (dist < best_dist) {
+            best = i;
+            best_dist = dist;
+        }
+    }
+    return best;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Discrete frequency ladders for the CPU and memory clock domains.
+ *
+ * The paper's coarse configuration is 10 CPU steps (100-1000 MHz,
+ * 100 MHz apart) x 7 memory steps (200-800 MHz, 100 MHz apart) = 70
+ * settings; its fine configuration is 31 x 16 = 496 settings (30 MHz
+ * CPU steps, 40 MHz memory steps).
+ */
+
+#ifndef MCDVFS_DVFS_FREQUENCY_LADDER_HH
+#define MCDVFS_DVFS_FREQUENCY_LADDER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace mcdvfs
+{
+
+/** Ordered list of selectable frequencies for one clock domain. */
+class FrequencyLadder
+{
+  public:
+    /**
+     * Build a ladder of evenly spaced steps, inclusive of both ends.
+     *
+     * @param lo lowest frequency
+     * @param hi highest frequency
+     * @param step spacing between consecutive steps
+     * @throws FatalError when the range or step is invalid
+     */
+    FrequencyLadder(Hertz lo, Hertz hi, Hertz step);
+
+    /** Explicit list of steps (must be ascending and non-empty). */
+    explicit FrequencyLadder(std::vector<Hertz> steps);
+
+    /** @name Paper ladders. */
+    ///@{
+    static FrequencyLadder cpuCoarse();   ///< 100-1000 MHz / 100 MHz
+    static FrequencyLadder memCoarse();   ///< 200-800 MHz / 100 MHz
+    static FrequencyLadder cpuFine();     ///< 100-1000 MHz / 30 MHz
+    static FrequencyLadder memFine();     ///< 200-800 MHz / 40 MHz
+    ///@}
+
+    std::size_t size() const { return steps_.size(); }
+    Hertz at(std::size_t idx) const;
+    Hertz lowest() const { return steps_.front(); }
+    Hertz highest() const { return steps_.back(); }
+    const std::vector<Hertz> &steps() const { return steps_; }
+
+    /** Index of the closest ladder step to @c freq. */
+    std::size_t closestIndex(Hertz freq) const;
+
+  private:
+    std::vector<Hertz> steps_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_DVFS_FREQUENCY_LADDER_HH

@@ -1,0 +1,133 @@
+#include "dvfs/governor.hh"
+
+namespace mcdvfs
+{
+
+UserspaceGovernor::UserspaceGovernor(FrequencySetting setting)
+    : setting_(setting)
+{
+}
+
+FrequencySetting
+UserspaceGovernor::decide(const SampleObservation *)
+{
+    return setting_;
+}
+
+PerformanceGovernor::PerformanceGovernor(const SettingsSpace &space)
+    : max_(space.maxSetting())
+{
+}
+
+FrequencySetting
+PerformanceGovernor::decide(const SampleObservation *)
+{
+    return max_;
+}
+
+PowersaveGovernor::PowersaveGovernor(const SettingsSpace &space)
+    : min_(space.minSetting())
+{
+}
+
+FrequencySetting
+PowersaveGovernor::decide(const SampleObservation *)
+{
+    return min_;
+}
+
+ConservativeGovernor::ConservativeGovernor(const SettingsSpace &space,
+                                           double up_threshold,
+                                           double down_threshold)
+    : space_(space), upThreshold_(up_threshold),
+      downThreshold_(down_threshold),
+      cpuIdx_(space.cpuLadder().size() - 1),
+      memIdx_(space.memLadder().size() - 1)
+{
+}
+
+FrequencySetting
+ConservativeGovernor::decide(const SampleObservation *last)
+{
+    if (last) {
+        if (last->cpuBusyFrac > upThreshold_) {
+            if (cpuIdx_ + 1 < space_.cpuLadder().size())
+                ++cpuIdx_;
+        } else if (last->cpuBusyFrac < downThreshold_ && cpuIdx_ > 0) {
+            --cpuIdx_;
+        }
+        if (last->memBwUtil > upThreshold_) {
+            if (memIdx_ + 1 < space_.memLadder().size())
+                ++memIdx_;
+        } else if (last->memBwUtil < downThreshold_ && memIdx_ > 0) {
+            --memIdx_;
+        }
+    }
+    return FrequencySetting{space_.cpuLadder().at(cpuIdx_),
+                            space_.memLadder().at(memIdx_)};
+}
+
+SchedutilGovernor::SchedutilGovernor(const SettingsSpace &space,
+                                     double margin)
+    : space_(space), margin_(margin), current_(space.maxSetting())
+{
+}
+
+FrequencySetting
+SchedutilGovernor::decide(const SampleObservation *last)
+{
+    if (!last)
+        return current_;
+
+    // f_next = margin * util * f_current, snapped UP to the nearest
+    // ladder step so capacity always covers demand.
+    auto pick = [this](const FrequencyLadder &ladder, double util,
+                       Hertz current) {
+        const Hertz target = margin_ * util * current;
+        for (std::size_t i = 0; i < ladder.size(); ++i) {
+            if (ladder.at(i) >= target)
+                return ladder.at(i);
+        }
+        return ladder.highest();
+    };
+    current_.cpu = pick(space_.cpuLadder(), last->cpuBusyFrac,
+                        last->setting.cpu);
+    current_.mem = pick(space_.memLadder(), last->memBwUtil,
+                        last->setting.mem);
+    return current_;
+}
+
+OndemandGovernor::OndemandGovernor(const SettingsSpace &space,
+                                   double up_threshold,
+                                   double down_threshold)
+    : space_(space), upThreshold_(up_threshold),
+      downThreshold_(down_threshold),
+      cpuIdx_(space.cpuLadder().size() - 1),
+      memIdx_(space.memLadder().size() - 1)
+{
+}
+
+FrequencySetting
+OndemandGovernor::decide(const SampleObservation *last)
+{
+    if (last) {
+        // CPU: classic ondemand — jump to max on high utilization,
+        // step down on low utilization.
+        if (last->cpuBusyFrac > upThreshold_)
+            cpuIdx_ = space_.cpuLadder().size() - 1;
+        else if (last->cpuBusyFrac < downThreshold_ && cpuIdx_ > 0)
+            --cpuIdx_;
+
+        // Memory: devfreq-style bandwidth monitor.
+        if (last->memBwUtil > upThreshold_) {
+            if (memIdx_ + 1 < space_.memLadder().size())
+                ++memIdx_;
+        } else if (last->memBwUtil < downThreshold_ && memIdx_ > 0) {
+            --memIdx_;
+        }
+    }
+    return FrequencySetting{space_.cpuLadder().at(cpuIdx_),
+                            space_.memLadder().at(memIdx_)};
+}
+
+} // namespace mcdvfs

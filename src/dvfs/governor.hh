@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Frequency governors in the style of Linux cpufreq/devfreq.
+ *
+ * A governor observes the sample that just completed and chooses the
+ * joint setting for the next sample.  The simple governors here
+ * (userspace, performance, powersave, ondemand) serve as baselines;
+ * the inefficiency-budget governor built on the paper's clusters and
+ * stable regions lives in src/runtime/.
+ */
+
+#ifndef MCDVFS_DVFS_GOVERNOR_HH
+#define MCDVFS_DVFS_GOVERNOR_HH
+
+#include <memory>
+#include <string>
+
+#include "common/units.hh"
+#include "dvfs/settings_space.hh"
+
+namespace mcdvfs
+{
+
+/** Feedback a governor receives about the sample that just ran. */
+struct SampleObservation
+{
+    std::size_t sampleIndex = 0;
+    FrequencySetting setting{};
+    Seconds duration = 0.0;
+    Joules energy = 0.0;
+    /** Fraction of time the CPU was busy (not stalled on memory). */
+    double cpuBusyFrac = 1.0;
+    /** Fraction of usable DRAM bandwidth consumed. */
+    double memBwUtil = 0.0;
+};
+
+/** Policy interface: pick the setting for the upcoming sample. */
+class Governor
+{
+  public:
+    virtual ~Governor() = default;
+
+    /**
+     * Decide the setting for the next sample.
+     *
+     * @param last observation of the previous sample, or nullptr
+     *             before the first sample
+     */
+    virtual FrequencySetting decide(const SampleObservation *last) = 0;
+
+    /** Governor name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Pins the frequencies the caller programmed (Linux "userspace"). */
+class UserspaceGovernor : public Governor
+{
+  public:
+    explicit UserspaceGovernor(FrequencySetting setting);
+
+    /** Reprogram the pinned setting. */
+    void set(FrequencySetting setting) { setting_ = setting; }
+
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "userspace"; }
+
+  private:
+    FrequencySetting setting_;
+};
+
+/** Always the highest setting (Linux "performance"). */
+class PerformanceGovernor : public Governor
+{
+  public:
+    explicit PerformanceGovernor(const SettingsSpace &space);
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "performance"; }
+
+  private:
+    FrequencySetting max_;
+};
+
+/** Always the lowest setting (Linux "powersave"). */
+class PowersaveGovernor : public Governor
+{
+  public:
+    explicit PowersaveGovernor(const SettingsSpace &space);
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "powersave"; }
+
+  private:
+    FrequencySetting min_;
+};
+
+/**
+ * Gradual utilization governor (Linux "conservative"): steps one
+ * ladder position at a time in both directions instead of jumping to
+ * max, trading reaction speed for fewer extreme transitions.
+ */
+class ConservativeGovernor : public Governor
+{
+  public:
+    ConservativeGovernor(const SettingsSpace &space,
+                         double up_threshold = 0.80,
+                         double down_threshold = 0.40);
+
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "conservative"; }
+
+  private:
+    const SettingsSpace &space_;
+    double upThreshold_;
+    double downThreshold_;
+    std::size_t cpuIdx_;
+    std::size_t memIdx_;
+};
+
+/**
+ * Proportional utilization governor (Linux "schedutil"): picks the
+ * lowest frequency whose capacity covers the observed utilization
+ * with headroom, f = util * f_current / margin, snapped up to a
+ * ladder step.  Memory frequency follows bandwidth utilization the
+ * same way.
+ */
+class SchedutilGovernor : public Governor
+{
+  public:
+    /** @param margin capacity headroom factor (Linux uses 1.25) */
+    SchedutilGovernor(const SettingsSpace &space, double margin = 1.25);
+
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "schedutil"; }
+
+  private:
+    const SettingsSpace &space_;
+    double margin_;
+    FrequencySetting current_;
+};
+
+/**
+ * Utilization-driven governor: raises CPU frequency when the core is
+ * busy, lowers it when it stalls; raises memory frequency when
+ * bandwidth utilization is high (ondemand + a devfreq-style
+ * bandwidth monitor).
+ */
+class OndemandGovernor : public Governor
+{
+  public:
+    /**
+     * @param space settings space to pick from
+     * @param up_threshold raise frequency above this utilization
+     * @param down_threshold lower frequency below this utilization
+     */
+    OndemandGovernor(const SettingsSpace &space, double up_threshold = 0.85,
+                     double down_threshold = 0.50);
+
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "ondemand"; }
+
+  private:
+    const SettingsSpace &space_;
+    double upThreshold_;
+    double downThreshold_;
+    std::size_t cpuIdx_;
+    std::size_t memIdx_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_DVFS_GOVERNOR_HH

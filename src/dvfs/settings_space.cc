@@ -1,0 +1,91 @@
+#include "dvfs/settings_space.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+std::string
+FrequencySetting::label() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f/%.0f", toMegaHertz(cpu),
+                  toMegaHertz(mem));
+    return buf;
+}
+
+bool
+settingPreferred(const FrequencySetting &a, const FrequencySetting &b)
+{
+    if (a.cpu != b.cpu)
+        return a.cpu > b.cpu;
+    return a.mem > b.mem;
+}
+
+SettingsSpace::SettingsSpace(FrequencyLadder cpu, FrequencyLadder mem)
+    : cpu_(std::move(cpu)), mem_(std::move(mem))
+{
+}
+
+SettingsSpace
+SettingsSpace::coarse()
+{
+    return SettingsSpace(FrequencyLadder::cpuCoarse(),
+                         FrequencyLadder::memCoarse());
+}
+
+SettingsSpace
+SettingsSpace::fine()
+{
+    return SettingsSpace(FrequencyLadder::cpuFine(),
+                         FrequencyLadder::memFine());
+}
+
+FrequencySetting
+SettingsSpace::at(std::size_t idx) const
+{
+    MCDVFS_ASSERT(idx < size(), "settings index out of range");
+    FrequencySetting setting;
+    setting.cpu = cpu_.at(idx / mem_.size());
+    setting.mem = mem_.at(idx % mem_.size());
+    return setting;
+}
+
+std::size_t
+SettingsSpace::indexOf(const FrequencySetting &setting) const
+{
+    const std::size_t ci = cpu_.closestIndex(setting.cpu);
+    const std::size_t mi = mem_.closestIndex(setting.mem);
+    if (std::abs(cpu_.at(ci) - setting.cpu) > 1.0 ||
+        std::abs(mem_.at(mi) - setting.mem) > 1.0) {
+        fatal("setting ", setting.label(), " is not in this space");
+    }
+    return ci * mem_.size() + mi;
+}
+
+FrequencySetting
+SettingsSpace::maxSetting() const
+{
+    return FrequencySetting{cpu_.highest(), mem_.highest()};
+}
+
+FrequencySetting
+SettingsSpace::minSetting() const
+{
+    return FrequencySetting{cpu_.lowest(), mem_.lowest()};
+}
+
+std::vector<FrequencySetting>
+SettingsSpace::all() const
+{
+    std::vector<FrequencySetting> out;
+    out.reserve(size());
+    for (std::size_t i = 0; i < size(); ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The joint CPU x memory frequency setting space.
+ *
+ * A FrequencySetting is one (CPU frequency, memory frequency) pair; a
+ * SettingsSpace is the cross product of the two ladders, indexable so
+ * analyses can store per-setting data in flat arrays.
+ */
+
+#ifndef MCDVFS_DVFS_SETTINGS_SPACE_HH
+#define MCDVFS_DVFS_SETTINGS_SPACE_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "dvfs/frequency_ladder.hh"
+
+namespace mcdvfs
+{
+
+/** One joint operating point of the two frequency domains. */
+struct FrequencySetting
+{
+    Hertz cpu = 0.0;
+    Hertz mem = 0.0;
+
+    bool
+    operator==(const FrequencySetting &other) const
+    {
+        return cpu == other.cpu && mem == other.mem;
+    }
+
+    /** "920/580" style label in MHz, for tables. */
+    std::string label() const;
+};
+
+/**
+ * Ordering used by the paper's tie-break: prefer the setting with the
+ * highest CPU frequency, then the highest memory frequency.
+ */
+bool settingPreferred(const FrequencySetting &a, const FrequencySetting &b);
+
+/** Indexed cross product of a CPU ladder and a memory ladder. */
+class SettingsSpace
+{
+  public:
+    SettingsSpace(FrequencyLadder cpu, FrequencyLadder mem);
+
+    /** Paper's coarse 10 x 7 = 70-setting space. */
+    static SettingsSpace coarse();
+
+    /** Paper's fine 31 x 16 = 496-setting space. */
+    static SettingsSpace fine();
+
+    /** Total number of settings. */
+    std::size_t size() const { return cpu_.size() * mem_.size(); }
+
+    /** Setting at flat index (CPU-major). */
+    FrequencySetting at(std::size_t idx) const;
+
+    /** Flat index of a setting that must exist in the space. */
+    std::size_t indexOf(const FrequencySetting &setting) const;
+
+    /** Highest-performance setting (max CPU, max memory). */
+    FrequencySetting maxSetting() const;
+
+    /** Lowest setting (min CPU, min memory). */
+    FrequencySetting minSetting() const;
+
+    const FrequencyLadder &cpuLadder() const { return cpu_; }
+    const FrequencyLadder &memLadder() const { return mem_; }
+
+    /** All settings in flat-index order. */
+    std::vector<FrequencySetting> all() const;
+
+  private:
+    FrequencyLadder cpu_;
+    FrequencyLadder mem_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_DVFS_SETTINGS_SPACE_HH

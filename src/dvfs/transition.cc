@@ -1,0 +1,38 @@
+#include "dvfs/transition.hh"
+
+namespace mcdvfs
+{
+
+TransitionModel::TransitionModel(const TransitionParams &params)
+    : params_(params)
+{
+}
+
+int
+TransitionModel::domainsChanged(const FrequencySetting &from,
+                                const FrequencySetting &to)
+{
+    return (from.cpu != to.cpu ? 1 : 0) + (from.mem != to.mem ? 1 : 0);
+}
+
+TransitionCost
+TransitionModel::cost(const FrequencySetting &from,
+                      const FrequencySetting &to) const
+{
+    TransitionCost total;
+    if (from.cpu != to.cpu) {
+        total.latency += params_.cpuLatency;
+        total.energy += params_.cpuEnergy;
+    }
+    if (from.mem != to.mem) {
+        // The two domains can transition in parallel only partially
+        // (the OS serializes the driver calls); charge latencies
+        // additively, which is the conservative choice the paper's
+        // overhead numbers imply.
+        total.latency += params_.memLatency;
+        total.energy += params_.memEnergy;
+    }
+    return total;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hardware frequency-transition cost model.
+ *
+ * Real PLL relocks and voltage ramps take tens of microseconds
+ * (§VI.C); memory frequency changes additionally quiesce the DRAM
+ * channel.  TransitionModel charges latency and energy whenever a
+ * domain's frequency actually changes; re-selecting the current
+ * setting is free.
+ */
+
+#ifndef MCDVFS_DVFS_TRANSITION_HH
+#define MCDVFS_DVFS_TRANSITION_HH
+
+#include "common/units.hh"
+#include "dvfs/settings_space.hh"
+
+namespace mcdvfs
+{
+
+/** Latency/energy price of one transition. */
+struct TransitionCost
+{
+    Seconds latency = 0.0;
+    Joules energy = 0.0;
+
+    TransitionCost &
+    operator+=(const TransitionCost &other)
+    {
+        latency += other.latency;
+        energy += other.energy;
+        return *this;
+    }
+};
+
+/** Calibration of per-domain transition overheads. */
+struct TransitionParams
+{
+    /** CPU PLL relock + voltage ramp. */
+    Seconds cpuLatency = microSeconds(60.0);
+    Joules cpuEnergy = microJoules(12.0);
+    /** Memory controller retrain + DLL relock. */
+    Seconds memLatency = microSeconds(40.0);
+    Joules memEnergy = microJoules(8.0);
+};
+
+/** Charges per-domain costs for actual frequency changes. */
+class TransitionModel
+{
+  public:
+    explicit TransitionModel(const TransitionParams &params = {});
+
+    /** Cost of moving @c from -> @c to (0 when nothing changes). */
+    TransitionCost cost(const FrequencySetting &from,
+                        const FrequencySetting &to) const;
+
+    /** Number of domains whose frequency changes in @c from -> @c to. */
+    static int domainsChanged(const FrequencySetting &from,
+                              const FrequencySetting &to);
+
+    const TransitionParams &params() const { return params_; }
+
+  private:
+    TransitionParams params_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_DVFS_TRANSITION_HH

@@ -1,0 +1,174 @@
+#include "mem/cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+std::uint64_t
+CacheConfig::numSets() const
+{
+    const std::uint64_t line_capacity = sizeBytes / lineBytes;
+    return associativity ? line_capacity / associativity : 0;
+}
+
+void
+CacheConfig::validate() const
+{
+    if (lineBytes == 0 || !std::has_single_bit(lineBytes))
+        fatal("cache '", name, "': line size must be a power of two");
+    if (associativity == 0)
+        fatal("cache '", name, "': associativity must be positive");
+    if (sizeBytes % (static_cast<std::uint64_t>(lineBytes) *
+                     associativity) != 0) {
+        fatal("cache '", name,
+              "': size must be a multiple of line size * associativity");
+    }
+    const std::uint64_t sets = numSets();
+    if (sets == 0 || !std::has_single_bit(sets))
+        fatal("cache '", name, "': set count must be a power of two");
+}
+
+double
+CacheStats::missRatio() const
+{
+    const Count total = accesses();
+    return total ? static_cast<double>(misses()) /
+                   static_cast<double>(total)
+                 : 0.0;
+}
+
+Cache::Cache(const CacheConfig &config)
+    : config_(config)
+{
+    config_.validate();
+    numSets_ = config_.numSets();
+    lineShift_ = std::countr_zero(
+        static_cast<std::uint64_t>(config_.lineBytes));
+    lines_.assign(numSets_ * config_.associativity, Line{});
+}
+
+void
+Cache::reset()
+{
+    lines_.assign(numSets_ * config_.associativity, Line{});
+    useClock_ = 0;
+    stats_ = CacheStats{};
+}
+
+Cache::Line *
+Cache::findLine(std::uint64_t set, std::uint64_t tag)
+{
+    Line *base = &lines_[set * config_.associativity];
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return &base[way];
+    }
+    return nullptr;
+}
+
+Cache::Line *
+Cache::victimLine(std::uint64_t set)
+{
+    Line *base = &lines_[set * config_.associativity];
+    Line *victim = &base[0];
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (!base[way].valid)
+            return &base[way];
+        if (base[way].lastUse < victim->lastUse)
+            victim = &base[way];
+    }
+    return victim;
+}
+
+std::uint64_t
+Cache::lineAddrOf(std::uint64_t set, std::uint64_t tag) const
+{
+    return ((tag * numSets_) + set) << lineShift_;
+}
+
+CacheAccessResult
+Cache::insert(std::uint64_t set, std::uint64_t tag, bool dirty)
+{
+    CacheAccessResult result;
+    Line *victim = victimLine(set);
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.writebackAddr = lineAddrOf(set, victim->tag);
+        ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->tag = tag;
+    victim->lastUse = ++useClock_;
+    return result;
+}
+
+CacheAccessResult
+Cache::access(std::uint64_t addr, bool is_write)
+{
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const std::uint64_t set = line_addr & (numSets_ - 1);
+    const std::uint64_t tag = line_addr / numSets_;
+
+    if (is_write)
+        ++stats_.writes;
+    else
+        ++stats_.reads;
+
+    if (Line *line = findLine(set, tag)) {
+        line->lastUse = ++useClock_;
+        if (is_write)
+            line->dirty = true;
+        CacheAccessResult result;
+        result.hit = true;
+        return result;
+    }
+
+    if (is_write)
+        ++stats_.writeMisses;
+    else
+        ++stats_.readMisses;
+
+    // Write-allocate: fetch the line, mark dirty on stores.
+    CacheAccessResult result = insert(set, tag, is_write);
+    result.hit = false;
+    return result;
+}
+
+bool
+Cache::probe(std::uint64_t addr) const
+{
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const std::uint64_t set = line_addr & (numSets_ - 1);
+    const std::uint64_t tag = line_addr / numSets_;
+    const Line *base = &lines_[set * config_.associativity];
+    for (std::uint32_t way = 0; way < config_.associativity; ++way) {
+        if (base[way].valid && base[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+CacheAccessResult
+Cache::fill(std::uint64_t addr, bool dirty)
+{
+    const std::uint64_t line_addr = addr >> lineShift_;
+    const std::uint64_t set = line_addr & (numSets_ - 1);
+    const std::uint64_t tag = line_addr / numSets_;
+
+    if (Line *line = findLine(set, tag)) {
+        line->lastUse = ++useClock_;
+        line->dirty = line->dirty || dirty;
+        CacheAccessResult result;
+        result.hit = true;
+        return result;
+    }
+    CacheAccessResult result = insert(set, tag, dirty);
+    result.hit = false;
+    return result;
+}
+
+} // namespace mcdvfs

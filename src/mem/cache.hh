@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Set-associative write-back, write-allocate cache model.
+ *
+ * This is a functional (hit/miss) model: it tracks tags, LRU state and
+ * dirty bits, and reports for each access whether it hit and whether a
+ * dirty victim was evicted.  Timing is applied later by the timing
+ * model; keeping the functional model frequency-free is what allows
+ * the characterize-once design (DESIGN.md §5.1).
+ */
+
+#ifndef MCDVFS_MEM_CACHE_HH
+#define MCDVFS_MEM_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace mcdvfs
+{
+
+/** Static geometry of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache";
+    std::uint64_t sizeBytes = 64 * kKiB;
+    std::uint32_t associativity = 4;
+    std::uint32_t lineBytes = 64;
+    /** Access latency in cycles of the cache's clock domain. */
+    std::uint32_t latencyCycles = 2;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t numSets() const;
+
+    /**
+     * Validate the geometry (power-of-two line size and set count).
+     * @throws FatalError on inconsistent geometry.
+     */
+    void validate() const;
+};
+
+/** Result of one cache access. */
+struct CacheAccessResult
+{
+    bool hit = false;
+    /** A dirty line was evicted and must be written back. */
+    bool writeback = false;
+    /** Line address (block-aligned) of the evicted dirty line. */
+    std::uint64_t writebackAddr = 0;
+};
+
+/** Hit/miss counters for one cache level. */
+struct CacheStats
+{
+    Count reads = 0;
+    Count writes = 0;
+    Count readMisses = 0;
+    Count writeMisses = 0;
+    Count writebacks = 0;
+
+    Count accesses() const { return reads + writes; }
+    Count misses() const { return readMisses + writeMisses; }
+
+    /** Miss ratio in [0,1]; 0 when no accesses. */
+    double missRatio() const;
+};
+
+/** One level of set-associative cache with true-LRU replacement. */
+class Cache
+{
+  public:
+    /** @throws FatalError on invalid geometry. */
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Perform one access.
+     *
+     * @param addr byte address
+     * @param is_write store (marks the line dirty)
+     * @return hit/miss and any writeback generated
+     */
+    CacheAccessResult access(std::uint64_t addr, bool is_write);
+
+    /**
+     * Install a line without an allocate-triggering access (used for
+     * writeback-allocation into the next level).
+     */
+    CacheAccessResult fill(std::uint64_t addr, bool dirty);
+
+    /** Check for a line without touching LRU state or counters. */
+    bool probe(std::uint64_t addr) const;
+
+    /** Reset contents and statistics. */
+    void reset();
+
+    /** Accumulated counters. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Zero the counters but keep cache contents (sample boundary). */
+    void clearStats() { stats_ = CacheStats{}; }
+
+    /** Geometry. */
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lastUse = 0;  ///< LRU timestamp
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    /** Find the line holding @c tag in @c set, or nullptr. */
+    Line *findLine(std::uint64_t set, std::uint64_t tag);
+
+    /** Choose the victim way in @c set (invalid first, then LRU). */
+    Line *victimLine(std::uint64_t set);
+
+    /** Insert @c tag into @c set, returning any dirty eviction. */
+    CacheAccessResult insert(std::uint64_t set, std::uint64_t tag,
+                             bool dirty);
+
+    std::uint64_t lineAddrOf(std::uint64_t set, std::uint64_t tag) const;
+
+    CacheConfig config_;
+    std::uint64_t numSets_;
+    std::uint32_t lineShift_;
+    std::vector<Line> lines_;   ///< numSets * associativity, set-major
+    std::uint64_t useClock_ = 0;
+    CacheStats stats_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_MEM_CACHE_HH

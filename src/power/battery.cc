@@ -1,0 +1,45 @@
+#include "power/battery.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+Battery::Battery(const BatteryConfig &config)
+{
+    if (config.capacityWh <= 0.0)
+        fatal("battery: capacity must be positive");
+    if (config.usableFraction <= 0.0 || config.usableFraction > 1.0)
+        fatal("battery: usableFraction must be in (0,1]");
+    // 1 Wh = 3600 J.
+    capacity_ = config.capacityWh * 3600.0 * config.usableFraction;
+    remaining_ = capacity_;
+}
+
+double
+Battery::stateOfCharge() const
+{
+    return remaining_ / capacity_;
+}
+
+Joules
+Battery::drain(Joules energy)
+{
+    MCDVFS_ASSERT(energy >= 0.0, "cannot drain negative energy");
+    const Joules drained = std::min(energy, remaining_);
+    remaining_ -= drained;
+    return drained;
+}
+
+Seconds
+Battery::lifetimeAt(Watts average_power) const
+{
+    if (average_power <= 0.0)
+        return std::numeric_limits<double>::infinity();
+    return remaining_ / average_power;
+}
+
+} // namespace mcdvfs

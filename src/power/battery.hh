@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Simple smartphone battery model.
+ *
+ * The paper's motivation (§I) is battery lifetime as the top user
+ * complaint; inefficiency expresses "the amount of battery life that
+ * the user is willing to sacrifice to improve performance" (§VIII).
+ * Battery turns the library's energy numbers into lifetime numbers: a
+ * nominal capacity drained by task energy, with remaining-life
+ * estimates under an average power draw.
+ */
+
+#ifndef MCDVFS_POWER_BATTERY_HH
+#define MCDVFS_POWER_BATTERY_HH
+
+#include "common/units.hh"
+
+namespace mcdvfs
+{
+
+/** Battery electrical configuration. */
+struct BatteryConfig
+{
+    /** Nominal capacity in watt-hours (~3000 mAh at 3.7 V). */
+    double capacityWh = 11.1;
+    /** Fraction of nominal capacity usable before shutdown. */
+    double usableFraction = 0.92;
+};
+
+/** Discharge-only battery state. */
+class Battery
+{
+  public:
+    /** @throws FatalError on non-positive capacity */
+    explicit Battery(const BatteryConfig &config = {});
+
+    /** Usable energy when full. */
+    Joules capacity() const { return capacity_; }
+
+    /** Energy left. */
+    Joules remaining() const { return remaining_; }
+
+    /** State of charge in [0, 1]. */
+    double stateOfCharge() const;
+
+    /** True once the usable capacity is exhausted. */
+    bool depleted() const { return remaining_ <= 0.0; }
+
+    /**
+     * Drain task energy; clamps at empty.
+     *
+     * @return energy actually drained
+     */
+    Joules drain(Joules energy);
+
+    /** Time until empty at a constant average power draw. */
+    Seconds lifetimeAt(Watts average_power) const;
+
+  private:
+    Joules capacity_;
+    Joules remaining_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_POWER_BATTERY_HH

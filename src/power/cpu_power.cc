@@ -1,0 +1,62 @@
+#include "power/cpu_power.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+CpuPowerModel::CpuPowerModel(const CpuPowerParams &params,
+                             const VoltageCurve &curve)
+    : params_(params), curve_(curve)
+{
+    if (params_.peakDynamic <= 0.0 || params_.peakBackground < 0.0 ||
+        params_.leakageAtVmax < 0.0) {
+        fatal("cpu power model: calibration constants must be positive");
+    }
+    if (params_.stallActivity < 0.0 || params_.stallActivity > 1.0)
+        fatal("cpu power model: stallActivity must be in [0,1]");
+}
+
+CpuPowerModel
+CpuPowerModel::paperDefault()
+{
+    return CpuPowerModel(CpuPowerParams{}, VoltageCurve::paperCpu());
+}
+
+CpuPowerBreakdown
+CpuPowerModel::power(Hertz freq, double activity) const
+{
+    MCDVFS_ASSERT(freq > 0.0, "cpu frequency must be positive");
+    const double act = std::clamp(activity, 0.0, 1.0);
+    const Volts v = curve_.voltageAt(freq);
+    const double v_ratio = v / curve_.vMax();
+    const double f_ratio = freq / curve_.fMax();
+    const double vf_scale = v_ratio * v_ratio * f_ratio;
+
+    CpuPowerBreakdown out;
+    out.dynamic = params_.peakDynamic * vf_scale * act;
+    // Background power is clocked, so it scales like dynamic power
+    // (paper §III-B) but does not depend on what the workload does.
+    out.background = params_.peakBackground * vf_scale;
+    // Linear sub-threshold leakage model (Narendra et al.).
+    out.leakage = params_.leakageAtVmax * (v / curve_.vMax());
+    return out;
+}
+
+Joules
+CpuPowerModel::energy(Hertz freq, double activity, Seconds busy,
+                      Seconds stalled) const
+{
+    MCDVFS_ASSERT(busy >= 0.0 && stalled >= 0.0,
+                  "negative execution time");
+    const CpuPowerBreakdown busy_power = power(freq, activity);
+    const CpuPowerBreakdown stall_power =
+        power(freq, activity * params_.stallActivity);
+    const Watts static_power = busy_power.background + busy_power.leakage;
+    return busy_power.dynamic * busy + stall_power.dynamic * stalled +
+           static_power * (busy + stalled);
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Empirical CPU power model in the paper's decomposition (§III-B):
+ *
+ *  - dynamic power     ∝ V² f, scaled by a workload activity factor;
+ *  - background power  consumed by idle-but-clocked units, scaled the
+ *    same way as dynamic power (the paper measures it as power-on-idle
+ *    minus deep sleep);
+ *  - leakage power     ∝ supply voltage (linear sub-threshold model),
+ *    around 30% of peak at the top operating point.
+ *
+ * Calibration targets OMAP4430/Cortex-A9-class magnitudes (PandaBoard
+ * measurements in the paper): roughly 1 W peak at 1 GHz / 1.25 V.
+ */
+
+#ifndef MCDVFS_POWER_CPU_POWER_HH
+#define MCDVFS_POWER_CPU_POWER_HH
+
+#include "common/units.hh"
+#include "power/opp.hh"
+
+namespace mcdvfs
+{
+
+/** Power decomposition at one operating point. */
+struct CpuPowerBreakdown
+{
+    Watts dynamic = 0.0;
+    Watts background = 0.0;
+    Watts leakage = 0.0;
+
+    Watts total() const { return dynamic + background + leakage; }
+};
+
+/** Calibration constants of the empirical model. */
+struct CpuPowerParams
+{
+    /** Dynamic power at fMax/vMax with activity factor 1. */
+    Watts peakDynamic = 0.70;
+    /** Background (clocked-idle) power at fMax/vMax. */
+    Watts peakBackground = 0.50;
+    /** Leakage power at vMax. */
+    Watts leakageAtVmax = 0.13;
+    /**
+     * Residual activity while the core is stalled on memory (clock
+     * gating is imperfect; speculative wakeups, prefetch, snoops).
+     */
+    double stallActivity = 0.20;
+};
+
+/** Voltage- and frequency-dependent CPU power/energy model. */
+class CpuPowerModel
+{
+  public:
+    /**
+     * @param params calibration constants
+     * @param curve voltage-frequency operating curve
+     * @throws FatalError for non-positive calibration values
+     */
+    CpuPowerModel(const CpuPowerParams &params, const VoltageCurve &curve);
+
+    /** Model with the paper's calibration. */
+    static CpuPowerModel paperDefault();
+
+    /**
+     * Power at frequency @c freq with the given activity factor.
+     * Voltage comes from the operating curve.
+     */
+    CpuPowerBreakdown power(Hertz freq, double activity) const;
+
+    /**
+     * Energy over one execution window split into busy (computing,
+     * full activity) and stalled (waiting on memory, residual
+     * activity) time.  Background and leakage accrue over both.
+     */
+    Joules energy(Hertz freq, double activity, Seconds busy,
+                  Seconds stalled) const;
+
+    const VoltageCurve &curve() const { return curve_; }
+    const CpuPowerParams &params() const { return params_; }
+
+  private:
+    CpuPowerParams params_;
+    VoltageCurve curve_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_POWER_CPU_POWER_HH

@@ -1,0 +1,166 @@
+#include "power/dram_power.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+DramPowerModel::DramPowerModel(const DramPowerParams &params,
+                               const DramTiming &timing,
+                               const DramConfig &config)
+    : params_(params), timing_(timing), config_(config)
+{
+    config_.validate();
+    if (params_.specFreq <= 0.0)
+        fatal("dram power model: specFreq must be positive");
+    if (params_.vdd1 <= 0.0 || params_.vdd2 <= 0.0)
+        fatal("dram power model: rail voltages must be positive");
+    auto frac_ok = [](double v) { return v >= 0.0 && v <= 1.0; };
+    if (!frac_ok(params_.backgroundStaticFrac) ||
+        !frac_ok(params_.burstStaticFrac)) {
+        fatal("dram power model: static fractions must be in [0,1]");
+    }
+}
+
+DramPowerModel
+DramPowerModel::paperDefault()
+{
+    return DramPowerModel(DramPowerParams{}, DramTiming{}, DramConfig{});
+}
+
+double
+DramPowerModel::scaledCurrent(double amps_at_spec, double static_frac,
+                              Hertz mem_freq) const
+{
+    const double clock_ratio = mem_freq / params_.specFreq;
+    return amps_at_spec * (static_frac + (1.0 - static_frac) * clock_ratio);
+}
+
+Watts
+DramPowerModel::railPower(const RailCurrents &currents, double static_frac,
+                          Hertz mem_freq) const
+{
+    return scaledCurrent(currents.vdd1, static_frac, mem_freq) *
+               params_.vdd1 +
+           scaledCurrent(currents.vdd2, static_frac, mem_freq) *
+               params_.vdd2;
+}
+
+Watts
+DramPowerModel::backgroundPower(Hertz mem_freq) const
+{
+    // Open-page policy keeps rows open most of the time, so active
+    // standby (IDD3N) is the dominant background state.
+    const Watts standby =
+        railPower(params_.idd3n, params_.backgroundStaticFrac, mem_freq);
+    // Refresh adds (IDD5 - IDD3N) for tRFC out of every tREFI; refresh
+    // current is set by the array, not the interface clock.
+    const Watts refresh_delta =
+        (params_.idd5.vdd1 - params_.idd3n.vdd1) * params_.vdd1 +
+        (params_.idd5.vdd2 - params_.idd3n.vdd2) * params_.vdd2;
+    const Watts refresh = refresh_delta * (params_.tRfc / params_.tRefi);
+    return standby + refresh;
+}
+
+Watts
+DramPowerModel::backgroundPower(Hertz mem_freq,
+                                double channel_util) const
+{
+    const Watts active = backgroundPower(mem_freq);
+    if (!params_.enablePowerDown)
+        return active;
+    const double util = std::clamp(channel_util, 0.0, 1.0);
+    // Idle time the controller can actually spend powered down.
+    const double down_frac =
+        (1.0 - util) * std::clamp(params_.powerDownResidency, 0.0, 1.0);
+    const Watts down =
+        railPower(params_.idd2p, params_.backgroundStaticFrac,
+                  mem_freq);
+    // Refresh continues in power-down (self-refresh not modelled).
+    return active * (1.0 - down_frac) + down * down_frac;
+}
+
+Joules
+DramPowerModel::activateEnergy(Hertz mem_freq) const
+{
+    // (IDD0 - IDD3N) over one row cycle (Micron power technote).  The
+    // activate current is array-dominated; apply the burst static
+    // floor to its clocked share.
+    const double delta1 =
+        scaledCurrent(params_.idd0.vdd1, params_.burstStaticFrac,
+                      mem_freq) -
+        scaledCurrent(params_.idd3n.vdd1, params_.backgroundStaticFrac,
+                      mem_freq);
+    const double delta2 =
+        scaledCurrent(params_.idd0.vdd2, params_.burstStaticFrac,
+                      mem_freq) -
+        scaledCurrent(params_.idd3n.vdd2, params_.backgroundStaticFrac,
+                      mem_freq);
+    const Watts power = std::max(0.0, delta1) * params_.vdd1 +
+                        std::max(0.0, delta2) * params_.vdd2;
+    return power * params_.tRc;
+}
+
+Joules
+DramPowerModel::readEnergy(Hertz mem_freq) const
+{
+    const double delta1 =
+        scaledCurrent(params_.idd4r.vdd1, params_.burstStaticFrac,
+                      mem_freq) -
+        scaledCurrent(params_.idd3n.vdd1, params_.backgroundStaticFrac,
+                      mem_freq);
+    const double delta2 =
+        scaledCurrent(params_.idd4r.vdd2, params_.burstStaticFrac,
+                      mem_freq) -
+        scaledCurrent(params_.idd3n.vdd2, params_.backgroundStaticFrac,
+                      mem_freq);
+    const Watts power = std::max(0.0, delta1) * params_.vdd1 +
+                        std::max(0.0, delta2) * params_.vdd2;
+    return power * timing_.burstSeconds(mem_freq, config_);
+}
+
+Joules
+DramPowerModel::writeEnergy(Hertz mem_freq) const
+{
+    const double delta1 =
+        scaledCurrent(params_.idd4w.vdd1, params_.burstStaticFrac,
+                      mem_freq) -
+        scaledCurrent(params_.idd3n.vdd1, params_.backgroundStaticFrac,
+                      mem_freq);
+    const double delta2 =
+        scaledCurrent(params_.idd4w.vdd2, params_.burstStaticFrac,
+                      mem_freq) -
+        scaledCurrent(params_.idd3n.vdd2, params_.backgroundStaticFrac,
+                      mem_freq);
+    const Watts power = std::max(0.0, delta1) * params_.vdd1 +
+                        std::max(0.0, delta2) * params_.vdd2;
+    return power * timing_.burstSeconds(mem_freq, config_);
+}
+
+DramEnergyBreakdown
+DramPowerModel::energy(const DramStats &stats, Hertz mem_freq,
+                       Seconds duration) const
+{
+    return energy(stats, mem_freq, duration, /*channel_util=*/1.0);
+}
+
+DramEnergyBreakdown
+DramPowerModel::energy(const DramStats &stats, Hertz mem_freq,
+                       Seconds duration, double channel_util) const
+{
+    MCDVFS_ASSERT(duration >= 0.0, "negative window duration");
+    DramEnergyBreakdown out;
+    out.background =
+        backgroundPower(mem_freq, channel_util) * duration;
+    const Count activates = stats.rowClosed + stats.rowConflicts;
+    out.activate =
+        activateEnergy(mem_freq) * static_cast<double>(activates);
+    out.readWrite =
+        readEnergy(mem_freq) * static_cast<double>(stats.reads) +
+        writeEnergy(mem_freq) * static_cast<double>(stats.writes);
+    return out;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * DRAMPower-style LPDDR3 energy model.
+ *
+ * Follows the DRAMPower / Micron "Calculating Memory System Power"
+ * method the paper uses: per-operation energies are differences of
+ * datasheet IDD currents times rail voltage times the operation's
+ * duration, and background power is standby current times voltage.
+ * LPDDR3 has two supply rails — VDD1 = 1.8 V (core) and VDD2 = 1.2 V
+ * (array/IO) — both fixed: the paper scales memory *frequency* only.
+ *
+ * Frequency scaling (Micron technote): currents are specified at the
+ * part's maximum clock and have a static component plus a clocked
+ * component proportional to frequency.  Background power therefore
+ * drops almost linearly with memory frequency — the effect that makes
+ * low memory frequency attractive for CPU-bound phases (the paper's
+ * bzip2 example: 1/4 the background energy at 200 vs 800 MHz).
+ */
+
+#ifndef MCDVFS_POWER_DRAM_POWER_HH
+#define MCDVFS_POWER_DRAM_POWER_HH
+
+#include "common/units.hh"
+#include "mem/dram.hh"
+
+namespace mcdvfs
+{
+
+/** Datasheet-style current pair: one value per supply rail (amps). */
+struct RailCurrents
+{
+    double vdd1 = 0.0;  ///< current on the 1.8 V rail
+    double vdd2 = 0.0;  ///< current on the 1.2 V rail
+};
+
+/** LPDDR3 electrical parameters (representative Micron 16Gb x32). */
+struct DramPowerParams
+{
+    Volts vdd1 = 1.8;
+    Volts vdd2 = 1.2;
+    /** Clock at which the IDD currents are specified. */
+    Hertz specFreq = megaHertz(800);
+
+    // Currents are for the full two-die x32 module (per-die datasheet
+    // values doubled), giving phone-class module power: ~90 mW active
+    // standby at 800 MHz, ~3.5 nJ per line transfer.
+    RailCurrents idd0{milliAmps(16.0), milliAmps(150.0)};   ///< act-pre
+    RailCurrents idd2n{milliAmps(1.6), milliAmps(46.0)};    ///< pre stby
+    RailCurrents idd3n{milliAmps(2.8), milliAmps(56.0)};    ///< act stby
+    RailCurrents idd4r{milliAmps(10.0), milliAmps(400.0)};  ///< read
+    RailCurrents idd4w{milliAmps(20.0), milliAmps(350.0)};  ///< write
+    RailCurrents idd5{milliAmps(56.0), milliAmps(260.0)};   ///< refresh
+    /** Precharge power-down current (low-power idle state). */
+    RailCurrents idd2p{milliAmps(0.8), milliAmps(10.0)};
+
+    /**
+     * MemScale-style active low-power modes: when enabled, the
+     * controller drops idle fractions of the window into precharge
+     * power-down instead of active standby.  Off by default (the
+     * paper's configuration scales frequency only); an extension
+     * point for studying deeper memory energy management under an
+     * inefficiency budget.
+     */
+    bool enablePowerDown = false;
+    /** Fraction of idle time actually spendable powered down. */
+    double powerDownResidency = 0.7;
+
+    /** Static fraction of standby current (rest scales with clock). */
+    double backgroundStaticFrac = 0.10;
+    /** Static fraction of burst/operation currents. */
+    double burstStaticFrac = 0.20;
+
+    /** Row cycle time tRC = tRAS + tRP (activate-energy window). */
+    Seconds tRc = nanoSeconds(60.0);
+    /** Refresh interval and refresh cycle time. */
+    Seconds tRefi = microSeconds(3.9);
+    Seconds tRfc = nanoSeconds(130.0);
+};
+
+/** Per-sample DRAM energy decomposition. */
+struct DramEnergyBreakdown
+{
+    Joules background = 0.0;  ///< standby + refresh over the window
+    Joules activate = 0.0;    ///< row activate/precharge
+    Joules readWrite = 0.0;   ///< burst data movement
+
+    Joules total() const { return background + activate + readWrite; }
+};
+
+/** IDD-based LPDDR3 power/energy model with frequency scaling. */
+class DramPowerModel
+{
+  public:
+    /**
+     * @param params electrical parameters
+     * @param timing device timing (for burst durations)
+     * @param config device organization
+     * @throws FatalError on inconsistent parameters
+     */
+    DramPowerModel(const DramPowerParams &params, const DramTiming &timing,
+                   const DramConfig &config);
+
+    /** Model with the paper's representative configuration. */
+    static DramPowerModel paperDefault();
+
+    /** Standby (background + refresh) power at @c mem_freq. */
+    Watts backgroundPower(Hertz mem_freq) const;
+
+    /**
+     * Background power when the channel is busy only a fraction of
+     * the time and power-down is enabled: idle time (derated by the
+     * achievable residency) drops to the power-down current.  Falls
+     * back to backgroundPower() when power-down is disabled.
+     *
+     * @param channel_util fraction of the window with bus activity
+     */
+    Watts backgroundPower(Hertz mem_freq, double channel_util) const;
+
+    /** Energy of one row activate + precharge cycle. */
+    Joules activateEnergy(Hertz mem_freq) const;
+
+    /** Energy of one line read burst. */
+    Joules readEnergy(Hertz mem_freq) const;
+
+    /** Energy of one line write burst. */
+    Joules writeEnergy(Hertz mem_freq) const;
+
+    /**
+     * Total DRAM energy of an execution window of @c duration seconds
+     * whose transactions are summarized by @c stats.
+     */
+    DramEnergyBreakdown energy(const DramStats &stats, Hertz mem_freq,
+                               Seconds duration) const;
+
+    /**
+     * Like energy(), with channel utilization available so power-down
+     * can be applied when enabled.
+     */
+    DramEnergyBreakdown energy(const DramStats &stats, Hertz mem_freq,
+                               Seconds duration,
+                               double channel_util) const;
+
+    const DramPowerParams &params() const { return params_; }
+
+  private:
+    /** Scale a spec current to @c mem_freq with a static floor. */
+    double scaledCurrent(double amps_at_spec, double static_frac,
+                         Hertz mem_freq) const;
+
+    /** Rail-weighted power for a current pair. */
+    Watts railPower(const RailCurrents &currents, double static_frac,
+                    Hertz mem_freq) const;
+
+    DramPowerParams params_;
+    DramTiming timing_;
+    DramConfig config_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_POWER_DRAM_POWER_HH

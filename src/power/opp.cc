@@ -1,0 +1,34 @@
+#include "power/opp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+VoltageCurve::VoltageCurve(Hertz f_min, Hertz f_max, Volts v_min,
+                           Volts v_max)
+    : fMin_(f_min), fMax_(f_max), vMin_(v_min), vMax_(v_max)
+{
+    if (f_min <= 0.0 || f_max <= f_min)
+        fatal("voltage curve: need 0 < fMin < fMax");
+    if (v_min <= 0.0 || v_max < v_min)
+        fatal("voltage curve: need 0 < vMin <= vMax");
+}
+
+VoltageCurve
+VoltageCurve::paperCpu()
+{
+    return VoltageCurve(megaHertz(100), megaHertz(1000), 0.75, 1.25);
+}
+
+Volts
+VoltageCurve::voltageAt(Hertz freq) const
+{
+    const Hertz f = std::clamp(freq, fMin_, fMax_);
+    const double t = (f - fMin_) / (fMax_ - fMin_);
+    return vMin_ + t * (vMax_ - vMin_);
+}
+
+} // namespace mcdvfs

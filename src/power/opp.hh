@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Operating-performance-point (OPP) voltage curve for the CPU domain.
+ *
+ * The paper scales CPU voltage with frequency up to 1.25 V at 1 GHz
+ * (§III-C).  VoltageCurve maps any frequency in the DVFS range to its
+ * supply voltage by linear interpolation, which matches how OPP tables
+ * are populated on OMAP-class parts.
+ */
+
+#ifndef MCDVFS_POWER_OPP_HH
+#define MCDVFS_POWER_OPP_HH
+
+#include "common/units.hh"
+
+namespace mcdvfs
+{
+
+/** Linear voltage-frequency operating curve. */
+class VoltageCurve
+{
+  public:
+    /**
+     * @param f_min lowest DVFS frequency
+     * @param f_max highest DVFS frequency
+     * @param v_min voltage at @c f_min
+     * @param v_max voltage at @c f_max
+     * @throws FatalError on non-positive or inverted ranges
+     */
+    VoltageCurve(Hertz f_min, Hertz f_max, Volts v_min, Volts v_max);
+
+    /** The paper's CPU domain: 100-1000 MHz, 0.70-1.25 V. */
+    static VoltageCurve paperCpu();
+
+    /**
+     * Supply voltage at @c freq (clamped to the curve's range so
+     * queries slightly outside the ladder remain meaningful).
+     */
+    Volts voltageAt(Hertz freq) const;
+
+    Hertz fMin() const { return fMin_; }
+    Hertz fMax() const { return fMax_; }
+    Volts vMin() const { return vMin_; }
+    Volts vMax() const { return vMax_; }
+
+  private:
+    Hertz fMin_;
+    Hertz fMax_;
+    Volts vMin_;
+    Volts vMax_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_POWER_OPP_HH

@@ -1,0 +1,14 @@
+#include "repro/analyses.hh"
+
+namespace mcdvfs
+{
+
+GridAnalyses::GridAnalyses(const MeasuredGrid &grid,
+                           const TuningCostParams &cost)
+    : analysis(grid), finder(analysis), clusters(finder),
+      regions(clusters), transitions(regions, clusters),
+      costModel(cost), tradeoff(regions, clusters, costModel)
+{
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Convenience bundle wiring the full analysis chain over one grid.
+ *
+ * The analyses reference each other (finder needs the inefficiency
+ * tables, clusters need the finder, ...); GridAnalyses owns the whole
+ * chain with correct initialization order so call sites stay short.
+ */
+
+#ifndef MCDVFS_REPRO_ANALYSES_HH
+#define MCDVFS_REPRO_ANALYSES_HH
+
+#include "core/stable_regions.hh"
+#include "core/tradeoff.hh"
+#include "core/transitions.hh"
+#include "core/tuning_cost.hh"
+
+namespace mcdvfs
+{
+
+/** The full §V-§VI analysis chain over one measured grid. */
+class GridAnalyses
+{
+  public:
+    /**
+     * @param grid measured grid; must outlive this object
+     * @param cost tuning-overhead calibration
+     */
+    explicit GridAnalyses(const MeasuredGrid &grid,
+                          const TuningCostParams &cost = {});
+
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+    StableRegionFinder regions;
+    TransitionAnalysis transitions;
+    TuningCostModel costModel;
+    TradeoffEvaluator tradeoff;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_REPRO_ANALYSES_HH

@@ -1,0 +1,36 @@
+#include "repro/suite.hh"
+
+#include "trace/workloads.hh"
+
+namespace mcdvfs
+{
+
+ReproSuite::ReproSuite(const SystemConfig &config)
+    : coarse_(SettingsSpace::coarse()), runner_(config)
+{
+}
+
+const std::vector<std::string> &
+ReproSuite::benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "gcc", "gobmk", "lbm", "libq.", "milc",
+    };
+    return names;
+}
+
+const MeasuredGrid &
+ReproSuite::grid(const std::string &workload)
+{
+    auto it = cache_.find(workload);
+    if (it == cache_.end()) {
+        const WorkloadProfile profile = workloadByName(workload);
+        it = cache_
+                 .emplace(workload, std::make_unique<MeasuredGrid>(
+                                        runner_.run(profile, coarse_)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace mcdvfs

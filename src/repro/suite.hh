@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared experiment harness for the figure benchmarks.
+ *
+ * Every bench binary needs measured grids for some subset of the six
+ * benchmarks over the coarse 70-setting space.  ReproSuite builds them
+ * on demand and memoizes, so a binary touching several figures pays
+ * for each characterization once.
+ */
+
+#ifndef MCDVFS_REPRO_SUITE_HH
+#define MCDVFS_REPRO_SUITE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/grid_runner.hh"
+
+namespace mcdvfs
+{
+
+/** Memoized grid provider over the paper's configuration. */
+class ReproSuite
+{
+  public:
+    explicit ReproSuite(const SystemConfig &config =
+                            SystemConfig::paperDefault());
+
+    /** The paper's six benchmarks in reporting order. */
+    static const std::vector<std::string> &benchmarkNames();
+
+    /** Coarse 70-setting space shared by all figures. */
+    const SettingsSpace &coarseSpace() const { return coarse_; }
+
+    /**
+     * The measured grid of @c workload over the coarse space
+     * (characterized on first use, then cached).
+     *
+     * @throws FatalError for unknown workload names
+     */
+    const MeasuredGrid &grid(const std::string &workload);
+
+    /** The configured grid runner (for fine-grid experiments). */
+    GridRunner &runner() { return runner_; }
+
+  private:
+    SettingsSpace coarse_;
+    GridRunner runner_;
+    std::map<std::string, std::unique_ptr<MeasuredGrid>> cache_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_REPRO_SUITE_HH

@@ -1,0 +1,103 @@
+#include "runtime/emin_predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+EminPredictor::EminPredictor(double forgetting)
+    : forgetting_(forgetting)
+{
+    if (forgetting <= 0.0 || forgetting > 1.0)
+        fatal("emin predictor: forgetting factor must be in (0,1]");
+    // P = delta * I with a large delta (uninformative prior).
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        p_[i][i] = 1e3;
+}
+
+EminPredictor::Vector
+EminPredictor::features(const SampleProfile &profile)
+{
+    // Observable from performance counters after a sample executes:
+    // core CPI, cache miss rates, DRAM traffic and row locality.
+    return Vector{
+        1.0,
+        profile.baseCpi,
+        profile.l1Mpki / 10.0,
+        profile.l2Mpki / 10.0,
+        profile.dramPerInstr() * 1000.0,
+        profile.rowHitFrac,
+    };
+}
+
+void
+EminPredictor::observe(const SampleProfile &profile, Joules true_emin)
+{
+    MCDVFS_ASSERT(true_emin > 0.0, "Emin must be positive");
+
+    // Keep the regression target around O(1) for conditioning.
+    if (targetScale_ <= 0.0)
+        targetScale_ = true_emin;
+    const double y = true_emin / targetScale_;
+    const Vector x = features(profile);
+
+    // Standard RLS update with forgetting factor lambda:
+    //   k = P x / (lambda + x' P x)
+    //   w += k (y - w' x)
+    //   P = (P - k x' P) / lambda
+    Vector px{};
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+        double acc = 0.0;
+        for (std::size_t j = 0; j < kFeatures; ++j)
+            acc += p_[i][j] * x[j];
+        px[i] = acc;
+    }
+    double denom = forgetting_;
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        denom += x[i] * px[i];
+
+    Vector gain{};
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        gain[i] = px[i] / denom;
+
+    double prediction = 0.0;
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        prediction += weights_[i] * x[i];
+    const double error = y - prediction;
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        weights_[i] += gain[i] * error;
+
+    // P update: (I - k x') P / lambda.  px holds x' P (P symmetric).
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+        for (std::size_t j = 0; j < kFeatures; ++j) {
+            p_[i][j] = (p_[i][j] - gain[i] * px[j]) / forgetting_;
+        }
+    }
+    ++observations_;
+}
+
+Joules
+EminPredictor::predict(const SampleProfile &profile) const
+{
+    if (targetScale_ <= 0.0)
+        return 0.0;
+    const Vector x = features(profile);
+    double y = 0.0;
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        y += weights_[i] * x[i];
+    // Emin can never be negative; floor at a small fraction of scale.
+    return std::max(y, 1e-3) * targetScale_;
+}
+
+double
+EminPredictor::predictInefficiency(const SampleProfile &profile,
+                                   Joules energy) const
+{
+    const Joules emin = predict(profile);
+    return emin > 0.0 ? energy / emin : 0.0;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Learning-based Emin prediction (§II-B, second method).
+ *
+ * Brute-force Emin needs the energy of a sample at *every* setting;
+ * the paper proposes reducing that overhead by "predicting Emin based
+ * on previous observations and by continuous learning".  EminPredictor
+ * implements that: a recursive-least-squares linear model over
+ * counter-derived features of a sample (its phase behaviour), trained
+ * online from samples whose true Emin was computed the expensive way,
+ * then used to estimate Emin — and hence inefficiency — for new
+ * samples without a full-grid evaluation.
+ */
+
+#ifndef MCDVFS_RUNTIME_EMIN_PREDICTOR_HH
+#define MCDVFS_RUNTIME_EMIN_PREDICTOR_HH
+
+#include <array>
+#include <cstddef>
+
+#include "common/units.hh"
+#include "sim/sample_profile.hh"
+
+namespace mcdvfs
+{
+
+/** Online linear Emin model over sample features. */
+class EminPredictor
+{
+  public:
+    /** Number of model features (incl. the intercept). */
+    static constexpr std::size_t kFeatures = 6;
+
+    /**
+     * @param forgetting RLS forgetting factor in (0, 1]; values below
+     *        1 let the model track drifting workloads
+     * @throws FatalError for an out-of-range factor
+     */
+    explicit EminPredictor(double forgetting = 0.99);
+
+    /**
+     * Learn from one completed sample.
+     *
+     * @param profile the sample's observable characteristics
+     * @param true_emin its brute-force per-sample Emin
+     */
+    void observe(const SampleProfile &profile, Joules true_emin);
+
+    /**
+     * Predicted Emin for a sample with the given characteristics.
+     * Clamped to be positive.  Meaningful once trained().
+     */
+    Joules predict(const SampleProfile &profile) const;
+
+    /**
+     * Predicted inefficiency of consuming @c energy on a sample with
+     * the given characteristics.
+     */
+    double predictInefficiency(const SampleProfile &profile,
+                               Joules energy) const;
+
+    /** True once enough samples were observed to trust predictions. */
+    bool trained() const { return observations_ >= kFeatures; }
+
+    /** Number of training observations so far. */
+    std::size_t observations() const { return observations_; }
+
+  private:
+    using Vector = std::array<double, kFeatures>;
+
+    /** Feature extraction from observable per-sample counters. */
+    static Vector features(const SampleProfile &profile);
+
+    double forgetting_;
+    std::size_t observations_ = 0;
+    Vector weights_{};
+    /** RLS inverse-covariance estimate, initialized to delta * I. */
+    std::array<Vector, kFeatures> p_{};
+    /** Target scale (running mean of |Emin|) for conditioning. */
+    double targetScale_ = 0.0;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_EMIN_PREDICTOR_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Inefficiency-budget governor.
+ *
+ * The governor implements the policy the paper argues for: stay within
+ * an inefficiency budget while delivering the best performance, using
+ * performance clusters to avoid needless transitions.  Being an online
+ * policy it cannot know the upcoming sample; it uses last-value phase
+ * prediction (the previous sample's cluster, §VII) and prefers keeping
+ * the current setting whenever it is still inside that cluster.
+ */
+
+#ifndef MCDVFS_RUNTIME_INEFFICIENCY_GOVERNOR_HH
+#define MCDVFS_RUNTIME_INEFFICIENCY_GOVERNOR_HH
+
+#include "core/performance_clusters.hh"
+#include "dvfs/governor.hh"
+
+namespace mcdvfs
+{
+
+/** Cluster-based governor honouring an inefficiency budget. */
+class InefficiencyGovernor : public Governor
+{
+  public:
+    /**
+     * @param clusters cluster source over the workload's measured
+     *        grid (the governor consults only already-executed
+     *        samples; must outlive the governor)
+     * @param budget inefficiency budget (>= 1)
+     * @param threshold cluster threshold, e.g. 0.03
+     * @throws FatalError for invalid budget/threshold
+     */
+    InefficiencyGovernor(const ClusterFinder &clusters, double budget,
+                         double threshold);
+
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "inefficiency"; }
+
+    /** Number of decisions that kept the previous setting. */
+    std::size_t keptSetting() const { return kept_; }
+
+    /** Number of decisions that re-tuned. */
+    std::size_t retuned() const { return retuned_; }
+
+  private:
+    const ClusterFinder &clusters_;
+    double budget_;
+    double threshold_;
+    FrequencySetting current_{};
+    bool haveCurrent_ = false;
+    std::size_t kept_ = 0;
+    std::size_t retuned_ = 0;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_INEFFICIENCY_GOVERNOR_HH

@@ -1,0 +1,104 @@
+#include "runtime/offline_profile.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+OfflineProfile::OfflineProfile(std::string workload)
+    : workload_(std::move(workload))
+{
+}
+
+OfflineProfile
+OfflineProfile::fromRegions(const std::string &workload,
+                            const std::vector<StableRegion> &regions,
+                            const SettingsSpace &space)
+{
+    OfflineProfile profile(workload);
+    for (const StableRegion &region : regions) {
+        ProfiledRegion out;
+        out.first = region.first;
+        out.last = region.last;
+        out.setting = space.at(region.chosenSettingIndex);
+        profile.addRegion(out);
+    }
+    return profile;
+}
+
+void
+OfflineProfile::addRegion(const ProfiledRegion &region)
+{
+    if (region.last < region.first)
+        fatal("offline profile: region end precedes start");
+    if (!regions_.empty() && region.first != regions_.back().last + 1) {
+        fatal("offline profile: regions must tile the run (expected "
+              "start ", regions_.back().last + 1, ", got ",
+              region.first, ")");
+    }
+    if (regions_.empty() && region.first != 0)
+        fatal("offline profile: first region must start at sample 0");
+    regions_.push_back(region);
+}
+
+std::string
+OfflineProfile::serialize() const
+{
+    std::ostringstream os;
+    os << "workload " << workload_ << '\n';
+    for (const ProfiledRegion &region : regions_) {
+        char line[128];
+        std::snprintf(line, sizeof(line), "region %zu %zu %.0f %.0f\n",
+                      region.first, region.last,
+                      toMegaHertz(region.setting.cpu),
+                      toMegaHertz(region.setting.mem));
+        os << line;
+    }
+    return os.str();
+}
+
+OfflineProfile
+OfflineProfile::parse(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string keyword;
+    if (!(is >> keyword) || keyword != "workload")
+        fatal("offline profile: missing 'workload' header");
+    std::string name;
+    if (!(is >> name))
+        fatal("offline profile: missing workload name");
+
+    OfflineProfile profile(name);
+    while (is >> keyword) {
+        if (keyword != "region")
+            fatal("offline profile: unexpected token '", keyword, "'");
+        std::size_t first = 0;
+        std::size_t last = 0;
+        double cpu_mhz = 0.0;
+        double mem_mhz = 0.0;
+        if (!(is >> first >> last >> cpu_mhz >> mem_mhz))
+            fatal("offline profile: malformed region line");
+        ProfiledRegion region;
+        region.first = first;
+        region.last = last;
+        region.setting =
+            FrequencySetting{megaHertz(cpu_mhz), megaHertz(mem_mhz)};
+        profile.addRegion(region);
+    }
+    return profile;
+}
+
+const ProfiledRegion *
+OfflineProfile::regionAt(std::size_t sample) const
+{
+    for (const ProfiledRegion &region : regions_) {
+        if (sample >= region.first && sample <= region.last)
+            return &region;
+    }
+    return nullptr;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Offline application profiles (§VII, "Offline Analysis").
+ *
+ * An application is profiled once (its stable regions, their
+ * positions, lengths and chosen settings) and the profile is consulted
+ * at run time so the tuner knows how long it can go without tuning.
+ * Profiles serialize to a line-oriented text format so they can be
+ * shipped with an application.
+ */
+
+#ifndef MCDVFS_RUNTIME_OFFLINE_PROFILE_HH
+#define MCDVFS_RUNTIME_OFFLINE_PROFILE_HH
+
+#include <string>
+#include <vector>
+
+#include "core/stable_regions.hh"
+#include "dvfs/settings_space.hh"
+
+namespace mcdvfs
+{
+
+/** One profiled stable region. */
+struct ProfiledRegion
+{
+    std::size_t first = 0;  ///< first sample (inclusive)
+    std::size_t last = 0;   ///< last sample (inclusive)
+    FrequencySetting setting{};
+};
+
+/** Persisted stable-region table for one application. */
+class OfflineProfile
+{
+  public:
+    /** Empty profile for @c workload. */
+    explicit OfflineProfile(std::string workload);
+
+    /** Build from an offline stable-region analysis. */
+    static OfflineProfile fromRegions(
+        const std::string &workload,
+        const std::vector<StableRegion> &regions,
+        const SettingsSpace &space);
+
+    /**
+     * Parse the text format produced by serialize().
+     * @throws FatalError on malformed input.
+     */
+    static OfflineProfile parse(const std::string &text);
+
+    /** Line-oriented text serialization. */
+    std::string serialize() const;
+
+    /** Region covering @c sample, or nullptr past the profiled run. */
+    const ProfiledRegion *regionAt(std::size_t sample) const;
+
+    /** Append one region (must continue the previous one). */
+    void addRegion(const ProfiledRegion &region);
+
+    const std::string &workload() const { return workload_; }
+    const std::vector<ProfiledRegion> &regions() const { return regions_; }
+
+  private:
+    std::string workload_;
+    std::vector<ProfiledRegion> regions_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_OFFLINE_PROFILE_HH

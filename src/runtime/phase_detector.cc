@@ -1,0 +1,63 @@
+#include "runtime/phase_detector.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdvfs
+{
+
+PhaseDetector::PhaseDetector(const PhaseDetectorParams &params)
+    : params_(params)
+{
+}
+
+PhaseDetector::Vector
+PhaseDetector::features(const SampleProfile &profile)
+{
+    // Counter-derived behaviour vector; scaled so components are
+    // commensurable.
+    return Vector{
+        profile.baseCpi,
+        profile.l1Mpki / 10.0,
+        profile.l2Mpki / 5.0,
+        profile.dramPerInstr() * 500.0,
+    };
+}
+
+double
+PhaseDetector::distance(const Vector &a, const Vector &b)
+{
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+        num += std::abs(a[i] - b[i]);
+        den += std::abs(a[i]) + std::abs(b[i]);
+    }
+    return den > 0.0 ? 2.0 * num / den : 0.0;
+}
+
+bool
+PhaseDetector::observe(const SampleProfile &profile)
+{
+    const Vector x = features(profile);
+    ++observations_;
+    if (observations_ == 1) {
+        centroid_ = x;
+        return true;  // the first sample starts the first phase
+    }
+
+    const bool changed =
+        distance(x, centroid_) > params_.changeThreshold;
+    if (changed) {
+        ++changes_;
+        centroid_ = x;  // restart the centroid at the new phase
+    } else {
+        for (std::size_t i = 0; i < kFeatures; ++i) {
+            centroid_[i] = params_.ewmaAlpha * x[i] +
+                           (1.0 - params_.ewmaAlpha) * centroid_[i];
+        }
+    }
+    return changed;
+}
+
+} // namespace mcdvfs

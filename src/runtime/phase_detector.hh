@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Online phase-change detection (§VII cites Lau et al.'s phase
+ * markers; this is the runtime-counter analogue).
+ *
+ * A tuner that re-tunes only when the workload's behaviour actually
+ * changes needs a detector.  PhaseDetector watches the per-sample
+ * counter vector (CPI proxy, miss rates, DRAM traffic) and flags a
+ * phase change when the current sample's feature distance from the
+ * running phase centroid exceeds a threshold; the centroid follows
+ * the phase with an EWMA while samples stay inside it.
+ */
+
+#ifndef MCDVFS_RUNTIME_PHASE_DETECTOR_HH
+#define MCDVFS_RUNTIME_PHASE_DETECTOR_HH
+
+#include <array>
+#include <cstddef>
+
+#include "sim/sample_profile.hh"
+
+namespace mcdvfs
+{
+
+/** Detector calibration. */
+struct PhaseDetectorParams
+{
+    /** Relative feature distance that signals a new phase. */
+    double changeThreshold = 0.25;
+    /** EWMA factor for tracking the current phase centroid. */
+    double ewmaAlpha = 0.3;
+};
+
+/** EWMA-centroid phase-change detector over sample counters. */
+class PhaseDetector
+{
+  public:
+    explicit PhaseDetector(const PhaseDetectorParams &params = {});
+
+    /**
+     * Feed the sample that just completed.
+     *
+     * @return true when it starts a new phase
+     */
+    bool observe(const SampleProfile &profile);
+
+    /** Number of phase changes flagged so far. */
+    std::size_t phaseChanges() const { return changes_; }
+
+    /** Samples observed so far. */
+    std::size_t observations() const { return observations_; }
+
+  private:
+    static constexpr std::size_t kFeatures = 4;
+    using Vector = std::array<double, kFeatures>;
+
+    static Vector features(const SampleProfile &profile);
+
+    /** Normalized L1 distance between feature vectors. */
+    static double distance(const Vector &a, const Vector &b);
+
+    PhaseDetectorParams params_;
+    Vector centroid_{};
+    std::size_t observations_ = 0;
+    std::size_t changes_ = 0;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_PHASE_DETECTOR_HH

@@ -1,0 +1,61 @@
+#include "runtime/stability_predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcdvfs
+{
+
+StabilityPredictor::StabilityPredictor(
+    const StabilityPredictorParams &params)
+    : params_(params)
+{
+}
+
+void
+StabilityPredictor::observe(bool remained_stable)
+{
+    if (remained_stable) {
+        ++currentRun_;
+        return;
+    }
+    // Run ended: fold its length into the EWMA history.
+    const double len = static_cast<double>(std::max<std::size_t>(
+        currentRun_, 1));
+    if (completedRuns_ == 0) {
+        ewmaLength_ = len;
+        ewmaSquares_ = len * len;
+    } else {
+        ewmaLength_ = params_.ewmaAlpha * len +
+                      (1.0 - params_.ewmaAlpha) * ewmaLength_;
+        ewmaSquares_ = params_.ewmaAlpha * len * len +
+                       (1.0 - params_.ewmaAlpha) * ewmaSquares_;
+    }
+    ++completedRuns_;
+    currentRun_ = 0;
+}
+
+std::size_t
+StabilityPredictor::predictRemainingStable() const
+{
+    if (completedRuns_ == 0)
+        return 0;  // no history: re-tune every sample
+
+    // Coefficient of variation of run lengths gates confidence.
+    const double variance =
+        std::max(0.0, ewmaSquares_ - ewmaLength_ * ewmaLength_);
+    const double cv = ewmaLength_ > 0.0
+                          ? std::sqrt(variance) / ewmaLength_
+                          : 0.0;
+    if (cv > params_.confidenceCv)
+        return 0;
+
+    const double remaining =
+        ewmaLength_ - static_cast<double>(currentRun_);
+    if (remaining <= 0.0)
+        return 0;
+    return std::min(params_.maxPrediction,
+                    static_cast<std::size_t>(remaining));
+}
+
+} // namespace mcdvfs

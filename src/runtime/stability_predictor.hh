@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Run-length phase-stability predictor (§VII, "Learning").
+ *
+ * Isci et al. showed that the duration of the current application
+ * phase can be predicted from the durations of past phases; a tuner
+ * can then skip re-tuning until the predicted phase end.  This
+ * predictor tracks the lengths of completed stable runs (runs of
+ * samples whose performance cluster kept a common setting) and
+ * predicts how many more samples the current run will last, backing
+ * off to short predictions when history disagrees with itself.
+ */
+
+#ifndef MCDVFS_RUNTIME_STABILITY_PREDICTOR_HH
+#define MCDVFS_RUNTIME_STABILITY_PREDICTOR_HH
+
+#include <cstddef>
+
+namespace mcdvfs
+{
+
+/** Predictor calibration. */
+struct StabilityPredictorParams
+{
+    /** EWMA smoothing factor for run-length history. */
+    double ewmaAlpha = 0.4;
+    /** Never predict more than this many samples ahead. */
+    std::size_t maxPrediction = 16;
+    /**
+     * Relative run-length variability above which the predictor is
+     * considered low-confidence and predicts a single sample.
+     */
+    double confidenceCv = 0.6;
+};
+
+/** EWMA run-length predictor over cluster-stability events. */
+class StabilityPredictor
+{
+  public:
+    explicit StabilityPredictor(
+        const StabilityPredictorParams &params = {});
+
+    /**
+     * Feed one per-sample observation: did the tuner's setting remain
+     * inside the sample's performance cluster?
+     */
+    void observe(bool remained_stable);
+
+    /**
+     * Predicted number of *additional* samples the current run stays
+     * stable (0 = re-tune at the next sample boundary).
+     */
+    std::size_t predictRemainingStable() const;
+
+    /** Length of the run currently in progress. */
+    std::size_t currentRunLength() const { return currentRun_; }
+
+    /** Smoothed completed-run length. */
+    double expectedRunLength() const { return ewmaLength_; }
+
+    /** Completed runs observed so far. */
+    std::size_t completedRuns() const { return completedRuns_; }
+
+  private:
+    StabilityPredictorParams params_;
+    std::size_t currentRun_ = 0;
+    std::size_t completedRuns_ = 0;
+    double ewmaLength_ = 1.0;
+    double ewmaSquares_ = 1.0;  ///< EWMA of squared lengths (for CV)
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_STABILITY_PREDICTOR_HH

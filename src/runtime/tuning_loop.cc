@@ -1,0 +1,181 @@
+#include "runtime/tuning_loop.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+TuningLoop::TuningLoop(const ClusterFinder &clusters,
+                       const StableRegionFinder &regions,
+                       const TuningCostModel &cost)
+    : clusters_(clusters), regions_(regions), cost_(cost)
+{
+}
+
+TuningLoopResult
+TuningLoop::evaluate(const std::string &policy,
+                     const std::vector<std::size_t> &sequence,
+                     std::size_t tuning_events, double budget) const
+{
+    const InefficiencyAnalysis &analysis = clusters_.finder().analysis();
+    const MeasuredGrid &grid = analysis.grid();
+    MCDVFS_ASSERT(sequence.size() == grid.sampleCount(),
+                  "sequence length mismatch");
+
+    TuningLoopResult result;
+    result.policy = policy;
+    Joules emin_sum = 0.0;
+    std::size_t violations = 0;
+    for (std::size_t s = 0; s < sequence.size(); ++s) {
+        const GridCell &cell = grid.cell(s, sequence[s]);
+        result.time += cell.seconds;
+        result.energy += cell.energy();
+        emin_sum += analysis.sampleEmin(s);
+        if (analysis.sampleInefficiency(s, sequence[s]) > budget + 1e-9)
+            ++violations;
+        if (s > 0 && sequence[s] != sequence[s - 1])
+            ++result.transitions;
+    }
+    result.tuningEvents = tuning_events;
+    const TuningOverhead overhead =
+        cost_.overhead(tuning_events, grid.settingCount());
+    result.timeWithOverhead = result.time + overhead.latency;
+    result.energyWithOverhead = result.energy + overhead.energy;
+    result.achievedInefficiency = result.energy / emin_sum;
+    result.budgetViolationFrac =
+        static_cast<double>(violations) /
+        static_cast<double>(sequence.size());
+    return result;
+}
+
+TuningLoopResult
+TuningLoop::runOracle(double budget, double threshold) const
+{
+    const MeasuredGrid &grid = clusters_.finder().analysis().grid();
+    const std::vector<StableRegion> regions =
+        regions_.find(budget, threshold);
+    std::vector<std::size_t> sequence(grid.sampleCount(), 0);
+    for (const StableRegion &region : regions) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            sequence[s] = region.chosenSettingIndex;
+    }
+    return evaluate("oracle", sequence, regions.size(), budget);
+}
+
+TuningLoopResult
+TuningLoop::runEverySample(double budget, double threshold) const
+{
+    const MeasuredGrid &grid = clusters_.finder().analysis().grid();
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+
+    std::vector<std::size_t> sequence;
+    sequence.reserve(grid.sampleCount());
+    std::size_t current = max_idx;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        if (s > 0) {
+            // Last-value prediction: consult the cluster of the sample
+            // that just finished; keep the current setting when it is
+            // still inside that cluster.
+            const PerformanceCluster cluster =
+                clusters_.clusterForSample(s - 1, budget, threshold);
+            if (!cluster.contains(current))
+                current = cluster.optimal.settingIndex;
+        }
+        sequence.push_back(current);
+    }
+    return evaluate("every-sample", sequence, grid.sampleCount(), budget);
+}
+
+TuningLoopResult
+TuningLoop::runPredictive(double budget, double threshold,
+                          const StabilityPredictorParams &params) const
+{
+    const MeasuredGrid &grid = clusters_.finder().analysis().grid();
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+
+    StabilityPredictor predictor(params);
+    std::vector<std::size_t> sequence;
+    sequence.reserve(grid.sampleCount());
+    std::size_t current = max_idx;
+    std::size_t next_tune = 0;
+    std::size_t events = 0;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        if (s >= next_tune) {
+            ++events;
+            if (s > 0) {
+                const PerformanceCluster cluster =
+                    clusters_.clusterForSample(s - 1, budget, threshold);
+                if (!cluster.contains(current))
+                    current = cluster.optimal.settingIndex;
+            }
+            next_tune = s + 1 + predictor.predictRemainingStable();
+        }
+        sequence.push_back(current);
+        // Post-hoc feedback (one-sample-delayed counters): was the
+        // setting we ran inside this sample's true cluster?
+        const PerformanceCluster truth =
+            clusters_.clusterForSample(s, budget, threshold);
+        predictor.observe(truth.contains(current));
+    }
+    return evaluate("predictive", sequence, events, budget);
+}
+
+TuningLoopResult
+TuningLoop::runReactive(double budget, double threshold,
+                        const PhaseDetectorParams &params) const
+{
+    const MeasuredGrid &grid = clusters_.finder().analysis().grid();
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+
+    PhaseDetector detector(params);
+    std::vector<std::size_t> sequence;
+    sequence.reserve(grid.sampleCount());
+    std::size_t current = max_idx;
+    std::size_t events = 0;
+    bool pending_retune = true;  // nothing known yet: tune at start
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        if (pending_retune) {
+            ++events;
+            if (s > 0) {
+                const PerformanceCluster cluster =
+                    clusters_.clusterForSample(s - 1, budget, threshold);
+                if (!cluster.contains(current))
+                    current = cluster.optimal.settingIndex;
+            }
+            pending_retune = false;
+        }
+        sequence.push_back(current);
+        // Counters for sample s arrive after it ran; a flagged phase
+        // change schedules a re-tune at the next boundary.
+        pending_retune = detector.observe(grid.profile(s));
+    }
+    return evaluate("reactive", sequence, events, budget);
+}
+
+TuningLoopResult
+TuningLoop::runProfileDriven(double budget, double threshold,
+                             const OfflineProfile &profile) const
+{
+    (void)threshold;
+    const MeasuredGrid &grid = clusters_.finder().analysis().grid();
+    const SettingsSpace &space = grid.space();
+
+    std::vector<std::size_t> sequence;
+    sequence.reserve(grid.sampleCount());
+    std::size_t events = 0;
+    std::size_t current = space.indexOf(space.maxSetting());
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const ProfiledRegion *region = profile.regionAt(s);
+        if (region && s == region->first) {
+            ++events;
+            current = space.indexOf(region->setting);
+        }
+        sequence.push_back(current);
+    }
+    return evaluate("profile", sequence, events, budget);
+}
+
+} // namespace mcdvfs

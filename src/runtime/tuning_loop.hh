@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Online tuning-loop simulation (§VII).
+ *
+ * The paper proposes two ways a real tuner can avoid re-tuning every
+ * interval: learning-based prediction of stable-region length, and
+ * offline profiles.  TuningLoop simulates four re-tune schedules over
+ * a measured grid, charging the §VI-C per-event tuning overhead, and
+ * reports end-to-end time/energy, achieved inefficiency and budget
+ * violations:
+ *
+ *  - oracle:        one tuning event per true stable region (upper
+ *                   bound; requires future knowledge);
+ *  - every-sample:  re-tune at every sample boundary using last-value
+ *                   phase prediction;
+ *  - predictive:    re-tune only when the run-length predictor says
+ *                   the phase is due to change;
+ *  - profile:       follow an offline stable-region profile.
+ */
+
+#ifndef MCDVFS_RUNTIME_TUNING_LOOP_HH
+#define MCDVFS_RUNTIME_TUNING_LOOP_HH
+
+#include <string>
+#include <vector>
+
+#include "core/stable_regions.hh"
+#include "core/tuning_cost.hh"
+#include "runtime/offline_profile.hh"
+#include "runtime/phase_detector.hh"
+#include "runtime/stability_predictor.hh"
+
+namespace mcdvfs
+{
+
+/** End-to-end outcome of one online schedule. */
+struct TuningLoopResult
+{
+    std::string policy;
+    Seconds time = 0.0;
+    Joules energy = 0.0;
+    Seconds timeWithOverhead = 0.0;
+    Joules energyWithOverhead = 0.0;
+    std::size_t tuningEvents = 0;
+    std::size_t transitions = 0;
+    /** Energy over the sum of per-sample Emin. */
+    double achievedInefficiency = 0.0;
+    /** Fraction of samples whose inefficiency exceeded the budget. */
+    double budgetViolationFrac = 0.0;
+};
+
+/** Simulates online re-tune schedules over a measured grid. */
+class TuningLoop
+{
+  public:
+    /**
+     * @param clusters cluster machinery (must outlive the loop)
+     * @param regions stable-region machinery for the oracle schedule
+     * @param cost per-event tuning overhead model
+     */
+    TuningLoop(const ClusterFinder &clusters,
+               const StableRegionFinder &regions,
+               const TuningCostModel &cost);
+
+    /** One tuning event per true stable region (future knowledge). */
+    TuningLoopResult runOracle(double budget, double threshold) const;
+
+    /** Re-tune every sample with last-value prediction. */
+    TuningLoopResult runEverySample(double budget,
+                                    double threshold) const;
+
+    /** Re-tune when the stability predictor schedules it. */
+    TuningLoopResult runPredictive(
+        double budget, double threshold,
+        const StabilityPredictorParams &params = {}) const;
+
+    /**
+     * Re-tune when the counter-driven phase detector flags a phase
+     * change (with the one-sample delay real counters impose).
+     */
+    TuningLoopResult runReactive(
+        double budget, double threshold,
+        const PhaseDetectorParams &params = {}) const;
+
+    /** Follow an offline stable-region profile. */
+    TuningLoopResult runProfileDriven(double budget, double threshold,
+                                      const OfflineProfile &profile) const;
+
+  private:
+    TuningLoopResult evaluate(const std::string &policy,
+                              const std::vector<std::size_t> &sequence,
+                              std::size_t tuning_events,
+                              double budget) const;
+
+    const ClusterFinder &clusters_;
+    const StableRegionFinder &regions_;
+    TuningCostModel cost_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_TUNING_LOOP_HH

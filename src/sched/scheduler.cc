@@ -1,0 +1,142 @@
+#include "sched/scheduler.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Precomputed per-app execution plan. */
+struct AppPlan
+{
+    const AppTask *task = nullptr;
+    /** Cluster-policy setting per sample (indices into its grid). */
+    std::vector<std::size_t> settingPerSample;
+    Joules eminSum = 0.0;
+    std::size_t cursor = 0;
+
+    bool
+    done() const
+    {
+        return cursor >= settingPerSample.size();
+    }
+};
+
+AppPlan
+planFor(const AppTask &task)
+{
+    if (task.grid == nullptr)
+        fatal("scheduler: app '", task.name, "' has no grid");
+    if (task.budget < 1.0)
+        fatal("scheduler: app '", task.name, "' budget must be >= 1");
+
+    const MeasuredGrid &grid = *task.grid;
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+
+    AppPlan plan;
+    plan.task = &task;
+    plan.settingPerSample.assign(grid.sampleCount(), 0);
+    for (const StableRegion &region :
+         regions.find(task.budget, task.threshold)) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            plan.settingPerSample[s] = region.chosenSettingIndex;
+    }
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        plan.eminSum += grid.sampleEmin(s);
+    return plan;
+}
+
+} // namespace
+
+BudgetScheduler::BudgetScheduler(const TransitionParams &transitions)
+    : transitionParams_(transitions)
+{
+}
+
+ScheduleResult
+BudgetScheduler::run(const std::vector<AppTask> &apps,
+                     SchedPolicy policy) const
+{
+    MCDVFS_ASSERT(!apps.empty(), "scheduler needs at least one app");
+
+    std::vector<AppPlan> plans;
+    plans.reserve(apps.size());
+    for (const AppTask &task : apps)
+        plans.push_back(planFor(task));
+
+    ScheduleResult result;
+    result.apps.resize(apps.size());
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        result.apps[i].name = apps[i].name;
+
+    const TransitionModel transitions(transitionParams_);
+    FrequencySetting hardware{};
+    bool hardware_known = false;
+    std::size_t last_app = apps.size();  // sentinel: none yet
+
+    // Run one sample of one app, paying any frequency transition.
+    auto step = [&](std::size_t app_idx) {
+        AppPlan &plan = plans[app_idx];
+        const MeasuredGrid &grid = *plan.task->grid;
+        const std::size_t s = plan.cursor++;
+        const std::size_t k = plan.settingPerSample[s];
+        const FrequencySetting wanted = grid.space().at(k);
+
+        if (last_app != apps.size() && last_app != app_idx)
+            ++result.contextSwitches;
+        last_app = app_idx;
+
+        if (!hardware_known ||
+            TransitionModel::domainsChanged(hardware, wanted) > 0) {
+            if (hardware_known) {
+                const TransitionCost cost =
+                    transitions.cost(hardware, wanted);
+                result.makespan += cost.latency;
+                result.transitionLatency += cost.latency;
+                result.totalEnergy += cost.energy;
+                ++result.frequencyTransitions;
+            }
+            hardware = wanted;
+            hardware_known = true;
+        }
+
+        const GridCell &cell = grid.cell(s, k);
+        result.makespan += cell.seconds;
+        result.totalEnergy += cell.energy();
+        AppOutcome &outcome = result.apps[app_idx];
+        outcome.busyTime += cell.seconds;
+        outcome.energy += cell.energy();
+        ++outcome.samples;
+    };
+
+    if (policy == SchedPolicy::RunToCompletion) {
+        for (std::size_t i = 0; i < plans.size(); ++i) {
+            while (!plans[i].done())
+                step(i);
+        }
+    } else {
+        bool any = true;
+        while (any) {
+            any = false;
+            for (std::size_t i = 0; i < plans.size(); ++i) {
+                if (!plans[i].done()) {
+                    step(i);
+                    any = true;
+                }
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+        result.apps[i].achievedInefficiency =
+            result.apps[i].energy / plans[i].eminSum;
+    }
+    return result;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,159 @@
+#include "sim/grid_io.hh"
+
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+void
+saveGrid(const MeasuredGrid &grid, std::ostream &os)
+{
+    os << "mcdvfs-grid v1\n";
+    os << "workload " << grid.workload() << '\n';
+    os << "samples " << grid.sampleCount() << " instructions "
+       << grid.instructionsPerSample() << '\n';
+
+    os << "cpu";
+    for (const Hertz f : grid.space().cpuLadder().steps())
+        os << ' ' << toMegaHertz(f);
+    os << '\n';
+    os << "mem";
+    for (const Hertz f : grid.space().memLadder().steps())
+        os << ' ' << toMegaHertz(f);
+    os << '\n';
+
+    os << std::setprecision(17);
+    if (grid.hasProfiles()) {
+        for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+            const SampleProfile &p = grid.profile(s);
+            os << "profile " << s << ' ' << p.baseCpi << ' '
+               << p.activity << ' ' << p.mlp << ' ' << p.l1Mpki << ' '
+               << p.l2Mpki << ' ' << p.l2PerInstr << ' '
+               << p.dramReadsPerInstr << ' ' << p.dramWritesPerInstr
+               << ' ' << p.dramPrefetchPerInstr << ' '
+               << p.rowHitFrac << ' ' << p.rowClosedFrac << ' '
+               << p.rowConflictFrac << ' ' << p.phaseName << '\n';
+        }
+    }
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            const GridCell &cell = grid.cell(s, k);
+            os << "cell " << s << ' ' << k << ' ' << cell.seconds << ' '
+               << cell.cpuEnergy << ' ' << cell.memEnergy << ' '
+               << cell.busyFrac << ' ' << cell.bwUtil << '\n';
+        }
+    }
+}
+
+std::string
+saveGridToString(const MeasuredGrid &grid)
+{
+    std::ostringstream os;
+    saveGrid(grid, os);
+    return os.str();
+}
+
+MeasuredGrid
+loadGrid(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line) || line != "mcdvfs-grid v1")
+        fatal("grid io: missing or unsupported header");
+
+    std::string keyword;
+    std::string workload;
+    {
+        std::getline(is, line);
+        std::istringstream ls(line);
+        if (!(ls >> keyword >> workload) || keyword != "workload")
+            fatal("grid io: expected 'workload'");
+    }
+
+    std::size_t samples = 0;
+    Count instructions = 0;
+    {
+        std::getline(is, line);
+        std::istringstream ls(line);
+        std::string kw2;
+        if (!(ls >> keyword >> samples >> kw2 >> instructions) ||
+            keyword != "samples" || kw2 != "instructions") {
+            fatal("grid io: expected 'samples N instructions M'");
+        }
+    }
+
+    auto read_ladder = [&is, &line](const char *name) {
+        std::getline(is, line);
+        std::istringstream ls(line);
+        std::string kw;
+        if (!(ls >> kw) || kw != name)
+            fatal("grid io: expected '", name, "' ladder");
+        std::vector<Hertz> steps;
+        double mhz = 0.0;
+        while (ls >> mhz)
+            steps.push_back(megaHertz(mhz));
+        return FrequencyLadder(std::move(steps));
+    };
+    FrequencyLadder cpu = read_ladder("cpu");
+    FrequencyLadder mem = read_ladder("mem");
+
+    MeasuredGrid grid(workload,
+                      SettingsSpace(std::move(cpu), std::move(mem)),
+                      samples, instructions);
+
+    std::vector<SampleProfile> profiles;
+    std::size_t cells_read = 0;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        ls >> keyword;
+        if (keyword == "profile") {
+            SampleProfile p;
+            std::size_t s = 0;
+            if (!(ls >> s >> p.baseCpi >> p.activity >> p.mlp >>
+                  p.l1Mpki >> p.l2Mpki >> p.l2PerInstr >>
+                  p.dramReadsPerInstr >> p.dramWritesPerInstr >>
+                  p.dramPrefetchPerInstr >> p.rowHitFrac >>
+                  p.rowClosedFrac >> p.rowConflictFrac >>
+                  p.phaseName)) {
+                fatal("grid io: malformed profile line");
+            }
+            if (s != profiles.size())
+                fatal("grid io: profiles out of order");
+            profiles.push_back(std::move(p));
+        } else if (keyword == "cell") {
+            std::size_t s = 0;
+            std::size_t k = 0;
+            GridCell cell;
+            if (!(ls >> s >> k >> cell.seconds >> cell.cpuEnergy >>
+                  cell.memEnergy >> cell.busyFrac >> cell.bwUtil)) {
+                fatal("grid io: malformed cell line");
+            }
+            if (s >= samples || k >= grid.settingCount())
+                fatal("grid io: cell index out of range");
+            grid.cell(s, k) = cell;
+            ++cells_read;
+        } else {
+            fatal("grid io: unexpected token '", keyword, "'");
+        }
+    }
+    if (cells_read != samples * grid.settingCount())
+        fatal("grid io: expected ", samples * grid.settingCount(),
+              " cells, got ", cells_read);
+    if (!profiles.empty())
+        grid.setProfiles(std::move(profiles));
+    return grid;
+}
+
+MeasuredGrid
+loadGridFromString(const std::string &text)
+{
+    std::istringstream is(text);
+    return loadGrid(is);
+}
+
+} // namespace mcdvfs

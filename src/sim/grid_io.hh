@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Text serialization of measured grids.
+ *
+ * A characterized grid is the expensive artifact of this library;
+ * saving it lets offline analyses (profiling, figure regeneration,
+ * cross-machine comparisons) re-run without re-simulating.  The format
+ * is line-oriented and versioned:
+ *
+ *   mcdvfs-grid v1
+ *   workload <name>
+ *   samples <n> instructions <per-sample>
+ *   cpu <mhz...>
+ *   mem <mhz...>
+ *   profile <sample> <baseCpi> <activity> <mlp> <l1Mpki> <l2Mpki>
+ *           <l2PerInstr> <dramReads> <dramWrites> <rowHit> <rowClosed>
+ *           <rowConflict> <phaseName>
+ *   cell <sample> <setting> <seconds> <cpuJ> <memJ> <busyFrac> <bwUtil>
+ */
+
+#ifndef MCDVFS_SIM_GRID_IO_HH
+#define MCDVFS_SIM_GRID_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/measured_grid.hh"
+
+namespace mcdvfs
+{
+
+/** Serialize @c grid (including profiles when attached). */
+void saveGrid(const MeasuredGrid &grid, std::ostream &os);
+
+/** Serialize to a string (convenience). */
+std::string saveGridToString(const MeasuredGrid &grid);
+
+/**
+ * Parse a grid previously produced by saveGrid.
+ * @throws FatalError on malformed or version-mismatched input.
+ */
+MeasuredGrid loadGrid(std::istream &is);
+
+/** Parse from a string (convenience). */
+MeasuredGrid loadGridFromString(const std::string &text);
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_GRID_IO_HH

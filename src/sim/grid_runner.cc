@@ -1,0 +1,112 @@
+#include "sim/grid_runner.hh"
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Deterministic per-cell seed mixing workload, sample and setting. */
+std::uint64_t
+cellSeed(const std::string &workload, std::size_t sample,
+         std::size_t setting)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const char c : workload)
+        hash = (hash ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
+    hash = (hash ^ sample) * 0x100000001b3ull;
+    hash = (hash ^ setting) * 0x100000001b3ull;
+    return hash;
+}
+
+} // namespace
+
+GridRunner::GridRunner(const SystemConfig &config)
+    : config_(config), timingModel_(config.timing),
+      cpuPower_(config.cpuPower, VoltageCurve::paperCpu()),
+      dramPower_(config.dramPower, config.timing.dramTiming,
+                 config.timing.dramConfig)
+{
+}
+
+MeasuredGrid
+GridRunner::run(const WorkloadProfile &workload, const SettingsSpace &space)
+{
+    SampleSimulator simulator(config_.sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+    return runWithProfiles(workload.name(), profiles, space,
+                           workload.modeledInstructionsPerSample());
+}
+
+MeasuredGrid
+GridRunner::runWithProfiles(const std::string &workload_name,
+                            const std::vector<SampleProfile> &profiles,
+                            const SettingsSpace &space,
+                            Count instructions_per_sample)
+{
+    MeasuredGrid grid(workload_name, space, profiles.size(),
+                      instructions_per_sample);
+
+    const double n = static_cast<double>(instructions_per_sample);
+    for (std::size_t s = 0; s < profiles.size(); ++s) {
+        const SampleProfile &profile = profiles[s];
+
+        // Scale the per-instruction rates back up to the modeled
+        // sample length for the DRAM energy accounting.
+        DramStats dram_stats;
+        const double reads =
+            n * (profile.dramReadsPerInstr + profile.dramPrefetchPerInstr);
+        const double writes = n * profile.dramWritesPerInstr;
+        const double total = reads + writes;
+        dram_stats.reads = static_cast<Count>(std::llround(reads));
+        dram_stats.writes = static_cast<Count>(std::llround(writes));
+        dram_stats.rowHits =
+            static_cast<Count>(std::llround(total * profile.rowHitFrac));
+        dram_stats.rowClosed = static_cast<Count>(
+            std::llround(total * profile.rowClosedFrac));
+        dram_stats.rowConflicts = static_cast<Count>(
+            std::llround(total * profile.rowConflictFrac));
+
+        for (std::size_t k = 0; k < space.size(); ++k) {
+            const FrequencySetting setting = space.at(k);
+            const SampleTiming timing = timingModel_.evaluate(
+                profile, setting, instructions_per_sample);
+
+            GridCell &cell = grid.cell(s, k);
+            cell.seconds = timing.total;
+            cell.busyFrac =
+                timing.total > 0.0 ? timing.busy / timing.total : 1.0;
+            cell.bwUtil = timing.bwUtil;
+            cell.cpuEnergy =
+                cpuPower_.energy(setting.cpu, profile.activity,
+                                 timing.busy, timing.stall);
+            cell.memEnergy =
+                dramPower_
+                    .energy(dram_stats, setting.mem, timing.total,
+                            timing.bwUtil)
+                    .total();
+
+            if (config_.measurementNoise > 0.0) {
+                // Deterministic "simulation noise" on the measured
+                // quantities (see SystemConfig::measurementNoise).
+                Rng noise(cellSeed(workload_name, s, k));
+                auto wobble = [&](double v) {
+                    return v * (1.0 + config_.measurementNoise *
+                                          (2.0 * noise.uniform() - 1.0));
+                };
+                cell.seconds = wobble(cell.seconds);
+                cell.cpuEnergy = wobble(cell.cpuEnergy);
+                cell.memEnergy = wobble(cell.memEnergy);
+            }
+        }
+    }
+    grid.setProfiles(profiles);
+    return grid;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * End-to-end grid construction: characterize a workload once, then
+ * evaluate timing and energy at every setting of a settings space.
+ *
+ * This mirrors the paper's methodology of one gem5 simulation per
+ * setting, collapsed into one characterization pass plus a model
+ * evaluation per setting (valid because the in-order core makes the
+ * cache/DRAM event profile frequency-independent; DESIGN.md §5.1).
+ */
+
+#ifndef MCDVFS_SIM_GRID_RUNNER_HH
+#define MCDVFS_SIM_GRID_RUNNER_HH
+
+#include "power/cpu_power.hh"
+#include "power/dram_power.hh"
+#include "sim/measured_grid.hh"
+#include "sim/sample_simulator.hh"
+#include "sim/timing_model.hh"
+#include "trace/workloads.hh"
+
+namespace mcdvfs
+{
+
+/** Full system configuration for a characterization run. */
+struct SystemConfig
+{
+    SampleSimulatorConfig sampler{};
+    TimingParams timing{};
+    CpuPowerParams cpuPower{};
+    DramPowerParams dramPower{};
+
+    /**
+     * Relative measurement noise applied to every grid cell
+     * (deterministic per cell).  Real measured grids are never
+     * noise-free — this is why the paper filters speedup ties with a
+     * 0.5% window — and boundary-hugging samples flipping between
+     * adjacent settings is what its cluster machinery absorbs.  The
+     * default amplitude keeps the worst-case pairwise perturbation
+     * (2x the amplitude) inside the 0.5% tie window.
+     */
+    double measurementNoise = 0.002;
+
+    /** The paper's configuration end to end. */
+    static SystemConfig paperDefault() { return SystemConfig{}; }
+};
+
+/** Builds MeasuredGrids for workloads. */
+class GridRunner
+{
+  public:
+    /** @throws FatalError on inconsistent configuration. */
+    explicit GridRunner(const SystemConfig &config = {});
+
+    /**
+     * Characterize @c workload and measure it at every setting of
+     * @c space.
+     */
+    MeasuredGrid run(const WorkloadProfile &workload,
+                     const SettingsSpace &space);
+
+    /**
+     * Build a grid from pre-computed profiles (used when comparing
+     * settings spaces over the same characterization, Fig. 12).
+     */
+    MeasuredGrid runWithProfiles(const std::string &workload_name,
+                                 const std::vector<SampleProfile> &profiles,
+                                 const SettingsSpace &space,
+                                 Count instructions_per_sample);
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    TimingModel timingModel_;
+    CpuPowerModel cpuPower_;
+    DramPowerModel dramPower_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_GRID_RUNNER_HH

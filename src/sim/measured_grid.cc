@@ -1,0 +1,129 @@
+#include "sim/measured_grid.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+MeasuredGrid::MeasuredGrid(std::string workload, SettingsSpace space,
+                           std::size_t samples,
+                           Count instructions_per_sample)
+    : workload_(std::move(workload)), space_(std::move(space)),
+      samples_(samples), instructionsPerSample_(instructions_per_sample)
+{
+    if (samples_ == 0)
+        fatal("measured grid: need at least one sample");
+    if (instructionsPerSample_ == 0)
+        fatal("measured grid: instructions per sample must be positive");
+    cells_.assign(samples_ * space_.size(), GridCell{});
+}
+
+Count
+MeasuredGrid::totalInstructions() const
+{
+    return instructionsPerSample_ * static_cast<Count>(samples_);
+}
+
+std::size_t
+MeasuredGrid::index(std::size_t sample, std::size_t setting) const
+{
+    MCDVFS_ASSERT(sample < samples_, "sample index out of range");
+    MCDVFS_ASSERT(setting < space_.size(), "setting index out of range");
+    return sample * space_.size() + setting;
+}
+
+GridCell &
+MeasuredGrid::cell(std::size_t sample, std::size_t setting)
+{
+    return cells_[index(sample, setting)];
+}
+
+const GridCell &
+MeasuredGrid::cell(std::size_t sample, std::size_t setting) const
+{
+    return cells_[index(sample, setting)];
+}
+
+void
+MeasuredGrid::setProfiles(std::vector<SampleProfile> profiles)
+{
+    if (profiles.size() != samples_)
+        fatal("measured grid: profile count mismatch");
+    profiles_ = std::move(profiles);
+}
+
+const SampleProfile &
+MeasuredGrid::profile(std::size_t sample) const
+{
+    MCDVFS_ASSERT(sample < profiles_.size(),
+                  "profiles not attached or sample out of range");
+    return profiles_[sample];
+}
+
+Joules
+MeasuredGrid::sampleEmin(std::size_t sample) const
+{
+    Joules best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < space_.size(); ++k)
+        best = std::min(best, cell(sample, k).energy());
+    return best;
+}
+
+Seconds
+MeasuredGrid::sampleSlowest(std::size_t sample) const
+{
+    Seconds worst = 0.0;
+    for (std::size_t k = 0; k < space_.size(); ++k)
+        worst = std::max(worst, cell(sample, k).seconds);
+    return worst;
+}
+
+Seconds
+MeasuredGrid::sampleFastest(std::size_t sample) const
+{
+    Seconds best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < space_.size(); ++k)
+        best = std::min(best, cell(sample, k).seconds);
+    return best;
+}
+
+Seconds
+MeasuredGrid::totalTime(std::size_t setting) const
+{
+    Seconds total = 0.0;
+    for (std::size_t s = 0; s < samples_; ++s)
+        total += cell(s, setting).seconds;
+    return total;
+}
+
+Joules
+MeasuredGrid::totalEnergy(std::size_t setting) const
+{
+    Joules total = 0.0;
+    for (std::size_t s = 0; s < samples_; ++s)
+        total += cell(s, setting).energy();
+    return total;
+}
+
+Joules
+MeasuredGrid::eminTotal() const
+{
+    Joules best = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < space_.size(); ++k)
+        best = std::min(best, totalEnergy(k));
+    return best;
+}
+
+Seconds
+MeasuredGrid::slowestTotal() const
+{
+    Seconds worst = 0.0;
+    for (std::size_t k = 0; k < space_.size(); ++k)
+        worst = std::max(worst, totalTime(k));
+    return worst;
+}
+
+} // namespace mcdvfs

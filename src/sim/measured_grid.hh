@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The measured per-sample, per-setting performance/energy grid.
+ *
+ * A MeasuredGrid is the data product every analysis in the paper
+ * consumes: for each sample s of a workload and each setting k of the
+ * settings space, the sample's execution time and its CPU and memory
+ * energy.  The paper's §III-C: "all our studies are performed using
+ * measured performance and power data from the simulations" — the grid
+ * is exactly that measured data.
+ */
+
+#ifndef MCDVFS_SIM_MEASURED_GRID_HH
+#define MCDVFS_SIM_MEASURED_GRID_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "dvfs/settings_space.hh"
+#include "sim/sample_profile.hh"
+
+namespace mcdvfs
+{
+
+/** Measured quantities of one (sample, setting) cell. */
+struct GridCell
+{
+    Seconds seconds = 0.0;
+    Joules cpuEnergy = 0.0;
+    Joules memEnergy = 0.0;
+    /** Fraction of the sample the core spent computing. */
+    double busyFrac = 1.0;
+    /** DRAM bandwidth utilization. */
+    double bwUtil = 0.0;
+
+    Joules energy() const { return cpuEnergy + memEnergy; }
+};
+
+/** Dense samples x settings grid with whole-run aggregates. */
+class MeasuredGrid
+{
+  public:
+    /**
+     * @param workload workload name
+     * @param space settings space the grid covers
+     * @param samples number of samples
+     * @param instructions_per_sample modeled instructions per sample
+     */
+    MeasuredGrid(std::string workload, SettingsSpace space,
+                 std::size_t samples, Count instructions_per_sample);
+
+    const std::string &workload() const { return workload_; }
+    const SettingsSpace &space() const { return space_; }
+    std::size_t sampleCount() const { return samples_; }
+    std::size_t settingCount() const { return space_.size(); }
+    Count instructionsPerSample() const { return instructionsPerSample_; }
+    Count totalInstructions() const;
+
+    /** Mutable cell access (filled by GridRunner). */
+    GridCell &cell(std::size_t sample, std::size_t setting);
+
+    /** Immutable cell access. */
+    const GridCell &cell(std::size_t sample, std::size_t setting) const;
+
+    /** Attach the characterization profiles (for CPI/MPKI reporting). */
+    void setProfiles(std::vector<SampleProfile> profiles);
+
+    /** Profile of one sample. */
+    const SampleProfile &profile(std::size_t sample) const;
+
+    /** True once profiles were attached. */
+    bool hasProfiles() const { return !profiles_.empty(); }
+
+    /** @name Per-sample aggregates. */
+    ///@{
+    /** Minimum energy of a sample over all settings (per-sample Emin). */
+    Joules sampleEmin(std::size_t sample) const;
+    /** Slowest execution of a sample over all settings. */
+    Seconds sampleSlowest(std::size_t sample) const;
+    /** Fastest execution of a sample over all settings. */
+    Seconds sampleFastest(std::size_t sample) const;
+    ///@}
+
+    /** @name Whole-run aggregates (one fixed setting end to end). */
+    ///@{
+    Seconds totalTime(std::size_t setting) const;
+    Joules totalEnergy(std::size_t setting) const;
+    /** Brute-force whole-run Emin over all fixed settings. */
+    Joules eminTotal() const;
+    /** Longest whole-run execution time over all fixed settings. */
+    Seconds slowestTotal() const;
+    ///@}
+
+  private:
+    std::size_t index(std::size_t sample, std::size_t setting) const;
+
+    std::string workload_;
+    SettingsSpace space_;
+    std::size_t samples_;
+    Count instructionsPerSample_;
+    std::vector<GridCell> cells_;
+    std::vector<SampleProfile> profiles_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_MEASURED_GRID_HH

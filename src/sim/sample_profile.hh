@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Frequency-independent microarchitectural characteristics of one
+ * sample (10 M-instruction window).
+ *
+ * The sample simulator produces one SampleProfile per sample by
+ * running the sample's synthetic trace through the cache hierarchy and
+ * the DRAM row-buffer classifier.  Because the CPU model is in-order
+ * and the address stream is fixed, none of these quantities depend on
+ * the frequency setting — which is what lets the timing model evaluate
+ * all 70 (or 496) settings from a single characterization pass
+ * (DESIGN.md §5.1).
+ */
+
+#ifndef MCDVFS_SIM_SAMPLE_PROFILE_HH
+#define MCDVFS_SIM_SAMPLE_PROFILE_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace mcdvfs
+{
+
+/** Per-instruction rates and phase attributes of one sample. */
+struct SampleProfile
+{
+    std::string phaseName;
+
+    /** @name Attributes inherited from the phase specification. */
+    ///@{
+    double baseCpi = 1.0;   ///< core CPI excluding cache/memory stalls
+    double activity = 0.7;  ///< dynamic-power activity factor
+    double mlp = 1.5;       ///< sustainable overlapping DRAM misses
+    ///@}
+
+    /** @name Measured cache behaviour (per instruction / per kilo). */
+    ///@{
+    double l1Mpki = 0.0;          ///< L1 misses per 1000 instructions
+    double l2Mpki = 0.0;          ///< L2 misses per 1000 instructions
+    double l2PerInstr = 0.0;      ///< L2 accesses (L1 misses) per instr
+    ///@}
+
+    /** @name Measured DRAM behaviour. */
+    ///@{
+    double dramReadsPerInstr = 0.0;   ///< demand line fills per instr
+    double dramWritesPerInstr = 0.0;  ///< writebacks per instr
+    double dramPrefetchPerInstr = 0.0;  ///< prefetch fills per instr
+    double rowHitFrac = 0.0;          ///< row-buffer hit fraction
+    double rowClosedFrac = 0.0;       ///< closed-bank fraction
+    double rowConflictFrac = 0.0;     ///< row-conflict fraction
+    ///@}
+
+    /** Demand DRAM transactions (fills + writebacks) per instr. */
+    double
+    dramPerInstr() const
+    {
+        return dramReadsPerInstr + dramWritesPerInstr;
+    }
+
+    /** All bus traffic per instruction, including prefetches. */
+    double
+    trafficPerInstr() const
+    {
+        return dramPerInstr() + dramPrefetchPerInstr;
+    }
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_SAMPLE_PROFILE_HH

@@ -1,0 +1,143 @@
+#include "sim/sample_simulator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "trace/trace_generator.hh"
+
+namespace mcdvfs
+{
+
+SampleSimulator::SampleSimulator(const SampleSimulatorConfig &config)
+    : config_(config), hierarchy_(config.hierarchy), dram_(config.dram)
+{
+    if (config_.simInstructionsPerSample == 0)
+        fatal("sample simulator: simInstructionsPerSample must be > 0");
+}
+
+SampleProfile
+SampleSimulator::runSample(const PhaseSpec &spec, std::uint64_t seed,
+                           Count instructions)
+{
+    TraceGenerator gen(spec, seed);
+    return profileFromSource(gen, instructions, spec);
+}
+
+SampleProfile
+SampleSimulator::profileFromSource(TraceSource &gen, Count instructions,
+                                   const PhaseSpec &spec)
+{
+    hierarchy_.clearStats();
+    dram_.clearStats();
+
+    Count dram_reads = 0;
+    Count dram_writes = 0;
+    Count dram_prefetch = 0;
+    for (Count i = 0; i < instructions; ++i) {
+        const InstrRecord instr = gen.next();
+        if (!isMemory(instr.kind))
+            continue;
+        const bool is_write = instr.kind == InstrKind::Store;
+        const HierarchyOutcome outcome =
+            hierarchy_.access(instr.addr, is_write);
+        for (std::uint8_t d = 0; d < outcome.dramCount; ++d) {
+            const DramRequest &req = outcome.dram[d];
+            dram_.access(req.addr, req.isWrite);
+            if (req.isWrite)
+                ++dram_writes;
+            else if (req.isPrefetch)
+                ++dram_prefetch;
+            else
+                ++dram_reads;
+        }
+    }
+
+    const auto &l1 = hierarchy_.l1().stats();
+    const auto &l2 = hierarchy_.l2().stats();
+    const auto &dram_stats = dram_.stats();
+    const double n = static_cast<double>(instructions);
+
+    SampleProfile profile;
+    profile.phaseName = spec.name;
+    profile.baseCpi = spec.baseCpi;
+    profile.activity = spec.activity;
+    profile.mlp = spec.mlp;
+    profile.l1Mpki = 1000.0 * static_cast<double>(l1.misses()) / n;
+    // L2 demand misses are the reads L2 forwarded to DRAM.
+    profile.l2Mpki = 1000.0 * static_cast<double>(dram_reads) / n;
+    profile.l2PerInstr = static_cast<double>(l1.misses()) / n;
+    profile.dramReadsPerInstr = static_cast<double>(dram_reads) / n;
+    profile.dramWritesPerInstr = static_cast<double>(dram_writes) / n;
+    profile.dramPrefetchPerInstr =
+        static_cast<double>(dram_prefetch) / n;
+
+    const Count dram_total = dram_stats.accesses();
+    if (dram_total > 0) {
+        const double dn = static_cast<double>(dram_total);
+        profile.rowHitFrac =
+            static_cast<double>(dram_stats.rowHits) / dn;
+        profile.rowClosedFrac =
+            static_cast<double>(dram_stats.rowClosed) / dn;
+        profile.rowConflictFrac =
+            static_cast<double>(dram_stats.rowConflicts) / dn;
+    }
+    (void)l2;
+    return profile;
+}
+
+std::vector<SampleProfile>
+SampleSimulator::characterize(const WorkloadProfile &workload)
+{
+    hierarchy_.reset();
+    dram_.reset();
+
+    // Warm caches and row buffers by cycling through the first phases
+    // without recording, so sample 0 is measured at steady state.
+    const std::size_t warm_span =
+        std::min<std::size_t>(8, workload.sampleCount());
+    Count remaining = config_.warmupInstructions;
+    std::size_t w = 0;
+    while (remaining > 0) {
+        const Count chunk =
+            std::min(remaining, config_.simInstructionsPerSample);
+        // Each warmup chunk gets a fresh stream seed: replaying the
+        // same few streams would re-touch the same addresses and
+        // leave large working sets cold.
+        runSample(workload.phaseFor(w % warm_span),
+                  workload.traceSeedFor(w % warm_span) ^
+                      (0x57a7ab1e0ddba11ull + w * 0x9e3779b97f4a7c15ull),
+                  chunk);
+        remaining -= chunk;
+        ++w;
+    }
+
+    std::vector<SampleProfile> profiles;
+    profiles.reserve(workload.sampleCount());
+    for (std::size_t s = 0; s < workload.sampleCount(); ++s) {
+        profiles.push_back(runSample(workload.phaseFor(s),
+                                     workload.traceSeedFor(s),
+                                     config_.simInstructionsPerSample));
+    }
+    return profiles;
+}
+
+SampleProfile
+SampleSimulator::characterizeOne(const PhaseSpec &spec, std::uint64_t seed,
+                                 Count instructions)
+{
+    hierarchy_.reset();
+    dram_.reset();
+    return runSample(spec, seed, instructions);
+}
+
+SampleProfile
+SampleSimulator::characterizeTrace(TraceSource &source,
+                                   Count instructions,
+                                   const PhaseSpec &meta)
+{
+    hierarchy_.reset();
+    dram_.reset();
+    return profileFromSource(source, instructions, meta);
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Mechanistic two-component timing model.
+ *
+ * Execution time of a sample at a joint (CPU, memory) frequency
+ * setting is modelled as
+ *
+ *   T = core_time(f_cpu) + exposed_DRAM_time(f_mem, f_cpu)
+ *
+ * where core time covers issue-limited cycles plus partially exposed
+ * L2 hit latency, and DRAM time is demand-fill latency divided by the
+ * phase's memory-level parallelism, inflated by queueing as bandwidth
+ * utilization approaches the usable peak.  Utilization itself depends
+ * on T, so the model solves a damped fixed point — this is what
+ * produces the CPU/memory interplay the paper calls "complex": raising
+ * CPU frequency raises memory pressure, and lowering memory frequency
+ * both lengthens latency and shrinks bandwidth.
+ *
+ * This is the same model family CoScale/MemScale use online; see
+ * DESIGN.md for why the substitution preserves the paper's behaviour.
+ */
+
+#ifndef MCDVFS_SIM_TIMING_MODEL_HH
+#define MCDVFS_SIM_TIMING_MODEL_HH
+
+#include "common/units.hh"
+#include "dvfs/settings_space.hh"
+#include "mem/cache_hierarchy.hh"
+#include "mem/dram.hh"
+#include "sim/sample_profile.hh"
+
+namespace mcdvfs
+{
+
+/** Model calibration knobs. */
+struct TimingParams
+{
+    /** Fraction of L2 hit latency the in-order core cannot hide. */
+    double l2StallExposure = 0.7;
+    /** Hard cap on modelled bandwidth utilization. */
+    double bwUtilizationCap = 0.97;
+    /** Fixed-point iterations (damped; converges in ~10). */
+    int fixedPointIterations = 30;
+    /**
+     * Model bandwidth saturation (queueing inflation + throughput
+     * floor).  Disabling reduces the model to a pure latency model —
+     * the ablation DESIGN.md §5.1/§5.2 calls out.
+     */
+    bool modelBandwidth = true;
+
+    DramTiming dramTiming{};
+    DramConfig dramConfig{};
+    /** L2 hit latency in CPU cycles (paper: 12). */
+    std::uint32_t l2LatencyCycles = 12;
+};
+
+/** Timing of one sample at one setting. */
+struct SampleTiming
+{
+    Seconds total = 0.0;  ///< wall-clock time of the sample
+    Seconds busy = 0.0;   ///< core computing (incl. exposed L2)
+    Seconds stall = 0.0;  ///< stalled on DRAM
+    double bwUtil = 0.0;  ///< DRAM bandwidth utilization in [0,1]
+
+    /** Effective cycles per instruction at @c f_cpu. */
+    double
+    cpi(Count instructions, Hertz f_cpu) const
+    {
+        return instructions
+                   ? total * f_cpu / static_cast<double>(instructions)
+                   : 0.0;
+    }
+};
+
+/** Evaluates sample time at any frequency setting. */
+class TimingModel
+{
+  public:
+    explicit TimingModel(const TimingParams &params = {});
+
+    /**
+     * Time @c instructions of behaviour @c profile at @c setting.
+     *
+     * @throws FatalError for non-positive frequencies
+     */
+    SampleTiming evaluate(const SampleProfile &profile,
+                          const FrequencySetting &setting,
+                          Count instructions) const;
+
+    const TimingParams &params() const { return params_; }
+
+  private:
+    TimingParams params_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_TIMING_MODEL_HH

@@ -1,0 +1,92 @@
+#include "trace/trace_generator.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Access granularity of the synthetic stream (one word). */
+constexpr std::uint64_t kAccessBytes = 8;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const PhaseSpec &spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed)
+{
+    spec_.validate();
+    // Start the sequential cold stream at a seed-dependent offset so
+    // different samples touch different rows.
+    coldCursor_ = rng_.uniformInt(spec_.coldBytes / kAccessBytes) *
+                  kAccessBytes;
+}
+
+std::uint64_t
+TraceGenerator::nextAddress()
+{
+    const double tier = rng_.uniform();
+    if (tier < spec_.hotFrac) {
+        const std::uint64_t words = spec_.hotBytes / kAccessBytes;
+        return kHotBase + rng_.uniformInt(words) * kAccessBytes;
+    }
+    if (tier < spec_.hotFrac + spec_.warmFrac) {
+        const std::uint64_t words = spec_.warmBytes / kAccessBytes;
+        return kWarmBase + rng_.uniformInt(words) * kAccessBytes;
+    }
+    // Cold tier: sequential stream or uniform random.
+    if (rng_.chance(spec_.coldSeqFrac)) {
+        const std::uint64_t addr = kColdBase + coldCursor_;
+        coldCursor_ += kAccessBytes;
+        if (coldCursor_ >= spec_.coldBytes)
+            coldCursor_ = 0;
+        return addr;
+    }
+    const std::uint64_t words = spec_.coldBytes / kAccessBytes;
+    return kColdBase + rng_.uniformInt(words) * kAccessBytes;
+}
+
+InstrRecord
+TraceGenerator::next()
+{
+    InstrRecord rec;
+    const double k = rng_.uniform();
+    double edge = spec_.loadFrac;
+    if (k < edge) {
+        rec.kind = InstrKind::Load;
+        rec.addr = nextAddress();
+        return rec;
+    }
+    edge += spec_.storeFrac;
+    if (k < edge) {
+        rec.kind = InstrKind::Store;
+        rec.addr = nextAddress();
+        return rec;
+    }
+    edge += spec_.branchFrac;
+    if (k < edge) {
+        rec.kind = InstrKind::Branch;
+        return rec;
+    }
+    edge += spec_.fpFrac;
+    if (k < edge) {
+        rec.kind = InstrKind::FpOp;
+        return rec;
+    }
+    edge += spec_.mulFrac;
+    if (k < edge) {
+        rec.kind = InstrKind::IntMul;
+        return rec;
+    }
+    rec.kind = InstrKind::IntAlu;
+    return rec;
+}
+
+void
+TraceGenerator::generate(Count n, std::vector<InstrRecord> &out)
+{
+    out.reserve(out.size() + n);
+    for (Count i = 0; i < n; ++i)
+        out.push_back(next());
+}
+
+} // namespace mcdvfs

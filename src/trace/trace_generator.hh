@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Deterministic synthetic instruction-stream generation.
+ *
+ * Given a PhaseSpec and a seed, TraceGenerator emits a stream of
+ * InstrRecords whose instruction mix and memory reference pattern match
+ * the spec.  The same (spec, seed) pair always produces the same
+ * stream, so cache contents and miss classifications are reproducible
+ * and — crucially for the characterize-once design — independent of
+ * the frequency settings later applied by the timing model.
+ *
+ * Memory references fall into three footprint tiers at disjoint base
+ * addresses: a hot set sized to fit in L1, a warm set sized to fit in
+ * L2, and a cold set exceeding L2.  Cold references are a mix of a
+ * sequential stream (row-buffer friendly) and uniform-random accesses.
+ */
+
+#ifndef MCDVFS_TRACE_TRACE_GENERATOR_HH
+#define MCDVFS_TRACE_TRACE_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "trace/instruction.hh"
+#include "trace/phase.hh"
+#include "trace/trace_source.hh"
+
+namespace mcdvfs
+{
+
+/** Streaming generator of synthetic instructions for one phase. */
+class TraceGenerator : public TraceSource
+{
+  public:
+    /** @name Tier base addresses (disjoint by construction). */
+    ///@{
+    static constexpr std::uint64_t kHotBase = 0x1000'0000ull;
+    static constexpr std::uint64_t kWarmBase = 0x4000'0000ull;
+    static constexpr std::uint64_t kColdBase = 0x8000'0000ull;
+    ///@}
+
+    /**
+     * @param spec validated phase specification
+     * @param seed deterministic stream seed
+     * @throws FatalError when @c spec is inconsistent
+     */
+    TraceGenerator(const PhaseSpec &spec, std::uint64_t seed);
+
+    /** Produce the next dynamic instruction. */
+    InstrRecord next() override;
+
+    /** Append @c n instructions to @c out. */
+    void generate(Count n, std::vector<InstrRecord> &out);
+
+    /** The phase being generated. */
+    const PhaseSpec &spec() const { return spec_; }
+
+  private:
+    std::uint64_t nextAddress();
+
+    PhaseSpec spec_;
+    Rng rng_;
+    std::uint64_t coldCursor_ = 0;  ///< sequential cold-stream offset
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_TRACE_TRACE_GENERATOR_HH

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Abstract instruction-stream source.
+ *
+ * The characterization pass consumes instructions through this
+ * interface, so synthetic generation (TraceGenerator) and recorded
+ * traces (TraceReplay) are interchangeable — the hook for driving the
+ * simulator with real application traces instead of the SPEC-like
+ * profiles.
+ */
+
+#ifndef MCDVFS_TRACE_TRACE_SOURCE_HH
+#define MCDVFS_TRACE_TRACE_SOURCE_HH
+
+#include "trace/instruction.hh"
+
+namespace mcdvfs
+{
+
+/** Produces one dynamic instruction per call. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /** Next dynamic instruction. */
+    virtual InstrRecord next() = 0;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_TRACE_TRACE_SOURCE_HH

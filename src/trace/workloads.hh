@@ -1,0 +1,120 @@
+/**
+ * @file
+ * SPEC CPU2006-like workload profiles.
+ *
+ * SPEC itself is not redistributable, so each benchmark the paper
+ * evaluates is modelled as a deterministic phase script whose CPI/MPKI
+ * evolution matches the published characterization of that benchmark
+ * (see DESIGN.md, substitutions).  A WorkloadProfile maps each
+ * 10 M-instruction sample index to a PhaseSpec, with small
+ * deterministic per-sample jitter layered on top.
+ */
+
+#ifndef MCDVFS_TRACE_WORKLOADS_HH
+#define MCDVFS_TRACE_WORKLOADS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "trace/phase.hh"
+
+namespace mcdvfs
+{
+
+/** A benchmark as a sequence of per-sample phase specifications. */
+class WorkloadProfile
+{
+  public:
+    /** Script mapping a sample index to its (pre-jitter) phase. */
+    using Script = std::function<PhaseSpec(std::size_t)>;
+
+    /**
+     * @param name benchmark name (e.g. "gobmk")
+     * @param sample_count number of samples in the run
+     * @param script per-sample phase script
+     * @param seed workload-level RNG seed
+     * @param jitter relative magnitude of per-sample jitter (0 = none)
+     */
+    WorkloadProfile(std::string name, std::size_t sample_count,
+                    Script script, std::uint64_t seed,
+                    double jitter = 0.02);
+
+    /** Benchmark name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of samples in the run. */
+    std::size_t sampleCount() const { return sampleCount_; }
+
+    /**
+     * Instructions each sample represents in the paper's units.  Plots
+     * and normalizations use this count (the paper's samples are 10 M
+     * user-mode instructions).
+     */
+    Count modeledInstructionsPerSample() const { return kModeledPerSample; }
+
+    /** Total modeled instructions over the whole run. */
+    Count totalModeledInstructions() const;
+
+    /**
+     * Phase for one sample, with deterministic jitter applied.
+     *
+     * @throws FatalError when @c sample is out of range.
+     */
+    PhaseSpec phaseFor(std::size_t sample) const;
+
+    /** Deterministic seed for the trace of one sample. */
+    std::uint64_t traceSeedFor(std::size_t sample) const;
+
+  private:
+    static constexpr Count kModeledPerSample = 10'000'000;
+
+    std::string name_;
+    std::size_t sampleCount_;
+    Script script_;
+    std::uint64_t seed_;
+    double jitter_;
+};
+
+/** @name Profiles for the paper's six reported benchmarks. */
+///@{
+WorkloadProfile makeBzip2();
+WorkloadProfile makeGcc();
+WorkloadProfile makeGobmk();
+WorkloadProfile makeLbm();
+WorkloadProfile makeLibquantum();
+WorkloadProfile makeMilc();
+///@}
+
+/**
+ * @name Additional SPEC-like profiles.
+ * The paper simulated 12 integer and 9 floating-point benchmarks
+ * (§III-C) but plots six; these extend the library toward that wider
+ * set with distinct published behaviours.
+ */
+///@{
+WorkloadProfile makeMcf();        ///< INT, pointer-chasing, memory bound
+WorkloadProfile makeHmmer();      ///< INT, regular, strongly CPU bound
+WorkloadProfile makeSjeng();      ///< INT, branchy search, gobmk-like
+WorkloadProfile makeOmnetpp();    ///< INT, irregular heap traversal
+WorkloadProfile makeNamd();       ///< FP, compute dense, CPU bound
+WorkloadProfile makeSoplex();     ///< FP, long memory/compute phases
+///@}
+
+/** The six benchmarks the paper reports, in its order. */
+std::vector<WorkloadProfile> standardWorkloads();
+
+/** The full twelve-benchmark set (standard + additional). */
+std::vector<WorkloadProfile> extendedWorkloads();
+
+/**
+ * Look up any workload (standard or extended) by name.
+ * @throws FatalError for unknown names.
+ */
+WorkloadProfile workloadByName(const std::string &name);
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_TRACE_WORKLOADS_HH

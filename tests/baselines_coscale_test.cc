@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Unit tests for the CoScale-style baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "baselines/coscale.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(CoScale, NegativeSlackThrows)
+{
+    EXPECT_THROW(CoScaleSearch(test::phasedGrid(), -0.1), FatalError);
+}
+
+TEST(CoScale, ConstraintHonoredEverySample)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    const double slack = 0.10;
+    CoScaleSearch coscale(grid, slack);
+    for (const CoScaleResult &result :
+         {coscale.runFromMax(), coscale.runWarmStart()}) {
+        EXPECT_LE(result.worstSlowdownPct, slack * 100.0 + 1e-6);
+        const std::size_t max_idx =
+            grid.space().indexOf(grid.space().maxSetting());
+        for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+            ASSERT_LE(
+                grid.cell(s, result.settingPerSample[s]).seconds,
+                grid.cell(s, max_idx).seconds * (1.0 + slack) + 1e-15);
+        }
+    }
+}
+
+TEST(CoScale, ZeroSlackPinsMaxSettings)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    CoScaleSearch coscale(grid, 0.0);
+    const CoScaleResult result = coscale.runFromMax();
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    for (const std::size_t k : result.settingPerSample) {
+        // Only settings exactly as fast as max qualify; max itself
+        // always does.
+        ASSERT_LE(grid.cell(0, k).seconds,
+                  grid.cell(0, max_idx).seconds * (1.0 + 1e-12));
+    }
+}
+
+TEST(CoScale, SavesEnergyVersusMaxSettings)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    CoScaleSearch coscale(grid, 0.10);
+    const CoScaleResult result = coscale.runFromMax();
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    EXPECT_LE(result.energy, grid.totalEnergy(max_idx) + 1e-12);
+}
+
+TEST(CoScale, WarmStartEvaluatesFewerCandidates)
+{
+    // §VI-A: restarting the search from the maximum settings every
+    // interval is wasteful versus warm-starting.
+    CoScaleSearch coscale(test::phasedGrid(), 0.10);
+    EXPECT_LT(coscale.runWarmStart().settingsEvaluated,
+              coscale.runFromMax().settingsEvaluated);
+}
+
+TEST(CoScale, ResultsCoverAllSamples)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    CoScaleSearch coscale(grid, 0.05);
+    const CoScaleResult result = coscale.runWarmStart();
+    EXPECT_EQ(result.settingPerSample.size(), grid.sampleCount());
+    EXPECT_GT(result.time, 0.0);
+    EXPECT_GT(result.energy, 0.0);
+    EXPECT_GE(result.achievedInefficiency, 1.0);
+}
+
+TEST(CoScale, LooserSlackSavesMoreEnergy)
+{
+    CoScaleSearch tight(test::phasedGrid(), 0.02);
+    CoScaleSearch loose(test::phasedGrid(), 0.20);
+    EXPECT_LE(loose.runFromMax().energy,
+              tight.runFromMax().energy + 1e-12);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Unit tests for the absolute-energy rate-limiting baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "baselines/rate_limiter.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+RateLimiterConfig
+baseConfig(const MeasuredGrid &grid)
+{
+    RateLimiterConfig config;
+    config.setting = grid.space().maxSetting();
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    config.epochLength = grid.totalTime(max_idx) / 10.0;
+    // Generous: twice the whole run's energy in the first epoch alone
+    // (headroom over floating-point accumulation).
+    config.energyPerEpoch = grid.totalEnergy(max_idx) * 2.0;
+    return config;
+}
+
+TEST(RateLimiter, Validation)
+{
+    RateLimiterConfig config = baseConfig(test::phasedGrid());
+    config.energyPerEpoch = 0.0;
+    EXPECT_THROW(RateLimiter{config}, FatalError);
+    config = baseConfig(test::phasedGrid());
+    config.epochLength = 0.0;
+    EXPECT_THROW(RateLimiter{config}, FatalError);
+    config = baseConfig(test::phasedGrid());
+    config.idlePower = -1.0;
+    EXPECT_THROW(RateLimiter{config}, FatalError);
+}
+
+TEST(RateLimiter, GenerousBudgetNeverPauses)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    const RateLimiterConfig config = baseConfig(grid);
+    const RateLimiterResult result = RateLimiter(config).run(grid);
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    EXPECT_EQ(result.pausedTime, 0.0);
+    EXPECT_EQ(result.idleEnergy, 0.0);
+    EXPECT_NEAR(result.time, grid.totalTime(max_idx), 1e-12);
+    EXPECT_NEAR(result.taskEnergy, grid.totalEnergy(max_idx), 1e-12);
+}
+
+TEST(RateLimiter, TightBudgetForcesPauses)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    RateLimiterConfig config = baseConfig(grid);
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    // Grant per epoch only a twentieth of what the run needs over ten
+    // epochs: the limiter must stall.
+    config.energyPerEpoch = grid.totalEnergy(max_idx) / 20.0;
+    const RateLimiterResult result = RateLimiter(config).run(grid);
+    EXPECT_GT(result.pausedTime, 0.0);
+    EXPECT_GT(result.idleEnergy, 0.0);
+    EXPECT_GT(result.time, grid.totalTime(max_idx));
+}
+
+TEST(RateLimiter, PausingWastesEnergy)
+{
+    // §II/§IV: pauses burn idle energy without progress, so the
+    // achieved inefficiency of a tight rate limit exceeds the
+    // no-pause baseline.
+    const MeasuredGrid &grid = test::phasedGrid();
+    RateLimiterConfig generous = baseConfig(grid);
+    RateLimiterConfig tight = baseConfig(grid);
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    tight.energyPerEpoch = grid.totalEnergy(max_idx) / 20.0;
+
+    const RateLimiterResult g = RateLimiter(generous).run(grid);
+    const RateLimiterResult t = RateLimiter(tight).run(grid);
+    EXPECT_GT(t.achievedInefficiency, g.achievedInefficiency);
+    EXPECT_GT(t.totalEnergy(), g.totalEnergy());
+}
+
+TEST(RateLimiter, TaskEnergyIndependentOfEpochs)
+{
+    // The task itself runs at a fixed setting; pausing changes only
+    // wall-clock and idle energy.
+    const MeasuredGrid &grid = test::phasedGrid();
+    RateLimiterConfig a = baseConfig(grid);
+    RateLimiterConfig b = baseConfig(grid);
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    b.energyPerEpoch = grid.totalEnergy(max_idx) / 15.0;
+    EXPECT_NEAR(RateLimiter(a).run(grid).taskEnergy,
+                RateLimiter(b).run(grid).taskEnergy, 1e-12);
+}
+
+TEST(RateLimiter, RunsAtConfiguredSetting)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    RateLimiterConfig config = baseConfig(grid);
+    config.setting = grid.space().minSetting();
+    const std::size_t min_idx =
+        grid.space().indexOf(grid.space().minSetting());
+    // Generous budget relative to the low-frequency energy.
+    config.energyPerEpoch = grid.totalEnergy(min_idx) * 2.0;
+    const RateLimiterResult result = RateLimiter(config).run(grid);
+    EXPECT_NEAR(result.taskEnergy, grid.totalEnergy(min_idx), 1e-12);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Calibration regression guards.
+ *
+ * EXPERIMENTS.md records the exact headline numbers the default
+ * configuration produces; these tests pin them (with small slack for
+ * floating-point churn) so an innocent-looking model change cannot
+ * silently shift the reproduced figures.  If one of these fails after
+ * an intentional recalibration, re-measure and update EXPERIMENTS.md
+ * alongside the expectations here.
+ *
+ * These run the paper-default configuration (not the fast test
+ * config), so they double as coverage of the shipped defaults.
+ */
+
+#include <gtest/gtest.h>
+
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+/** Shared default-config suite (built lazily once per binary). */
+ReproSuite &
+suite()
+{
+    static ReproSuite instance;  // paper defaults
+    return instance;
+}
+
+TEST(CalibrationRegression, GobmkFig2Headlines)
+{
+    GridAnalyses a(suite().grid("gobmk"));
+    const auto &space = suite().grid("gobmk").space();
+    // EXPERIMENTS.md: lowest 1.59, fastest-setting I 1.41, Imax 2.08.
+    EXPECT_NEAR(a.analysis.runInefficiency(
+                    space.indexOf(space.minSetting())),
+                1.59, 0.05);
+    EXPECT_NEAR(a.analysis.runInefficiency(
+                    space.indexOf(space.maxSetting())),
+                1.41, 0.05);
+    EXPECT_NEAR(a.analysis.maxRunInefficiency(), 2.08, 0.08);
+}
+
+TEST(CalibrationRegression, GobmkFig8Row)
+{
+    GridAnalyses a(suite().grid("gobmk"));
+    // EXPERIMENTS.md: 74 / 46 / 44 / 44 per billion at I=1.3.
+    EXPECT_NEAR(a.transitions.forOptimalTracking(1.3)
+                    .perBillionInstructions,
+                74.0, 8.0);
+    EXPECT_NEAR(a.transitions.forClusterPolicy(1.3, 0.01)
+                    .perBillionInstructions,
+                46.0, 8.0);
+    EXPECT_NEAR(a.transitions.forClusterPolicy(1.3, 0.05)
+                    .perBillionInstructions,
+                44.0, 8.0);
+}
+
+TEST(CalibrationRegression, Bzip2Fig10Row)
+{
+    GridAnalyses a(suite().grid("bzip2"));
+    // EXPERIMENTS.md: 1.000 / 0.666 / 0.505 / 0.447 / 0.402.
+    EXPECT_NEAR(a.tradeoff.normalizedExecutionTime(1.1), 0.666, 0.02);
+    EXPECT_NEAR(a.tradeoff.normalizedExecutionTime(1.2), 0.505, 0.02);
+    EXPECT_NEAR(a.tradeoff.normalizedExecutionTime(1.3), 0.447, 0.02);
+    EXPECT_NEAR(a.tradeoff.normalizedExecutionTime(1.6), 0.402, 0.02);
+}
+
+TEST(CalibrationRegression, Bzip2MemoryInsensitivity)
+{
+    // §V: bzip2 within a few percent between 200 and 800 MHz memory
+    // at 1 GHz CPU (EXPERIMENTS records 2%).
+    const MeasuredGrid &grid = suite().grid("bzip2");
+    const auto &space = grid.space();
+    const Seconds slow = grid.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(200)}));
+    const Seconds fast = grid.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(800)}));
+    EXPECT_LT((slow - fast) / fast, 0.04);
+}
+
+TEST(CalibrationRegression, GobmkFig11WithOverhead)
+{
+    GridAnalyses a(suite().grid("gobmk"));
+    const TradeoffRow row = a.tradeoff.compare(1.3, 0.03);
+    // EXPERIMENTS.md: -0.11% perf / -0.15% energy without overhead,
+    // +1.65% / -0.27% with.
+    EXPECT_NEAR(row.perfPct, -0.11, 0.3);
+    EXPECT_NEAR(row.energyPct, -0.15, 0.3);
+    EXPECT_NEAR(row.perfPctWithOverhead, 1.65, 0.7);
+    EXPECT_LT(row.energyPctWithOverhead, 0.0);
+}
+
+TEST(CalibrationRegression, GobmkFig3TransitionCounts)
+{
+    GridAnalyses a(suite().grid("gobmk"));
+    // EXPERIMENTS.md: 22 (I=1.0), 37 (I=1.3), 0 (I=1.6), 0 (inf).
+    EXPECT_NEAR(static_cast<double>(
+                    a.transitions.forOptimalTracking(1.0).transitions),
+                22.0, 5.0);
+    EXPECT_NEAR(static_cast<double>(
+                    a.transitions.forOptimalTracking(1.3).transitions),
+                37.0, 5.0);
+    EXPECT_EQ(a.transitions.forOptimalTracking(1.6).transitions, 0u);
+    EXPECT_EQ(
+        a.transitions.forOptimalTracking(kUnboundedBudget).transitions,
+        0u);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the command-line argument parser.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+ArgParser
+parser()
+{
+    ArgParser args("test");
+    args.addOption("budget");
+    args.addOption("out");
+    args.addFlag("fine");
+    return args;
+}
+
+TEST(ArgParser, PositionalsCollected)
+{
+    ArgParser args = parser();
+    args.parse({"regions", "gobmk"});
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[0], "regions");
+    EXPECT_EQ(args.positionals()[1], "gobmk");
+}
+
+TEST(ArgParser, OptionsAndFlagsMixedWithPositionals)
+{
+    ArgParser args = parser();
+    args.parse({"grid", "--budget", "1.3", "lbm", "--fine"});
+    EXPECT_EQ(args.get("budget"), "1.3");
+    EXPECT_TRUE(args.flag("fine"));
+    ASSERT_EQ(args.positionals().size(), 2u);
+    EXPECT_EQ(args.positionals()[1], "lbm");
+}
+
+TEST(ArgParser, DefaultsWhenAbsent)
+{
+    ArgParser args = parser();
+    args.parse({"cmd"});
+    EXPECT_FALSE(args.has("budget"));
+    EXPECT_FALSE(args.flag("fine"));
+    EXPECT_EQ(args.get("out", "fallback"), "fallback");
+    EXPECT_DOUBLE_EQ(args.getDouble("budget", 1.5), 1.5);
+    EXPECT_EQ(args.getInt("budget", 7), 7);
+}
+
+TEST(ArgParser, NumericConversions)
+{
+    ArgParser args = parser();
+    args.parse({"--budget", "1.25"});
+    EXPECT_DOUBLE_EQ(args.getDouble("budget", 0.0), 1.25);
+
+    ArgParser ints("test");
+    ints.addOption("n");
+    ints.parse({"--n", "42"});
+    EXPECT_EQ(ints.getInt("n", 0), 42);
+}
+
+TEST(ArgParser, BadNumberThrows)
+{
+    ArgParser args = parser();
+    args.parse({"--budget", "abc"});
+    EXPECT_THROW(args.getDouble("budget", 0.0), FatalError);
+}
+
+TEST(ArgParser, UnknownOptionThrows)
+{
+    ArgParser args = parser();
+    EXPECT_THROW(args.parse({"--bogus", "1"}), FatalError);
+}
+
+TEST(ArgParser, MissingValueThrows)
+{
+    ArgParser args = parser();
+    EXPECT_THROW(args.parse({"--budget"}), FatalError);
+}
+
+TEST(ArgParser, DoubleDashEndsOptions)
+{
+    ArgParser args = parser();
+    args.parse({"--fine", "--", "--budget"});
+    EXPECT_TRUE(args.flag("fine"));
+    ASSERT_EQ(args.positionals().size(), 1u);
+    EXPECT_EQ(args.positionals()[0], "--budget");
+}
+
+} // namespace
+} // namespace mcdvfs

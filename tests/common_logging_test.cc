@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Unit tests for the error-reporting primitives.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(Logging, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("boom"), FatalError);
+}
+
+TEST(Logging, FatalConcatenatesArguments)
+{
+    try {
+        fatal("value is ", 42, ", expected ", 7.5);
+        FAIL() << "fatal must throw";
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "value is 42, expected 7.5");
+    }
+}
+
+TEST(Logging, FatalErrorIsARuntimeError)
+{
+    // Callers that only know std::exception still catch it.
+    EXPECT_THROW(fatal("x"), std::runtime_error);
+}
+
+TEST(Logging, WarnAndInformDoNotThrow)
+{
+    EXPECT_NO_THROW(warn("just a warning ", 1));
+    EXPECT_NO_THROW(inform("status ", 2));
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(MCDVFS_PANIC("bug ", 13), "panic: bug 13");
+}
+
+TEST(LoggingDeathTest, AssertAbortsOnFalse)
+{
+    EXPECT_DEATH(MCDVFS_ASSERT(1 == 2, "math broke"),
+                 "assertion failed");
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(MCDVFS_ASSERT(1 + 1 == 2, "fine"));
+}
+
+} // namespace
+} // namespace mcdvfs

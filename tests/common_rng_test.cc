@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit and property tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(123);
+    Rng b(123);
+    for (int i = 0; i < 1000; ++i)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double total = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        total += rng.uniform();
+    EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntRespectsBound)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        ASSERT_LT(rng.uniformInt(17), 17u);
+}
+
+TEST(Rng, UniformIntCoversAllValues)
+{
+    Rng rng(5);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 8000; ++i)
+        ++seen[rng.uniformInt(8)];
+    for (int count : seen) {
+        EXPECT_GT(count, 800);
+        EXPECT_LT(count, 1200);
+    }
+}
+
+TEST(Rng, UniformRangeInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformRange(-3, 3);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 3);
+        saw_lo = saw_lo || v == -3;
+        saw_hi = saw_hi || v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricWithCertainSuccess)
+{
+    Rng rng(19);
+    EXPECT_EQ(rng.geometric(1.0), 0u);
+    EXPECT_EQ(rng.geometric(2.0), 0u);
+}
+
+TEST(Rng, GeometricMean)
+{
+    Rng rng(23);
+    double total = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        total += static_cast<double>(rng.geometric(0.25));
+    // Mean of failures-before-success is (1-p)/p = 3.
+    EXPECT_NEAR(total / n, 3.0, 0.1);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(29);
+    double sum = 0.0;
+    double sq = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng parent(31);
+    Rng child = parent.fork();
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += parent.next() == child.next();
+    EXPECT_LT(same, 3);
+}
+
+/** Property sweep: uniformInt stays in range for many bounds. */
+class RngBoundProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RngBoundProperty, UniformIntWithinBound)
+{
+    const std::uint64_t bound = GetParam();
+    Rng rng(bound * 2654435761u + 1);
+    for (int i = 0; i < 2000; ++i)
+        ASSERT_LT(rng.uniformInt(bound), bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundProperty,
+                         ::testing::Values(1, 2, 3, 7, 64, 1000,
+                                           1u << 20, (1ull << 40) + 7));
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for RunningStats and Distribution.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(RunningStats, EmptyDefaults)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_EQ(stats.mean(), 0.0);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_EQ(stats.min(), 0.0);
+    EXPECT_EQ(stats.max(), 0.0);
+    EXPECT_EQ(stats.sum(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats stats;
+    stats.add(4.5);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 4.5);
+    EXPECT_EQ(stats.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 4.5);
+    EXPECT_DOUBLE_EQ(stats.max(), 4.5);
+}
+
+TEST(RunningStats, KnownMoments)
+{
+    RunningStats stats;
+    for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        stats.add(v);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    // Sample variance with n-1 denominator: 32/7.
+    EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+    EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, NegativeValues)
+{
+    RunningStats stats;
+    stats.add(-3.0);
+    stats.add(3.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+}
+
+TEST(Distribution, QuantilesOfKnownSet)
+{
+    Distribution dist;
+    for (const double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        dist.add(v);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.25), 2.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.5), 3.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.75), 4.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(1.0), 5.0);
+}
+
+TEST(Distribution, QuantileInterpolates)
+{
+    Distribution dist;
+    dist.add(0.0);
+    dist.add(10.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.5), 5.0);
+    EXPECT_DOUBLE_EQ(dist.quantile(0.1), 1.0);
+}
+
+TEST(Distribution, InsertionOrderIrrelevant)
+{
+    Distribution a;
+    Distribution b;
+    for (const double v : {5.0, 1.0, 3.0})
+        a.add(v);
+    for (const double v : {1.0, 3.0, 5.0})
+        b.add(v);
+    EXPECT_DOUBLE_EQ(a.quantile(0.5), b.quantile(0.5));
+}
+
+TEST(Distribution, SingleValueSummary)
+{
+    Distribution dist;
+    dist.add(7.0);
+    const BoxSummary box = dist.summary();
+    EXPECT_DOUBLE_EQ(box.min, 7.0);
+    EXPECT_DOUBLE_EQ(box.median, 7.0);
+    EXPECT_DOUBLE_EQ(box.max, 7.0);
+    EXPECT_DOUBLE_EQ(box.mean, 7.0);
+    EXPECT_EQ(box.count, 1u);
+}
+
+TEST(Distribution, EmptySummaryIsZero)
+{
+    const BoxSummary box = Distribution{}.summary();
+    EXPECT_EQ(box.count, 0u);
+    EXPECT_EQ(box.median, 0.0);
+}
+
+TEST(Distribution, MeanMatchesRunningStats)
+{
+    Distribution dist;
+    RunningStats stats;
+    for (int i = 1; i <= 50; ++i) {
+        dist.add(i * 0.5);
+        stats.add(i * 0.5);
+    }
+    EXPECT_NEAR(dist.mean(), stats.mean(), 1e-12);
+}
+
+TEST(DistributionDeathTest, QuantileOfEmptyPanics)
+{
+    Distribution dist;
+    EXPECT_DEATH(dist.quantile(0.5), "empty distribution");
+}
+
+TEST(DistributionDeathTest, QuantileOutOfRangePanics)
+{
+    Distribution dist;
+    dist.add(1.0);
+    EXPECT_DEATH(dist.quantile(1.5), "q in");
+}
+
+} // namespace
+} // namespace mcdvfs

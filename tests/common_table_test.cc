@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Unit tests for the table/CSV renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(Table, RendersHeadersAndRows)
+{
+    Table table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    std::ostringstream os;
+    table.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(Table, TitlePrinted)
+{
+    Table table({"x"});
+    table.setTitle("my title");
+    std::ostringstream os;
+    table.print(os);
+    EXPECT_NE(os.str().find("# my title"), std::string::npos);
+}
+
+TEST(Table, ColumnsAligned)
+{
+    Table table({"a", "b"});
+    table.addRow({"xxxxxx", "1"});
+    table.addRow({"y", "2"});
+    std::ostringstream os;
+    table.print(os);
+    std::istringstream is(os.str());
+    std::string header;
+    std::string rule;
+    std::string row1;
+    std::string row2;
+    std::getline(is, header);
+    std::getline(is, rule);
+    std::getline(is, row1);
+    std::getline(is, row2);
+    // The second column starts at the same offset in both rows.
+    EXPECT_EQ(row1.find('1'), row2.find('2'));
+}
+
+TEST(Table, RowArityMismatchThrows)
+{
+    Table table({"a", "b"});
+    EXPECT_THROW(table.addRow({"only one"}), FatalError);
+    EXPECT_THROW(table.addRow({"1", "2", "3"}), FatalError);
+}
+
+TEST(Table, CsvFormat)
+{
+    Table table({"a", "b"});
+    table.addRow({"1", "2"});
+    std::ostringstream os;
+    table.printCsv(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 0), "3");
+    EXPECT_EQ(Table::num(static_cast<long long>(-42)), "-42");
+}
+
+TEST(Table, RowCountTracked)
+{
+    Table table({"a"});
+    EXPECT_EQ(table.rows(), 0u);
+    table.addRow({"x"});
+    table.addRow({"y"});
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+} // namespace
+} // namespace mcdvfs

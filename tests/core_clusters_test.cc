@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit and property tests for performance clusters (§VI-A).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+#include "core/performance_clusters.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), finder(analysis), clusters(finder)
+    {
+    }
+};
+
+TEST(Clusters, ContainsItsOptimum)
+{
+    Chain chain(test::phasedGrid());
+    for (std::size_t s = 0; s < test::phasedGrid().sampleCount();
+         ++s) {
+        const PerformanceCluster cluster =
+            chain.clusters.clusterForSample(s, 1.3, 0.03);
+        ASSERT_TRUE(cluster.contains(cluster.optimal.settingIndex));
+        ASSERT_FALSE(cluster.settings.empty());
+    }
+}
+
+TEST(Clusters, MembersAreFeasibleAndNearOptimal)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const double budget = 1.3;
+    const double threshold = 0.05;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const PerformanceCluster cluster =
+            chain.clusters.clusterForSample(s, budget, threshold);
+        for (const std::size_t k : cluster.settings) {
+            ASSERT_LE(chain.analysis.sampleInefficiency(s, k),
+                      budget + 1e-12);
+            ASSERT_GE(chain.analysis.sampleSpeedup(s, k),
+                      cluster.optimal.speedup * (1.0 - threshold) -
+                          1e-12);
+        }
+    }
+}
+
+TEST(Clusters, GrowWithThreshold)
+{
+    Chain chain(test::phasedGrid());
+    for (std::size_t s = 0; s < test::phasedGrid().sampleCount();
+         s += 2) {
+        const auto narrow =
+            chain.clusters.clusterForSample(s, 1.3, 0.01);
+        const auto wide =
+            chain.clusters.clusterForSample(s, 1.3, 0.05);
+        ASSERT_GE(wide.settings.size(), narrow.settings.size());
+        for (const std::size_t k : narrow.settings) {
+            ASSERT_TRUE(std::find(wide.settings.begin(),
+                                  wide.settings.end(),
+                                  k) != wide.settings.end());
+        }
+    }
+}
+
+TEST(Clusters, NegativeThresholdThrows)
+{
+    Chain chain(test::phasedGrid());
+    EXPECT_THROW(chain.clusters.clusterForSample(0, 1.3, -0.01),
+                 FatalError);
+}
+
+TEST(Clusters, ZeroThresholdStillHasNoiseWindowMembers)
+{
+    // With threshold 0 the cluster reduces to settings matching the
+    // optimal speedup exactly — at least the optimum itself.
+    Chain chain(test::phasedGrid());
+    const PerformanceCluster cluster =
+        chain.clusters.clusterForSample(0, 1.3, 0.0);
+    EXPECT_GE(cluster.settings.size(), 1u);
+}
+
+TEST(Clusters, PerSampleVectorCoversRun)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const auto all = chain.clusters.clusters(1.3, 0.03);
+    ASSERT_EQ(all.size(), grid.sampleCount());
+}
+
+TEST(Clusters, CpuBoundSampleSpansMemoryFrequencies)
+{
+    // §VI-A (milc): for CPU-intensive samples a cluster covers a wide
+    // range of memory settings at a given CPU frequency.  Sample 0 of
+    // the fixture is a cpu phase.
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const PerformanceCluster cluster =
+        chain.clusters.clusterForSample(0, 1.3, 0.05);
+    Hertz mem_lo = megaHertz(800);
+    Hertz mem_hi = megaHertz(200);
+    for (const std::size_t k : cluster.settings) {
+        mem_lo = std::min(mem_lo, grid.space().at(k).mem);
+        mem_hi = std::max(mem_hi, grid.space().at(k).mem);
+    }
+    EXPECT_GE(mem_hi - mem_lo, megaHertz(100) - 1.0);
+}
+
+/** Property: cluster membership is monotone in the budget too. */
+class ClusterBudgetProperty : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(ClusterBudgetProperty, OptimalSpeedupNonDecreasingInBudget)
+{
+    Chain chain(test::phasedGrid());
+    const double threshold = GetParam();
+    for (std::size_t s = 0; s < test::phasedGrid().sampleCount();
+         s += 3) {
+        double prev = 0.0;
+        for (const double budget : {1.0, 1.2, 1.4, 1.8}) {
+            const PerformanceCluster cluster =
+                chain.clusters.clusterForSample(s, budget, threshold);
+            ASSERT_GE(cluster.optimal.speedup, prev - 1e-12);
+            prev = cluster.optimal.speedup;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ClusterBudgetProperty,
+                         ::testing::Values(0.01, 0.03, 0.05));
+
+} // namespace
+} // namespace mcdvfs

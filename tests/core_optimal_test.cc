@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit and property tests for the §V optimal-settings search.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include <algorithm>
+
+#include "core/optimal_settings.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(OptimalSettings, BudgetBelowOneThrows)
+{
+    InefficiencyAnalysis analysis(test::phasedGrid());
+    OptimalSettingsFinder finder(analysis);
+    EXPECT_THROW(finder.feasibleSettings(0, 0.9), FatalError);
+    EXPECT_THROW(finder.optimalForSample(0, 0.5), FatalError);
+}
+
+TEST(OptimalSettings, NegativeNoiseThresholdThrows)
+{
+    InefficiencyAnalysis analysis(test::phasedGrid());
+    EXPECT_THROW(OptimalSettingsFinder(analysis, -0.1), FatalError);
+}
+
+TEST(OptimalSettings, ChoiceIsAlwaysFeasible)
+{
+    InefficiencyAnalysis analysis(test::phasedGrid());
+    OptimalSettingsFinder finder(analysis);
+    for (const double budget : {1.0, 1.15, 1.3, 1.6}) {
+        for (std::size_t s = 0;
+             s < test::phasedGrid().sampleCount(); ++s) {
+            const OptimalChoice choice =
+                finder.optimalForSample(s, budget);
+            ASSERT_LE(choice.inefficiency, budget + 1e-12);
+        }
+    }
+}
+
+TEST(OptimalSettings, BudgetOnePicksEminSetting)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const OptimalChoice choice = finder.optimalForSample(s, 1.0);
+        ASSERT_NEAR(grid.cell(s, choice.settingIndex).energy(),
+                    grid.sampleEmin(s),
+                    grid.sampleEmin(s) * 1e-9);
+    }
+}
+
+TEST(OptimalSettings, UnboundedPicksMaxPerformance)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const OptimalChoice choice =
+            finder.optimalForSample(s, kUnboundedBudget);
+        // Max setting is the fastest (monotone model) and wins the
+        // tie-break.
+        ASSERT_TRUE(choice.setting == grid.space().maxSetting());
+    }
+}
+
+TEST(OptimalSettings, FeasibleSetsNestedInBudget)
+{
+    InefficiencyAnalysis analysis(test::phasedGrid());
+    OptimalSettingsFinder finder(analysis);
+    for (std::size_t s = 0; s < test::phasedGrid().sampleCount();
+         s += 3) {
+        const auto narrow = finder.feasibleSettings(s, 1.1);
+        const auto wide = finder.feasibleSettings(s, 1.4);
+        ASSERT_GE(wide.size(), narrow.size());
+        for (const std::size_t k : narrow) {
+            ASSERT_TRUE(std::find(wide.begin(), wide.end(), k) !=
+                        wide.end());
+        }
+    }
+}
+
+TEST(OptimalSettings, SpeedupMonotoneInBudget)
+{
+    InefficiencyAnalysis analysis(test::phasedGrid());
+    OptimalSettingsFinder finder(analysis);
+    for (std::size_t s = 0; s < test::phasedGrid().sampleCount();
+         ++s) {
+        double prev = 0.0;
+        for (const double budget : {1.0, 1.1, 1.2, 1.3, 1.6, 2.0}) {
+            const double speedup =
+                finder.optimalForSample(s, budget).speedup;
+            ASSERT_GE(speedup, prev - 1e-12);
+            prev = speedup;
+        }
+    }
+}
+
+TEST(OptimalSettings, TieBreakPrefersHighCpuThenMem)
+{
+    // With a huge noise window every feasible setting ties, so the
+    // tie-break alone decides: highest CPU, then highest memory.
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder loose(analysis, /*noise_threshold=*/1.0);
+    const OptimalChoice choice =
+        loose.optimalForSample(0, kUnboundedBudget);
+    EXPECT_TRUE(choice.setting == grid.space().maxSetting());
+}
+
+TEST(OptimalSettings, TrajectoryCoversAllSamples)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    const auto trajectory = finder.optimalTrajectory(1.3);
+    ASSERT_EQ(trajectory.size(), grid.sampleCount());
+    for (std::size_t s = 0; s < trajectory.size(); ++s) {
+        ASSERT_DOUBLE_EQ(trajectory[s].speedup,
+                         analysis.sampleSpeedup(
+                             s, trajectory[s].settingIndex));
+    }
+}
+
+TEST(OptimalSettings, PhasesGetDifferentOptima)
+{
+    // The fixture alternates cpu/mem phases every 3 samples; at a
+    // binding budget the optima must differ across phases somewhere.
+    InefficiencyAnalysis analysis(test::phasedGrid());
+    OptimalSettingsFinder finder(analysis);
+    const auto trajectory = finder.optimalTrajectory(1.0);
+    bool differs = false;
+    for (std::size_t s = 1; s < trajectory.size(); ++s)
+        differs |= !(trajectory[s].setting == trajectory[0].setting);
+    EXPECT_TRUE(differs);
+}
+
+/** Property sweep over budgets x noise thresholds. */
+class OptimalProperty
+    : public ::testing::TestWithParam<std::pair<double, double>>
+{
+};
+
+TEST_P(OptimalProperty, OptimumIsBestFeasibleSpeedup)
+{
+    const auto [budget, noise] = GetParam();
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis, noise);
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const OptimalChoice choice = finder.optimalForSample(s, budget);
+        double best = 0.0;
+        for (const std::size_t k : finder.feasibleSettings(s, budget))
+            best = std::max(best, analysis.sampleSpeedup(s, k));
+        // Within the noise window of the best feasible speedup.
+        ASSERT_GE(choice.speedup, best * (1.0 - noise) - 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptimalProperty,
+    ::testing::Values(std::make_pair(1.0, 0.005),
+                      std::make_pair(1.2, 0.005),
+                      std::make_pair(1.3, 0.0),
+                      std::make_pair(1.6, 0.02),
+                      std::make_pair(kUnboundedBudget, 0.005)));
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the optimal-settings search strategies (§VI-B/§VII
+ * warm-start claim, on the energy-constrained problem).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/search_strategies.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    SettingsSearch search;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), search(analysis)
+    {
+    }
+};
+
+TEST(SettingsSearch, BruteForceEvaluatesWholeSpace)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const SearchOutcome outcome = chain.search.bruteForce(0, 1.3);
+    EXPECT_EQ(outcome.evaluations, grid.settingCount());
+    EXPECT_GT(outcome.speedup, 1.0);
+}
+
+TEST(SettingsSearch, BruteForceMatchesFinder)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    OptimalSettingsFinder finder(chain.analysis,
+                                 /*noise_threshold=*/0.0);
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        const SearchOutcome search = chain.search.bruteForce(s, 1.3);
+        const OptimalChoice choice = finder.optimalForSample(s, 1.3);
+        EXPECT_NEAR(search.speedup, choice.speedup,
+                    choice.speedup * 1e-12)
+            << "sample " << s;
+    }
+}
+
+TEST(SettingsSearch, ClimbResultIsFeasible)
+{
+    Chain chain(test::phasedGrid());
+    for (const double budget : {1.0, 1.2, 1.4}) {
+        const SearchTrajectory trajectory =
+            chain.search.runColdClimb(budget);
+        for (std::size_t s = 0;
+             s < trajectory.perSample.size(); ++s) {
+            EXPECT_LE(chain.analysis.sampleInefficiency(
+                          s, trajectory.perSample[s].settingIndex),
+                      budget + 1e-12);
+        }
+    }
+}
+
+TEST(SettingsSearch, WarmClimbUsesFewerEvaluationsThanBruteForce)
+{
+    // Cold-starting at the minimum setting can be *infeasible*
+    // (running slowest is often over budget — §IV observation 1), so
+    // the cold climb may pay a fallback Emin scan.  The warm start
+    // avoids that and must beat brute force clearly.
+    Chain chain(test::phasedGrid());
+    const SearchTrajectory brute = chain.search.runBruteForce(1.3);
+    const SearchTrajectory warm = chain.search.runWarmClimb(1.3);
+    EXPECT_LT(warm.totalEvaluations, brute.totalEvaluations / 2);
+}
+
+TEST(SettingsSearch, WarmStartBeatsColdStart)
+{
+    // §VI-B: starting from the previous interval's answer is cheaper
+    // because phases are often stable.
+    Chain chain(test::phasedGrid());
+    const SearchTrajectory cold = chain.search.runColdClimb(1.3);
+    const SearchTrajectory warm = chain.search.runWarmClimb(1.3);
+    EXPECT_LT(warm.totalEvaluations, cold.totalEvaluations);
+}
+
+TEST(SettingsSearch, ClimbGapIsSmall)
+{
+    // The lattice is benign enough that hill climbing lands within a
+    // few percent of brute force on average.
+    Chain chain(test::phasedGrid());
+    EXPECT_EQ(chain.search.runBruteForce(1.3).optimalityGapPct, 0.0);
+    EXPECT_LT(chain.search.runColdClimb(1.3).optimalityGapPct, 5.0);
+    EXPECT_LT(chain.search.runWarmClimb(1.3).optimalityGapPct, 5.0);
+}
+
+TEST(SettingsSearch, InfeasibleWarmStartRecovers)
+{
+    // Starting the climb from the max setting when it is over budget
+    // must still return a feasible answer.
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    const SearchOutcome outcome =
+        chain.search.hillClimb(0, 1.0 + 1e-9, max_idx);
+    EXPECT_LE(chain.analysis.sampleInefficiency(
+                  0, outcome.settingIndex),
+              1.0 + 1e-6);
+}
+
+} // namespace
+} // namespace mcdvfs

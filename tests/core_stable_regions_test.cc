@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit and property tests for stable regions (§VI-B).
+ *
+ * The defining invariants: regions tile the run; every region has at
+ * least one setting common to all its samples' clusters; the region
+ * is maximal (extending it by one sample would empty the common set);
+ * the chosen setting is the preferred (highest CPU, then memory)
+ * common setting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/stable_regions.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+    StableRegionFinder regions;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), finder(analysis), clusters(finder),
+          regions(clusters)
+    {
+    }
+};
+
+TEST(StableRegions, TileTheRun)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const auto regions = chain.regions.find(1.3, 0.03);
+    ASSERT_FALSE(regions.empty());
+    EXPECT_EQ(regions.front().first, 0u);
+    EXPECT_EQ(regions.back().last, grid.sampleCount() - 1);
+    for (std::size_t r = 1; r < regions.size(); ++r)
+        ASSERT_EQ(regions[r].first, regions[r - 1].last + 1);
+}
+
+TEST(StableRegions, ChosenSettingInEveryMemberCluster)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const double budget = 1.3;
+    const double threshold = 0.05;
+    for (const StableRegion &region :
+         chain.regions.find(budget, threshold)) {
+        for (std::size_t s = region.first; s <= region.last; ++s) {
+            const PerformanceCluster cluster =
+                chain.clusters.clusterForSample(s, budget, threshold);
+            ASSERT_TRUE(cluster.contains(region.chosenSettingIndex))
+                << "region [" << region.first << "," << region.last
+                << "] setting not in cluster of sample " << s;
+        }
+    }
+    (void)grid;
+}
+
+TEST(StableRegions, RegionsAreMaximal)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const double budget = 1.3;
+    const double threshold = 0.03;
+    const auto regions = chain.regions.find(budget, threshold);
+    for (std::size_t r = 0; r + 1 < regions.size(); ++r) {
+        // No available setting of region r is in the next sample's
+        // cluster (otherwise the region would have been extended).
+        const PerformanceCluster next = chain.clusters.clusterForSample(
+            regions[r].last + 1, budget, threshold);
+        for (const std::size_t k : regions[r].availableSettings)
+            ASSERT_FALSE(next.contains(k));
+    }
+}
+
+TEST(StableRegions, ChosenIsPreferredCommonSetting)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    for (const StableRegion &region : chain.regions.find(1.3, 0.05)) {
+        for (const std::size_t k : region.availableSettings) {
+            ASSERT_FALSE(settingPreferred(
+                grid.space().at(k),
+                grid.space().at(region.chosenSettingIndex)));
+        }
+        ASSERT_TRUE(grid.space().at(region.chosenSettingIndex) ==
+                    region.chosenSetting);
+    }
+}
+
+TEST(StableRegions, SteadyWorkloadNeedsFewRegions)
+{
+    // A constant-phase workload with a tolerant threshold collapses
+    // to very few regions.
+    Chain chain(test::steadyGrid());
+    const auto regions = chain.regions.find(1.3, 0.05);
+    EXPECT_LE(regions.size(), 3u);
+}
+
+TEST(StableRegions, LengthAccessor)
+{
+    StableRegion region;
+    region.first = 4;
+    region.last = 9;
+    EXPECT_EQ(region.length(), 6u);
+}
+
+TEST(StableRegions, FromClustersMatchesFind)
+{
+    Chain chain(test::phasedGrid());
+    const auto direct = chain.regions.find(1.3, 0.03);
+    const auto via = chain.regions.fromClusters(
+        chain.clusters.clusters(1.3, 0.03));
+    ASSERT_EQ(direct.size(), via.size());
+    for (std::size_t r = 0; r < direct.size(); ++r) {
+        EXPECT_EQ(direct[r].first, via[r].first);
+        EXPECT_EQ(direct[r].last, via[r].last);
+        EXPECT_EQ(direct[r].chosenSettingIndex,
+                  via[r].chosenSettingIndex);
+    }
+}
+
+/**
+ * Property (§VI summary point 1): wider thresholds produce no more
+ * regions than narrower ones on the same grid/budget.
+ */
+class RegionThresholdProperty
+    : public ::testing::TestWithParam<double /*budget*/>
+{
+};
+
+TEST_P(RegionThresholdProperty, RegionCountNonIncreasingInThreshold)
+{
+    Chain chain(test::phasedGrid());
+    const double budget = GetParam();
+    std::size_t prev = SIZE_MAX;
+    for (const double threshold : {0.0, 0.01, 0.03, 0.05, 0.10}) {
+        const std::size_t count =
+            chain.regions.find(budget, threshold).size();
+        ASSERT_LE(count, prev)
+            << "threshold " << threshold << " at budget " << budget;
+        prev = count;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, RegionThresholdProperty,
+                         ::testing::Values(1.0, 1.2, 1.3, 1.6,
+                                           kUnboundedBudget));
+
+} // namespace
+} // namespace mcdvfs

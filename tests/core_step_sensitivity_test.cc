@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Unit tests for the §VI-D step-size sensitivity analysis.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/step_sensitivity.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(StepSensitivity, IdenticalSpacesGiveIdenticalResults)
+{
+    GridRunner runner(test::fastSystemConfig());
+    StepSensitivity sensitivity(runner);
+    const StepSensitivityResult result = sensitivity.compare(
+        test::phasedWorkload(), 1.3, 0.01, SettingsSpace::coarse(),
+        SettingsSpace::coarse());
+    EXPECT_EQ(result.coarse.settings, result.fine.settings);
+    EXPECT_EQ(result.coarse.transitions, result.fine.transitions);
+    EXPECT_DOUBLE_EQ(result.coarse.avgRegionLength,
+                     result.fine.avgRegionLength);
+    EXPECT_NEAR(result.finePerfImprovementPct(), 0.0, 1e-9);
+}
+
+TEST(StepSensitivity, FineGridHasMoreSettings)
+{
+    GridRunner runner(test::fastSystemConfig());
+    StepSensitivity sensitivity(runner);
+    const StepSensitivityResult result = sensitivity.compare(
+        test::phasedWorkload(), 1.3, 0.01, SettingsSpace::coarse(),
+        SettingsSpace::fine());
+    EXPECT_EQ(result.coarse.settings, 70u);
+    EXPECT_EQ(result.fine.settings, 496u);
+}
+
+TEST(StepSensitivity, FineGridPerfGainIsSmall)
+{
+    // §VI-D: "only a small improvement in performance (<1%) with an
+    // increased number of frequency steps when tuning is free" —
+    // allow a slightly wider band for the synthetic fixture.
+    GridRunner runner(test::fastSystemConfig());
+    StepSensitivity sensitivity(runner);
+    const StepSensitivityResult result = sensitivity.compare(
+        test::phasedWorkload(), 1.3, 0.01, SettingsSpace::coarse(),
+        SettingsSpace::fine());
+    EXPECT_LT(std::abs(result.finePerfImprovementPct()), 5.0);
+}
+
+TEST(StepSensitivity, FineGridClustersHaveMoreMembers)
+{
+    // More steps within the same frequency range means more settings
+    // inside any performance band.
+    GridRunner runner(test::fastSystemConfig());
+    StepSensitivity sensitivity(runner);
+    const StepSensitivityResult result = sensitivity.compare(
+        test::phasedWorkload(), 1.3, 0.03, SettingsSpace::coarse(),
+        SettingsSpace::fine());
+    EXPECT_GT(result.fine.avgClusterSize,
+              result.coarse.avgClusterSize);
+}
+
+TEST(StepSensitivity, CharacterizationSharedAcrossSpaces)
+{
+    // The comparison characterizes once; results must match grids
+    // built independently from the same profiles.
+    GridRunner runner(test::fastSystemConfig());
+    StepSensitivity sensitivity(runner);
+    const StepSensitivityResult a = sensitivity.compare(
+        test::phasedWorkload(), 1.3, 0.01, SettingsSpace::coarse(),
+        SettingsSpace::fine());
+    const StepSensitivityResult b = sensitivity.compare(
+        test::phasedWorkload(), 1.3, 0.01, SettingsSpace::coarse(),
+        SettingsSpace::fine());
+    EXPECT_DOUBLE_EQ(a.coarse.optimalTime, b.coarse.optimalTime);
+    EXPECT_DOUBLE_EQ(a.fine.optimalTime, b.fine.optimalTime);
+}
+
+} // namespace
+} // namespace mcdvfs

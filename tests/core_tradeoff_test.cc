@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Unit and property tests for the Fig. 10/11 trade-off evaluation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tradeoff.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+    StableRegionFinder regions;
+    TuningCostModel cost;
+    TradeoffEvaluator tradeoff;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), finder(analysis), clusters(finder),
+          regions(clusters), cost(),
+          tradeoff(regions, clusters, cost)
+    {
+    }
+};
+
+TEST(Tradeoff, OptimalTrackingStaysWithinBudget)
+{
+    // The paper's §VI-C verification: every run remains under its
+    // inefficiency budget.
+    Chain chain(test::phasedGrid());
+    for (const double budget : {1.0, 1.1, 1.2, 1.3, 1.6}) {
+        const PolicyOutcome outcome =
+            chain.tradeoff.optimalTracking(budget);
+        ASSERT_LE(outcome.achievedInefficiency, budget + 1e-9);
+    }
+}
+
+TEST(Tradeoff, ClusterPolicyStaysWithinBudget)
+{
+    Chain chain(test::phasedGrid());
+    for (const double budget : {1.0, 1.2, 1.3, 1.6}) {
+        for (const double threshold : {0.01, 0.03, 0.05}) {
+            const PolicyOutcome outcome =
+                chain.tradeoff.clusterPolicy(budget, threshold);
+            ASSERT_LE(outcome.achievedInefficiency, budget + 1e-9);
+        }
+    }
+}
+
+TEST(Tradeoff, OptimalTrackingTunesEverySample)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const PolicyOutcome outcome = chain.tradeoff.optimalTracking(1.3);
+    EXPECT_EQ(outcome.tuningEvents, grid.sampleCount());
+}
+
+TEST(Tradeoff, ClusterPolicyTunesOncePerRegion)
+{
+    Chain chain(test::phasedGrid());
+    const auto regions = chain.regions.find(1.3, 0.03);
+    const PolicyOutcome outcome =
+        chain.tradeoff.clusterPolicy(1.3, 0.03);
+    EXPECT_EQ(outcome.tuningEvents, regions.size());
+    EXPECT_LE(outcome.transitions, regions.size() - 1 + 1);
+}
+
+TEST(Tradeoff, OverheadAddsLatencyAndEnergy)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const PolicyOutcome outcome = chain.tradeoff.optimalTracking(1.3);
+    const TuningOverhead overhead = chain.cost.overhead(
+        outcome.tuningEvents, grid.settingCount());
+    EXPECT_NEAR(outcome.timeWithOverhead,
+                outcome.time + overhead.latency, 1e-12);
+    EXPECT_NEAR(outcome.energyWithOverhead,
+                outcome.energy + overhead.energy, 1e-12);
+}
+
+TEST(Tradeoff, PerfDegradationWithinThreshold)
+{
+    // Fig. 11(a): the cluster policy never degrades performance by
+    // more than the cluster threshold.
+    Chain chain(test::phasedGrid());
+    for (const double threshold : {0.01, 0.03, 0.05}) {
+        const TradeoffRow row = chain.tradeoff.compare(1.3, threshold);
+        ASSERT_GE(row.perfPct, -threshold * 100.0 - 1e-6);
+        ASSERT_LE(row.perfPct, 1e-6);  // never faster without overhead
+    }
+}
+
+TEST(Tradeoff, ClusterPolicySavesEnergyOrTies)
+{
+    Chain chain(test::phasedGrid());
+    for (const double threshold : {0.01, 0.03, 0.05}) {
+        const TradeoffRow row = chain.tradeoff.compare(1.3, threshold);
+        ASSERT_LE(row.energyPct, 1e-6);
+    }
+}
+
+TEST(Tradeoff, OverheadMakesClusterPolicyRelativelyFaster)
+{
+    // Fig. 11(b): charging per-event overhead always moves the
+    // comparison in the cluster policy's favour (it tunes less).
+    Chain chain(test::phasedGrid());
+    for (const double threshold : {0.01, 0.03, 0.05}) {
+        const TradeoffRow row = chain.tradeoff.compare(1.3, threshold);
+        ASSERT_GE(row.perfPctWithOverhead, row.perfPct - 1e-9);
+    }
+}
+
+TEST(Tradeoff, NormalizedTimeAtUnityIsOne)
+{
+    Chain chain(test::phasedGrid());
+    EXPECT_NEAR(chain.tradeoff.normalizedExecutionTime(1.0), 1.0,
+                1e-12);
+}
+
+TEST(Tradeoff, OptimalTrackingBeatsAnyFixedSetting)
+{
+    // Per-sample optimal selection can never lose to holding a single
+    // setting, at the same budget feasibility.
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const PolicyOutcome outcome =
+        chain.tradeoff.optimalTracking(kUnboundedBudget);
+    for (std::size_t k = 0; k < grid.settingCount(); ++k)
+        ASSERT_LE(outcome.time, grid.totalTime(k) + 1e-12);
+}
+
+/** Property (Fig. 10): execution time non-increasing in the budget. */
+class BudgetSweepProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BudgetSweepProperty, TimeNonIncreasingInBudget)
+{
+    const MeasuredGrid &grid =
+        GetParam() == 0 ? test::phasedGrid() : test::steadyGrid();
+    Chain chain(grid);
+    Seconds prev = 1e18;
+    for (const double budget :
+         {1.0, 1.05, 1.1, 1.2, 1.3, 1.45, 1.6, 2.0}) {
+        const Seconds time = chain.tradeoff.optimalTracking(budget).time;
+        ASSERT_LE(time, prev + 1e-12);
+        prev = time;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, BudgetSweepProperty,
+                         ::testing::Values(0, 1));
+
+} // namespace
+} // namespace mcdvfs

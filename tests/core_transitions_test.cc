@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for transition accounting (Figs. 6-9 machinery).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/transitions.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+    StableRegionFinder regions;
+    TransitionAnalysis transitions;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), finder(analysis), clusters(finder),
+          regions(clusters), transitions(regions, clusters)
+    {
+    }
+};
+
+TEST(Transitions, SequenceCounting)
+{
+    const std::vector<std::size_t> sequence = {1, 1, 2, 2, 2, 3, 1};
+    const TransitionReport report =
+        TransitionAnalysis::fromSettingSequence(sequence, 7'000'000);
+    EXPECT_EQ(report.transitions, 3u);
+    // Run lengths: 2, 3, 1, 1.
+    EXPECT_EQ(report.runLengths.count(), 4u);
+    EXPECT_DOUBLE_EQ(report.runLengths.quantile(1.0), 3.0);
+    // 3 transitions per 7M instructions = 428.57 per billion.
+    EXPECT_NEAR(report.perBillionInstructions, 3e9 / 7e6, 0.1);
+}
+
+TEST(Transitions, ConstantSequenceHasNone)
+{
+    const std::vector<std::size_t> sequence(10, 4);
+    const TransitionReport report =
+        TransitionAnalysis::fromSettingSequence(sequence, 1'000'000);
+    EXPECT_EQ(report.transitions, 0u);
+    EXPECT_EQ(report.runLengths.count(), 1u);
+    EXPECT_DOUBLE_EQ(report.runLengths.quantile(0.5), 10.0);
+}
+
+TEST(Transitions, RunLengthsSumToSampleCount)
+{
+    const std::vector<std::size_t> sequence = {5, 6, 6, 7, 7, 7, 5, 5};
+    const TransitionReport report =
+        TransitionAnalysis::fromSettingSequence(sequence, 1);
+    double total = 0.0;
+    for (const double len : report.runLengths.values())
+        total += len;
+    EXPECT_DOUBLE_EQ(total, 8.0);
+}
+
+TEST(Transitions, ClusterPolicyMatchesRegionBoundaries)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const double budget = 1.3;
+    const double threshold = 0.03;
+    const auto regions = chain.regions.find(budget, threshold);
+    const TransitionReport report =
+        chain.transitions.forClusterPolicy(budget, threshold);
+    // Transitions happen only at region boundaries where the chosen
+    // setting actually changes.
+    std::size_t expected = 0;
+    for (std::size_t r = 1; r < regions.size(); ++r) {
+        expected += regions[r].chosenSettingIndex !=
+                    regions[r - 1].chosenSettingIndex;
+    }
+    EXPECT_EQ(report.transitions, expected);
+}
+
+TEST(Transitions, OptimalTrackingMatchesTrajectory)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const auto trajectory = chain.finder.optimalTrajectory(1.2);
+    std::size_t expected = 0;
+    for (std::size_t s = 1; s < trajectory.size(); ++s) {
+        expected += trajectory[s].settingIndex !=
+                    trajectory[s - 1].settingIndex;
+    }
+    EXPECT_EQ(chain.transitions.forOptimalTracking(1.2).transitions,
+              expected);
+}
+
+TEST(Transitions, ClusterSequenceConstantWithinRegions)
+{
+    Chain chain(test::phasedGrid());
+    const auto regions = chain.regions.find(1.3, 0.05);
+    const auto sequence =
+        chain.transitions.clusterSettingSequence(1.3, 0.05);
+    for (const StableRegion &region : regions) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            ASSERT_EQ(sequence[s], region.chosenSettingIndex);
+    }
+}
+
+TEST(Transitions, PerBillionUsesModeledInstructions)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const TransitionReport report =
+        chain.transitions.forOptimalTracking(1.0);
+    const double expected =
+        static_cast<double>(report.transitions) * 1e9 /
+        static_cast<double>(grid.totalInstructions());
+    EXPECT_DOUBLE_EQ(report.perBillionInstructions, expected);
+}
+
+TEST(TransitionsDeathTest, EmptySequencePanics)
+{
+    EXPECT_DEATH(
+        TransitionAnalysis::fromSettingSequence({}, 100),
+        "empty setting sequence");
+}
+
+} // namespace
+} // namespace mcdvfs

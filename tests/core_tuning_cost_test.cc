@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the §VI-C tuning-overhead model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "core/tuning_cost.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(TuningCost, ReferenceSpaceCostsMatchPaper)
+{
+    // §VI-C: 500 us and 30 uJ per tuning event over 70 settings.
+    const TuningCostModel model;
+    EXPECT_NEAR(model.eventLatency(70), microSeconds(500), 1e-12);
+    EXPECT_NEAR(model.eventEnergy(70), microJoules(30), 1e-15);
+}
+
+TEST(TuningCost, SearchComponentScalesLinearly)
+{
+    const TuningCostModel model;
+    const Seconds at70 = model.eventLatency(70);
+    const Seconds at140 = model.eventLatency(140);
+    const double search = model.params().searchFraction;
+    // Doubling the space doubles only the search share.
+    EXPECT_NEAR(at140 / at70, 1.0 + search, 1e-9);
+}
+
+TEST(TuningCost, FineSpaceCostsMore)
+{
+    const TuningCostModel model;
+    EXPECT_GT(model.eventLatency(496), model.eventLatency(70) * 4.0);
+    EXPECT_GT(model.eventEnergy(496), model.eventEnergy(70) * 4.0);
+}
+
+TEST(TuningCost, OverheadMultipliesByEvents)
+{
+    const TuningCostModel model;
+    const TuningOverhead overhead = model.overhead(10, 70);
+    EXPECT_EQ(overhead.events, 10u);
+    EXPECT_NEAR(overhead.latency, model.eventLatency(70) * 10.0,
+                1e-12);
+    EXPECT_NEAR(overhead.energy, model.eventEnergy(70) * 10.0, 1e-15);
+}
+
+TEST(TuningCost, ZeroEventsFree)
+{
+    const TuningCostModel model;
+    const TuningOverhead overhead = model.overhead(0, 70);
+    EXPECT_EQ(overhead.latency, 0.0);
+    EXPECT_EQ(overhead.energy, 0.0);
+}
+
+TEST(TuningCost, Validation)
+{
+    TuningCostParams params;
+    params.latencyPerEvent = -1.0;
+    EXPECT_THROW(TuningCostModel{params}, FatalError);
+    params = TuningCostParams{};
+    params.referenceSettings = 0;
+    EXPECT_THROW(TuningCostModel{params}, FatalError);
+    params = TuningCostParams{};
+    params.searchFraction = 2.0;
+    EXPECT_THROW(TuningCostModel{params}, FatalError);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Unit tests for the Fig. 1 system stack: frequency drivers, the
+ * DVFS controller device, and PMU counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/dvfs_controller.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(FrequencyDriver, StartsAtHighestStep)
+{
+    FrequencyDriver driver("cpufreq", FrequencyLadder::cpuCoarse(),
+                           microSeconds(60), microJoules(12));
+    EXPECT_DOUBLE_EQ(driver.current(), megaHertz(1000));
+    EXPECT_EQ(driver.transitions(), 0u);
+}
+
+TEST(FrequencyDriver, SnapsToNearestStep)
+{
+    FrequencyDriver driver("cpufreq", FrequencyLadder::cpuCoarse(),
+                           microSeconds(60), microJoules(12));
+    driver.set(megaHertz(472));
+    EXPECT_DOUBLE_EQ(driver.current(), megaHertz(500));
+    driver.set(megaHertz(449));
+    EXPECT_DOUBLE_EQ(driver.current(), megaHertz(400));
+}
+
+TEST(FrequencyDriver, NoOpChangeIsFree)
+{
+    FrequencyDriver driver("memfreq", FrequencyLadder::memCoarse(),
+                           microSeconds(40), microJoules(8));
+    const TransitionCost cost = driver.set(megaHertz(800));
+    EXPECT_EQ(cost.latency, 0.0);
+    EXPECT_EQ(cost.energy, 0.0);
+    EXPECT_EQ(driver.transitions(), 0u);
+}
+
+TEST(FrequencyDriver, ChargesPerActualChange)
+{
+    FrequencyDriver driver("memfreq", FrequencyLadder::memCoarse(),
+                           microSeconds(40), microJoules(8));
+    const TransitionCost cost = driver.set(megaHertz(400));
+    EXPECT_DOUBLE_EQ(cost.latency, microSeconds(40));
+    EXPECT_DOUBLE_EQ(cost.energy, microJoules(8));
+    EXPECT_EQ(driver.transitions(), 1u);
+}
+
+TEST(DvfsController, ProgramsBothDomains)
+{
+    DvfsController controller(SettingsSpace::coarse());
+    const FrequencySetting target{megaHertz(500), megaHertz(400)};
+    controller.set(target);
+    EXPECT_TRUE(controller.current() == target);
+}
+
+TEST(DvfsController, CostOnlyForChangedDomains)
+{
+    const TransitionParams params;
+    DvfsController controller(SettingsSpace::coarse(), params);
+    controller.set({megaHertz(500), megaHertz(400)});
+    // Change only memory.
+    const TransitionCost cost =
+        controller.set({megaHertz(500), megaHertz(600)});
+    EXPECT_DOUBLE_EQ(cost.latency, params.memLatency);
+    EXPECT_DOUBLE_EQ(cost.energy, params.memEnergy);
+    EXPECT_EQ(controller.cpuDriver().transitions(), 1u);
+    EXPECT_EQ(controller.memDriver().transitions(), 2u);
+}
+
+TEST(DvfsController, AccumulatesTotals)
+{
+    const TransitionParams params;
+    DvfsController controller(SettingsSpace::coarse(), params);
+    controller.set({megaHertz(500), megaHertz(400)});
+    controller.set({megaHertz(600), megaHertz(500)});
+    EXPECT_NEAR(controller.totalTransitionLatency(),
+                2.0 * params.cpuLatency + 2.0 * params.memLatency,
+                1e-12);
+    EXPECT_NEAR(controller.totalTransitionEnergy(),
+                2.0 * params.cpuEnergy + 2.0 * params.memEnergy,
+                1e-15);
+}
+
+TEST(DvfsController, LogsTransitions)
+{
+    DvfsController controller(SettingsSpace::coarse());
+    controller.set({megaHertz(500), megaHertz(400)});
+    controller.set({megaHertz(500), megaHertz(400)});  // no-op
+    controller.set({megaHertz(700), megaHertz(400)});
+    ASSERT_EQ(controller.log().size(), 2u);
+    EXPECT_DOUBLE_EQ(controller.log()[0].to.cpu, megaHertz(500));
+    EXPECT_DOUBLE_EQ(controller.log()[1].from.cpu, megaHertz(500));
+    EXPECT_DOUBLE_EQ(controller.log()[1].to.cpu, megaHertz(700));
+    // The no-op still advanced the decision sequence number.
+    EXPECT_EQ(controller.log()[1].sequence, 2u);
+}
+
+TEST(DvfsController, PmuCountersAccumulate)
+{
+    DvfsController controller(SettingsSpace::coarse());
+    PmuCounters delta;
+    delta.instructions = 1000;
+    delta.cycles = 1500;
+    delta.l1Misses = 20;
+    controller.updateCounters(delta);
+    controller.updateCounters(delta);
+    EXPECT_EQ(controller.counters().instructions, 2000u);
+    EXPECT_EQ(controller.counters().cycles, 3000u);
+    EXPECT_EQ(controller.counters().l1Misses, 40u);
+    EXPECT_DOUBLE_EQ(controller.counters().cpi(), 1.5);
+}
+
+TEST(PmuCounters, CpiOfIdleCountersIsZero)
+{
+    EXPECT_EQ(PmuCounters{}.cpi(), 0.0);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for the conservative and schedutil governors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/governor.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+SampleObservation
+obs(double busy, double bw, FrequencySetting at)
+{
+    SampleObservation observation;
+    observation.cpuBusyFrac = busy;
+    observation.memBwUtil = bw;
+    observation.setting = at;
+    return observation;
+}
+
+TEST(ConservativeGovernor, StepsOneAtATime)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    ConservativeGovernor governor(space);
+    const FrequencySetting start = governor.decide(nullptr);
+    EXPECT_TRUE(start == space.maxSetting());
+
+    const SampleObservation idle = obs(0.1, 0.1, start);
+    const FrequencySetting one_down = governor.decide(&idle);
+    EXPECT_DOUBLE_EQ(one_down.cpu, megaHertz(900));
+    EXPECT_DOUBLE_EQ(one_down.mem, megaHertz(700));
+
+    const SampleObservation busy = obs(0.95, 0.95, one_down);
+    const FrequencySetting one_up = governor.decide(&busy);
+    EXPECT_DOUBLE_EQ(one_up.cpu, megaHertz(1000));
+    EXPECT_DOUBLE_EQ(one_up.mem, megaHertz(800));
+}
+
+TEST(ConservativeGovernor, NeverJumpsToMax)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    ConservativeGovernor governor(space);
+    governor.decide(nullptr);
+    // Drain to the bottom first.
+    FrequencySetting current = space.maxSetting();
+    for (int i = 0; i < 20; ++i) {
+        const SampleObservation idle = obs(0.1, 0.1, current);
+        current = governor.decide(&idle);
+    }
+    EXPECT_DOUBLE_EQ(current.cpu, space.minSetting().cpu);
+    // One busy sample raises by exactly one step (not to max).
+    const SampleObservation busy = obs(1.0, 0.2, current);
+    EXPECT_DOUBLE_EQ(governor.decide(&busy).cpu, megaHertz(200));
+}
+
+TEST(ConservativeGovernor, HoldsInDeadband)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    ConservativeGovernor governor(space);
+    FrequencySetting current = governor.decide(nullptr);
+    const SampleObservation mid = obs(0.6, 0.6, current);
+    EXPECT_TRUE(governor.decide(&mid) == current);
+}
+
+TEST(SchedutilGovernor, StartsAtMax)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    SchedutilGovernor governor(space);
+    EXPECT_TRUE(governor.decide(nullptr) == space.maxSetting());
+}
+
+TEST(SchedutilGovernor, ProportionalToUtilization)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    SchedutilGovernor governor(space);
+    governor.decide(nullptr);
+    // Running at 1000 MHz with 40% busy: target = 1.25*0.4*1000 =
+    // 500 MHz, snapped up to 500.
+    const SampleObservation half =
+        obs(0.40, 0.1, space.maxSetting());
+    const FrequencySetting next = governor.decide(&half);
+    EXPECT_DOUBLE_EQ(next.cpu, megaHertz(500));
+    EXPECT_DOUBLE_EQ(next.mem, megaHertz(200));
+}
+
+TEST(SchedutilGovernor, SnapsUpNotDown)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    SchedutilGovernor governor(space);
+    governor.decide(nullptr);
+    // target = 1.25*0.45*1000 = 562.5 -> 600 (never 500).
+    const SampleObservation util =
+        obs(0.45, 0.1, space.maxSetting());
+    EXPECT_DOUBLE_EQ(governor.decide(&util).cpu, megaHertz(600));
+}
+
+TEST(SchedutilGovernor, SaturatesAtMax)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    SchedutilGovernor governor(space);
+    governor.decide(nullptr);
+    const SampleObservation busy =
+        obs(1.0, 1.0, space.maxSetting());
+    EXPECT_TRUE(governor.decide(&busy) == space.maxSetting());
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Unit tests for the simple cpufreq/devfreq-style governors.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/governor.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+SampleObservation
+obs(std::size_t index, double busy, double bw)
+{
+    SampleObservation observation;
+    observation.sampleIndex = index;
+    observation.cpuBusyFrac = busy;
+    observation.memBwUtil = bw;
+    return observation;
+}
+
+TEST(UserspaceGovernor, HoldsProgrammedSetting)
+{
+    const FrequencySetting pinned{megaHertz(300), megaHertz(400)};
+    UserspaceGovernor governor(pinned);
+    EXPECT_TRUE(governor.decide(nullptr) == pinned);
+    const SampleObservation last = obs(0, 1.0, 1.0);
+    EXPECT_TRUE(governor.decide(&last) == pinned);
+}
+
+TEST(UserspaceGovernor, Reprogrammable)
+{
+    UserspaceGovernor governor({megaHertz(300), megaHertz(400)});
+    const FrequencySetting next{megaHertz(800), megaHertz(600)};
+    governor.set(next);
+    EXPECT_TRUE(governor.decide(nullptr) == next);
+}
+
+TEST(PerformanceGovernor, AlwaysMax)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    PerformanceGovernor governor(space);
+    EXPECT_TRUE(governor.decide(nullptr) == space.maxSetting());
+}
+
+TEST(PowersaveGovernor, AlwaysMin)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    PowersaveGovernor governor(space);
+    EXPECT_TRUE(governor.decide(nullptr) == space.minSetting());
+}
+
+TEST(OndemandGovernor, StartsAtMax)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    OndemandGovernor governor(space);
+    EXPECT_TRUE(governor.decide(nullptr) == space.maxSetting());
+}
+
+TEST(OndemandGovernor, StepsDownWhenIdle)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    OndemandGovernor governor(space);
+    governor.decide(nullptr);
+    const SampleObservation idle = obs(0, 0.1, 0.1);
+    const FrequencySetting next = governor.decide(&idle);
+    EXPECT_LT(next.cpu, space.maxSetting().cpu);
+    EXPECT_LT(next.mem, space.maxSetting().mem);
+}
+
+TEST(OndemandGovernor, JumpsToMaxCpuWhenBusy)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    OndemandGovernor governor(space);
+    governor.decide(nullptr);
+    // Drain down first.
+    for (int i = 0; i < 20; ++i) {
+        const SampleObservation idle = obs(i, 0.1, 0.1);
+        governor.decide(&idle);
+    }
+    const SampleObservation busy = obs(21, 0.95, 0.2);
+    EXPECT_DOUBLE_EQ(governor.decide(&busy).cpu,
+                     space.maxSetting().cpu);
+}
+
+TEST(OndemandGovernor, MemoryStepsUpGradually)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    OndemandGovernor governor(space);
+    governor.decide(nullptr);
+    for (int i = 0; i < 20; ++i) {
+        const SampleObservation idle = obs(i, 0.1, 0.1);
+        governor.decide(&idle);
+    }
+    const SampleObservation bw_bound = obs(21, 0.3, 0.95);
+    const Hertz before = governor.decide(&bw_bound).mem;
+    const SampleObservation again = obs(22, 0.3, 0.95);
+    const Hertz after = governor.decide(&again).mem;
+    EXPECT_GT(after, before * 0.999);
+    EXPECT_LE(after - before, megaHertz(100) + 1.0);
+}
+
+TEST(OndemandGovernor, NeverLeavesLadder)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    OndemandGovernor governor(space);
+    governor.decide(nullptr);
+    for (int i = 0; i < 50; ++i) {
+        const SampleObservation idle = obs(i, 0.0, 0.0);
+        const FrequencySetting setting = governor.decide(&idle);
+        EXPECT_GE(setting.cpu, space.minSetting().cpu);
+        EXPECT_GE(setting.mem, space.minSetting().mem);
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Unit tests for the frequency ladders.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dvfs/frequency_ladder.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(FrequencyLadder, PaperCoarseLadders)
+{
+    // §III-C: CPU 100-1000 MHz, memory 200-800 MHz, 100 MHz steps.
+    const FrequencyLadder cpu = FrequencyLadder::cpuCoarse();
+    EXPECT_EQ(cpu.size(), 10u);
+    EXPECT_DOUBLE_EQ(cpu.lowest(), megaHertz(100));
+    EXPECT_DOUBLE_EQ(cpu.highest(), megaHertz(1000));
+
+    const FrequencyLadder mem = FrequencyLadder::memCoarse();
+    EXPECT_EQ(mem.size(), 7u);
+    EXPECT_DOUBLE_EQ(mem.lowest(), megaHertz(200));
+    EXPECT_DOUBLE_EQ(mem.highest(), megaHertz(800));
+}
+
+TEST(FrequencyLadder, PaperFineLaddersGive496Settings)
+{
+    // §III-C: 30 MHz CPU and 40 MHz memory steps, 496 settings total.
+    const FrequencyLadder cpu = FrequencyLadder::cpuFine();
+    const FrequencyLadder mem = FrequencyLadder::memFine();
+    EXPECT_EQ(cpu.size(), 31u);
+    EXPECT_EQ(mem.size(), 16u);
+    EXPECT_EQ(cpu.size() * mem.size(), 496u);
+    EXPECT_DOUBLE_EQ(cpu.highest(), megaHertz(1000));
+    EXPECT_DOUBLE_EQ(mem.highest(), megaHertz(800));
+}
+
+TEST(FrequencyLadder, StepsAscending)
+{
+    const FrequencyLadder ladder = FrequencyLadder::cpuFine();
+    for (std::size_t i = 1; i < ladder.size(); ++i)
+        EXPECT_GT(ladder.at(i), ladder.at(i - 1));
+}
+
+TEST(FrequencyLadder, ClosestIndex)
+{
+    const FrequencyLadder ladder = FrequencyLadder::cpuCoarse();
+    EXPECT_EQ(ladder.closestIndex(megaHertz(100)), 0u);
+    EXPECT_EQ(ladder.closestIndex(megaHertz(1000)), 9u);
+    EXPECT_EQ(ladder.closestIndex(megaHertz(540)), 4u);  // -> 500
+    EXPECT_EQ(ladder.closestIndex(megaHertz(560)), 5u);  // -> 600
+    EXPECT_EQ(ladder.closestIndex(megaHertz(5000)), 9u);
+}
+
+TEST(FrequencyLadder, ExplicitStepList)
+{
+    const FrequencyLadder ladder(
+        std::vector<Hertz>{megaHertz(300), megaHertz(600)});
+    EXPECT_EQ(ladder.size(), 2u);
+    EXPECT_DOUBLE_EQ(ladder.at(1), megaHertz(600));
+}
+
+TEST(FrequencyLadder, Validation)
+{
+    EXPECT_THROW(FrequencyLadder(0.0, megaHertz(100), megaHertz(10)),
+                 FatalError);
+    EXPECT_THROW(
+        FrequencyLadder(megaHertz(200), megaHertz(100), megaHertz(10)),
+        FatalError);
+    EXPECT_THROW(
+        FrequencyLadder(megaHertz(100), megaHertz(200), 0.0),
+        FatalError);
+    EXPECT_THROW(FrequencyLadder(std::vector<Hertz>{}), FatalError);
+    EXPECT_THROW(FrequencyLadder(std::vector<Hertz>{megaHertz(500),
+                                                    megaHertz(100)}),
+                 FatalError);
+}
+
+TEST(FrequencyLadder, SingleStepRange)
+{
+    const FrequencyLadder ladder(megaHertz(500), megaHertz(500),
+                                 megaHertz(100));
+    EXPECT_EQ(ladder.size(), 1u);
+    EXPECT_DOUBLE_EQ(ladder.at(0), megaHertz(500));
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Unit and property tests for the joint settings space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "dvfs/settings_space.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(SettingsSpace, CoarseHas70Settings)
+{
+    EXPECT_EQ(SettingsSpace::coarse().size(), 70u);
+}
+
+TEST(SettingsSpace, FineHas496Settings)
+{
+    EXPECT_EQ(SettingsSpace::fine().size(), 496u);
+}
+
+TEST(SettingsSpace, IndexRoundTrip)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    for (std::size_t k = 0; k < space.size(); ++k)
+        EXPECT_EQ(space.indexOf(space.at(k)), k);
+}
+
+TEST(SettingsSpace, IndexOfUnknownThrows)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    EXPECT_THROW(
+        space.indexOf(FrequencySetting{megaHertz(550), megaHertz(800)}),
+        FatalError);
+    EXPECT_THROW(
+        space.indexOf(FrequencySetting{megaHertz(500), megaHertz(850)}),
+        FatalError);
+}
+
+TEST(SettingsSpace, MaxAndMinSettings)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    EXPECT_DOUBLE_EQ(space.maxSetting().cpu, megaHertz(1000));
+    EXPECT_DOUBLE_EQ(space.maxSetting().mem, megaHertz(800));
+    EXPECT_DOUBLE_EQ(space.minSetting().cpu, megaHertz(100));
+    EXPECT_DOUBLE_EQ(space.minSetting().mem, megaHertz(200));
+}
+
+TEST(SettingsSpace, AllEnumeratesEverySetting)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    const auto all = space.all();
+    ASSERT_EQ(all.size(), 70u);
+    EXPECT_TRUE(all.front() ==
+                (FrequencySetting{megaHertz(100), megaHertz(200)}));
+    EXPECT_TRUE(all.back() == space.maxSetting());
+}
+
+TEST(FrequencySetting, Label)
+{
+    const FrequencySetting setting{megaHertz(920), megaHertz(580)};
+    EXPECT_EQ(setting.label(), "920/580");
+}
+
+TEST(FrequencySetting, PreferenceOrderingCpuFirst)
+{
+    // The paper's tie-break: highest CPU frequency first, then
+    // highest memory frequency.
+    const FrequencySetting a{megaHertz(900), megaHertz(200)};
+    const FrequencySetting b{megaHertz(800), megaHertz(800)};
+    EXPECT_TRUE(settingPreferred(a, b));
+    EXPECT_FALSE(settingPreferred(b, a));
+}
+
+TEST(FrequencySetting, PreferenceOrderingMemSecond)
+{
+    const FrequencySetting a{megaHertz(900), megaHertz(700)};
+    const FrequencySetting b{megaHertz(900), megaHertz(500)};
+    EXPECT_TRUE(settingPreferred(a, b));
+    EXPECT_FALSE(settingPreferred(b, a));
+    EXPECT_FALSE(settingPreferred(a, a));  // strict ordering
+}
+
+/** Property: at() is CPU-major and consistent with the ladders. */
+TEST(SettingsSpace, CpuMajorLayout)
+{
+    const SettingsSpace space = SettingsSpace::coarse();
+    const std::size_t mem_steps = space.memLadder().size();
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        const FrequencySetting setting = space.at(k);
+        EXPECT_DOUBLE_EQ(setting.cpu,
+                         space.cpuLadder().at(k / mem_steps));
+        EXPECT_DOUBLE_EQ(setting.mem,
+                         space.memLadder().at(k % mem_steps));
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

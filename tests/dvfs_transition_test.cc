@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Unit tests for the frequency-transition cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dvfs/transition.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(TransitionModel, NoChangeIsFree)
+{
+    const TransitionModel model;
+    const FrequencySetting setting{megaHertz(500), megaHertz(400)};
+    const TransitionCost cost = model.cost(setting, setting);
+    EXPECT_EQ(cost.latency, 0.0);
+    EXPECT_EQ(cost.energy, 0.0);
+}
+
+TEST(TransitionModel, CpuOnlyChange)
+{
+    const TransitionModel model;
+    const FrequencySetting from{megaHertz(500), megaHertz(400)};
+    const FrequencySetting to{megaHertz(700), megaHertz(400)};
+    const TransitionCost cost = model.cost(from, to);
+    EXPECT_DOUBLE_EQ(cost.latency, model.params().cpuLatency);
+    EXPECT_DOUBLE_EQ(cost.energy, model.params().cpuEnergy);
+}
+
+TEST(TransitionModel, MemOnlyChange)
+{
+    const TransitionModel model;
+    const FrequencySetting from{megaHertz(500), megaHertz(400)};
+    const FrequencySetting to{megaHertz(500), megaHertz(800)};
+    const TransitionCost cost = model.cost(from, to);
+    EXPECT_DOUBLE_EQ(cost.latency, model.params().memLatency);
+    EXPECT_DOUBLE_EQ(cost.energy, model.params().memEnergy);
+}
+
+TEST(TransitionModel, BothDomainsAdditive)
+{
+    const TransitionModel model;
+    const FrequencySetting from{megaHertz(500), megaHertz(400)};
+    const FrequencySetting to{megaHertz(700), megaHertz(800)};
+    const TransitionCost cost = model.cost(from, to);
+    EXPECT_DOUBLE_EQ(cost.latency, model.params().cpuLatency +
+                                       model.params().memLatency);
+    EXPECT_DOUBLE_EQ(cost.energy, model.params().cpuEnergy +
+                                      model.params().memEnergy);
+}
+
+TEST(TransitionModel, DomainsChangedCount)
+{
+    const FrequencySetting a{megaHertz(500), megaHertz(400)};
+    const FrequencySetting b{megaHertz(700), megaHertz(400)};
+    const FrequencySetting c{megaHertz(700), megaHertz(800)};
+    EXPECT_EQ(TransitionModel::domainsChanged(a, a), 0);
+    EXPECT_EQ(TransitionModel::domainsChanged(a, b), 1);
+    EXPECT_EQ(TransitionModel::domainsChanged(a, c), 2);
+}
+
+TEST(TransitionModel, LatencyIsTensOfMicroseconds)
+{
+    // §VI-C: "time taken by PLLs to change voltage and frequency in
+    // commercial processors is in the order of 10s of microseconds."
+    const TransitionModel model;
+    EXPECT_GE(model.params().cpuLatency, microSeconds(10));
+    EXPECT_LE(model.params().cpuLatency, microSeconds(200));
+}
+
+TEST(TransitionCost, Accumulates)
+{
+    TransitionCost total;
+    total += TransitionCost{1e-6, 2e-6};
+    total += TransitionCost{3e-6, 4e-6};
+    EXPECT_NEAR(total.latency, 4e-6, 1e-18);
+    EXPECT_NEAR(total.energy, 6e-6, 1e-18);
+}
+
+} // namespace
+} // namespace mcdvfs

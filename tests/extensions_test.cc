@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Unit tests for the opt-in extension features: next-line prefetch,
+ * DRAM power-down, the bandwidth-model ablation flag, and the
+ * extended workload set.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/dram_power.hh"
+#include "sim/sample_simulator.hh"
+#include "sim/timing_model.hh"
+#include "trace/workloads.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+PhaseSpec
+streamingPhase()
+{
+    PhaseSpec spec;
+    spec.name = "stream";
+    spec.loadFrac = 0.30;
+    spec.storeFrac = 0.05;
+    spec.hotFrac = 0.55;
+    spec.warmFrac = 0.0;
+    spec.coldSeqFrac = 1.0;
+    spec.coldBytes = 64ull << 20;
+    return spec;
+}
+
+WorkloadProfile
+streamingWorkload()
+{
+    const PhaseSpec spec = streamingPhase();
+    return WorkloadProfile("stream", 3,
+                           [spec](std::size_t) { return spec; }, 77,
+                           0.0);
+}
+
+TEST(Prefetcher, CutsDemandMissesOnStreams)
+{
+    SampleSimulatorConfig off;
+    off.simInstructionsPerSample = 20'000;
+    off.warmupInstructions = 40'000;
+    SampleSimulatorConfig on = off;
+    on.hierarchy.nextLinePrefetch = true;
+
+    SampleSimulator without(off);
+    SampleSimulator with(on);
+    const auto base = without.characterize(streamingWorkload());
+    const auto pf = with.characterize(streamingWorkload());
+
+    // Sequential streams: degree-1 next-line prefetch converts every
+    // other demand miss into an L2 hit (the classic halving).
+    EXPECT_LT(pf[2].l2Mpki, base[2].l2Mpki * 0.6);
+    EXPECT_GT(pf[2].dramPrefetchPerInstr, 0.0);
+    EXPECT_EQ(base[2].dramPrefetchPerInstr, 0.0);
+}
+
+TEST(Prefetcher, TrafficIsConserved)
+{
+    // Prefetching doesn't reduce total bus traffic on a pure stream —
+    // every line still crosses the bus once (as prefetch instead of
+    // demand).
+    SampleSimulatorConfig off;
+    off.simInstructionsPerSample = 20'000;
+    off.warmupInstructions = 40'000;
+    SampleSimulatorConfig on = off;
+    on.hierarchy.nextLinePrefetch = true;
+
+    SampleSimulator without(off);
+    SampleSimulator with(on);
+    const auto base = without.characterize(streamingWorkload());
+    const auto pf = with.characterize(streamingWorkload());
+    EXPECT_NEAR(pf[2].trafficPerInstr(), base[2].trafficPerInstr(),
+                base[2].trafficPerInstr() * 0.25);
+}
+
+TEST(Prefetcher, SpeedsUpStreamingInTheTimingModel)
+{
+    SampleSimulatorConfig off;
+    off.simInstructionsPerSample = 20'000;
+    off.warmupInstructions = 40'000;
+    SampleSimulatorConfig on = off;
+    on.hierarchy.nextLinePrefetch = true;
+
+    SampleSimulator without(off);
+    SampleSimulator with(on);
+    const auto base = without.characterize(streamingWorkload());
+    const auto pf = with.characterize(streamingWorkload());
+
+    const TimingModel model;
+    const FrequencySetting setting{megaHertz(1000), megaHertz(400)};
+    const Seconds t_base =
+        model.evaluate(base[2], setting, 10'000'000).total;
+    const Seconds t_pf =
+        model.evaluate(pf[2], setting, 10'000'000).total;
+    EXPECT_LT(t_pf, t_base);
+}
+
+TEST(Prefetcher, SurvivesWorstCaseWritebackStorm)
+{
+    // Regression: with prefetch on, one access can generate up to
+    // five DRAM requests (two L2 writebacks, the demand fill, a
+    // prefetch-victim writeback and the prefetch fill).  Tiny caches
+    // plus store-heavy random traffic exercise that path; the
+    // outcome buffer must hold them all.
+    PhaseSpec spec;
+    spec.name = "storm";
+    spec.loadFrac = 0.10;
+    spec.storeFrac = 0.45;
+    spec.hotFrac = 0.0;
+    spec.warmFrac = 0.0;
+    spec.coldSeqFrac = 0.4;
+    spec.coldBytes = 32ull << 20;
+
+    SampleSimulatorConfig config;
+    config.simInstructionsPerSample = 30'000;
+    config.warmupInstructions = 30'000;
+    config.hierarchy.l1.sizeBytes = 1024;
+    config.hierarchy.l1.associativity = 2;
+    config.hierarchy.l2.sizeBytes = 4096;
+    config.hierarchy.l2.associativity = 2;
+    config.hierarchy.nextLinePrefetch = true;
+
+    SampleSimulator simulator(config);
+    const SampleProfile profile =
+        simulator.characterizeOne(spec, 123, 30'000);
+    EXPECT_GT(profile.dramWritesPerInstr, 0.0);
+    EXPECT_GT(profile.dramPrefetchPerInstr, 0.0);
+}
+
+TEST(PowerDown, DisabledByDefault)
+{
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    EXPECT_DOUBLE_EQ(model.backgroundPower(megaHertz(800), 0.0),
+                     model.backgroundPower(megaHertz(800)));
+}
+
+TEST(PowerDown, IdleChannelSavesBackgroundEnergy)
+{
+    DramPowerParams params;
+    params.enablePowerDown = true;
+    const DramPowerModel model(params, DramTiming{}, DramConfig{});
+    const Watts idle = model.backgroundPower(megaHertz(800), 0.0);
+    const Watts busy = model.backgroundPower(megaHertz(800), 1.0);
+    EXPECT_LT(idle, busy * 0.8);
+    // Saturated channel gets no power-down benefit.
+    EXPECT_DOUBLE_EQ(busy, model.backgroundPower(megaHertz(800)));
+}
+
+TEST(PowerDown, SavingsScaleWithIdleness)
+{
+    DramPowerParams params;
+    params.enablePowerDown = true;
+    const DramPowerModel model(params, DramTiming{}, DramConfig{});
+    const Watts at25 = model.backgroundPower(megaHertz(800), 0.25);
+    const Watts at75 = model.backgroundPower(megaHertz(800), 0.75);
+    EXPECT_LT(at25, at75);
+}
+
+TEST(PowerDown, EnergyPathUsesUtilization)
+{
+    DramPowerParams params;
+    params.enablePowerDown = true;
+    const DramPowerModel model(params, DramTiming{}, DramConfig{});
+    const DramStats stats;
+    const Joules idle =
+        model.energy(stats, megaHertz(800), 1.0, 0.0).total();
+    const Joules busy =
+        model.energy(stats, megaHertz(800), 1.0, 1.0).total();
+    EXPECT_LT(idle, busy);
+}
+
+TEST(BandwidthAblation, PureLatencyModelIgnoresSaturation)
+{
+    SampleProfile profile;
+    profile.baseCpi = 1.0;
+    profile.l2PerInstr = 0.02;
+    profile.dramReadsPerInstr = 0.05;
+    profile.dramWritesPerInstr = 0.02;
+    profile.rowHitFrac = 1.0;
+    profile.mlp = 8.0;
+
+    TimingParams with_bw;
+    TimingParams without_bw;
+    without_bw.modelBandwidth = false;
+    const TimingModel full(with_bw);
+    const TimingModel latency_only(without_bw);
+
+    // A bandwidth-saturating stream at low memory frequency: the full
+    // model must be slower than the pure latency model.
+    const FrequencySetting setting{megaHertz(1000), megaHertz(200)};
+    const Seconds t_full =
+        full.evaluate(profile, setting, 10'000'000).total;
+    const Seconds t_lat =
+        latency_only.evaluate(profile, setting, 10'000'000).total;
+    EXPECT_GT(t_full, t_lat * 1.2);
+}
+
+TEST(BandwidthAblation, AgreesWhenFarFromSaturation)
+{
+    SampleProfile profile;
+    profile.baseCpi = 1.0;
+    profile.l2PerInstr = 0.001;
+    profile.dramReadsPerInstr = 0.0005;
+    profile.rowHitFrac = 1.0;
+    profile.mlp = 2.0;
+
+    TimingParams without_bw;
+    without_bw.modelBandwidth = false;
+    const TimingModel full;
+    const TimingModel latency_only(without_bw);
+    const FrequencySetting setting{megaHertz(500), megaHertz(800)};
+    const Seconds t_full =
+        full.evaluate(profile, setting, 10'000'000).total;
+    const Seconds t_lat =
+        latency_only.evaluate(profile, setting, 10'000'000).total;
+    EXPECT_NEAR(t_full, t_lat, t_lat * 0.02);
+}
+
+TEST(ExtendedWorkloads, TwelveBenchmarksAvailable)
+{
+    const auto all = extendedWorkloads();
+    ASSERT_EQ(all.size(), 12u);
+    EXPECT_EQ(workloadByName("mcf").name(), "mcf");
+    EXPECT_EQ(workloadByName("soplex").name(), "soplex");
+}
+
+TEST(ExtendedWorkloads, AllPhasesValidate)
+{
+    for (const auto &workload : extendedWorkloads()) {
+        for (std::size_t s = 0; s < workload.sampleCount(); s += 11)
+            EXPECT_NO_THROW(workload.phaseFor(s).validate())
+                << workload.name();
+    }
+}
+
+TEST(ExtendedWorkloads, McfIsMemoryBoundWithLowMlp)
+{
+    const WorkloadProfile mcf = workloadByName("mcf");
+    const PhaseSpec spec = mcf.phaseFor(0);
+    EXPECT_GT(spec.coldFrac(), 0.1);
+    EXPECT_LT(spec.mlp, 1.5);
+}
+
+TEST(ExtendedWorkloads, HmmerIsCpuBound)
+{
+    const WorkloadProfile hmmer = workloadByName("hmmer");
+    const PhaseSpec spec = hmmer.phaseFor(0);
+    EXPECT_GT(spec.hotFrac, 0.97);
+    EXPECT_LT(spec.baseCpi, 0.8);
+}
+
+} // namespace
+} // namespace mcdvfs

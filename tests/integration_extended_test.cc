@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Integration coverage for the six extended SPEC-like workloads: the
+ * paper's core invariants must hold for every profile in the library,
+ * not just the six it plots.
+ */
+
+#include <gtest/gtest.h>
+
+#include "repro/analyses.hh"
+#include "sim/grid_runner.hh"
+#include "trace/workloads.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+class ExtendedWorkload : public ::testing::TestWithParam<const char *>
+{
+  protected:
+    static MeasuredGrid
+    buildGrid(const std::string &name)
+    {
+        SystemConfig config;
+        config.sampler.simInstructionsPerSample = 15'000;
+        config.sampler.warmupInstructions = 1'000'000;
+        GridRunner runner(config);
+        return runner.run(workloadByName(name),
+                          SettingsSpace::coarse());
+    }
+};
+
+TEST_P(ExtendedWorkload, CoreInvariantsHold)
+{
+    const MeasuredGrid grid = buildGrid(GetParam());
+    GridAnalyses a(grid);
+
+    // Slowest is never most efficient; Imax in a sane band.
+    const auto &space = grid.space();
+    EXPECT_GT(a.analysis.runInefficiency(
+                  space.indexOf(space.minSetting())),
+              1.02)
+        << GetParam();
+    EXPECT_GT(a.analysis.maxRunInefficiency(), 1.3) << GetParam();
+    EXPECT_LT(a.analysis.maxRunInefficiency(), 2.8) << GetParam();
+
+    // Budget conformance and monotone time across budgets.
+    double prev = 1e18;
+    for (const double budget : {1.0, 1.15, 1.3, 1.6}) {
+        const PolicyOutcome outcome =
+            a.tradeoff.optimalTracking(budget);
+        EXPECT_LE(outcome.achievedInefficiency, budget + 1e-9)
+            << GetParam() << " @" << budget;
+        EXPECT_LE(outcome.time, prev + 1e-12)
+            << GetParam() << " @" << budget;
+        prev = outcome.time;
+    }
+
+    // Cluster policy never degrades past its threshold.
+    const TradeoffRow row = a.tradeoff.compare(1.3, 0.05);
+    EXPECT_GE(row.perfPct, -5.0 - 1e-6) << GetParam();
+    EXPECT_LE(row.energyPct, 1e-6) << GetParam();
+}
+
+TEST_P(ExtendedWorkload, CharacterDistinguishesProfiles)
+{
+    const MeasuredGrid grid = buildGrid(GetParam());
+    // Every profile produces live, positive characterization data.
+    double total_mpki = 0.0;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        total_mpki += grid.profile(s).l1Mpki;
+    EXPECT_GT(total_mpki, 0.0) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ExtendedWorkload,
+                         ::testing::Values("mcf", "hmmer", "sjeng",
+                                           "omnetpp", "namd",
+                                           "soplex"));
+
+TEST(ExtendedWorkloadCharacters, McfMemoryBoundHmmerCpuBound)
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 15'000;
+    GridRunner runner(config);
+    const MeasuredGrid mcf =
+        runner.run(workloadByName("mcf"), SettingsSpace::coarse());
+    const MeasuredGrid hmmer =
+        runner.run(workloadByName("hmmer"), SettingsSpace::coarse());
+
+    // hmmer speeds up ~10x over the CPU ladder; mcf much less (memory
+    // bound); and mcf is far more sensitive to memory frequency.
+    InefficiencyAnalysis am(mcf);
+    InefficiencyAnalysis ah(hmmer);
+    const auto &space = mcf.space();
+    const std::size_t max_idx = space.indexOf(space.maxSetting());
+    EXPECT_GT(ah.runSpeedup(max_idx), am.runSpeedup(max_idx));
+
+    const Seconds mcf_slow = mcf.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(200)}));
+    const Seconds mcf_fast = mcf.totalTime(max_idx);
+    const Seconds hmmer_slow = hmmer.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(200)}));
+    const Seconds hmmer_fast = hmmer.totalTime(max_idx);
+    EXPECT_GT((mcf_slow - mcf_fast) / mcf_fast, 0.10);
+    EXPECT_LT((hmmer_slow - hmmer_fast) / hmmer_fast, 0.05);
+    EXPECT_GT((mcf_slow - mcf_fast) / mcf_fast,
+              2.0 * (hmmer_slow - hmmer_fast) / hmmer_fast);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Integration tests: the full pipeline over the paper's benchmarks,
+ * asserting the qualitative results the paper reports.
+ *
+ * These run the real six-benchmark suite (at a reduced per-sample
+ * instruction count for speed) and check the headline claims of each
+ * section rather than individual module behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+/** One shared suite across all integration tests (built lazily). */
+ReproSuite &
+sharedSuite()
+{
+    static ReproSuite suite = [] {
+        SystemConfig config;
+        config.sampler.simInstructionsPerSample = 20'000;
+        return ReproSuite(config);
+    }();
+    return suite;
+}
+
+TEST(Integration, SlowestIsNeverMostEfficient)
+{
+    // §IV observation 1 for every benchmark.
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        const auto &space = sharedSuite().grid(name).space();
+        const double low = a.analysis.runInefficiency(
+            space.indexOf(space.minSetting()));
+        EXPECT_GT(low, 1.05) << name;
+    }
+}
+
+TEST(Integration, MaxAchievableInefficiencyInRange)
+{
+    // §VI-A: "the maximum achievable inefficiency is anywhere from
+    // 1.5 to 2" — allow a modest band around it for the substitute
+    // substrate.
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        const double imax = a.analysis.maxRunInefficiency();
+        EXPECT_GT(imax, 1.4) << name;
+        EXPECT_LT(imax, 2.6) << name;
+    }
+}
+
+TEST(Integration, EveryRunStaysWithinItsBudget)
+{
+    // The §VI-C verification, across benchmarks, budgets and
+    // thresholds.
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        for (const double budget : {1.0, 1.1, 1.3, 1.6}) {
+            EXPECT_LE(
+                a.tradeoff.optimalTracking(budget).achievedInefficiency,
+                budget + 1e-9)
+                << name << " optimal @" << budget;
+            for (const double threshold : {0.01, 0.05}) {
+                EXPECT_LE(a.tradeoff.clusterPolicy(budget, threshold)
+                              .achievedInefficiency,
+                          budget + 1e-9)
+                    << name << " cluster @" << budget << "/"
+                    << threshold;
+            }
+        }
+    }
+}
+
+TEST(Integration, PerformanceImprovesWithBudget)
+{
+    // Fig. 10: normalized execution time non-increasing in budget.
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        double prev = 1e18;
+        for (const double budget : {1.0, 1.1, 1.2, 1.3, 1.6}) {
+            const double time = a.tradeoff.optimalTracking(budget).time;
+            EXPECT_LE(time, prev + 1e-12) << name << " @" << budget;
+            prev = time;
+        }
+    }
+}
+
+TEST(Integration, Bzip2InsensitiveToMemoryFrequency)
+{
+    // §V: bzip2 at 1 GHz CPU is within a few percent between 200 and
+    // 800 MHz memory.
+    const MeasuredGrid &grid = sharedSuite().grid("bzip2");
+    const auto &space = grid.space();
+    const Seconds slow = grid.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(200)}));
+    const Seconds fast = grid.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(800)}));
+    EXPECT_LT((slow - fast) / fast, 0.05);
+}
+
+TEST(Integration, LbmSensitiveToMemoryFrequency)
+{
+    const MeasuredGrid &grid = sharedSuite().grid("lbm");
+    const auto &space = grid.space();
+    const Seconds slow = grid.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(200)}));
+    const Seconds fast = grid.totalTime(space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(800)}));
+    EXPECT_GT((slow - fast) / fast, 0.15);
+}
+
+TEST(Integration, ThresholdsReduceTransitionsAtMidBudget)
+{
+    // Fig. 8 at I=1.3: the 5% cluster policy transitions no more than
+    // optimal tracking, and strictly less summed over the suite.
+    std::size_t optimal_total = 0;
+    std::size_t cluster_total = 0;
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        const std::size_t optimal =
+            a.transitions.forOptimalTracking(1.3).transitions;
+        const std::size_t cluster =
+            a.transitions.forClusterPolicy(1.3, 0.05).transitions;
+        EXPECT_LE(cluster, optimal) << name;
+        optimal_total += optimal;
+        cluster_total += cluster;
+    }
+    EXPECT_LT(cluster_total, optimal_total);
+}
+
+TEST(Integration, UnboundedBudgetNeedsNoTransitions)
+{
+    // At an unbounded budget the optimum is always the max setting.
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        EXPECT_EQ(a.transitions.forOptimalTracking(kUnboundedBudget)
+                      .transitions,
+                  0u)
+            << name;
+    }
+}
+
+TEST(Integration, OverheadFavorsClusterPolicy)
+{
+    // Fig. 11(b): with tuning overhead charged, the cluster policy's
+    // relative performance is at least its overhead-free value for
+    // every benchmark.
+    for (const std::string &name : ReproSuite::benchmarkNames()) {
+        GridAnalyses a(sharedSuite().grid(name));
+        const TradeoffRow row = a.tradeoff.compare(1.3, 0.03);
+        EXPECT_GE(row.perfPctWithOverhead, row.perfPct - 1e-9)
+            << name;
+        EXPECT_GE(row.perfPct, -3.0 - 1e-6) << name;  // within thr
+    }
+}
+
+TEST(Integration, GobmkPhasesVisibleInProfiles)
+{
+    // Fig. 3's CPI/MPKI phase structure: gobmk's per-sample L1 MPKI
+    // must swing by at least 3x between quiet and busy samples.
+    const MeasuredGrid &grid = sharedSuite().grid("gobmk");
+    double lo = 1e18;
+    double hi = 0.0;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        lo = std::min(lo, grid.profile(s).l1Mpki);
+        hi = std::max(hi, grid.profile(s).l1Mpki);
+    }
+    EXPECT_GT(hi / std::max(lo, 0.1), 3.0);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the two-level cache hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_hierarchy.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+HierarchyConfig
+tinyConfig()
+{
+    HierarchyConfig config;
+    config.l1.name = "l1";
+    config.l1.sizeBytes = 512;
+    config.l1.associativity = 2;
+    config.l1.lineBytes = 64;
+    config.l2.name = "l2";
+    config.l2.sizeBytes = 2048;
+    config.l2.associativity = 2;
+    config.l2.lineBytes = 64;
+    return config;
+}
+
+TEST(HierarchyConfig, PaperDefaultMatchesSection3)
+{
+    const HierarchyConfig config = HierarchyConfig::paperDefault();
+    EXPECT_EQ(config.l1.sizeBytes, 64u * kKiB);
+    EXPECT_EQ(config.l1.latencyCycles, 2u);
+    EXPECT_EQ(config.l2.sizeBytes, 2u * kMiB);
+    EXPECT_EQ(config.l2.latencyCycles, 12u);
+}
+
+TEST(CacheHierarchy, FirstTouchGoesToDram)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    const HierarchyOutcome outcome = hierarchy.access(0x10000, false);
+    EXPECT_EQ(outcome.level, ServiceLevel::Dram);
+    ASSERT_EQ(outcome.dramCount, 1u);
+    EXPECT_EQ(outcome.dram[0].addr, 0x10000u);
+    EXPECT_FALSE(outcome.dram[0].isWrite);
+}
+
+TEST(CacheHierarchy, SecondTouchHitsL1)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    hierarchy.access(0x10000, false);
+    const HierarchyOutcome outcome = hierarchy.access(0x10000, false);
+    EXPECT_EQ(outcome.level, ServiceLevel::L1);
+    EXPECT_EQ(outcome.dramCount, 0u);
+}
+
+TEST(CacheHierarchy, L1VictimServedByL2)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    // L1: 512B/2-way/64B = 4 sets; lines 4 sets apart conflict.
+    const std::uint64_t stride = 4 * 64;
+    hierarchy.access(0 * stride, false);
+    hierarchy.access(1 * stride, false);
+    hierarchy.access(2 * stride, false);  // evicts line 0 from L1
+    const HierarchyOutcome outcome = hierarchy.access(0, false);
+    EXPECT_EQ(outcome.level, ServiceLevel::L2);
+    EXPECT_EQ(outcome.dramCount, 0u);
+}
+
+TEST(CacheHierarchy, DirtyL2EvictionReachesDram)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    // Write lines that conflict in both L1 and L2 until a dirty line
+    // falls out of L2.  L2: 2048/2/64 = 16 sets; stride of 16 lines.
+    const std::uint64_t stride = 16 * 64;
+    bool saw_dram_write = false;
+    for (int i = 0; i < 8 && !saw_dram_write; ++i) {
+        const HierarchyOutcome outcome =
+            hierarchy.access(i * stride, true);
+        for (std::uint8_t d = 0; d < outcome.dramCount; ++d)
+            saw_dram_write |= outcome.dram[d].isWrite;
+    }
+    EXPECT_TRUE(saw_dram_write);
+}
+
+TEST(CacheHierarchy, ResetRestoresColdState)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    hierarchy.access(0x4000, false);
+    hierarchy.reset();
+    EXPECT_EQ(hierarchy.access(0x4000, false).level,
+              ServiceLevel::Dram);
+    EXPECT_EQ(hierarchy.l1().stats().accesses(), 1u);
+}
+
+TEST(CacheHierarchy, ClearStatsKeepsWarmContents)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    hierarchy.access(0x4000, false);
+    hierarchy.clearStats();
+    EXPECT_EQ(hierarchy.l1().stats().accesses(), 0u);
+    EXPECT_EQ(hierarchy.access(0x4000, false).level, ServiceLevel::L1);
+}
+
+TEST(CacheHierarchy, StatsAccumulatePerLevel)
+{
+    CacheHierarchy hierarchy(tinyConfig());
+    hierarchy.access(0x0, false);
+    hierarchy.access(0x0, false);
+    EXPECT_EQ(hierarchy.l1().stats().reads, 2u);
+    EXPECT_EQ(hierarchy.l1().stats().readMisses, 1u);
+    // L2 consulted only on the L1 miss.
+    EXPECT_EQ(hierarchy.l2().stats().accesses(), 1u);
+}
+
+} // namespace
+} // namespace mcdvfs

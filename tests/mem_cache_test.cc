@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Unit and property tests for the set-associative cache model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "mem/cache.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+CacheConfig
+smallConfig()
+{
+    CacheConfig config;
+    config.name = "test";
+    config.sizeBytes = 1024;
+    config.associativity = 2;
+    config.lineBytes = 64;
+    return config;
+}
+
+TEST(CacheConfig, GeometryValidation)
+{
+    CacheConfig config = smallConfig();
+    EXPECT_NO_THROW(config.validate());
+
+    config.lineBytes = 48;  // not a power of two
+    EXPECT_THROW(config.validate(), FatalError);
+
+    config = smallConfig();
+    config.associativity = 0;
+    EXPECT_THROW(config.validate(), FatalError);
+
+    config = smallConfig();
+    config.sizeBytes = 1000;  // not divisible
+    EXPECT_THROW(config.validate(), FatalError);
+
+    config = smallConfig();
+    config.associativity = 3;  // 1024/64/3 not a power of two
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(CacheConfig, NumSets)
+{
+    EXPECT_EQ(smallConfig().numSets(), 8u);
+    CacheConfig paper;
+    paper.sizeBytes = 64 * kKiB;
+    paper.associativity = 4;
+    paper.lineBytes = 64;
+    EXPECT_EQ(paper.numSets(), 256u);
+}
+
+TEST(Cache, MissThenHit)
+{
+    Cache cache(smallConfig());
+    EXPECT_FALSE(cache.access(0x1000, false).hit);
+    EXPECT_TRUE(cache.access(0x1000, false).hit);
+    // Same line, different offset also hits.
+    EXPECT_TRUE(cache.access(0x1038, false).hit);
+}
+
+TEST(Cache, DistinctSetsDoNotConflict)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, false);
+    cache.access(0x40, false);  // next set
+    EXPECT_TRUE(cache.access(0x0, false).hit);
+    EXPECT_TRUE(cache.access(0x40, false).hit);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way set: three conflicting lines evict the least recent.
+    Cache cache(smallConfig());
+    const std::uint64_t set_stride = 8 * 64;  // 8 sets * 64B lines
+    cache.access(0 * set_stride, false);      // A
+    cache.access(1 * set_stride, false);      // B
+    cache.access(0 * set_stride, false);      // touch A
+    cache.access(2 * set_stride, false);      // C evicts B
+    EXPECT_TRUE(cache.access(0 * set_stride, false).hit);
+    EXPECT_FALSE(cache.access(1 * set_stride, false).hit);
+}
+
+TEST(Cache, DirtyEvictionGeneratesWriteback)
+{
+    Cache cache(smallConfig());
+    const std::uint64_t set_stride = 8 * 64;
+    cache.access(0, true);  // dirty line A
+    cache.access(1 * set_stride, false);
+    const CacheAccessResult result = cache.access(2 * set_stride, false);
+    EXPECT_TRUE(result.writeback);
+    EXPECT_EQ(result.writebackAddr, 0u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache cache(smallConfig());
+    const std::uint64_t set_stride = 8 * 64;
+    cache.access(0, false);
+    cache.access(1 * set_stride, false);
+    EXPECT_FALSE(cache.access(2 * set_stride, false).writeback);
+}
+
+TEST(Cache, WriteHitMarksLineDirty)
+{
+    Cache cache(smallConfig());
+    const std::uint64_t set_stride = 8 * 64;
+    cache.access(0, false);  // clean fill
+    cache.access(0, true);   // write hit dirties it
+    cache.access(1 * set_stride, false);
+    const CacheAccessResult result = cache.access(2 * set_stride, false);
+    EXPECT_TRUE(result.writeback);
+}
+
+TEST(Cache, FillInstallsWithoutAccessCounters)
+{
+    Cache cache(smallConfig());
+    cache.fill(0x2000, /*dirty=*/true);
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+    EXPECT_TRUE(cache.access(0x2000, false).hit);
+}
+
+TEST(Cache, StatsCounters)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, false);   // read miss
+    cache.access(0x0, false);   // read hit
+    cache.access(0x40, true);   // write miss
+    cache.access(0x40, true);   // write hit
+    const CacheStats &stats = cache.stats();
+    EXPECT_EQ(stats.reads, 2u);
+    EXPECT_EQ(stats.writes, 2u);
+    EXPECT_EQ(stats.readMisses, 1u);
+    EXPECT_EQ(stats.writeMisses, 1u);
+    EXPECT_DOUBLE_EQ(stats.missRatio(), 0.5);
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, true);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+    EXPECT_FALSE(cache.access(0x0, false).hit);
+}
+
+TEST(Cache, ClearStatsKeepsContents)
+{
+    Cache cache(smallConfig());
+    cache.access(0x0, false);
+    cache.clearStats();
+    EXPECT_EQ(cache.stats().accesses(), 0u);
+    EXPECT_TRUE(cache.access(0x0, false).hit);
+}
+
+TEST(Cache, WorkingSetWithinCapacityAlwaysHitsAfterWarmup)
+{
+    Cache cache(smallConfig());  // 1 KiB
+    // Touch 16 lines (exactly capacity), then re-touch: all hits.
+    for (std::uint64_t line = 0; line < 16; ++line)
+        cache.access(line * 64, false);
+    for (std::uint64_t line = 0; line < 16; ++line)
+        EXPECT_TRUE(cache.access(line * 64, false).hit);
+}
+
+/**
+ * Property: the cache agrees with a simple reference model (per-set
+ * LRU list) on hit/miss for random access streams, across geometries.
+ */
+struct Geometry
+{
+    std::uint64_t size;
+    std::uint32_t assoc;
+};
+
+class CacheModelProperty : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheModelProperty, MatchesReferenceLru)
+{
+    CacheConfig config;
+    config.sizeBytes = GetParam().size;
+    config.associativity = GetParam().assoc;
+    config.lineBytes = 64;
+    Cache cache(config);
+
+    const std::uint64_t sets = config.numSets();
+    std::map<std::uint64_t, std::vector<std::uint64_t>> model;
+
+    Rng rng(GetParam().size * 31 + GetParam().assoc);
+    for (int i = 0; i < 20000; ++i) {
+        const std::uint64_t line = rng.uniformInt(4 * sets *
+                                                  config.associativity);
+        const std::uint64_t addr = line * 64;
+        const std::uint64_t set = line % sets;
+        const std::uint64_t tag = line / sets;
+
+        auto &ways = model[set];
+        const auto it = std::find(ways.begin(), ways.end(), tag);
+        const bool expect_hit = it != ways.end();
+        if (expect_hit)
+            ways.erase(it);
+        ways.push_back(tag);  // most recent at the back
+        if (ways.size() > config.associativity)
+            ways.erase(ways.begin());
+
+        ASSERT_EQ(cache.access(addr, false).hit, expect_hit)
+            << "divergence at access " << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheModelProperty,
+    ::testing::Values(Geometry{1024, 1}, Geometry{1024, 2},
+                      Geometry{4096, 4}, Geometry{8192, 8},
+                      Geometry{64 * 1024, 4}, Geometry{4096, 64}));
+
+} // namespace
+} // namespace mcdvfs

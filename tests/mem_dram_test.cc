@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit and property tests for the LPDDR3 device model and its
+ * frequency-dependent timing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "mem/dram.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(DramConfig, Validation)
+{
+    DramConfig config;
+    EXPECT_NO_THROW(config.validate());
+
+    config.banks = 6;
+    EXPECT_THROW(config.validate(), FatalError);
+
+    config = DramConfig{};
+    config.rowBytes = 3000;
+    EXPECT_THROW(config.validate(), FatalError);
+
+    config = DramConfig{};
+    config.lineBytes = 30;  // not a multiple of busBytes
+    EXPECT_THROW(config.validate(), FatalError);
+}
+
+TEST(DramDevice, FirstAccessIsClosedBank)
+{
+    DramDevice dram(DramConfig{});
+    EXPECT_EQ(dram.access(0, false), RowOutcome::Closed);
+}
+
+TEST(DramDevice, SameRowHits)
+{
+    DramDevice dram(DramConfig{});
+    dram.access(0, false);
+    EXPECT_EQ(dram.access(64, false), RowOutcome::Hit);
+    EXPECT_EQ(dram.access(4095, false), RowOutcome::Hit);
+}
+
+TEST(DramDevice, DifferentRowSameBankConflicts)
+{
+    const DramConfig config;
+    DramDevice dram(config);
+    dram.access(0, false);
+    // Same bank, next row: rowBytes * banks further on.
+    const std::uint64_t next_row =
+        static_cast<std::uint64_t>(config.rowBytes) * config.banks;
+    EXPECT_EQ(dram.access(next_row, false), RowOutcome::Conflict);
+}
+
+TEST(DramDevice, AdjacentRowsMapToDifferentBanks)
+{
+    const DramConfig config;
+    DramDevice dram(config);
+    dram.access(0, false);
+    // Crossing the row boundary lands in the next bank: closed, not
+    // conflict — the interleave sequential streams rely on.
+    EXPECT_EQ(dram.access(config.rowBytes, false), RowOutcome::Closed);
+    // And the first row is still open.
+    EXPECT_EQ(dram.access(64, false), RowOutcome::Hit);
+}
+
+TEST(DramDevice, SequentialStreamIsRowFriendly)
+{
+    const DramConfig config;
+    DramDevice dram(config);
+    Count hits = 0;
+    const int lines = 1024;
+    for (int i = 0; i < lines; ++i)
+        hits += dram.access(static_cast<std::uint64_t>(i) * 64,
+                            false) == RowOutcome::Hit;
+    // 64 lines per 4 KiB row: all but one access per row hits.
+    EXPECT_GT(static_cast<double>(hits) / lines, 0.95);
+    EXPECT_GT(dram.stats().rowHitRatio(), 0.95);
+}
+
+TEST(DramDevice, StatsSplitReadsAndWrites)
+{
+    DramDevice dram(DramConfig{});
+    dram.access(0, false);
+    dram.access(64, true);
+    EXPECT_EQ(dram.stats().reads, 1u);
+    EXPECT_EQ(dram.stats().writes, 1u);
+    EXPECT_EQ(dram.stats().accesses(), 2u);
+}
+
+TEST(DramDevice, ResetClosesBanks)
+{
+    DramDevice dram(DramConfig{});
+    dram.access(0, false);
+    dram.reset();
+    EXPECT_EQ(dram.access(64, false), RowOutcome::Closed);
+}
+
+TEST(DramDevice, ClearStatsKeepsBankState)
+{
+    DramDevice dram(DramConfig{});
+    dram.access(0, false);
+    dram.clearStats();
+    EXPECT_EQ(dram.stats().accesses(), 0u);
+    EXPECT_EQ(dram.access(64, false), RowOutcome::Hit);
+}
+
+TEST(DramTiming, LatencyOrdering)
+{
+    const DramTiming timing;
+    const DramConfig config;
+    const Hertz f = megaHertz(800);
+    const Seconds hit = timing.latency(RowOutcome::Hit, f, config);
+    const Seconds closed =
+        timing.latency(RowOutcome::Closed, f, config);
+    const Seconds conflict =
+        timing.latency(RowOutcome::Conflict, f, config);
+    EXPECT_LT(hit, closed);
+    EXPECT_LT(closed, conflict);
+    EXPECT_NEAR(conflict - closed, timing.tRp, 1e-12);
+    EXPECT_NEAR(closed - hit, timing.tRcd, 1e-12);
+}
+
+TEST(DramTiming, BurstScalesInverselyWithFrequency)
+{
+    const DramTiming timing;
+    const DramConfig config;
+    const Seconds at800 = timing.burstSeconds(megaHertz(800), config);
+    const Seconds at200 = timing.burstSeconds(megaHertz(200), config);
+    EXPECT_NEAR(at200 / at800, 4.0, 1e-9);
+    // 64B line over a 4B DDR bus: 8 interface cycles.
+    EXPECT_NEAR(at800, 8.0 / megaHertz(800), 1e-15);
+}
+
+TEST(DramTiming, BandwidthScalesLinearly)
+{
+    const DramTiming timing;
+    const DramConfig config;
+    const double at800 = timing.usableBandwidth(megaHertz(800), config);
+    const double at400 = timing.usableBandwidth(megaHertz(400), config);
+    EXPECT_NEAR(at800 / at400, 2.0, 1e-9);
+    // 2 x 800 MHz x 4 B x utilization.
+    EXPECT_NEAR(at800,
+                2.0 * megaHertz(800) * 4.0 * timing.maxUtilization,
+                1.0);
+}
+
+/** Property: latency decreases monotonically with memory frequency. */
+class DramLatencyProperty : public ::testing::TestWithParam<RowOutcome>
+{
+};
+
+TEST_P(DramLatencyProperty, MonotoneInFrequency)
+{
+    const DramTiming timing;
+    const DramConfig config;
+    Seconds prev = 1e9;
+    for (double mhz = 200; mhz <= 800; mhz += 50) {
+        const Seconds lat =
+            timing.latency(GetParam(), megaHertz(mhz), config);
+        EXPECT_LT(lat, prev);
+        prev = lat;
+    }
+    // The analog floor remains even at very high frequency.
+    const Seconds floor =
+        timing.latency(GetParam(), megaHertz(100000), config);
+    EXPECT_GT(floor, timing.tCas * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Outcomes, DramLatencyProperty,
+                         ::testing::Values(RowOutcome::Hit,
+                                           RowOutcome::Closed,
+                                           RowOutcome::Conflict));
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Functional tests for the next-line L2 prefetcher and the probe
+ * primitive it relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache_hierarchy.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+HierarchyConfig
+prefetchConfig()
+{
+    HierarchyConfig config;
+    config.l1.sizeBytes = 512;
+    config.l1.associativity = 2;
+    config.l1.lineBytes = 64;
+    config.l2.sizeBytes = 4096;
+    config.l2.associativity = 2;
+    config.l2.lineBytes = 64;
+    config.nextLinePrefetch = true;
+    return config;
+}
+
+TEST(CacheProbe, DoesNotPerturbState)
+{
+    Cache cache(CacheConfig{"p", 1024, 2, 64, 1});
+    EXPECT_FALSE(cache.probe(0x1000));
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.probe(0x1000));
+    // Probing neither counts as an access nor touches LRU: fill two
+    // conflicting lines, probe the older one many times, then insert
+    // a third — the probed-but-not-accessed line is still the LRU
+    // victim.
+    Cache lru(CacheConfig{"q", 1024, 2, 64, 1});
+    const std::uint64_t stride = 8 * 64;
+    lru.access(0 * stride, false);
+    lru.access(1 * stride, false);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_TRUE(lru.probe(0 * stride));
+    lru.access(2 * stride, false);  // evicts line 0 despite probes
+    EXPECT_FALSE(lru.probe(0 * stride));
+    EXPECT_EQ(lru.stats().accesses(), 3u);
+}
+
+TEST(Prefetcher, DemandMissTriggersNextLineFetch)
+{
+    CacheHierarchy hierarchy(prefetchConfig());
+    const HierarchyOutcome outcome = hierarchy.access(0x10000, false);
+    EXPECT_EQ(outcome.level, ServiceLevel::Dram);
+    // Demand fill + prefetch of the next line.
+    ASSERT_EQ(outcome.dramCount, 2u);
+    EXPECT_FALSE(outcome.dram[0].isPrefetch);
+    EXPECT_TRUE(outcome.dram[1].isPrefetch);
+    EXPECT_EQ(outcome.dram[1].addr, 0x10040u);
+    EXPECT_EQ(hierarchy.prefetches(), 1u);
+}
+
+TEST(Prefetcher, PrefetchedLineServesFromL2)
+{
+    CacheHierarchy hierarchy(prefetchConfig());
+    hierarchy.access(0x10000, false);  // prefetches 0x10040 into L2
+    const HierarchyOutcome outcome = hierarchy.access(0x10040, false);
+    EXPECT_EQ(outcome.level, ServiceLevel::L2);
+}
+
+TEST(Prefetcher, NoDuplicatePrefetchWhenLinePresent)
+{
+    CacheHierarchy hierarchy(prefetchConfig());
+    hierarchy.access(0x10040, false);  // next line resident already
+    const HierarchyOutcome outcome = hierarchy.access(0x10000, false);
+    // 0x10040 is in L2: only the demand fill goes to DRAM.
+    bool prefetched = false;
+    for (std::uint8_t d = 0; d < outcome.dramCount; ++d)
+        prefetched |= outcome.dram[d].isPrefetch;
+    EXPECT_FALSE(prefetched);
+}
+
+TEST(Prefetcher, DisabledByDefault)
+{
+    HierarchyConfig config = prefetchConfig();
+    config.nextLinePrefetch = false;
+    CacheHierarchy hierarchy(config);
+    const HierarchyOutcome outcome = hierarchy.access(0x10000, false);
+    EXPECT_EQ(outcome.dramCount, 1u);
+    EXPECT_EQ(hierarchy.prefetches(), 0u);
+}
+
+TEST(Prefetcher, ResetClearsCounter)
+{
+    CacheHierarchy hierarchy(prefetchConfig());
+    hierarchy.access(0x10000, false);
+    EXPECT_EQ(hierarchy.prefetches(), 1u);
+    hierarchy.reset();
+    EXPECT_EQ(hierarchy.prefetches(), 0u);
+}
+
+TEST(Prefetcher, VictimWritebacksAreOrderedBeforePrefetch)
+{
+    // Fill L2 sets with dirty lines, then trigger a prefetch into a
+    // conflicting set: the outcome must carry the dirty victim as a
+    // write and the prefetch as a read, all within capacity.
+    CacheHierarchy hierarchy(prefetchConfig());
+    // L2: 4096/2/64 = 32 sets; stride of 32 lines conflicts.
+    const std::uint64_t stride = 32 * 64;
+    for (int i = 0; i < 6; ++i)
+        hierarchy.access(0x40000 + i * stride, true);
+    const HierarchyOutcome outcome =
+        hierarchy.access(0x40000 + 6 * stride - 64, false);
+    ASSERT_LE(outcome.dramCount, HierarchyOutcome::kMaxDram);
+    // At least the demand fill is present and flags are coherent.
+    bool saw_demand_read = false;
+    for (std::uint8_t d = 0; d < outcome.dramCount; ++d) {
+        const DramRequest &req = outcome.dram[d];
+        if (!req.isWrite && !req.isPrefetch)
+            saw_demand_read = true;
+        if (req.isPrefetch)
+            EXPECT_FALSE(req.isWrite);
+    }
+    EXPECT_TRUE(saw_demand_read);
+}
+
+} // namespace
+} // namespace mcdvfs

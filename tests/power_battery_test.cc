@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Unit tests for the battery model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "power/battery.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(Battery, Validation)
+{
+    BatteryConfig config;
+    config.capacityWh = 0.0;
+    EXPECT_THROW(Battery{config}, FatalError);
+    config = BatteryConfig{};
+    config.usableFraction = 1.5;
+    EXPECT_THROW(Battery{config}, FatalError);
+}
+
+TEST(Battery, CapacityConversion)
+{
+    BatteryConfig config;
+    config.capacityWh = 10.0;
+    config.usableFraction = 1.0;
+    const Battery battery(config);
+    EXPECT_DOUBLE_EQ(battery.capacity(), 36000.0);  // 10 Wh in J
+    EXPECT_DOUBLE_EQ(battery.stateOfCharge(), 1.0);
+}
+
+TEST(Battery, DrainAccounting)
+{
+    BatteryConfig config;
+    config.capacityWh = 1.0;
+    config.usableFraction = 1.0;
+    Battery battery(config);  // 3600 J
+    EXPECT_DOUBLE_EQ(battery.drain(600.0), 600.0);
+    EXPECT_DOUBLE_EQ(battery.remaining(), 3000.0);
+    EXPECT_NEAR(battery.stateOfCharge(), 3000.0 / 3600.0, 1e-12);
+}
+
+TEST(Battery, ClampsAtEmpty)
+{
+    BatteryConfig config;
+    config.capacityWh = 1.0;
+    config.usableFraction = 1.0;
+    Battery battery(config);
+    EXPECT_DOUBLE_EQ(battery.drain(5000.0), 3600.0);
+    EXPECT_TRUE(battery.depleted());
+    EXPECT_DOUBLE_EQ(battery.drain(1.0), 0.0);
+}
+
+TEST(Battery, LifetimeEstimate)
+{
+    BatteryConfig config;
+    config.capacityWh = 1.0;
+    config.usableFraction = 1.0;
+    const Battery battery(config);
+    EXPECT_NEAR(battery.lifetimeAt(1.0), 3600.0, 1e-9);
+    EXPECT_NEAR(battery.lifetimeAt(2.0), 1800.0, 1e-9);
+    EXPECT_TRUE(std::isinf(battery.lifetimeAt(0.0)));
+}
+
+TEST(Battery, UsableFractionReducesCapacity)
+{
+    BatteryConfig full;
+    full.usableFraction = 1.0;
+    BatteryConfig derated = full;
+    derated.usableFraction = 0.5;
+    EXPECT_NEAR(Battery(derated).capacity(),
+                Battery(full).capacity() * 0.5, 1e-9);
+}
+
+TEST(BatteryDeathTest, NegativeDrainPanics)
+{
+    Battery battery;
+    EXPECT_DEATH(battery.drain(-1.0), "negative");
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit and property tests for the CPU power model (§III-B
+ * decomposition: dynamic ∝ V²f, clocked background, leakage ∝ V).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/cpu_power.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(CpuPower, PeakPowerMatchesCalibration)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const CpuPowerBreakdown peak =
+        model.power(model.curve().fMax(), 1.0);
+    EXPECT_NEAR(peak.dynamic, model.params().peakDynamic, 1e-12);
+    EXPECT_NEAR(peak.background, model.params().peakBackground, 1e-12);
+    EXPECT_NEAR(peak.leakage, model.params().leakageAtVmax, 1e-12);
+}
+
+TEST(CpuPower, DynamicScalesWithActivity)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const Hertz f = megaHertz(700);
+    const auto at_half = model.power(f, 0.5);
+    const auto at_full = model.power(f, 1.0);
+    EXPECT_NEAR(at_half.dynamic, at_full.dynamic * 0.5, 1e-12);
+    // Background and leakage are activity independent.
+    EXPECT_DOUBLE_EQ(at_half.background, at_full.background);
+    EXPECT_DOUBLE_EQ(at_half.leakage, at_full.leakage);
+}
+
+TEST(CpuPower, DynamicFollowsVSquaredF)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const VoltageCurve &curve = model.curve();
+    const Hertz fa = megaHertz(400);
+    const Hertz fb = megaHertz(900);
+    const double expected_ratio =
+        (curve.voltageAt(fb) * curve.voltageAt(fb) * fb) /
+        (curve.voltageAt(fa) * curve.voltageAt(fa) * fa);
+    const double actual_ratio =
+        model.power(fb, 0.8).dynamic / model.power(fa, 0.8).dynamic;
+    EXPECT_NEAR(actual_ratio, expected_ratio, 1e-9);
+}
+
+TEST(CpuPower, BackgroundScalesLikeDynamic)
+{
+    // §III-B: "Because background power is clocked, it is scaled in a
+    // similar manner to dynamic power."
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const double bg_ratio = model.power(megaHertz(900), 1.0).background /
+                            model.power(megaHertz(300), 1.0).background;
+    const double dyn_ratio = model.power(megaHertz(900), 1.0).dynamic /
+                             model.power(megaHertz(300), 1.0).dynamic;
+    EXPECT_NEAR(bg_ratio, dyn_ratio, 1e-9);
+}
+
+TEST(CpuPower, LeakageLinearInVoltage)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const VoltageCurve &curve = model.curve();
+    const double ratio = model.power(megaHertz(1000), 0.0).leakage /
+                         model.power(megaHertz(100), 0.0).leakage;
+    EXPECT_NEAR(ratio,
+                curve.voltageAt(megaHertz(1000)) /
+                    curve.voltageAt(megaHertz(100)),
+                1e-9);
+}
+
+TEST(CpuPower, ActivityClamped)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    EXPECT_DOUBLE_EQ(model.power(megaHertz(500), -1.0).dynamic, 0.0);
+    EXPECT_DOUBLE_EQ(model.power(megaHertz(500), 2.0).dynamic,
+                     model.power(megaHertz(500), 1.0).dynamic);
+}
+
+TEST(CpuPower, EnergySplitsBusyAndStall)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const Hertz f = megaHertz(800);
+    const double act = 0.7;
+    const Joules busy_only = model.energy(f, act, 1.0, 0.0);
+    const Joules stall_only = model.energy(f, act, 0.0, 1.0);
+    // Stalled time burns less dynamic energy than busy time but the
+    // same background + leakage.
+    EXPECT_LT(stall_only, busy_only);
+    const auto p = model.power(f, act);
+    EXPECT_GT(stall_only, (p.background + p.leakage) * 1.0 * 0.99);
+}
+
+TEST(CpuPower, EnergyAdditivity)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    const Hertz f = megaHertz(600);
+    const Joules combined = model.energy(f, 0.6, 2.0, 3.0);
+    const Joules split = model.energy(f, 0.6, 2.0, 0.0) +
+                         model.energy(f, 0.6, 0.0, 3.0);
+    EXPECT_NEAR(combined, split, 1e-12);
+}
+
+TEST(CpuPower, Validation)
+{
+    CpuPowerParams params;
+    params.peakDynamic = 0.0;
+    EXPECT_THROW(CpuPowerModel(params, VoltageCurve::paperCpu()),
+                 FatalError);
+    params = CpuPowerParams{};
+    params.stallActivity = 1.5;
+    EXPECT_THROW(CpuPowerModel(params, VoltageCurve::paperCpu()),
+                 FatalError);
+}
+
+TEST(CpuPowerDeathTest, NegativeTimePanics)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    EXPECT_DEATH(model.energy(megaHertz(500), 0.5, -1.0, 0.0),
+                 "negative execution time");
+}
+
+/**
+ * Property: the energy-per-work curve of a purely CPU-bound task has
+ * an interior minimum — running at either frequency extreme is less
+ * efficient (the effect behind inefficiency > 1 at both grid corners).
+ */
+TEST(CpuPower, EnergyPerWorkHasInteriorMinimum)
+{
+    const CpuPowerModel model = CpuPowerModel::paperDefault();
+    auto energy_per_cycle = [&](double mhz) {
+        const Hertz f = megaHertz(mhz);
+        return model.energy(f, 0.65, 1.0 / f, 0.0);
+    };
+    const double at_min = energy_per_cycle(100);
+    const double at_max = energy_per_cycle(1000);
+    double best = 1e18;
+    for (double mhz = 100; mhz <= 1000; mhz += 100)
+        best = std::min(best, energy_per_cycle(mhz));
+    EXPECT_LT(best, at_min);
+    EXPECT_LT(best, at_max);
+}
+
+} // namespace
+} // namespace mcdvfs

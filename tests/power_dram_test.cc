@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the DRAMPower-style LPDDR3 energy model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "power/dram_power.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(DramPower, BackgroundDropsNearlyLinearlyWithFrequency)
+{
+    // The effect behind the paper's bzip2 example: 1/4 the memory
+    // background energy at 200 vs 800 MHz (§V).
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    const double ratio = model.backgroundPower(megaHertz(200)) /
+                         model.backgroundPower(megaHertz(800));
+    EXPECT_GT(ratio, 0.20);
+    EXPECT_LT(ratio, 0.45);
+}
+
+TEST(DramPower, BackgroundIncludesRefresh)
+{
+    DramPowerParams params;
+    DramPowerParams no_refresh = params;
+    no_refresh.idd5 = no_refresh.idd3n;  // refresh delta becomes zero
+    const DramPowerModel with(params, DramTiming{}, DramConfig{});
+    const DramPowerModel without(no_refresh, DramTiming{}, DramConfig{});
+    EXPECT_GT(with.backgroundPower(megaHertz(800)),
+              without.backgroundPower(megaHertz(800)));
+}
+
+TEST(DramPower, PhoneClassMagnitudes)
+{
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    const Watts bg = model.backgroundPower(megaHertz(800));
+    EXPECT_GT(bg, milliWatts(40));
+    EXPECT_LT(bg, milliWatts(200));
+    const Joules read = model.readEnergy(megaHertz(800));
+    EXPECT_GT(read, 1e-9);   // > 1 nJ per 64B line
+    EXPECT_LT(read, 20e-9);  // < 20 nJ
+}
+
+TEST(DramPower, OperationEnergiesPositive)
+{
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    for (const double mhz : {200.0, 400.0, 600.0, 800.0}) {
+        EXPECT_GT(model.activateEnergy(megaHertz(mhz)), 0.0);
+        EXPECT_GT(model.readEnergy(megaHertz(mhz)), 0.0);
+        EXPECT_GT(model.writeEnergy(megaHertz(mhz)), 0.0);
+    }
+}
+
+TEST(DramPower, PerLineEnergyGrowsAtLowFrequency)
+{
+    // Fixed overheads dominate longer bursts: energy per transferred
+    // line rises somewhat as frequency drops.
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    EXPECT_GT(model.readEnergy(megaHertz(200)),
+              model.readEnergy(megaHertz(800)));
+    // ... but not absurdly (bounded by the static fraction).
+    EXPECT_LT(model.readEnergy(megaHertz(200)),
+              model.readEnergy(megaHertz(800)) * 4.0);
+}
+
+TEST(DramPower, EnergyComposition)
+{
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    DramStats stats;
+    stats.reads = 1000;
+    stats.writes = 400;
+    stats.rowHits = 1000;
+    stats.rowClosed = 100;
+    stats.rowConflicts = 300;
+    const Hertz f = megaHertz(600);
+    const Seconds window = 0.01;
+    const DramEnergyBreakdown breakdown =
+        model.energy(stats, f, window);
+
+    EXPECT_NEAR(breakdown.background,
+                model.backgroundPower(f) * window, 1e-12);
+    EXPECT_NEAR(breakdown.activate, model.activateEnergy(f) * 400.0,
+                1e-12);
+    EXPECT_NEAR(breakdown.readWrite,
+                model.readEnergy(f) * 1000.0 +
+                    model.writeEnergy(f) * 400.0,
+                1e-12);
+    EXPECT_NEAR(breakdown.total(),
+                breakdown.background + breakdown.activate +
+                    breakdown.readWrite,
+                1e-15);
+}
+
+TEST(DramPower, IdleWindowOnlyBackground)
+{
+    const DramPowerModel model = DramPowerModel::paperDefault();
+    const DramEnergyBreakdown breakdown =
+        model.energy(DramStats{}, megaHertz(800), 1.0);
+    EXPECT_EQ(breakdown.activate, 0.0);
+    EXPECT_EQ(breakdown.readWrite, 0.0);
+    EXPECT_GT(breakdown.background, 0.0);
+}
+
+TEST(DramPower, Validation)
+{
+    DramPowerParams params;
+    params.specFreq = 0.0;
+    EXPECT_THROW(DramPowerModel(params, DramTiming{}, DramConfig{}),
+                 FatalError);
+    params = DramPowerParams{};
+    params.backgroundStaticFrac = 1.5;
+    EXPECT_THROW(DramPowerModel(params, DramTiming{}, DramConfig{}),
+                 FatalError);
+    params = DramPowerParams{};
+    params.vdd2 = -1.0;
+    EXPECT_THROW(DramPowerModel(params, DramTiming{}, DramConfig{}),
+                 FatalError);
+}
+
+} // namespace
+} // namespace mcdvfs

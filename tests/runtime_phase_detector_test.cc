@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the counter-driven phase-change detector.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/phase_detector.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+SampleProfile
+profileWith(double cpi, double l1, double l2, double dram)
+{
+    SampleProfile p;
+    p.baseCpi = cpi;
+    p.l1Mpki = l1;
+    p.l2Mpki = l2;
+    p.dramReadsPerInstr = dram;
+    return p;
+}
+
+TEST(PhaseDetector, FirstSampleStartsPhase)
+{
+    PhaseDetector detector;
+    EXPECT_TRUE(detector.observe(profileWith(1.0, 10, 2, 0.002)));
+    EXPECT_EQ(detector.phaseChanges(), 0u);
+}
+
+TEST(PhaseDetector, SteadyBehaviourFlagsNothing)
+{
+    PhaseDetector detector;
+    detector.observe(profileWith(1.0, 10, 2, 0.002));
+    for (int i = 0; i < 50; ++i) {
+        const double w = 1.0 + 0.02 * ((i % 3) - 1);  // tiny wobble
+        EXPECT_FALSE(detector.observe(
+            profileWith(1.0 * w, 10 * w, 2 * w, 0.002 * w)));
+    }
+    EXPECT_EQ(detector.phaseChanges(), 0u);
+}
+
+TEST(PhaseDetector, LargeShiftFlagsChange)
+{
+    PhaseDetector detector;
+    detector.observe(profileWith(0.8, 8, 1, 0.001));
+    detector.observe(profileWith(0.8, 8, 1, 0.001));
+    EXPECT_TRUE(detector.observe(profileWith(2.2, 40, 15, 0.015)));
+    EXPECT_EQ(detector.phaseChanges(), 1u);
+}
+
+TEST(PhaseDetector, TracksDriftWithoutFlagging)
+{
+    // A slow drift (2% per sample) stays under the 25% threshold as
+    // the centroid follows.
+    PhaseDetector detector;
+    double cpi = 1.0;
+    detector.observe(profileWith(cpi, 10, 2, 0.002));
+    std::size_t flags = 0;
+    for (int i = 0; i < 40; ++i) {
+        cpi *= 1.02;
+        flags += detector.observe(profileWith(cpi, 10, 2, 0.002));
+    }
+    EXPECT_EQ(flags, 0u);
+    // Total drift was >2x: the detector tracked, not ignored.
+    EXPECT_GT(cpi, 2.0);
+}
+
+TEST(PhaseDetector, CountsAlternationOnRealWorkload)
+{
+    // The phased fixture alternates cpu/mem phases every 3 samples;
+    // the detector should flag roughly those boundaries.
+    const MeasuredGrid &grid = test::phasedGrid();
+    PhaseDetector detector;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        detector.observe(grid.profile(s));
+    EXPECT_GE(detector.phaseChanges(), 2u);
+    EXPECT_LE(detector.phaseChanges(), grid.sampleCount() / 2);
+}
+
+TEST(PhaseDetector, ThresholdControlsSensitivity)
+{
+    PhaseDetectorParams loose;
+    loose.changeThreshold = 1.5;
+    PhaseDetector tolerant(loose);
+    tolerant.observe(profileWith(0.8, 8, 1, 0.001));
+    EXPECT_FALSE(tolerant.observe(profileWith(1.4, 16, 3, 0.003)));
+
+    PhaseDetectorParams tight;
+    tight.changeThreshold = 0.05;
+    PhaseDetector touchy(tight);
+    touchy.observe(profileWith(0.8, 8, 1, 0.001));
+    EXPECT_TRUE(touchy.observe(profileWith(1.0, 9, 1.2, 0.0012)));
+}
+
+} // namespace
+} // namespace mcdvfs

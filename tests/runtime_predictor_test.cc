@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Unit tests for the Isci-style run-length stability predictor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/stability_predictor.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(StabilityPredictor, NoHistoryPredictsZero)
+{
+    StabilityPredictor predictor;
+    EXPECT_EQ(predictor.predictRemainingStable(), 0u);
+    predictor.observe(true);
+    // Still no *completed* run.
+    EXPECT_EQ(predictor.predictRemainingStable(), 0u);
+}
+
+TEST(StabilityPredictor, LearnsConstantRunLength)
+{
+    StabilityPredictor predictor;
+    // Runs of exactly 6 stable samples, repeatedly.
+    for (int rep = 0; rep < 5; ++rep) {
+        for (int i = 0; i < 6; ++i)
+            predictor.observe(true);
+        predictor.observe(false);
+    }
+    EXPECT_NEAR(predictor.expectedRunLength(), 7.0, 1.0);
+    // At the start of a fresh run most of it should be predicted.
+    EXPECT_GE(predictor.predictRemainingStable(), 4u);
+}
+
+TEST(StabilityPredictor, PredictionShrinksAsRunAges)
+{
+    StabilityPredictor predictor;
+    for (int rep = 0; rep < 5; ++rep) {
+        for (int i = 0; i < 8; ++i)
+            predictor.observe(true);
+        predictor.observe(false);
+    }
+    const std::size_t fresh = predictor.predictRemainingStable();
+    for (int i = 0; i < 5; ++i)
+        predictor.observe(true);
+    const std::size_t aged = predictor.predictRemainingStable();
+    EXPECT_LT(aged, fresh);
+}
+
+TEST(StabilityPredictor, LowConfidenceOnErraticHistory)
+{
+    StabilityPredictor predictor;
+    // Alternate very short and very long runs: high variance.
+    for (int rep = 0; rep < 6; ++rep) {
+        const int len = rep % 2 ? 1 : 15;
+        for (int i = 0; i < len; ++i)
+            predictor.observe(true);
+        predictor.observe(false);
+    }
+    EXPECT_EQ(predictor.predictRemainingStable(), 0u);
+}
+
+TEST(StabilityPredictor, PredictionCapped)
+{
+    StabilityPredictorParams params;
+    params.maxPrediction = 4;
+    StabilityPredictor predictor(params);
+    for (int rep = 0; rep < 5; ++rep) {
+        for (int i = 0; i < 50; ++i)
+            predictor.observe(true);
+        predictor.observe(false);
+    }
+    EXPECT_LE(predictor.predictRemainingStable(), 4u);
+}
+
+TEST(StabilityPredictor, CountsRunsAndCurrentLength)
+{
+    StabilityPredictor predictor;
+    predictor.observe(true);
+    predictor.observe(true);
+    EXPECT_EQ(predictor.currentRunLength(), 2u);
+    EXPECT_EQ(predictor.completedRuns(), 0u);
+    predictor.observe(false);
+    EXPECT_EQ(predictor.currentRunLength(), 0u);
+    EXPECT_EQ(predictor.completedRuns(), 1u);
+}
+
+TEST(StabilityPredictor, ImmediateChangeCountsAsLengthOneRun)
+{
+    StabilityPredictor predictor;
+    predictor.observe(false);
+    EXPECT_EQ(predictor.completedRuns(), 1u);
+    EXPECT_NEAR(predictor.expectedRunLength(), 1.0, 1e-9);
+}
+
+} // namespace
+} // namespace mcdvfs

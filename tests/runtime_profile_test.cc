@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Unit tests for offline stable-region profiles (§VII).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "runtime/offline_profile.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+OfflineProfile
+handProfile()
+{
+    OfflineProfile profile("gobmk");
+    profile.addRegion(
+        {0, 9, FrequencySetting{megaHertz(900), megaHertz(500)}});
+    profile.addRegion(
+        {10, 24, FrequencySetting{megaHertz(700), megaHertz(800)}});
+    profile.addRegion(
+        {25, 30, FrequencySetting{megaHertz(1000), megaHertz(800)}});
+    return profile;
+}
+
+TEST(OfflineProfile, RegionLookup)
+{
+    const OfflineProfile profile = handProfile();
+    ASSERT_NE(profile.regionAt(0), nullptr);
+    EXPECT_EQ(profile.regionAt(0)->first, 0u);
+    ASSERT_NE(profile.regionAt(17), nullptr);
+    EXPECT_DOUBLE_EQ(profile.regionAt(17)->setting.cpu,
+                     megaHertz(700));
+    EXPECT_EQ(profile.regionAt(31), nullptr);
+}
+
+TEST(OfflineProfile, SerializeParseRoundTrip)
+{
+    const OfflineProfile original = handProfile();
+    const OfflineProfile parsed =
+        OfflineProfile::parse(original.serialize());
+    EXPECT_EQ(parsed.workload(), "gobmk");
+    ASSERT_EQ(parsed.regions().size(), original.regions().size());
+    for (std::size_t r = 0; r < parsed.regions().size(); ++r) {
+        EXPECT_EQ(parsed.regions()[r].first,
+                  original.regions()[r].first);
+        EXPECT_EQ(parsed.regions()[r].last,
+                  original.regions()[r].last);
+        EXPECT_DOUBLE_EQ(parsed.regions()[r].setting.cpu,
+                         original.regions()[r].setting.cpu);
+        EXPECT_DOUBLE_EQ(parsed.regions()[r].setting.mem,
+                         original.regions()[r].setting.mem);
+    }
+}
+
+TEST(OfflineProfile, ParseRejectsMalformedInput)
+{
+    EXPECT_THROW(OfflineProfile::parse(""), FatalError);
+    EXPECT_THROW(OfflineProfile::parse("bogus gobmk"), FatalError);
+    EXPECT_THROW(
+        OfflineProfile::parse("workload w\nregion 0"), FatalError);
+    EXPECT_THROW(
+        OfflineProfile::parse("workload w\nelephant 0 1 2 3"),
+        FatalError);
+}
+
+TEST(OfflineProfile, RegionsMustTile)
+{
+    OfflineProfile profile("x");
+    EXPECT_THROW(profile.addRegion({5, 9, {}}), FatalError);
+    profile.addRegion({0, 4, {}});
+    EXPECT_THROW(profile.addRegion({6, 9, {}}), FatalError);
+    EXPECT_THROW(profile.addRegion({4, 9, {}}), FatalError);
+    EXPECT_THROW(profile.addRegion({5, 4, {}}), FatalError);
+    EXPECT_NO_THROW(profile.addRegion({5, 9, {}}));
+}
+
+TEST(OfflineProfile, FromRegionsMatchesAnalysis)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder region_finder(clusters);
+    const auto regions = region_finder.find(1.3, 0.03);
+
+    const OfflineProfile profile = OfflineProfile::fromRegions(
+        "phased", regions, grid.space());
+    ASSERT_EQ(profile.regions().size(), regions.size());
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        EXPECT_EQ(profile.regions()[r].first, regions[r].first);
+        EXPECT_EQ(profile.regions()[r].last, regions[r].last);
+        EXPECT_TRUE(profile.regions()[r].setting ==
+                    grid.space().at(regions[r].chosenSettingIndex));
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the §VII online tuning-loop simulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/tuning_loop.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+    StableRegionFinder regions;
+    TuningCostModel cost;
+    TuningLoop loop;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), finder(analysis), clusters(finder),
+          regions(clusters), cost(),
+          loop(clusters, regions, cost)
+    {
+    }
+};
+
+constexpr double kBudget = 1.3;
+constexpr double kThreshold = 0.03;
+
+TEST(TuningLoop, EverySampleTunesEverySample)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const TuningLoopResult result =
+        chain.loop.runEverySample(kBudget, kThreshold);
+    EXPECT_EQ(result.tuningEvents, grid.sampleCount());
+    EXPECT_EQ(result.policy, "every-sample");
+}
+
+TEST(TuningLoop, OracleTunesOncePerRegion)
+{
+    Chain chain(test::phasedGrid());
+    const auto regions = chain.regions.find(kBudget, kThreshold);
+    const TuningLoopResult result =
+        chain.loop.runOracle(kBudget, kThreshold);
+    EXPECT_EQ(result.tuningEvents, regions.size());
+    EXPECT_EQ(result.budgetViolationFrac, 0.0);
+}
+
+TEST(TuningLoop, PredictiveTunesNoMoreThanEverySample)
+{
+    Chain chain(test::phasedGrid());
+    const TuningLoopResult every =
+        chain.loop.runEverySample(kBudget, kThreshold);
+    const TuningLoopResult predictive =
+        chain.loop.runPredictive(kBudget, kThreshold);
+    EXPECT_LE(predictive.tuningEvents, every.tuningEvents);
+    EXPECT_GE(predictive.tuningEvents, 1u);
+}
+
+TEST(TuningLoop, PredictiveSkipsOnSteadyWorkload)
+{
+    // A single-phase workload should let the predictor skip most
+    // re-tunes.
+    Chain chain(test::steadyGrid());
+    const TuningLoopResult predictive =
+        chain.loop.runPredictive(kBudget, 0.05);
+    EXPECT_LT(predictive.tuningEvents,
+              test::steadyGrid().sampleCount());
+}
+
+TEST(TuningLoop, ProfileDrivenFollowsProfile)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const auto regions = chain.regions.find(kBudget, kThreshold);
+    const OfflineProfile profile = OfflineProfile::fromRegions(
+        grid.workload(), regions, grid.space());
+    const TuningLoopResult result =
+        chain.loop.runProfileDriven(kBudget, kThreshold, profile);
+    EXPECT_EQ(result.tuningEvents, regions.size());
+    // Following its own profile reproduces the oracle outcome.
+    const TuningLoopResult oracle =
+        chain.loop.runOracle(kBudget, kThreshold);
+    EXPECT_NEAR(result.time, oracle.time, oracle.time * 1e-12);
+    EXPECT_NEAR(result.energy, oracle.energy, oracle.energy * 1e-12);
+}
+
+TEST(TuningLoop, OverheadChargedPerEvent)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const TuningLoopResult result =
+        chain.loop.runEverySample(kBudget, kThreshold);
+    const TuningOverhead overhead = chain.cost.overhead(
+        result.tuningEvents, grid.settingCount());
+    EXPECT_NEAR(result.timeWithOverhead, result.time + overhead.latency,
+                1e-12);
+    EXPECT_NEAR(result.energyWithOverhead,
+                result.energy + overhead.energy, 1e-12);
+}
+
+TEST(TuningLoop, OnlinePoliciesRarelyViolateBudget)
+{
+    // Last-value prediction can miss a phase change by one sample;
+    // violations must stay a small fraction of the run.
+    Chain chain(test::phasedGrid());
+    for (const TuningLoopResult &result :
+         {chain.loop.runEverySample(kBudget, kThreshold),
+          chain.loop.runPredictive(kBudget, kThreshold)}) {
+        EXPECT_LE(result.budgetViolationFrac, 0.5)
+            << result.policy;
+        EXPECT_GE(result.achievedInefficiency, 1.0);
+    }
+}
+
+TEST(TuningLoop, TransitionsNeverExceedSamples)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    for (const TuningLoopResult &result :
+         {chain.loop.runOracle(kBudget, kThreshold),
+          chain.loop.runEverySample(kBudget, kThreshold),
+          chain.loop.runPredictive(kBudget, kThreshold)}) {
+        EXPECT_LT(result.transitions, grid.sampleCount())
+            << result.policy;
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

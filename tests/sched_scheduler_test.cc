@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the budgeted multi-application scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "repro/analyses.hh"
+#include "sched/scheduler.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+std::vector<AppTask>
+twoApps()
+{
+    // Two distinct apps with different budgets sharing the device.
+    AppTask a;
+    a.name = "phased";
+    a.grid = &test::phasedGrid();
+    a.budget = 1.3;
+    a.threshold = 0.03;
+    AppTask b;
+    b.name = "steady";
+    b.grid = &test::steadyGrid();
+    b.budget = 1.1;
+    b.threshold = 0.05;
+    return {a, b};
+}
+
+TEST(Scheduler, Validation)
+{
+    BudgetScheduler scheduler;
+    AppTask bad;
+    bad.name = "no-grid";
+    EXPECT_THROW(scheduler.run({bad}, SchedPolicy::RoundRobin),
+                 FatalError);
+    bad.grid = &test::phasedGrid();
+    bad.budget = 0.5;
+    EXPECT_THROW(scheduler.run({bad}, SchedPolicy::RoundRobin),
+                 FatalError);
+}
+
+TEST(Scheduler, AllSamplesRunUnderBothPolicies)
+{
+    BudgetScheduler scheduler;
+    for (const SchedPolicy policy :
+         {SchedPolicy::RoundRobin, SchedPolicy::RunToCompletion}) {
+        const ScheduleResult result = scheduler.run(twoApps(), policy);
+        ASSERT_EQ(result.apps.size(), 2u);
+        EXPECT_EQ(result.apps[0].samples,
+                  test::phasedGrid().sampleCount());
+        EXPECT_EQ(result.apps[1].samples,
+                  test::steadyGrid().sampleCount());
+        EXPECT_GT(result.makespan, 0.0);
+        EXPECT_GT(result.totalEnergy, 0.0);
+    }
+}
+
+TEST(Scheduler, EveryAppStaysWithinItsBudget)
+{
+    BudgetScheduler scheduler;
+    const auto apps = twoApps();
+    const ScheduleResult result =
+        scheduler.run(apps, SchedPolicy::RoundRobin);
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        EXPECT_LE(result.apps[i].achievedInefficiency,
+                  apps[i].budget + 1e-9)
+            << apps[i].name;
+    }
+}
+
+TEST(Scheduler, RoundRobinSwitchesContextEverySampleWhileBothLive)
+{
+    BudgetScheduler scheduler;
+    const ScheduleResult rr =
+        scheduler.run(twoApps(), SchedPolicy::RoundRobin);
+    const ScheduleResult rtc =
+        scheduler.run(twoApps(), SchedPolicy::RunToCompletion);
+    EXPECT_GT(rr.contextSwitches, rtc.contextSwitches);
+    EXPECT_EQ(rtc.contextSwitches, 1u);
+}
+
+TEST(Scheduler, BatchingReducesFrequencyTransitions)
+{
+    // The system-level consequence of per-app budget-optimal
+    // settings: interleaving apps with different settings multiplies
+    // transitions.
+    BudgetScheduler scheduler;
+    const ScheduleResult rr =
+        scheduler.run(twoApps(), SchedPolicy::RoundRobin);
+    const ScheduleResult rtc =
+        scheduler.run(twoApps(), SchedPolicy::RunToCompletion);
+    EXPECT_GE(rr.frequencyTransitions, rtc.frequencyTransitions);
+    EXPECT_GE(rr.makespan, rtc.makespan - 1e-12);
+}
+
+TEST(Scheduler, PerAppEnergyIndependentOfPolicy)
+{
+    // Interleaving changes transition overhead, not what each app's
+    // samples consume.
+    BudgetScheduler scheduler;
+    const ScheduleResult rr =
+        scheduler.run(twoApps(), SchedPolicy::RoundRobin);
+    const ScheduleResult rtc =
+        scheduler.run(twoApps(), SchedPolicy::RunToCompletion);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(rr.apps[i].energy, rtc.apps[i].energy,
+                    rtc.apps[i].energy * 1e-12);
+        EXPECT_NEAR(rr.apps[i].busyTime, rtc.apps[i].busyTime,
+                    rtc.apps[i].busyTime * 1e-12);
+    }
+}
+
+TEST(Scheduler, MakespanAccountsTransitions)
+{
+    BudgetScheduler scheduler;
+    const ScheduleResult result =
+        scheduler.run(twoApps(), SchedPolicy::RoundRobin);
+    Seconds busy = 0.0;
+    for (const AppOutcome &app : result.apps)
+        busy += app.busyTime;
+    EXPECT_NEAR(result.makespan, busy + result.transitionLatency,
+                1e-12);
+}
+
+TEST(Scheduler, SingleAppMatchesClusterPolicy)
+{
+    // With one app the scheduler reduces to the cluster policy plus
+    // hardware transition latency.
+    AppTask only;
+    only.name = "phased";
+    only.grid = &test::phasedGrid();
+    only.budget = 1.3;
+    only.threshold = 0.03;
+
+    BudgetScheduler scheduler;
+    const ScheduleResult result =
+        scheduler.run({only}, SchedPolicy::RunToCompletion);
+
+    GridAnalyses a(test::phasedGrid());
+    const PolicyOutcome expected = a.tradeoff.clusterPolicy(1.3, 0.03);
+    EXPECT_NEAR(result.apps[0].busyTime, expected.time,
+                expected.time * 1e-12);
+    EXPECT_NEAR(result.apps[0].energy, expected.energy,
+                expected.energy * 1e-12);
+    EXPECT_EQ(result.frequencyTransitions, expected.transitions);
+}
+
+} // namespace
+} // namespace mcdvfs

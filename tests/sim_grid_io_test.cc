@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unit tests for grid serialization.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/inefficiency.hh"
+#include "sim/grid_io.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(GridIo, RoundTripPreservesEverything)
+{
+    const MeasuredGrid &original = test::phasedGrid();
+    const MeasuredGrid loaded =
+        loadGridFromString(saveGridToString(original));
+
+    EXPECT_EQ(loaded.workload(), original.workload());
+    ASSERT_EQ(loaded.sampleCount(), original.sampleCount());
+    ASSERT_EQ(loaded.settingCount(), original.settingCount());
+    EXPECT_EQ(loaded.instructionsPerSample(),
+              original.instructionsPerSample());
+
+    for (std::size_t s = 0; s < original.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < original.settingCount(); ++k) {
+            ASSERT_DOUBLE_EQ(loaded.cell(s, k).seconds,
+                             original.cell(s, k).seconds);
+            ASSERT_DOUBLE_EQ(loaded.cell(s, k).cpuEnergy,
+                             original.cell(s, k).cpuEnergy);
+            ASSERT_DOUBLE_EQ(loaded.cell(s, k).memEnergy,
+                             original.cell(s, k).memEnergy);
+            ASSERT_DOUBLE_EQ(loaded.cell(s, k).busyFrac,
+                             original.cell(s, k).busyFrac);
+        }
+    }
+}
+
+TEST(GridIo, RoundTripPreservesProfiles)
+{
+    const MeasuredGrid &original = test::phasedGrid();
+    const MeasuredGrid loaded =
+        loadGridFromString(saveGridToString(original));
+    ASSERT_TRUE(loaded.hasProfiles());
+    for (std::size_t s = 0; s < original.sampleCount(); ++s) {
+        EXPECT_DOUBLE_EQ(loaded.profile(s).l1Mpki,
+                         original.profile(s).l1Mpki);
+        EXPECT_DOUBLE_EQ(loaded.profile(s).baseCpi,
+                         original.profile(s).baseCpi);
+        EXPECT_EQ(loaded.profile(s).phaseName,
+                  original.profile(s).phaseName);
+    }
+}
+
+TEST(GridIo, RoundTripPreservesLadders)
+{
+    const MeasuredGrid &original = test::phasedGrid();
+    const MeasuredGrid loaded =
+        loadGridFromString(saveGridToString(original));
+    ASSERT_EQ(loaded.space().cpuLadder().size(),
+              original.space().cpuLadder().size());
+    for (std::size_t i = 0; i < loaded.space().cpuLadder().size(); ++i)
+        EXPECT_DOUBLE_EQ(loaded.space().cpuLadder().at(i),
+                         original.space().cpuLadder().at(i));
+}
+
+TEST(GridIo, AnalysesAgreeAfterRoundTrip)
+{
+    const MeasuredGrid &original = test::phasedGrid();
+    const MeasuredGrid loaded =
+        loadGridFromString(saveGridToString(original));
+    InefficiencyAnalysis a(original);
+    InefficiencyAnalysis b(loaded);
+    EXPECT_DOUBLE_EQ(a.eminTotal(), b.eminTotal());
+    EXPECT_DOUBLE_EQ(a.maxRunInefficiency(), b.maxRunInefficiency());
+}
+
+TEST(GridIo, RejectsBadHeader)
+{
+    EXPECT_THROW(loadGridFromString("not a grid\n"), FatalError);
+    EXPECT_THROW(loadGridFromString("mcdvfs-grid v999\nworkload x\n"),
+                 FatalError);
+}
+
+TEST(GridIo, RejectsTruncatedInput)
+{
+    std::string text = saveGridToString(test::phasedGrid());
+    text.resize(text.size() / 2);
+    // Either a malformed line or a cell-count mismatch must be
+    // reported as a fatal parse error.
+    EXPECT_THROW(loadGridFromString(text), FatalError);
+}
+
+TEST(GridIo, RejectsOutOfRangeCell)
+{
+    EXPECT_THROW(
+        loadGridFromString("mcdvfs-grid v1\n"
+                           "workload x\n"
+                           "samples 1 instructions 10\n"
+                           "cpu 100\n"
+                           "mem 200\n"
+                           "cell 5 0 1 1 1 1 0\n"),
+        FatalError);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * End-to-end tests for grid construction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/grid_runner.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+WorkloadProfile
+tinyWorkload()
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.hotFrac = 0.98;
+    cpu.warmFrac = 0.015;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.hotFrac = 0.80;
+    mem.warmFrac = 0.10;
+    mem.coldSeqFrac = 0.3;
+    return WorkloadProfile(
+        "tiny", 6,
+        [cpu, mem](std::size_t s) { return s % 2 ? mem : cpu; }, 5,
+        /*jitter=*/0.0);
+}
+
+SystemConfig
+fastConfig()
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 20'000;
+    config.sampler.warmupInstructions = 100'000;
+    return config;
+}
+
+TEST(GridRunner, GridShapeAndPositivity)
+{
+    GridRunner runner(fastConfig());
+    const MeasuredGrid grid =
+        runner.run(tinyWorkload(), SettingsSpace::coarse());
+    EXPECT_EQ(grid.sampleCount(), 6u);
+    EXPECT_EQ(grid.settingCount(), 70u);
+    EXPECT_TRUE(grid.hasProfiles());
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            const GridCell &cell = grid.cell(s, k);
+            ASSERT_GT(cell.seconds, 0.0);
+            ASSERT_GT(cell.cpuEnergy, 0.0);
+            ASSERT_GT(cell.memEnergy, 0.0);
+            ASSERT_GE(cell.busyFrac, 0.0);
+            ASSERT_LE(cell.busyFrac, 1.0);
+            ASSERT_GE(cell.bwUtil, 0.0);
+            ASSERT_LE(cell.bwUtil, 1.0);
+        }
+    }
+}
+
+TEST(GridRunner, Deterministic)
+{
+    GridRunner a(fastConfig());
+    GridRunner b(fastConfig());
+    const MeasuredGrid ga = a.run(tinyWorkload(), SettingsSpace::coarse());
+    const MeasuredGrid gb = b.run(tinyWorkload(), SettingsSpace::coarse());
+    for (std::size_t s = 0; s < ga.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < ga.settingCount(); ++k) {
+            ASSERT_DOUBLE_EQ(ga.cell(s, k).seconds,
+                             gb.cell(s, k).seconds);
+            ASSERT_DOUBLE_EQ(ga.cell(s, k).energy(),
+                             gb.cell(s, k).energy());
+        }
+    }
+}
+
+TEST(GridRunner, TimeMonotoneInFrequencyPerSample)
+{
+    GridRunner runner(fastConfig());
+    const MeasuredGrid grid =
+        runner.run(tinyWorkload(), SettingsSpace::coarse());
+    const std::size_t mem_steps = grid.space().memLadder().size();
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        for (std::size_t k = 0; k + mem_steps < grid.settingCount();
+             ++k) {
+            // One CPU step up (same memory index): never slower.
+            ASSERT_LE(grid.cell(s, k + mem_steps).seconds,
+                      grid.cell(s, k).seconds * (1.0 + 1e-9));
+        }
+    }
+}
+
+TEST(GridRunner, MaxSettingIsFastest)
+{
+    GridRunner runner(fastConfig());
+    const MeasuredGrid grid =
+        runner.run(tinyWorkload(), SettingsSpace::coarse());
+    const std::size_t max_idx =
+        grid.space().indexOf(grid.space().maxSetting());
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s)
+        ASSERT_DOUBLE_EQ(grid.cell(s, max_idx).seconds,
+                         grid.sampleFastest(s));
+}
+
+TEST(GridRunner, RunWithProfilesMatchesRun)
+{
+    GridRunner runner(fastConfig());
+    const WorkloadProfile workload = tinyWorkload();
+    const MeasuredGrid direct =
+        runner.run(workload, SettingsSpace::coarse());
+
+    SampleSimulator simulator(fastConfig().sampler);
+    const auto profiles = simulator.characterize(workload);
+    const MeasuredGrid via_profiles = runner.runWithProfiles(
+        workload.name(), profiles, SettingsSpace::coarse(),
+        workload.modeledInstructionsPerSample());
+
+    for (std::size_t s = 0; s < direct.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < direct.settingCount(); ++k) {
+            ASSERT_DOUBLE_EQ(direct.cell(s, k).seconds,
+                             via_profiles.cell(s, k).seconds);
+            ASSERT_DOUBLE_EQ(direct.cell(s, k).energy(),
+                             via_profiles.cell(s, k).energy());
+        }
+    }
+}
+
+TEST(GridRunner, MemoryEnergyRisesWithMemFrequency)
+{
+    // At a fixed CPU frequency, higher memory frequency means more
+    // background power over a (nearly) equal-or-shorter window; for a
+    // CPU-bound sample the window is identical, so memory energy must
+    // rise strictly.
+    GridRunner runner(fastConfig());
+    const MeasuredGrid grid =
+        runner.run(tinyWorkload(), SettingsSpace::coarse());
+    const SettingsSpace &space = grid.space();
+    const std::size_t cpu_sample = 0;  // the workload's cpu phase
+    const std::size_t lo = space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(200)});
+    const std::size_t hi = space.indexOf(
+        FrequencySetting{megaHertz(1000), megaHertz(800)});
+    EXPECT_LT(grid.cell(cpu_sample, lo).memEnergy,
+              grid.cell(cpu_sample, hi).memEnergy);
+}
+
+} // namespace
+} // namespace mcdvfs

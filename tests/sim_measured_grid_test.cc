@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Unit tests for the MeasuredGrid container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "sim/measured_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+MeasuredGrid
+handGrid()
+{
+    // 2 samples x 70 settings, filled with a recognizable pattern.
+    MeasuredGrid grid("hand", SettingsSpace::coarse(), 2, 1'000'000);
+    for (std::size_t s = 0; s < 2; ++s) {
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            GridCell &cell = grid.cell(s, k);
+            cell.seconds = 1.0 + static_cast<double>(k) * 0.01 +
+                           static_cast<double>(s);
+            cell.cpuEnergy = 2.0 - static_cast<double>(k) * 0.01;
+            cell.memEnergy = 0.5;
+        }
+    }
+    return grid;
+}
+
+TEST(MeasuredGrid, Dimensions)
+{
+    const MeasuredGrid grid = handGrid();
+    EXPECT_EQ(grid.sampleCount(), 2u);
+    EXPECT_EQ(grid.settingCount(), 70u);
+    EXPECT_EQ(grid.instructionsPerSample(), 1'000'000u);
+    EXPECT_EQ(grid.totalInstructions(), 2'000'000u);
+    EXPECT_EQ(grid.workload(), "hand");
+}
+
+TEST(MeasuredGrid, CellRoundTrip)
+{
+    MeasuredGrid grid = handGrid();
+    grid.cell(1, 3).seconds = 42.0;
+    EXPECT_DOUBLE_EQ(grid.cell(1, 3).seconds, 42.0);
+    EXPECT_NE(grid.cell(0, 3).seconds, 42.0);
+}
+
+TEST(MeasuredGrid, EnergyIsCpuPlusMem)
+{
+    const MeasuredGrid grid = handGrid();
+    const GridCell &cell = grid.cell(0, 0);
+    EXPECT_DOUBLE_EQ(cell.energy(), cell.cpuEnergy + cell.memEnergy);
+}
+
+TEST(MeasuredGrid, SampleAggregates)
+{
+    const MeasuredGrid grid = handGrid();
+    // Energy decreases with k, so Emin is at the last setting.
+    EXPECT_DOUBLE_EQ(grid.sampleEmin(0),
+                     grid.cell(0, 69).energy());
+    // Time increases with k, so the slowest is the last setting.
+    EXPECT_DOUBLE_EQ(grid.sampleSlowest(0),
+                     grid.cell(0, 69).seconds);
+    EXPECT_DOUBLE_EQ(grid.sampleFastest(0), grid.cell(0, 0).seconds);
+}
+
+TEST(MeasuredGrid, RunAggregates)
+{
+    const MeasuredGrid grid = handGrid();
+    EXPECT_DOUBLE_EQ(grid.totalTime(5), grid.cell(0, 5).seconds +
+                                            grid.cell(1, 5).seconds);
+    EXPECT_DOUBLE_EQ(grid.totalEnergy(5),
+                     grid.cell(0, 5).energy() +
+                         grid.cell(1, 5).energy());
+    EXPECT_DOUBLE_EQ(grid.eminTotal(), grid.totalEnergy(69));
+    EXPECT_DOUBLE_EQ(grid.slowestTotal(), grid.totalTime(69));
+}
+
+TEST(MeasuredGrid, ProfileAttachment)
+{
+    MeasuredGrid grid = handGrid();
+    EXPECT_FALSE(grid.hasProfiles());
+    std::vector<SampleProfile> profiles(2);
+    profiles[1].l1Mpki = 33.0;
+    grid.setProfiles(profiles);
+    EXPECT_TRUE(grid.hasProfiles());
+    EXPECT_DOUBLE_EQ(grid.profile(1).l1Mpki, 33.0);
+}
+
+TEST(MeasuredGrid, ProfileCountMismatchThrows)
+{
+    MeasuredGrid grid = handGrid();
+    EXPECT_THROW(grid.setProfiles(std::vector<SampleProfile>(3)),
+                 FatalError);
+}
+
+TEST(MeasuredGrid, ConstructorValidation)
+{
+    EXPECT_THROW(MeasuredGrid("x", SettingsSpace::coarse(), 0, 100),
+                 FatalError);
+    EXPECT_THROW(MeasuredGrid("x", SettingsSpace::coarse(), 2, 0),
+                 FatalError);
+}
+
+TEST(MeasuredGridDeathTest, OutOfRangePanics)
+{
+    const MeasuredGrid grid = handGrid();
+    EXPECT_DEATH(grid.cell(2, 0), "sample index");
+    EXPECT_DEATH(grid.cell(0, 70), "setting index");
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Unit and property tests for the mechanistic timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+#include "sim/timing_model.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+SampleProfile
+cpuOnlyProfile()
+{
+    SampleProfile profile;
+    profile.baseCpi = 1.2;
+    profile.l2PerInstr = 0.0;
+    profile.dramReadsPerInstr = 0.0;
+    profile.dramWritesPerInstr = 0.0;
+    return profile;
+}
+
+SampleProfile
+memoryProfile()
+{
+    SampleProfile profile;
+    profile.baseCpi = 1.0;
+    profile.l2PerInstr = 0.02;
+    profile.dramReadsPerInstr = 0.01;
+    profile.dramWritesPerInstr = 0.004;
+    profile.rowHitFrac = 0.5;
+    profile.rowClosedFrac = 0.1;
+    profile.rowConflictFrac = 0.4;
+    profile.mlp = 2.0;
+    return profile;
+}
+
+constexpr Count kInstr = 10'000'000;
+
+TEST(TimingModel, CpuOnlyIsExactlyCoreCycles)
+{
+    const TimingModel model;
+    const SampleTiming timing = model.evaluate(
+        cpuOnlyProfile(), {megaHertz(500), megaHertz(400)}, kInstr);
+    EXPECT_NEAR(timing.total, kInstr * 1.2 / megaHertz(500), 1e-12);
+    EXPECT_EQ(timing.stall, 0.0);
+    EXPECT_EQ(timing.bwUtil, 0.0);
+    EXPECT_DOUBLE_EQ(timing.busy, timing.total);
+}
+
+TEST(TimingModel, CpuOnlyInverseInCpuFrequency)
+{
+    const TimingModel model;
+    const Seconds at250 = model.evaluate(
+        cpuOnlyProfile(), {megaHertz(250), megaHertz(400)}, kInstr)
+                              .total;
+    const Seconds at1000 = model.evaluate(
+        cpuOnlyProfile(), {megaHertz(1000), megaHertz(400)}, kInstr)
+                               .total;
+    EXPECT_NEAR(at250 / at1000, 4.0, 1e-9);
+}
+
+TEST(TimingModel, CpuOnlyIgnoresMemoryFrequency)
+{
+    const TimingModel model;
+    const Seconds lo = model.evaluate(
+        cpuOnlyProfile(), {megaHertz(500), megaHertz(200)}, kInstr)
+                           .total;
+    const Seconds hi = model.evaluate(
+        cpuOnlyProfile(), {megaHertz(500), megaHertz(800)}, kInstr)
+                           .total;
+    EXPECT_DOUBLE_EQ(lo, hi);
+}
+
+TEST(TimingModel, L2LatencyPartiallyExposed)
+{
+    const TimingModel model;
+    SampleProfile profile = cpuOnlyProfile();
+    profile.l2PerInstr = 0.05;
+    const SampleTiming timing = model.evaluate(
+        profile, {megaHertz(500), megaHertz(400)}, kInstr);
+    const double expected_cpi =
+        1.2 + 0.05 * model.params().l2LatencyCycles *
+                  model.params().l2StallExposure;
+    EXPECT_NEAR(timing.total, kInstr * expected_cpi / megaHertz(500),
+                1e-12);
+}
+
+TEST(TimingModel, MemoryTimeDecreasesWithMemFrequency)
+{
+    const TimingModel model;
+    const Seconds at200 = model.evaluate(
+        memoryProfile(), {megaHertz(800), megaHertz(200)}, kInstr)
+                              .total;
+    const Seconds at800 = model.evaluate(
+        memoryProfile(), {megaHertz(800), megaHertz(800)}, kInstr)
+                              .total;
+    EXPECT_GT(at200, at800 * 1.05);
+}
+
+TEST(TimingModel, BusyPlusStallEqualsTotal)
+{
+    const TimingModel model;
+    const SampleTiming timing = model.evaluate(
+        memoryProfile(), {megaHertz(600), megaHertz(400)}, kInstr);
+    EXPECT_NEAR(timing.busy + timing.stall, timing.total, 1e-12);
+    EXPECT_GT(timing.stall, 0.0);
+}
+
+TEST(TimingModel, BandwidthFloorHolds)
+{
+    // An extremely memory-hungry profile cannot beat the usable
+    // bandwidth no matter the CPU frequency.
+    const TimingModel model;
+    SampleProfile profile = memoryProfile();
+    profile.dramReadsPerInstr = 0.05;
+    profile.dramWritesPerInstr = 0.02;
+    profile.mlp = 8.0;
+    const FrequencySetting setting{megaHertz(1000), megaHertz(200)};
+    const SampleTiming timing =
+        model.evaluate(profile, setting, kInstr);
+    const double bytes = static_cast<double>(kInstr) * 0.07 * 64.0;
+    const double usable = model.params().dramTiming.usableBandwidth(
+        setting.mem, model.params().dramConfig);
+    EXPECT_GE(timing.total, bytes / usable * 0.999);
+    EXPECT_LE(timing.bwUtil, 1.0);
+}
+
+TEST(TimingModel, HigherMlpHidesLatency)
+{
+    const TimingModel model;
+    SampleProfile low = memoryProfile();
+    low.mlp = 1.0;
+    SampleProfile high = memoryProfile();
+    high.mlp = 4.0;
+    const FrequencySetting setting{megaHertz(800), megaHertz(600)};
+    EXPECT_GT(model.evaluate(low, setting, kInstr).total,
+              model.evaluate(high, setting, kInstr).total);
+}
+
+TEST(TimingModel, CpiHelper)
+{
+    SampleTiming timing;
+    timing.total = 0.02;
+    EXPECT_NEAR(timing.cpi(kInstr, megaHertz(1000)), 2.0, 1e-12);
+    EXPECT_EQ(timing.cpi(0, megaHertz(1000)), 0.0);
+}
+
+TEST(TimingModel, InvalidInputs)
+{
+    const TimingModel model;
+    EXPECT_THROW(
+        model.evaluate(memoryProfile(), {0.0, megaHertz(400)}, kInstr),
+        FatalError);
+    EXPECT_THROW(
+        model.evaluate(memoryProfile(), {megaHertz(400), -1.0}, kInstr),
+        FatalError);
+
+    TimingParams params;
+    params.bwUtilizationCap = 1.5;
+    EXPECT_THROW(TimingModel{params}, FatalError);
+    params = TimingParams{};
+    params.fixedPointIterations = 0;
+    EXPECT_THROW(TimingModel{params}, FatalError);
+}
+
+/**
+ * Property (the grid's key invariant): execution time is monotone
+ * non-increasing in both frequencies, across profiles.
+ */
+class TimingMonotonicity
+    : public ::testing::TestWithParam<double /*mlp*/>
+{
+};
+
+TEST_P(TimingMonotonicity, NonIncreasingInBothFrequencies)
+{
+    const TimingModel model;
+    SampleProfile profile = memoryProfile();
+    profile.mlp = GetParam();
+
+    const SettingsSpace space = SettingsSpace::coarse();
+    const std::size_t mem_steps = space.memLadder().size();
+    for (std::size_t c = 0; c < space.cpuLadder().size(); ++c) {
+        for (std::size_t m = 0; m < mem_steps; ++m) {
+            const FrequencySetting here{space.cpuLadder().at(c),
+                                        space.memLadder().at(m)};
+            const Seconds t_here =
+                model.evaluate(profile, here, kInstr).total;
+            if (c + 1 < space.cpuLadder().size()) {
+                const FrequencySetting up{space.cpuLadder().at(c + 1),
+                                          here.mem};
+                EXPECT_LE(model.evaluate(profile, up, kInstr).total,
+                          t_here * (1.0 + 1e-9));
+            }
+            if (m + 1 < mem_steps) {
+                const FrequencySetting up{here.cpu,
+                                          space.memLadder().at(m + 1)};
+                EXPECT_LE(model.evaluate(profile, up, kInstr).total,
+                          t_here * (1.0 + 1e-9));
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(MlpSweep, TimingMonotonicity,
+                         ::testing::Values(1.0, 1.5, 2.5, 4.0));
+
+} // namespace
+} // namespace mcdvfs

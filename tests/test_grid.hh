@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared fixtures for the analysis-layer tests: a small but realistic
+ * measured grid (alternating CPU/memory phases) built once per test
+ * binary, plus a uniform-phase variant.
+ */
+
+#ifndef MCDVFS_TESTS_TEST_GRID_HH
+#define MCDVFS_TESTS_TEST_GRID_HH
+
+#include "sim/grid_runner.hh"
+#include "trace/workloads.hh"
+
+namespace mcdvfs
+{
+namespace test
+{
+
+/** Alternating cpu/mem phases over 12 samples; fast to characterize. */
+inline WorkloadProfile
+phasedWorkload()
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.baseCpi = 0.8;
+    cpu.hotFrac = 0.975;
+    cpu.warmFrac = 0.02;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.baseCpi = 1.1;
+    mem.hotFrac = 0.86;
+    mem.warmFrac = 0.11;
+    mem.coldSeqFrac = 0.3;
+    mem.mlp = 1.5;
+    return WorkloadProfile(
+        "phased", 12,
+        [cpu, mem](std::size_t s) { return (s / 3) % 2 ? mem : cpu; },
+        17, /*jitter=*/0.01);
+}
+
+/** One constant phase over 8 samples. */
+inline WorkloadProfile
+steadyWorkload()
+{
+    PhaseSpec spec;
+    spec.name = "steady";
+    spec.hotFrac = 0.94;
+    spec.warmFrac = 0.05;
+    return WorkloadProfile(
+        "steady", 8, [spec](std::size_t) { return spec; }, 23,
+        /*jitter=*/0.01);
+}
+
+inline SystemConfig
+fastSystemConfig()
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 20'000;
+    config.sampler.warmupInstructions = 100'000;
+    return config;
+}
+
+/** Grid of phasedWorkload() over the coarse space, built once. */
+inline const MeasuredGrid &
+phasedGrid()
+{
+    static const MeasuredGrid grid = [] {
+        GridRunner runner(fastSystemConfig());
+        return runner.run(phasedWorkload(), SettingsSpace::coarse());
+    }();
+    return grid;
+}
+
+/** Grid of steadyWorkload() over the coarse space, built once. */
+inline const MeasuredGrid &
+steadyGrid()
+{
+    static const MeasuredGrid grid = [] {
+        GridRunner runner(fastSystemConfig());
+        return runner.run(steadyWorkload(), SettingsSpace::coarse());
+    }();
+    return grid;
+}
+
+} // namespace test
+} // namespace mcdvfs
+
+#endif // MCDVFS_TESTS_TEST_GRID_HH

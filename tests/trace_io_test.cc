@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for trace recording/replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "sim/sample_simulator.hh"
+#include "trace/trace_generator.hh"
+#include "trace/trace_io.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+PhaseSpec
+mixedPhase()
+{
+    PhaseSpec spec;
+    spec.hotFrac = 0.7;
+    spec.warmFrac = 0.2;
+    spec.coldSeqFrac = 0.5;
+    return spec;
+}
+
+TEST(TraceIo, RecordReplayRoundTrip)
+{
+    TraceGenerator gen(mixedPhase(), 42);
+    std::ostringstream os;
+    recordTrace(gen, 5000, os);
+
+    TraceGenerator reference(mixedPhase(), 42);
+    TraceReplay replay = TraceReplay::fromString(os.str());
+    ASSERT_EQ(replay.size(), 5000u);
+    for (int i = 0; i < 5000; ++i) {
+        const InstrRecord expected = reference.next();
+        const InstrRecord actual = replay.next();
+        ASSERT_EQ(actual.kind, expected.kind) << "instr " << i;
+        if (isMemory(expected.kind))
+            ASSERT_EQ(actual.addr, expected.addr) << "instr " << i;
+    }
+}
+
+TEST(TraceIo, ReplayWrapsAround)
+{
+    TraceReplay replay = TraceReplay::fromString("A\nB\nL 1f40\n");
+    EXPECT_EQ(replay.size(), 3u);
+    EXPECT_FALSE(replay.wrapped());
+    EXPECT_EQ(replay.next().kind, InstrKind::IntAlu);
+    EXPECT_EQ(replay.next().kind, InstrKind::Branch);
+    const InstrRecord load = replay.next();
+    EXPECT_EQ(load.kind, InstrKind::Load);
+    EXPECT_EQ(load.addr, 0x1f40u);
+    EXPECT_TRUE(replay.wrapped());
+    EXPECT_EQ(replay.next().kind, InstrKind::IntAlu);
+}
+
+TEST(TraceIo, AllKindsRoundTrip)
+{
+    TraceReplay replay =
+        TraceReplay::fromString("A\nM\nF\nB\nL a0\nS b0\n");
+    EXPECT_EQ(replay.next().kind, InstrKind::IntAlu);
+    EXPECT_EQ(replay.next().kind, InstrKind::IntMul);
+    EXPECT_EQ(replay.next().kind, InstrKind::FpOp);
+    EXPECT_EQ(replay.next().kind, InstrKind::Branch);
+    EXPECT_EQ(replay.next().addr, 0xa0u);
+    const InstrRecord store = replay.next();
+    EXPECT_EQ(store.kind, InstrKind::Store);
+    EXPECT_EQ(store.addr, 0xb0u);
+}
+
+TEST(TraceIo, RejectsMalformedInput)
+{
+    EXPECT_THROW(TraceReplay::fromString(""), FatalError);
+    EXPECT_THROW(TraceReplay::fromString("X\n"), FatalError);
+    EXPECT_THROW(TraceReplay::fromString("L\n"), FatalError);
+}
+
+TEST(TraceIo, ReplayDrivesCharacterization)
+{
+    // Characterizing a replayed trace gives the same cache behaviour
+    // as characterizing the generator it was recorded from.
+    const PhaseSpec spec = mixedPhase();
+    const Count n = 30'000;
+
+    TraceGenerator gen(spec, 7);
+    std::ostringstream os;
+    recordTrace(gen, n, os);
+
+    SampleSimulatorConfig config;
+    config.simInstructionsPerSample = n;
+    config.warmupInstructions = 0;
+
+    SampleSimulator direct(config);
+    const SampleProfile from_gen =
+        direct.characterizeOne(spec, 7, n);
+
+    SampleSimulator replayed(config);
+    TraceReplay replay = TraceReplay::fromString(os.str());
+    const SampleProfile from_replay =
+        replayed.characterizeTrace(replay, n, spec);
+
+    EXPECT_DOUBLE_EQ(from_replay.l1Mpki, from_gen.l1Mpki);
+    EXPECT_DOUBLE_EQ(from_replay.l2Mpki, from_gen.l2Mpki);
+    EXPECT_DOUBLE_EQ(from_replay.rowHitFrac, from_gen.rowHitFrac);
+    EXPECT_DOUBLE_EQ(from_replay.dramWritesPerInstr,
+                     from_gen.dramWritesPerInstr);
+}
+
+} // namespace
+} // namespace mcdvfs

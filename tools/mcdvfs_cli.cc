@@ -1,0 +1,355 @@
+/**
+ * @file
+ * mcdvfs command-line tool: run any of the library's analyses from
+ * the shell.
+ *
+ *   mcdvfs_cli list
+ *   mcdvfs_cli characterize <workload> [--csv]
+ *   mcdvfs_cli grid <workload> [--fine] [--out FILE]
+ *   mcdvfs_cli optimal <workload> [--budget B] [--csv]
+ *   mcdvfs_cli regions <workload> [--budget B] [--threshold PCT]
+ *   mcdvfs_cli tradeoff <workload> [--budget B] [--threshold PCT]
+ *   mcdvfs_cli profile <workload> [--budget B] [--threshold PCT]
+ *
+ * Workloads are the twelve SPEC-like profiles; grids come from the
+ * paper's coarse 70-setting space unless --fine is given.
+ */
+
+#include <fstream>
+#include <iostream>
+
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/pareto.hh"
+#include "repro/analyses.hh"
+#include "repro/suite.hh"
+#include "runtime/offline_profile.hh"
+#include "sched/scheduler.hh"
+#include "sim/grid_io.hh"
+#include "trace/workloads.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: mcdvfs_cli <command> [args]\n"
+           "  list                                  workloads\n"
+           "  characterize <workload> [--csv]       per-sample profile\n"
+           "  grid <workload> [--fine] [--out F]    build + save a grid\n"
+           "  optimal <workload> [--budget B]       optimal trajectory\n"
+           "  regions <workload> [--budget B] [--threshold PCT]\n"
+           "  tradeoff <workload> [--budget B] [--threshold PCT]\n"
+           "  profile <workload> [--budget B] [--threshold PCT]\n"
+           "  pareto <workload> [--fine]\n"
+           "  schedule <wl[:budget]> <wl[:budget]> ... [--budget B]\n";
+    return 2;
+}
+
+MeasuredGrid
+buildGrid(const std::string &workload, bool fine)
+{
+    GridRunner runner;
+    return runner.run(workloadByName(workload),
+                      fine ? SettingsSpace::fine()
+                           : SettingsSpace::coarse());
+}
+
+int
+cmdList()
+{
+    Table table({"workload", "samples", "flavour"});
+    table.setTitle("available workloads");
+    for (const auto &w : extendedWorkloads()) {
+        const bool reported =
+            std::find(ReproSuite::benchmarkNames().begin(),
+                      ReproSuite::benchmarkNames().end(),
+                      w.name()) != ReproSuite::benchmarkNames().end();
+        table.addRow({w.name(),
+                      Table::num(static_cast<long long>(
+                          w.sampleCount())),
+                      reported ? "paper-reported" : "extended"});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdCharacterize(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    SampleSimulator simulator;
+    const WorkloadProfile profile = workloadByName(workload);
+    const auto samples = simulator.characterize(profile);
+
+    Table table({"sample", "phase", "baseCPI", "L1 MPKI", "L2 MPKI",
+                 "dram/ki", "rowhit%", "mlp"});
+    table.setTitle("characterization: " + workload);
+    for (std::size_t s = 0; s < samples.size(); ++s) {
+        const SampleProfile &p = samples[s];
+        table.addRow({Table::num(static_cast<long long>(s)),
+                      p.phaseName, Table::num(p.baseCpi, 2),
+                      Table::num(p.l1Mpki, 1), Table::num(p.l2Mpki, 1),
+                      Table::num(p.dramPerInstr() * 1000.0, 1),
+                      Table::num(p.rowHitFrac * 100.0, 0),
+                      Table::num(p.mlp, 1)});
+    }
+    if (args.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}
+
+int
+cmdGrid(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    const std::string out = args.get("out");
+    if (out.empty()) {
+        saveGrid(grid, std::cout);
+        return 0;
+    }
+    std::ofstream file(out);
+    if (!file)
+        fatal("cannot open '", out, "' for writing");
+    saveGrid(grid, file);
+    std::cerr << "wrote " << grid.sampleCount() << "x"
+              << grid.settingCount() << " grid to " << out << "\n";
+    return 0;
+}
+
+int
+cmdOptimal(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    const double budget = args.getDouble("budget", 1.3);
+    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    GridAnalyses a(grid);
+
+    Table table({"sample", "cpu MHz", "mem MHz", "speedup",
+                 "inefficiency"});
+    table.setTitle(workload + " optimal settings at budget " +
+                   Table::num(budget, 2));
+    std::size_t s = 0;
+    for (const OptimalChoice &choice :
+         a.finder.optimalTrajectory(budget)) {
+        table.addRow({Table::num(static_cast<long long>(s++)),
+                      Table::num(toMegaHertz(choice.setting.cpu), 0),
+                      Table::num(toMegaHertz(choice.setting.mem), 0),
+                      Table::num(choice.speedup, 3),
+                      Table::num(choice.inefficiency, 3)});
+    }
+    if (args.flag("csv"))
+        table.printCsv(std::cout);
+    else
+        table.print(std::cout);
+    return 0;
+}
+
+int
+cmdRegions(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    const double budget = args.getDouble("budget", 1.3);
+    const double threshold = args.getDouble("threshold", 3.0) / 100.0;
+    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    GridAnalyses a(grid);
+
+    Table table({"region", "samples", "length", "cpu MHz", "mem MHz"});
+    table.setTitle(workload + " stable regions (budget " +
+                   Table::num(budget, 2) + ", threshold " +
+                   Table::num(threshold * 100.0, 0) + "%)");
+    const auto regions = a.regions.find(budget, threshold);
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        table.addRow(
+            {Table::num(static_cast<long long>(r)),
+             Table::num(static_cast<long long>(regions[r].first)) +
+                 "-" +
+                 Table::num(static_cast<long long>(regions[r].last)),
+             Table::num(static_cast<long long>(regions[r].length())),
+             Table::num(toMegaHertz(regions[r].chosenSetting.cpu), 0),
+             Table::num(toMegaHertz(regions[r].chosenSetting.mem), 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdTradeoff(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    const double budget = args.getDouble("budget", 1.3);
+    const double threshold = args.getDouble("threshold", 3.0) / 100.0;
+    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    GridAnalyses a(grid);
+
+    const PolicyOutcome optimal = a.tradeoff.optimalTracking(budget);
+    const PolicyOutcome cluster =
+        a.tradeoff.clusterPolicy(budget, threshold);
+    const TradeoffRow row = a.tradeoff.compare(budget, threshold);
+
+    Table table({"policy", "time (ms)", "energy (mJ)", "achieved I",
+                 "events", "transitions"});
+    table.setTitle(workload + " trade-off at budget " +
+                   Table::num(budget, 2));
+    table.addRow({"optimal-tracking", Table::num(optimal.time * 1e3, 2),
+                  Table::num(optimal.energy * 1e3, 2),
+                  Table::num(optimal.achievedInefficiency, 3),
+                  Table::num(static_cast<long long>(
+                      optimal.tuningEvents)),
+                  Table::num(static_cast<long long>(
+                      optimal.transitions))});
+    table.addRow({"cluster-policy", Table::num(cluster.time * 1e3, 2),
+                  Table::num(cluster.energy * 1e3, 2),
+                  Table::num(cluster.achievedInefficiency, 3),
+                  Table::num(static_cast<long long>(
+                      cluster.tuningEvents)),
+                  Table::num(static_cast<long long>(
+                      cluster.transitions))});
+    table.print(std::cout);
+    std::cout << "cluster vs optimal: perf " << Table::num(row.perfPct, 2)
+              << "% / energy " << Table::num(row.energyPct, 2)
+              << "%; with tuning overhead: perf "
+              << Table::num(row.perfPctWithOverhead, 2) << "% / energy "
+              << Table::num(row.energyPctWithOverhead, 2) << "%\n";
+    return 0;
+}
+
+int
+cmdPareto(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    InefficiencyAnalysis analysis(grid);
+    ParetoAnalysis pareto(analysis);
+
+    Table table({"cpu MHz", "mem MHz", "time (ms)", "energy (mJ)",
+                 "speedup", "inefficiency"});
+    table.setTitle(workload + " energy-performance Pareto frontier");
+    for (const ParetoPoint &point : pareto.runFrontier()) {
+        table.addRow({Table::num(toMegaHertz(point.setting.cpu), 0),
+                      Table::num(toMegaHertz(point.setting.mem), 0),
+                      Table::num(point.time * 1e3, 2),
+                      Table::num(point.energy * 1e3, 2),
+                      Table::num(point.speedup, 3),
+                      Table::num(point.inefficiency, 3)});
+    }
+    table.print(std::cout);
+    std::cout << Table::num(pareto.dominatedFraction() * 100.0, 0)
+              << "% of the " << grid.settingCount()
+              << " settings are dominated\n";
+    return 0;
+}
+
+int
+cmdSchedule(const ArgParser &args)
+{
+    // schedule <workload[:budget]> <workload[:budget]> ...
+    ReproSuite suite;
+    std::vector<AppTask> apps;
+    std::vector<std::string> names;
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+        const std::string &spec = args.positionals()[i];
+        const std::size_t colon = spec.find(':');
+        AppTask task;
+        task.name = spec.substr(0, colon);
+        task.budget = colon == std::string::npos
+                          ? args.getDouble("budget", 1.3)
+                          : std::stod(spec.substr(colon + 1));
+        task.threshold = args.getDouble("threshold", 3.0) / 100.0;
+        names.push_back(task.name);
+        apps.push_back(task);
+    }
+    // Grids must outlive the run; fetch after the vector is final.
+    for (std::size_t i = 0; i < apps.size(); ++i)
+        apps[i].grid = &suite.grid(names[i]);
+
+    BudgetScheduler scheduler;
+    for (const auto [policy, label] :
+         {std::pair{SchedPolicy::RoundRobin, "round-robin"},
+          std::pair{SchedPolicy::RunToCompletion,
+                    "run-to-completion"}}) {
+        const ScheduleResult result = scheduler.run(apps, policy);
+        Table table({"app", "budget", "achieved I", "busy (ms)",
+                     "energy (mJ)"});
+        table.setTitle(std::string("schedule: ") + label);
+        for (std::size_t i = 0; i < apps.size(); ++i) {
+            table.addRow(
+                {result.apps[i].name, Table::num(apps[i].budget, 2),
+                 Table::num(result.apps[i].achievedInefficiency, 3),
+                 Table::num(result.apps[i].busyTime * 1e3, 1),
+                 Table::num(result.apps[i].energy * 1e3, 1)});
+        }
+        table.print(std::cout);
+        std::cout << "makespan "
+                  << Table::num(result.makespan * 1e3, 1)
+                  << " ms, transitions "
+                  << result.frequencyTransitions << "\n\n";
+    }
+    return 0;
+}
+
+int
+cmdProfile(const ArgParser &args)
+{
+    const std::string workload = args.positionals().at(1);
+    const double budget = args.getDouble("budget", 1.3);
+    const double threshold = args.getDouble("threshold", 3.0) / 100.0;
+    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    GridAnalyses a(grid);
+    const OfflineProfile profile = OfflineProfile::fromRegions(
+        workload, a.regions.find(budget, threshold), grid.space());
+    std::cout << profile.serialize();
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("mcdvfs_cli");
+    args.addOption("budget");
+    args.addOption("threshold");
+    args.addOption("out");
+    args.addFlag("fine");
+    args.addFlag("csv");
+
+    try {
+        args.parse(argc, argv);
+        if (args.positionals().empty())
+            return usage();
+        const std::string &command = args.positionals().front();
+        if (command == "list")
+            return cmdList();
+        if (args.positionals().size() < 2)
+            return usage();
+        if (command == "characterize")
+            return cmdCharacterize(args);
+        if (command == "grid")
+            return cmdGrid(args);
+        if (command == "optimal")
+            return cmdOptimal(args);
+        if (command == "regions")
+            return cmdRegions(args);
+        if (command == "tradeoff")
+            return cmdTradeoff(args);
+        if (command == "profile")
+            return cmdProfile(args);
+        if (command == "pareto")
+            return cmdPareto(args);
+        if (command == "schedule")
+            return cmdSchedule(args);
+        return usage();
+    } catch (const FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 1;
+    }
+}
