@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_optimal_settings.dir/fig03_optimal_settings.cpp.o"
+  "CMakeFiles/fig03_optimal_settings.dir/fig03_optimal_settings.cpp.o.d"
+  "fig03_optimal_settings"
+  "fig03_optimal_settings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_optimal_settings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_clusters_gobmk.dir/fig04_clusters_gobmk.cpp.o"
+  "CMakeFiles/fig04_clusters_gobmk.dir/fig04_clusters_gobmk.cpp.o.d"
+  "fig04_clusters_gobmk"
+  "fig04_clusters_gobmk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_clusters_gobmk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

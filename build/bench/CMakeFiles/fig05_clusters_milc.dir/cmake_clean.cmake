@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_clusters_milc.dir/fig05_clusters_milc.cpp.o"
+  "CMakeFiles/fig05_clusters_milc.dir/fig05_clusters_milc.cpp.o.d"
+  "fig05_clusters_milc"
+  "fig05_clusters_milc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_clusters_milc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_stable_regions_lbm.dir/fig06_stable_regions_lbm.cpp.o"
+  "CMakeFiles/fig06_stable_regions_lbm.dir/fig06_stable_regions_lbm.cpp.o.d"
+  "fig06_stable_regions_lbm"
+  "fig06_stable_regions_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_stable_regions_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

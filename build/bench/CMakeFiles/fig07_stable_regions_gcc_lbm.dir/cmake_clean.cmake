@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_stable_regions_gcc_lbm.dir/fig07_stable_regions_gcc_lbm.cpp.o"
+  "CMakeFiles/fig07_stable_regions_gcc_lbm.dir/fig07_stable_regions_gcc_lbm.cpp.o.d"
+  "fig07_stable_regions_gcc_lbm"
+  "fig07_stable_regions_gcc_lbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_stable_regions_gcc_lbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

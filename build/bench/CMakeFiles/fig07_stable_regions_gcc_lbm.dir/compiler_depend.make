@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_stable_regions_gcc_lbm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_stable_regions_gcc_lbm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_transitions.dir/fig08_transitions.cpp.o"
+  "CMakeFiles/fig08_transitions.dir/fig08_transitions.cpp.o.d"
+  "fig08_transitions"
+  "fig08_transitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_transitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_region_lengths.dir/fig09_region_lengths.cpp.o"
+  "CMakeFiles/fig09_region_lengths.dir/fig09_region_lengths.cpp.o.d"
+  "fig09_region_lengths"
+  "fig09_region_lengths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_region_lengths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_step_sensitivity.dir/fig12_step_sensitivity.cpp.o"
+  "CMakeFiles/fig12_step_sensitivity.dir/fig12_step_sensitivity.cpp.o.d"
+  "fig12_step_sensitivity"
+  "fig12_step_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_step_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

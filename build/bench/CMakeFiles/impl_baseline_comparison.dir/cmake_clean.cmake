@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_baseline_comparison.dir/impl_baseline_comparison.cpp.o"
+  "CMakeFiles/impl_baseline_comparison.dir/impl_baseline_comparison.cpp.o.d"
+  "impl_baseline_comparison"
+  "impl_baseline_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_baseline_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

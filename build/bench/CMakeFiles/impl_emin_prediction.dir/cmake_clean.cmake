@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_emin_prediction.dir/impl_emin_prediction.cpp.o"
+  "CMakeFiles/impl_emin_prediction.dir/impl_emin_prediction.cpp.o.d"
+  "impl_emin_prediction"
+  "impl_emin_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_emin_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for impl_emin_prediction.
+# This may be replaced when dependencies are built.

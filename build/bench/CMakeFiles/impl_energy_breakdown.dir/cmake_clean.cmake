@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_energy_breakdown.dir/impl_energy_breakdown.cpp.o"
+  "CMakeFiles/impl_energy_breakdown.dir/impl_energy_breakdown.cpp.o.d"
+  "impl_energy_breakdown"
+  "impl_energy_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_energy_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_retune_schedules.dir/impl_retune_schedules.cpp.o"
+  "CMakeFiles/impl_retune_schedules.dir/impl_retune_schedules.cpp.o.d"
+  "impl_retune_schedules"
+  "impl_retune_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_retune_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

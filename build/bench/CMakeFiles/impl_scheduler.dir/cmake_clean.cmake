@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impl_scheduler.dir/impl_scheduler.cpp.o"
+  "CMakeFiles/impl_scheduler.dir/impl_scheduler.cpp.o.d"
+  "impl_scheduler"
+  "impl_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impl_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization_report.dir/characterization_report.cpp.o"
+  "CMakeFiles/characterization_report.dir/characterization_report.cpp.o.d"
+  "characterization_report"
+  "characterization_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_comparison.dir/governor_comparison.cpp.o"
+  "CMakeFiles/governor_comparison.dir/governor_comparison.cpp.o.d"
+  "governor_comparison"
+  "governor_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

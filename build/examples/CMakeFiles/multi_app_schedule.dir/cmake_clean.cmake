@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_app_schedule.dir/multi_app_schedule.cpp.o"
+  "CMakeFiles/multi_app_schedule.dir/multi_app_schedule.cpp.o.d"
+  "multi_app_schedule"
+  "multi_app_schedule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_app_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

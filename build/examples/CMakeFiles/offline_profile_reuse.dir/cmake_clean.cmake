@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_profile_reuse.dir/offline_profile_reuse.cpp.o"
+  "CMakeFiles/offline_profile_reuse.dir/offline_profile_reuse.cpp.o.d"
+  "offline_profile_reuse"
+  "offline_profile_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_profile_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phone_energy_budget.dir/phone_energy_budget.cpp.o"
+  "CMakeFiles/phone_energy_budget.dir/phone_energy_budget.cpp.o.d"
+  "phone_energy_budget"
+  "phone_energy_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phone_energy_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_baselines.dir/comparison.cc.o"
+  "CMakeFiles/mcdvfs_baselines.dir/comparison.cc.o.d"
+  "CMakeFiles/mcdvfs_baselines.dir/coscale.cc.o"
+  "CMakeFiles/mcdvfs_baselines.dir/coscale.cc.o.d"
+  "CMakeFiles/mcdvfs_baselines.dir/rate_limiter.cc.o"
+  "CMakeFiles/mcdvfs_baselines.dir/rate_limiter.cc.o.d"
+  "libmcdvfs_baselines.a"
+  "libmcdvfs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

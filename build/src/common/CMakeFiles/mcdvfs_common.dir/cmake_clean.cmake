@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_common.dir/args.cc.o"
+  "CMakeFiles/mcdvfs_common.dir/args.cc.o.d"
+  "CMakeFiles/mcdvfs_common.dir/logging.cc.o"
+  "CMakeFiles/mcdvfs_common.dir/logging.cc.o.d"
+  "CMakeFiles/mcdvfs_common.dir/rng.cc.o"
+  "CMakeFiles/mcdvfs_common.dir/rng.cc.o.d"
+  "CMakeFiles/mcdvfs_common.dir/stats.cc.o"
+  "CMakeFiles/mcdvfs_common.dir/stats.cc.o.d"
+  "CMakeFiles/mcdvfs_common.dir/table.cc.o"
+  "CMakeFiles/mcdvfs_common.dir/table.cc.o.d"
+  "libmcdvfs_common.a"
+  "libmcdvfs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

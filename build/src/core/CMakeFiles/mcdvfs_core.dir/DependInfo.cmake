@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/inefficiency.cc" "src/core/CMakeFiles/mcdvfs_core.dir/inefficiency.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/inefficiency.cc.o.d"
+  "/root/repo/src/core/optimal_settings.cc" "src/core/CMakeFiles/mcdvfs_core.dir/optimal_settings.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/optimal_settings.cc.o.d"
+  "/root/repo/src/core/pareto.cc" "src/core/CMakeFiles/mcdvfs_core.dir/pareto.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/pareto.cc.o.d"
+  "/root/repo/src/core/performance_clusters.cc" "src/core/CMakeFiles/mcdvfs_core.dir/performance_clusters.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/performance_clusters.cc.o.d"
+  "/root/repo/src/core/search_strategies.cc" "src/core/CMakeFiles/mcdvfs_core.dir/search_strategies.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/search_strategies.cc.o.d"
+  "/root/repo/src/core/stable_regions.cc" "src/core/CMakeFiles/mcdvfs_core.dir/stable_regions.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/stable_regions.cc.o.d"
+  "/root/repo/src/core/step_sensitivity.cc" "src/core/CMakeFiles/mcdvfs_core.dir/step_sensitivity.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/step_sensitivity.cc.o.d"
+  "/root/repo/src/core/tradeoff.cc" "src/core/CMakeFiles/mcdvfs_core.dir/tradeoff.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/tradeoff.cc.o.d"
+  "/root/repo/src/core/transitions.cc" "src/core/CMakeFiles/mcdvfs_core.dir/transitions.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/transitions.cc.o.d"
+  "/root/repo/src/core/tuning_cost.cc" "src/core/CMakeFiles/mcdvfs_core.dir/tuning_cost.cc.o" "gcc" "src/core/CMakeFiles/mcdvfs_core.dir/tuning_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mcdvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcdvfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcdvfs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mcdvfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcdvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_core.dir/inefficiency.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/inefficiency.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/optimal_settings.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/optimal_settings.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/pareto.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/pareto.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/performance_clusters.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/performance_clusters.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/search_strategies.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/search_strategies.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/stable_regions.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/stable_regions.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/step_sensitivity.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/step_sensitivity.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/tradeoff.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/tradeoff.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/transitions.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/transitions.cc.o.d"
+  "CMakeFiles/mcdvfs_core.dir/tuning_cost.cc.o"
+  "CMakeFiles/mcdvfs_core.dir/tuning_cost.cc.o.d"
+  "libmcdvfs_core.a"
+  "libmcdvfs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/dvfs_controller.cc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/dvfs_controller.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/dvfs_controller.cc.o.d"
+  "/root/repo/src/dvfs/frequency_ladder.cc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/frequency_ladder.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/frequency_ladder.cc.o.d"
+  "/root/repo/src/dvfs/governor.cc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/governor.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/governor.cc.o.d"
+  "/root/repo/src/dvfs/settings_space.cc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/settings_space.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/settings_space.cc.o.d"
+  "/root/repo/src/dvfs/transition.cc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/transition.cc.o" "gcc" "src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/transition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcdvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

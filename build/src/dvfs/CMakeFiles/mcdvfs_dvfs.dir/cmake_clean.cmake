@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_dvfs.dir/dvfs_controller.cc.o"
+  "CMakeFiles/mcdvfs_dvfs.dir/dvfs_controller.cc.o.d"
+  "CMakeFiles/mcdvfs_dvfs.dir/frequency_ladder.cc.o"
+  "CMakeFiles/mcdvfs_dvfs.dir/frequency_ladder.cc.o.d"
+  "CMakeFiles/mcdvfs_dvfs.dir/governor.cc.o"
+  "CMakeFiles/mcdvfs_dvfs.dir/governor.cc.o.d"
+  "CMakeFiles/mcdvfs_dvfs.dir/settings_space.cc.o"
+  "CMakeFiles/mcdvfs_dvfs.dir/settings_space.cc.o.d"
+  "CMakeFiles/mcdvfs_dvfs.dir/transition.cc.o"
+  "CMakeFiles/mcdvfs_dvfs.dir/transition.cc.o.d"
+  "libmcdvfs_dvfs.a"
+  "libmcdvfs_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

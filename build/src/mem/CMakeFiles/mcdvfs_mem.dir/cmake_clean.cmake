@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_mem.dir/cache.cc.o"
+  "CMakeFiles/mcdvfs_mem.dir/cache.cc.o.d"
+  "CMakeFiles/mcdvfs_mem.dir/cache_hierarchy.cc.o"
+  "CMakeFiles/mcdvfs_mem.dir/cache_hierarchy.cc.o.d"
+  "CMakeFiles/mcdvfs_mem.dir/dram.cc.o"
+  "CMakeFiles/mcdvfs_mem.dir/dram.cc.o.d"
+  "libmcdvfs_mem.a"
+  "libmcdvfs_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/battery.cc" "src/power/CMakeFiles/mcdvfs_power.dir/battery.cc.o" "gcc" "src/power/CMakeFiles/mcdvfs_power.dir/battery.cc.o.d"
+  "/root/repo/src/power/cpu_power.cc" "src/power/CMakeFiles/mcdvfs_power.dir/cpu_power.cc.o" "gcc" "src/power/CMakeFiles/mcdvfs_power.dir/cpu_power.cc.o.d"
+  "/root/repo/src/power/dram_power.cc" "src/power/CMakeFiles/mcdvfs_power.dir/dram_power.cc.o" "gcc" "src/power/CMakeFiles/mcdvfs_power.dir/dram_power.cc.o.d"
+  "/root/repo/src/power/opp.cc" "src/power/CMakeFiles/mcdvfs_power.dir/opp.cc.o" "gcc" "src/power/CMakeFiles/mcdvfs_power.dir/opp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcdvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mcdvfs_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_power.dir/battery.cc.o"
+  "CMakeFiles/mcdvfs_power.dir/battery.cc.o.d"
+  "CMakeFiles/mcdvfs_power.dir/cpu_power.cc.o"
+  "CMakeFiles/mcdvfs_power.dir/cpu_power.cc.o.d"
+  "CMakeFiles/mcdvfs_power.dir/dram_power.cc.o"
+  "CMakeFiles/mcdvfs_power.dir/dram_power.cc.o.d"
+  "CMakeFiles/mcdvfs_power.dir/opp.cc.o"
+  "CMakeFiles/mcdvfs_power.dir/opp.cc.o.d"
+  "libmcdvfs_power.a"
+  "libmcdvfs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcdvfs_power.a"
+)

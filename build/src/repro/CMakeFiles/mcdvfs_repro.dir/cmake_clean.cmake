@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_repro.dir/analyses.cc.o"
+  "CMakeFiles/mcdvfs_repro.dir/analyses.cc.o.d"
+  "CMakeFiles/mcdvfs_repro.dir/suite.cc.o"
+  "CMakeFiles/mcdvfs_repro.dir/suite.cc.o.d"
+  "libmcdvfs_repro.a"
+  "libmcdvfs_repro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/emin_predictor.cc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/emin_predictor.cc.o" "gcc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/emin_predictor.cc.o.d"
+  "/root/repo/src/runtime/inefficiency_governor.cc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/inefficiency_governor.cc.o" "gcc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/inefficiency_governor.cc.o.d"
+  "/root/repo/src/runtime/offline_profile.cc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/offline_profile.cc.o" "gcc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/offline_profile.cc.o.d"
+  "/root/repo/src/runtime/phase_detector.cc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/phase_detector.cc.o" "gcc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/phase_detector.cc.o.d"
+  "/root/repo/src/runtime/stability_predictor.cc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/stability_predictor.cc.o" "gcc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/stability_predictor.cc.o.d"
+  "/root/repo/src/runtime/tuning_loop.cc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/tuning_loop.cc.o" "gcc" "src/runtime/CMakeFiles/mcdvfs_runtime.dir/tuning_loop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcdvfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcdvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcdvfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcdvfs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mcdvfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcdvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_runtime.dir/emin_predictor.cc.o"
+  "CMakeFiles/mcdvfs_runtime.dir/emin_predictor.cc.o.d"
+  "CMakeFiles/mcdvfs_runtime.dir/inefficiency_governor.cc.o"
+  "CMakeFiles/mcdvfs_runtime.dir/inefficiency_governor.cc.o.d"
+  "CMakeFiles/mcdvfs_runtime.dir/offline_profile.cc.o"
+  "CMakeFiles/mcdvfs_runtime.dir/offline_profile.cc.o.d"
+  "CMakeFiles/mcdvfs_runtime.dir/phase_detector.cc.o"
+  "CMakeFiles/mcdvfs_runtime.dir/phase_detector.cc.o.d"
+  "CMakeFiles/mcdvfs_runtime.dir/stability_predictor.cc.o"
+  "CMakeFiles/mcdvfs_runtime.dir/stability_predictor.cc.o.d"
+  "CMakeFiles/mcdvfs_runtime.dir/tuning_loop.cc.o"
+  "CMakeFiles/mcdvfs_runtime.dir/tuning_loop.cc.o.d"
+  "libmcdvfs_runtime.a"
+  "libmcdvfs_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

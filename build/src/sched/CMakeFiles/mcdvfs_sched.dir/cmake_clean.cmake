@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_sched.dir/scheduler.cc.o"
+  "CMakeFiles/mcdvfs_sched.dir/scheduler.cc.o.d"
+  "libmcdvfs_sched.a"
+  "libmcdvfs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

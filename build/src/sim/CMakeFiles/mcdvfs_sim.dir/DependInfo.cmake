@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/grid_io.cc" "src/sim/CMakeFiles/mcdvfs_sim.dir/grid_io.cc.o" "gcc" "src/sim/CMakeFiles/mcdvfs_sim.dir/grid_io.cc.o.d"
+  "/root/repo/src/sim/grid_runner.cc" "src/sim/CMakeFiles/mcdvfs_sim.dir/grid_runner.cc.o" "gcc" "src/sim/CMakeFiles/mcdvfs_sim.dir/grid_runner.cc.o.d"
+  "/root/repo/src/sim/measured_grid.cc" "src/sim/CMakeFiles/mcdvfs_sim.dir/measured_grid.cc.o" "gcc" "src/sim/CMakeFiles/mcdvfs_sim.dir/measured_grid.cc.o.d"
+  "/root/repo/src/sim/sample_simulator.cc" "src/sim/CMakeFiles/mcdvfs_sim.dir/sample_simulator.cc.o" "gcc" "src/sim/CMakeFiles/mcdvfs_sim.dir/sample_simulator.cc.o.d"
+  "/root/repo/src/sim/timing_model.cc" "src/sim/CMakeFiles/mcdvfs_sim.dir/timing_model.cc.o" "gcc" "src/sim/CMakeFiles/mcdvfs_sim.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mcdvfs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcdvfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mcdvfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcdvfs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

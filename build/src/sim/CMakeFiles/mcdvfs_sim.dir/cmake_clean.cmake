@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_sim.dir/grid_io.cc.o"
+  "CMakeFiles/mcdvfs_sim.dir/grid_io.cc.o.d"
+  "CMakeFiles/mcdvfs_sim.dir/grid_runner.cc.o"
+  "CMakeFiles/mcdvfs_sim.dir/grid_runner.cc.o.d"
+  "CMakeFiles/mcdvfs_sim.dir/measured_grid.cc.o"
+  "CMakeFiles/mcdvfs_sim.dir/measured_grid.cc.o.d"
+  "CMakeFiles/mcdvfs_sim.dir/sample_simulator.cc.o"
+  "CMakeFiles/mcdvfs_sim.dir/sample_simulator.cc.o.d"
+  "CMakeFiles/mcdvfs_sim.dir/timing_model.cc.o"
+  "CMakeFiles/mcdvfs_sim.dir/timing_model.cc.o.d"
+  "libmcdvfs_sim.a"
+  "libmcdvfs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

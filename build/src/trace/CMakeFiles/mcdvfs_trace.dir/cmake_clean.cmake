@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_trace.dir/phase.cc.o"
+  "CMakeFiles/mcdvfs_trace.dir/phase.cc.o.d"
+  "CMakeFiles/mcdvfs_trace.dir/trace_generator.cc.o"
+  "CMakeFiles/mcdvfs_trace.dir/trace_generator.cc.o.d"
+  "CMakeFiles/mcdvfs_trace.dir/trace_io.cc.o"
+  "CMakeFiles/mcdvfs_trace.dir/trace_io.cc.o.d"
+  "CMakeFiles/mcdvfs_trace.dir/workloads.cc.o"
+  "CMakeFiles/mcdvfs_trace.dir/workloads.cc.o.d"
+  "libmcdvfs_trace.a"
+  "libmcdvfs_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_comparison_test.dir/baselines_comparison_test.cc.o"
+  "CMakeFiles/baselines_comparison_test.dir/baselines_comparison_test.cc.o.d"
+  "baselines_comparison_test"
+  "baselines_comparison_test.pdb"
+  "baselines_comparison_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_comparison_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

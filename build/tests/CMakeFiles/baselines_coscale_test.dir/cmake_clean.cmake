@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_coscale_test.dir/baselines_coscale_test.cc.o"
+  "CMakeFiles/baselines_coscale_test.dir/baselines_coscale_test.cc.o.d"
+  "baselines_coscale_test"
+  "baselines_coscale_test.pdb"
+  "baselines_coscale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_coscale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_rate_limiter_test.dir/baselines_rate_limiter_test.cc.o"
+  "CMakeFiles/baselines_rate_limiter_test.dir/baselines_rate_limiter_test.cc.o.d"
+  "baselines_rate_limiter_test"
+  "baselines_rate_limiter_test.pdb"
+  "baselines_rate_limiter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_rate_limiter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

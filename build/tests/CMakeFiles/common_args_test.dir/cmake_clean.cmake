@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_args_test.dir/common_args_test.cc.o"
+  "CMakeFiles/common_args_test.dir/common_args_test.cc.o.d"
+  "common_args_test"
+  "common_args_test.pdb"
+  "common_args_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_args_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

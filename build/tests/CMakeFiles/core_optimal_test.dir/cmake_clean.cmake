@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_optimal_test.dir/core_optimal_test.cc.o"
+  "CMakeFiles/core_optimal_test.dir/core_optimal_test.cc.o.d"
+  "core_optimal_test"
+  "core_optimal_test.pdb"
+  "core_optimal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_optimal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_step_sensitivity_test.dir/core_step_sensitivity_test.cc.o"
+  "CMakeFiles/core_step_sensitivity_test.dir/core_step_sensitivity_test.cc.o.d"
+  "core_step_sensitivity_test"
+  "core_step_sensitivity_test.pdb"
+  "core_step_sensitivity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_step_sensitivity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_transitions_test.dir/core_transitions_test.cc.o"
+  "CMakeFiles/core_transitions_test.dir/core_transitions_test.cc.o.d"
+  "core_transitions_test"
+  "core_transitions_test.pdb"
+  "core_transitions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_transitions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

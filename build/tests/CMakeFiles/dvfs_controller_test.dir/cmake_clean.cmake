@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_controller_test.dir/dvfs_controller_test.cc.o"
+  "CMakeFiles/dvfs_controller_test.dir/dvfs_controller_test.cc.o.d"
+  "dvfs_controller_test"
+  "dvfs_controller_test.pdb"
+  "dvfs_controller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_controller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

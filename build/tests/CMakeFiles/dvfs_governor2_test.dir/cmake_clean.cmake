@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_governor2_test.dir/dvfs_governor2_test.cc.o"
+  "CMakeFiles/dvfs_governor2_test.dir/dvfs_governor2_test.cc.o.d"
+  "dvfs_governor2_test"
+  "dvfs_governor2_test.pdb"
+  "dvfs_governor2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_governor2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_governor_test.dir/dvfs_governor_test.cc.o"
+  "CMakeFiles/dvfs_governor_test.dir/dvfs_governor_test.cc.o.d"
+  "dvfs_governor_test"
+  "dvfs_governor_test.pdb"
+  "dvfs_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

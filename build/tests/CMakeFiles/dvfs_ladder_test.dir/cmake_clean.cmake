@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_ladder_test.dir/dvfs_ladder_test.cc.o"
+  "CMakeFiles/dvfs_ladder_test.dir/dvfs_ladder_test.cc.o.d"
+  "dvfs_ladder_test"
+  "dvfs_ladder_test.pdb"
+  "dvfs_ladder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_ladder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

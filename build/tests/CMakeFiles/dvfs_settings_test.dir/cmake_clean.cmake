@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_settings_test.dir/dvfs_settings_test.cc.o"
+  "CMakeFiles/dvfs_settings_test.dir/dvfs_settings_test.cc.o.d"
+  "dvfs_settings_test"
+  "dvfs_settings_test.pdb"
+  "dvfs_settings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_settings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

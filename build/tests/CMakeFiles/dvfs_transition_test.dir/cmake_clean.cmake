@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dvfs_transition_test.dir/dvfs_transition_test.cc.o"
+  "CMakeFiles/dvfs_transition_test.dir/dvfs_transition_test.cc.o.d"
+  "dvfs_transition_test"
+  "dvfs_transition_test.pdb"
+  "dvfs_transition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dvfs_transition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_extended_test.dir/integration_extended_test.cc.o"
+  "CMakeFiles/integration_extended_test.dir/integration_extended_test.cc.o.d"
+  "integration_extended_test"
+  "integration_extended_test.pdb"
+  "integration_extended_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

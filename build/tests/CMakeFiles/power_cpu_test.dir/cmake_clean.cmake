@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_cpu_test.dir/power_cpu_test.cc.o"
+  "CMakeFiles/power_cpu_test.dir/power_cpu_test.cc.o.d"
+  "power_cpu_test"
+  "power_cpu_test.pdb"
+  "power_cpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_cpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_dram_test.dir/power_dram_test.cc.o"
+  "CMakeFiles/power_dram_test.dir/power_dram_test.cc.o.d"
+  "power_dram_test"
+  "power_dram_test.pdb"
+  "power_dram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_dram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_opp_test.dir/power_opp_test.cc.o"
+  "CMakeFiles/power_opp_test.dir/power_opp_test.cc.o.d"
+  "power_opp_test"
+  "power_opp_test.pdb"
+  "power_opp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_opp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

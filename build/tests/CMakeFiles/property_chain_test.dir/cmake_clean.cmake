@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_chain_test.dir/property_chain_test.cc.o"
+  "CMakeFiles/property_chain_test.dir/property_chain_test.cc.o.d"
+  "property_chain_test"
+  "property_chain_test.pdb"
+  "property_chain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_chain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

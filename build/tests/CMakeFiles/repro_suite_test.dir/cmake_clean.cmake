@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_suite_test.dir/repro_suite_test.cc.o"
+  "CMakeFiles/repro_suite_test.dir/repro_suite_test.cc.o.d"
+  "repro_suite_test"
+  "repro_suite_test.pdb"
+  "repro_suite_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_suite_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_governor_test.dir/runtime_governor_test.cc.o"
+  "CMakeFiles/runtime_governor_test.dir/runtime_governor_test.cc.o.d"
+  "runtime_governor_test"
+  "runtime_governor_test.pdb"
+  "runtime_governor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_governor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_phase_detector_test.dir/runtime_phase_detector_test.cc.o"
+  "CMakeFiles/runtime_phase_detector_test.dir/runtime_phase_detector_test.cc.o.d"
+  "runtime_phase_detector_test"
+  "runtime_phase_detector_test.pdb"
+  "runtime_phase_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_phase_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

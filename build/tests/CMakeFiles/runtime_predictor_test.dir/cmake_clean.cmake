@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_predictor_test.dir/runtime_predictor_test.cc.o"
+  "CMakeFiles/runtime_predictor_test.dir/runtime_predictor_test.cc.o.d"
+  "runtime_predictor_test"
+  "runtime_predictor_test.pdb"
+  "runtime_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

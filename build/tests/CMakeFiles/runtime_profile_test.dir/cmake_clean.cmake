@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_profile_test.dir/runtime_profile_test.cc.o"
+  "CMakeFiles/runtime_profile_test.dir/runtime_profile_test.cc.o.d"
+  "runtime_profile_test"
+  "runtime_profile_test.pdb"
+  "runtime_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

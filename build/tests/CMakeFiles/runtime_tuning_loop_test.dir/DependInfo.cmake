@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime_tuning_loop_test.cc" "tests/CMakeFiles/runtime_tuning_loop_test.dir/runtime_tuning_loop_test.cc.o" "gcc" "tests/CMakeFiles/runtime_tuning_loop_test.dir/runtime_tuning_loop_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/repro/CMakeFiles/mcdvfs_repro.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mcdvfs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mcdvfs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/mcdvfs_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcdvfs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcdvfs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mcdvfs_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mcdvfs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/mcdvfs_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/mcdvfs_dvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mcdvfs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

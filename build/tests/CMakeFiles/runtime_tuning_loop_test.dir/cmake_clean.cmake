@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runtime_tuning_loop_test.dir/runtime_tuning_loop_test.cc.o"
+  "CMakeFiles/runtime_tuning_loop_test.dir/runtime_tuning_loop_test.cc.o.d"
+  "runtime_tuning_loop_test"
+  "runtime_tuning_loop_test.pdb"
+  "runtime_tuning_loop_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runtime_tuning_loop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

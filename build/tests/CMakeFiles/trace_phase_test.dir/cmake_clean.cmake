@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_phase_test.dir/trace_phase_test.cc.o"
+  "CMakeFiles/trace_phase_test.dir/trace_phase_test.cc.o.d"
+  "trace_phase_test"
+  "trace_phase_test.pdb"
+  "trace_phase_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_phase_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_workloads_test.dir/trace_workloads_test.cc.o"
+  "CMakeFiles/trace_workloads_test.dir/trace_workloads_test.cc.o.d"
+  "trace_workloads_test"
+  "trace_workloads_test.pdb"
+  "trace_workloads_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_workloads_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

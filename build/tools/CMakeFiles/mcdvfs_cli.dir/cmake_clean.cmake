@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcdvfs_cli.dir/mcdvfs_cli.cc.o"
+  "CMakeFiles/mcdvfs_cli.dir/mcdvfs_cli.cc.o.d"
+  "mcdvfs_cli"
+  "mcdvfs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcdvfs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
