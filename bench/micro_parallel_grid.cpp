@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Micro-benchmarks of the concurrent characterization service: serial
+ * vs parallel grid construction throughput (the dominant cost of every
+ * figure), and the latency of a cache-hit tuning request vs a cold
+ * one.
+ *
+ * The parallel build fans the per-setting model evaluation over a
+ * thread pool (bit-identical results; see sim/grid_runner.hh), so the
+ * interesting numbers are the scaling of cells/second with workers and
+ * how much of a request the grid cache removes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "exec/thread_pool.hh"
+#include "svc/characterization_service.hh"
+#include "trace/workloads.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+/** Shared characterization (profiles are worker-count independent). */
+struct Fixtures
+{
+    WorkloadProfile workload;
+    std::vector<SampleProfile> profiles;
+
+    static const Fixtures &
+    get()
+    {
+        static const Fixtures fixtures;
+        return fixtures;
+    }
+
+  private:
+    Fixtures() : workload(workloadByName("gobmk"))
+    {
+        SampleSimulator simulator(SystemConfig::paperDefault().sampler);
+        profiles = simulator.characterize(workload);
+    }
+};
+
+/** Grid build over the fine 496-setting space with @c workers threads. */
+void
+gridBuild(benchmark::State &state, std::size_t workers)
+{
+    const Fixtures &fixtures = Fixtures::get();
+    const SettingsSpace space = SettingsSpace::fine();
+    GridRunner runner;
+    exec::ThreadPool pool(workers);
+    if (workers > 0)
+        runner.setThreadPool(&pool);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(runner.runWithProfiles(
+            fixtures.workload.name(), fixtures.profiles, space,
+            fixtures.workload.modeledInstructionsPerSample()));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(fixtures.profiles.size() *
+                                  space.size()));
+    state.counters["cells"] =
+        static_cast<double>(fixtures.profiles.size() * space.size());
+}
+
+void
+BM_GridBuildSerial(benchmark::State &state)
+{
+    gridBuild(state, 0);
+}
+BENCHMARK(BM_GridBuildSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_GridBuildParallel(benchmark::State &state)
+{
+    gridBuild(state, static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_GridBuildParallel)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_ServiceSubmitCacheHit(benchmark::State &state)
+{
+    svc::ServiceOptions options;
+    options.jobs = 2;
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         options);
+    const svc::TuningRequest request{workloadByName("gobmk"),
+                                     SettingsSpace::coarse(), 1.3, 0.03};
+    service.submit(request);  // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(service.submit(request));
+}
+BENCHMARK(BM_ServiceSubmitCacheHit)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ServiceGridCacheHit(benchmark::State &state)
+{
+    // Pure cache-hit latency: fingerprint + sharded LRU lookup,
+    // without the analysis chain of a full submit().
+    svc::CharacterizationService service;
+    const WorkloadProfile workload = workloadByName("gobmk");
+    const SettingsSpace space = SettingsSpace::coarse();
+    service.grid(workload, space);  // warm the cache
+    for (auto _ : state)
+        benchmark::DoNotOptimize(service.grid(workload, space));
+}
+BENCHMARK(BM_ServiceGridCacheHit)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

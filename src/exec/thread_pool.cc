@@ -1,0 +1,146 @@
+#include "exec/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace mcdvfs
+{
+namespace exec
+{
+
+namespace
+{
+
+/** Shared bookkeeping of one parallelFor() invocation. */
+struct LoopState
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t chunks = 0;
+    const std::function<void(std::size_t)> *body = nullptr;
+
+    std::atomic<std::size_t> nextChunk{0};
+    std::atomic<std::size_t> doneChunks{0};
+
+    std::mutex mutex;
+    std::condition_variable finished;
+    std::exception_ptr firstError;
+
+    /** Claim and run chunks until the range is exhausted. */
+    void
+    drain()
+    {
+        for (std::size_t c = nextChunk.fetch_add(1); c < chunks;
+             c = nextChunk.fetch_add(1)) {
+            const std::size_t lo = begin + c * grain;
+            const std::size_t hi = std::min(end, lo + grain);
+            try {
+                for (std::size_t i = lo; i < hi; ++i)
+                    (*body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(mutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+            if (doneChunks.fetch_add(1) + 1 == chunks) {
+                std::lock_guard<std::mutex> lock(mutex);
+                finished.notify_all();
+            }
+        }
+    }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    available_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::defaultThreads()
+{
+    return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    available_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            available_.wait(lock,
+                            [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and the queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                        const std::function<void(std::size_t)> &body,
+                        std::size_t grain)
+{
+    if (begin >= end)
+        return;
+    grain = std::max<std::size_t>(1, grain);
+
+    auto state = std::make_shared<LoopState>();
+    state->begin = begin;
+    state->end = end;
+    state->grain = grain;
+    state->chunks = (end - begin + grain - 1) / grain;
+    state->body = &body;
+
+    // One helper per worker is enough: each helper keeps claiming
+    // chunks until none remain.  Helpers that arrive late (or never
+    // run before the caller finishes the range) claim nothing and
+    // return immediately; the shared_ptr keeps the state alive for
+    // them either way.
+    const std::size_t helpers =
+        std::min(workers_.size(), state->chunks > 0 ? state->chunks - 1
+                                                    : std::size_t{0});
+    for (std::size_t i = 0; i < helpers; ++i)
+        enqueue([state] { state->drain(); });
+
+    state->drain();
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->finished.wait(lock, [&state] {
+        return state->doneChunks.load() == state->chunks;
+    });
+    if (state->firstError)
+        std::rethrow_exception(state->firstError);
+}
+
+} // namespace exec
+} // namespace mcdvfs

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fixed-size task-queue thread pool.
+ *
+ * The pool backs the characterization service and the parallel grid
+ * build: submit() runs an arbitrary callable on a worker and returns a
+ * std::future carrying its result (or its exception); parallelFor()
+ * splits an index range into chunks that workers *and the calling
+ * thread* claim from a shared counter.
+ *
+ * The caller participating in parallelFor() is what makes nesting safe:
+ * a task already running on a worker may itself call parallelFor()
+ * without risking deadlock, because the nested loop makes progress on
+ * the calling thread even when every other worker is busy.  Chunks are
+ * claimed, never pre-assigned, so a busy worker simply claims nothing.
+ */
+
+#ifndef MCDVFS_EXEC_THREAD_POOL_HH
+#define MCDVFS_EXEC_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mcdvfs
+{
+namespace exec
+{
+
+/** Fixed-size worker pool with a FIFO task queue. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads worker count; 0 means "no workers", in which case
+     *        submit() still works (tasks run inline on the submitting
+     *        thread) and parallelFor() degrades to a serial loop.
+     */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Joins all workers; queued tasks run to completion first. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * A sensible default worker count for this machine (hardware
+     * concurrency, at least 1).
+     */
+    static std::size_t defaultThreads();
+
+    /**
+     * Run @c fn on a worker; the returned future carries its result or
+     * any exception it threw.
+     */
+    template <typename F>
+    auto
+    submit(F &&fn) -> std::future<std::invoke_result_t<std::decay_t<F>>>
+    {
+        using Result = std::invoke_result_t<std::decay_t<F>>;
+        auto task = std::make_shared<std::packaged_task<Result()>>(
+            std::forward<F>(fn));
+        std::future<Result> future = task->get_future();
+        if (workers_.empty()) {
+            (*task)();
+            return future;
+        }
+        enqueue([task] { (*task)(); });
+        return future;
+    }
+
+    /**
+     * Apply @c body to every index in [begin, end), spread over the
+     * workers in chunks of @c grain consecutive indices.  Blocks until
+     * the whole range is done; the calling thread claims chunks too.
+     * The first exception thrown by any invocation is rethrown here
+     * (the rest of the range still runs to completion).
+     */
+    void parallelFor(std::size_t begin, std::size_t end,
+                     const std::function<void(std::size_t)> &body,
+                     std::size_t grain = 1);
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable available_;
+    bool stop_ = false;
+};
+
+} // namespace exec
+} // namespace mcdvfs
+
+#endif // MCDVFS_EXEC_THREAD_POOL_HH

@@ -5,8 +5,20 @@
 namespace mcdvfs
 {
 
-ReproSuite::ReproSuite(const SystemConfig &config)
-    : coarse_(SettingsSpace::coarse()), runner_(config)
+svc::CharacterizationService::Options
+ReproSuite::serviceOptions(std::size_t jobs)
+{
+    svc::CharacterizationService::Options options;
+    options.jobs = jobs;
+    // Comfortable room for the full extended workload set over both
+    // the coarse and fine spaces.
+    options.cacheCapacity = 32;
+    return options;
+}
+
+ReproSuite::ReproSuite(const SystemConfig &config, std::size_t jobs)
+    : coarse_(SettingsSpace::coarse()),
+      service_(config, serviceOptions(jobs)), runner_(config)
 {
 }
 
@@ -22,12 +34,10 @@ ReproSuite::benchmarkNames()
 const MeasuredGrid &
 ReproSuite::grid(const std::string &workload)
 {
-    auto it = cache_.find(workload);
-    if (it == cache_.end()) {
+    auto it = pinned_.find(workload);
+    if (it == pinned_.end()) {
         const WorkloadProfile profile = workloadByName(workload);
-        it = cache_
-                 .emplace(workload, std::make_unique<MeasuredGrid>(
-                                        runner_.run(profile, coarse_)))
+        it = pinned_.emplace(workload, service_.grid(profile, coarse_))
                  .first;
     }
     return *it->second;

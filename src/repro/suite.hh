@@ -3,9 +3,11 @@
  * Shared experiment harness for the figure benchmarks.
  *
  * Every bench binary needs measured grids for some subset of the six
- * benchmarks over the coarse 70-setting space.  ReproSuite builds them
- * on demand and memoizes, so a binary touching several figures pays
- * for each characterization once.
+ * benchmarks over the coarse 70-setting space.  ReproSuite serves them
+ * through the characterization service, so a binary touching several
+ * figures pays for each characterization once (the service's grid
+ * cache) and can spread the per-setting model evaluation over worker
+ * threads (@c jobs).
  */
 
 #ifndef MCDVFS_REPRO_SUITE_HH
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "sim/grid_runner.hh"
+#include "svc/characterization_service.hh"
 
 namespace mcdvfs
 {
@@ -25,8 +28,14 @@ namespace mcdvfs
 class ReproSuite
 {
   public:
+    /**
+     * @param config system configuration shared by every grid
+     * @param jobs worker threads for grid construction (1 = serial;
+     *        results are bit-identical either way)
+     */
     explicit ReproSuite(const SystemConfig &config =
-                            SystemConfig::paperDefault());
+                            SystemConfig::paperDefault(),
+                        std::size_t jobs = 1);
 
     /** The paper's six benchmarks in reporting order. */
     static const std::vector<std::string> &benchmarkNames();
@@ -45,10 +54,18 @@ class ReproSuite
     /** The configured grid runner (for fine-grid experiments). */
     GridRunner &runner() { return runner_; }
 
+    /** The underlying service (batched tuning, cache statistics). */
+    svc::CharacterizationService &service() { return service_; }
+
   private:
+    static svc::CharacterizationService::Options serviceOptions(
+        std::size_t jobs);
+
     SettingsSpace coarse_;
+    svc::CharacterizationService service_;
     GridRunner runner_;
-    std::map<std::string, std::unique_ptr<MeasuredGrid>> cache_;
+    /** Pins served grids so grid()'s references outlive cache churn. */
+    std::map<std::string, std::shared_ptr<const MeasuredGrid>> pinned_;
 };
 
 } // namespace mcdvfs

@@ -52,61 +52,77 @@ GridRunner::runWithProfiles(const std::string &workload_name,
     MeasuredGrid grid(workload_name, space, profiles.size(),
                       instructions_per_sample);
 
-    const double n = static_cast<double>(instructions_per_sample);
-    for (std::size_t s = 0; s < profiles.size(); ++s) {
-        const SampleProfile &profile = profiles[s];
-
-        // Scale the per-instruction rates back up to the modeled
-        // sample length for the DRAM energy accounting.
-        DramStats dram_stats;
-        const double reads =
-            n * (profile.dramReadsPerInstr + profile.dramPrefetchPerInstr);
-        const double writes = n * profile.dramWritesPerInstr;
-        const double total = reads + writes;
-        dram_stats.reads = static_cast<Count>(std::llround(reads));
-        dram_stats.writes = static_cast<Count>(std::llround(writes));
-        dram_stats.rowHits =
-            static_cast<Count>(std::llround(total * profile.rowHitFrac));
-        dram_stats.rowClosed = static_cast<Count>(
-            std::llround(total * profile.rowClosedFrac));
-        dram_stats.rowConflicts = static_cast<Count>(
-            std::llround(total * profile.rowConflictFrac));
-
-        for (std::size_t k = 0; k < space.size(); ++k) {
-            const FrequencySetting setting = space.at(k);
-            const SampleTiming timing = timingModel_.evaluate(
-                profile, setting, instructions_per_sample);
-
-            GridCell &cell = grid.cell(s, k);
-            cell.seconds = timing.total;
-            cell.busyFrac =
-                timing.total > 0.0 ? timing.busy / timing.total : 1.0;
-            cell.bwUtil = timing.bwUtil;
-            cell.cpuEnergy =
-                cpuPower_.energy(setting.cpu, profile.activity,
-                                 timing.busy, timing.stall);
-            cell.memEnergy =
-                dramPower_
-                    .energy(dram_stats, setting.mem, timing.total,
-                            timing.bwUtil)
-                    .total();
-
-            if (config_.measurementNoise > 0.0) {
-                // Deterministic "simulation noise" on the measured
-                // quantities (see SystemConfig::measurementNoise).
-                Rng noise(cellSeed(workload_name, s, k));
-                auto wobble = [&](double v) {
-                    return v * (1.0 + config_.measurementNoise *
-                                          (2.0 * noise.uniform() - 1.0));
-                };
-                cell.seconds = wobble(cell.seconds);
-                cell.cpuEnergy = wobble(cell.cpuEnergy);
-                cell.memEnergy = wobble(cell.memEnergy);
-            }
-        }
+    if (pool_ != nullptr && pool_->size() > 0 && profiles.size() > 1) {
+        // Samples are independent and write disjoint cell rows, so the
+        // fan-out needs no synchronization beyond the loop barrier.
+        pool_->parallelFor(0, profiles.size(), [&](std::size_t s) {
+            evaluateSample(grid, profiles[s], s, space,
+                           instructions_per_sample);
+        });
+    } else {
+        for (std::size_t s = 0; s < profiles.size(); ++s)
+            evaluateSample(grid, profiles[s], s, space,
+                           instructions_per_sample);
     }
     grid.setProfiles(profiles);
     return grid;
+}
+
+void
+GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
+                           std::size_t sample, const SettingsSpace &space,
+                           Count instructions_per_sample) const
+{
+    const double n = static_cast<double>(instructions_per_sample);
+
+    // Scale the per-instruction rates back up to the modeled
+    // sample length for the DRAM energy accounting.
+    DramStats dram_stats;
+    const double reads =
+        n * (profile.dramReadsPerInstr + profile.dramPrefetchPerInstr);
+    const double writes = n * profile.dramWritesPerInstr;
+    const double total = reads + writes;
+    dram_stats.reads = static_cast<Count>(std::llround(reads));
+    dram_stats.writes = static_cast<Count>(std::llround(writes));
+    dram_stats.rowHits =
+        static_cast<Count>(std::llround(total * profile.rowHitFrac));
+    dram_stats.rowClosed = static_cast<Count>(
+        std::llround(total * profile.rowClosedFrac));
+    dram_stats.rowConflicts = static_cast<Count>(
+        std::llround(total * profile.rowConflictFrac));
+
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        const FrequencySetting setting = space.at(k);
+        const SampleTiming timing = timingModel_.evaluate(
+            profile, setting, instructions_per_sample);
+
+        GridCell &cell = grid.cell(sample, k);
+        cell.seconds = timing.total;
+        cell.busyFrac =
+            timing.total > 0.0 ? timing.busy / timing.total : 1.0;
+        cell.bwUtil = timing.bwUtil;
+        cell.cpuEnergy =
+            cpuPower_.energy(setting.cpu, profile.activity,
+                             timing.busy, timing.stall);
+        cell.memEnergy =
+            dramPower_
+                .energy(dram_stats, setting.mem, timing.total,
+                        timing.bwUtil)
+                .total();
+
+        if (config_.measurementNoise > 0.0) {
+            // Deterministic "simulation noise" on the measured
+            // quantities (see SystemConfig::measurementNoise).
+            Rng noise(cellSeed(grid.workload(), sample, k));
+            auto wobble = [&](double v) {
+                return v * (1.0 + config_.measurementNoise *
+                                      (2.0 * noise.uniform() - 1.0));
+            };
+            cell.seconds = wobble(cell.seconds);
+            cell.cpuEnergy = wobble(cell.cpuEnergy);
+            cell.memEnergy = wobble(cell.memEnergy);
+        }
+    }
 }
 
 } // namespace mcdvfs

@@ -12,6 +12,7 @@
 #ifndef MCDVFS_SIM_GRID_RUNNER_HH
 #define MCDVFS_SIM_GRID_RUNNER_HH
 
+#include "exec/thread_pool.hh"
 #include "power/cpu_power.hh"
 #include "power/dram_power.hh"
 #include "sim/measured_grid.hh"
@@ -68,13 +69,29 @@ class GridRunner
                                  const SettingsSpace &space,
                                  Count instructions_per_sample);
 
+    /**
+     * Fan the per-setting model evaluation out over @c pool (non-owning;
+     * nullptr restores the serial loop).  The characterization pass
+     * stays single-pass either way, and every cell — including its
+     * deterministic measurement noise — is a pure function of (workload,
+     * sample, setting), so the parallel grid is bit-identical to the
+     * serial one regardless of worker count or scheduling.
+     */
+    void setThreadPool(exec::ThreadPool *pool) { pool_ = pool; }
+
     const SystemConfig &config() const { return config_; }
 
   private:
+    /** Fill one sample's row of cells (safe to run concurrently). */
+    void evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
+                        std::size_t sample, const SettingsSpace &space,
+                        Count instructions_per_sample) const;
+
     SystemConfig config_;
     TimingModel timingModel_;
     CpuPowerModel cpuPower_;
     DramPowerModel dramPower_;
+    exec::ThreadPool *pool_ = nullptr;
 };
 
 } // namespace mcdvfs

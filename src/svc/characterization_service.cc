@@ -1,0 +1,156 @@
+#include "svc/characterization_service.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "svc/fingerprint.hh"
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+CharacterizationService::CharacterizationService(const SystemConfig &config,
+                                                 const Options &options)
+    : config_(config), configFingerprint_(fingerprintConfig(config)),
+      pool_(std::max<std::size_t>(1, options.jobs)),
+      cache_(options.cacheCapacity, options.cacheShards)
+{
+}
+
+std::shared_ptr<const MeasuredGrid>
+CharacterizationService::grid(const WorkloadProfile &workload,
+                              const SettingsSpace &space)
+{
+    bool cache_hit = false;
+    return gridFor(workload, space, cache_hit);
+}
+
+std::shared_ptr<const MeasuredGrid>
+CharacterizationService::gridFor(const WorkloadProfile &workload,
+                                 const SettingsSpace &space,
+                                 bool &cache_hit)
+{
+    const GridKey key{fingerprintWorkload(workload),
+                      fingerprintSpace(space), configFingerprint_};
+    const std::uint64_t digest = key.combined();
+
+    if (auto cached = cache_.find(key)) {
+        cache_hit = true;
+        return cached;
+    }
+
+    // Not cached: either claim the build or coalesce with whoever is
+    // already characterizing this key.  The builder runs the build on
+    // its own thread (never queued behind a waiter), so waiting on the
+    // shared future cannot deadlock, even from a pool worker.
+    std::promise<std::shared_ptr<const MeasuredGrid>> promise;
+    std::shared_future<std::shared_ptr<const MeasuredGrid>> watch;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        const auto it = inflight_.find(digest);
+        if (it != inflight_.end()) {
+            watch = it->second;
+        } else {
+            inflight_.emplace(digest, promise.get_future().share());
+        }
+    }
+    if (watch.valid()) {
+        cache_hit = true;
+        return watch.get();
+    }
+
+    try {
+        GridRunner runner(config_);
+        runner.setThreadPool(&pool_);
+        auto grid = std::make_shared<const MeasuredGrid>(
+            runner.run(workload, space));
+        cache_.insert(key, grid);
+        {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            inflight_.erase(digest);
+        }
+        promise.set_value(grid);
+        cache_hit = false;
+        return grid;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            inflight_.erase(digest);
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
+TuningResult
+CharacterizationService::analyze(const TuningRequest &request,
+                                 std::shared_ptr<const MeasuredGrid> grid,
+                                 bool cache_hit)
+{
+    TuningResult result;
+    result.budget = request.budget;
+    result.threshold = request.threshold;
+    result.cacheHit = cache_hit;
+
+    InefficiencyAnalysis analysis(*grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder cluster_finder(finder);
+    StableRegionFinder region_finder(cluster_finder);
+
+    result.optimal = finder.optimalTrajectory(request.budget);
+    result.clusters =
+        cluster_finder.clusters(request.budget, request.threshold);
+    result.regions = region_finder.fromClusters(result.clusters);
+    result.grid = std::move(grid);
+    return result;
+}
+
+TuningResult
+CharacterizationService::submit(const TuningRequest &request)
+{
+    bool cache_hit = false;
+    auto grid = gridFor(request.workload, request.space, cache_hit);
+    return analyze(request, std::move(grid), cache_hit);
+}
+
+std::vector<TuningResult>
+CharacterizationService::submitBatch(
+    const std::vector<TuningRequest> &requests)
+{
+    std::vector<TuningResult> results(requests.size());
+
+    // Group requests sharing a grid so each distinct characterization
+    // runs exactly once, then fan the groups out across the pool.
+    std::map<std::uint64_t, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const GridKey key{fingerprintWorkload(requests[i].workload),
+                          fingerprintSpace(requests[i].space),
+                          configFingerprint_};
+        groups[key.combined()].push_back(i);
+    }
+
+    std::vector<std::future<void>> pending;
+    pending.reserve(groups.size());
+    for (const auto &[digest, members] : groups) {
+        pending.push_back(pool_.submit([this, &requests, &results,
+                                        &members] {
+            bool cache_hit = false;
+            auto grid = gridFor(requests[members.front()].workload,
+                                requests[members.front()].space,
+                                cache_hit);
+            for (std::size_t j = 0; j < members.size(); ++j) {
+                const std::size_t i = members[j];
+                // Later members of the group reuse the first build.
+                results[i] =
+                    analyze(requests[i], grid, j == 0 ? cache_hit : true);
+            }
+        }));
+    }
+    for (auto &future : pending)
+        future.get();
+    return results;
+}
+
+} // namespace svc
+} // namespace mcdvfs

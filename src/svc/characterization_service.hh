@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Batched characterization + tuning front end.
+ *
+ * CharacterizationService is the serving layer over the whole library:
+ * one object owning a thread pool and a grid cache, answering tuning
+ * requests — "what are the optimal settings, clusters and stable
+ * regions of this workload over this settings space under this
+ * budget?" — without the caller touching GridRunner or the analysis
+ * chain.
+ *
+ * Three mechanisms make repeated and concurrent traffic cheap:
+ *  - the per-setting model evaluation of a grid build fans out over
+ *    the pool (bit-identical to the serial build, see GridRunner);
+ *  - finished grids land in a sharded LRU cache keyed by content
+ *    fingerprints, so any request over the same (workload, space,
+ *    config) skips characterization entirely;
+ *  - identical characterizations already in flight are coalesced:
+ *    concurrent submitters of the same key wait for the first build
+ *    instead of duplicating it.
+ */
+
+#ifndef MCDVFS_SVC_CHARACTERIZATION_SERVICE_HH
+#define MCDVFS_SVC_CHARACTERIZATION_SERVICE_HH
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/stable_regions.hh"
+#include "exec/thread_pool.hh"
+#include "sim/grid_runner.hh"
+#include "svc/grid_cache.hh"
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+/** One batched tuning request. */
+struct TuningRequest
+{
+    WorkloadProfile workload;
+    SettingsSpace space;
+    /** Inefficiency budget (>= 1), as in OptimalSettingsFinder. */
+    double budget = 1.3;
+    /** Cluster performance threshold (e.g. 0.03 for 3%). */
+    double threshold = 0.03;
+};
+
+/** Everything a tuner needs for one (workload, budget, threshold). */
+struct TuningResult
+{
+    /** The measured grid (shared with the cache; always valid). */
+    std::shared_ptr<const MeasuredGrid> grid;
+    /** Per-sample optimal settings under the budget (§V). */
+    std::vector<OptimalChoice> optimal;
+    /** Per-sample performance clusters (§VI-A). */
+    std::vector<PerformanceCluster> clusters;
+    /** Stable regions tiling the run (§VI-B). */
+    std::vector<StableRegion> regions;
+    double budget = 0.0;
+    double threshold = 0.0;
+    /**
+     * True when the grid came from the cache or was coalesced with an
+     * identical build (in the batch or already in flight) instead of
+     * being characterized for this request.
+     */
+    bool cacheHit = false;
+};
+
+/** Sizing knobs of a CharacterizationService. */
+struct ServiceOptions
+{
+    /**
+     * Worker threads for grid builds and batch fan-out; 1 keeps
+     * everything on the calling thread (still correct, see
+     * ThreadPool), 0 is promoted to 1.
+     */
+    std::size_t jobs = 1;
+    /** Grids kept by the LRU cache. */
+    std::size_t cacheCapacity = 32;
+    /** Cache shards (lock granularity). */
+    std::size_t cacheShards = 8;
+};
+
+/** Thread-pooled, grid-cached tuning service. */
+class CharacterizationService
+{
+  public:
+    using Options = ServiceOptions;
+
+    explicit CharacterizationService(
+        const SystemConfig &config = SystemConfig::paperDefault(),
+        const Options &options = ServiceOptions());
+
+    /**
+     * The measured grid of @c workload over @c space: served from the
+     * cache when fingerprints match, coalesced with an identical build
+     * in flight, characterized (in parallel) otherwise.
+     */
+    std::shared_ptr<const MeasuredGrid> grid(
+        const WorkloadProfile &workload, const SettingsSpace &space);
+
+    /** Answer one tuning request. */
+    TuningResult submit(const TuningRequest &request);
+
+    /**
+     * Answer a batch: requests with distinct grids characterize
+     * concurrently across the pool; requests sharing a grid (same
+     * workload, space and config — budgets/thresholds may differ)
+     * characterize it once.  Results are in request order.
+     */
+    std::vector<TuningResult> submitBatch(
+        const std::vector<TuningRequest> &requests);
+
+    GridCache::Stats cacheStats() const { return cache_.stats(); }
+    const SystemConfig &config() const { return config_; }
+    std::size_t jobs() const { return pool_.size(); }
+
+  private:
+    /** Grid lookup that also reports whether a build was skipped. */
+    std::shared_ptr<const MeasuredGrid> gridFor(
+        const WorkloadProfile &workload, const SettingsSpace &space,
+        bool &cache_hit);
+
+    /** Run the §V/§VI analysis chain for one request over its grid. */
+    static TuningResult analyze(const TuningRequest &request,
+                                std::shared_ptr<const MeasuredGrid> grid,
+                                bool cache_hit);
+
+    SystemConfig config_;
+    std::uint64_t configFingerprint_;
+    exec::ThreadPool pool_;
+    GridCache cache_;
+
+    /** Builds of grids currently characterizing, for coalescing. */
+    std::mutex inflightMutex_;
+    std::map<std::uint64_t,
+             std::shared_future<std::shared_ptr<const MeasuredGrid>>>
+        inflight_;
+};
+
+} // namespace svc
+} // namespace mcdvfs
+
+#endif // MCDVFS_SVC_CHARACTERIZATION_SERVICE_HH

@@ -1,0 +1,185 @@
+#include "svc/fingerprint.hh"
+
+#include <bit>
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+namespace
+{
+
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+void
+addPhase(HashBuilder &h, const PhaseSpec &phase)
+{
+    h.add(phase.name)
+        .add(phase.loadFrac)
+        .add(phase.storeFrac)
+        .add(phase.branchFrac)
+        .add(phase.fpFrac)
+        .add(phase.mulFrac)
+        .add(phase.baseCpi)
+        .add(phase.hotFrac)
+        .add(phase.warmFrac)
+        .add(phase.hotBytes)
+        .add(phase.warmBytes)
+        .add(phase.coldBytes)
+        .add(phase.coldSeqFrac)
+        .add(phase.mlp)
+        .add(phase.activity);
+}
+
+void
+addCache(HashBuilder &h, const CacheConfig &cache)
+{
+    h.add(cache.name)
+        .add(cache.sizeBytes)
+        .add(std::uint64_t{cache.associativity})
+        .add(std::uint64_t{cache.lineBytes})
+        .add(std::uint64_t{cache.latencyCycles});
+}
+
+void
+addDramConfig(HashBuilder &h, const DramConfig &dram)
+{
+    h.add(std::uint64_t{dram.banks})
+        .add(std::uint64_t{dram.rowBytes})
+        .add(std::uint64_t{dram.busBytes})
+        .add(std::uint64_t{dram.lineBytes});
+}
+
+void
+addDramTiming(HashBuilder &h, const DramTiming &timing)
+{
+    h.add(timing.tRp)
+        .add(timing.tRcd)
+        .add(timing.tCas)
+        .add(timing.interfaceCycles)
+        .add(timing.maxUtilization);
+}
+
+void
+addRails(HashBuilder &h, const RailCurrents &rails)
+{
+    h.add(rails.vdd1).add(rails.vdd2);
+}
+
+} // namespace
+
+HashBuilder &
+HashBuilder::add(std::uint64_t value)
+{
+    // FNV-1a over the eight bytes, low to high.
+    for (int i = 0; i < 8; ++i) {
+        hash_ = (hash_ ^ ((value >> (8 * i)) & 0xff)) * kFnvPrime;
+    }
+    return *this;
+}
+
+HashBuilder &
+HashBuilder::add(double value)
+{
+    // Bit-pattern hash: keys are exact.  Normalize -0.0 so the two
+    // zero encodings collide (they compare equal everywhere else).
+    if (value == 0.0)
+        value = 0.0;
+    return add(std::bit_cast<std::uint64_t>(value));
+}
+
+HashBuilder &
+HashBuilder::add(bool value)
+{
+    hash_ = (hash_ ^ (value ? 1u : 0u)) * kFnvPrime;
+    return *this;
+}
+
+HashBuilder &
+HashBuilder::add(const std::string &value)
+{
+    for (const char c : value)
+        hash_ = (hash_ ^ static_cast<unsigned char>(c)) * kFnvPrime;
+    // Length terminator so ("ab","c") and ("a","bc") differ.
+    return add(static_cast<std::uint64_t>(value.size()));
+}
+
+std::uint64_t
+fingerprintWorkload(const WorkloadProfile &workload)
+{
+    HashBuilder h;
+    h.add(workload.name())
+        .add(static_cast<std::uint64_t>(workload.sampleCount()))
+        .add(static_cast<std::uint64_t>(
+            workload.modeledInstructionsPerSample()));
+    for (std::size_t s = 0; s < workload.sampleCount(); ++s) {
+        addPhase(h, workload.phaseFor(s));
+        h.add(workload.traceSeedFor(s));
+    }
+    return h.digest();
+}
+
+std::uint64_t
+fingerprintSpace(const SettingsSpace &space)
+{
+    HashBuilder h;
+    h.add(static_cast<std::uint64_t>(space.size()));
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        const FrequencySetting setting = space.at(k);
+        h.add(setting.cpu).add(setting.mem);
+    }
+    return h.digest();
+}
+
+std::uint64_t
+fingerprintConfig(const SystemConfig &config)
+{
+    HashBuilder h;
+
+    const SampleSimulatorConfig &sampler = config.sampler;
+    h.add(static_cast<std::uint64_t>(sampler.simInstructionsPerSample))
+        .add(static_cast<std::uint64_t>(sampler.warmupInstructions));
+    addCache(h, sampler.hierarchy.l1);
+    addCache(h, sampler.hierarchy.l2);
+    h.add(sampler.hierarchy.nextLinePrefetch);
+    addDramConfig(h, sampler.dram);
+
+    const TimingParams &timing = config.timing;
+    h.add(timing.l2StallExposure)
+        .add(timing.bwUtilizationCap)
+        .add(static_cast<std::uint64_t>(timing.fixedPointIterations))
+        .add(timing.modelBandwidth)
+        .add(std::uint64_t{timing.l2LatencyCycles});
+    addDramTiming(h, timing.dramTiming);
+    addDramConfig(h, timing.dramConfig);
+
+    const CpuPowerParams &cpu = config.cpuPower;
+    h.add(cpu.peakDynamic)
+        .add(cpu.peakBackground)
+        .add(cpu.leakageAtVmax)
+        .add(cpu.stallActivity);
+
+    const DramPowerParams &dram = config.dramPower;
+    h.add(dram.vdd1).add(dram.vdd2).add(dram.specFreq);
+    addRails(h, dram.idd0);
+    addRails(h, dram.idd2n);
+    addRails(h, dram.idd3n);
+    addRails(h, dram.idd4r);
+    addRails(h, dram.idd4w);
+    addRails(h, dram.idd5);
+    addRails(h, dram.idd2p);
+    h.add(dram.enablePowerDown)
+        .add(dram.powerDownResidency)
+        .add(dram.backgroundStaticFrac)
+        .add(dram.burstStaticFrac)
+        .add(dram.tRc)
+        .add(dram.tRefi)
+        .add(dram.tRfc);
+
+    h.add(config.measurementNoise);
+    return h.digest();
+}
+
+} // namespace svc
+} // namespace mcdvfs

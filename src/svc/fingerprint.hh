@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Stable fingerprints of the inputs that determine a MeasuredGrid.
+ *
+ * A grid is a pure function of (workload profile, settings space,
+ * system configuration) — GridRunner is deterministic by construction
+ * (see common/rng.hh).  The cache therefore keys on content hashes of
+ * those three inputs, not on object identity: two independently
+ * constructed WorkloadProfiles with the same phase script hash the
+ * same, and any calibration change to the SystemConfig changes the
+ * key.
+ *
+ * Hashing is field-by-field FNV-1a (never raw struct bytes — padding
+ * is indeterminate), with doubles hashed by bit pattern so keys are
+ * exact, not tolerance-based.
+ */
+
+#ifndef MCDVFS_SVC_FINGERPRINT_HH
+#define MCDVFS_SVC_FINGERPRINT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/grid_runner.hh"
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+/** Incremental FNV-1a hasher over typed fields. */
+class HashBuilder
+{
+  public:
+    HashBuilder &add(std::uint64_t value);
+    HashBuilder &add(double value);
+    HashBuilder &add(bool value);
+    HashBuilder &add(const std::string &value);
+
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+/**
+ * Content hash of a workload: name, sample count, and every sample's
+ * post-jitter phase and trace seed.  Covers the script and the
+ * workload-level RNG seed without needing access to either.
+ */
+std::uint64_t fingerprintWorkload(const WorkloadProfile &workload);
+
+/** Content hash of a settings space (every setting, in index order). */
+std::uint64_t fingerprintSpace(const SettingsSpace &space);
+
+/** Content hash of the full system configuration. */
+std::uint64_t fingerprintConfig(const SystemConfig &config);
+
+} // namespace svc
+} // namespace mcdvfs
+
+#endif // MCDVFS_SVC_FINGERPRINT_HH

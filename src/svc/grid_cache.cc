@@ -1,0 +1,108 @@
+#include "svc/grid_cache.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+std::uint64_t
+GridKey::combined() const
+{
+    // FNV-style mix of the three component digests.
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const std::uint64_t part : {workload, space, config}) {
+        for (int i = 0; i < 8; ++i)
+            hash = (hash ^ ((part >> (8 * i)) & 0xff)) *
+                   0x100000001b3ull;
+    }
+    return hash;
+}
+
+GridCache::GridCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("GridCache capacity must be at least 1");
+    if (shards == 0)
+        fatal("GridCache shard count must be at least 1");
+    // More shards than entries would leave shards that can never hold
+    // anything; cap so every shard has capacity >= 1.
+    shards = std::min(shards, capacity);
+    shardCapacity_ = (capacity + shards - 1) / shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+GridCache::Shard &
+GridCache::shardFor(const GridKey &key)
+{
+    return *shards_[key.combined() % shards_.size()];
+}
+
+std::shared_ptr<const MeasuredGrid>
+GridCache::find(const GridKey &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key.combined());
+    if (it == shard.index.end() || !(it->second->key == key)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->grid;
+}
+
+void
+GridCache::insert(const GridKey &key,
+                  std::shared_ptr<const MeasuredGrid> grid)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::uint64_t digest = key.combined();
+    const auto it = shard.index.find(digest);
+    if (it != shard.index.end()) {
+        it->second->grid = std::move(grid);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= shardCapacity_) {
+        const Entry &victim = shard.lru.back();
+        shard.index.erase(victim.key.combined());
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_front(Entry{key, std::move(grid)});
+    shard.index.emplace(digest, shard.lru.begin());
+}
+
+void
+GridCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        shard->lru.clear();
+        shard->index.clear();
+    }
+}
+
+GridCache::Stats
+GridCache::stats() const
+{
+    Stats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.entries += shard->lru.size();
+    }
+    return stats;
+}
+
+} // namespace svc
+} // namespace mcdvfs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Determinism of the parallel grid build: GridRunner with a thread
+ * pool must produce cells bit-identical to the serial build — same
+ * timing, same energy, same deterministic measurement noise —
+ * regardless of worker count or chunk scheduling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exec/thread_pool.hh"
+#include "sim/grid_runner.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+WorkloadProfile
+phasedWorkload()
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.hotFrac = 0.98;
+    cpu.warmFrac = 0.015;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.hotFrac = 0.80;
+    mem.warmFrac = 0.10;
+    mem.coldSeqFrac = 0.3;
+    return WorkloadProfile(
+        "phased", 12,
+        [cpu, mem](std::size_t s) { return s % 3 ? mem : cpu; }, 5,
+        /*jitter=*/0.01);
+}
+
+void
+expectBitIdentical(const MeasuredGrid &a, const MeasuredGrid &b)
+{
+    ASSERT_EQ(a.sampleCount(), b.sampleCount());
+    ASSERT_EQ(a.settingCount(), b.settingCount());
+    for (std::size_t s = 0; s < a.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < a.settingCount(); ++k) {
+            const GridCell &ca = a.cell(s, k);
+            const GridCell &cb = b.cell(s, k);
+            // Exact equality on purpose: the parallel build must be
+            // *bit*-identical, not merely close.
+            ASSERT_EQ(ca.seconds, cb.seconds) << s << "," << k;
+            ASSERT_EQ(ca.cpuEnergy, cb.cpuEnergy) << s << "," << k;
+            ASSERT_EQ(ca.memEnergy, cb.memEnergy) << s << "," << k;
+            ASSERT_EQ(ca.busyFrac, cb.busyFrac) << s << "," << k;
+            ASSERT_EQ(ca.bwUtil, cb.bwUtil) << s << "," << k;
+        }
+    }
+}
+
+TEST(ParallelGrid, PaperDefaultConfigJobs8MatchesSerialBitForBit)
+{
+    // The acceptance configuration: the paper-default SystemConfig,
+    // deterministic measurement noise included.  Characterize once and
+    // evaluate the settings grid serially and with 8 workers.
+    const SystemConfig config = SystemConfig::paperDefault();
+    const WorkloadProfile workload = phasedWorkload();
+    const SettingsSpace space = SettingsSpace::coarse();
+
+    SampleSimulator simulator(config.sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+
+    GridRunner serial(config);
+    const MeasuredGrid serial_grid = serial.runWithProfiles(
+        workload.name(), profiles, space,
+        workload.modeledInstructionsPerSample());
+
+    exec::ThreadPool pool(8);
+    GridRunner parallel(config);
+    parallel.setThreadPool(&pool);
+    const MeasuredGrid parallel_grid = parallel.runWithProfiles(
+        workload.name(), profiles, space,
+        workload.modeledInstructionsPerSample());
+
+    expectBitIdentical(serial_grid, parallel_grid);
+}
+
+TEST(ParallelGrid, EndToEndRunMatchesAcrossWorkerCounts)
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 20'000;
+    config.sampler.warmupInstructions = 100'000;
+    const WorkloadProfile workload = phasedWorkload();
+
+    GridRunner serial(config);
+    const MeasuredGrid reference =
+        serial.run(workload, SettingsSpace::coarse());
+
+    for (const std::size_t workers : {1u, 2u, 8u}) {
+        exec::ThreadPool pool(workers);
+        GridRunner runner(config);
+        runner.setThreadPool(&pool);
+        const MeasuredGrid grid =
+            runner.run(workload, SettingsSpace::coarse());
+        expectBitIdentical(reference, grid);
+    }
+}
+
+TEST(ParallelGrid, FineSpaceMatchesToo)
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 20'000;
+    config.sampler.warmupInstructions = 100'000;
+    const WorkloadProfile workload = phasedWorkload();
+
+    SampleSimulator simulator(config.sampler);
+    const auto profiles = simulator.characterize(workload);
+
+    GridRunner serial(config);
+    exec::ThreadPool pool(4);
+    GridRunner parallel(config);
+    parallel.setThreadPool(&pool);
+
+    const SettingsSpace fine = SettingsSpace::fine();
+    expectBitIdentical(
+        serial.runWithProfiles(workload.name(), profiles, fine,
+                               workload.modeledInstructionsPerSample()),
+        parallel.runWithProfiles(
+            workload.name(), profiles, fine,
+            workload.modeledInstructionsPerSample()));
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * CharacterizationService tests: tuning results, cache reuse across
+ * submits, batch deduplication, and parallel/serial equivalence.
+ */
+
+#include <gtest/gtest.h>
+
+#include "svc/characterization_service.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+WorkloadProfile
+tinyWorkload(const std::string &name = "tiny")
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.hotFrac = 0.98;
+    cpu.warmFrac = 0.015;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.hotFrac = 0.80;
+    mem.warmFrac = 0.10;
+    mem.coldSeqFrac = 0.3;
+    return WorkloadProfile(
+        name, 6, [cpu, mem](std::size_t s) { return s % 2 ? mem : cpu; },
+        5, /*jitter=*/0.0);
+}
+
+SystemConfig
+fastConfig()
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 20'000;
+    config.sampler.warmupInstructions = 100'000;
+    return config;
+}
+
+svc::TuningRequest
+tinyRequest()
+{
+    return svc::TuningRequest{tinyWorkload(), SettingsSpace::coarse(),
+                              1.3, 0.03};
+}
+
+TEST(CharacterizationService, SubmitProducesFullTuningResult)
+{
+    svc::CharacterizationService service(fastConfig());
+    const svc::TuningResult result = service.submit(tinyRequest());
+
+    ASSERT_NE(result.grid, nullptr);
+    EXPECT_EQ(result.grid->sampleCount(), 6u);
+    EXPECT_EQ(result.grid->settingCount(), 70u);
+    EXPECT_EQ(result.optimal.size(), 6u);
+    EXPECT_EQ(result.clusters.size(), 6u);
+    ASSERT_FALSE(result.regions.empty());
+    EXPECT_FALSE(result.cacheHit);
+    EXPECT_EQ(result.budget, 1.3);
+
+    // Regions tile the run.
+    EXPECT_EQ(result.regions.front().first, 0u);
+    EXPECT_EQ(result.regions.back().last, 5u);
+    for (std::size_t r = 1; r < result.regions.size(); ++r)
+        EXPECT_EQ(result.regions[r].first,
+                  result.regions[r - 1].last + 1);
+
+    // Every optimum respects the budget.
+    for (const OptimalChoice &choice : result.optimal)
+        EXPECT_LE(choice.inefficiency, 1.3 * (1.0 + 1e-12));
+}
+
+TEST(CharacterizationService, RepeatedSubmitHitsCacheAndSkipsRecharacterization)
+{
+    svc::CharacterizationService service(fastConfig());
+    const svc::TuningResult first = service.submit(tinyRequest());
+    EXPECT_FALSE(first.cacheHit);
+    EXPECT_EQ(service.cacheStats().misses, 1u);
+    EXPECT_EQ(service.cacheStats().hits, 0u);
+
+    // Same workload content, different object; different budget — the
+    // grid is keyed on content only, so this must be served from cache.
+    svc::TuningRequest again = tinyRequest();
+    again.budget = 1.5;
+    const svc::TuningResult second = service.submit(again);
+    EXPECT_TRUE(second.cacheHit);
+    EXPECT_EQ(second.grid.get(), first.grid.get());
+    EXPECT_EQ(service.cacheStats().misses, 1u);
+    EXPECT_EQ(service.cacheStats().hits, 1u);
+}
+
+TEST(CharacterizationService, DistinctConfigsDoNotShareGrids)
+{
+    svc::CharacterizationService fast(fastConfig());
+    SystemConfig other = fastConfig();
+    other.measurementNoise = 0.0;
+    svc::CharacterizationService noiseless(other);
+
+    const auto a = fast.submit(tinyRequest());
+    const auto b = noiseless.submit(tinyRequest());
+    EXPECT_FALSE(b.cacheHit);
+    EXPECT_NE(a.grid->cell(0, 0).seconds, b.grid->cell(0, 0).seconds);
+}
+
+TEST(CharacterizationService, BatchDeduplicatesIdenticalCharacterizations)
+{
+    svc::ServiceOptions options;
+    options.jobs = 4;
+    svc::CharacterizationService service(fastConfig(), options);
+
+    svc::TuningRequest low = tinyRequest();
+    svc::TuningRequest high = tinyRequest();
+    high.budget = 1.6;
+    svc::TuningRequest other{tinyWorkload("tiny2"),
+                             SettingsSpace::coarse(), 1.3, 0.03};
+
+    const std::vector<svc::TuningResult> results =
+        service.submitBatch({low, high, other, low});
+    ASSERT_EQ(results.size(), 4u);
+
+    // Three requests share one characterization; only two grids were
+    // ever built.
+    EXPECT_EQ(results[0].grid.get(), results[1].grid.get());
+    EXPECT_EQ(results[0].grid.get(), results[3].grid.get());
+    EXPECT_NE(results[0].grid.get(), results[2].grid.get());
+    EXPECT_EQ(service.cacheStats().misses, 2u);
+
+    // Budgets were honored per request despite the shared grid.
+    EXPECT_EQ(results[1].budget, 1.6);
+    for (const OptimalChoice &choice : results[1].optimal)
+        EXPECT_LE(choice.inefficiency, 1.6 * (1.0 + 1e-12));
+}
+
+TEST(CharacterizationService, ParallelServiceMatchesSerialBitForBit)
+{
+    svc::ServiceOptions serial_opts;
+    serial_opts.jobs = 1;
+    svc::ServiceOptions parallel_opts;
+    parallel_opts.jobs = 8;
+    svc::CharacterizationService serial(fastConfig(), serial_opts);
+    svc::CharacterizationService parallel(fastConfig(), parallel_opts);
+
+    const auto a = serial.submit(tinyRequest());
+    const auto b = parallel.submit(tinyRequest());
+    for (std::size_t s = 0; s < a.grid->sampleCount(); ++s) {
+        for (std::size_t k = 0; k < a.grid->settingCount(); ++k) {
+            const GridCell &ca = a.grid->cell(s, k);
+            const GridCell &cb = b.grid->cell(s, k);
+            ASSERT_EQ(ca.seconds, cb.seconds);
+            ASSERT_EQ(ca.cpuEnergy, cb.cpuEnergy);
+            ASSERT_EQ(ca.memEnergy, cb.memEnergy);
+        }
+    }
+    // Identical grids imply identical analyses.
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t r = 0; r < a.regions.size(); ++r) {
+        EXPECT_EQ(a.regions[r].first, b.regions[r].first);
+        EXPECT_EQ(a.regions[r].last, b.regions[r].last);
+        EXPECT_EQ(a.regions[r].chosenSettingIndex,
+                  b.regions[r].chosenSettingIndex);
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -10,9 +10,14 @@
  *   mcdvfs_cli regions <workload> [--budget B] [--threshold PCT]
  *   mcdvfs_cli tradeoff <workload> [--budget B] [--threshold PCT]
  *   mcdvfs_cli profile <workload> [--budget B] [--threshold PCT]
+ *   mcdvfs_cli tune <wl[:budget]> ... [--threshold PCT] [--jobs N]
  *
  * Workloads are the twelve SPEC-like profiles; grids come from the
- * paper's coarse 70-setting space unless --fine is given.
+ * paper's coarse 70-setting space unless --fine is given.  Every
+ * grid-building command accepts --jobs N to spread the per-setting
+ * model evaluation over N worker threads (results are bit-identical
+ * to --jobs 1); grids are served through the characterization
+ * service, so repeated grids within one invocation hit its cache.
  */
 
 #include <fstream>
@@ -27,6 +32,7 @@
 #include "runtime/offline_profile.hh"
 #include "sched/scheduler.hh"
 #include "sim/grid_io.hh"
+#include "svc/characterization_service.hh"
 #include "trace/workloads.hh"
 
 using namespace mcdvfs;
@@ -47,17 +53,61 @@ usage()
            "  tradeoff <workload> [--budget B] [--threshold PCT]\n"
            "  profile <workload> [--budget B] [--threshold PCT]\n"
            "  pareto <workload> [--fine]\n"
-           "  schedule <wl[:budget]> <wl[:budget]> ... [--budget B]\n";
+           "  schedule <wl[:budget]> <wl[:budget]> ... [--budget B]\n"
+           "  tune <wl[:budget]> <wl[:budget]> ... [--threshold PCT]\n"
+           "options: --jobs N parallelizes grid construction\n";
     return 2;
 }
 
-MeasuredGrid
-buildGrid(const std::string &workload, bool fine)
+std::size_t
+jobsFrom(const ArgParser &args)
 {
-    GridRunner runner;
-    return runner.run(workloadByName(workload),
-                      fine ? SettingsSpace::fine()
-                           : SettingsSpace::coarse());
+    const long long jobs = args.getInt("jobs", 1);
+    if (jobs < 1)
+        fatal("--jobs must be at least 1");
+    return static_cast<std::size_t>(jobs);
+}
+
+svc::CharacterizationService::Options
+serviceOptions(const ArgParser &args)
+{
+    svc::CharacterizationService::Options options;
+    options.jobs = jobsFrom(args);
+    return options;
+}
+
+SettingsSpace
+spaceFrom(const ArgParser &args)
+{
+    return args.flag("fine") ? SettingsSpace::fine()
+                             : SettingsSpace::coarse();
+}
+
+std::shared_ptr<const MeasuredGrid>
+buildGrid(svc::CharacterizationService &service, const std::string &workload,
+          const ArgParser &args)
+{
+    return service.grid(workloadByName(workload), spaceFrom(args));
+}
+
+// Parses the budget half of a "workload:budget" positional.
+double
+budgetFromSpec(const std::string &spec, std::size_t colon,
+               const ArgParser &args)
+{
+    if (colon == std::string::npos)
+        return args.getDouble("budget", 1.3);
+    const std::string text = spec.substr(colon + 1);
+    try {
+        std::size_t used = 0;
+        const double budget = std::stod(text, &used);
+        if (used != text.size())
+            throw std::invalid_argument(text);
+        return budget;
+    } catch (const std::exception &) {
+        fatal("bad budget '", text, "' in '", spec, "' (expected e.g. ",
+              spec.substr(0, colon), ":1.3)");
+    }
 }
 
 int
@@ -110,18 +160,20 @@ int
 cmdGrid(const ArgParser &args)
 {
     const std::string workload = args.positionals().at(1);
-    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    const auto grid = buildGrid(service, workload, args);
     const std::string out = args.get("out");
     if (out.empty()) {
-        saveGrid(grid, std::cout);
+        saveGrid(*grid, std::cout);
         return 0;
     }
     std::ofstream file(out);
     if (!file)
         fatal("cannot open '", out, "' for writing");
-    saveGrid(grid, file);
-    std::cerr << "wrote " << grid.sampleCount() << "x"
-              << grid.settingCount() << " grid to " << out << "\n";
+    saveGrid(*grid, file);
+    std::cerr << "wrote " << grid->sampleCount() << "x"
+              << grid->settingCount() << " grid to " << out << "\n";
     return 0;
 }
 
@@ -130,16 +182,19 @@ cmdOptimal(const ArgParser &args)
 {
     const std::string workload = args.positionals().at(1);
     const double budget = args.getDouble("budget", 1.3);
-    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
-    GridAnalyses a(grid);
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    svc::TuningRequest request{workloadByName(workload), spaceFrom(args),
+                               budget,
+                               args.getDouble("threshold", 3.0) / 100.0};
+    const svc::TuningResult result = service.submit(request);
 
     Table table({"sample", "cpu MHz", "mem MHz", "speedup",
                  "inefficiency"});
     table.setTitle(workload + " optimal settings at budget " +
                    Table::num(budget, 2));
     std::size_t s = 0;
-    for (const OptimalChoice &choice :
-         a.finder.optimalTrajectory(budget)) {
+    for (const OptimalChoice &choice : result.optimal) {
         table.addRow({Table::num(static_cast<long long>(s++)),
                       Table::num(toMegaHertz(choice.setting.cpu), 0),
                       Table::num(toMegaHertz(choice.setting.mem), 0),
@@ -159,14 +214,17 @@ cmdRegions(const ArgParser &args)
     const std::string workload = args.positionals().at(1);
     const double budget = args.getDouble("budget", 1.3);
     const double threshold = args.getDouble("threshold", 3.0) / 100.0;
-    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
-    GridAnalyses a(grid);
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    svc::TuningRequest request{workloadByName(workload), spaceFrom(args),
+                               budget, threshold};
+    const svc::TuningResult result = service.submit(request);
 
     Table table({"region", "samples", "length", "cpu MHz", "mem MHz"});
     table.setTitle(workload + " stable regions (budget " +
                    Table::num(budget, 2) + ", threshold " +
                    Table::num(threshold * 100.0, 0) + "%)");
-    const auto regions = a.regions.find(budget, threshold);
+    const auto &regions = result.regions;
     for (std::size_t r = 0; r < regions.size(); ++r) {
         table.addRow(
             {Table::num(static_cast<long long>(r)),
@@ -187,8 +245,10 @@ cmdTradeoff(const ArgParser &args)
     const std::string workload = args.positionals().at(1);
     const double budget = args.getDouble("budget", 1.3);
     const double threshold = args.getDouble("threshold", 3.0) / 100.0;
-    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
-    GridAnalyses a(grid);
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    const auto grid = buildGrid(service, workload, args);
+    GridAnalyses a(*grid);
 
     const PolicyOutcome optimal = a.tradeoff.optimalTracking(budget);
     const PolicyOutcome cluster =
@@ -226,8 +286,10 @@ int
 cmdPareto(const ArgParser &args)
 {
     const std::string workload = args.positionals().at(1);
-    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
-    InefficiencyAnalysis analysis(grid);
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    const auto grid = buildGrid(service, workload, args);
+    InefficiencyAnalysis analysis(*grid);
     ParetoAnalysis pareto(analysis);
 
     Table table({"cpu MHz", "mem MHz", "time (ms)", "energy (mJ)",
@@ -243,7 +305,7 @@ cmdPareto(const ArgParser &args)
     }
     table.print(std::cout);
     std::cout << Table::num(pareto.dominatedFraction() * 100.0, 0)
-              << "% of the " << grid.settingCount()
+              << "% of the " << grid->settingCount()
               << " settings are dominated\n";
     return 0;
 }
@@ -252,7 +314,7 @@ int
 cmdSchedule(const ArgParser &args)
 {
     // schedule <workload[:budget]> <workload[:budget]> ...
-    ReproSuite suite;
+    ReproSuite suite(SystemConfig::paperDefault(), jobsFrom(args));
     std::vector<AppTask> apps;
     std::vector<std::string> names;
     for (std::size_t i = 1; i < args.positionals().size(); ++i) {
@@ -260,9 +322,7 @@ cmdSchedule(const ArgParser &args)
         const std::size_t colon = spec.find(':');
         AppTask task;
         task.name = spec.substr(0, colon);
-        task.budget = colon == std::string::npos
-                          ? args.getDouble("budget", 1.3)
-                          : std::stod(spec.substr(colon + 1));
+        task.budget = budgetFromSpec(spec, colon, args);
         task.threshold = args.getDouble("threshold", 3.0) / 100.0;
         names.push_back(task.name);
         apps.push_back(task);
@@ -302,11 +362,62 @@ cmdProfile(const ArgParser &args)
     const std::string workload = args.positionals().at(1);
     const double budget = args.getDouble("budget", 1.3);
     const double threshold = args.getDouble("threshold", 3.0) / 100.0;
-    const MeasuredGrid grid = buildGrid(workload, args.flag("fine"));
-    GridAnalyses a(grid);
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    svc::TuningRequest request{workloadByName(workload), spaceFrom(args),
+                               budget, threshold};
+    const svc::TuningResult result = service.submit(request);
     const OfflineProfile profile = OfflineProfile::fromRegions(
-        workload, a.regions.find(budget, threshold), grid.space());
+        workload, result.regions, result.grid->space());
     std::cout << profile.serialize();
+    return 0;
+}
+
+int
+cmdTune(const ArgParser &args)
+{
+    // tune <workload[:budget]> <workload[:budget]> ...
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    std::vector<svc::TuningRequest> requests;
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+        const std::string &spec = args.positionals()[i];
+        const std::size_t colon = spec.find(':');
+        svc::TuningRequest request{
+            workloadByName(spec.substr(0, colon)), spaceFrom(args),
+            budgetFromSpec(spec, colon, args),
+            args.getDouble("threshold", 3.0) / 100.0};
+        requests.push_back(std::move(request));
+    }
+    const std::vector<svc::TuningResult> results =
+        service.submitBatch(requests);
+
+    Table table({"workload", "budget", "samples", "regions",
+                 "mean length", "cached"});
+    table.setTitle("batched tuning (" +
+                   Table::num(static_cast<long long>(service.jobs())) +
+                   " jobs)");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const svc::TuningResult &result = results[i];
+        const double mean_length =
+            result.regions.empty()
+                ? 0.0
+                : static_cast<double>(result.grid->sampleCount()) /
+                      static_cast<double>(result.regions.size());
+        table.addRow(
+            {requests[i].workload.name(),
+             Table::num(result.budget, 2),
+             Table::num(static_cast<long long>(
+                 result.grid->sampleCount())),
+             Table::num(static_cast<long long>(result.regions.size())),
+             Table::num(mean_length, 1),
+             result.cacheHit ? "yes" : "no"});
+    }
+    table.print(std::cout);
+    const svc::GridCache::Stats stats = service.cacheStats();
+    std::cout << "grid cache: " << stats.hits << " hits, "
+              << stats.misses << " misses, " << stats.evictions
+              << " evictions\n";
     return 0;
 }
 
@@ -319,6 +430,7 @@ main(int argc, char **argv)
     args.addOption("budget");
     args.addOption("threshold");
     args.addOption("out");
+    args.addOption("jobs");
     args.addFlag("fine");
     args.addFlag("csv");
 
@@ -347,6 +459,8 @@ main(int argc, char **argv)
             return cmdPareto(args);
         if (command == "schedule")
             return cmdSchedule(args);
+        if (command == "tune")
+            return cmdTune(args);
         return usage();
     } catch (const FatalError &err) {
         std::cerr << "error: " << err.what() << '\n';
