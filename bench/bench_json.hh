@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Machine-readable grid-benchmark output.
+ *
+ * Both grid micro-benchmarks (micro_grid_kernel, micro_parallel_grid)
+ * emit the same flat JSON document — BENCH_grid.json — so tooling can
+ * track grid-build throughput across commits without scraping console
+ * output.  One record per timed configuration:
+ *
+ *   {
+ *     "schema": "mcdvfs-bench-grid-v1",
+ *     "benchmark": "<emitting binary>",
+ *     "results": [
+ *       {"name": ..., "kernel": "table"|"reference",
+ *        "settings": N, "samples": N, "jobs": N,
+ *        "build_seconds": ..., "cells_per_sec": ...,
+ *        "speedup_vs_reference": ...},
+ *       ...
+ *     ]
+ *   }
+ *
+ * "jobs" is 0 for a serial build; "speedup_vs_reference" is 0 when no
+ * reference timing exists in the same run.
+ */
+
+#ifndef MCDVFS_BENCH_BENCH_JSON_HH
+#define MCDVFS_BENCH_BENCH_JSON_HH
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace bench
+{
+
+/** One timed grid-build configuration. */
+struct GridBenchRecord
+{
+    std::string name;    ///< human-readable configuration label
+    std::string kernel;  ///< "table" or "reference"
+    std::size_t settings = 0;
+    std::size_t samples = 0;
+    std::size_t jobs = 0;  ///< worker threads; 0 = serial
+    double buildSeconds = 0.0;
+    double cellsPerSec = 0.0;
+    double speedupVsReference = 0.0;  ///< 0 when not applicable
+};
+
+/** Serialize @c records to @c path; throws FatalError on I/O failure. */
+inline void
+writeBenchGridJson(const std::string &path, const std::string &benchmark,
+                   const std::vector<GridBenchRecord> &records)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("bench json: cannot open ", path, " for writing");
+    out.precision(17);
+    out << "{\n";
+    out << "  \"schema\": \"mcdvfs-bench-grid-v1\",\n";
+    out << "  \"benchmark\": \"" << benchmark << "\",\n";
+    out << "  \"results\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const GridBenchRecord &r = records[i];
+        out << "    {\"name\": \"" << r.name << "\", \"kernel\": \""
+            << r.kernel << "\", \"settings\": " << r.settings
+            << ", \"samples\": " << r.samples << ", \"jobs\": " << r.jobs
+            << ",\n     \"build_seconds\": " << r.buildSeconds
+            << ", \"cells_per_sec\": " << r.cellsPerSec
+            << ", \"speedup_vs_reference\": " << r.speedupVsReference
+            << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n";
+    out << "}\n";
+    if (!out)
+        fatal("bench json: failed writing ", path);
+}
+
+} // namespace bench
+} // namespace mcdvfs
+
+#endif // MCDVFS_BENCH_BENCH_JSON_HH

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Grid-kernel micro-benchmark: table-driven kernel vs cell-at-a-time
+ * reference (docs/PERF.md).
+ *
+ * Times a single-thread grid build of the same characterization with
+ * both evaluation paths — the pre-optimization reference
+ * (sim/reference_kernel.hh) and GridRunner's table-driven kernel — on
+ * the coarse 70-setting and fine 496-setting spaces, verifies the two
+ * grids are bit-identical, and reports the speedup.  Optionally also
+ * times the kernel fanned over a thread pool (--jobs N).
+ *
+ * Results go to stdout and, machine-readable, to BENCH_grid.json
+ * (--out overrides the path; see bench/bench_json.hh for the schema).
+ *
+ * --tiny shrinks the workload and skips the fine space so the binary
+ * doubles as the tier-1 "perf_smoke" ctest: a fast end-to-end check
+ * that both paths run and still agree bit for bit.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "bench_json.hh"
+#include "common/args.hh"
+#include "exec/thread_pool.hh"
+#include "sim/reference_kernel.hh"
+#include "trace/workloads.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+/** Small synthetic workload for --tiny runs. */
+WorkloadProfile
+tinyWorkload()
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.hotFrac = 0.98;
+    cpu.warmFrac = 0.015;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.hotFrac = 0.80;
+    mem.warmFrac = 0.10;
+    mem.coldSeqFrac = 0.3;
+    return WorkloadProfile(
+        "tiny", 6,
+        [cpu, mem](std::size_t s) { return s % 2 ? mem : cpu; }, 5,
+        /*jitter=*/0.0);
+}
+
+/** Best-of-@c reps wall time of @c fn, in seconds. */
+double
+bestOf(int reps, const std::function<void()> &fn)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+/** Fatal unless @c a and @c b agree bit for bit on every cell. */
+void
+requireBitIdentical(const MeasuredGrid &a, const MeasuredGrid &b)
+{
+    if (a.sampleCount() != b.sampleCount() ||
+        a.settingCount() != b.settingCount())
+        fatal("grid kernel bench: grid shapes differ");
+    for (std::size_t s = 0; s < a.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < a.settingCount(); ++k) {
+            if (a.secondsAt(s, k) != b.secondsAt(s, k) ||
+                a.cpuEnergyAt(s, k) != b.cpuEnergyAt(s, k) ||
+                a.memEnergyAt(s, k) != b.memEnergyAt(s, k) ||
+                a.busyFracAt(s, k) != b.busyFracAt(s, k) ||
+                a.bwUtilAt(s, k) != b.bwUtilAt(s, k)) {
+                fatal("grid kernel bench: kernel diverges from the "
+                      "reference at sample ",
+                      s, ", setting ", k);
+            }
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_grid_kernel");
+    args.addFlag("tiny");
+    args.addOption("jobs");
+    args.addOption("reps");
+    args.addOption("out");
+    args.parse(argc, argv);
+
+    const bool tiny = args.flag("tiny");
+    const std::size_t jobs =
+        static_cast<std::size_t>(args.getInt("jobs", 0));
+    const int reps = static_cast<int>(args.getInt("reps", tiny ? 2 : 5));
+    const std::string out_path = args.get("out", "BENCH_grid.json");
+
+    SystemConfig config = SystemConfig::paperDefault();
+    if (tiny) {
+        config.sampler.simInstructionsPerSample = 20'000;
+        config.sampler.warmupInstructions = 100'000;
+    }
+    const WorkloadProfile workload =
+        tiny ? tinyWorkload() : workloadByName("gobmk");
+
+    SampleSimulator simulator(config.sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+    const Count ips = workload.modeledInstructionsPerSample();
+
+    std::vector<SettingsSpace> spaces;
+    spaces.push_back(SettingsSpace::coarse());
+    if (!tiny)
+        spaces.push_back(SettingsSpace::fine());
+
+    std::vector<bench::GridBenchRecord> records;
+    for (const SettingsSpace &space : spaces) {
+        const double cells =
+            static_cast<double>(profiles.size() * space.size());
+
+        GridRunner runner(config);
+        const MeasuredGrid kernel_grid = runner.runWithProfiles(
+            workload.name(), profiles, space, ips);
+        requireBitIdentical(
+            kernel_grid, referenceGridWithProfiles(config, workload.name(),
+                                                   profiles, space, ips));
+
+        const double ref_seconds = bestOf(reps, [&] {
+            referenceGridWithProfiles(config, workload.name(), profiles,
+                                      space, ips);
+        });
+        const double kernel_seconds = bestOf(reps, [&] {
+            runner.runWithProfiles(workload.name(), profiles, space, ips);
+        });
+        const double speedup = ref_seconds / kernel_seconds;
+
+        const std::string label =
+            std::to_string(space.size()) + "-setting";
+        records.push_back({label + " reference serial", "reference",
+                           space.size(), profiles.size(), 0, ref_seconds,
+                           cells / ref_seconds, 0.0});
+        records.push_back({label + " table serial", "table", space.size(),
+                           profiles.size(), 0, kernel_seconds,
+                           cells / kernel_seconds, speedup});
+        std::printf("%-24s reference %9.3f ms   table %9.3f ms   "
+                    "speedup %.2fx\n",
+                    label.c_str(), ref_seconds * 1e3, kernel_seconds * 1e3,
+                    speedup);
+
+        if (jobs > 0) {
+            exec::ThreadPool pool(jobs);
+            GridRunner parallel(config);
+            parallel.setThreadPool(&pool);
+            requireBitIdentical(kernel_grid,
+                                parallel.runWithProfiles(workload.name(),
+                                                         profiles, space,
+                                                         ips));
+            const double par_seconds = bestOf(reps, [&] {
+                parallel.runWithProfiles(workload.name(), profiles, space,
+                                         ips);
+            });
+            records.push_back({label + " table jobs=" +
+                                   std::to_string(jobs),
+                               "table", space.size(), profiles.size(),
+                               jobs, par_seconds, cells / par_seconds,
+                               ref_seconds / par_seconds});
+            std::printf("%-24s table --jobs %zu %9.3f ms   "
+                        "speedup %.2fx vs reference\n",
+                        label.c_str(), jobs, par_seconds * 1e3,
+                        ref_seconds / par_seconds);
+        }
+    }
+
+    bench::writeBenchGridJson(out_path, "micro_grid_kernel", records);
+    std::printf("wrote %s\n", out_path.c_str());
+    return 0;
+}

@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hh"
 #include "exec/thread_pool.hh"
 #include "svc/characterization_service.hh"
 #include "trace/workloads.hh"
@@ -64,6 +65,11 @@ gridBuild(benchmark::State &state, std::size_t workers)
                                   space.size()));
     state.counters["cells"] =
         static_cast<double>(fixtures.profiles.size() * space.size());
+    // Extra counters picked up by the BENCH_grid.json emission below.
+    state.counters["settings"] = static_cast<double>(space.size());
+    state.counters["samples"] =
+        static_cast<double>(fixtures.profiles.size());
+    state.counters["jobs"] = static_cast<double>(workers);
 }
 
 void
@@ -113,6 +119,72 @@ BM_ServiceGridCacheHit(benchmark::State &state)
 }
 BENCHMARK(BM_ServiceGridCacheHit)->Unit(benchmark::kMicrosecond);
 
+/**
+ * Console reporter that also captures every run so main() can emit the
+ * machine-readable BENCH_grid.json after the benchmarks finish.
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &run : report)
+            runs_.push_back(run);
+        ConsoleReporter::ReportRuns(report);
+    }
+
+    const std::vector<Run> &runs() const { return runs_; }
+
+  private:
+    std::vector<Run> runs_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    // Emit the grid-build runs (the ones carrying a "cells" counter)
+    // in the shared BENCH_grid.json schema.
+    std::vector<mcdvfs::bench::GridBenchRecord> records;
+    for (const auto &run : reporter.runs()) {
+        const auto cells = run.counters.find("cells");
+        if (cells == run.counters.end() || run.iterations == 0)
+            continue;
+        const double per_iter_seconds =
+            run.real_accumulated_time /
+            static_cast<double>(run.iterations);
+        auto counter = [&](const char *name) {
+            const auto it = run.counters.find(name);
+            return it == run.counters.end() ? 0.0
+                                            : static_cast<double>(
+                                                  it->second.value);
+        };
+        mcdvfs::bench::GridBenchRecord record;
+        record.name = run.benchmark_name();
+        record.kernel = "table";
+        record.settings = static_cast<std::size_t>(counter("settings"));
+        record.samples = static_cast<std::size_t>(counter("samples"));
+        record.jobs = static_cast<std::size_t>(counter("jobs"));
+        record.buildSeconds = per_iter_seconds;
+        record.cellsPerSec = cells->second.value / per_iter_seconds;
+        records.push_back(record);
+    }
+    if (!records.empty()) {
+        const char *out = std::getenv("MCDVFS_BENCH_OUT");
+        mcdvfs::bench::writeBenchGridJson(
+            out != nullptr ? out : "BENCH_grid.json",
+            "micro_parallel_grid", records);
+    }
+
+    benchmark::Shutdown();
+    return 0;
+}

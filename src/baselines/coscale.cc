@@ -19,9 +19,8 @@ bool
 CoScaleSearch::meetsConstraint(std::size_t sample,
                                std::size_t setting) const
 {
-    const Seconds at_max = grid_.cell(sample, maxIdx_).seconds;
-    return grid_.cell(sample, setting).seconds <=
-           at_max * (1.0 + slack_);
+    const Seconds at_max = grid_.secondsAt(sample, maxIdx_);
+    return grid_.secondsAt(sample, setting) <= at_max * (1.0 + slack_);
 }
 
 std::size_t
@@ -61,7 +60,7 @@ CoScaleSearch::searchInterval(std::size_t sample, std::size_t start,
     // still meets the performance constraint.
     for (;;) {
         const std::size_t here = idx_of(cpu, mem);
-        const Joules e_here = grid_.cell(sample, here).energy();
+        const Joules e_here = grid_.energyAt(sample, here);
 
         double best_gain = 0.0;
         int best_move = -1;  // 0 = lower cpu, 1 = lower mem
@@ -70,7 +69,7 @@ CoScaleSearch::searchInterval(std::size_t sample, std::size_t start,
             ++evaluated;
             if (meetsConstraint(sample, cand)) {
                 const double gain =
-                    e_here - grid_.cell(sample, cand).energy();
+                    e_here - grid_.energyAt(sample, cand);
                 if (gain > best_gain) {
                     best_gain = gain;
                     best_move = 0;
@@ -82,7 +81,7 @@ CoScaleSearch::searchInterval(std::size_t sample, std::size_t start,
             ++evaluated;
             if (meetsConstraint(sample, cand)) {
                 const double gain =
-                    e_here - grid_.cell(sample, cand).energy();
+                    e_here - grid_.energyAt(sample, cand);
                 if (gain > best_gain) {
                     best_gain = gain;
                     best_move = 1;
@@ -110,12 +109,11 @@ finalize(const MeasuredGrid &grid, std::size_t max_idx,
     Joules emin_sum = 0.0;
     for (std::size_t s = 0; s < result.settingPerSample.size(); ++s) {
         const std::size_t k = result.settingPerSample[s];
-        result.time += grid.cell(s, k).seconds;
-        result.energy += grid.cell(s, k).energy();
+        result.time += grid.secondsAt(s, k);
+        result.energy += grid.energyAt(s, k);
         emin_sum += grid.sampleEmin(s);
-        const double slowdown = grid.cell(s, k).seconds /
-                                    grid.cell(s, max_idx).seconds -
-                                1.0;
+        const double slowdown =
+            grid.secondsAt(s, k) / grid.secondsAt(s, max_idx) - 1.0;
         result.worstSlowdownPct =
             std::max(result.worstSlowdownPct, slowdown * 100.0);
         if (s > 0 &&

@@ -29,7 +29,7 @@ RateLimiter::run(const MeasuredGrid &grid) const
     Joules allowance = config_.energyPerEpoch;
 
     for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
-        const GridCell &cell = grid.cell(s, setting);
+        const Joules cell_energy = grid.energyAt(s, setting);
         emin_sum += grid.sampleEmin(s);
 
         // Samples are the scheduling granularity: if the remaining
@@ -37,7 +37,7 @@ RateLimiter::run(const MeasuredGrid &grid) const
         // future epochs have granted budget.  Idle power accrues the
         // whole time and does not count against the allowance (it is
         // the platform, not the task).
-        while (allowance < cell.energy()) {
+        while (allowance < cell_energy) {
             const Seconds next_epoch =
                 (std::floor(clock / config_.epochLength) + 1.0) *
                 config_.epochLength;
@@ -47,9 +47,9 @@ RateLimiter::run(const MeasuredGrid &grid) const
             result.idleEnergy += config_.idlePower * pause;
             allowance += config_.energyPerEpoch;
         }
-        allowance -= cell.energy();
-        clock += cell.seconds;
-        result.taskEnergy += cell.energy();
+        allowance -= cell_energy;
+        clock += grid.secondsAt(s, setting);
+        result.taskEnergy += cell_energy;
     }
     result.time = clock;
     result.achievedInefficiency = result.totalEnergy() / emin_sum;

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared FNV-1a hashing primitives.
+ *
+ * Two hot paths hash with FNV-1a and must keep doing it with the same
+ * constants forever: the deterministic per-cell noise seed in the grid
+ * kernel (sim/grid_runner.cc) and the content fingerprints that key the
+ * grid cache (svc/fingerprint.cc).  Both build on these primitives so
+ * the constants and the mixing steps exist exactly once.
+ *
+ * Two mixing granularities are provided on purpose:
+ *  - byte-wise steps (fnv1aByte / fnv1aWordBytes / fnv1aString) give
+ *    the avalanche quality fingerprints need;
+ *  - whole-word steps (fnv1aMixWord) are the historical cell-seed mix,
+ *    kept bit-compatible so stored grids and goldens stay valid.
+ */
+
+#ifndef MCDVFS_COMMON_HASH_HH
+#define MCDVFS_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace mcdvfs
+{
+
+/** FNV-1a 64-bit offset basis. */
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/** FNV-1a 64-bit prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** One FNV-1a step over a single byte. */
+constexpr std::uint64_t
+fnv1aByte(std::uint64_t hash, std::uint8_t byte)
+{
+    return (hash ^ static_cast<std::uint64_t>(byte)) * kFnvPrime;
+}
+
+/**
+ * One xor-multiply step over a whole 64-bit word (not byte-wise).
+ * This is the cell-seed mix; it is weaker than byte-wise FNV-1a but
+ * must stay bit-compatible with existing seeds.
+ */
+constexpr std::uint64_t
+fnv1aMixWord(std::uint64_t hash, std::uint64_t word)
+{
+    return (hash ^ word) * kFnvPrime;
+}
+
+/** FNV-1a over the eight bytes of a word, low to high. */
+constexpr std::uint64_t
+fnv1aWordBytes(std::uint64_t hash, std::uint64_t word)
+{
+    for (int i = 0; i < 8; ++i)
+        hash = fnv1aByte(hash, static_cast<std::uint8_t>(word >> (8 * i)));
+    return hash;
+}
+
+/** FNV-1a over the bytes of a string (no length terminator). */
+constexpr std::uint64_t
+fnv1aString(std::uint64_t hash, std::string_view text)
+{
+    for (const char c : text)
+        hash = fnv1aByte(hash, static_cast<std::uint8_t>(c));
+    return hash;
+}
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_HASH_HH

@@ -94,6 +94,20 @@ inform(Args &&...args)
         }                                                                   \
     } while (0)
 
+/**
+ * Debug-build-only assertion for hot-path invariants (bounds checks in
+ * grid accessors and kernels).  Compiles to nothing under NDEBUG so
+ * release builds pay no cost; use MCDVFS_ASSERT where the check must
+ * survive into release builds.
+ */
+#ifdef NDEBUG
+#define MCDVFS_DEBUG_ASSERT(cond, ...)                                      \
+    do {                                                                    \
+    } while (0)
+#else
+#define MCDVFS_DEBUG_ASSERT(cond, ...) MCDVFS_ASSERT(cond, ##__VA_ARGS__)
+#endif
+
 } // namespace mcdvfs
 
 #endif // MCDVFS_COMMON_LOGGING_HH

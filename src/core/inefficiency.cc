@@ -34,14 +34,14 @@ double
 InefficiencyAnalysis::sampleInefficiency(std::size_t sample,
                                          std::size_t setting) const
 {
-    return grid_.cell(sample, setting).energy() / sampleEmin_[sample];
+    return grid_.energyAt(sample, setting) / sampleEmin_[sample];
 }
 
 double
 InefficiencyAnalysis::sampleSpeedup(std::size_t sample,
                                     std::size_t setting) const
 {
-    return sampleSlowest_[sample] / grid_.cell(sample, setting).seconds;
+    return sampleSlowest_[sample] / grid_.secondsAt(sample, setting);
 }
 
 Joules

@@ -28,21 +28,43 @@ CpuPowerModel::paperDefault()
 CpuPowerBreakdown
 CpuPowerModel::power(Hertz freq, double activity) const
 {
-    MCDVFS_ASSERT(freq > 0.0, "cpu frequency must be positive");
     const double act = std::clamp(activity, 0.0, 1.0);
+    const CpuOperatingPoint point = operatingPoint(freq);
+
+    CpuPowerBreakdown out;
+    out.dynamic = point.dynamicScale * act;
+    // Background power is clocked, so it scales like dynamic power
+    // (paper §III-B) but does not depend on what the workload does.
+    out.background = point.background;
+    // Linear sub-threshold leakage model (Narendra et al.).
+    out.leakage = point.leakage;
+    return out;
+}
+
+CpuOperatingPoint
+CpuPowerModel::operatingPoint(Hertz freq) const
+{
+    MCDVFS_ASSERT(freq > 0.0, "cpu frequency must be positive");
     const Volts v = curve_.voltageAt(freq);
     const double v_ratio = v / curve_.vMax();
     const double f_ratio = freq / curve_.fMax();
     const double vf_scale = v_ratio * v_ratio * f_ratio;
 
-    CpuPowerBreakdown out;
-    out.dynamic = params_.peakDynamic * vf_scale * act;
-    // Background power is clocked, so it scales like dynamic power
-    // (paper §III-B) but does not depend on what the workload does.
-    out.background = params_.peakBackground * vf_scale;
-    // Linear sub-threshold leakage model (Narendra et al.).
-    out.leakage = params_.leakageAtVmax * (v / curve_.vMax());
-    return out;
+    CpuOperatingPoint point;
+    point.dynamicScale = params_.peakDynamic * vf_scale;
+    point.background = params_.peakBackground * vf_scale;
+    point.leakage = params_.leakageAtVmax * (v / curve_.vMax());
+    return point;
+}
+
+std::vector<CpuOperatingPoint>
+CpuPowerModel::table(const FrequencyLadder &ladder) const
+{
+    std::vector<CpuOperatingPoint> table;
+    table.reserve(ladder.size());
+    for (const Hertz f : ladder.steps())
+        table.push_back(operatingPoint(f));
+    return table;
 }
 
 Joules

@@ -16,7 +16,10 @@
 #ifndef MCDVFS_POWER_CPU_POWER_HH
 #define MCDVFS_POWER_CPU_POWER_HH
 
+#include <vector>
+
 #include "common/units.hh"
+#include "dvfs/frequency_ladder.hh"
 #include "power/opp.hh"
 
 namespace mcdvfs
@@ -48,6 +51,20 @@ struct CpuPowerParams
     double stallActivity = 0.20;
 };
 
+/**
+ * Precomputed power coefficients of one (frequency, voltage) operating
+ * point.  dynamicScale is peak dynamic power times the V²f scale — the
+ * workload activity factor multiplies it per sample; background and
+ * leakage are complete as-is.  Built once per grid build so the kernel
+ * inner loop never touches the voltage curve.
+ */
+struct CpuOperatingPoint
+{
+    Watts dynamicScale = 0.0;  ///< dynamic power per unit activity
+    Watts background = 0.0;    ///< clocked-idle power at this point
+    Watts leakage = 0.0;       ///< sub-threshold leakage at this point
+};
+
 /** Voltage- and frequency-dependent CPU power/energy model. */
 class CpuPowerModel
 {
@@ -75,6 +92,17 @@ class CpuPowerModel
      */
     Joules energy(Hertz freq, double activity, Seconds busy,
                   Seconds stalled) const;
+
+    /**
+     * Coefficients of the operating point at @c freq.  power() and
+     * energy() factor through exactly these values, so evaluating from
+     * the table is bit-identical to calling them per cell.
+     */
+    CpuOperatingPoint operatingPoint(Hertz freq) const;
+
+    /** Operating points for every step of a CPU frequency ladder. */
+    std::vector<CpuOperatingPoint>
+    table(const FrequencyLadder &ladder) const;
 
     const VoltageCurve &curve() const { return curve_; }
     const CpuPowerParams &params() const { return params_; }

@@ -139,6 +139,29 @@ DramPowerModel::writeEnergy(Hertz mem_freq) const
     return power * timing_.burstSeconds(mem_freq, config_);
 }
 
+DramFreqCoefficients
+DramPowerModel::coefficients(Hertz mem_freq) const
+{
+    DramFreqCoefficients out;
+    out.activeBackground = backgroundPower(mem_freq);
+    out.powerDownBackground =
+        railPower(params_.idd2p, params_.backgroundStaticFrac, mem_freq);
+    out.activateEnergy = activateEnergy(mem_freq);
+    out.readEnergy = readEnergy(mem_freq);
+    out.writeEnergy = writeEnergy(mem_freq);
+    return out;
+}
+
+std::vector<DramFreqCoefficients>
+DramPowerModel::table(const FrequencyLadder &ladder) const
+{
+    std::vector<DramFreqCoefficients> table;
+    table.reserve(ladder.size());
+    for (const Hertz mem : ladder.steps())
+        table.push_back(coefficients(mem));
+    return table;
+}
+
 DramEnergyBreakdown
 DramPowerModel::energy(const DramStats &stats, Hertz mem_freq,
                        Seconds duration) const

@@ -20,7 +20,10 @@
 #ifndef MCDVFS_POWER_DRAM_POWER_HH
 #define MCDVFS_POWER_DRAM_POWER_HH
 
+#include <vector>
+
 #include "common/units.hh"
+#include "dvfs/frequency_ladder.hh"
 #include "mem/dram.hh"
 
 namespace mcdvfs
@@ -87,6 +90,23 @@ struct DramEnergyBreakdown
     Joules total() const { return background + activate + readWrite; }
 };
 
+/**
+ * Precomputed energy coefficients of one memory frequency: everything
+ * energy() derives per call that depends only on the clock.  Built
+ * once per grid build so the kernel's per-cell memory energy is three
+ * multiply-adds over these values.
+ */
+struct DramFreqCoefficients
+{
+    /** Active-standby + refresh background power. */
+    Watts activeBackground = 0.0;
+    /** Precharge power-down background power (power-down mixing). */
+    Watts powerDownBackground = 0.0;
+    Joules activateEnergy = 0.0;  ///< one row activate + precharge
+    Joules readEnergy = 0.0;      ///< one line read burst
+    Joules writeEnergy = 0.0;     ///< one line write burst
+};
+
 /** IDD-based LPDDR3 power/energy model with frequency scaling. */
 class DramPowerModel
 {
@@ -139,6 +159,17 @@ class DramPowerModel
     DramEnergyBreakdown energy(const DramStats &stats, Hertz mem_freq,
                                Seconds duration,
                                double channel_util) const;
+
+    /**
+     * Clock-dependent coefficients at @c mem_freq.  energy() factors
+     * through exactly these values, so a kernel evaluating from the
+     * table is bit-identical to per-cell energy() calls.
+     */
+    DramFreqCoefficients coefficients(Hertz mem_freq) const;
+
+    /** Coefficients for every step of a memory frequency ladder. */
+    std::vector<DramFreqCoefficients>
+    table(const FrequencyLadder &ladder) const;
 
     const DramPowerParams &params() const { return params_; }
 

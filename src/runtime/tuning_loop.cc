@@ -27,9 +27,8 @@ TuningLoop::evaluate(const std::string &policy,
     Joules emin_sum = 0.0;
     std::size_t violations = 0;
     for (std::size_t s = 0; s < sequence.size(); ++s) {
-        const GridCell &cell = grid.cell(s, sequence[s]);
-        result.time += cell.seconds;
-        result.energy += cell.energy();
+        result.time += grid.secondsAt(s, sequence[s]);
+        result.energy += grid.energyAt(s, sequence[s]);
         emin_sum += analysis.sampleEmin(s);
         if (analysis.sampleInefficiency(s, sequence[s]) > budget + 1e-9)
             ++violations;

@@ -105,12 +105,13 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
             hardware_known = true;
         }
 
-        const GridCell &cell = grid.cell(s, k);
-        result.makespan += cell.seconds;
-        result.totalEnergy += cell.energy();
+        const Seconds seconds = grid.secondsAt(s, k);
+        const Joules energy = grid.energyAt(s, k);
+        result.makespan += seconds;
+        result.totalEnergy += energy;
         AppOutcome &outcome = result.apps[app_idx];
-        outcome.busyTime += cell.seconds;
-        outcome.energy += cell.energy();
+        outcome.busyTime += seconds;
+        outcome.energy += energy;
         ++outcome.samples;
     };
 

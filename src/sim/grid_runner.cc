@@ -1,29 +1,14 @@
 #include "sim/grid_runner.hh"
 
+#include <algorithm>
 #include <cmath>
 
+#include "common/hash.hh"
+#include "common/logging.hh"
 #include "common/rng.hh"
 
 namespace mcdvfs
 {
-
-namespace
-{
-
-/** Deterministic per-cell seed mixing workload, sample and setting. */
-std::uint64_t
-cellSeed(const std::string &workload, std::size_t sample,
-         std::size_t setting)
-{
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (const char c : workload)
-        hash = (hash ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ull;
-    hash = (hash ^ sample) * 0x100000001b3ull;
-    hash = (hash ^ setting) * 0x100000001b3ull;
-    return hash;
-}
-
-} // namespace
 
 GridRunner::GridRunner(const SystemConfig &config)
     : config_(config), timingModel_(config.timing),
@@ -43,6 +28,22 @@ GridRunner::run(const WorkloadProfile &workload, const SettingsSpace &space)
                            workload.modeledInstructionsPerSample());
 }
 
+GridRunner::Tables
+GridRunner::buildTables(const std::string &workload_name,
+                        const SettingsSpace &space) const
+{
+    for (const Hertz f : space.cpuLadder().steps()) {
+        if (f <= 0.0)
+            fatal("timing model: frequencies must be positive");
+    }
+    Tables tables;
+    tables.memTiming = timingModel_.memTable(space.memLadder());
+    tables.dramEnergy = dramPower_.table(space.memLadder());
+    tables.cpuPower = cpuPower_.table(space.cpuLadder());
+    tables.workloadHash = fnv1aString(kFnvOffsetBasis, workload_name);
+    return tables;
+}
+
 MeasuredGrid
 GridRunner::runWithProfiles(const std::string &workload_name,
                             const std::vector<SampleProfile> &profiles,
@@ -51,19 +52,21 @@ GridRunner::runWithProfiles(const std::string &workload_name,
 {
     MeasuredGrid grid(workload_name, space, profiles.size(),
                       instructions_per_sample);
+    const Tables tables = buildTables(workload_name, space);
 
     if (pool_ != nullptr && pool_->size() > 0 && profiles.size() > 1) {
         // Samples are independent and write disjoint cell rows, so the
         // fan-out needs no synchronization beyond the loop barrier.
         pool_->parallelFor(0, profiles.size(), [&](std::size_t s) {
             evaluateSample(grid, profiles[s], s, space,
-                           instructions_per_sample);
+                           instructions_per_sample, tables);
         });
     } else {
         for (std::size_t s = 0; s < profiles.size(); ++s)
             evaluateSample(grid, profiles[s], s, space,
-                           instructions_per_sample);
+                           instructions_per_sample, tables);
     }
+    grid.sealAggregates();
     grid.setProfiles(profiles);
     return grid;
 }
@@ -71,7 +74,8 @@ GridRunner::runWithProfiles(const std::string &workload_name,
 void
 GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
                            std::size_t sample, const SettingsSpace &space,
-                           Count instructions_per_sample) const
+                           Count instructions_per_sample,
+                           const Tables &tables) const
 {
     const double n = static_cast<double>(instructions_per_sample);
 
@@ -81,48 +85,182 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
     const double reads =
         n * (profile.dramReadsPerInstr + profile.dramPrefetchPerInstr);
     const double writes = n * profile.dramWritesPerInstr;
-    const double total = reads + writes;
+    const double total_txn = reads + writes;
     dram_stats.reads = static_cast<Count>(std::llround(reads));
     dram_stats.writes = static_cast<Count>(std::llround(writes));
     dram_stats.rowHits =
-        static_cast<Count>(std::llround(total * profile.rowHitFrac));
+        static_cast<Count>(std::llround(total_txn * profile.rowHitFrac));
     dram_stats.rowClosed = static_cast<Count>(
-        std::llround(total * profile.rowClosedFrac));
+        std::llround(total_txn * profile.rowClosedFrac));
     dram_stats.rowConflicts = static_cast<Count>(
-        std::llround(total * profile.rowConflictFrac));
+        std::llround(total_txn * profile.rowConflictFrac));
 
-    for (std::size_t k = 0; k < space.size(); ++k) {
-        const FrequencySetting setting = space.at(k);
-        const SampleTiming timing = timingModel_.evaluate(
-            profile, setting, instructions_per_sample);
+    // Per-sample invariants of the DRAM energy accounting, resolved to
+    // doubles once instead of per cell.
+    const double reads_d = static_cast<double>(dram_stats.reads);
+    const double writes_d = static_cast<double>(dram_stats.writes);
+    const double activates_d =
+        static_cast<double>(dram_stats.rowClosed + dram_stats.rowConflicts);
 
-        GridCell &cell = grid.cell(sample, k);
-        cell.seconds = timing.total;
-        cell.busyFrac =
-            timing.total > 0.0 ? timing.busy / timing.total : 1.0;
-        cell.bwUtil = timing.bwUtil;
-        cell.cpuEnergy =
-            cpuPower_.energy(setting.cpu, profile.activity,
-                             timing.busy, timing.stall);
-        cell.memEnergy =
-            dramPower_
-                .energy(dram_stats, setting.mem, timing.total,
-                        timing.bwUtil)
-                .total();
+    // Per-sample invariants of the timing model.
+    const TimingParams &tp = timingModel_.params();
+    const double core_cpi = timingModel_.coreCpi(profile);
+    const double dram_per_instr = profile.dramPerInstr();
+    const double demand_fills = n * profile.dramReadsPerInstr;
+    const double traffic_bytes =
+        n * profile.trafficPerInstr() *
+        static_cast<double>(tp.dramConfig.lineBytes);
+    const double mlp = profile.mlp;
+    const bool has_dram_time =
+        dram_per_instr > 0.0 && instructions_per_sample != 0;
 
-        if (config_.measurementNoise > 0.0) {
-            // Deterministic "simulation noise" on the measured
-            // quantities (see SystemConfig::measurementNoise).
-            Rng noise(cellSeed(grid.workload(), sample, k));
-            auto wobble = [&](double v) {
-                return v * (1.0 + config_.measurementNoise *
-                                      (2.0 * noise.uniform() - 1.0));
-            };
-            cell.seconds = wobble(cell.seconds);
-            cell.cpuEnergy = wobble(cell.cpuEnergy);
-            cell.memEnergy = wobble(cell.memEnergy);
+    // Per-sample CPU power scalars (activity resolved once).
+    const CpuPowerParams &cp = cpuPower_.params();
+    const double act_busy = std::clamp(profile.activity, 0.0, 1.0);
+    const double act_stall =
+        std::clamp(profile.activity * cp.stallActivity, 0.0, 1.0);
+
+    // DRAM background power-down mixing constants.
+    const DramPowerParams &dp = dramPower_.params();
+    const bool power_down = dp.enablePowerDown;
+    const double residency =
+        std::clamp(dp.powerDownResidency, 0.0, 1.0);
+
+    const std::size_t settings = space.size();
+    const std::size_t mem_steps = space.memLadder().size();
+    const std::vector<Hertz> &cpu_steps = space.cpuLadder().steps();
+
+    // Per-(sample, memory-frequency) strips: the row-outcome-weighted
+    // uncontended latency and the usable bandwidth.
+    std::vector<double> base_lat(mem_steps);
+    std::vector<double> usable_bw(mem_steps);
+    for (std::size_t m = 0; m < mem_steps; ++m) {
+        const MemTimingPoint &mt = tables.memTiming[m];
+        base_lat[m] = profile.rowHitFrac * mt.latencyHit +
+                      profile.rowClosedFrac * mt.latencyClosed +
+                      profile.rowConflictFrac * mt.latencyConflict;
+        usable_bw[m] = mt.usableBandwidth;
+    }
+
+    std::vector<double> total(mem_steps);
+    std::vector<double> stall(mem_steps);
+    std::vector<double> util(mem_steps);
+
+    MeasuredGrid::RowView row = grid.fillRow(sample);
+
+    for (std::size_t c = 0; c < cpu_steps.size(); ++c) {
+        const Seconds core_time = n * core_cpi / cpu_steps[c];
+
+        if (!has_dram_time) {
+            for (std::size_t m = 0; m < mem_steps; ++m) {
+                total[m] = core_time;
+                stall[m] = 0.0;
+                util[m] = 0.0;
+            }
+        } else {
+            // Damped fixed point: utilization depends on total time,
+            // total time depends on queueing inflation, which depends
+            // on utilization.  The iteration count is uniform across
+            // the strip, so the loop runs iteration-major and the
+            // compiler vectorizes across memory frequencies.
+            for (std::size_t m = 0; m < mem_steps; ++m)
+                total[m] = core_time + demand_fills * base_lat[m] / mlp;
+
+            if (!tp.modelBandwidth) {
+                // Ablation: pure latency model, no saturation.
+                for (std::size_t m = 0; m < mem_steps; ++m) {
+                    stall[m] = total[m] - core_time;
+                    util[m] = std::min(
+                        1.0, traffic_bytes / (total[m] * usable_bw[m]));
+                }
+            } else {
+                const double cap = tp.bwUtilizationCap;
+                for (int iter = 0; iter < tp.fixedPointIterations;
+                     ++iter) {
+                    for (std::size_t m = 0; m < mem_steps; ++m) {
+                        const double rho = std::min(
+                            cap,
+                            traffic_bytes / (total[m] * usable_bw[m]));
+                        // M/D/1-flavoured inflation of the service
+                        // latency.
+                        const double inflated =
+                            base_lat[m] *
+                            (1.0 + 0.5 * rho * rho / (1.0 - rho));
+                        const double next =
+                            core_time + demand_fills * inflated / mlp;
+                        total[m] = 0.5 * (total[m] + next);
+                    }
+                }
+                for (std::size_t m = 0; m < mem_steps; ++m) {
+                    // The stream can never move faster than the
+                    // usable bandwidth.
+                    const double floored = std::max(
+                        total[m], traffic_bytes / usable_bw[m]);
+                    total[m] = floored;
+                    stall[m] = floored - core_time;
+                    util[m] = std::min(
+                        1.0, traffic_bytes / (floored * usable_bw[m]));
+                }
+            }
+        }
+
+        const CpuOperatingPoint &op = tables.cpuPower[c];
+        const double busy_dyn = op.dynamicScale * act_busy;
+        const double stall_dyn = op.dynamicScale * act_stall;
+        const double static_power = op.background + op.leakage;
+        const std::size_t base = c * mem_steps;
+
+        for (std::size_t m = 0; m < mem_steps; ++m) {
+            const double t = total[m];
+            row.seconds[base + m] = t;
+            row.busyFrac[base + m] = t > 0.0 ? core_time / t : 1.0;
+            row.bwUtil[base + m] = util[m];
+            row.cpuEnergy[base + m] =
+                busy_dyn * core_time + stall_dyn * stall[m] +
+                static_power * (core_time + stall[m]);
+
+            const DramFreqCoefficients &de = tables.dramEnergy[m];
+            double background_power = de.activeBackground;
+            if (power_down) {
+                const double u = std::clamp(util[m], 0.0, 1.0);
+                const double down_frac = (1.0 - u) * residency;
+                background_power =
+                    de.activeBackground * (1.0 - down_frac) +
+                    de.powerDownBackground * down_frac;
+            }
+            row.memEnergy[base + m] =
+                background_power * t + de.activateEnergy * activates_d +
+                (de.readEnergy * reads_d + de.writeEnergy * writes_d);
         }
     }
+
+    if (config_.measurementNoise > 0.0) {
+        // Deterministic "simulation noise" on the measured quantities
+        // (see SystemConfig::measurementNoise).  Wobble factors come
+        // from one short-lived Rng per cell, seeded exactly as the
+        // cell-at-a-time path seeded them, then applied in three flat
+        // multiply passes over the row.
+        const double amp = config_.measurementNoise;
+        const std::uint64_t sample_hash =
+            fnv1aMixWord(tables.workloadHash, sample);
+        std::vector<double> wobble_sec(settings);
+        std::vector<double> wobble_cpu(settings);
+        std::vector<double> wobble_mem(settings);
+        for (std::size_t k = 0; k < settings; ++k) {
+            Rng noise(fnv1aMixWord(sample_hash, k));
+            wobble_sec[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+            wobble_cpu[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+            wobble_mem[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+        }
+        for (std::size_t k = 0; k < settings; ++k)
+            row.seconds[k] *= wobble_sec[k];
+        for (std::size_t k = 0; k < settings; ++k)
+            row.cpuEnergy[k] *= wobble_cpu[k];
+        for (std::size_t k = 0; k < settings; ++k)
+            row.memEnergy[k] *= wobble_mem[k];
+    }
+
+    grid.updateSampleAggregates(sample);
 }
 
 } // namespace mcdvfs

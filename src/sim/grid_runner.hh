@@ -7,6 +7,16 @@
  * setting, collapsed into one characterization pass plus a model
  * evaluation per setting (valid because the in-order core makes the
  * cache/DRAM event profile frequency-independent; DESIGN.md §5.1).
+ *
+ * Evaluation is a table-driven kernel (docs/PERF.md): per-setting
+ * tables — DRAM latencies/bandwidth per memory frequency, power
+ * coefficients per CPU operating point and per memory frequency — are
+ * precomputed once per grid build, per-sample invariants are hoisted
+ * out of the per-setting loop, and the inner loop runs over one
+ * memory-ladder-sized strip at a time so the damped fixed point
+ * vectorizes across settings.  The kernel is bit-identical to
+ * cell-at-a-time evaluation (sim/reference_kernel.hh, asserted by
+ * tests/sim_grid_runner_test.cc).
  */
 
 #ifndef MCDVFS_SIM_GRID_RUNNER_HH
@@ -82,10 +92,27 @@ class GridRunner
     const SystemConfig &config() const { return config_; }
 
   private:
+    /** Per-setting tables, built once per grid build. */
+    struct Tables
+    {
+        /** Per-memory-frequency DRAM timing terms. */
+        std::vector<MemTimingPoint> memTiming;
+        /** Per-memory-frequency DRAM energy coefficients. */
+        std::vector<DramFreqCoefficients> dramEnergy;
+        /** Per-CPU-frequency power coefficients. */
+        std::vector<CpuOperatingPoint> cpuPower;
+        /** Workload-name hash feeding the per-cell noise seeds. */
+        std::uint64_t workloadHash = 0;
+    };
+
+    Tables buildTables(const std::string &workload_name,
+                       const SettingsSpace &space) const;
+
     /** Fill one sample's row of cells (safe to run concurrently). */
     void evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
                         std::size_t sample, const SettingsSpace &space,
-                        Count instructions_per_sample) const;
+                        Count instructions_per_sample,
+                        const Tables &tables) const;
 
     SystemConfig config_;
     TimingModel timingModel_;

@@ -12,13 +12,22 @@ MeasuredGrid::MeasuredGrid(std::string workload, SettingsSpace space,
                            std::size_t samples,
                            Count instructions_per_sample)
     : workload_(std::move(workload)), space_(std::move(space)),
-      samples_(samples), instructionsPerSample_(instructions_per_sample)
+      samples_(samples), settings_(space_.size()),
+      instructionsPerSample_(instructions_per_sample)
 {
     if (samples_ == 0)
         fatal("measured grid: need at least one sample");
     if (instructionsPerSample_ == 0)
         fatal("measured grid: instructions per sample must be positive");
-    cells_.assign(samples_ * space_.size(), GridCell{});
+    const std::size_t cells = samples_ * settings_;
+    seconds_.assign(cells, 0.0);
+    cpuEnergy_.assign(cells, 0.0);
+    memEnergy_.assign(cells, 0.0);
+    busyFrac_.assign(cells, 1.0);
+    bwUtil_.assign(cells, 0.0);
+    sampleEmin_.assign(samples_, 0.0);
+    sampleSlowest_.assign(samples_, 0.0);
+    sampleFastest_.assign(samples_, 0.0);
 }
 
 Count
@@ -31,20 +40,67 @@ std::size_t
 MeasuredGrid::index(std::size_t sample, std::size_t setting) const
 {
     MCDVFS_ASSERT(sample < samples_, "sample index out of range");
-    MCDVFS_ASSERT(setting < space_.size(), "setting index out of range");
-    return sample * space_.size() + setting;
+    MCDVFS_ASSERT(setting < settings_, "setting index out of range");
+    return sample * settings_ + setting;
 }
 
-GridCell &
+GridCellRef
 MeasuredGrid::cell(std::size_t sample, std::size_t setting)
 {
-    return cells_[index(sample, setting)];
+    const std::size_t i = index(sample, setting);
+    // Handing out a mutable view may change any quantity.
+    aggregatesValid_ = false;
+    return GridCellRef(seconds_[i], cpuEnergy_[i], memEnergy_[i],
+                       busyFrac_[i], bwUtil_[i]);
 }
 
-const GridCell &
+GridCell
 MeasuredGrid::cell(std::size_t sample, std::size_t setting) const
 {
-    return cells_[index(sample, setting)];
+    const std::size_t i = index(sample, setting);
+    return GridCell{seconds_[i], cpuEnergy_[i], memEnergy_[i],
+                    busyFrac_[i], bwUtil_[i]};
+}
+
+MeasuredGrid::RowView
+MeasuredGrid::fillRow(std::size_t sample)
+{
+    MCDVFS_ASSERT(sample < samples_, "sample index out of range");
+    const std::size_t base = sample * settings_;
+    return RowView{seconds_.data() + base, cpuEnergy_.data() + base,
+                   memEnergy_.data() + base, busyFrac_.data() + base,
+                   bwUtil_.data() + base};
+}
+
+void
+MeasuredGrid::updateSampleAggregates(std::size_t sample)
+{
+    MCDVFS_ASSERT(sample < samples_, "sample index out of range");
+    const std::size_t base = sample * settings_;
+    Joules emin = std::numeric_limits<double>::infinity();
+    Seconds slowest = 0.0;
+    Seconds fastest = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < settings_; ++k) {
+        emin = std::min(emin, cpuEnergy_[base + k] + memEnergy_[base + k]);
+        slowest = std::max(slowest, seconds_[base + k]);
+        fastest = std::min(fastest, seconds_[base + k]);
+    }
+    sampleEmin_[sample] = emin;
+    sampleSlowest_[sample] = slowest;
+    sampleFastest_[sample] = fastest;
+}
+
+void
+MeasuredGrid::refreshAggregates() const
+{
+    // Const because aggregate queries are logically read-only; the
+    // cache members are mutable.  Not safe against concurrent first
+    // queries on a never-sealed grid — production grids are sealed by
+    // the fill kernel before they are shared.
+    MeasuredGrid &self = const_cast<MeasuredGrid &>(*this);
+    for (std::size_t s = 0; s < samples_; ++s)
+        self.updateSampleAggregates(s);
+    aggregatesValid_ = true;
 }
 
 void
@@ -66,45 +122,49 @@ MeasuredGrid::profile(std::size_t sample) const
 Joules
 MeasuredGrid::sampleEmin(std::size_t sample) const
 {
-    Joules best = std::numeric_limits<double>::infinity();
-    for (std::size_t k = 0; k < space_.size(); ++k)
-        best = std::min(best, cell(sample, k).energy());
-    return best;
+    MCDVFS_ASSERT(sample < samples_, "sample index out of range");
+    if (!aggregatesValid_)
+        refreshAggregates();
+    return sampleEmin_[sample];
 }
 
 Seconds
 MeasuredGrid::sampleSlowest(std::size_t sample) const
 {
-    Seconds worst = 0.0;
-    for (std::size_t k = 0; k < space_.size(); ++k)
-        worst = std::max(worst, cell(sample, k).seconds);
-    return worst;
+    MCDVFS_ASSERT(sample < samples_, "sample index out of range");
+    if (!aggregatesValid_)
+        refreshAggregates();
+    return sampleSlowest_[sample];
 }
 
 Seconds
 MeasuredGrid::sampleFastest(std::size_t sample) const
 {
-    Seconds best = std::numeric_limits<double>::infinity();
-    for (std::size_t k = 0; k < space_.size(); ++k)
-        best = std::min(best, cell(sample, k).seconds);
-    return best;
+    MCDVFS_ASSERT(sample < samples_, "sample index out of range");
+    if (!aggregatesValid_)
+        refreshAggregates();
+    return sampleFastest_[sample];
 }
 
 Seconds
 MeasuredGrid::totalTime(std::size_t setting) const
 {
+    MCDVFS_ASSERT(setting < settings_, "setting index out of range");
     Seconds total = 0.0;
     for (std::size_t s = 0; s < samples_; ++s)
-        total += cell(s, setting).seconds;
+        total += seconds_[s * settings_ + setting];
     return total;
 }
 
 Joules
 MeasuredGrid::totalEnergy(std::size_t setting) const
 {
+    MCDVFS_ASSERT(setting < settings_, "setting index out of range");
     Joules total = 0.0;
-    for (std::size_t s = 0; s < samples_; ++s)
-        total += cell(s, setting).energy();
+    for (std::size_t s = 0; s < samples_; ++s) {
+        const std::size_t i = s * settings_ + setting;
+        total += cpuEnergy_[i] + memEnergy_[i];
+    }
     return total;
 }
 
@@ -112,7 +172,7 @@ Joules
 MeasuredGrid::eminTotal() const
 {
     Joules best = std::numeric_limits<double>::infinity();
-    for (std::size_t k = 0; k < space_.size(); ++k)
+    for (std::size_t k = 0; k < settings_; ++k)
         best = std::min(best, totalEnergy(k));
     return best;
 }
@@ -121,7 +181,7 @@ Seconds
 MeasuredGrid::slowestTotal() const
 {
     Seconds worst = 0.0;
-    for (std::size_t k = 0; k < space_.size(); ++k)
+    for (std::size_t k = 0; k < settings_; ++k)
         worst = std::max(worst, totalTime(k));
     return worst;
 }

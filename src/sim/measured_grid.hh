@@ -8,6 +8,17 @@
  * energy.  The paper's §III-C: "all our studies are performed using
  * measured performance and power data from the simulations" — the grid
  * is exactly that measured data.
+ *
+ * Storage is structure-of-arrays: one contiguous sample-major column
+ * per measured quantity (seconds, cpuEnergy, memEnergy, busyFrac,
+ * bwUtil), so the grid kernel writes and the analysis scans stream
+ * sequential memory.  The cell() accessors remain as a compatibility
+ * view assembling (or referencing) one cell's five quantities.
+ *
+ * Per-sample aggregates (Emin, slowest, fastest) are cached: the fill
+ * kernel computes them row-by-row as it goes, and any later mutation
+ * through a cell view invalidates the cache, which is then rebuilt
+ * lazily on the next aggregate query.
  */
 
 #ifndef MCDVFS_SIM_MEASURED_GRID_HH
@@ -16,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/units.hh"
 #include "dvfs/settings_space.hh"
 #include "sim/sample_profile.hh"
@@ -23,7 +35,7 @@
 namespace mcdvfs
 {
 
-/** Measured quantities of one (sample, setting) cell. */
+/** Measured quantities of one (sample, setting) cell, as a value. */
 struct GridCell
 {
     Seconds seconds = 0.0;
@@ -37,10 +49,64 @@ struct GridCell
     Joules energy() const { return cpuEnergy + memEnergy; }
 };
 
+/** Mutable view of one cell inside the SoA columns. */
+class GridCellRef
+{
+  public:
+    GridCellRef(double &seconds_ref, double &cpu_ref, double &mem_ref,
+                double &busy_ref, double &bw_ref)
+        : seconds(seconds_ref), cpuEnergy(cpu_ref), memEnergy(mem_ref),
+          busyFrac(busy_ref), bwUtil(bw_ref)
+    {}
+
+    double &seconds;
+    double &cpuEnergy;
+    double &memEnergy;
+    double &busyFrac;
+    double &bwUtil;
+
+    Joules energy() const { return cpuEnergy + memEnergy; }
+
+    /** Assign all five quantities from a value cell. */
+    GridCellRef &
+    operator=(const GridCell &cell)
+    {
+        seconds = cell.seconds;
+        cpuEnergy = cell.cpuEnergy;
+        memEnergy = cell.memEnergy;
+        busyFrac = cell.busyFrac;
+        bwUtil = cell.bwUtil;
+        return *this;
+    }
+
+    /** Materialize a value cell from the view. */
+    operator GridCell() const
+    {
+        return GridCell{seconds, cpuEnergy, memEnergy, busyFrac, bwUtil};
+    }
+};
+
 /** Dense samples x settings grid with whole-run aggregates. */
 class MeasuredGrid
 {
   public:
+    /**
+     * Raw pointers into one sample's row of every column (fill API for
+     * grid kernels).  Using a RowView does NOT invalidate the cached
+     * aggregates — a fill kernel writing disjoint rows from several
+     * threads must not touch shared state; it finishes each row with
+     * updateSampleAggregates() and the whole fill with
+     * sealAggregates().
+     */
+    struct RowView
+    {
+        double *seconds = nullptr;
+        double *cpuEnergy = nullptr;
+        double *memEnergy = nullptr;
+        double *busyFrac = nullptr;
+        double *bwUtil = nullptr;
+    };
+
     /**
      * @param workload workload name
      * @param space settings space the grid covers
@@ -53,15 +119,83 @@ class MeasuredGrid
     const std::string &workload() const { return workload_; }
     const SettingsSpace &space() const { return space_; }
     std::size_t sampleCount() const { return samples_; }
-    std::size_t settingCount() const { return space_.size(); }
+    std::size_t settingCount() const { return settings_; }
     Count instructionsPerSample() const { return instructionsPerSample_; }
     Count totalInstructions() const;
 
-    /** Mutable cell access (filled by GridRunner). */
-    GridCell &cell(std::size_t sample, std::size_t setting);
+    /**
+     * Mutable cell view (compatibility API).  Bounds-checked in all
+     * build types; invalidates the cached per-sample aggregates.
+     */
+    GridCellRef cell(std::size_t sample, std::size_t setting);
 
-    /** Immutable cell access. */
-    const GridCell &cell(std::size_t sample, std::size_t setting) const;
+    /** Immutable cell value (compatibility API, bounds-checked). */
+    GridCell cell(std::size_t sample, std::size_t setting) const;
+
+    /** @name Hot-path column accessors.
+     *
+     * Direct reads of one SoA column.  Index arithmetic is checked
+     * only in debug builds (MCDVFS_DEBUG_ASSERT) so release scans pay
+     * no branch.
+     */
+    ///@{
+    Seconds
+    secondsAt(std::size_t sample, std::size_t setting) const
+    {
+        return seconds_[fastIndex(sample, setting)];
+    }
+
+    Joules
+    cpuEnergyAt(std::size_t sample, std::size_t setting) const
+    {
+        return cpuEnergy_[fastIndex(sample, setting)];
+    }
+
+    Joules
+    memEnergyAt(std::size_t sample, std::size_t setting) const
+    {
+        return memEnergy_[fastIndex(sample, setting)];
+    }
+
+    /** Total (CPU + memory) energy of one cell. */
+    Joules
+    energyAt(std::size_t sample, std::size_t setting) const
+    {
+        const std::size_t i = fastIndex(sample, setting);
+        return cpuEnergy_[i] + memEnergy_[i];
+    }
+
+    double
+    busyFracAt(std::size_t sample, std::size_t setting) const
+    {
+        return busyFrac_[fastIndex(sample, setting)];
+    }
+
+    double
+    bwUtilAt(std::size_t sample, std::size_t setting) const
+    {
+        return bwUtil_[fastIndex(sample, setting)];
+    }
+    ///@}
+
+    /** @name Fill API (used by grid kernels). */
+    ///@{
+    /** Pointers to one sample's contiguous row of every column. */
+    RowView fillRow(std::size_t sample);
+
+    /**
+     * Recompute the cached Emin/slowest/fastest of one sample from its
+     * row (call after filling the row; safe to call concurrently for
+     * distinct samples).
+     */
+    void updateSampleAggregates(std::size_t sample);
+
+    /**
+     * Mark the per-sample aggregate cache valid.  Call once after
+     * every row was filled and aggregated.
+     */
+    void sealAggregates() { aggregatesValid_ = true; }
+    ///@}
 
     /** Attach the characterization profiles (for CPI/MPKI reporting). */
     void setProfiles(std::vector<SampleProfile> profiles);
@@ -72,7 +206,7 @@ class MeasuredGrid
     /** True once profiles were attached. */
     bool hasProfiles() const { return !profiles_.empty(); }
 
-    /** @name Per-sample aggregates. */
+    /** @name Per-sample aggregates (cached; rebuilt lazily). */
     ///@{
     /** Minimum energy of a sample over all settings (per-sample Emin). */
     Joules sampleEmin(std::size_t sample) const;
@@ -95,11 +229,42 @@ class MeasuredGrid
   private:
     std::size_t index(std::size_t sample, std::size_t setting) const;
 
+    /** Unchecked-in-release flat index for the hot accessors. */
+    std::size_t
+    fastIndex(std::size_t sample, std::size_t setting) const
+    {
+        MCDVFS_DEBUG_ASSERT(sample < samples_, "sample index out of range");
+        MCDVFS_DEBUG_ASSERT(setting < settings_,
+                            "setting index out of range");
+        return sample * settings_ + setting;
+    }
+
+    /** Rebuild every sample's cached aggregates (lazy refresh). */
+    void refreshAggregates() const;
+
     std::string workload_;
     SettingsSpace space_;
     std::size_t samples_;
+    std::size_t settings_;
     Count instructionsPerSample_;
-    std::vector<GridCell> cells_;
+
+    /** @name SoA columns, sample-major ([sample * settings + setting]). */
+    ///@{
+    std::vector<double> seconds_;
+    std::vector<double> cpuEnergy_;
+    std::vector<double> memEnergy_;
+    std::vector<double> busyFrac_;
+    std::vector<double> bwUtil_;
+    ///@}
+
+    /** @name Per-sample aggregate cache. */
+    ///@{
+    mutable std::vector<Joules> sampleEmin_;
+    mutable std::vector<Seconds> sampleSlowest_;
+    mutable std::vector<Seconds> sampleFastest_;
+    mutable bool aggregatesValid_ = false;
+    ///@}
+
     std::vector<SampleProfile> profiles_;
 };
 

@@ -1,0 +1,140 @@
+#include "sim/reference_kernel.hh"
+
+#include <cmath>
+
+#include "common/hash.hh"
+#include "common/rng.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Deterministic per-cell seed mixing workload, sample and setting. */
+std::uint64_t
+cellSeed(const std::string &workload, std::size_t sample,
+         std::size_t setting)
+{
+    std::uint64_t hash = fnv1aString(kFnvOffsetBasis, workload);
+    hash = fnv1aMixWord(hash, sample);
+    hash = fnv1aMixWord(hash, setting);
+    return hash;
+}
+
+/** Evaluate one sample's row, one cell at a time. */
+void
+evaluateSampleReference(MeasuredGrid &grid, const SystemConfig &config,
+                        const TimingModel &timing_model,
+                        const CpuPowerModel &cpu_power,
+                        const DramPowerModel &dram_power,
+                        const SampleProfile &profile, std::size_t sample,
+                        const SettingsSpace &space,
+                        Count instructions_per_sample)
+{
+    const double n = static_cast<double>(instructions_per_sample);
+
+    // Scale the per-instruction rates back up to the modeled
+    // sample length for the DRAM energy accounting.
+    DramStats dram_stats;
+    const double reads =
+        n * (profile.dramReadsPerInstr + profile.dramPrefetchPerInstr);
+    const double writes = n * profile.dramWritesPerInstr;
+    const double total = reads + writes;
+    dram_stats.reads = static_cast<Count>(std::llround(reads));
+    dram_stats.writes = static_cast<Count>(std::llround(writes));
+    dram_stats.rowHits =
+        static_cast<Count>(std::llround(total * profile.rowHitFrac));
+    dram_stats.rowClosed = static_cast<Count>(
+        std::llround(total * profile.rowClosedFrac));
+    dram_stats.rowConflicts = static_cast<Count>(
+        std::llround(total * profile.rowConflictFrac));
+
+    // Write through the row pointers rather than the cell() view so a
+    // parallel fill never touches the shared aggregate-cache flag.
+    MeasuredGrid::RowView row = grid.fillRow(sample);
+
+    for (std::size_t k = 0; k < space.size(); ++k) {
+        const FrequencySetting setting = space.at(k);
+        const SampleTiming timing = timing_model.evaluate(
+            profile, setting, instructions_per_sample);
+
+        row.seconds[k] = timing.total;
+        row.busyFrac[k] =
+            timing.total > 0.0 ? timing.busy / timing.total : 1.0;
+        row.bwUtil[k] = timing.bwUtil;
+        row.cpuEnergy[k] =
+            cpu_power.energy(setting.cpu, profile.activity,
+                             timing.busy, timing.stall);
+        row.memEnergy[k] =
+            dram_power
+                .energy(dram_stats, setting.mem, timing.total,
+                        timing.bwUtil)
+                .total();
+
+        if (config.measurementNoise > 0.0) {
+            // Deterministic "simulation noise" on the measured
+            // quantities (see SystemConfig::measurementNoise).
+            Rng noise(cellSeed(grid.workload(), sample, k));
+            auto wobble = [&](double v) {
+                return v * (1.0 + config.measurementNoise *
+                                      (2.0 * noise.uniform() - 1.0));
+            };
+            row.seconds[k] = wobble(row.seconds[k]);
+            row.cpuEnergy[k] = wobble(row.cpuEnergy[k]);
+            row.memEnergy[k] = wobble(row.memEnergy[k]);
+        }
+    }
+
+    grid.updateSampleAggregates(sample);
+}
+
+} // namespace
+
+MeasuredGrid
+referenceGridWithProfiles(const SystemConfig &config,
+                          const std::string &workload_name,
+                          const std::vector<SampleProfile> &profiles,
+                          const SettingsSpace &space,
+                          Count instructions_per_sample,
+                          exec::ThreadPool *pool)
+{
+    const TimingModel timing_model(config.timing);
+    const CpuPowerModel cpu_power(config.cpuPower, VoltageCurve::paperCpu());
+    const DramPowerModel dram_power(config.dramPower,
+                                    config.timing.dramTiming,
+                                    config.timing.dramConfig);
+
+    MeasuredGrid grid(workload_name, space, profiles.size(),
+                      instructions_per_sample);
+
+    auto eval = [&](std::size_t s) {
+        evaluateSampleReference(grid, config, timing_model, cpu_power,
+                                dram_power, profiles[s], s, space,
+                                instructions_per_sample);
+    };
+    if (pool != nullptr && pool->size() > 0 && profiles.size() > 1)
+        pool->parallelFor(0, profiles.size(), eval);
+    else
+        for (std::size_t s = 0; s < profiles.size(); ++s)
+            eval(s);
+
+    grid.sealAggregates();
+    grid.setProfiles(profiles);
+    return grid;
+}
+
+MeasuredGrid
+referenceGrid(const SystemConfig &config, const WorkloadProfile &workload,
+              const SettingsSpace &space, exec::ThreadPool *pool)
+{
+    SampleSimulator simulator(config.sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+    return referenceGridWithProfiles(config, workload.name(), profiles,
+                                     space,
+                                     workload.modeledInstructionsPerSample(),
+                                     pool);
+}
+
+} // namespace mcdvfs

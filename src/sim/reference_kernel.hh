@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Cell-at-a-time reference grid evaluation.
+ *
+ * This is the straightforward way to build a MeasuredGrid: for every
+ * (sample, setting) cell, call TimingModel::evaluate() and the power
+ * models' energy() entry points, then apply the per-cell measurement
+ * noise.  GridRunner used to work exactly like this before evaluation
+ * was restructured into the table-driven kernel (docs/PERF.md).
+ *
+ * The implementation is kept — in the library, not the tests — for two
+ * consumers:
+ *
+ *  - the golden equivalence tests, which assert the optimized kernel
+ *    reproduces this path bit for bit (tests/sim_grid_runner_test.cc,
+ *    tests/sim_parallel_grid_test.cc);
+ *  - the grid micro-benchmarks, which report the kernel's speedup over
+ *    this baseline (bench/micro_grid_kernel.cpp).
+ *
+ * Any change to the models' arithmetic must keep the two paths
+ * identical; the tests enforce that.
+ */
+
+#ifndef MCDVFS_SIM_REFERENCE_KERNEL_HH
+#define MCDVFS_SIM_REFERENCE_KERNEL_HH
+
+#include "exec/thread_pool.hh"
+#include "sim/grid_runner.hh"
+
+namespace mcdvfs
+{
+
+/**
+ * Build the grid for precomputed @c profiles by evaluating every cell
+ * independently (no precomputed tables, no hoisted invariants).
+ *
+ * Bit-identical to GridRunner::runWithProfiles() on the same inputs,
+ * for any @c pool (nullptr means serial).
+ */
+MeasuredGrid
+referenceGridWithProfiles(const SystemConfig &config,
+                          const std::string &workload_name,
+                          const std::vector<SampleProfile> &profiles,
+                          const SettingsSpace &space,
+                          Count instructions_per_sample,
+                          exec::ThreadPool *pool = nullptr);
+
+/**
+ * Characterize @c workload, then build its grid cell-at-a-time.
+ * Bit-identical to GridRunner::run() on the same inputs.
+ */
+MeasuredGrid referenceGrid(const SystemConfig &config,
+                           const WorkloadProfile &workload,
+                           const SettingsSpace &space,
+                           exec::ThreadPool *pool = nullptr);
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_REFERENCE_KERNEL_HH

@@ -28,12 +28,7 @@ TimingModel::evaluate(const SampleProfile &profile,
 
     const double n = static_cast<double>(instructions);
 
-    // Core component: issue-limited cycles plus the exposed share of
-    // L2 hit latency, all in the CPU clock domain.
-    const double core_cpi =
-        profile.baseCpi + profile.l2PerInstr *
-                              static_cast<double>(params_.l2LatencyCycles) *
-                              params_.l2StallExposure;
+    const double core_cpi = coreCpi(profile);
     const Seconds core_time = n * core_cpi / setting.cpu;
 
     SampleTiming timing;
@@ -95,6 +90,37 @@ TimingModel::evaluate(const SampleProfile &profile,
     timing.stall = total - core_time;
     timing.bwUtil = std::min(1.0, traffic_bytes / (total * usable_bw));
     return timing;
+}
+
+double
+TimingModel::coreCpi(const SampleProfile &profile) const
+{
+    // Core component: issue-limited cycles plus the exposed share of
+    // L2 hit latency, all in the CPU clock domain.
+    return profile.baseCpi + profile.l2PerInstr *
+                                 static_cast<double>(
+                                     params_.l2LatencyCycles) *
+                                 params_.l2StallExposure;
+}
+
+std::vector<MemTimingPoint>
+TimingModel::memTable(const FrequencyLadder &ladder) const
+{
+    const DramTiming &dt = params_.dramTiming;
+    const DramConfig &dc = params_.dramConfig;
+    std::vector<MemTimingPoint> table;
+    table.reserve(ladder.size());
+    for (const Hertz mem : ladder.steps()) {
+        if (mem <= 0.0)
+            fatal("timing model: frequencies must be positive");
+        MemTimingPoint point;
+        point.latencyHit = dt.latency(RowOutcome::Hit, mem, dc);
+        point.latencyClosed = dt.latency(RowOutcome::Closed, mem, dc);
+        point.latencyConflict = dt.latency(RowOutcome::Conflict, mem, dc);
+        point.usableBandwidth = dt.usableBandwidth(mem, dc);
+        table.push_back(point);
+    }
+    return table;
 }
 
 } // namespace mcdvfs

@@ -23,6 +23,8 @@
 #ifndef MCDVFS_SIM_TIMING_MODEL_HH
 #define MCDVFS_SIM_TIMING_MODEL_HH
 
+#include <vector>
+
 #include "common/units.hh"
 #include "dvfs/settings_space.hh"
 #include "mem/cache_hierarchy.hh"
@@ -72,6 +74,19 @@ struct SampleTiming
     }
 };
 
+/**
+ * Frequency-dependent DRAM terms of one memory ladder step,
+ * precomputed once per grid build so the grid kernel's inner loop is
+ * pure arithmetic over preresolved doubles.
+ */
+struct MemTimingPoint
+{
+    Seconds latencyHit = 0.0;       ///< row-hit transaction latency
+    Seconds latencyClosed = 0.0;    ///< closed-bank transaction latency
+    Seconds latencyConflict = 0.0;  ///< row-conflict transaction latency
+    double usableBandwidth = 0.0;   ///< attainable bytes/second
+};
+
 /** Evaluates sample time at any frequency setting. */
 class TimingModel
 {
@@ -86,6 +101,23 @@ class TimingModel
     SampleTiming evaluate(const SampleProfile &profile,
                           const FrequencySetting &setting,
                           Count instructions) const;
+
+    /**
+     * Precompute the per-memory-frequency terms for every step of
+     * @c ladder.  Each entry holds exactly the values evaluate()
+     * derives per cell, so a kernel using the table is bit-identical
+     * to cell-at-a-time evaluation.
+     *
+     * @throws FatalError for non-positive frequencies
+     */
+    std::vector<MemTimingPoint> memTable(const FrequencyLadder &ladder) const;
+
+    /**
+     * The frequency-independent core CPI of @c profile: issue-limited
+     * cycles plus the exposed share of L2 hit latency (hoisted out of
+     * the per-setting loop by the grid kernel).
+     */
+    double coreCpi(const SampleProfile &profile) const;
 
     const TimingParams &params() const { return params_; }
 

@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "common/hash.hh"
+
 namespace mcdvfs
 {
 namespace svc
@@ -9,8 +11,6 @@ namespace svc
 
 namespace
 {
-
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
 
 void
 addPhase(HashBuilder &h, const PhaseSpec &phase)
@@ -72,10 +72,7 @@ addRails(HashBuilder &h, const RailCurrents &rails)
 HashBuilder &
 HashBuilder::add(std::uint64_t value)
 {
-    // FNV-1a over the eight bytes, low to high.
-    for (int i = 0; i < 8; ++i) {
-        hash_ = (hash_ ^ ((value >> (8 * i)) & 0xff)) * kFnvPrime;
-    }
+    hash_ = fnv1aWordBytes(hash_, value);
     return *this;
 }
 
@@ -92,15 +89,14 @@ HashBuilder::add(double value)
 HashBuilder &
 HashBuilder::add(bool value)
 {
-    hash_ = (hash_ ^ (value ? 1u : 0u)) * kFnvPrime;
+    hash_ = fnv1aMixWord(hash_, value ? 1u : 0u);
     return *this;
 }
 
 HashBuilder &
 HashBuilder::add(const std::string &value)
 {
-    for (const char c : value)
-        hash_ = (hash_ ^ static_cast<unsigned char>(c)) * kFnvPrime;
+    hash_ = fnv1aString(hash_, value);
     // Length terminator so ("ab","c") and ("a","bc") differ.
     return add(static_cast<std::uint64_t>(value.size()));
 }

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/hash.hh"
 #include "sim/grid_runner.hh"
 
 namespace mcdvfs
@@ -28,7 +29,11 @@ namespace mcdvfs
 namespace svc
 {
 
-/** Incremental FNV-1a hasher over typed fields. */
+/**
+ * Incremental FNV-1a hasher over typed fields, built on the shared
+ * primitives in common/hash.hh (byte-wise mixing for avalanche
+ * quality; see that header for the granularity trade-off).
+ */
 class HashBuilder
 {
   public:
@@ -40,7 +45,7 @@ class HashBuilder
     std::uint64_t digest() const { return hash_; }
 
   private:
-    std::uint64_t hash_ = 0xcbf29ce484222325ull;
+    std::uint64_t hash_ = kFnvOffsetBasis;
 };
 
 /**

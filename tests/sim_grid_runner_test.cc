@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/grid_runner.hh"
+#include "sim/reference_kernel.hh"
 
 namespace mcdvfs
 {
@@ -126,6 +127,97 @@ TEST(GridRunner, RunWithProfilesMatchesRun)
                              via_profiles.cell(s, k).energy());
         }
     }
+}
+
+void
+expectGoldenIdentical(const MeasuredGrid &kernel,
+                      const MeasuredGrid &reference)
+{
+    ASSERT_EQ(kernel.sampleCount(), reference.sampleCount());
+    ASSERT_EQ(kernel.settingCount(), reference.settingCount());
+    for (std::size_t s = 0; s < kernel.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < kernel.settingCount(); ++k) {
+            // Exact equality on purpose: the table-driven kernel must
+            // reproduce cell-at-a-time evaluation bit for bit.
+            ASSERT_EQ(kernel.secondsAt(s, k), reference.secondsAt(s, k))
+                << s << "," << k;
+            ASSERT_EQ(kernel.cpuEnergyAt(s, k),
+                      reference.cpuEnergyAt(s, k))
+                << s << "," << k;
+            ASSERT_EQ(kernel.memEnergyAt(s, k),
+                      reference.memEnergyAt(s, k))
+                << s << "," << k;
+            ASSERT_EQ(kernel.busyFracAt(s, k),
+                      reference.busyFracAt(s, k))
+                << s << "," << k;
+            ASSERT_EQ(kernel.bwUtilAt(s, k), reference.bwUtilAt(s, k))
+                << s << "," << k;
+        }
+    }
+    for (std::size_t s = 0; s < kernel.sampleCount(); ++s) {
+        ASSERT_EQ(kernel.sampleEmin(s), reference.sampleEmin(s));
+        ASSERT_EQ(kernel.sampleSlowest(s), reference.sampleSlowest(s));
+        ASSERT_EQ(kernel.sampleFastest(s), reference.sampleFastest(s));
+    }
+}
+
+TEST(GridKernelGolden, MatchesReferenceWithNoise)
+{
+    // Paper-default configuration: deterministic measurement noise on.
+    const SystemConfig config = fastConfig();
+    GridRunner runner(config);
+    const WorkloadProfile workload = tinyWorkload();
+    expectGoldenIdentical(
+        runner.run(workload, SettingsSpace::coarse()),
+        referenceGrid(config, workload, SettingsSpace::coarse()));
+}
+
+TEST(GridKernelGolden, MatchesReferenceWithoutNoise)
+{
+    SystemConfig config = fastConfig();
+    config.measurementNoise = 0.0;
+    GridRunner runner(config);
+    const WorkloadProfile workload = tinyWorkload();
+    expectGoldenIdentical(
+        runner.run(workload, SettingsSpace::coarse()),
+        referenceGrid(config, workload, SettingsSpace::coarse()));
+}
+
+TEST(GridKernelGolden, MatchesReferenceWithoutBandwidthModel)
+{
+    // The pure-latency ablation takes a different branch in both
+    // paths; it must stay bit-identical too.
+    SystemConfig config = fastConfig();
+    config.timing.modelBandwidth = false;
+    GridRunner runner(config);
+    const WorkloadProfile workload = tinyWorkload();
+    expectGoldenIdentical(
+        runner.run(workload, SettingsSpace::coarse()),
+        referenceGrid(config, workload, SettingsSpace::coarse()));
+}
+
+TEST(GridKernelGolden, MatchesReferenceWithPowerDown)
+{
+    // Power-down mixes two background-power terms by bandwidth
+    // utilization — the kernel's precomputed coefficients must
+    // reproduce the mix exactly.
+    SystemConfig config = fastConfig();
+    config.dramPower.enablePowerDown = true;
+    GridRunner runner(config);
+    const WorkloadProfile workload = tinyWorkload();
+    expectGoldenIdentical(
+        runner.run(workload, SettingsSpace::coarse()),
+        referenceGrid(config, workload, SettingsSpace::coarse()));
+}
+
+TEST(GridKernelGolden, MatchesReferenceOnFineSpace)
+{
+    const SystemConfig config = fastConfig();
+    GridRunner runner(config);
+    const WorkloadProfile workload = tinyWorkload();
+    expectGoldenIdentical(
+        runner.run(workload, SettingsSpace::fine()),
+        referenceGrid(config, workload, SettingsSpace::fine()));
 }
 
 TEST(GridRunner, MemoryEnergyRisesWithMemFrequency)

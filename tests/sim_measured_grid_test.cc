@@ -21,7 +21,7 @@ handGrid()
     MeasuredGrid grid("hand", SettingsSpace::coarse(), 2, 1'000'000);
     for (std::size_t s = 0; s < 2; ++s) {
         for (std::size_t k = 0; k < grid.settingCount(); ++k) {
-            GridCell &cell = grid.cell(s, k);
+            GridCellRef cell = grid.cell(s, k);
             cell.seconds = 1.0 + static_cast<double>(k) * 0.01 +
                            static_cast<double>(s);
             cell.cpuEnergy = 2.0 - static_cast<double>(k) * 0.01;
@@ -104,6 +104,83 @@ TEST(MeasuredGrid, ConstructorValidation)
                  FatalError);
     EXPECT_THROW(MeasuredGrid("x", SettingsSpace::coarse(), 2, 0),
                  FatalError);
+}
+
+TEST(MeasuredGrid, ColumnAccessorsMatchCells)
+{
+    const MeasuredGrid grid = handGrid();
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            const GridCell cell = grid.cell(s, k);
+            EXPECT_DOUBLE_EQ(grid.secondsAt(s, k), cell.seconds);
+            EXPECT_DOUBLE_EQ(grid.cpuEnergyAt(s, k), cell.cpuEnergy);
+            EXPECT_DOUBLE_EQ(grid.memEnergyAt(s, k), cell.memEnergy);
+            EXPECT_DOUBLE_EQ(grid.energyAt(s, k), cell.energy());
+            EXPECT_DOUBLE_EQ(grid.busyFracAt(s, k), cell.busyFrac);
+            EXPECT_DOUBLE_EQ(grid.bwUtilAt(s, k), cell.bwUtil);
+        }
+    }
+}
+
+TEST(MeasuredGrid, CellAssignmentFromValue)
+{
+    MeasuredGrid grid = handGrid();
+    GridCell value;
+    value.seconds = 7.0;
+    value.cpuEnergy = 8.0;
+    value.memEnergy = 9.0;
+    value.busyFrac = 0.25;
+    value.bwUtil = 0.75;
+    grid.cell(1, 2) = value;
+    const GridCell back = grid.cell(1, 2);
+    EXPECT_DOUBLE_EQ(back.seconds, 7.0);
+    EXPECT_DOUBLE_EQ(back.cpuEnergy, 8.0);
+    EXPECT_DOUBLE_EQ(back.memEnergy, 9.0);
+    EXPECT_DOUBLE_EQ(back.busyFrac, 0.25);
+    EXPECT_DOUBLE_EQ(back.bwUtil, 0.75);
+}
+
+TEST(MeasuredGrid, MutationInvalidatesAggregateCache)
+{
+    MeasuredGrid grid = handGrid();
+    const Seconds before = grid.sampleSlowest(0);
+    // Writing through a mutable cell view must invalidate the cached
+    // per-sample aggregates.
+    grid.cell(0, 0).seconds = before + 100.0;
+    EXPECT_DOUBLE_EQ(grid.sampleSlowest(0), before + 100.0);
+    const Joules emin_before = grid.sampleEmin(0);
+    grid.cell(0, 10).cpuEnergy = -5.0;
+    EXPECT_LT(grid.sampleEmin(0), emin_before);
+}
+
+TEST(MeasuredGrid, FillRowMatchesCellWrites)
+{
+    MeasuredGrid a("x", SettingsSpace::coarse(), 1, 1000);
+    MeasuredGrid b("x", SettingsSpace::coarse(), 1, 1000);
+    MeasuredGrid::RowView row = a.fillRow(0);
+    for (std::size_t k = 0; k < a.settingCount(); ++k) {
+        const double v = static_cast<double>(k);
+        row.seconds[k] = v;
+        row.cpuEnergy[k] = v * 2.0;
+        row.memEnergy[k] = v * 3.0;
+        row.busyFrac[k] = 0.5;
+        row.bwUtil[k] = 0.1;
+        GridCellRef cell = b.cell(0, k);
+        cell.seconds = v;
+        cell.cpuEnergy = v * 2.0;
+        cell.memEnergy = v * 3.0;
+        cell.busyFrac = 0.5;
+        cell.bwUtil = 0.1;
+    }
+    a.updateSampleAggregates(0);
+    a.sealAggregates();
+    for (std::size_t k = 0; k < a.settingCount(); ++k) {
+        EXPECT_DOUBLE_EQ(a.secondsAt(0, k), b.secondsAt(0, k));
+        EXPECT_DOUBLE_EQ(a.energyAt(0, k), b.energyAt(0, k));
+    }
+    EXPECT_DOUBLE_EQ(a.sampleEmin(0), b.sampleEmin(0));
+    EXPECT_DOUBLE_EQ(a.sampleSlowest(0), b.sampleSlowest(0));
+    EXPECT_DOUBLE_EQ(a.sampleFastest(0), b.sampleFastest(0));
 }
 
 TEST(MeasuredGridDeathTest, OutOfRangePanics)

@@ -10,6 +10,7 @@
 
 #include "exec/thread_pool.hh"
 #include "sim/grid_runner.hh"
+#include "sim/reference_kernel.hh"
 
 namespace mcdvfs
 {
@@ -125,6 +126,43 @@ TEST(ParallelGrid, FineSpaceMatchesToo)
         parallel.runWithProfiles(
             workload.name(), profiles, fine,
             workload.modeledInstructionsPerSample()));
+}
+
+TEST(ParallelGrid, KernelMatchesReferenceAcrossWorkerCounts)
+{
+    // The table-driven kernel must reproduce the cell-at-a-time
+    // reference bit for bit at every worker count, in both directions
+    // (serial kernel vs parallel reference and vice versa).
+    const SystemConfig config = SystemConfig::paperDefault();
+    const WorkloadProfile workload = phasedWorkload();
+    const SettingsSpace space = SettingsSpace::coarse();
+
+    SampleSimulator simulator(config.sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+    const Count ips = workload.modeledInstructionsPerSample();
+
+    const MeasuredGrid serial_reference = referenceGridWithProfiles(
+        config, workload.name(), profiles, space, ips);
+
+    GridRunner serial_kernel(config);
+    expectBitIdentical(serial_kernel.runWithProfiles(workload.name(),
+                                                     profiles, space, ips),
+                       serial_reference);
+
+    for (const std::size_t workers : {2u, 8u}) {
+        exec::ThreadPool pool(workers);
+        GridRunner kernel(config);
+        kernel.setThreadPool(&pool);
+        expectBitIdentical(
+            kernel.runWithProfiles(workload.name(), profiles, space, ips),
+            serial_reference);
+        expectBitIdentical(referenceGridWithProfiles(config,
+                                                     workload.name(),
+                                                     profiles, space, ips,
+                                                     &pool),
+                           serial_reference);
+    }
 }
 
 } // namespace
