@@ -24,6 +24,7 @@
 
 #include "bench_json.hh"
 #include "common/args.hh"
+#include "common/logging.hh"
 #include "exec/thread_pool.hh"
 #include "sim/reference_kernel.hh"
 #include "trace/workloads.hh"
@@ -99,13 +100,24 @@ main(int argc, char **argv)
     args.addOption("jobs");
     args.addOption("reps");
     args.addOption("out");
-    args.parse(argc, argv);
-
-    const bool tiny = args.flag("tiny");
-    const std::size_t jobs =
-        static_cast<std::size_t>(args.getInt("jobs", 0));
-    const int reps = static_cast<int>(args.getInt("reps", tiny ? 2 : 5));
-    const std::string out_path = args.get("out", "BENCH_grid.json");
+    bool tiny = false;
+    std::size_t jobs = 0;
+    int reps = 0;
+    std::string out_path;
+    try {
+        args.parse(argc, argv);
+        tiny = args.flag("tiny");
+        // jobs 0 means "skip the parallel run"; negative would wrap
+        // to a huge unsigned thread count, so both parses are
+        // range-checked.
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
+        reps = static_cast<int>(
+            args.getInt("reps", tiny ? 2 : 5, 1, 1000));
+        out_path = args.get("out", "BENCH_grid.json");
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 2;
+    }
 
     SystemConfig config = SystemConfig::paperDefault();
     if (tiny) {

@@ -69,7 +69,7 @@ main(int argc, char **argv)
 
         svc::ServiceOptions options;
         options.jobs =
-            static_cast<std::size_t>(args.getInt("jobs", 4));
+            static_cast<std::size_t>(args.getInt("jobs", 4, 1, 1024));
         svc::CharacterizationService service(
             SystemConfig::paperDefault(), options);
         const double threshold =

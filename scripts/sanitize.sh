@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Sanitizer passes over the test suite (docs/OBSERVABILITY.md,
+# ROADMAP.md "verify"):
+#
+#   1. ASan + UBSan over the full suite — memory errors and UB
+#      anywhere in the library;
+#   2. TSan over the concurrency-heavy subset (exec thread pool,
+#      svc cache/service, obs metrics) — the lock-free metric stripes
+#      and the cache/coalescing paths are where data races would live.
+#
+# Usage: scripts/sanitize.sh [--asan-only|--tsan-only]
+# Build trees land in build-asan/ and build-tsan/ next to build/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+run_asan=1
+run_tsan=1
+case "${1:-}" in
+    --asan-only) run_tsan=0 ;;
+    --tsan-only) run_asan=0 ;;
+    "") ;;
+    *)
+        echo "usage: $0 [--asan-only|--tsan-only]" >&2
+        exit 2
+        ;;
+esac
+
+if [ "$run_asan" = 1 ]; then
+    echo "== ASan + UBSan: full test suite =="
+    cmake -B build-asan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMCDVFS_SANITIZE=address,undefined
+    cmake --build build-asan -j "$jobs"
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
+fi
+
+if [ "$run_tsan" = 1 ]; then
+    echo "== TSan: exec / svc / obs concurrency subset =="
+    cmake -B build-tsan -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DMCDVFS_SANITIZE=thread
+    cmake --build build-tsan -j "$jobs" --target \
+        exec_thread_pool_test exec_thread_pool_stress_test \
+        svc_grid_cache_test svc_grid_cache_property_test \
+        svc_service_test sim_parallel_grid_test \
+        obs_metrics_test obs_snapshot_golden_test \
+        obs_instrumentation_test
+    ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid'
+fi
+
+echo "sanitize: all requested passes clean"

@@ -111,4 +111,17 @@ ArgParser::getInt(const std::string &name, long long fallback) const
     return value;
 }
 
+long long
+ArgParser::getInt(const std::string &name, long long fallback,
+                  long long min, long long max) const
+{
+    if (!has(name))
+        return fallback;
+    const long long value = getInt(name, fallback);
+    if (value < min || value > max)
+        fatal(program_, ": option --", name, " must be between ", min,
+              " and ", max, ", got ", value);
+    return value;
+}
+
 } // namespace mcdvfs

@@ -54,6 +54,19 @@ class ArgParser
     /** Option value as integer, or @c fallback when absent. */
     long long getInt(const std::string &name, long long fallback) const;
 
+    /**
+     * Option value as integer constrained to [min, max], or
+     * @c fallback when absent (the fallback is the caller's default
+     * and is not range-checked).
+     *
+     * Guards options like "--jobs N" where a stray 0 or negative value
+     * would otherwise be cast to an enormous unsigned count.
+     *
+     * @throws FatalError when a given value is outside [min, max].
+     */
+    long long getInt(const std::string &name, long long fallback,
+                     long long min, long long max) const;
+
     /** Positional arguments in order. */
     const std::vector<std::string> &positionals() const
     {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.hh"
+
 namespace mcdvfs
 {
 namespace exec
@@ -10,6 +12,40 @@ namespace exec
 
 namespace
 {
+
+/** Process-wide pool metrics (all live pools share them). */
+struct PoolMetrics
+{
+    obs::Counter submitted;
+    obs::Counter executed;
+    obs::Counter loops;
+    obs::Counter chunks;
+    obs::Histogram queueWaitNs;
+    obs::Histogram taskRunNs;
+    obs::Gauge workers;
+    obs::Gauge activeWorkers;
+
+    PoolMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        const auto latency = obs::MetricsRegistry::latencyBucketsNs();
+        submitted = reg.counter("exec.pool.tasks_submitted");
+        executed = reg.counter("exec.pool.tasks_executed");
+        loops = reg.counter("exec.pool.parallel_for_loops");
+        chunks = reg.counter("exec.pool.parallel_for_chunks");
+        queueWaitNs = reg.histogram("exec.pool.queue_wait_ns", latency);
+        taskRunNs = reg.histogram("exec.pool.task_run_ns", latency);
+        workers = reg.gauge("exec.pool.workers");
+        activeWorkers = reg.gauge("exec.pool.active_workers");
+    }
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics;
+    return metrics;
+}
 
 /** Shared bookkeeping of one parallelFor() invocation. */
 struct LoopState
@@ -58,6 +94,7 @@ ThreadPool::ThreadPool(std::size_t threads)
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
+    poolMetrics().workers.add(static_cast<std::int64_t>(threads));
 }
 
 ThreadPool::~ThreadPool()
@@ -69,6 +106,8 @@ ThreadPool::~ThreadPool()
     available_.notify_all();
     for (std::thread &worker : workers_)
         worker.join();
+    poolMetrics().workers.add(
+        -static_cast<std::int64_t>(workers_.size()));
 }
 
 std::size_t
@@ -78,20 +117,43 @@ ThreadPool::defaultThreads()
 }
 
 void
+ThreadPool::noteInlineTask()
+{
+    PoolMetrics &metrics = poolMetrics();
+    metrics.submitted.add(1);
+    metrics.executed.add(1);
+}
+
+void
 ThreadPool::enqueue(std::function<void()> task)
 {
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(QueuedTask{std::move(task), obs::metricsNow()});
     }
+    poolMetrics().submitted.add(1);
     available_.notify_one();
+}
+
+void
+ThreadPool::runTask(QueuedTask &task)
+{
+    PoolMetrics &metrics = poolMetrics();
+    metrics.queueWaitNs.record(obs::elapsedNs(task.enqueuedAt));
+    metrics.activeWorkers.add(1);
+    {
+        obs::ScopedTimer run_timer(metrics.taskRunNs);
+        task.fn();
+    }
+    metrics.activeWorkers.add(-1);
+    metrics.executed.add(1);
 }
 
 void
 ThreadPool::workerLoop()
 {
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             available_.wait(lock,
@@ -101,7 +163,7 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task();
+        runTask(task);
     }
 }
 
@@ -120,6 +182,9 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
     state->grain = grain;
     state->chunks = (end - begin + grain - 1) / grain;
     state->body = &body;
+
+    poolMetrics().loops.add(1);
+    poolMetrics().chunks.add(state->chunks);
 
     // One helper per worker is enough: each helper keeps claiming
     // chunks until none remain.  Helpers that arrive late (or never

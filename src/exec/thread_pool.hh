@@ -18,6 +18,7 @@
 #ifndef MCDVFS_EXEC_THREAD_POOL_HH
 #define MCDVFS_EXEC_THREAD_POOL_HH
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -75,6 +76,7 @@ class ThreadPool
         std::future<Result> future = task->get_future();
         if (workers_.empty()) {
             (*task)();
+            noteInlineTask();
             return future;
         }
         enqueue([task] { (*task)(); });
@@ -93,11 +95,22 @@ class ThreadPool
                      std::size_t grain = 1);
 
   private:
+    /** A queued task plus its enqueue time (queue-wait metric). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        std::chrono::steady_clock::time_point enqueuedAt;
+    };
+
     void enqueue(std::function<void()> task);
+    void runTask(QueuedTask &task);
     void workerLoop();
 
+    /** Account a task that ran inline on the submitting thread. */
+    static void noteInlineTask();
+
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::mutex mutex_;
     std::condition_variable available_;
     bool stop_ = false;

@@ -1,0 +1,269 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+std::size_t
+threadStripe()
+{
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return stripe;
+}
+
+namespace detail
+{
+
+std::uint64_t
+CounterCells::total() const
+{
+    std::uint64_t sum = 0;
+    for (const StripedCell &cell : stripes)
+        sum += cell.value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void
+CounterCells::reset()
+{
+    for (StripedCell &cell : stripes)
+        cell.value.store(0, std::memory_order_relaxed);
+}
+
+HistogramCells::HistogramCells(std::vector<std::uint64_t> b)
+    : bounds(std::move(b))
+{
+    buckets.reserve(bounds.size() + 1);
+    for (std::size_t i = 0; i < bounds.size() + 1; ++i)
+        buckets.push_back(std::make_unique<CounterCells>());
+}
+
+void
+HistogramCells::record(std::uint64_t value)
+{
+    // Inclusive upper bounds: a value equal to bounds[i] counts in
+    // bucket i, anything above the last bound in the overflow bucket.
+    const std::size_t bucket = static_cast<std::size_t>(
+        std::lower_bound(bounds.begin(), bounds.end(), value) -
+        bounds.begin());
+    buckets[bucket]->add(1);
+    count.add(1);
+    sum.add(value);
+}
+
+void
+HistogramCells::reset()
+{
+    for (auto &bucket : buckets)
+        bucket->reset();
+    count.reset();
+    sum.reset();
+}
+
+} // namespace detail
+
+std::uint64_t
+Histogram::count() const
+{
+    return cells_ != nullptr ? cells_->count.total() : 0;
+}
+
+std::uint64_t
+Histogram::sum() const
+{
+    return cells_ != nullptr ? cells_->sum.total() : 0;
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto kind = kinds_.find(name);
+    if (kind != kinds_.end()) {
+        if (kind->second != Kind::CounterKind)
+            fatal("metrics: '", name, "' is already registered as a "
+                  "different metric kind");
+        return Counter(counters_.at(name).get());
+    }
+    kinds_.emplace(name, Kind::CounterKind);
+    auto cells = std::make_unique<detail::CounterCells>();
+    Counter handle(cells.get());
+    counters_.emplace(name, std::move(cells));
+    return handle;
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto kind = kinds_.find(name);
+    if (kind != kinds_.end()) {
+        if (kind->second != Kind::GaugeKind)
+            fatal("metrics: '", name, "' is already registered as a "
+                  "different metric kind");
+        return Gauge(gauges_.at(name).get());
+    }
+    kinds_.emplace(name, Kind::GaugeKind);
+    auto cells = std::make_unique<detail::GaugeCells>();
+    Gauge handle(cells.get());
+    gauges_.emplace(name, std::move(cells));
+    return handle;
+}
+
+Histogram
+MetricsRegistry::histogram(const std::string &name,
+                           const std::vector<std::uint64_t> &bounds)
+{
+    if (!std::is_sorted(bounds.begin(), bounds.end()))
+        fatal("metrics: histogram '", name,
+              "' bucket bounds must be ascending");
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto kind = kinds_.find(name);
+    if (kind != kinds_.end()) {
+        if (kind->second != Kind::HistogramKind)
+            fatal("metrics: '", name, "' is already registered as a "
+                  "different metric kind");
+        detail::HistogramCells *cells = histograms_.at(name).get();
+        if (cells->bounds != bounds)
+            fatal("metrics: histogram '", name,
+                  "' re-registered with different bucket bounds");
+        return Histogram(cells);
+    }
+    kinds_.emplace(name, Kind::HistogramKind);
+    auto cells = std::make_unique<detail::HistogramCells>(bounds);
+    Histogram handle(cells.get());
+    histograms_.emplace(name, std::move(cells));
+    return handle;
+}
+
+std::vector<std::uint64_t>
+MetricsRegistry::latencyBucketsNs()
+{
+    // Decades from 1 us to 1 s; sub-microsecond work lands in the
+    // first bucket, anything slower than a second in the overflow.
+    return {1'000ull,          10'000ull,        100'000ull,
+            1'000'000ull,      10'000'000ull,    100'000'000ull,
+            1'000'000'000ull};
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, cells] : counters_)
+        snap.counters.emplace_back(name, cells->total());
+    snap.gauges.reserve(gauges_.size());
+    for (const auto &[name, cells] : gauges_)
+        snap.gauges.emplace_back(
+            name, cells->value.load(std::memory_order_relaxed));
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, cells] : histograms_) {
+        MetricsSnapshot::HistogramView view;
+        view.name = name;
+        view.bounds = cells->bounds;
+        view.counts.reserve(cells->buckets.size());
+        for (const auto &bucket : cells->buckets)
+            view.counts.push_back(bucket->total());
+        view.count = cells->count.total();
+        view.sum = cells->sum.total();
+        snap.histograms.push_back(std::move(view));
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, cells] : counters_)
+        cells->reset();
+    for (auto &[name, cells] : gauges_)
+        cells->value.store(0, std::memory_order_relaxed);
+    for (auto &[name, cells] : histograms_)
+        cells->reset();
+}
+
+namespace
+{
+
+template <typename T>
+void
+writeScalarSection(std::ostringstream &out, const char *section,
+                   const std::vector<std::pair<std::string, T>> &values)
+{
+    out << "  \"" << section << "\": {";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        out << (i == 0 ? "\n" : ",\n") << "    \"" << values[i].first
+            << "\": " << values[i].second;
+    }
+    out << (values.empty() ? "}" : "\n  }");
+}
+
+void
+writeList(std::ostringstream &out, const std::vector<std::uint64_t> &v)
+{
+    out << "[";
+    for (std::size_t i = 0; i < v.size(); ++i)
+        out << (i == 0 ? "" : ", ") << v[i];
+    out << "]";
+}
+
+} // namespace
+
+std::string
+toJson(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"mcdvfs-metrics-v1\",\n";
+    writeScalarSection(out, "counters", snapshot.counters);
+    out << ",\n";
+    writeScalarSection(out, "gauges", snapshot.gauges);
+    out << ",\n";
+    out << "  \"histograms\": {";
+    for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+        const MetricsSnapshot::HistogramView &h = snapshot.histograms[i];
+        out << (i == 0 ? "\n" : ",\n") << "    \"" << h.name
+            << "\": {\"bounds\": ";
+        writeList(out, h.bounds);
+        out << ", \"counts\": ";
+        writeList(out, h.counts);
+        out << ", \"count\": " << h.count << ", \"sum\": " << h.sum
+            << "}";
+    }
+    out << (snapshot.histograms.empty() ? "}" : "\n  }") << "\n";
+    out << "}\n";
+    return out.str();
+}
+
+void
+writeMetricsJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("metrics json: cannot open ", path, " for writing");
+    out << toJson(MetricsRegistry::global().snapshot());
+    if (!out)
+        fatal("metrics json: failed writing ", path);
+}
+
+} // namespace obs
+} // namespace mcdvfs

@@ -1,9 +1,62 @@
 #include "runtime/tuning_loop.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace mcdvfs
 {
+
+namespace
+{
+
+/**
+ * Process-wide re-tune ledger: how many tuning events and setting
+ * transitions the simulated schedules took, and the cumulative §VI-C
+ * overhead they were charged (the paper's 500 us + 30 uJ per event),
+ * in integer nanoseconds / nanojoules of simulated time and energy.
+ */
+struct TuningMetrics
+{
+    obs::Counter evaluations;
+    obs::Counter events;
+    obs::Counter transitions;
+    obs::Counter overheadTimeNs;
+    obs::Counter overheadEnergyNj;
+    obs::Counter budgetViolations;
+
+    TuningMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        evaluations = reg.counter("runtime.tuning.evaluations");
+        events = reg.counter("runtime.tuning.events");
+        transitions = reg.counter("runtime.tuning.transitions");
+        overheadTimeNs = reg.counter("runtime.tuning.overhead_time_ns");
+        overheadEnergyNj =
+            reg.counter("runtime.tuning.overhead_energy_nj");
+        budgetViolations =
+            reg.counter("runtime.tuning.budget_violations");
+    }
+};
+
+TuningMetrics &
+tuningMetrics()
+{
+    static TuningMetrics metrics;
+    return metrics;
+}
+
+/** Non-negative seconds/joules to integer nano-units. */
+std::uint64_t
+toNano(double value)
+{
+    return value > 0.0
+               ? static_cast<std::uint64_t>(std::llround(value * 1e9))
+               : 0;
+}
+
+} // namespace
 
 TuningLoop::TuningLoop(const ClusterFinder &clusters,
                        const StableRegionFinder &regions,
@@ -44,6 +97,14 @@ TuningLoop::evaluate(const std::string &policy,
     result.budgetViolationFrac =
         static_cast<double>(violations) /
         static_cast<double>(sequence.size());
+
+    TuningMetrics &metrics = tuningMetrics();
+    metrics.evaluations.add(1);
+    metrics.events.add(tuning_events);
+    metrics.transitions.add(result.transitions);
+    metrics.overheadTimeNs.add(toNano(overhead.latency));
+    metrics.overheadEnergyNj.add(toNano(overhead.energy));
+    metrics.budgetViolations.add(violations);
     return result;
 }
 

@@ -1,12 +1,45 @@
 #include "sched/scheduler.hh"
 
+#include <cmath>
+
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace mcdvfs
 {
 
 namespace
 {
+
+/** Process-wide scheduler metrics (simulated device accounting). */
+struct SchedMetrics
+{
+    obs::Counter runs;
+    obs::Counter samplesExecuted;
+    obs::Counter contextSwitches;
+    obs::Counter frequencyTransitions;
+    obs::Counter transitionTimeNs;
+    obs::Counter transitionEnergyNj;
+
+    SchedMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        runs = reg.counter("sched.runs");
+        samplesExecuted = reg.counter("sched.samples_executed");
+        contextSwitches = reg.counter("sched.context_switches");
+        frequencyTransitions =
+            reg.counter("sched.frequency_transitions");
+        transitionTimeNs = reg.counter("sched.transition_time_ns");
+        transitionEnergyNj = reg.counter("sched.transition_energy_nj");
+    }
+};
+
+SchedMetrics &
+schedMetrics()
+{
+    static SchedMetrics metrics;
+    return metrics;
+}
 
 /** Precomputed per-app execution plan. */
 struct AppPlan
@@ -78,6 +111,7 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
     FrequencySetting hardware{};
     bool hardware_known = false;
     std::size_t last_app = apps.size();  // sentinel: none yet
+    Joules transition_energy = 0.0;
 
     // Run one sample of one app, paying any frequency transition.
     auto step = [&](std::size_t app_idx) {
@@ -99,6 +133,7 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
                 result.makespan += cost.latency;
                 result.transitionLatency += cost.latency;
                 result.totalEnergy += cost.energy;
+                transition_energy += cost.energy;
                 ++result.frequencyTransitions;
             }
             hardware = wanted;
@@ -137,6 +172,25 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
         result.apps[i].achievedInefficiency =
             result.apps[i].energy / plans[i].eminSum;
     }
+
+    SchedMetrics &metrics = schedMetrics();
+    metrics.runs.add(1);
+    std::size_t total_samples = 0;
+    for (const AppOutcome &outcome : result.apps)
+        total_samples += outcome.samples;
+    metrics.samplesExecuted.add(total_samples);
+    metrics.contextSwitches.add(result.contextSwitches);
+    metrics.frequencyTransitions.add(result.frequencyTransitions);
+    metrics.transitionTimeNs.add(
+        result.transitionLatency > 0.0
+            ? static_cast<std::uint64_t>(
+                  std::llround(result.transitionLatency * 1e9))
+            : 0);
+    metrics.transitionEnergyNj.add(
+        transition_energy > 0.0
+            ? static_cast<std::uint64_t>(
+                  std::llround(transition_energy * 1e9))
+            : 0);
     return result;
 }
 

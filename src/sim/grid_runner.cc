@@ -6,9 +6,45 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
 
 namespace mcdvfs
 {
+
+namespace
+{
+
+/** Process-wide grid-build metrics (table kernel path). */
+struct GridMetrics
+{
+    obs::Counter builds;
+    obs::Counter samples;
+    obs::Counter cells;
+    obs::Counter fixedPointIters;
+    obs::Histogram buildNs;
+
+    GridMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        builds = reg.counter("sim.grid.builds");
+        samples = reg.counter("sim.grid.samples_evaluated");
+        cells = reg.counter("sim.grid.cells_evaluated");
+        fixedPointIters =
+            reg.counter("sim.grid.fixed_point_iterations");
+        buildNs = reg.histogram(
+            "sim.grid.build_ns",
+            obs::MetricsRegistry::latencyBucketsNs());
+    }
+};
+
+GridMetrics &
+gridMetrics()
+{
+    static GridMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 GridRunner::GridRunner(const SystemConfig &config)
     : config_(config), timingModel_(config.timing),
@@ -50,6 +86,7 @@ GridRunner::runWithProfiles(const std::string &workload_name,
                             const SettingsSpace &space,
                             Count instructions_per_sample)
 {
+    const obs::Clock::time_point build_start = obs::metricsNow();
     MeasuredGrid grid(workload_name, space, profiles.size(),
                       instructions_per_sample);
     const Tables tables = buildTables(workload_name, space);
@@ -68,6 +105,12 @@ GridRunner::runWithProfiles(const std::string &workload_name,
     }
     grid.sealAggregates();
     grid.setProfiles(profiles);
+
+    GridMetrics &metrics = gridMetrics();
+    metrics.buildNs.record(obs::elapsedNs(build_start));
+    metrics.builds.add(1);
+    metrics.samples.add(profiles.size());
+    metrics.cells.add(profiles.size() * space.size());
     return grid;
 }
 
@@ -232,6 +275,17 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
                 background_power * t + de.activateEnergy * activates_d +
                 (de.readEnergy * reads_d + de.writeEnergy * writes_d);
         }
+    }
+
+    // Fixed-point work accounting: the bandwidth branch runs the
+    // damped iteration fixedPointIterations times over every
+    // (cpu step, mem step) strip element.  Tallied per sample — one
+    // atomic add, nothing in the vectorized loops.
+    if (has_dram_time && tp.modelBandwidth) {
+        gridMetrics().fixedPointIters.add(
+            cpu_steps.size() * mem_steps *
+            static_cast<std::size_t>(
+                std::max(0, tp.fixedPointIterations)));
     }
 
     if (config_.measurementNoise > 0.0) {

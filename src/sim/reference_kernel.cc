@@ -4,12 +4,38 @@
 
 #include "common/hash.hh"
 #include "common/rng.hh"
+#include "obs/metrics.hh"
 
 namespace mcdvfs
 {
 
 namespace
 {
+
+/** Process-wide reference-path metrics (kernel-vs-reference split). */
+struct ReferenceMetrics
+{
+    obs::Counter builds;
+    obs::Counter cells;
+    obs::Histogram buildNs;
+
+    ReferenceMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        builds = reg.counter("sim.reference.builds");
+        cells = reg.counter("sim.reference.cells_evaluated");
+        buildNs = reg.histogram(
+            "sim.reference.build_ns",
+            obs::MetricsRegistry::latencyBucketsNs());
+    }
+};
+
+ReferenceMetrics &
+referenceMetrics()
+{
+    static ReferenceMetrics metrics;
+    return metrics;
+}
 
 /** Deterministic per-cell seed mixing workload, sample and setting. */
 std::uint64_t
@@ -99,6 +125,7 @@ referenceGridWithProfiles(const SystemConfig &config,
                           Count instructions_per_sample,
                           exec::ThreadPool *pool)
 {
+    const obs::Clock::time_point build_start = obs::metricsNow();
     const TimingModel timing_model(config.timing);
     const CpuPowerModel cpu_power(config.cpuPower, VoltageCurve::paperCpu());
     const DramPowerModel dram_power(config.dramPower,
@@ -121,6 +148,11 @@ referenceGridWithProfiles(const SystemConfig &config,
 
     grid.sealAggregates();
     grid.setProfiles(profiles);
+
+    ReferenceMetrics &metrics = referenceMetrics();
+    metrics.buildNs.record(obs::elapsedNs(build_start));
+    metrics.builds.add(1);
+    metrics.cells.add(profiles.size() * space.size());
     return grid;
 }
 

@@ -3,12 +3,50 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 #include "svc/fingerprint.hh"
 
 namespace mcdvfs
 {
 namespace svc
 {
+
+namespace
+{
+
+/** Process-wide service metrics (all instances share them). */
+struct ServiceMetrics
+{
+    obs::Counter requests;
+    obs::Counter batches;
+    obs::Counter gridBuilds;
+    obs::Counter coalescedWaits;
+    obs::Gauge inflightBuilds;
+    obs::Histogram submitNs;
+    obs::Histogram buildNs;
+
+    ServiceMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        const auto latency = obs::MetricsRegistry::latencyBucketsNs();
+        requests = reg.counter("svc.service.requests");
+        batches = reg.counter("svc.service.batches");
+        gridBuilds = reg.counter("svc.service.grid_builds");
+        coalescedWaits = reg.counter("svc.service.coalesced_waits");
+        inflightBuilds = reg.gauge("svc.service.inflight_builds");
+        submitNs = reg.histogram("svc.service.submit_ns", latency);
+        buildNs = reg.histogram("svc.service.build_ns", latency);
+    }
+};
+
+ServiceMetrics &
+serviceMetrics()
+{
+    static ServiceMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 CharacterizationService::CharacterizationService(const SystemConfig &config,
                                                  const Options &options)
@@ -56,20 +94,26 @@ CharacterizationService::gridFor(const WorkloadProfile &workload,
         }
     }
     if (watch.valid()) {
+        serviceMetrics().coalescedWaits.add(1);
         cache_hit = true;
         return watch.get();
     }
 
+    serviceMetrics().inflightBuilds.add(1);
     try {
+        const obs::Clock::time_point build_start = obs::metricsNow();
         GridRunner runner(config_);
         runner.setThreadPool(&pool_);
         auto grid = std::make_shared<const MeasuredGrid>(
             runner.run(workload, space));
+        serviceMetrics().buildNs.record(obs::elapsedNs(build_start));
+        serviceMetrics().gridBuilds.add(1);
         cache_.insert(key, grid);
         {
             std::lock_guard<std::mutex> lock(inflightMutex_);
             inflight_.erase(digest);
         }
+        serviceMetrics().inflightBuilds.add(-1);
         promise.set_value(grid);
         cache_hit = false;
         return grid;
@@ -78,6 +122,7 @@ CharacterizationService::gridFor(const WorkloadProfile &workload,
             std::lock_guard<std::mutex> lock(inflightMutex_);
             inflight_.erase(digest);
         }
+        serviceMetrics().inflightBuilds.add(-1);
         promise.set_exception(std::current_exception());
         throw;
     }
@@ -109,6 +154,8 @@ CharacterizationService::analyze(const TuningRequest &request,
 TuningResult
 CharacterizationService::submit(const TuningRequest &request)
 {
+    obs::ScopedTimer submit_timer(serviceMetrics().submitNs);
+    serviceMetrics().requests.add(1);
     bool cache_hit = false;
     auto grid = gridFor(request.workload, request.space, cache_hit);
     return analyze(request, std::move(grid), cache_hit);
@@ -119,6 +166,9 @@ CharacterizationService::submitBatch(
     const std::vector<TuningRequest> &requests)
 {
     std::vector<TuningResult> results(requests.size());
+    serviceMetrics().batches.add(1);
+    serviceMetrics().requests.add(requests.size());
+    const obs::Clock::time_point batch_start = obs::metricsNow();
 
     // Group requests sharing a grid so each distinct characterization
     // runs exactly once, then fan the groups out across the pool.
@@ -134,7 +184,7 @@ CharacterizationService::submitBatch(
     pending.reserve(groups.size());
     for (const auto &[digest, members] : groups) {
         pending.push_back(pool_.submit([this, &requests, &results,
-                                        &members] {
+                                        &members, batch_start] {
             bool cache_hit = false;
             auto grid = gridFor(requests[members.front()].workload,
                                 requests[members.front()].space,
@@ -144,6 +194,9 @@ CharacterizationService::submitBatch(
                 // Later members of the group reuse the first build.
                 results[i] =
                     analyze(requests[i], grid, j == 0 ? cache_hit : true);
+                // Submit-to-complete latency of each batch member.
+                serviceMetrics().submitNs.record(
+                    obs::elapsedNs(batch_start));
             }
         }));
     }

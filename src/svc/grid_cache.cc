@@ -1,11 +1,44 @@
 #include "svc/grid_cache.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace mcdvfs
 {
 namespace svc
 {
+
+namespace
+{
+
+/** Process-wide cache metrics (all GridCache instances share them). */
+struct CacheMetrics
+{
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter evictions;
+    obs::Counter inserts;
+    obs::Gauge entries;
+
+    CacheMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        hits = reg.counter("svc.cache.hits");
+        misses = reg.counter("svc.cache.misses");
+        evictions = reg.counter("svc.cache.evictions");
+        inserts = reg.counter("svc.cache.inserts");
+        entries = reg.gauge("svc.cache.entries");
+    }
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 std::uint64_t
 GridKey::combined() const
@@ -28,12 +61,28 @@ GridCache::GridCache(std::size_t capacity, std::size_t shards)
     if (shards == 0)
         fatal("GridCache shard count must be at least 1");
     // More shards than entries would leave shards that can never hold
-    // anything; cap so every shard has capacity >= 1.
+    // anything; cap so every shard has capacity >= 1.  The capacity is
+    // then distributed exactly — remainder entries go to the first
+    // shards — so the shard capacities sum to the configured total and
+    // the cache can never hold more grids than asked for.
     shards = std::min(shards, capacity);
-    shardCapacity_ = (capacity + shards - 1) / shards;
+    const std::size_t base = capacity / shards;
+    const std::size_t remainder = capacity % shards;
     shards_.reserve(shards);
-    for (std::size_t i = 0; i < shards; ++i)
-        shards_.push_back(std::make_unique<Shard>());
+    for (std::size_t i = 0; i < shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->capacity = base + (i < remainder ? 1 : 0);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+GridCache::~GridCache()
+{
+    // Return this instance's resident entries to the global gauge.
+    std::size_t resident = 0;
+    for (const auto &shard : shards_)
+        resident += shard->lru.size();
+    cacheMetrics().entries.add(-static_cast<std::int64_t>(resident));
 }
 
 GridCache::Shard &
@@ -50,10 +99,12 @@ GridCache::find(const GridKey &key)
     const auto it = shard.index.find(key.combined());
     if (it == shard.index.end() || !(it->second->key == key)) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().misses.add(1);
         return nullptr;
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     hits_.fetch_add(1, std::memory_order_relaxed);
+    cacheMetrics().hits.add(1);
     return it->second->grid;
 }
 
@@ -64,20 +115,24 @@ GridCache::insert(const GridKey &key,
     Shard &shard = shardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
     const std::uint64_t digest = key.combined();
+    cacheMetrics().inserts.add(1);
     const auto it = shard.index.find(digest);
     if (it != shard.index.end()) {
         it->second->grid = std::move(grid);
         shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
         return;
     }
-    if (shard.lru.size() >= shardCapacity_) {
+    if (shard.lru.size() >= shard.capacity) {
         const Entry &victim = shard.lru.back();
         shard.index.erase(victim.key.combined());
         shard.lru.pop_back();
         evictions_.fetch_add(1, std::memory_order_relaxed);
+        cacheMetrics().evictions.add(1);
+        cacheMetrics().entries.add(-1);
     }
     shard.lru.push_front(Entry{key, std::move(grid)});
     shard.index.emplace(digest, shard.lru.begin());
+    cacheMetrics().entries.add(1);
 }
 
 void
@@ -85,6 +140,8 @@ GridCache::clear()
 {
     for (auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
+        cacheMetrics().entries.add(
+            -static_cast<std::int64_t>(shard->lru.size()));
         shard->lru.clear();
         shard->index.clear();
     }

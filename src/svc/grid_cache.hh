@@ -67,10 +67,13 @@ class GridCache
     /**
      * @param capacity maximum cached grids across all shards (>= 1)
      * @param shards number of independently locked shards (>= 1);
-     *        capacity is spread evenly, rounding up per shard
+     *        per-shard capacities sum exactly to @c capacity, so the
+     *        cache never holds more grids than configured
      * @throws FatalError for a zero capacity or shard count
      */
     explicit GridCache(std::size_t capacity, std::size_t shards = 8);
+
+    ~GridCache();
 
     /**
      * Look up a grid, refreshing its LRU position.  Counts a hit or a
@@ -103,6 +106,9 @@ class GridCache
     struct Shard
     {
         std::mutex mutex;
+        /** Entries this shard may hold (shard capacities sum to
+         *  the cache capacity). */
+        std::size_t capacity = 1;
         /** Front = most recently used. */
         std::list<Entry> lru;
         std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
@@ -112,7 +118,6 @@ class GridCache
     Shard &shardFor(const GridKey &key);
 
     std::size_t capacity_;
-    std::size_t shardCapacity_;
     std::vector<std::unique_ptr<Shard>> shards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};

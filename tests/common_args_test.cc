@@ -65,6 +65,47 @@ TEST(ArgParser, NumericConversions)
     EXPECT_EQ(ints.getInt("n", 0), 42);
 }
 
+TEST(ArgParser, BoundedIntInRange)
+{
+    ArgParser args("test");
+    args.addOption("jobs");
+    args.parse({"--jobs", "8"});
+    EXPECT_EQ(args.getInt("jobs", 1, 1, 1024), 8);
+    EXPECT_EQ(args.getInt("jobs", 1, 8, 8), 8);
+}
+
+TEST(ArgParser, BoundedIntBelowMinThrows)
+{
+    ArgParser args("test");
+    args.addOption("jobs");
+    args.parse({"--jobs", "0"});
+    EXPECT_THROW(args.getInt("jobs", 1, 1, 1024), FatalError);
+
+    ArgParser negative("test");
+    negative.addOption("jobs");
+    negative.parse({"--jobs", "-3"});
+    EXPECT_THROW(negative.getInt("jobs", 1, 1, 1024), FatalError);
+}
+
+TEST(ArgParser, BoundedIntAboveMaxThrows)
+{
+    ArgParser args("test");
+    args.addOption("jobs");
+    args.parse({"--jobs", "4096"});
+    EXPECT_THROW(args.getInt("jobs", 1, 1, 1024), FatalError);
+}
+
+TEST(ArgParser, BoundedIntAbsentReturnsFallbackUnchecked)
+{
+    // The fallback is the caller's default and is deliberately not
+    // range-checked, so callers may use sentinel defaults outside
+    // the range they accept from users.
+    ArgParser args("test");
+    args.addOption("jobs");
+    args.parse({"cmd"});
+    EXPECT_EQ(args.getInt("jobs", 0, 1, 1024), 0);
+}
+
 TEST(ArgParser, BadNumberThrows)
 {
     ArgParser args = parser();

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * ThreadPool stress tests (ctest label "stress"): nested parallelFor
+ * from worker tasks, exception propagation under load, destruction
+ * with tasks still queued, and a many-submitter soak.  Sizes are
+ * modest enough for a single-core CI machine; all randomness is
+ * seeded so failures reproduce.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <random>
+#include <stdexcept>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(ThreadPoolStress, NestedParallelForFromWorkerTasks)
+{
+    // Tasks on the pool each run their own parallelFor over the same
+    // workers; the caller-participates design must keep making
+    // progress even when every worker is blocked inside a nested loop.
+    exec::ThreadPool pool(3);
+    constexpr std::size_t kOuter = 16;
+    constexpr std::size_t kInner = 64;
+    std::atomic<std::uint64_t> sum{0};
+
+    std::vector<std::future<void>> tasks;
+    tasks.reserve(kOuter);
+    for (std::size_t t = 0; t < kOuter; ++t) {
+        tasks.push_back(pool.submit([&pool, &sum] {
+            pool.parallelFor(
+                0, kInner,
+                [&sum](std::size_t i) {
+                    sum.fetch_add(i, std::memory_order_relaxed);
+                },
+                /*grain=*/4);
+        }));
+    }
+    for (std::future<void> &task : tasks)
+        task.get();
+
+    // Each nested loop contributes sum(0..kInner-1).
+    EXPECT_EQ(sum.load(), kOuter * (kInner * (kInner - 1) / 2));
+}
+
+TEST(ThreadPoolStress, DeeplyNestedParallelForTerminates)
+{
+    exec::ThreadPool pool(2);
+    std::atomic<std::uint64_t> leaves{0};
+    pool.parallelFor(0, 4, [&](std::size_t) {
+        pool.parallelFor(0, 4, [&](std::size_t) {
+            pool.parallelFor(0, 4,
+                             [&](std::size_t) { ++leaves; });
+        });
+    });
+    EXPECT_EQ(leaves.load(), 64u);
+}
+
+TEST(ThreadPoolStress, SubmitPropagatesExceptionsUnderLoad)
+{
+    exec::ThreadPool pool(2);
+    constexpr int kTasks = 60;
+    std::vector<std::future<int>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([i]() -> int {
+            if (i % 5 == 0)
+                throw std::runtime_error("task " + std::to_string(i));
+            return i;
+        }));
+    }
+    for (int i = 0; i < kTasks; ++i) {
+        if (i % 5 == 0)
+            EXPECT_THROW(futures[i].get(), std::runtime_error);
+        else
+            EXPECT_EQ(futures[i].get(), i);
+    }
+}
+
+TEST(ThreadPoolStress, ParallelForRethrowsButFinishesTheRange)
+{
+    exec::ThreadPool pool(2);
+    constexpr std::size_t kRange = 200;
+    std::atomic<std::size_t> visited{0};
+    EXPECT_THROW(
+        pool.parallelFor(0, kRange,
+                         [&](std::size_t i) {
+                             ++visited;
+                             if (i == 17)
+                                 throw std::runtime_error("boom");
+                         }),
+        std::runtime_error);
+    // The documented contract: the first exception is rethrown after
+    // the rest of the range still ran to completion.
+    EXPECT_EQ(visited.load(), kRange);
+}
+
+TEST(ThreadPoolStress, DestructionDrainsQueuedTasks)
+{
+    std::atomic<int> ran{0};
+    {
+        exec::ThreadPool pool(2);
+        for (int i = 0; i < 40; ++i) {
+            // Discard the futures: destruction must still run every
+            // queued task to completion before joining.
+            pool.submit([&ran] { ++ran; });
+        }
+    }
+    EXPECT_EQ(ran.load(), 40);
+}
+
+TEST(ThreadPoolStress, ManySubmitterSoak)
+{
+    // Several client threads hammer one pool with small tasks whose
+    // payloads come from per-thread deterministic RNGs; the checksum
+    // over all results must match a serial replay.
+    exec::ThreadPool pool(2);
+    constexpr std::size_t kClients = 4;
+    constexpr std::size_t kTasksPerClient = 250;
+
+    std::atomic<std::uint64_t> checksum{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&pool, &checksum, c] {
+            std::mt19937_64 rng(1234 + c);  // deterministic seed
+            std::vector<std::future<std::uint64_t>> futures;
+            futures.reserve(kTasksPerClient);
+            for (std::size_t t = 0; t < kTasksPerClient; ++t) {
+                const std::uint64_t payload = rng();
+                futures.push_back(pool.submit(
+                    [payload] { return payload ^ (payload >> 13); }));
+            }
+            for (auto &future : futures)
+                checksum.fetch_add(future.get(),
+                                   std::memory_order_relaxed);
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+
+    std::uint64_t expected = 0;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        std::mt19937_64 rng(1234 + c);
+        for (std::size_t t = 0; t < kTasksPerClient; ++t) {
+            const std::uint64_t payload = rng();
+            expected += payload ^ (payload >> 13);
+        }
+    }
+    EXPECT_EQ(checksum.load(), expected);
+}
+
+TEST(ThreadPoolStress, MixedParallelForShapes)
+{
+    // Sweep degenerate and awkward shapes: empty ranges, grain larger
+    // than the range, grain zero (clamped to 1), single elements.
+    exec::ThreadPool pool(2);
+    const std::size_t shapes[][3] = {
+        {0, 0, 1},  {5, 5, 3},   {0, 1, 1},  {0, 7, 100},
+        {3, 17, 0}, {0, 128, 7}, {2, 66, 1},
+    };
+    for (const auto &shape : shapes) {
+        const std::size_t begin = shape[0], end = shape[1],
+                          grain = shape[2];
+        std::atomic<std::uint64_t> sum{0};
+        pool.parallelFor(
+            begin, end,
+            [&](std::size_t i) {
+                sum.fetch_add(i, std::memory_order_relaxed);
+            },
+            grain);
+        std::uint64_t expected = 0;
+        for (std::size_t i = begin; i < end; ++i)
+            expected += i;
+        EXPECT_EQ(sum.load(), expected)
+            << "range [" << begin << ", " << end << ") grain " << grain;
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * End-to-end instrumentation tests: every counter, gauge and
+ * histogram the library registers is exercised here through the real
+ * code path that owns it, asserting before/after deltas against the
+ * process-wide registry.  The catalog lives in docs/OBSERVABILITY.md;
+ * a metric nobody can move here is a metric that should not exist.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "repro/analyses.hh"
+#include "runtime/tuning_loop.hh"
+#include "sched/scheduler.hh"
+#include "sim/reference_kernel.hh"
+#include "svc/characterization_service.hh"
+#include "svc/grid_cache.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+#define REQUIRE_METRICS_ON()                                           \
+    if (!obs::kMetricsEnabled)                                         \
+    GTEST_SKIP() << "metrics disabled in this build"
+
+/** Reads of the global registry by name (registration idempotent). */
+std::uint64_t
+counterValue(const char *name)
+{
+    return obs::MetricsRegistry::global().counter(name).value();
+}
+
+std::int64_t
+gaugeValue(const char *name)
+{
+    return obs::MetricsRegistry::global().gauge(name).value();
+}
+
+std::uint64_t
+histogramCount(const char *name)
+{
+    return obs::MetricsRegistry::global()
+        .histogram(name, obs::MetricsRegistry::latencyBucketsNs())
+        .count();
+}
+
+TEST(ObsInstrumentation, ThreadPoolSubmitAndWorkerGauges)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t submitted0 =
+        counterValue("exec.pool.tasks_submitted");
+    const std::uint64_t executed0 =
+        counterValue("exec.pool.tasks_executed");
+    const std::uint64_t waits0 = histogramCount("exec.pool.queue_wait_ns");
+    const std::uint64_t runs0 = histogramCount("exec.pool.task_run_ns");
+    const std::int64_t workers0 = gaugeValue("exec.pool.workers");
+
+    {
+        exec::ThreadPool pool(2);
+        EXPECT_EQ(gaugeValue("exec.pool.workers"), workers0 + 2);
+        std::vector<std::future<int>> futures;
+        for (int i = 0; i < 4; ++i)
+            futures.push_back(pool.submit([i] { return i; }));
+        for (int i = 0; i < 4; ++i)
+            EXPECT_EQ(futures[i].get(), i);
+    }
+
+    EXPECT_EQ(counterValue("exec.pool.tasks_submitted"), submitted0 + 4);
+    EXPECT_EQ(counterValue("exec.pool.tasks_executed"), executed0 + 4);
+    EXPECT_EQ(histogramCount("exec.pool.queue_wait_ns"), waits0 + 4);
+    EXPECT_EQ(histogramCount("exec.pool.task_run_ns"), runs0 + 4);
+    EXPECT_EQ(gaugeValue("exec.pool.workers"), workers0);
+    EXPECT_EQ(gaugeValue("exec.pool.active_workers"), 0);
+}
+
+TEST(ObsInstrumentation, ThreadPoolInlineSubmitCounts)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t submitted0 =
+        counterValue("exec.pool.tasks_submitted");
+    const std::uint64_t executed0 =
+        counterValue("exec.pool.tasks_executed");
+
+    exec::ThreadPool pool(0);
+    EXPECT_EQ(pool.submit([] { return 9; }).get(), 9);
+
+    EXPECT_EQ(counterValue("exec.pool.tasks_submitted"), submitted0 + 1);
+    EXPECT_EQ(counterValue("exec.pool.tasks_executed"), executed0 + 1);
+}
+
+TEST(ObsInstrumentation, ThreadPoolParallelForLoopAndChunkCounts)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t loops0 =
+        counterValue("exec.pool.parallel_for_loops");
+    const std::uint64_t chunks0 =
+        counterValue("exec.pool.parallel_for_chunks");
+
+    exec::ThreadPool pool(2);
+    std::atomic<std::size_t> touched{0};
+    pool.parallelFor(0, 10, [&](std::size_t) { ++touched; },
+                     /*grain=*/3);
+    EXPECT_EQ(touched.load(), 10u);
+
+    EXPECT_EQ(counterValue("exec.pool.parallel_for_loops"), loops0 + 1);
+    // ceil(10 / 3) = 4 chunks.
+    EXPECT_EQ(counterValue("exec.pool.parallel_for_chunks"),
+              chunks0 + 4);
+}
+
+TEST(ObsInstrumentation, GridCacheCountersAndEntriesGauge)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t hits0 = counterValue("svc.cache.hits");
+    const std::uint64_t misses0 = counterValue("svc.cache.misses");
+    const std::uint64_t evictions0 = counterValue("svc.cache.evictions");
+    const std::uint64_t inserts0 = counterValue("svc.cache.inserts");
+    const std::int64_t entries0 = gaugeValue("svc.cache.entries");
+
+    auto grid = std::make_shared<const MeasuredGrid>(
+        "g", SettingsSpace::coarse(), 4, 10'000'000);
+    {
+        svc::GridCache cache(1, /*shards=*/1);
+        EXPECT_EQ(cache.find(svc::GridKey{1, 1, 1}), nullptr);  // miss
+        cache.insert(svc::GridKey{1, 1, 1}, grid);
+        EXPECT_NE(cache.find(svc::GridKey{1, 1, 1}), nullptr);  // hit
+        cache.insert(svc::GridKey{2, 1, 1}, grid);              // evicts
+        EXPECT_EQ(gaugeValue("svc.cache.entries"), entries0 + 1);
+    }
+
+    EXPECT_EQ(counterValue("svc.cache.hits"), hits0 + 1);
+    EXPECT_EQ(counterValue("svc.cache.misses"), misses0 + 1);
+    EXPECT_EQ(counterValue("svc.cache.evictions"), evictions0 + 1);
+    EXPECT_EQ(counterValue("svc.cache.inserts"), inserts0 + 2);
+    // The destructor returns resident entries to the gauge.
+    EXPECT_EQ(gaugeValue("svc.cache.entries"), entries0);
+}
+
+TEST(ObsInstrumentation, ServiceRequestBatchAndBuildCounters)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t requests0 = counterValue("svc.service.requests");
+    const std::uint64_t batches0 = counterValue("svc.service.batches");
+    const std::uint64_t builds0 =
+        counterValue("svc.service.grid_builds");
+    const std::uint64_t hits0 = counterValue("svc.cache.hits");
+    const std::uint64_t submits0 =
+        histogramCount("svc.service.submit_ns");
+    const std::uint64_t buildNs0 = histogramCount("svc.service.build_ns");
+
+    svc::CharacterizationService service(test::fastSystemConfig());
+    const svc::TuningRequest request{test::steadyWorkload(),
+                                     SettingsSpace::coarse(), 1.3, 0.03};
+    service.submit(request);
+    service.submit(request);  // same fingerprint: cache hit
+    service.submitBatch({request, request});
+
+    EXPECT_EQ(counterValue("svc.service.requests"), requests0 + 4);
+    EXPECT_EQ(counterValue("svc.service.batches"), batches0 + 1);
+    EXPECT_EQ(counterValue("svc.service.grid_builds"), builds0 + 1);
+    EXPECT_EQ(counterValue("svc.cache.hits"), hits0 + 2);
+    EXPECT_EQ(histogramCount("svc.service.submit_ns"), submits0 + 4);
+    EXPECT_EQ(histogramCount("svc.service.build_ns"), buildNs0 + 1);
+    EXPECT_EQ(gaugeValue("svc.service.inflight_builds"), 0);
+}
+
+TEST(ObsInstrumentation, ServiceCoalescesConcurrentIdenticalBuilds)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t builds0 =
+        counterValue("svc.service.grid_builds");
+    const std::uint64_t hits0 = counterValue("svc.cache.hits");
+    const std::uint64_t coalesced0 =
+        counterValue("svc.service.coalesced_waits");
+
+    svc::CharacterizationService service(test::fastSystemConfig(),
+                                         svc::ServiceOptions{4, 32, 8});
+    constexpr std::size_t kThreads = 8;
+    std::mutex mutex;
+    std::condition_variable gate;
+    std::size_t arrived = 0;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            {
+                // Barrier: maximize the chance of concurrent lookups.
+                std::unique_lock<std::mutex> lock(mutex);
+                if (++arrived == kThreads)
+                    gate.notify_all();
+                else
+                    gate.wait(lock,
+                              [&] { return arrived == kThreads; });
+            }
+            EXPECT_NE(service.grid(test::steadyWorkload(),
+                                   SettingsSpace::coarse()),
+                      nullptr);
+        });
+    }
+    for (std::thread &thread : threads)
+        thread.join();
+
+    // Exactly one build; the other seven either hit the cache (build
+    // already inserted) or coalesced onto the in-flight future.
+    EXPECT_EQ(counterValue("svc.service.grid_builds"), builds0 + 1);
+    EXPECT_EQ((counterValue("svc.cache.hits") - hits0) +
+                  (counterValue("svc.service.coalesced_waits") -
+                   coalesced0),
+              kThreads - 1);
+    EXPECT_EQ(gaugeValue("svc.service.inflight_builds"), 0);
+}
+
+TEST(ObsInstrumentation, GridRunnerBuildAndCellCounters)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t builds0 = counterValue("sim.grid.builds");
+    const std::uint64_t samples0 =
+        counterValue("sim.grid.samples_evaluated");
+    const std::uint64_t cells0 =
+        counterValue("sim.grid.cells_evaluated");
+    const std::uint64_t iters0 =
+        counterValue("sim.grid.fixed_point_iterations");
+    const std::uint64_t buildNs0 = histogramCount("sim.grid.build_ns");
+
+    GridRunner runner(test::fastSystemConfig());
+    const SettingsSpace space = SettingsSpace::coarse();
+    const MeasuredGrid grid =
+        runner.run(test::phasedWorkload(), space);
+
+    EXPECT_EQ(counterValue("sim.grid.builds"), builds0 + 1);
+    EXPECT_EQ(counterValue("sim.grid.samples_evaluated"),
+              samples0 + grid.sampleCount());
+    EXPECT_EQ(counterValue("sim.grid.cells_evaluated"),
+              cells0 + grid.sampleCount() * space.size());
+    // The phased workload misses in DRAM and the default timing model
+    // iterates the bandwidth fixed point, so iterations accumulate.
+    EXPECT_GT(counterValue("sim.grid.fixed_point_iterations"), iters0);
+    EXPECT_EQ(histogramCount("sim.grid.build_ns"), buildNs0 + 1);
+}
+
+TEST(ObsInstrumentation, ReferenceKernelCounters)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t builds0 = counterValue("sim.reference.builds");
+    const std::uint64_t cells0 =
+        counterValue("sim.reference.cells_evaluated");
+    const std::uint64_t buildNs0 =
+        histogramCount("sim.reference.build_ns");
+
+    const SystemConfig config = test::fastSystemConfig();
+    const WorkloadProfile workload = test::steadyWorkload();
+    SampleSimulator simulator(config.sampler);
+    const std::vector<SampleProfile> profiles =
+        simulator.characterize(workload);
+    const SettingsSpace space = SettingsSpace::coarse();
+    const MeasuredGrid grid = referenceGridWithProfiles(
+        config, workload.name(), profiles, space,
+        workload.modeledInstructionsPerSample());
+
+    EXPECT_EQ(counterValue("sim.reference.builds"), builds0 + 1);
+    EXPECT_EQ(counterValue("sim.reference.cells_evaluated"),
+              cells0 + grid.sampleCount() * space.size());
+    EXPECT_EQ(histogramCount("sim.reference.build_ns"), buildNs0 + 1);
+}
+
+TEST(ObsInstrumentation, TuningLoopOverheadLedger)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t evals0 =
+        counterValue("runtime.tuning.evaluations");
+    const std::uint64_t events0 = counterValue("runtime.tuning.events");
+    const std::uint64_t transitions0 =
+        counterValue("runtime.tuning.transitions");
+    const std::uint64_t timeNs0 =
+        counterValue("runtime.tuning.overhead_time_ns");
+    const std::uint64_t energyNj0 =
+        counterValue("runtime.tuning.overhead_energy_nj");
+    const std::uint64_t violations0 =
+        counterValue("runtime.tuning.budget_violations");
+
+    GridAnalyses analyses(test::phasedGrid());
+    const TuningCostModel cost{TuningCostParams{}};
+    const TuningLoop loop(analyses.clusters, analyses.regions, cost);
+    const TuningLoopResult result = loop.runEverySample(1.3, 0.03);
+
+    EXPECT_EQ(counterValue("runtime.tuning.evaluations"), evals0 + 1);
+    EXPECT_EQ(counterValue("runtime.tuning.events"),
+              events0 + result.tuningEvents);
+    EXPECT_EQ(counterValue("runtime.tuning.transitions"),
+              transitions0 + result.transitions);
+    // The ledger accumulates the charged overhead (500 us + 30 uJ per
+    // event by default) in integer nano-units.
+    ASSERT_GT(result.tuningEvents, 0u);
+    EXPECT_NEAR(static_cast<double>(
+                    counterValue("runtime.tuning.overhead_time_ns") -
+                    timeNs0),
+                (result.timeWithOverhead - result.time) * 1e9, 100.0);
+    EXPECT_NEAR(static_cast<double>(
+                    counterValue("runtime.tuning.overhead_energy_nj") -
+                    energyNj0),
+                (result.energyWithOverhead - result.energy) * 1e9,
+                100.0);
+    const auto violations = static_cast<std::uint64_t>(std::llround(
+        result.budgetViolationFrac *
+        static_cast<double>(test::phasedGrid().sampleCount())));
+    EXPECT_EQ(counterValue("runtime.tuning.budget_violations"),
+              violations0 + violations);
+}
+
+TEST(ObsInstrumentation, SchedulerTransitionLedger)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t runs0 = counterValue("sched.runs");
+    const std::uint64_t samples0 =
+        counterValue("sched.samples_executed");
+    const std::uint64_t switches0 =
+        counterValue("sched.context_switches");
+    const std::uint64_t transitions0 =
+        counterValue("sched.frequency_transitions");
+    const std::uint64_t timeNs0 =
+        counterValue("sched.transition_time_ns");
+    const std::uint64_t energyNj0 =
+        counterValue("sched.transition_energy_nj");
+
+    AppTask a;
+    a.name = "phased";
+    a.grid = &test::phasedGrid();
+    AppTask b;
+    b.name = "steady";
+    b.grid = &test::steadyGrid();
+    const BudgetScheduler scheduler;
+    const ScheduleResult result =
+        scheduler.run({a, b}, SchedPolicy::RoundRobin);
+
+    EXPECT_EQ(counterValue("sched.runs"), runs0 + 1);
+    EXPECT_EQ(counterValue("sched.samples_executed"),
+              samples0 + test::phasedGrid().sampleCount() +
+                  test::steadyGrid().sampleCount());
+    EXPECT_EQ(counterValue("sched.context_switches"),
+              switches0 + result.contextSwitches);
+    EXPECT_EQ(counterValue("sched.frequency_transitions"),
+              transitions0 + result.frequencyTransitions);
+    ASSERT_GT(result.frequencyTransitions, 0u);
+    EXPECT_NEAR(static_cast<double>(
+                    counterValue("sched.transition_time_ns") - timeNs0),
+                result.transitionLatency * 1e9, 100.0);
+    EXPECT_GT(counterValue("sched.transition_energy_nj"), energyNj0);
+}
+
+} // namespace
+} // namespace mcdvfs

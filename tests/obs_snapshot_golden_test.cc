@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Golden tests pinning the metrics JSON snapshot format: schema
+ * string, section names, histogram field names and the canonical
+ * latency bucket bounds.  External consumers parse this output, so
+ * any change here is a deliberate format break — update the schema
+ * version string when the shape changes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+TEST(ObsSnapshotGolden, EmptyRegistry)
+{
+    const obs::MetricsRegistry reg;
+    EXPECT_EQ(obs::toJson(reg.snapshot()),
+              "{\n"
+              "  \"schema\": \"mcdvfs-metrics-v1\",\n"
+              "  \"counters\": {},\n"
+              "  \"gauges\": {},\n"
+              "  \"histograms\": {}\n"
+              "}\n");
+}
+
+TEST(ObsSnapshotGolden, PopulatedRegistry)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter counter = reg.counter("demo.count");
+    obs::Gauge gauge = reg.gauge("demo.gauge");
+    obs::Histogram histogram = reg.histogram(
+        "demo.lat_ns", obs::MetricsRegistry::latencyBucketsNs());
+    counter.add(3);
+    gauge.set(-2);
+    histogram.record(500);            // first bucket (<= 1 us)
+    histogram.record(5'000);          // <= 10 us
+    histogram.record(2'000'000'000);  // overflow (> 1 s)
+
+    const char *const bounds =
+        "[1000, 10000, 100000, 1000000, 10000000, 100000000, "
+        "1000000000]";
+    const std::string expected =
+        obs::kMetricsEnabled
+            ? std::string("{\n"
+                          "  \"schema\": \"mcdvfs-metrics-v1\",\n"
+                          "  \"counters\": {\n"
+                          "    \"demo.count\": 3\n"
+                          "  },\n"
+                          "  \"gauges\": {\n"
+                          "    \"demo.gauge\": -2\n"
+                          "  },\n"
+                          "  \"histograms\": {\n"
+                          "    \"demo.lat_ns\": {\"bounds\": ") +
+                  bounds +
+                  ", \"counts\": [1, 1, 0, 0, 0, 0, 0, 1], "
+                  "\"count\": 3, \"sum\": 2000005500}\n"
+                  "  }\n"
+                  "}\n"
+            // Disabled builds keep names and bounds but report zeros.
+            : std::string("{\n"
+                          "  \"schema\": \"mcdvfs-metrics-v1\",\n"
+                          "  \"counters\": {\n"
+                          "    \"demo.count\": 0\n"
+                          "  },\n"
+                          "  \"gauges\": {\n"
+                          "    \"demo.gauge\": 0\n"
+                          "  },\n"
+                          "  \"histograms\": {\n"
+                          "    \"demo.lat_ns\": {\"bounds\": ") +
+                  bounds +
+                  ", \"counts\": [0, 0, 0, 0, 0, 0, 0, 0], "
+                  "\"count\": 0, \"sum\": 0}\n"
+                  "  }\n"
+                  "}\n";
+    EXPECT_EQ(obs::toJson(reg.snapshot()), expected);
+}
+
+TEST(ObsSnapshotGolden, LatencyBucketsAreDecadesFrom1usTo1s)
+{
+    const std::vector<std::uint64_t> expected{
+        1'000,      10'000,      100'000,      1'000'000,
+        10'000'000, 100'000'000, 1'000'000'000};
+    EXPECT_EQ(obs::MetricsRegistry::latencyBucketsNs(), expected);
+}
+
+TEST(ObsSnapshotGolden, KeysAreSortedInOutput)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("b.second");
+    reg.counter("a.first");
+    const std::string json = obs::toJson(reg.snapshot());
+    const std::size_t first = json.find("a.first");
+    const std::size_t second = json.find("b.second");
+    ASSERT_NE(first, std::string::npos);
+    ASSERT_NE(second, std::string::npos);
+    EXPECT_LT(first, second);
+}
+
+} // namespace
+} // namespace mcdvfs

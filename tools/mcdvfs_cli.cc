@@ -11,6 +11,7 @@
  *   mcdvfs_cli tradeoff <workload> [--budget B] [--threshold PCT]
  *   mcdvfs_cli profile <workload> [--budget B] [--threshold PCT]
  *   mcdvfs_cli tune <wl[:budget]> ... [--threshold PCT] [--jobs N]
+ *   mcdvfs_cli stats [wl[:budget]] ...
  *
  * Workloads are the twelve SPEC-like profiles; grids come from the
  * paper's coarse 70-setting space unless --fine is given.  Every
@@ -18,6 +19,11 @@
  * model evaluation over N worker threads (results are bit-identical
  * to --jobs 1); grids are served through the characterization
  * service, so repeated grids within one invocation hit its cache.
+ *
+ * Every command accepts --metrics-out FILE to dump the process
+ * metrics snapshot (docs/OBSERVABILITY.md) as JSON on exit; the
+ * "stats" command prints the same snapshot to stdout, optionally
+ * after running a batch of tuning requests to generate activity.
  */
 
 #include <fstream>
@@ -26,6 +32,7 @@
 #include "common/args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/metrics.hh"
 #include "core/pareto.hh"
 #include "repro/analyses.hh"
 #include "repro/suite.hh"
@@ -55,17 +62,16 @@ usage()
            "  pareto <workload> [--fine]\n"
            "  schedule <wl[:budget]> <wl[:budget]> ... [--budget B]\n"
            "  tune <wl[:budget]> <wl[:budget]> ... [--threshold PCT]\n"
-           "options: --jobs N parallelizes grid construction\n";
+           "  stats [wl[:budget]] ...               metrics snapshot\n"
+           "options: --jobs N parallelizes grid construction;\n"
+           "         --metrics-out FILE dumps metrics JSON on exit\n";
     return 2;
 }
 
 std::size_t
 jobsFrom(const ArgParser &args)
 {
-    const long long jobs = args.getInt("jobs", 1);
-    if (jobs < 1)
-        fatal("--jobs must be at least 1");
-    return static_cast<std::size_t>(jobs);
+    return static_cast<std::size_t>(args.getInt("jobs", 1, 1, 1024));
 }
 
 svc::CharacterizationService::Options
@@ -421,6 +427,31 @@ cmdTune(const ArgParser &args)
     return 0;
 }
 
+int
+cmdStats(const ArgParser &args)
+{
+    // stats [workload[:budget]] ... — optionally run a tuning batch
+    // first so the snapshot reflects real activity, then print the
+    // process-wide metrics snapshot as JSON.
+    if (args.positionals().size() > 1) {
+        svc::CharacterizationService service(
+            SystemConfig::paperDefault(), serviceOptions(args));
+        std::vector<svc::TuningRequest> requests;
+        for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+            const std::string &spec = args.positionals()[i];
+            const std::size_t colon = spec.find(':');
+            svc::TuningRequest request{
+                workloadByName(spec.substr(0, colon)), spaceFrom(args),
+                budgetFromSpec(spec, colon, args),
+                args.getDouble("threshold", 3.0) / 100.0};
+            requests.push_back(std::move(request));
+        }
+        service.submitBatch(requests);
+    }
+    std::cout << obs::toJson(obs::MetricsRegistry::global().snapshot());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -431,6 +462,7 @@ main(int argc, char **argv)
     args.addOption("threshold");
     args.addOption("out");
     args.addOption("jobs");
+    args.addOption("metrics-out");
     args.addFlag("fine");
     args.addFlag("csv");
 
@@ -439,29 +471,41 @@ main(int argc, char **argv)
         if (args.positionals().empty())
             return usage();
         const std::string &command = args.positionals().front();
+
+        int rc = 2;
+        bool known = true;
         if (command == "list")
-            return cmdList();
-        if (args.positionals().size() < 2)
+            rc = cmdList();
+        else if (command == "stats")
+            rc = cmdStats(args);
+        else if (args.positionals().size() < 2)
             return usage();
-        if (command == "characterize")
-            return cmdCharacterize(args);
-        if (command == "grid")
-            return cmdGrid(args);
-        if (command == "optimal")
-            return cmdOptimal(args);
-        if (command == "regions")
-            return cmdRegions(args);
-        if (command == "tradeoff")
-            return cmdTradeoff(args);
-        if (command == "profile")
-            return cmdProfile(args);
-        if (command == "pareto")
-            return cmdPareto(args);
-        if (command == "schedule")
-            return cmdSchedule(args);
-        if (command == "tune")
-            return cmdTune(args);
-        return usage();
+        else if (command == "characterize")
+            rc = cmdCharacterize(args);
+        else if (command == "grid")
+            rc = cmdGrid(args);
+        else if (command == "optimal")
+            rc = cmdOptimal(args);
+        else if (command == "regions")
+            rc = cmdRegions(args);
+        else if (command == "tradeoff")
+            rc = cmdTradeoff(args);
+        else if (command == "profile")
+            rc = cmdProfile(args);
+        else if (command == "pareto")
+            rc = cmdPareto(args);
+        else if (command == "schedule")
+            rc = cmdSchedule(args);
+        else if (command == "tune")
+            rc = cmdTune(args);
+        else
+            known = false;
+        if (!known)
+            return usage();
+
+        if (args.has("metrics-out"))
+            obs::writeMetricsJson(args.get("metrics-out"));
+        return rc;
     } catch (const FatalError &err) {
         std::cerr << "error: " << err.what() << '\n';
         return 1;
