@@ -51,6 +51,24 @@ struct GridBenchRecord
     double speedupVsReference = 0.0;  ///< 0 when not applicable
 };
 
+/**
+ * Sidecar path of the metrics snapshot accompanying a benchmark JSON:
+ * "BENCH_grid.json" -> "BENCH_grid.metrics.json" (a ".metrics.json"
+ * suffix is appended when @c path does not end in ".json").
+ */
+inline std::string
+metricsSidecarPath(const std::string &path)
+{
+    const std::string suffix = ".json";
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        return path.substr(0, path.size() - suffix.size()) +
+               ".metrics.json";
+    }
+    return path + ".metrics.json";
+}
+
 /** Serialize @c records to @c path; throws FatalError on I/O failure. */
 inline void
 writeBenchGridJson(const std::string &path, const std::string &benchmark,

@@ -11,11 +11,17 @@
  * drastically versus every-sample re-tuning at nearly the same
  * performance and energy, and all schedules keep the run within the
  * inefficiency budget.
+ *
+ * --journal FILE additionally dumps the per-sample tuning decision
+ * journal of every (benchmark, policy) run as JSONL (schema
+ * mcdvfs-trace-v1; see docs/OBSERVABILITY.md).
  */
 
 #include <iostream>
 
+#include "common/args.hh"
 #include "common/table.hh"
+#include "obs/journal.hh"
 #include "repro/analyses.hh"
 #include "repro/suite.hh"
 #include "runtime/tuning_loop.hh"
@@ -23,10 +29,22 @@
 using namespace mcdvfs;
 
 int
-main()
+main(int argc, char **argv)
 {
     const double budget = 1.3;
     const double threshold = 0.03;
+
+    ArgParser args("impl_retune_schedules");
+    args.addOption("journal");
+    try {
+        args.parse(argc, argv);
+    } catch (const FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 2;
+    }
+
+    obs::DecisionJournal journal;
+    const bool journaling = args.has("journal");
 
     ReproSuite suite;
 
@@ -39,6 +57,8 @@ main()
         const MeasuredGrid &grid = suite.grid(name);
         GridAnalyses a(grid);
         TuningLoop loop(a.clusters, a.regions, a.costModel);
+        if (journaling)
+            loop.setJournal(&journal);
 
         const OfflineProfile profile = OfflineProfile::fromRegions(
             name, a.regions.find(budget, threshold), grid.space());
@@ -62,5 +82,11 @@ main()
         }
     }
     table.print(std::cout);
+    if (journaling) {
+        journal.write(args.get("journal"));
+        std::cerr << "wrote " << journal.records().size()
+                  << " journal records to " << args.get("journal")
+                  << "\n";
+    }
     return 0;
 }

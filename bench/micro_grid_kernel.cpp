@@ -26,6 +26,7 @@
 #include "common/args.hh"
 #include "common/logging.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "sim/reference_kernel.hh"
 #include "trace/workloads.hh"
 
@@ -196,6 +197,12 @@ main(int argc, char **argv)
     }
 
     bench::writeBenchGridJson(out_path, "micro_grid_kernel", records);
-    std::printf("wrote %s\n", out_path.c_str());
+    // Metrics sidecar: the process metrics snapshot after the timed
+    // runs, so build counters travel with the throughput numbers.
+    const std::string metrics_path =
+        bench::metricsSidecarPath(out_path);
+    obs::writeMetricsJson(metrics_path);
+    std::printf("wrote %s and %s\n", out_path.c_str(),
+                metrics_path.c_str());
     return 0;
 }

@@ -15,6 +15,7 @@
 
 #include "bench_json.hh"
 #include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
 #include "svc/characterization_service.hh"
 #include "trace/workloads.hh"
 
@@ -180,9 +181,14 @@ main(int argc, char **argv)
     }
     if (!records.empty()) {
         const char *out = std::getenv("MCDVFS_BENCH_OUT");
-        mcdvfs::bench::writeBenchGridJson(
-            out != nullptr ? out : "BENCH_grid.json",
-            "micro_parallel_grid", records);
+        const std::string out_path =
+            out != nullptr ? out : "BENCH_grid.json";
+        mcdvfs::bench::writeBenchGridJson(out_path,
+                                          "micro_parallel_grid",
+                                          records);
+        // Metrics sidecar alongside the throughput numbers.
+        mcdvfs::obs::writeMetricsJson(
+            mcdvfs::bench::metricsSidecarPath(out_path));
     }
 
     benchmark::Shutdown();

@@ -1,12 +1,99 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
 namespace mcdvfs
 {
+
+namespace
+{
+
+std::atomic<LogLevel> gLogLevel{LogLevel::Info};
+std::atomic<LogSink> gLogSink{nullptr};
+std::atomic<detail::LogCounterHook> gCounterHook{nullptr};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Silent:
+        return "silent";
+    }
+    return "?";
+}
+
+/** Count, filter, and deliver one advisory message. */
+void
+logImpl(LogLevel level, const std::string &msg)
+{
+    if (detail::LogCounterHook hook =
+            gCounterHook.load(std::memory_order_relaxed))
+        hook(level);
+    if (static_cast<int>(level) <
+        static_cast<int>(gLogLevel.load(std::memory_order_relaxed)))
+        return;
+    if (LogSink sink = gLogSink.load(std::memory_order_relaxed)) {
+        sink(level, msg);
+        return;
+    }
+    std::fprintf(stderr, "%s: %s\n", levelName(level), msg.c_str());
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLogLevel.load(std::memory_order_relaxed);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLogLevel.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevelFromString(const std::string &text)
+{
+    if (text == "debug")
+        return LogLevel::Debug;
+    if (text == "info")
+        return LogLevel::Info;
+    if (text == "warn")
+        return LogLevel::Warn;
+    if (text == "error")
+        return LogLevel::Error;
+    if (text == "silent")
+        return LogLevel::Silent;
+    fatal("unknown log level '", text,
+          "' (expected debug, info, warn, error, or silent)");
+}
+
+LogSink
+setLogSink(LogSink sink)
+{
+    return gLogSink.exchange(sink, std::memory_order_relaxed);
+}
+
 namespace detail
 {
+
+void
+setLogCounterHook(LogCounterHook hook)
+{
+    gCounterHook.store(hook, std::memory_order_relaxed);
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -18,13 +105,13 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    logImpl(LogLevel::Warn, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::fprintf(stderr, "info: %s\n", msg.c_str());
+    logImpl(LogLevel::Info, msg);
 }
 
 } // namespace detail

@@ -30,6 +30,41 @@ class FatalError : public std::runtime_error
     {}
 };
 
+/** Severity of one advisory message (ordered, least severe first). */
+enum class LogLevel
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+    Silent,  ///< Threshold-only value: suppresses every message.
+};
+
+/**
+ * Sink receiving every advisory message that passes the level filter.
+ * Must be callable from any thread; the default sink writes to stderr.
+ */
+using LogSink = void (*)(LogLevel, const std::string &);
+
+/** Current advisory threshold (messages below it are dropped). */
+LogLevel logLevel();
+
+/** Set the advisory threshold (thread-safe). */
+void setLogLevel(LogLevel level);
+
+/**
+ * Parse a threshold name: debug, info, warn, error, or silent.
+ * @throws FatalError on anything else.
+ */
+LogLevel logLevelFromString(const std::string &text);
+
+/**
+ * Install a message sink, returning the previous one (nullptr means
+ * the built-in stderr sink was active).  Pass nullptr to restore the
+ * stderr sink.
+ */
+LogSink setLogSink(LogSink sink);
+
 namespace detail
 {
 
@@ -47,6 +82,14 @@ concat(Args &&...args)
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/**
+ * Observer called once per advisory message, before level filtering,
+ * so metrics can count emissions even when the threshold hides them.
+ * Installed by the obs layer; not part of the public API.
+ */
+using LogCounterHook = void (*)(LogLevel);
+void setLogCounterHook(LogCounterHook hook);
 
 } // namespace detail
 

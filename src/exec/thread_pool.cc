@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mcdvfs
 {
@@ -71,6 +72,7 @@ struct LoopState
              c = nextChunk.fetch_add(1)) {
             const std::size_t lo = begin + c * grain;
             const std::size_t hi = std::min(end, lo + grain);
+            obs::TraceSpan chunk_span("exec.pool.chunk", c);
             try {
                 for (std::size_t i = lo; i < hi; ++i)
                     (*body)(i);
@@ -143,6 +145,7 @@ ThreadPool::runTask(QueuedTask &task)
     metrics.activeWorkers.add(1);
     {
         obs::ScopedTimer run_timer(metrics.taskRunNs);
+        obs::TraceSpan task_span("exec.pool.task");
         task.fn();
     }
     metrics.activeWorkers.add(-1);
@@ -185,6 +188,7 @@ ThreadPool::parallelFor(std::size_t begin, std::size_t end,
 
     poolMetrics().loops.add(1);
     poolMetrics().chunks.add(state->chunks);
+    obs::TraceSpan loop_span("exec.pool.parallel_for", state->chunks);
 
     // One helper per worker is enough: each helper keeps claiming
     // chunks until none remain.  Helpers that arrive late (or never

@@ -1,0 +1,94 @@
+#include "obs/journal.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+namespace
+{
+
+/**
+ * Shortest-round-trip double formatting (%.9g): enough digits for the
+ * journal's ratios and MHz values, stable across runs because every
+ * input is deterministic.
+ */
+std::string
+num(double value)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+    return buffer;
+}
+
+const char *
+boolWord(bool v)
+{
+    return v ? "true" : "false";
+}
+
+} // namespace
+
+std::size_t
+DecisionJournal::retuneCount() const
+{
+    std::size_t count = 0;
+    for (const DecisionRecord &record : records_)
+        count += record.retuned ? 1 : 0;
+    return count;
+}
+
+std::size_t
+DecisionJournal::transitionCount() const
+{
+    std::size_t count = 0;
+    for (const DecisionRecord &record : records_)
+        count += record.transition ? 1 : 0;
+    return count;
+}
+
+std::string
+DecisionJournal::toJsonl() const
+{
+    std::ostringstream out;
+    out << "{\"schema\": \"mcdvfs-trace-v1\", \"kind\": \"journal\", "
+           "\"records\": "
+        << records_.size() << "}\n";
+    for (const DecisionRecord &r : records_) {
+        out << "{\"kind\": \"sample\", \"workload\": \"" << r.workload
+            << "\", \"policy\": \"" << r.policy
+            << "\", \"sample\": " << r.sample << ", \"cpi\": "
+            << num(r.cpi) << ", \"mpki\": " << num(r.mpki)
+            << ", \"cpu_mhz\": " << num(r.cpuMhz)
+            << ", \"mem_mhz\": " << num(r.memMhz)
+            << ", \"inefficiency\": " << num(r.inefficiency)
+            << ", \"budget\": " << num(r.budget)
+            << ", \"in_cluster\": " << boolWord(r.inCluster)
+            << ", \"region\": " << r.region
+            << ", \"retune\": " << boolWord(r.retuned)
+            << ", \"transition\": " << boolWord(r.transition)
+            << ", \"overhead_ns\": " << r.overheadNs
+            << ", \"overhead_nj\": " << r.overheadNj << "}\n";
+    }
+    return out.str();
+}
+
+void
+DecisionJournal::write(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("journal: cannot open ", path, " for writing");
+    out << toJsonl();
+    if (!out)
+        fatal("journal: failed writing ", path);
+}
+
+} // namespace obs
+} // namespace mcdvfs

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Per-sample tuning decision journal.
+ *
+ * The paper's §VI–§VII analyses are built on a per-sample decision
+ * structure: which setting the tuner chose for each 10 M-instruction
+ * sample, whether it stayed inside the sample's performance cluster
+ * and stable region, when it re-tuned, and how much §VI-C overhead
+ * (500 µs + 30 µJ per event) it had accumulated.  DecisionJournal
+ * captures exactly that timeline — one record per simulated sample —
+ * and serializes it as JSONL under schema "mcdvfs-trace-v1" so runs
+ * can be diffed, replayed and audited offline.
+ *
+ * TuningLoop fills a journal when one is attached (setJournal);
+ * `mcdvfs_cli ... --trace-journal FILE` and
+ * `bench/impl_retune_schedules --journal FILE` write it out.  The
+ * journal is an analysis artifact, not a hot-path collector: records
+ * are plain structs in a vector, appended from the (already
+ * simulation-speed) tuning-loop evaluation.
+ */
+
+#ifndef MCDVFS_OBS_JOURNAL_HH
+#define MCDVFS_OBS_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+/** One per-sample tuning decision. */
+struct DecisionRecord
+{
+    /** Workload the grid was characterized from. */
+    std::string workload;
+    /** Re-tune schedule that produced the decision. */
+    std::string policy;
+    /** Sample index within the run. */
+    std::size_t sample = 0;
+
+    /** @name Sample characterization (when profiles are attached). */
+    ///@{
+    double cpi = 0.0;   ///< core CPI of the sample
+    double mpki = 0.0;  ///< L2 misses per kilo-instruction
+    ///@}
+
+    /** @name The decision. */
+    ///@{
+    double cpuMhz = 0.0;  ///< chosen CPU frequency
+    double memMhz = 0.0;  ///< chosen memory frequency
+    /** Achieved inefficiency of the chosen setting on this sample. */
+    double inefficiency = 0.0;
+    /** Inefficiency budget the schedule was run with. */
+    double budget = 0.0;
+    ///@}
+
+    /** @name Cluster / stable-region membership. */
+    ///@{
+    /** Chosen setting is inside this sample's performance cluster. */
+    bool inCluster = false;
+    /** Stable-region index containing the sample, or -1. */
+    long long region = -1;
+    ///@}
+
+    /** @name Re-tune / transition events. */
+    ///@{
+    /** The governor re-tuned at this sample boundary. */
+    bool retuned = false;
+    /** The setting differs from the previous sample's. */
+    bool transition = false;
+    /** Cumulative §VI-C tuning overhead charged so far, ns. */
+    std::uint64_t overheadNs = 0;
+    /** Cumulative §VI-C tuning overhead charged so far, nJ. */
+    std::uint64_t overheadNj = 0;
+    ///@}
+};
+
+/** Ordered collection of decision records with a JSONL exporter. */
+class DecisionJournal
+{
+  public:
+    void
+    append(DecisionRecord record)
+    {
+        records_.push_back(std::move(record));
+    }
+
+    const std::vector<DecisionRecord> &records() const
+    {
+        return records_;
+    }
+
+    void clear() { records_.clear(); }
+
+    /** Records flagged as re-tunes. */
+    std::size_t retuneCount() const;
+
+    /** Records flagged as setting transitions. */
+    std::size_t transitionCount() const;
+
+    /**
+     * Serialize as JSONL: one header line carrying the schema, then
+     * one object per record in order (format pinned by
+     * tests/obs_trace_golden_test.cc).
+     */
+    std::string toJsonl() const;
+
+    /**
+     * Write toJsonl() to @c path.
+     * @throws FatalError on I/O failure.
+     */
+    void write(const std::string &path) const;
+
+  private:
+    std::vector<DecisionRecord> records_;
+};
+
+} // namespace obs
+} // namespace mcdvfs
+
+#endif // MCDVFS_OBS_JOURNAL_HH

@@ -83,10 +83,47 @@ Histogram::sum() const
     return cells_ != nullptr ? cells_->sum.total() : 0;
 }
 
+namespace
+{
+
+/** Bridge from common's advisory logging channel into the registry. */
+struct LogCounters
+{
+    Counter warnings;
+    Counter informs;
+};
+
+LogCounters &
+logCounters()
+{
+    static LogCounters counters;
+    return counters;
+}
+
+/** Counter hook: runs once per warn()/inform(), before filtering. */
+void
+countLogMessage(LogLevel level)
+{
+    if (level >= LogLevel::Warn)
+        logCounters().warnings.add(1);
+    else
+        logCounters().informs.add(1);
+}
+
+} // namespace
+
 MetricsRegistry &
 MetricsRegistry::global()
 {
     static MetricsRegistry registry;
+    static const bool hooked = [] {
+        logCounters().warnings =
+            registry.counter("common.log.warnings");
+        logCounters().informs = registry.counter("common.log.informs");
+        mcdvfs::detail::setLogCounterHook(&countLogMessage);
+        return true;
+    }();
+    (void)hooked;
     return registry;
 }
 

@@ -1,0 +1,232 @@
+#include "obs/trace.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+namespace detail
+{
+
+TraceRing::TraceRing(std::size_t capacity, std::size_t tid)
+    : capacity_(std::max<std::size_t>(1, capacity)), tid_(tid),
+      slots_(capacity_)
+{
+}
+
+void
+TraceRing::push(char phase, const char *name, std::uint64_t ts_ns,
+                std::uint64_t dur_ns, std::uint64_t arg)
+{
+    const std::uint64_t w = writeIndex_.load(std::memory_order_relaxed);
+    TraceSlot &slot = slots_[static_cast<std::size_t>(w % capacity_)];
+    // Seqlock write: odd marks the payload as in-flux; the release
+    // store of the even value publishes it.  The release fence pairs
+    // with the reader's acquire fence so a reader that observes any
+    // of the new payload also observes the odd mark and rejects.
+    slot.seq.store(2 * w + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.tsNs.store(ts_ns, std::memory_order_relaxed);
+    slot.durNs.store(dur_ns, std::memory_order_relaxed);
+    slot.arg.store(arg, std::memory_order_relaxed);
+    slot.name.store(name, std::memory_order_relaxed);
+    slot.phase.store(phase, std::memory_order_relaxed);
+    slot.seq.store(2 * (w + 1), std::memory_order_release);
+    writeIndex_.store(w + 1, std::memory_order_release);
+}
+
+std::uint64_t
+TraceRing::dropped() const
+{
+    const std::uint64_t w = written();
+    return w > capacity_ ? w - capacity_ : 0;
+}
+
+std::uint64_t
+TraceRing::readInto(std::vector<TraceEventView> &out) const
+{
+    const std::uint64_t w = written();
+    const std::uint64_t begin = w > capacity_ ? w - capacity_ : 0;
+    std::uint64_t torn = 0;
+    for (std::uint64_t i = begin; i < w; ++i) {
+        const TraceSlot &slot =
+            slots_[static_cast<std::size_t>(i % capacity_)];
+        // A slot holding write index i is stable iff seq == 2*(i+1);
+        // anything else means the writer lapped us or is mid-store.
+        const std::uint64_t expected = 2 * (i + 1);
+        if (slot.seq.load(std::memory_order_acquire) != expected) {
+            ++torn;
+            continue;
+        }
+        TraceEventView event;
+        event.tsNs = slot.tsNs.load(std::memory_order_relaxed);
+        event.durNs = slot.durNs.load(std::memory_order_relaxed);
+        event.arg = slot.arg.load(std::memory_order_relaxed);
+        event.name = slot.name.load(std::memory_order_relaxed);
+        event.phase = slot.phase.load(std::memory_order_relaxed);
+        event.tid = tid_;
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (slot.seq.load(std::memory_order_relaxed) != expected) {
+            ++torn;
+            continue;
+        }
+        out.push_back(event);
+    }
+    return torn;
+}
+
+} // namespace detail
+
+TraceCollector &
+TraceCollector::global()
+{
+    static TraceCollector collector;
+    return collector;
+}
+
+std::uint64_t
+TraceCollector::nowNs()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        Clock::now() - epoch);
+    return ns.count() > 0 ? static_cast<std::uint64_t>(ns.count()) : 0;
+}
+
+void
+TraceCollector::enable(std::size_t ring_capacity)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        capacity_ = std::max<std::size_t>(1, ring_capacity);
+    }
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+TraceCollector::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+detail::TraceRing *
+TraceCollector::ringForThisThread()
+{
+    struct Cached
+    {
+        const TraceCollector *owner = nullptr;
+        std::uint64_t epoch = 0;
+        detail::TraceRing *ring = nullptr;
+    };
+    thread_local Cached cached;
+
+    const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+    if (cached.owner == this && cached.epoch == epoch &&
+        cached.ring != nullptr)
+        return cached.ring;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.push_back(
+        std::make_unique<detail::TraceRing>(capacity_, rings_.size()));
+    cached.owner = this;
+    cached.epoch = epoch;
+    cached.ring = rings_.back().get();
+    return cached.ring;
+}
+
+void
+TraceCollector::record(char phase, const char *name, std::uint64_t ts_ns,
+                       std::uint64_t dur_ns, std::uint64_t arg)
+{
+    if (!enabled())
+        return;
+    ringForThisThread()->push(phase, name, ts_ns, dur_ns, arg);
+}
+
+TraceSnapshot
+TraceCollector::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    TraceSnapshot snap;
+    for (const auto &ring : rings_) {
+        snap.tornReads += ring->readInto(snap.events);
+        snap.droppedEvents += ring->dropped();
+    }
+    return snap;
+}
+
+void
+TraceCollector::reset()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    rings_.clear();
+    epoch_.fetch_add(1, std::memory_order_release);
+}
+
+namespace
+{
+
+/** ns → Chrome's microsecond field with fixed 3-decimal precision. */
+std::string
+microsFromNs(std::uint64_t ns)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%" PRIu64 ".%03" PRIu64, ns / 1000, ns % 1000);
+    return buffer;
+}
+
+} // namespace
+
+std::string
+toChromeJson(const TraceSnapshot &snapshot)
+{
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"displayTimeUnit\": \"ns\",\n";
+    out << "  \"otherData\": {\"schema\": \"mcdvfs-trace-v1\", "
+           "\"dropped_events\": "
+        << snapshot.droppedEvents
+        << ", \"torn_reads\": " << snapshot.tornReads << "},\n";
+    out << "  \"traceEvents\": [";
+    for (std::size_t i = 0; i < snapshot.events.size(); ++i) {
+        const TraceEventView &e = snapshot.events[i];
+        out << (i == 0 ? "\n" : ",\n");
+        out << "    {\"name\": \"" << (e.name != nullptr ? e.name : "?")
+            << "\", \"cat\": \"mcdvfs\", \"ph\": \"" << e.phase
+            << "\", \"ts\": " << microsFromNs(e.tsNs);
+        if (e.phase == 'X')
+            out << ", \"dur\": " << microsFromNs(e.durNs);
+        if (e.phase == 'i')
+            out << ", \"s\": \"t\"";
+        out << ", \"pid\": 1, \"tid\": " << e.tid
+            << ", \"args\": {\"v\": " << e.arg << "}}";
+    }
+    out << (snapshot.events.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
+}
+
+void
+writeChromeTraceJson(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("trace json: cannot open ", path, " for writing");
+    out << toChromeJson(TraceCollector::global().snapshot());
+    if (!out)
+        fatal("trace json: failed writing ", path);
+}
+
+} // namespace obs
+} // namespace mcdvfs

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mcdvfs
 {
@@ -68,25 +69,38 @@ TuningLoop::TuningLoop(const ClusterFinder &clusters,
 TuningLoopResult
 TuningLoop::evaluate(const std::string &policy,
                      const std::vector<std::size_t> &sequence,
-                     std::size_t tuning_events, double budget) const
+                     const std::vector<std::uint8_t> &retuned,
+                     double budget, double threshold) const
 {
     const InefficiencyAnalysis &analysis = clusters_.finder().analysis();
     const MeasuredGrid &grid = analysis.grid();
     MCDVFS_ASSERT(sequence.size() == grid.sampleCount(),
                   "sequence length mismatch");
+    MCDVFS_ASSERT(retuned.size() == sequence.size(),
+                  "retune flags length mismatch");
+
+    obs::TraceSpan eval_span("runtime.tuning.evaluate",
+                             sequence.size());
 
     TuningLoopResult result;
     result.policy = policy;
     Joules emin_sum = 0.0;
     std::size_t violations = 0;
+    std::size_t tuning_events = 0;
     for (std::size_t s = 0; s < sequence.size(); ++s) {
         result.time += grid.secondsAt(s, sequence[s]);
         result.energy += grid.energyAt(s, sequence[s]);
         emin_sum += analysis.sampleEmin(s);
         if (analysis.sampleInefficiency(s, sequence[s]) > budget + 1e-9)
             ++violations;
-        if (s > 0 && sequence[s] != sequence[s - 1])
+        if (retuned[s] != 0) {
+            ++tuning_events;
+            obs::traceInstant("runtime.tuning.retune", s);
+        }
+        if (s > 0 && sequence[s] != sequence[s - 1]) {
             ++result.transitions;
+            obs::traceInstant("runtime.tuning.transition", s);
+        }
     }
     result.tuningEvents = tuning_events;
     const TuningOverhead overhead =
@@ -105,7 +119,63 @@ TuningLoop::evaluate(const std::string &policy,
     metrics.overheadTimeNs.add(toNano(overhead.latency));
     metrics.overheadEnergyNj.add(toNano(overhead.energy));
     metrics.budgetViolations.add(violations);
+
+    if (journal_ != nullptr)
+        journalRun(policy, sequence, retuned, budget, threshold);
     return result;
+}
+
+void
+TuningLoop::journalRun(const std::string &policy,
+                       const std::vector<std::size_t> &sequence,
+                       const std::vector<std::uint8_t> &retuned,
+                       double budget, double threshold) const
+{
+    const InefficiencyAnalysis &analysis = clusters_.finder().analysis();
+    const MeasuredGrid &grid = analysis.grid();
+    const SettingsSpace &space = grid.space();
+
+    // Stable-region membership of every sample at this operating
+    // point (region index, or -1 for samples outside every region).
+    std::vector<long long> region_of(sequence.size(), -1);
+    const std::vector<StableRegion> regions =
+        regions_.find(budget, threshold);
+    for (std::size_t r = 0; r < regions.size(); ++r) {
+        for (std::size_t s = regions[r].first; s <= regions[r].last; ++s)
+            region_of[s] = static_cast<long long>(r);
+    }
+
+    std::size_t events_so_far = 0;
+    for (std::size_t s = 0; s < sequence.size(); ++s) {
+        if (retuned[s] != 0)
+            ++events_so_far;
+        const TuningOverhead cumulative =
+            cost_.overhead(events_so_far, grid.settingCount());
+
+        obs::DecisionRecord record;
+        record.workload = grid.workload();
+        record.policy = policy;
+        record.sample = s;
+        if (grid.hasProfiles()) {
+            record.cpi = grid.profile(s).baseCpi;
+            record.mpki = grid.profile(s).l2Mpki;
+        }
+        const FrequencySetting setting = space.at(sequence[s]);
+        record.cpuMhz = toMegaHertz(setting.cpu);
+        record.memMhz = toMegaHertz(setting.mem);
+        record.inefficiency =
+            analysis.sampleInefficiency(s, sequence[s]);
+        record.budget = budget;
+        record.inCluster =
+            clusters_.clusterForSample(s, budget, threshold)
+                .contains(sequence[s]);
+        record.region = region_of[s];
+        record.retuned = retuned[s] != 0;
+        record.transition = s > 0 && sequence[s] != sequence[s - 1];
+        record.overheadNs = toNano(cumulative.latency);
+        record.overheadNj = toNano(cumulative.energy);
+        journal_->append(std::move(record));
+    }
 }
 
 TuningLoopResult
@@ -115,11 +185,13 @@ TuningLoop::runOracle(double budget, double threshold) const
     const std::vector<StableRegion> regions =
         regions_.find(budget, threshold);
     std::vector<std::size_t> sequence(grid.sampleCount(), 0);
+    std::vector<std::uint8_t> retuned(grid.sampleCount(), 0);
     for (const StableRegion &region : regions) {
+        retuned[region.first] = 1;
         for (std::size_t s = region.first; s <= region.last; ++s)
             sequence[s] = region.chosenSettingIndex;
     }
-    return evaluate("oracle", sequence, regions.size(), budget);
+    return evaluate("oracle", sequence, retuned, budget, threshold);
 }
 
 TuningLoopResult
@@ -144,7 +216,9 @@ TuningLoop::runEverySample(double budget, double threshold) const
         }
         sequence.push_back(current);
     }
-    return evaluate("every-sample", sequence, grid.sampleCount(), budget);
+    const std::vector<std::uint8_t> retuned(grid.sampleCount(), 1);
+    return evaluate("every-sample", sequence, retuned, budget,
+                    threshold);
 }
 
 TuningLoopResult
@@ -158,12 +232,12 @@ TuningLoop::runPredictive(double budget, double threshold,
     StabilityPredictor predictor(params);
     std::vector<std::size_t> sequence;
     sequence.reserve(grid.sampleCount());
+    std::vector<std::uint8_t> retuned(grid.sampleCount(), 0);
     std::size_t current = max_idx;
     std::size_t next_tune = 0;
-    std::size_t events = 0;
     for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
         if (s >= next_tune) {
-            ++events;
+            retuned[s] = 1;
             if (s > 0) {
                 const PerformanceCluster cluster =
                     clusters_.clusterForSample(s - 1, budget, threshold);
@@ -179,7 +253,7 @@ TuningLoop::runPredictive(double budget, double threshold,
             clusters_.clusterForSample(s, budget, threshold);
         predictor.observe(truth.contains(current));
     }
-    return evaluate("predictive", sequence, events, budget);
+    return evaluate("predictive", sequence, retuned, budget, threshold);
 }
 
 TuningLoopResult
@@ -193,12 +267,12 @@ TuningLoop::runReactive(double budget, double threshold,
     PhaseDetector detector(params);
     std::vector<std::size_t> sequence;
     sequence.reserve(grid.sampleCount());
+    std::vector<std::uint8_t> retuned(grid.sampleCount(), 0);
     std::size_t current = max_idx;
-    std::size_t events = 0;
     bool pending_retune = true;  // nothing known yet: tune at start
     for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
         if (pending_retune) {
-            ++events;
+            retuned[s] = 1;
             if (s > 0) {
                 const PerformanceCluster cluster =
                     clusters_.clusterForSample(s - 1, budget, threshold);
@@ -212,30 +286,29 @@ TuningLoop::runReactive(double budget, double threshold,
         // change schedules a re-tune at the next boundary.
         pending_retune = detector.observe(grid.profile(s));
     }
-    return evaluate("reactive", sequence, events, budget);
+    return evaluate("reactive", sequence, retuned, budget, threshold);
 }
 
 TuningLoopResult
 TuningLoop::runProfileDriven(double budget, double threshold,
                              const OfflineProfile &profile) const
 {
-    (void)threshold;
     const MeasuredGrid &grid = clusters_.finder().analysis().grid();
     const SettingsSpace &space = grid.space();
 
     std::vector<std::size_t> sequence;
     sequence.reserve(grid.sampleCount());
-    std::size_t events = 0;
+    std::vector<std::uint8_t> retuned(grid.sampleCount(), 0);
     std::size_t current = space.indexOf(space.maxSetting());
     for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
         const ProfiledRegion *region = profile.regionAt(s);
         if (region && s == region->first) {
-            ++events;
+            retuned[s] = 1;
             current = space.indexOf(region->setting);
         }
         sequence.push_back(current);
     }
-    return evaluate("profile", sequence, events, budget);
+    return evaluate("profile", sequence, retuned, budget, threshold);
 }
 
 } // namespace mcdvfs

@@ -21,11 +21,13 @@
 #ifndef MCDVFS_RUNTIME_TUNING_LOOP_HH
 #define MCDVFS_RUNTIME_TUNING_LOOP_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "core/stable_regions.hh"
 #include "core/tuning_cost.hh"
+#include "obs/journal.hh"
 #include "runtime/offline_profile.hh"
 #include "runtime/phase_detector.hh"
 #include "runtime/stability_predictor.hh"
@@ -86,15 +88,37 @@ class TuningLoop
     TuningLoopResult runProfileDriven(double budget, double threshold,
                                       const OfflineProfile &profile) const;
 
+    /**
+     * Attach a decision journal: every subsequent run appends one
+     * record per sample (setting, inefficiency, cluster/region
+     * membership, re-tune and transition flags, cumulative §VI-C
+     * overhead).  Pass nullptr to detach.  The journal must outlive
+     * the runs; journaling does not change any result.
+     */
+    void setJournal(obs::DecisionJournal *journal)
+    {
+        journal_ = journal;
+    }
+
   private:
+    /**
+     * @param retuned one flag per sample: the schedule re-tuned at
+     *        this sample boundary (flag count == tuning events)
+     */
     TuningLoopResult evaluate(const std::string &policy,
                               const std::vector<std::size_t> &sequence,
-                              std::size_t tuning_events,
-                              double budget) const;
+                              const std::vector<std::uint8_t> &retuned,
+                              double budget, double threshold) const;
+
+    void journalRun(const std::string &policy,
+                    const std::vector<std::size_t> &sequence,
+                    const std::vector<std::uint8_t> &retuned,
+                    double budget, double threshold) const;
 
     const ClusterFinder &clusters_;
     const StableRegionFinder &regions_;
     TuningCostModel cost_;
+    obs::DecisionJournal *journal_ = nullptr;
 };
 
 } // namespace mcdvfs

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mcdvfs
 {
@@ -97,6 +98,7 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
 {
     MCDVFS_ASSERT(!apps.empty(), "scheduler needs at least one app");
 
+    obs::TraceSpan run_span("sched.run", apps.size());
     std::vector<AppPlan> plans;
     plans.reserve(apps.size());
     for (const AppTask &task : apps)
@@ -121,8 +123,10 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
         const std::size_t k = plan.settingPerSample[s];
         const FrequencySetting wanted = grid.space().at(k);
 
-        if (last_app != apps.size() && last_app != app_idx)
+        if (last_app != apps.size() && last_app != app_idx) {
             ++result.contextSwitches;
+            obs::traceInstant("sched.context_switch", app_idx);
+        }
         last_app = app_idx;
 
         if (!hardware_known ||
@@ -135,6 +139,7 @@ BudgetScheduler::run(const std::vector<AppTask> &apps,
                 result.totalEnergy += cost.energy;
                 transition_energy += cost.energy;
                 ++result.frequencyTransitions;
+                obs::traceInstant("sched.transition", s);
             }
             hardware = wanted;
             hardware_known = true;

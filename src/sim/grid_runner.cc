@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace mcdvfs
 {
@@ -58,8 +59,10 @@ MeasuredGrid
 GridRunner::run(const WorkloadProfile &workload, const SettingsSpace &space)
 {
     SampleSimulator simulator(config_.sampler);
+    obs::TraceSpan characterize_span("sim.characterize");
     const std::vector<SampleProfile> profiles =
         simulator.characterize(workload);
+    characterize_span.end();
     return runWithProfiles(workload.name(), profiles, space,
                            workload.modeledInstructionsPerSample());
 }
@@ -87,10 +90,14 @@ GridRunner::runWithProfiles(const std::string &workload_name,
                             Count instructions_per_sample)
 {
     const obs::Clock::time_point build_start = obs::metricsNow();
+    obs::TraceSpan build_span("sim.grid.build", profiles.size());
     MeasuredGrid grid(workload_name, space, profiles.size(),
                       instructions_per_sample);
+    obs::TraceSpan tables_span("sim.grid.tables");
     const Tables tables = buildTables(workload_name, space);
+    tables_span.end();
 
+    obs::TraceSpan eval_span("sim.grid.eval", profiles.size());
     if (pool_ != nullptr && pool_->size() > 0 && profiles.size() > 1) {
         // Samples are independent and write disjoint cell rows, so the
         // fan-out needs no synchronization beyond the loop barrier.
@@ -103,6 +110,7 @@ GridRunner::runWithProfiles(const std::string &workload_name,
             evaluateSample(grid, profiles[s], s, space,
                            instructions_per_sample, tables);
     }
+    eval_span.end();
     grid.sealAggregates();
     grid.setProfiles(profiles);
 

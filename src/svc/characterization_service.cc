@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "svc/fingerprint.hh"
 
 namespace mcdvfs
@@ -74,6 +75,7 @@ CharacterizationService::gridFor(const WorkloadProfile &workload,
     const std::uint64_t digest = key.combined();
 
     if (auto cached = cache_.find(key)) {
+        obs::traceInstant("svc.cache_hit");
         cache_hit = true;
         return cached;
     }
@@ -95,6 +97,7 @@ CharacterizationService::gridFor(const WorkloadProfile &workload,
     }
     if (watch.valid()) {
         serviceMetrics().coalescedWaits.add(1);
+        obs::TraceSpan wait_span("svc.coalesced_wait");
         cache_hit = true;
         return watch.get();
     }
@@ -102,10 +105,12 @@ CharacterizationService::gridFor(const WorkloadProfile &workload,
     serviceMetrics().inflightBuilds.add(1);
     try {
         const obs::Clock::time_point build_start = obs::metricsNow();
+        obs::TraceSpan build_span("svc.grid_build");
         GridRunner runner(config_);
         runner.setThreadPool(&pool_);
         auto grid = std::make_shared<const MeasuredGrid>(
             runner.run(workload, space));
+        build_span.end();
         serviceMetrics().buildNs.record(obs::elapsedNs(build_start));
         serviceMetrics().gridBuilds.add(1);
         cache_.insert(key, grid);
@@ -133,6 +138,7 @@ CharacterizationService::analyze(const TuningRequest &request,
                                  std::shared_ptr<const MeasuredGrid> grid,
                                  bool cache_hit)
 {
+    obs::TraceSpan analyze_span("svc.analyze");
     TuningResult result;
     result.budget = request.budget;
     result.threshold = request.threshold;
@@ -155,6 +161,7 @@ TuningResult
 CharacterizationService::submit(const TuningRequest &request)
 {
     obs::ScopedTimer submit_timer(serviceMetrics().submitNs);
+    obs::TraceSpan submit_span("svc.submit");
     serviceMetrics().requests.add(1);
     bool cache_hit = false;
     auto grid = gridFor(request.workload, request.space, cache_hit);
@@ -166,6 +173,7 @@ CharacterizationService::submitBatch(
     const std::vector<TuningRequest> &requests)
 {
     std::vector<TuningResult> results(requests.size());
+    obs::TraceSpan batch_span("svc.submit_batch", requests.size());
     serviceMetrics().batches.add(1);
     serviceMetrics().requests.add(requests.size());
     const obs::Clock::time_point batch_start = obs::metricsNow();

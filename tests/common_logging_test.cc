@@ -1,9 +1,14 @@
 /**
  * @file
- * Unit tests for the error-reporting primitives.
+ * Unit tests for the error-reporting primitives and the advisory
+ * logging channel (sink registration, level filtering).
  */
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 
@@ -11,6 +16,42 @@ namespace mcdvfs
 {
 namespace
 {
+
+/** Captured (level, message) pairs; LogSink is a plain fn pointer. */
+std::vector<std::pair<LogLevel, std::string>> &
+capturedLogs()
+{
+    static std::vector<std::pair<LogLevel, std::string>> logs;
+    return logs;
+}
+
+void
+captureSink(LogLevel level, const std::string &msg)
+{
+    capturedLogs().emplace_back(level, msg);
+}
+
+/** Installs the capture sink for one test and restores state after. */
+class SinkCapture
+{
+  public:
+    SinkCapture() : previousSink_(setLogSink(&captureSink)),
+                    previousLevel_(logLevel())
+    {
+        capturedLogs().clear();
+    }
+
+    ~SinkCapture()
+    {
+        setLogSink(previousSink_);
+        setLogLevel(previousLevel_);
+        capturedLogs().clear();
+    }
+
+  private:
+    LogSink previousSink_;
+    LogLevel previousLevel_;
+};
 
 TEST(Logging, FatalThrowsFatalError)
 {
@@ -53,6 +94,61 @@ TEST(LoggingDeathTest, AssertAbortsOnFalse)
 TEST(Logging, AssertPassesOnTrue)
 {
     EXPECT_NO_THROW(MCDVFS_ASSERT(1 + 1 == 2, "fine"));
+}
+
+TEST(Logging, SinkReceivesWarnAndInform)
+{
+    SinkCapture capture;
+    setLogLevel(LogLevel::Debug);
+    warn("disk ", 7, " full");
+    inform("resuming");
+
+    ASSERT_EQ(capturedLogs().size(), 2u);
+    EXPECT_EQ(capturedLogs()[0].first, LogLevel::Warn);
+    EXPECT_EQ(capturedLogs()[0].second, "disk 7 full");
+    EXPECT_EQ(capturedLogs()[1].first, LogLevel::Info);
+    EXPECT_EQ(capturedLogs()[1].second, "resuming");
+}
+
+TEST(Logging, SetLogSinkReturnsThePreviousSink)
+{
+    const LogSink original = setLogSink(&captureSink);
+    EXPECT_EQ(setLogSink(original), &captureSink);
+}
+
+TEST(Logging, LevelFiltersMessagesBelowTheThreshold)
+{
+    SinkCapture capture;
+
+    setLogLevel(LogLevel::Warn);
+    inform("hidden");
+    warn("visible");
+    ASSERT_EQ(capturedLogs().size(), 1u);
+    EXPECT_EQ(capturedLogs()[0].second, "visible");
+
+    capturedLogs().clear();
+    setLogLevel(LogLevel::Silent);
+    warn("also hidden");
+    inform("also hidden");
+    EXPECT_TRUE(capturedLogs().empty());
+}
+
+TEST(Logging, LogLevelRoundTrip)
+{
+    SinkCapture capture;
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(logLevel(), LogLevel::Error);
+}
+
+TEST(Logging, LogLevelFromStringParsesEveryName)
+{
+    EXPECT_EQ(logLevelFromString("debug"), LogLevel::Debug);
+    EXPECT_EQ(logLevelFromString("info"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromString("warn"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromString("error"), LogLevel::Error);
+    EXPECT_EQ(logLevelFromString("silent"), LogLevel::Silent);
+    EXPECT_THROW(logLevelFromString("verbose"), FatalError);
+    EXPECT_THROW(logLevelFromString(""), FatalError);
 }
 
 } // namespace

@@ -179,6 +179,29 @@ TEST(ObsSnapshot, SortedByName)
     EXPECT_EQ(snap.counters[2].first, "zebra");
 }
 
+TEST(ObsLogBridge, WarnAndInformIncrementGlobalCounters)
+{
+    REQUIRE_METRICS_ON();
+    // Touching the global registry installs the log counter hook.
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    obs::Counter warnings = reg.counter("common.log.warnings");
+    obs::Counter informs = reg.counter("common.log.informs");
+
+    // Counting happens before level filtering, so a silenced channel
+    // still accounts for every emission.
+    const LogLevel previous = logLevel();
+    setLogLevel(LogLevel::Silent);
+    const std::uint64_t warn_before = warnings.value();
+    const std::uint64_t inform_before = informs.value();
+    warn("counted even when silent");
+    warn("twice");
+    inform("and informs too");
+    setLogLevel(previous);
+
+    EXPECT_EQ(warnings.value(), warn_before + 2);
+    EXPECT_EQ(informs.value(), inform_before + 1);
+}
+
 TEST(ObsStripes, ThreadStripeIsStableAndBounded)
 {
     const std::size_t first = obs::threadStripe();

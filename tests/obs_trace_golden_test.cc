@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Golden tests pinning the serialized trace formats under schema
+ * "mcdvfs-trace-v1": the Chrome trace_event JSON exporter (consumed by
+ * Perfetto / chrome://tracing) and the decision-journal JSONL.  A diff
+ * here means external consumers break — bump the schema string when
+ * the format must change.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/journal.hh"
+#include "obs/trace.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+namespace
+{
+
+TEST(TraceGolden, EmptySnapshotChromeJson)
+{
+    const std::string expected = "{\n"
+        "  \"displayTimeUnit\": \"ns\",\n"
+        "  \"otherData\": {\"schema\": \"mcdvfs-trace-v1\", "
+        "\"dropped_events\": 0, \"torn_reads\": 0},\n"
+        "  \"traceEvents\": []\n"
+        "}\n";
+    EXPECT_EQ(toChromeJson(TraceSnapshot{}), expected);
+}
+
+TEST(TraceGolden, ChromeJsonPinnedByteForByte)
+{
+    // Explicit timestamps keep the document fully deterministic.
+    TraceCollector collector;
+    collector.enable(16);
+    collector.record('X', "svc.grid_build", /*ts_ns=*/1000,
+                     /*dur_ns=*/500, /*arg=*/7);
+    collector.record('i', "runtime.tuning.retune", /*ts_ns=*/2500,
+                     /*dur_ns=*/0, /*arg=*/3);
+
+    const std::string expected = "{\n"
+        "  \"displayTimeUnit\": \"ns\",\n"
+        "  \"otherData\": {\"schema\": \"mcdvfs-trace-v1\", "
+        "\"dropped_events\": 0, \"torn_reads\": 0},\n"
+        "  \"traceEvents\": [\n"
+        "    {\"name\": \"svc.grid_build\", \"cat\": \"mcdvfs\", "
+        "\"ph\": \"X\", \"ts\": 1.000, \"dur\": 0.500, \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"v\": 7}},\n"
+        "    {\"name\": \"runtime.tuning.retune\", \"cat\": \"mcdvfs\", "
+        "\"ph\": \"i\", \"ts\": 2.500, \"s\": \"t\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"v\": 3}}\n"
+        "  ]\n"
+        "}\n";
+    EXPECT_EQ(toChromeJson(collector.snapshot()), expected);
+}
+
+TEST(TraceGolden, ChromeJsonReportsDrops)
+{
+    TraceCollector collector;
+    collector.enable(2);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        collector.record('i', "e", i * 1000, 0, i);
+
+    const std::string json = toChromeJson(collector.snapshot());
+    EXPECT_NE(json.find("\"dropped_events\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": \"mcdvfs-trace-v1\""),
+              std::string::npos);
+}
+
+TEST(JournalGolden, JsonlPinnedByteForByte)
+{
+    DecisionJournal journal;
+    DecisionRecord record;
+    record.workload = "phased";
+    record.policy = "oracle";
+    record.sample = 4;
+    record.cpi = 1.25;
+    record.mpki = 12.5;
+    record.cpuMhz = 1890;
+    record.memMhz = 800;
+    record.inefficiency = 1.27;
+    record.budget = 1.3;
+    record.inCluster = true;
+    record.region = 2;
+    record.retuned = true;
+    record.transition = false;
+    record.overheadNs = 500000;
+    record.overheadNj = 30000;
+    journal.append(record);
+
+    record.policy = "every-sample";
+    record.sample = 5;
+    record.inCluster = false;
+    record.region = -1;
+    record.retuned = false;
+    record.transition = true;
+    journal.append(record);
+
+    const std::string expected =
+        "{\"schema\": \"mcdvfs-trace-v1\", \"kind\": \"journal\", "
+        "\"records\": 2}\n"
+        "{\"kind\": \"sample\", \"workload\": \"phased\", "
+        "\"policy\": \"oracle\", \"sample\": 4, \"cpi\": 1.25, "
+        "\"mpki\": 12.5, \"cpu_mhz\": 1890, \"mem_mhz\": 800, "
+        "\"inefficiency\": 1.27, \"budget\": 1.3, "
+        "\"in_cluster\": true, \"region\": 2, \"retune\": true, "
+        "\"transition\": false, \"overhead_ns\": 500000, "
+        "\"overhead_nj\": 30000}\n"
+        "{\"kind\": \"sample\", \"workload\": \"phased\", "
+        "\"policy\": \"every-sample\", \"sample\": 5, \"cpi\": 1.25, "
+        "\"mpki\": 12.5, \"cpu_mhz\": 1890, \"mem_mhz\": 800, "
+        "\"inefficiency\": 1.27, \"budget\": 1.3, "
+        "\"in_cluster\": false, \"region\": -1, \"retune\": false, "
+        "\"transition\": true, \"overhead_ns\": 500000, "
+        "\"overhead_nj\": 30000}\n";
+    EXPECT_EQ(journal.toJsonl(), expected);
+}
+
+TEST(JournalGolden, EmptyJournalHeaderOnly)
+{
+    const DecisionJournal journal;
+    EXPECT_EQ(journal.toJsonl(),
+              "{\"schema\": \"mcdvfs-trace-v1\", \"kind\": \"journal\", "
+              "\"records\": 0}\n");
+}
+
+} // namespace
+} // namespace obs
+} // namespace mcdvfs

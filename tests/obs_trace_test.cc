@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the execution-trace collector: ring wrap/drop
+ * accounting, runtime enable gating, reset semantics, and the
+ * TraceSpan / traceInstant instrumentation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+namespace
+{
+
+TEST(TraceRing, KeepsEverythingBelowCapacity)
+{
+    detail::TraceRing ring(8, 0);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.push('i', "event", /*ts_ns=*/i, /*dur_ns=*/0, /*arg=*/i);
+
+    EXPECT_EQ(ring.written(), 5u);
+    EXPECT_EQ(ring.dropped(), 0u);
+
+    std::vector<TraceEventView> events;
+    EXPECT_EQ(ring.readInto(events), 0u);
+    ASSERT_EQ(events.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(events[i].tsNs, i);
+        EXPECT_EQ(events[i].arg, i);
+    }
+}
+
+TEST(TraceRing, DropsOldestOnWrap)
+{
+    detail::TraceRing ring(8, 3);
+    for (std::uint64_t i = 0; i < 20; ++i)
+        ring.push('X', "span", /*ts_ns=*/i, /*dur_ns=*/2 * i, i);
+
+    EXPECT_EQ(ring.written(), 20u);
+    EXPECT_EQ(ring.dropped(), 12u);
+
+    std::vector<TraceEventView> events;
+    EXPECT_EQ(ring.readInto(events), 0u);
+    ASSERT_EQ(events.size(), 8u);
+    // The retained window is the *newest* 8 events, in record order.
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(events[i].tsNs, 12 + i);
+        EXPECT_EQ(events[i].durNs, 2 * (12 + i));
+        EXPECT_EQ(events[i].phase, 'X');
+        EXPECT_EQ(events[i].tid, 3u);
+    }
+}
+
+TEST(TraceRing, ClampsCapacityToOne)
+{
+    detail::TraceRing ring(0, 0);
+    EXPECT_EQ(ring.capacity(), 1u);
+    ring.push('i', "a", 1, 0, 0);
+    ring.push('i', "b", 2, 0, 0);
+    EXPECT_EQ(ring.dropped(), 1u);
+
+    std::vector<TraceEventView> events;
+    ring.readInto(events);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_STREQ(events[0].name, "b");
+}
+
+TEST(TraceCollector, DisabledByDefault)
+{
+    TraceCollector collector;
+    EXPECT_FALSE(collector.enabled());
+    collector.record('i', "ignored", 1, 0, 0);
+    const TraceSnapshot snap = collector.snapshot();
+    EXPECT_TRUE(snap.events.empty());
+    EXPECT_EQ(snap.droppedEvents, 0u);
+}
+
+TEST(TraceCollector, RecordsWhenEnabledAndStopsWhenDisabled)
+{
+    TraceCollector collector;
+    collector.enable(16);
+    EXPECT_TRUE(collector.enabled());
+    collector.record('X', "build", 100, 50, 7);
+    collector.record('i', "hit", 200, 0, 1);
+    collector.disable();
+    collector.record('i', "ignored", 300, 0, 0);
+
+    const TraceSnapshot snap = collector.snapshot();
+    ASSERT_EQ(snap.events.size(), 2u);
+    EXPECT_STREQ(snap.events[0].name, "build");
+    EXPECT_EQ(snap.events[0].phase, 'X');
+    EXPECT_EQ(snap.events[0].tsNs, 100u);
+    EXPECT_EQ(snap.events[0].durNs, 50u);
+    EXPECT_EQ(snap.events[0].arg, 7u);
+    EXPECT_STREQ(snap.events[1].name, "hit");
+    EXPECT_EQ(snap.events[1].phase, 'i');
+    EXPECT_EQ(snap.tornReads, 0u);
+}
+
+TEST(TraceCollector, CountsDropsAcrossTheSnapshot)
+{
+    TraceCollector collector;
+    collector.enable(4);
+    for (std::uint64_t i = 0; i < 10; ++i)
+        collector.record('i', "e", i, 0, i);
+
+    const TraceSnapshot snap = collector.snapshot();
+    EXPECT_EQ(snap.events.size(), 4u);
+    EXPECT_EQ(snap.droppedEvents, 6u);
+}
+
+TEST(TraceCollector, ResetDropsEventsAndAcceptsNewOnes)
+{
+    TraceCollector collector;
+    collector.enable(16);
+    collector.record('i', "before", 1, 0, 0);
+    collector.reset();
+    EXPECT_TRUE(collector.snapshot().events.empty());
+
+    // The thread re-registers a fresh ring after the epoch bump.
+    collector.record('i', "after", 2, 0, 0);
+    const TraceSnapshot snap = collector.snapshot();
+    ASSERT_EQ(snap.events.size(), 1u);
+    EXPECT_STREQ(snap.events[0].name, "after");
+}
+
+TEST(TraceHelpers, SpanAndInstantRecordIntoTheGlobalCollector)
+{
+    if (!kTracingEnabled)
+        GTEST_SKIP() << "tracing compiled out";
+
+    TraceCollector &collector = TraceCollector::global();
+    collector.reset();
+    collector.enable(64);
+
+    {
+        TraceSpan span("test.span", 7);
+    }
+    traceInstant("test.instant", 3);
+
+    const TraceSnapshot snap = collector.snapshot();
+    collector.disable();
+    collector.reset();
+
+    ASSERT_EQ(snap.events.size(), 2u);
+    EXPECT_STREQ(snap.events[0].name, "test.span");
+    EXPECT_EQ(snap.events[0].phase, 'X');
+    EXPECT_EQ(snap.events[0].arg, 7u);
+    EXPECT_STREQ(snap.events[1].name, "test.instant");
+    EXPECT_EQ(snap.events[1].phase, 'i');
+    EXPECT_EQ(snap.events[1].arg, 3u);
+}
+
+TEST(TraceHelpers, SpanEndRecordsOnceAndDisarmsTheDestructor)
+{
+    if (!kTracingEnabled)
+        GTEST_SKIP() << "tracing compiled out";
+
+    TraceCollector &collector = TraceCollector::global();
+    collector.reset();
+    collector.enable(64);
+
+    {
+        TraceSpan span("test.early_end", 1);
+        span.end();
+        span.end();  // idempotent
+    }
+
+    const TraceSnapshot snap = collector.snapshot();
+    collector.disable();
+    collector.reset();
+
+    ASSERT_EQ(snap.events.size(), 1u);
+    EXPECT_STREQ(snap.events[0].name, "test.early_end");
+}
+
+TEST(TraceHelpers, NothingRecordsWhileTheCollectorIsDisabled)
+{
+    TraceCollector &collector = TraceCollector::global();
+    collector.reset();
+    EXPECT_FALSE(tracingActive());
+
+    {
+        TraceSpan span("test.disabled", 1);
+    }
+    traceInstant("test.disabled", 2);
+
+    const TraceSnapshot snap = collector.snapshot();
+    collector.reset();
+    EXPECT_TRUE(snap.events.empty());
+}
+
+} // namespace
+} // namespace obs
+} // namespace mcdvfs

@@ -24,6 +24,13 @@
  * metrics snapshot (docs/OBSERVABILITY.md) as JSON on exit; the
  * "stats" command prints the same snapshot to stdout, optionally
  * after running a batch of tuning requests to generate activity.
+ *
+ * Every command also accepts --trace-out FILE to record an execution
+ * trace (Chrome trace_event JSON, loadable in Perfetto or
+ * chrome://tracing), --log-level LEVEL to set the advisory logging
+ * threshold (debug, info, warn, error, silent), and — for tradeoff
+ * and tune — --trace-journal FILE to dump the per-sample tuning
+ * decision journal (JSONL, schema mcdvfs-trace-v1).
  */
 
 #include <fstream>
@@ -32,11 +39,14 @@
 #include "common/args.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "obs/journal.hh"
 #include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "core/pareto.hh"
 #include "repro/analyses.hh"
 #include "repro/suite.hh"
 #include "runtime/offline_profile.hh"
+#include "runtime/tuning_loop.hh"
 #include "sched/scheduler.hh"
 #include "sim/grid_io.hh"
 #include "svc/characterization_service.hh"
@@ -64,8 +74,30 @@ usage()
            "  tune <wl[:budget]> <wl[:budget]> ... [--threshold PCT]\n"
            "  stats [wl[:budget]] ...               metrics snapshot\n"
            "options: --jobs N parallelizes grid construction;\n"
-           "         --metrics-out FILE dumps metrics JSON on exit\n";
+           "         --metrics-out FILE dumps metrics JSON on exit;\n"
+           "         --trace-out FILE dumps a Chrome/Perfetto trace;\n"
+           "         --trace-journal FILE dumps the per-sample tuning\n"
+           "           decision journal (tradeoff and tune);\n"
+           "         --log-level LEVEL sets the advisory threshold\n"
+           "           (debug, info, warn, error, silent)\n";
     return 2;
+}
+
+/**
+ * Run the four online re-tune schedules over @c grid with a decision
+ * journal attached, appending one record per (policy, sample) pair.
+ */
+void
+journalSchedules(obs::DecisionJournal &journal, const MeasuredGrid &grid,
+                 double budget, double threshold)
+{
+    GridAnalyses a(grid);
+    TuningLoop loop(a.clusters, a.regions, a.costModel);
+    loop.setJournal(&journal);
+    loop.runOracle(budget, threshold);
+    loop.runEverySample(budget, threshold);
+    loop.runPredictive(budget, threshold);
+    loop.runReactive(budget, threshold);
 }
 
 std::size_t
@@ -285,6 +317,15 @@ cmdTradeoff(const ArgParser &args)
               << "%; with tuning overhead: perf "
               << Table::num(row.perfPctWithOverhead, 2) << "% / energy "
               << Table::num(row.energyPctWithOverhead, 2) << "%\n";
+
+    if (args.has("trace-journal")) {
+        obs::DecisionJournal journal;
+        journalSchedules(journal, *grid, budget, threshold);
+        journal.write(args.get("trace-journal"));
+        std::cerr << "wrote " << journal.records().size()
+                  << " journal records to " << args.get("trace-journal")
+                  << "\n";
+    }
     return 0;
 }
 
@@ -424,6 +465,18 @@ cmdTune(const ArgParser &args)
     std::cout << "grid cache: " << stats.hits << " hits, "
               << stats.misses << " misses, " << stats.evictions
               << " evictions\n";
+
+    if (args.has("trace-journal")) {
+        obs::DecisionJournal journal;
+        for (const svc::TuningResult &result : results) {
+            journalSchedules(journal, *result.grid, result.budget,
+                             result.threshold);
+        }
+        journal.write(args.get("trace-journal"));
+        std::cerr << "wrote " << journal.records().size()
+                  << " journal records to " << args.get("trace-journal")
+                  << "\n";
+    }
     return 0;
 }
 
@@ -463,11 +516,18 @@ main(int argc, char **argv)
     args.addOption("out");
     args.addOption("jobs");
     args.addOption("metrics-out");
+    args.addOption("trace-out");
+    args.addOption("trace-journal");
+    args.addOption("log-level");
     args.addFlag("fine");
     args.addFlag("csv");
 
     try {
         args.parse(argc, argv);
+        if (args.has("log-level"))
+            setLogLevel(logLevelFromString(args.get("log-level")));
+        if (args.has("trace-out"))
+            obs::TraceCollector::global().enable();
         if (args.positionals().empty())
             return usage();
         const std::string &command = args.positionals().front();
@@ -505,6 +565,8 @@ main(int argc, char **argv)
 
         if (args.has("metrics-out"))
             obs::writeMetricsJson(args.get("metrics-out"));
+        if (args.has("trace-out"))
+            obs::writeChromeTraceJson(args.get("trace-out"));
         return rc;
     } catch (const FatalError &err) {
         std::cerr << "error: " << err.what() << '\n';
