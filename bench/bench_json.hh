@@ -69,17 +69,22 @@ metricsSidecarPath(const std::string &path)
     return path + ".metrics.json";
 }
 
-/** Serialize @c records to @c path; throws FatalError on I/O failure. */
+/**
+ * Serialize @c records to @c path; throws FatalError on I/O failure.
+ * @c schema names the document flavor (the analysis-kernel benchmark
+ * emits "mcdvfs-bench-analysis-v1" with the same record layout).
+ */
 inline void
 writeBenchGridJson(const std::string &path, const std::string &benchmark,
-                   const std::vector<GridBenchRecord> &records)
+                   const std::vector<GridBenchRecord> &records,
+                   const std::string &schema = "mcdvfs-bench-grid-v1")
 {
     std::ofstream out(path);
     if (!out)
         fatal("bench json: cannot open ", path, " for writing");
     out.precision(17);
     out << "{\n";
-    out << "  \"schema\": \"mcdvfs-bench-grid-v1\",\n";
+    out << "  \"schema\": \"" << schema << "\",\n";
     out << "  \"benchmark\": \"" << benchmark << "\",\n";
     out << "  \"results\": [\n";
     for (std::size_t i = 0; i < records.size(); ++i) {

@@ -1,29 +1,66 @@
 /**
  * @file
- * Shared renderer for the Figure 4/5 performance-cluster panels:
- * per-sample cluster extents for budgets {1.0, 1.3} x thresholds
- * {1%, 5%}.
+ * Shared budget/threshold sweep setup and panel renderers for the
+ * cluster figures (Figs. 4, 5 and 9).
+ *
+ * Every cluster figure evaluates a cross product of inefficiency
+ * budgets and cluster thresholds over one grid.  The helpers here
+ * build the sweep points in panel order, run them through
+ * AnalysisSweep (optionally fanned over a thread pool — bit-identical
+ * to serial), and render the per-sample cluster-extent panels of
+ * Figs. 4/5.
  */
 
 #ifndef MCDVFS_BENCH_CLUSTER_PANELS_HH
 #define MCDVFS_BENCH_CLUSTER_PANELS_HH
 
 #include <algorithm>
+#include <cstdio>
+#include <initializer_list>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
+#include "core/analysis_sweep.hh"
+#include "exec/thread_pool.hh"
 #include "repro/analyses.hh"
 #include "repro/suite.hh"
 
 namespace mcdvfs
 {
 
+/** Cross product of budgets x thresholds, in panel order. */
+inline std::vector<SweepPoint>
+sweepGrid(std::initializer_list<double> budgets,
+          std::initializer_list<double> thresholds)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(budgets.size() * thresholds.size());
+    for (const double budget : budgets) {
+        for (const double threshold : thresholds)
+            points.push_back({budget, threshold});
+    }
+    return points;
+}
+
+/** "1.3/3%" row label of one sweep point. */
+inline std::string
+sweepLabel(const SweepPoint &point)
+{
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.1f/%.0f%%", point.budget,
+                  point.threshold * 100.0);
+    return label;
+}
+
 /** Render one (budget, threshold) cluster panel for a workload. */
 inline void
 printClusterPanel(const MeasuredGrid &grid, GridAnalyses &a,
-                  double budget, double threshold)
+                  const SweepResult &result)
 {
+    const double budget = result.point.budget;
+    const double threshold = result.point.threshold;
     Table table({"sample", "cpu lo", "cpu hi", "mem lo", "mem hi",
                  "size", "opt"});
     char title[128];
@@ -32,10 +69,8 @@ printClusterPanel(const MeasuredGrid &grid, GridAnalyses &a,
                   grid.workload().c_str(), budget, threshold * 100.0);
     table.setTitle(title);
 
-    std::size_t total_settings = 0;
     for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
-        const PerformanceCluster cluster =
-            a.clusters.clusterForSample(s, budget, threshold);
+        const PerformanceCluster cluster = result.table.materialize(s);
         Hertz cpu_lo = grid.space().cpuLadder().highest();
         Hertz cpu_hi = grid.space().cpuLadder().lowest();
         Hertz mem_lo = grid.space().memLadder().highest();
@@ -47,7 +82,6 @@ printClusterPanel(const MeasuredGrid &grid, GridAnalyses &a,
             mem_lo = std::min(mem_lo, setting.mem);
             mem_hi = std::max(mem_hi, setting.mem);
         }
-        total_settings += cluster.settings.size();
         table.addRow({Table::num(static_cast<long long>(s)),
                       Table::num(toMegaHertz(cpu_lo), 0),
                       Table::num(toMegaHertz(cpu_hi), 0),
@@ -59,28 +93,30 @@ printClusterPanel(const MeasuredGrid &grid, GridAnalyses &a,
     }
     table.print(std::cout);
 
-    const auto regions = a.regions.find(budget, threshold);
     std::cout << "avg cluster size: "
-              << Table::num(static_cast<double>(total_settings) /
-                                static_cast<double>(grid.sampleCount()),
-                            2)
-              << "; stable regions: " << regions.size()
+              << Table::num(result.avgClusterSize(), 2)
+              << "; stable regions: " << result.regions.size()
               << "; transitions: "
               << a.transitions.forClusterPolicy(budget, threshold)
                      .transitions
               << "\n\n";
 }
 
-/** Render the full four-panel figure for one workload. */
+/**
+ * Render the full four-panel figure for one workload: budgets
+ * {1.0, 1.3} x thresholds {1%, 5%}.  @c pool optionally fans the
+ * sweep's per-sample kernel out (bit-identical to serial).
+ */
 inline void
-printClusterPanels(ReproSuite &suite, const std::string &workload)
+printClusterPanels(ReproSuite &suite, const std::string &workload,
+                   exec::ThreadPool *pool = nullptr)
 {
     const MeasuredGrid &grid = suite.grid(workload);
     GridAnalyses a(grid);
-    for (const double budget : {1.0, 1.3}) {
-        for (const double threshold : {0.01, 0.05})
-            printClusterPanel(grid, a, budget, threshold);
-    }
+    AnalysisSweep sweep(a.clusters);
+    for (const SweepResult &result :
+         sweep.run(sweepGrid({1.0, 1.3}, {0.01, 0.05}), pool))
+        printClusterPanel(grid, a, result);
 }
 
 } // namespace mcdvfs

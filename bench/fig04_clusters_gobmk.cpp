@@ -8,14 +8,36 @@
  * chance of consecutive samples sharing a setting and so reduces
  * transitions; whether a higher budget lengthens stable regions is
  * workload dependent.
+ *
+ * --jobs N fans the sweep's per-sample cluster kernel over a thread
+ * pool (output is bit-identical to the serial run).
  */
 
+#include <iostream>
+
 #include "cluster_panels.hh"
+#include "common/args.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdvfs::ArgParser args("fig04_clusters_gobmk");
+    args.addOption("jobs");
+    std::size_t jobs = 0;
+    try {
+        args.parse(argc, argv);
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
+    } catch (const mcdvfs::FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 2;
+    }
+
     mcdvfs::ReproSuite suite;
-    mcdvfs::printClusterPanels(suite, "gobmk");
+    if (jobs > 0) {
+        mcdvfs::exec::ThreadPool pool(jobs);
+        mcdvfs::printClusterPanels(suite, "gobmk", &pool);
+    } else {
+        mcdvfs::printClusterPanels(suite, "gobmk");
+    }
     return 0;
 }

@@ -7,14 +7,36 @@
  * memory-intensive bursts; at higher thresholds the CPU frequency
  * stays tightly bound while the cluster spans a wide range of memory
  * frequencies (small performance difference across memory settings).
+ *
+ * --jobs N fans the sweep's per-sample cluster kernel over a thread
+ * pool (output is bit-identical to the serial run).
  */
 
+#include <iostream>
+
 #include "cluster_panels.hh"
+#include "common/args.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    mcdvfs::ArgParser args("fig05_clusters_milc");
+    args.addOption("jobs");
+    std::size_t jobs = 0;
+    try {
+        args.parse(argc, argv);
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
+    } catch (const mcdvfs::FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 2;
+    }
+
     mcdvfs::ReproSuite suite;
-    mcdvfs::printClusterPanels(suite, "milc");
+    if (jobs > 0) {
+        mcdvfs::exec::ThreadPool pool(jobs);
+        mcdvfs::printClusterPanels(suite, "milc", &pool);
+    } else {
+        mcdvfs::printClusterPanels(suite, "milc");
+    }
     return 0;
 }

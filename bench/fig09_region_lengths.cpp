@@ -9,14 +9,17 @@
  *  (c) all benchmarks at budget 1.3.
  *
  * Each row is a box-plot five-number summary (min / Q1 / median / Q3 /
- * max) of region lengths in samples.
+ * max) of region lengths in samples.  The twelve-point sweeps run
+ * through AnalysisSweep; --jobs N fans the per-sample cluster kernel
+ * over a thread pool (output is bit-identical to the serial run).
  */
 
 #include <iostream>
+#include <memory>
 
+#include "cluster_panels.hh"
+#include "common/args.hh"
 #include "common/table.hh"
-#include "repro/analyses.hh"
-#include "repro/suite.hh"
 
 using namespace mcdvfs;
 
@@ -24,10 +27,10 @@ namespace
 {
 
 Distribution
-regionLengths(GridAnalyses &a, double budget, double threshold)
+regionLengths(const SweepResult &result)
 {
     Distribution lengths;
-    for (const StableRegion &region : a.regions.find(budget, threshold))
+    for (const StableRegion &region : result.regions)
         lengths.add(static_cast<double>(region.length()));
     return lengths;
 }
@@ -46,25 +49,39 @@ addBoxRow(Table &table, const std::string &label,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ArgParser args("fig09_region_lengths");
+    args.addOption("jobs");
+    std::size_t jobs = 0;
+    try {
+        args.parse(argc, argv);
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
+    } catch (const FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 2;
+    }
+
     ReproSuite suite;
+    std::unique_ptr<exec::ThreadPool> owned_pool;
+    if (jobs > 0)
+        owned_pool = std::make_unique<exec::ThreadPool>(jobs);
+    exec::ThreadPool *pool = owned_pool.get();
 
     // Panels (a) and (b): per-benchmark budget sweep.
     for (const std::string workload : {"gobmk", "bzip2"}) {
         const MeasuredGrid &grid = suite.grid(workload);
         GridAnalyses a(grid);
+        AnalysisSweep sweep(a.clusters);
         Table table({"budget/thr", "regions", "min", "q1", "median",
                      "q3", "max", "mean"});
         table.setTitle("Fig 9: stable-region lengths, " + workload);
-        for (const double budget : {1.0, 1.2, 1.3, 1.6}) {
-            for (const double threshold : {0.01, 0.03, 0.05}) {
-                char label[32];
-                std::snprintf(label, sizeof(label), "%.1f/%.0f%%",
-                              budget, threshold * 100.0);
-                addBoxRow(table, label,
-                          regionLengths(a, budget, threshold));
-            }
+        for (const SweepResult &result :
+             sweep.run(sweepGrid({1.0, 1.2, 1.3, 1.6},
+                                 {0.01, 0.03, 0.05}),
+                       pool)) {
+            addBoxRow(table, sweepLabel(result.point),
+                      regionLengths(result));
         }
         table.print(std::cout);
         std::cout << '\n';
@@ -77,11 +94,13 @@ main()
     for (const std::string &name : ReproSuite::benchmarkNames()) {
         const MeasuredGrid &grid = suite.grid(name);
         GridAnalyses a(grid);
-        for (const double threshold : {0.01, 0.03, 0.05}) {
+        AnalysisSweep sweep(a.clusters);
+        for (const SweepResult &result :
+             sweep.run(sweepGrid({1.3}, {0.01, 0.03, 0.05}), pool)) {
             char label[48];
             std::snprintf(label, sizeof(label), "%s/%.0f%%",
-                          name.c_str(), threshold * 100.0);
-            addBoxRow(table, label, regionLengths(a, 1.3, threshold));
+                          name.c_str(), result.point.threshold * 100.0);
+            addBoxRow(table, label, regionLengths(result));
         }
     }
     table.print(std::cout);

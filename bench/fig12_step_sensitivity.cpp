@@ -13,23 +13,44 @@
  */
 
 #include <iostream>
+#include <memory>
 
+#include "common/args.hh"
 #include "common/table.hh"
 #include "core/step_sensitivity.hh"
 #include "core/tuning_cost.hh"
+#include "exec/thread_pool.hh"
 #include "repro/suite.hh"
 #include "trace/workloads.hh"
 
 using namespace mcdvfs;
 
 int
-main()
+main(int argc, char **argv)
 {
     const double budget = 1.3;
     const double threshold = 0.01;
 
+    ArgParser args("fig12_step_sensitivity");
+    args.addOption("jobs");
+    std::size_t jobs = 0;
+    try {
+        args.parse(argc, argv);
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
+    } catch (const FatalError &err) {
+        std::cerr << "error: " << err.what() << '\n';
+        return 2;
+    }
+
     ReproSuite suite;
     StepSensitivity sensitivity(suite.runner());
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (jobs > 0) {
+        // Fans the per-sample cluster kernel of both characterizations
+        // out; the table is bit-identical to the serial run.
+        pool = std::make_unique<exec::ThreadPool>(jobs);
+        sensitivity.setThreadPool(pool.get());
+    }
     const StepSensitivityResult result = sensitivity.compare(
         workloadByName("gobmk"), budget, threshold,
         SettingsSpace::coarse(), SettingsSpace::fine());

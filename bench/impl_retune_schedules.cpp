@@ -15,12 +15,18 @@
  * --journal FILE additionally dumps the per-sample tuning decision
  * journal of every (benchmark, policy) run as JSONL (schema
  * mcdvfs-trace-v1; see docs/OBSERVABILITY.md).
+ *
+ * --jobs N spreads grid characterization and the per-sample cluster
+ * kernel over a thread pool (results are bit-identical to serial).
  */
 
+#include <algorithm>
 #include <iostream>
+#include <memory>
 
 #include "common/args.hh"
 #include "common/table.hh"
+#include "exec/thread_pool.hh"
 #include "obs/journal.hh"
 #include "repro/analyses.hh"
 #include "repro/suite.hh"
@@ -36,8 +42,11 @@ main(int argc, char **argv)
 
     ArgParser args("impl_retune_schedules");
     args.addOption("journal");
+    args.addOption("jobs");
+    std::size_t jobs = 0;
     try {
         args.parse(argc, argv);
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
     } catch (const FatalError &err) {
         std::cerr << "error: " << err.what() << '\n';
         return 2;
@@ -46,7 +55,11 @@ main(int argc, char **argv)
     obs::DecisionJournal journal;
     const bool journaling = args.has("journal");
 
-    ReproSuite suite;
+    ReproSuite suite(SystemConfig::paperDefault(),
+                     std::max<std::size_t>(1, jobs));
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (jobs > 0)
+        pool = std::make_unique<exec::ThreadPool>(jobs);
 
     Table table({"benchmark", "policy", "events", "transitions",
                  "time+oh (ms)", "energy (mJ)", "achieved I",
@@ -61,7 +74,8 @@ main(int argc, char **argv)
             loop.setJournal(&journal);
 
         const OfflineProfile profile = OfflineProfile::fromRegions(
-            name, a.regions.find(budget, threshold), grid.space());
+            name, a.regions.find(budget, threshold, pool.get()),
+            grid.space());
 
         const TuningLoopResult results[] = {
             loop.runEverySample(budget, threshold),

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Analysis-kernel micro-benchmark: bitset cluster/region kernel vs the
+ * scalar reference chain (docs/PERF.md).
+ *
+ * Times a nine-point budget x threshold sweep — per-sample clusters
+ * plus stable regions at every point — with both analysis paths: the
+ * pre-bitset scalar reference (core/reference_analysis.hh) and the
+ * SettingMask kernel behind ClusterFinder/StableRegionFinder.  Runs on
+ * the coarse 70-setting and fine 496-setting spaces, verifies the two
+ * paths agree exactly on every cluster and region, and reports the
+ * speedup.  Optionally also times the sweep fanned over a thread pool
+ * (--jobs N), verified bit-identical to the serial sweep.
+ *
+ * Results go to stdout and, machine-readable, to BENCH_analysis.json
+ * (--out overrides the path; schema mcdvfs-bench-analysis-v1, same
+ * record layout as BENCH_grid.json).  "cells" here are
+ * samples x settings x sweep points.
+ *
+ * --tiny shrinks the workload and skips the fine space so the binary
+ * doubles as the tier-1 "perf_smoke" ctest: a fast end-to-end check
+ * that both analysis paths still agree exactly.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <limits>
+
+#include "bench_json.hh"
+#include "common/args.hh"
+#include "common/logging.hh"
+#include "core/analysis_sweep.hh"
+#include "core/reference_analysis.hh"
+#include "exec/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "trace/workloads.hh"
+
+using namespace mcdvfs;
+
+namespace
+{
+
+/** Small synthetic workload for --tiny runs. */
+WorkloadProfile
+tinyWorkload()
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.hotFrac = 0.98;
+    cpu.warmFrac = 0.015;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.hotFrac = 0.80;
+    mem.warmFrac = 0.10;
+    mem.coldSeqFrac = 0.3;
+    return WorkloadProfile(
+        "tiny", 6,
+        [cpu, mem](std::size_t s) { return s % 2 ? mem : cpu; }, 5,
+        /*jitter=*/0.0);
+}
+
+/** Best-of-@c reps wall time of @c fn, in seconds. */
+double
+bestOf(int reps, const std::function<void()> &fn)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < reps; ++r) {
+        const auto start = std::chrono::steady_clock::now();
+        fn();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        best = std::min(best, elapsed.count());
+    }
+    return best;
+}
+
+/** One sweep point's scalar-reference output. */
+struct ReferencePoint
+{
+    std::vector<PerformanceCluster> clusters;
+    std::vector<StableRegion> regions;
+};
+
+/** The scalar reference chain over every sweep point, in order. */
+std::vector<ReferencePoint>
+runReferenceSweep(const OptimalSettingsFinder &finder,
+                  const SettingsSpace &space,
+                  const std::vector<SweepPoint> &points)
+{
+    std::vector<ReferencePoint> out;
+    out.reserve(points.size());
+    for (const SweepPoint &point : points) {
+        ReferencePoint ref;
+        ref.clusters =
+            referenceClusters(finder, point.budget, point.threshold);
+        ref.regions = referenceStableRegions(space, ref.clusters);
+        out.push_back(std::move(ref));
+    }
+    return out;
+}
+
+bool
+sameChoice(const OptimalChoice &a, const OptimalChoice &b)
+{
+    return a.settingIndex == b.settingIndex && a.setting == b.setting &&
+           a.speedup == b.speedup && a.inefficiency == b.inefficiency;
+}
+
+bool
+sameRegions(const std::vector<StableRegion> &a,
+            const std::vector<StableRegion> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i].first != b[i].first || a[i].last != b[i].last ||
+            a[i].availableSettings != b[i].availableSettings ||
+            a[i].chosenSettingIndex != b[i].chosenSettingIndex ||
+            !(a[i].chosenSetting == b[i].chosenSetting))
+            return false;
+    }
+    return true;
+}
+
+/** Fatal unless the kernel sweep matches the reference exactly. */
+void
+requireMatchesReference(const std::vector<SweepResult> &kernel,
+                        const std::vector<ReferencePoint> &reference)
+{
+    MCDVFS_ASSERT(kernel.size() == reference.size(),
+                  "sweep sizes differ");
+    for (std::size_t p = 0; p < kernel.size(); ++p) {
+        const SweepResult &k = kernel[p];
+        const ReferencePoint &r = reference[p];
+        if (k.table.sampleCount() != r.clusters.size())
+            fatal("analysis bench: sample counts differ at point ", p);
+        for (std::size_t s = 0; s < r.clusters.size(); ++s) {
+            const PerformanceCluster cluster = k.table.materialize(s);
+            if (!sameChoice(cluster.optimal, r.clusters[s].optimal) ||
+                cluster.settings != r.clusters[s].settings) {
+                fatal("analysis bench: kernel cluster diverges from "
+                      "the reference at point ",
+                      p, ", sample ", s);
+            }
+        }
+        if (!sameRegions(k.regions, r.regions))
+            fatal("analysis bench: kernel regions diverge from the "
+                  "reference at point ", p);
+    }
+}
+
+/** Fatal unless two kernel sweeps agree exactly (serial vs pooled). */
+void
+requireIdenticalSweeps(const std::vector<SweepResult> &a,
+                       const std::vector<SweepResult> &b)
+{
+    MCDVFS_ASSERT(a.size() == b.size(), "sweep sizes differ");
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        if (a[p].table.masks != b[p].table.masks)
+            fatal("analysis bench: pooled sweep masks diverge at "
+                  "point ", p);
+        for (std::size_t s = 0; s < a[p].table.sampleCount(); ++s) {
+            if (!sameChoice(a[p].table.optimal[s], b[p].table.optimal[s]))
+                fatal("analysis bench: pooled sweep optima diverge at "
+                      "point ", p, ", sample ", s);
+        }
+        if (!sameRegions(a[p].regions, b[p].regions))
+            fatal("analysis bench: pooled sweep regions diverge at "
+                  "point ", p);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ArgParser args("micro_analysis_kernel");
+    args.addFlag("tiny");
+    args.addOption("jobs");
+    args.addOption("reps");
+    args.addOption("out");
+    bool tiny = false;
+    std::size_t jobs = 0;
+    int reps = 0;
+    std::string out_path;
+    try {
+        args.parse(argc, argv);
+        tiny = args.flag("tiny");
+        jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
+        reps = static_cast<int>(
+            args.getInt("reps", tiny ? 2 : 5, 1, 1000));
+        out_path = args.get("out", "BENCH_analysis.json");
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 2;
+    }
+
+    SystemConfig config = SystemConfig::paperDefault();
+    if (tiny) {
+        config.sampler.simInstructionsPerSample = 20'000;
+        config.sampler.warmupInstructions = 100'000;
+    }
+    const WorkloadProfile workload =
+        tiny ? tinyWorkload() : workloadByName("gobmk");
+
+    const std::vector<SweepPoint> points = [] {
+        std::vector<SweepPoint> out;
+        for (const double budget : {1.0, 1.3, 1.6}) {
+            for (const double threshold : {0.01, 0.03, 0.05})
+                out.push_back({budget, threshold});
+        }
+        return out;
+    }();
+
+    std::vector<SettingsSpace> spaces;
+    spaces.push_back(SettingsSpace::coarse());
+    if (!tiny)
+        spaces.push_back(SettingsSpace::fine());
+
+    std::vector<bench::GridBenchRecord> records;
+    for (const SettingsSpace &space : spaces) {
+        GridRunner runner(config);
+        const MeasuredGrid grid = runner.run(workload, space);
+        InefficiencyAnalysis analysis(grid);
+        OptimalSettingsFinder finder(analysis);
+        ClusterFinder cluster_finder(finder);
+        AnalysisSweep sweep(cluster_finder);
+
+        const std::vector<SweepResult> kernel_results =
+            sweep.run(points);
+        requireMatchesReference(
+            kernel_results, runReferenceSweep(finder, space, points));
+
+        const double cells = static_cast<double>(
+            grid.sampleCount() * space.size() * points.size());
+        const double ref_seconds = bestOf(reps, [&] {
+            runReferenceSweep(finder, space, points);
+        });
+        const double kernel_seconds =
+            bestOf(reps, [&] { sweep.run(points); });
+        const double speedup = ref_seconds / kernel_seconds;
+
+        const std::string label =
+            std::to_string(space.size()) + "-setting";
+        records.push_back({label + " reference serial", "reference",
+                           space.size(), grid.sampleCount(), 0,
+                           ref_seconds, cells / ref_seconds, 0.0});
+        records.push_back({label + " bitset serial", "bitset",
+                           space.size(), grid.sampleCount(), 0,
+                           kernel_seconds, cells / kernel_seconds,
+                           speedup});
+        std::printf("%-24s reference %9.3f ms   bitset %9.3f ms   "
+                    "speedup %.2fx\n",
+                    label.c_str(), ref_seconds * 1e3,
+                    kernel_seconds * 1e3, speedup);
+
+        if (jobs > 0) {
+            exec::ThreadPool pool(jobs);
+            requireIdenticalSweeps(kernel_results,
+                                   sweep.run(points, &pool));
+            const double par_seconds =
+                bestOf(reps, [&] { sweep.run(points, &pool); });
+            records.push_back({label + " bitset jobs=" +
+                                   std::to_string(jobs),
+                               "bitset", space.size(), grid.sampleCount(),
+                               jobs, par_seconds, cells / par_seconds,
+                               ref_seconds / par_seconds});
+            std::printf("%-24s bitset --jobs %zu %9.3f ms   "
+                        "speedup %.2fx vs reference\n",
+                        label.c_str(), jobs, par_seconds * 1e3,
+                        ref_seconds / par_seconds);
+        }
+    }
+
+    bench::writeBenchGridJson(out_path, "micro_analysis_kernel", records,
+                              "mcdvfs-bench-analysis-v1");
+    // Metrics sidecar: the process metrics snapshot after the timed
+    // runs, so analysis counters travel with the throughput numbers.
+    const std::string metrics_path = bench::metricsSidecarPath(out_path);
+    obs::writeMetricsJson(metrics_path);
+    std::printf("wrote %s and %s\n", out_path.c_str(),
+                metrics_path.c_str());
+    return 0;
+}

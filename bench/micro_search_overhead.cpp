@@ -10,11 +10,22 @@
  * optimal-settings search and cluster computation over the 70- and
  * 496-setting spaces — plus the per-sample characterization and
  * whole-grid construction costs that bound offline profiling.
+ *
+ * The metrics snapshot is written next to MCDVFS_BENCH_OUT (default
+ * BENCH_search.json) as a .metrics.json sidecar, so counter deltas
+ * travel with the timing numbers; a --benchmark_filter=70 run doubles
+ * as the tier-1 "perf_smoke" ctest without ever building the fine
+ * grid (fixtures are lazy per space).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+
+#include "bench_json.hh"
 #include "core/search_strategies.hh"
+#include "obs/metrics.hh"
 #include "repro/analyses.hh"
 #include "sim/grid_runner.hh"
 #include "sim/sample_simulator.hh"
@@ -25,26 +36,30 @@ using namespace mcdvfs;
 namespace
 {
 
-/** Lazily built shared fixtures (grids are expensive to construct). */
+/**
+ * Lazily built shared fixtures: each grid is built on first use, so a
+ * filtered run (e.g. the perf_smoke 70-setting subset) never pays for
+ * the spaces it skips.
+ */
 struct Fixtures
 {
-    MeasuredGrid coarse;
-    MeasuredGrid fine;
-
-    static const Fixtures &
-    get()
+    static const MeasuredGrid &
+    coarse()
     {
-        static const Fixtures fixtures;
-        return fixtures;
+        static const MeasuredGrid grid =
+            buildGrid(SettingsSpace::coarse());
+        return grid;
+    }
+
+    static const MeasuredGrid &
+    fine()
+    {
+        static const MeasuredGrid grid =
+            buildGrid(SettingsSpace::fine());
+        return grid;
     }
 
   private:
-    Fixtures()
-        : coarse(buildGrid(SettingsSpace::coarse())),
-          fine(buildGrid(SettingsSpace::fine()))
-    {
-    }
-
     static MeasuredGrid
     buildGrid(const SettingsSpace &space)
     {
@@ -56,7 +71,7 @@ struct Fixtures
 void
 BM_OptimalSearch70(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().coarse;
+    const MeasuredGrid &grid = Fixtures::coarse();
     InefficiencyAnalysis analysis(grid);
     OptimalSettingsFinder finder(analysis);
     std::size_t s = 0;
@@ -70,7 +85,7 @@ BENCHMARK(BM_OptimalSearch70);
 void
 BM_OptimalSearch496(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().fine;
+    const MeasuredGrid &grid = Fixtures::fine();
     InefficiencyAnalysis analysis(grid);
     OptimalSettingsFinder finder(analysis);
     std::size_t s = 0;
@@ -84,7 +99,7 @@ BENCHMARK(BM_OptimalSearch496);
 void
 BM_ClusterSearch70(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().coarse;
+    const MeasuredGrid &grid = Fixtures::coarse();
     InefficiencyAnalysis analysis(grid);
     OptimalSettingsFinder finder(analysis);
     ClusterFinder clusters(finder);
@@ -100,7 +115,7 @@ BENCHMARK(BM_ClusterSearch70);
 void
 BM_StableRegions70(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().coarse;
+    const MeasuredGrid &grid = Fixtures::coarse();
     InefficiencyAnalysis analysis(grid);
     OptimalSettingsFinder finder(analysis);
     ClusterFinder clusters(finder);
@@ -113,7 +128,7 @@ BENCHMARK(BM_StableRegions70);
 void
 BM_TimingModelEval(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().coarse;
+    const MeasuredGrid &grid = Fixtures::coarse();
     TimingModel model;
     const SampleProfile &profile = grid.profile(0);
     const FrequencySetting setting{megaHertz(700), megaHertz(500)};
@@ -139,7 +154,7 @@ BENCHMARK(BM_CharacterizeSample);
 void
 BM_HillClimbCold70(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().coarse;
+    const MeasuredGrid &grid = Fixtures::coarse();
     InefficiencyAnalysis analysis(grid);
     SettingsSearch search(analysis);
     const std::size_t min_idx =
@@ -155,7 +170,7 @@ BENCHMARK(BM_HillClimbCold70);
 void
 BM_HillClimbWarm70(benchmark::State &state)
 {
-    const MeasuredGrid &grid = Fixtures::get().coarse;
+    const MeasuredGrid &grid = Fixtures::coarse();
     InefficiencyAnalysis analysis(grid);
     SettingsSearch search(analysis);
     std::size_t s = 0;
@@ -171,4 +186,20 @@ BENCHMARK(BM_HillClimbWarm70);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+
+    // Metrics sidecar alongside the timing numbers (the .json itself
+    // comes from google-benchmark's own --benchmark_out, if asked).
+    const char *out = std::getenv("MCDVFS_BENCH_OUT");
+    const std::string out_path = out != nullptr ? out : "BENCH_search.json";
+    obs::writeMetricsJson(bench::metricsSidecarPath(out_path));
+
+    benchmark::Shutdown();
+    return 0;
+}

@@ -51,6 +51,13 @@ InefficiencyAnalysis::sampleEmin(std::size_t sample) const
     return sampleEmin_[sample];
 }
 
+Seconds
+InefficiencyAnalysis::sampleSlowest(std::size_t sample) const
+{
+    MCDVFS_ASSERT(sample < sampleSlowest_.size(), "sample out of range");
+    return sampleSlowest_[sample];
+}
+
 double
 InefficiencyAnalysis::runInefficiency(std::size_t setting) const
 {

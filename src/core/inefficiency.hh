@@ -52,6 +52,9 @@ class InefficiencyAnalysis
     /** Brute-force per-sample Emin. */
     Joules sampleEmin(std::size_t sample) const;
 
+    /** Slowest execution of a sample over all settings. */
+    Seconds sampleSlowest(std::size_t sample) const;
+
     /** Whole-run inefficiency of a fixed setting (Fig. 2 y-axis). */
     double runInefficiency(std::size_t setting) const;
 

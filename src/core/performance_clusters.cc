@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/reference_analysis.hh"
+#include "exec/thread_pool.hh"
 
 namespace mcdvfs
 {
@@ -10,49 +12,222 @@ namespace mcdvfs
 bool
 PerformanceCluster::contains(std::size_t setting_index) const
 {
-    return std::find(settings.begin(), settings.end(), setting_index) !=
-           settings.end();
+    MCDVFS_DEBUG_ASSERT(std::is_sorted(settings.begin(), settings.end()),
+                        "cluster settings must be sorted");
+    return std::binary_search(settings.begin(), settings.end(),
+                              setting_index);
+}
+
+PerformanceCluster
+ClusterTable::materialize(std::size_t sample) const
+{
+    MCDVFS_ASSERT(sample < masks.size(), "sample out of range");
+    PerformanceCluster cluster;
+    cluster.optimal = optimal[sample];
+    cluster.settings.reserve(masks[sample].count());
+    for (const std::size_t k : masks[sample])
+        cluster.settings.push_back(k);
+    return cluster;
 }
 
 ClusterFinder::ClusterFinder(const OptimalSettingsFinder &finder)
-    : finder_(finder)
+    : finder_(finder),
+      settings_(finder.analysis().grid().space().all())
 {
+    const InefficiencyAnalysis &analysis = finder_.analysis();
+    const MeasuredGrid &grid = analysis.grid();
+    const std::size_t settings = grid.settingCount();
+    if (!SettingMask::supports(settings))
+        return;
+
+    // Hoist every division out of the query path: each cell's speedup
+    // and inefficiency mirror InefficiencyAnalysis::sampleSpeedup /
+    // sampleInefficiency exactly, so every downstream comparison stays
+    // bit-identical to the scalar reference.
+    const std::size_t samples = grid.sampleCount();
+    speedups_.resize(samples * settings);
+    inefficiencies_.resize(samples * settings);
+    for (std::size_t s = 0; s < samples; ++s) {
+        const double emin = analysis.sampleEmin(s);
+        const double slowest = analysis.sampleSlowest(s);
+        const double *sec = grid.secondsRow(s);
+        const double *cpu = grid.cpuEnergyRow(s);
+        const double *mem = grid.memEnergyRow(s);
+        double *spd = speedups_.data() + s * settings;
+        double *ineff = inefficiencies_.data() + s * settings;
+        for (std::size_t k = 0; k < settings; ++k) {
+            spd[k] = slowest / sec[k];
+            ineff[k] = (cpu[k] + mem[k]) / emin;
+        }
+    }
+}
+
+void
+ClusterFinder::fillSample(std::size_t sample, double budget,
+                          double threshold, OptimalChoice &optimal,
+                          SettingMask &mask) const
+{
+    if (threshold < 0.0)
+        fatal("cluster threshold must be >= 0, got ", threshold);
+
+    OptimalChoice choice;
+    SettingMask feasible;
+    fillBudget(sample, budget, choice, feasible);
+    fillCluster(sample, threshold, choice, feasible, mask);
+    optimal = choice;
+}
+
+void
+ClusterFinder::fillBudget(std::size_t sample, double budget,
+                          OptimalChoice &optimal,
+                          SettingMask &feasible_out) const
+{
+    if (budget < 1.0) {
+        fatal("inefficiency budget must be >= 1 (the most efficient "
+              "execution has inefficiency exactly 1), got ", budget);
+    }
+
+    const MeasuredGrid &grid = finder_.analysis().grid();
+    const std::size_t settings = grid.settingCount();
+    MCDVFS_ASSERT(SettingMask::supports(settings),
+                  "settings space exceeds SettingMask capacity");
+    MCDVFS_ASSERT(sample < grid.sampleCount(), "sample out of range");
+
+    const double *speedups = speedups_.data() + sample * settings;
+    const double *ineff = inefficiencies_.data() + sample * settings;
+
+    // Pass 1: one compare per setting over the precomputed rows derives
+    // budget feasibility and the best feasible speedup — the divisions
+    // behind both values were hoisted to construction.
+    SettingMask feasible(settings);
+    double best_speedup = 0.0;
+    for (std::size_t k = 0; k < settings; ++k) {
+        if (ineff[k] <= budget) {
+            feasible.set(k);
+            best_speedup = std::max(best_speedup, speedups[k]);
+        }
+    }
+    // The Emin setting always has inefficiency exactly 1.
+    MCDVFS_ASSERT(feasible.any(), "budget filter produced no settings");
+
+    // Pass 2 (§V tie-break): among feasible settings within the noise
+    // window of the best speedup, prefer highest CPU frequency, then
+    // highest memory frequency.  The cutoff filter is word-wise, so
+    // the per-bit walk only touches the few candidates in the window.
+    const double noise_cutoff =
+        best_speedup * (1.0 - finder_.noiseThreshold());
+    bool have_choice = false;
+    OptimalChoice choice;
+    for (const std::size_t k : feasible.filterGE(speedups, noise_cutoff)) {
+        const FrequencySetting candidate = settings_[k];
+        if (!have_choice || settingPreferred(candidate, choice.setting)) {
+            have_choice = true;
+            choice.settingIndex = k;
+            choice.setting = candidate;
+        }
+    }
+    MCDVFS_ASSERT(have_choice, "tie-break produced no setting");
+    choice.speedup = speedups[choice.settingIndex];
+    choice.inefficiency = ineff[choice.settingIndex];
+
+    optimal = choice;
+    feasible_out = feasible;
+}
+
+void
+ClusterFinder::fillCluster(std::size_t sample, double threshold,
+                           const OptimalChoice &optimal,
+                           const SettingMask &feasible,
+                           SettingMask &mask) const
+{
+    if (threshold < 0.0)
+        fatal("cluster threshold must be >= 0, got ", threshold);
+
+    const std::size_t settings =
+        finder_.analysis().grid().settingCount();
+    const double *speedups = speedups_.data() + sample * settings;
+
+    // Pass 3 (§VI-A): the cluster is the feasible set minus settings
+    // below the threshold cutoff, one word-wise filter.
+    const double cluster_cutoff = optimal.speedup * (1.0 - threshold);
+    mask = feasible.filterGE(speedups, cluster_cutoff);
+    MCDVFS_ASSERT(mask.test(optimal.settingIndex),
+                  "cluster must contain its optimum");
 }
 
 PerformanceCluster
 ClusterFinder::clusterForSample(std::size_t sample, double budget,
                                 double threshold) const
 {
-    if (threshold < 0.0)
-        fatal("cluster threshold must be >= 0, got ", threshold);
+    const std::size_t settings =
+        finder_.analysis().grid().settingCount();
+    if (!SettingMask::supports(settings))
+        return referenceClusterForSample(finder_, sample, budget,
+                                         threshold);
 
-    const InefficiencyAnalysis &analysis = finder_.analysis();
+    OptimalChoice optimal;
+    SettingMask mask;
+    fillSample(sample, budget, threshold, optimal, mask);
 
     PerformanceCluster cluster;
-    // First pass (paper §VI-A): the optimal setting under the budget.
-    cluster.optimal = finder_.optimalForSample(sample, budget);
-
-    // Second pass: every feasible setting whose speedup is within the
-    // threshold of the optimal speedup.
-    const double cutoff = cluster.optimal.speedup * (1.0 - threshold);
-    for (const std::size_t k : finder_.feasibleSettings(sample, budget)) {
-        if (analysis.sampleSpeedup(sample, k) >= cutoff)
-            cluster.settings.push_back(k);
-    }
-    MCDVFS_ASSERT(cluster.contains(cluster.optimal.settingIndex),
-                  "cluster must contain its optimum");
+    cluster.optimal = optimal;
+    cluster.settings.reserve(mask.count());
+    for (const std::size_t k : mask)
+        cluster.settings.push_back(k);
     return cluster;
+}
+
+ClusterTable
+ClusterFinder::table(double budget, double threshold,
+                     exec::ThreadPool *pool) const
+{
+    const MeasuredGrid &grid = finder_.analysis().grid();
+    const std::size_t samples = grid.sampleCount();
+
+    ClusterTable out;
+    out.budget = budget;
+    out.threshold = threshold;
+    out.optimal.resize(samples);
+    out.masks.resize(samples);
+
+    auto body = [&](std::size_t s) {
+        fillSample(s, budget, threshold, out.optimal[s], out.masks[s]);
+    };
+    if (pool != nullptr) {
+        // Chunk the fan-out so each claimed range amortizes the shared
+        // counter: the fill is comparison-only, so per-sample chunks
+        // would be all overhead.  Chunking never changes which slot an
+        // index writes, so the result stays bit-identical.
+        const std::size_t grain = std::max<std::size_t>(
+            1, samples / (4 * (pool->size() + 1)));
+        pool->parallelFor(std::size_t{0}, samples, body, grain);
+    } else {
+        for (std::size_t s = 0; s < samples; ++s)
+            body(s);
+    }
+    return out;
 }
 
 std::vector<PerformanceCluster>
 ClusterFinder::clusters(double budget, double threshold) const
 {
-    const std::size_t samples =
-        finder_.analysis().grid().sampleCount();
+    return clusters(budget, threshold, nullptr);
+}
+
+std::vector<PerformanceCluster>
+ClusterFinder::clusters(double budget, double threshold,
+                        exec::ThreadPool *pool) const
+{
+    const std::size_t settings =
+        finder_.analysis().grid().settingCount();
+    if (!SettingMask::supports(settings))
+        return referenceClusters(finder_, budget, threshold);
+
+    const ClusterTable tbl = table(budget, threshold, pool);
     std::vector<PerformanceCluster> out;
-    out.reserve(samples);
-    for (std::size_t s = 0; s < samples; ++s)
-        out.push_back(clusterForSample(s, budget, threshold));
+    out.reserve(tbl.sampleCount());
+    for (std::size_t s = 0; s < tbl.sampleCount(); ++s)
+        out.push_back(tbl.materialize(s));
     return out;
 }
 

@@ -8,6 +8,19 @@
  * of the optimal setting's performance for that budget.  Clusters are
  * what let a tuner trade a bounded performance loss for dramatically
  * fewer frequency transitions.
+ *
+ * ClusterFinder hoists all divisions to construction: one streaming
+ * pass over the grid's SoA energy/time columns fills per-cell speedup
+ * and inefficiency tables (the exact divisions of
+ * InefficiencyAnalysis::sampleSpeedup/sampleInefficiency, so results
+ * stay bit-identical).  Every (budget, threshold) query is then pure
+ * comparisons: one compare per setting derives feasibility (filling a
+ * SettingMask), the §V argmin/tie-break picks the optimum from the
+ * speedup row, and one compare per feasible setting fills the cluster
+ * mask — no divisions, no intermediate index vectors.  The
+ * pre-bitset scalar algorithm survives as
+ * core/reference_analysis.hh; golden tests keep the two bit-identical,
+ * and spaces beyond SettingMask::kCapacity fall back to it.
  */
 
 #ifndef MCDVFS_CORE_PERFORMANCE_CLUSTERS_HH
@@ -16,18 +29,46 @@
 #include <vector>
 
 #include "core/optimal_settings.hh"
+#include "core/setting_mask.hh"
 
 namespace mcdvfs
 {
+
+namespace exec
+{
+class ThreadPool;
+} // namespace exec
 
 /** One sample's cluster: the optimum plus all near-optimal settings. */
 struct PerformanceCluster
 {
     OptimalChoice optimal;
-    /** Setting indices in the cluster (always contains the optimum). */
+    /** Setting indices in the cluster, ascending (contains the optimum). */
     std::vector<std::size_t> settings;
 
     bool contains(std::size_t setting_index) const;
+};
+
+/**
+ * All samples' clusters at one (budget, threshold), in mask form: the
+ * per-sample optimum plus the cluster membership bitset.  This is the
+ * working representation of the analysis pipeline — stable-region
+ * growth, sweeps and the characterization service consume the masks
+ * directly; materialize() assembles the classic vector form.
+ */
+struct ClusterTable
+{
+    double budget = 1.0;
+    double threshold = 0.0;
+    /** Per-sample §V optimum under the budget. */
+    std::vector<OptimalChoice> optimal;
+    /** Per-sample cluster membership over the settings space. */
+    std::vector<SettingMask> masks;
+
+    std::size_t sampleCount() const { return masks.size(); }
+
+    /** The classic vector-form cluster of one sample. */
+    PerformanceCluster materialize(std::size_t sample) const;
 };
 
 /** Computes performance clusters over a measured grid. */
@@ -55,10 +96,60 @@ class ClusterFinder
     std::vector<PerformanceCluster> clusters(double budget,
                                              double threshold) const;
 
+    /**
+     * Clusters for every sample, the per-sample kernel fanned over
+     * @c pool (nullptr = serial).  Samples are independent, so the
+     * result is bit-identical to the serial loop for any worker count.
+     */
+    std::vector<PerformanceCluster> clusters(double budget,
+                                             double threshold,
+                                             exec::ThreadPool *pool) const;
+
+    /**
+     * All samples' optima and cluster masks in one pass (optionally
+     * fanned over @c pool; bit-identical either way).
+     */
+    ClusterTable table(double budget, double threshold,
+                       exec::ThreadPool *pool = nullptr) const;
+
+    /**
+     * The per-sample kernel: fill one sample's optimum and cluster
+     * mask.  @c mask is assigned a mask sized to the settings space.
+     */
+    void fillSample(std::size_t sample, double budget, double threshold,
+                    OptimalChoice &optimal, SettingMask &mask) const;
+
+    /**
+     * The threshold-independent half of the kernel: one sample's
+     * budget-feasible set and §V optimum.  Sweeps over several
+     * thresholds share one fillBudget() per (sample, budget) and call
+     * fillCluster() per threshold.
+     */
+    void fillBudget(std::size_t sample, double budget,
+                    OptimalChoice &optimal, SettingMask &feasible) const;
+
+    /**
+     * The per-threshold half: the cluster mask from a sample's
+     * precomputed optimum and feasible set (both from fillBudget()).
+     */
+    void fillCluster(std::size_t sample, double threshold,
+                     const OptimalChoice &optimal,
+                     const SettingMask &feasible, SettingMask &mask) const;
+
     const OptimalSettingsFinder &finder() const { return finder_; }
 
   private:
     const OptimalSettingsFinder &finder_;
+    /** The settings space materialized once (the §V tie-break scans it). */
+    std::vector<FrequencySetting> settings_;
+    /**
+     * Per-cell speedup and inefficiency, sample-major, hoisted at
+     * construction so queries are division-free.  Left empty when the
+     * space exceeds SettingMask capacity (the reference path serves
+     * those spaces).
+     */
+    std::vector<double> speedups_;
+    std::vector<double> inefficiencies_;
 };
 
 } // namespace mcdvfs

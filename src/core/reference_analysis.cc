@@ -1,0 +1,164 @@
+#include "core/reference_analysis.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/transitions.hh"
+
+namespace mcdvfs
+{
+
+namespace
+{
+
+/** Intersection of a sorted available set with a cluster's settings. */
+std::vector<std::size_t>
+intersect(const std::vector<std::size_t> &available,
+          const std::vector<std::size_t> &cluster)
+{
+    std::vector<std::size_t> out;
+    out.reserve(std::min(available.size(), cluster.size()));
+    std::set_intersection(available.begin(), available.end(),
+                          cluster.begin(), cluster.end(),
+                          std::back_inserter(out));
+    return out;
+}
+
+} // namespace
+
+PerformanceCluster
+referenceClusterForSample(const OptimalSettingsFinder &finder,
+                          std::size_t sample, double budget,
+                          double threshold)
+{
+    if (threshold < 0.0)
+        fatal("cluster threshold must be >= 0, got ", threshold);
+
+    const InefficiencyAnalysis &analysis = finder.analysis();
+
+    PerformanceCluster cluster;
+    // First pass (paper §VI-A): the optimal setting under the budget.
+    cluster.optimal = finder.optimalForSample(sample, budget);
+
+    // Second pass: every feasible setting whose speedup is within the
+    // threshold of the optimal speedup.
+    const double cutoff = cluster.optimal.speedup * (1.0 - threshold);
+    for (const std::size_t k : finder.feasibleSettings(sample, budget)) {
+        if (analysis.sampleSpeedup(sample, k) >= cutoff)
+            cluster.settings.push_back(k);
+    }
+    MCDVFS_ASSERT(cluster.contains(cluster.optimal.settingIndex),
+                  "cluster must contain its optimum");
+    return cluster;
+}
+
+std::vector<PerformanceCluster>
+referenceClusters(const OptimalSettingsFinder &finder, double budget,
+                  double threshold)
+{
+    const std::size_t samples = finder.analysis().grid().sampleCount();
+    std::vector<PerformanceCluster> out;
+    out.reserve(samples);
+    for (std::size_t s = 0; s < samples; ++s)
+        out.push_back(
+            referenceClusterForSample(finder, s, budget, threshold));
+    return out;
+}
+
+std::vector<StableRegion>
+referenceStableRegions(const SettingsSpace &space,
+                       const std::vector<PerformanceCluster> &clusters)
+{
+    MCDVFS_ASSERT(!clusters.empty(), "no clusters to regionize");
+
+    auto sorted_settings = [](const PerformanceCluster &cluster) {
+        std::vector<std::size_t> s = cluster.settings;
+        std::sort(s.begin(), s.end());
+        return s;
+    };
+
+    auto choose = [&space](const std::vector<std::size_t> &available) {
+        MCDVFS_ASSERT(!available.empty(), "region with no settings");
+        std::size_t best = available.front();
+        for (const std::size_t k : available) {
+            if (settingPreferred(space.at(k), space.at(best)))
+                best = k;
+        }
+        return best;
+    };
+
+    std::vector<StableRegion> regions;
+    StableRegion current;
+    current.first = 0;
+    current.availableSettings = sorted_settings(clusters.front());
+
+    for (std::size_t s = 1; s < clusters.size(); ++s) {
+        std::vector<std::size_t> next =
+            intersect(current.availableSettings, sorted_settings(clusters[s]));
+        if (next.empty()) {
+            // Close the region at the previous sample.
+            current.last = s - 1;
+            current.chosenSettingIndex = choose(current.availableSettings);
+            current.chosenSetting = space.at(current.chosenSettingIndex);
+            regions.push_back(std::move(current));
+            current = StableRegion{};
+            current.first = s;
+            current.availableSettings = sorted_settings(clusters[s]);
+        } else {
+            current.availableSettings = std::move(next);
+        }
+    }
+    current.last = clusters.size() - 1;
+    current.chosenSettingIndex = choose(current.availableSettings);
+    current.chosenSetting = space.at(current.chosenSettingIndex);
+    regions.push_back(std::move(current));
+    return regions;
+}
+
+SpaceCharacterization
+referenceCharacterizeSpace(const MeasuredGrid &grid, double budget,
+                           double threshold)
+{
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+
+    SpaceCharacterization out;
+    out.settings = grid.settingCount();
+
+    const std::vector<PerformanceCluster> per_sample =
+        referenceClusters(finder, budget, threshold);
+    double cluster_total = 0.0;
+    for (const PerformanceCluster &cluster : per_sample)
+        cluster_total += static_cast<double>(cluster.settings.size());
+    out.avgClusterSize =
+        cluster_total / static_cast<double>(per_sample.size());
+
+    const std::vector<StableRegion> region_list =
+        referenceStableRegions(grid.space(), per_sample);
+    double length_total = 0.0;
+    for (const StableRegion &region : region_list)
+        length_total += static_cast<double>(region.length());
+    out.avgRegionLength =
+        length_total / static_cast<double>(region_list.size());
+
+    std::vector<std::size_t> sequence(grid.sampleCount(), 0);
+    for (const StableRegion &region : region_list) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            sequence[s] = region.chosenSettingIndex;
+    }
+    out.transitions =
+        TransitionAnalysis::fromSettingSequence(sequence,
+                                                grid.totalInstructions())
+            .transitions;
+
+    Seconds optimal_time = 0.0;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        optimal_time +=
+            grid.cell(s, finder.optimalForSample(s, budget).settingIndex)
+                .seconds;
+    }
+    out.optimalTime = optimal_time;
+    return out;
+}
+
+} // namespace mcdvfs

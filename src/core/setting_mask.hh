@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Fixed-capacity bitset over the settings space.
+ *
+ * The analysis layer's sets — "which settings are feasible under this
+ * budget", "which settings are in this sample's performance cluster",
+ * "which settings are still common to every sample of this stable
+ * region" — are all subsets of one settings space, whose size is small
+ * and fixed per grid (70 coarse, 496 fine).  SettingMask represents
+ * such a subset as 64-bit words held inline (no allocation), so
+ * membership is one shift+AND, cluster size is a popcount, and the
+ * stable-region growth step — previously a sorted-vector
+ * set_intersection — collapses to a handful of word-wise ANDs.  This
+ * is the dense-bitmap representation kernel cpufreq/devfreq code uses
+ * for frequency-table masks, applied to the paper's §V/§VI machinery.
+ *
+ * Capacity is a compile-time constant covering both paper spaces with
+ * headroom.  Callers handling arbitrary spaces check supports() and
+ * fall back to the scalar reference path (core/reference_analysis.hh)
+ * beyond it.
+ */
+
+#ifndef MCDVFS_CORE_SETTING_MASK_HH
+#define MCDVFS_CORE_SETTING_MASK_HH
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+/** Fixed-capacity bitset of setting indices, one bit per setting. */
+class SettingMask
+{
+  public:
+    /** Largest representable settings space (fine space is 496). */
+    static constexpr std::size_t kCapacity = 512;
+    /** Inline 64-bit words backing the bits. */
+    static constexpr std::size_t kWords = kCapacity / 64;
+    /** firstSet() result when no bit is set. */
+    static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+    /** Empty mask over an empty (size-0) space. */
+    SettingMask() = default;
+
+    /**
+     * Empty mask over a @c size -setting space.
+     *
+     * @throws FatalError when @c size exceeds kCapacity
+     */
+    explicit SettingMask(std::size_t size)
+        : size_(size)
+    {
+        if (size > kCapacity) {
+            fatal("SettingMask: settings space of ", size,
+                  " exceeds the mask capacity of ", kCapacity);
+        }
+    }
+
+    /** True when a @c settings -sized space fits in the mask. */
+    static bool
+    supports(std::size_t settings)
+    {
+        return settings <= kCapacity;
+    }
+
+    /** Number of settings in the space (bit positions in use). */
+    std::size_t size() const { return size_; }
+
+    void
+    set(std::size_t idx)
+    {
+        MCDVFS_DEBUG_ASSERT(idx < size_, "mask index out of range");
+        words_[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+    }
+
+    void
+    reset(std::size_t idx)
+    {
+        MCDVFS_DEBUG_ASSERT(idx < size_, "mask index out of range");
+        words_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+    }
+
+    bool
+    test(std::size_t idx) const
+    {
+        MCDVFS_DEBUG_ASSERT(idx < size_, "mask index out of range");
+        return (words_[idx >> 6] >> (idx & 63)) & 1;
+    }
+
+    /** Clear every bit (size is kept). */
+    void
+    clear()
+    {
+        words_.fill(0);
+    }
+
+    /** Word-wise intersection: this &= other. */
+    void
+    andInplace(const SettingMask &other)
+    {
+        for (std::size_t w = 0; w < kWords; ++w)
+            words_[w] &= other.words_[w];
+    }
+
+    /** Number of set bits (cluster size). */
+    std::size_t
+    count() const
+    {
+        std::size_t total = 0;
+        for (const std::uint64_t word : words_)
+            total += static_cast<std::size_t>(std::popcount(word));
+        return total;
+    }
+
+    /** Lowest set index, or kNpos when empty. */
+    std::size_t
+    firstSet() const
+    {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            if (words_[w])
+                return w * 64 +
+                       static_cast<std::size_t>(
+                           std::countr_zero(words_[w]));
+        }
+        return kNpos;
+    }
+
+    bool
+    any() const
+    {
+        for (const std::uint64_t word : words_)
+            if (word)
+                return true;
+        return false;
+    }
+
+    bool none() const { return !any(); }
+
+    /** True when this and @c other share at least one set bit. */
+    bool
+    intersects(const SettingMask &other) const
+    {
+        for (std::size_t w = 0; w < kWords; ++w)
+            if (words_[w] & other.words_[w])
+                return true;
+        return false;
+    }
+
+    /**
+     * Set bits of this mask whose @c values entry is at least
+     * @c cutoff.  Built word-wise and branchless — one compare per
+     * lane folded into the word — so cutoff filtering never walks the
+     * set bits one by one.  @c values must hold size() entries.
+     */
+    SettingMask
+    filterGE(const double *values, double cutoff) const
+    {
+        SettingMask out(size_);
+        for (std::size_t w = 0; w * 64 < size_; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t lanes = std::min<std::size_t>(
+                64, size_ - base);
+            std::uint64_t keep = 0;
+            for (std::size_t j = 0; j < lanes; ++j) {
+                keep |= static_cast<std::uint64_t>(
+                            values[base + j] >= cutoff)
+                        << j;
+            }
+            out.words_[w] = words_[w] & keep;
+        }
+        return out;
+    }
+
+    bool
+    operator==(const SettingMask &other) const
+    {
+        return size_ == other.size_ && words_ == other.words_;
+    }
+
+    bool
+    operator!=(const SettingMask &other) const
+    {
+        return !(*this == other);
+    }
+
+    /** Forward iterator over set-bit indices, ascending. */
+    class Iterator
+    {
+      public:
+        Iterator(const SettingMask *mask, std::size_t word)
+            : mask_(mask), word_(word)
+        {
+            if (word_ < kWords)
+                bits_ = mask_->words_[word_];
+            advance();
+        }
+
+        std::size_t
+        operator*() const
+        {
+            return word_ * 64 +
+                   static_cast<std::size_t>(std::countr_zero(bits_));
+        }
+
+        Iterator &
+        operator++()
+        {
+            bits_ &= bits_ - 1;  // drop the lowest set bit
+            advance();
+            return *this;
+        }
+
+        bool
+        operator!=(const Iterator &other) const
+        {
+            return word_ != other.word_ || bits_ != other.bits_;
+        }
+
+      private:
+        /** Skip to the next word holding a set bit. */
+        void
+        advance()
+        {
+            while (!bits_ && word_ < kWords) {
+                ++word_;
+                bits_ = word_ < kWords ? mask_->words_[word_] : 0;
+            }
+        }
+
+        const SettingMask *mask_;
+        std::size_t word_;
+        std::uint64_t bits_ = 0;
+    };
+
+    Iterator begin() const { return Iterator(this, 0); }
+    Iterator end() const { return Iterator(this, kWords); }
+
+  private:
+    std::array<std::uint64_t, kWords> words_{};
+    std::size_t size_ = 0;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_CORE_SETTING_MASK_HH

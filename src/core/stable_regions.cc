@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/reference_analysis.hh"
 
 namespace mcdvfs
 {
@@ -10,17 +11,34 @@ namespace mcdvfs
 namespace
 {
 
-/** Intersection of a sorted available set with a cluster's settings. */
-std::vector<std::size_t>
-intersect(const std::vector<std::size_t> &available,
-          const std::vector<std::size_t> &cluster)
+/**
+ * Preferred setting among a mask's members: highest CPU frequency
+ * first, then highest memory frequency (§VI-B choice rule).
+ */
+std::size_t
+chooseFromMask(const SettingsSpace &space, const SettingMask &available)
 {
-    std::vector<std::size_t> out;
-    out.reserve(std::min(available.size(), cluster.size()));
-    std::set_intersection(available.begin(), available.end(),
-                          cluster.begin(), cluster.end(),
-                          std::back_inserter(out));
-    return out;
+    MCDVFS_ASSERT(available.any(), "region with no settings");
+    std::size_t best = available.firstSet();
+    for (const std::size_t k : available) {
+        if (settingPreferred(space.at(k), space.at(best)))
+            best = k;
+    }
+    return best;
+}
+
+/** Close a region: materialize its common set and pick its setting. */
+void
+closeRegion(const SettingsSpace &space, StableRegion &region,
+            std::size_t last, const SettingMask &available)
+{
+    region.last = last;
+    region.availableSettings.clear();
+    region.availableSettings.reserve(available.count());
+    for (const std::size_t k : available)
+        region.availableSettings.push_back(k);
+    region.chosenSettingIndex = chooseFromMask(space, available);
+    region.chosenSetting = space.at(region.chosenSettingIndex);
 }
 
 } // namespace
@@ -31,9 +49,48 @@ StableRegionFinder::StableRegionFinder(const ClusterFinder &clusters)
 }
 
 std::vector<StableRegion>
-StableRegionFinder::find(double budget, double threshold) const
+StableRegionFinder::find(double budget, double threshold,
+                         exec::ThreadPool *pool) const
 {
-    return fromClusters(clusters_.clusters(budget, threshold));
+    const std::size_t settings =
+        clusters_.finder().analysis().grid().settingCount();
+    if (!SettingMask::supports(settings)) {
+        return referenceStableRegions(
+            clusters_.finder().analysis().grid().space(),
+            referenceClusters(clusters_.finder(), budget, threshold));
+    }
+    return fromTable(clusters_.table(budget, threshold, pool));
+}
+
+std::vector<StableRegion>
+StableRegionFinder::fromTable(const ClusterTable &table) const
+{
+    MCDVFS_ASSERT(table.sampleCount() > 0, "no clusters to regionize");
+    const SettingsSpace &space =
+        clusters_.finder().analysis().grid().space();
+
+    std::vector<StableRegion> regions;
+    StableRegion current;
+    current.first = 0;
+    SettingMask available = table.masks.front();
+
+    for (std::size_t s = 1; s < table.sampleCount(); ++s) {
+        SettingMask next = available;
+        next.andInplace(table.masks[s]);
+        if (next.none()) {
+            // Close the region at the previous sample.
+            closeRegion(space, current, s - 1, available);
+            regions.push_back(std::move(current));
+            current = StableRegion{};
+            current.first = s;
+            available = table.masks[s];
+        } else {
+            available = next;
+        }
+    }
+    closeRegion(space, current, table.sampleCount() - 1, available);
+    regions.push_back(std::move(current));
+    return regions;
 }
 
 std::vector<StableRegion>
@@ -43,49 +100,20 @@ StableRegionFinder::fromClusters(
     MCDVFS_ASSERT(!clusters.empty(), "no clusters to regionize");
     const SettingsSpace &space =
         clusters_.finder().analysis().grid().space();
+    if (!SettingMask::supports(space.size()))
+        return referenceStableRegions(space, clusters);
 
-    auto sorted_settings = [](const PerformanceCluster &cluster) {
-        std::vector<std::size_t> s = cluster.settings;
-        std::sort(s.begin(), s.end());
-        return s;
-    };
-
-    auto choose = [&space](const std::vector<std::size_t> &available) {
-        MCDVFS_ASSERT(!available.empty(), "region with no settings");
-        std::size_t best = available.front();
-        for (const std::size_t k : available) {
-            if (settingPreferred(space.at(k), space.at(best)))
-                best = k;
-        }
-        return best;
-    };
-
-    std::vector<StableRegion> regions;
-    StableRegion current;
-    current.first = 0;
-    current.availableSettings = sorted_settings(clusters.front());
-
-    for (std::size_t s = 1; s < clusters.size(); ++s) {
-        std::vector<std::size_t> next =
-            intersect(current.availableSettings, sorted_settings(clusters[s]));
-        if (next.empty()) {
-            // Close the region at the previous sample.
-            current.last = s - 1;
-            current.chosenSettingIndex = choose(current.availableSettings);
-            current.chosenSetting = space.at(current.chosenSettingIndex);
-            regions.push_back(std::move(current));
-            current = StableRegion{};
-            current.first = s;
-            current.availableSettings = sorted_settings(clusters[s]);
-        } else {
-            current.availableSettings = std::move(next);
-        }
+    ClusterTable table;
+    table.optimal.reserve(clusters.size());
+    table.masks.reserve(clusters.size());
+    for (const PerformanceCluster &cluster : clusters) {
+        SettingMask mask(space.size());
+        for (const std::size_t k : cluster.settings)
+            mask.set(k);
+        table.optimal.push_back(cluster.optimal);
+        table.masks.push_back(mask);
     }
-    current.last = clusters.size() - 1;
-    current.chosenSettingIndex = choose(current.availableSettings);
-    current.chosenSetting = space.at(current.chosenSettingIndex);
-    regions.push_back(std::move(current));
-    return regions;
+    return fromTable(table);
 }
 
 } // namespace mcdvfs

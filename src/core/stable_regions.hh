@@ -10,6 +10,13 @@
  * the region and start a new one.  The setting chosen for a region is
  * the common setting with the highest CPU frequency first, then the
  * highest memory frequency.
+ *
+ * The growth step operates on SettingMask bitsets: each intersection
+ * is a handful of word-wise ANDs and the emptiness test a word-wise
+ * OR, replacing the per-sample sorted-vector set_intersection the
+ * scalar reference path (core/reference_analysis.hh) still performs.
+ * Golden tests keep both paths bit-identical; spaces beyond
+ * SettingMask::kCapacity fall back to the reference.
  */
 
 #ifndef MCDVFS_CORE_STABLE_REGIONS_HH
@@ -47,12 +54,23 @@ class StableRegionFinder
     /**
      * All stable regions of the run for a budget and threshold.
      * Regions tile the run: region i+1 starts at region i's last+1.
+     * The per-sample cluster computation optionally fans out over
+     * @c pool; the result is bit-identical for any worker count.
      */
-    std::vector<StableRegion> find(double budget, double threshold) const;
+    std::vector<StableRegion> find(double budget, double threshold,
+                                   exec::ThreadPool *pool = nullptr) const;
 
     /**
-     * Build regions from precomputed clusters (lets callers reuse one
-     * cluster computation across analyses).
+     * Grow regions from a precomputed cluster table by word-wise mask
+     * intersection (lets callers reuse one cluster computation across
+     * analyses).
+     */
+    std::vector<StableRegion> fromTable(const ClusterTable &table) const;
+
+    /**
+     * Build regions from vector-form clusters (compatibility API;
+     * converts to masks when the space fits, otherwise falls back to
+     * the scalar reference path).
      */
     std::vector<StableRegion> fromClusters(
         const std::vector<PerformanceCluster> &clusters) const;

@@ -1,5 +1,6 @@
 #include "core/step_sensitivity.hh"
 
+#include "core/reference_analysis.hh"
 #include "sim/sample_simulator.hh"
 
 namespace mcdvfs
@@ -21,41 +22,48 @@ StepSensitivity::StepSensitivity(GridRunner &runner)
 
 SpaceCharacterization
 StepSensitivity::characterizeSpace(const MeasuredGrid &grid, double budget,
-                                   double threshold) const
+                                   double threshold, exec::ThreadPool *pool)
 {
+    if (!SettingMask::supports(grid.settingCount()))
+        return referenceCharacterizeSpace(grid, budget, threshold);
+
     InefficiencyAnalysis analysis(grid);
     OptimalSettingsFinder finder(analysis);
     ClusterFinder clusters(finder);
     StableRegionFinder regions(clusters);
-    TransitionAnalysis transitions(regions, clusters);
 
     SpaceCharacterization out;
     out.settings = grid.settingCount();
 
-    const std::vector<PerformanceCluster> per_sample =
-        clusters.clusters(budget, threshold);
+    // One mask-table pass feeds every statistic of the row.
+    const ClusterTable table = clusters.table(budget, threshold, pool);
     double cluster_total = 0.0;
-    for (const PerformanceCluster &cluster : per_sample)
-        cluster_total += static_cast<double>(cluster.settings.size());
+    for (const SettingMask &mask : table.masks)
+        cluster_total += static_cast<double>(mask.count());
     out.avgClusterSize =
-        cluster_total / static_cast<double>(per_sample.size());
+        cluster_total / static_cast<double>(table.sampleCount());
 
-    const std::vector<StableRegion> region_list =
-        regions.fromClusters(per_sample);
+    const std::vector<StableRegion> region_list = regions.fromTable(table);
     double length_total = 0.0;
     for (const StableRegion &region : region_list)
         length_total += static_cast<double>(region.length());
     out.avgRegionLength =
         length_total / static_cast<double>(region_list.size());
 
+    std::vector<std::size_t> sequence(grid.sampleCount(), 0);
+    for (const StableRegion &region : region_list) {
+        for (std::size_t s = region.first; s <= region.last; ++s)
+            sequence[s] = region.chosenSettingIndex;
+    }
     out.transitions =
-        transitions.forClusterPolicy(budget, threshold).transitions;
+        TransitionAnalysis::fromSettingSequence(sequence,
+                                                grid.totalInstructions())
+            .transitions;
 
     Seconds optimal_time = 0.0;
-    std::size_t sample = 0;
-    for (const OptimalChoice &choice : finder.optimalTrajectory(budget)) {
-        optimal_time += grid.cell(sample, choice.settingIndex).seconds;
-        ++sample;
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        optimal_time +=
+            grid.cell(s, table.optimal[s].settingIndex).seconds;
     }
     out.optimalTime = optimal_time;
     return out;
@@ -79,8 +87,8 @@ StepSensitivity::compare(const WorkloadProfile &workload, double budget,
         workload.modeledInstructionsPerSample());
 
     StepSensitivityResult result;
-    result.coarse = characterizeSpace(coarse_grid, budget, threshold);
-    result.fine = characterizeSpace(fine_grid, budget, threshold);
+    result.coarse = characterizeSpace(coarse_grid, budget, threshold, pool_);
+    result.fine = characterizeSpace(fine_grid, budget, threshold, pool_);
     return result;
 }
 

@@ -48,6 +48,13 @@ class StepSensitivity
     explicit StepSensitivity(GridRunner &runner);
 
     /**
+     * Fan the per-sample cluster kernel over @c pool (nullptr =
+     * serial; results are bit-identical either way).  The pool must
+     * outlive the analysis.
+     */
+    void setThreadPool(exec::ThreadPool *pool) { pool_ = pool; }
+
+    /**
      * Characterize @c workload once and compare the two spaces at the
      * given budget and cluster threshold.
      */
@@ -56,12 +63,19 @@ class StepSensitivity
                                   const SettingsSpace &coarse,
                                   const SettingsSpace &fine);
 
-  private:
-    SpaceCharacterization characterizeSpace(const MeasuredGrid &grid,
-                                            double budget,
-                                            double threshold) const;
+    /**
+     * One row of the Fig. 12 table: cluster/region structure and
+     * optimal-tracking time of one grid.  Built from a single
+     * mask-table pass (kept bit-identical to
+     * referenceCharacterizeSpace by the golden tests).
+     */
+    static SpaceCharacterization characterizeSpace(
+        const MeasuredGrid &grid, double budget, double threshold,
+        exec::ThreadPool *pool = nullptr);
 
+  private:
     GridRunner &runner_;
+    exec::ThreadPool *pool_ = nullptr;
 };
 
 } // namespace mcdvfs

@@ -176,6 +176,32 @@ class MeasuredGrid
     {
         return bwUtil_[fastIndex(sample, setting)];
     }
+
+    /** @name Read-side row accessors.
+     *
+     * Pointer to one sample's contiguous settings row of a column, for
+     * analysis kernels that stream a whole row (performance clusters,
+     * stable regions).  Same debug-only bounds policy as the cell
+     * accessors.
+     */
+    ///@{
+    const double *
+    secondsRow(std::size_t sample) const
+    {
+        return seconds_.data() + fastIndex(sample, 0);
+    }
+
+    const double *
+    cpuEnergyRow(std::size_t sample) const
+    {
+        return cpuEnergy_.data() + fastIndex(sample, 0);
+    }
+
+    const double *
+    memEnergyRow(std::size_t sample) const
+    {
+        return memEnergy_.data() + fastIndex(sample, 0);
+    }
     ///@}
 
     /** @name Fill API (used by grid kernels). */

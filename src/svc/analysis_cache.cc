@@ -1,0 +1,180 @@
+#include "svc/analysis_cache.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+namespace
+{
+
+/** Process-wide analysis-cache metrics (all instances share them). */
+struct AnalysisCacheMetrics
+{
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter evictions;
+    obs::Counter inserts;
+    obs::Gauge entries;
+
+    AnalysisCacheMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        hits = reg.counter("svc.analysis.hits");
+        misses = reg.counter("svc.analysis.misses");
+        evictions = reg.counter("svc.analysis.evictions");
+        inserts = reg.counter("svc.analysis.inserts");
+        entries = reg.gauge("svc.analysis.entries");
+    }
+};
+
+AnalysisCacheMetrics &
+analysisCacheMetrics()
+{
+    static AnalysisCacheMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+bool
+AnalysisKey::operator==(const AnalysisKey &other) const
+{
+    return grid == other.grid &&
+           std::bit_cast<std::uint64_t>(budget) ==
+               std::bit_cast<std::uint64_t>(other.budget) &&
+           std::bit_cast<std::uint64_t>(threshold) ==
+               std::bit_cast<std::uint64_t>(other.threshold);
+}
+
+std::uint64_t
+AnalysisKey::combined() const
+{
+    // FNV-style mix of the grid digest and the parameter bit patterns
+    // (same scheme as GridKey::combined).
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (const std::uint64_t part :
+         {grid, std::bit_cast<std::uint64_t>(budget),
+          std::bit_cast<std::uint64_t>(threshold)}) {
+        for (int i = 0; i < 8; ++i)
+            hash = (hash ^ ((part >> (8 * i)) & 0xff)) *
+                   0x100000001b3ull;
+    }
+    return hash;
+}
+
+AnalysisCache::AnalysisCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("AnalysisCache capacity must be at least 1");
+    if (shards == 0)
+        fatal("AnalysisCache shard count must be at least 1");
+    // Same distribution as GridCache: cap shards so each can hold at
+    // least one entry, then hand the remainder to the first shards so
+    // shard capacities sum exactly to the configured total.
+    shards = std::min(shards, capacity);
+    const std::size_t base = capacity / shards;
+    const std::size_t remainder = capacity % shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->capacity = base + (i < remainder ? 1 : 0);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+AnalysisCache::~AnalysisCache()
+{
+    // Return this instance's resident entries to the global gauge.
+    std::size_t resident = 0;
+    for (const auto &shard : shards_)
+        resident += shard->lru.size();
+    analysisCacheMetrics().entries.add(
+        -static_cast<std::int64_t>(resident));
+}
+
+AnalysisCache::Shard &
+AnalysisCache::shardFor(const AnalysisKey &key)
+{
+    return *shards_[key.combined() % shards_.size()];
+}
+
+std::shared_ptr<const AnalysisResult>
+AnalysisCache::find(const AnalysisKey &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key.combined());
+    if (it == shard.index.end() || !(it->second->key == key)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        analysisCacheMetrics().misses.add(1);
+        return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    analysisCacheMetrics().hits.add(1);
+    return it->second->result;
+}
+
+void
+AnalysisCache::insert(const AnalysisKey &key,
+                      std::shared_ptr<const AnalysisResult> result)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::uint64_t digest = key.combined();
+    analysisCacheMetrics().inserts.add(1);
+    const auto it = shard.index.find(digest);
+    if (it != shard.index.end()) {
+        it->second->result = std::move(result);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+        const Entry &victim = shard.lru.back();
+        shard.index.erase(victim.key.combined());
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        analysisCacheMetrics().evictions.add(1);
+        analysisCacheMetrics().entries.add(-1);
+    }
+    shard.lru.push_front(Entry{key, std::move(result)});
+    shard.index.emplace(digest, shard.lru.begin());
+    analysisCacheMetrics().entries.add(1);
+}
+
+void
+AnalysisCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        analysisCacheMetrics().entries.add(
+            -static_cast<std::int64_t>(shard->lru.size()));
+        shard->lru.clear();
+        shard->index.clear();
+    }
+}
+
+AnalysisCache::Stats
+AnalysisCache::stats() const
+{
+    Stats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.entries += shard->lru.size();
+    }
+    return stats;
+}
+
+} // namespace svc
+} // namespace mcdvfs

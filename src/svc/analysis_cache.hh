@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Sharded LRU cache of analysis results.
+ *
+ * A grid served from GridCache still pays the §V/§VI analysis chain on
+ * every request — optimal trajectory, clusters, stable regions — which
+ * dominates the hot path once characterization is cached.  Tuning
+ * traffic is repetitive in exactly that dimension: dashboards and
+ * retune loops ask for the same (grid, budget, threshold) triple over
+ * and over.  AnalysisCache keys finished analyses by the grid's
+ * content fingerprint plus the bit patterns of budget and threshold,
+ * so repeated requests skip the analysis chain too.
+ *
+ * Structure mirrors GridCache: sharded key space with a mutex per
+ * shard, shard capacities summing exactly to the configured total, and
+ * shared_ptr values so eviction never invalidates a result a caller
+ * still holds.  Process-wide counters are exported as
+ * svc.analysis.{hits,misses,evictions,inserts} and the
+ * svc.analysis.entries gauge.
+ */
+
+#ifndef MCDVFS_SVC_ANALYSIS_CACHE_HH
+#define MCDVFS_SVC_ANALYSIS_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/stable_regions.hh"
+
+namespace mcdvfs
+{
+namespace svc
+{
+
+/** Identity of one analysis: a grid at one budget and threshold. */
+struct AnalysisKey
+{
+    /** GridKey::combined() of the analyzed grid. */
+    std::uint64_t grid = 0;
+    double budget = 0.0;
+    double threshold = 0.0;
+
+    /** Exact bit-pattern equality on the doubles (cache identity). */
+    bool operator==(const AnalysisKey &other) const;
+
+    /** Combined 64-bit digest (shard selection and map hashing). */
+    std::uint64_t combined() const;
+};
+
+/** One cached analysis: the §V/§VI chain's output for its key. */
+struct AnalysisResult
+{
+    std::vector<OptimalChoice> optimal;
+    std::vector<PerformanceCluster> clusters;
+    std::vector<StableRegion> regions;
+};
+
+/** Sharded, mutex-guarded LRU cache of AnalysisResults. */
+class AnalysisCache
+{
+  public:
+    /** Hit/miss/eviction counters (monotonic over the cache's life). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+    };
+
+    /**
+     * @param capacity maximum cached analyses across all shards (>= 1)
+     * @param shards number of independently locked shards (>= 1);
+     *        per-shard capacities sum exactly to @c capacity
+     * @throws FatalError for a zero capacity or shard count
+     */
+    explicit AnalysisCache(std::size_t capacity, std::size_t shards = 8);
+
+    ~AnalysisCache();
+
+    /**
+     * Look up an analysis, refreshing its LRU position.  Counts a hit
+     * or a miss; returns nullptr on miss.
+     */
+    std::shared_ptr<const AnalysisResult> find(const AnalysisKey &key);
+
+    /**
+     * Insert (or refresh) an analysis, evicting the shard's least
+     * recently used entry when the shard is full.
+     */
+    void insert(const AnalysisKey &key,
+                std::shared_ptr<const AnalysisResult> result);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    Stats stats() const;
+    std::size_t capacity() const { return capacity_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    struct Entry
+    {
+        AnalysisKey key;
+        std::shared_ptr<const AnalysisResult> result;
+    };
+
+    /** One LRU list + index, guarded by its own mutex. */
+    struct Shard
+    {
+        std::mutex mutex;
+        /** Entries this shard may hold (shard capacities sum to
+         *  the cache capacity). */
+        std::size_t capacity = 1;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+            index;
+    };
+
+    Shard &shardFor(const AnalysisKey &key);
+
+    std::size_t capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+};
+
+} // namespace svc
+} // namespace mcdvfs
+
+#endif // MCDVFS_SVC_ANALYSIS_CACHE_HH

@@ -53,8 +53,17 @@ CharacterizationService::CharacterizationService(const SystemConfig &config,
                                                  const Options &options)
     : config_(config), configFingerprint_(fingerprintConfig(config)),
       pool_(std::max<std::size_t>(1, options.jobs)),
-      cache_(options.cacheCapacity, options.cacheShards)
+      cache_(options.cacheCapacity, options.cacheShards),
+      analysisCache_(options.analysisCapacity, options.analysisShards)
 {
+}
+
+GridKey
+CharacterizationService::keyFor(const WorkloadProfile &workload,
+                                const SettingsSpace &space) const
+{
+    return GridKey{fingerprintWorkload(workload), fingerprintSpace(space),
+                   configFingerprint_};
 }
 
 std::shared_ptr<const MeasuredGrid>
@@ -62,16 +71,15 @@ CharacterizationService::grid(const WorkloadProfile &workload,
                               const SettingsSpace &space)
 {
     bool cache_hit = false;
-    return gridFor(workload, space, cache_hit);
+    return gridFor(keyFor(workload, space), workload, space, cache_hit);
 }
 
 std::shared_ptr<const MeasuredGrid>
-CharacterizationService::gridFor(const WorkloadProfile &workload,
+CharacterizationService::gridFor(const GridKey &key,
+                                 const WorkloadProfile &workload,
                                  const SettingsSpace &space,
                                  bool &cache_hit)
 {
-    const GridKey key{fingerprintWorkload(workload),
-                      fingerprintSpace(space), configFingerprint_};
     const std::uint64_t digest = key.combined();
 
     if (auto cached = cache_.find(key)) {
@@ -135,6 +143,7 @@ CharacterizationService::gridFor(const WorkloadProfile &workload,
 
 TuningResult
 CharacterizationService::analyze(const TuningRequest &request,
+                                 std::uint64_t grid_digest,
                                  std::shared_ptr<const MeasuredGrid> grid,
                                  bool cache_hit)
 {
@@ -144,15 +153,45 @@ CharacterizationService::analyze(const TuningRequest &request,
     result.threshold = request.threshold;
     result.cacheHit = cache_hit;
 
-    InefficiencyAnalysis analysis(*grid);
-    OptimalSettingsFinder finder(analysis);
-    ClusterFinder cluster_finder(finder);
-    StableRegionFinder region_finder(cluster_finder);
+    const AnalysisKey key{grid_digest, request.budget, request.threshold};
+    std::shared_ptr<const AnalysisResult> cached =
+        analysisCache_.find(key);
+    if (cached == nullptr) {
+        InefficiencyAnalysis analysis(*grid);
+        OptimalSettingsFinder finder(analysis);
+        ClusterFinder cluster_finder(finder);
+        StableRegionFinder region_finder(cluster_finder);
 
-    result.optimal = finder.optimalTrajectory(request.budget);
-    result.clusters =
-        cluster_finder.clusters(request.budget, request.threshold);
-    result.regions = region_finder.fromClusters(result.clusters);
+        auto fresh = std::make_shared<AnalysisResult>();
+        if (SettingMask::supports(grid->settingCount())) {
+            // One mask-table pass feeds all three outputs, with the
+            // per-sample kernel fanned over the pool (bit-identical to
+            // the serial scalar chain; parallelFor is nest-safe, so
+            // this is fine from a batch worker too).
+            const ClusterTable table = cluster_finder.table(
+                request.budget, request.threshold, &pool_);
+            fresh->optimal = table.optimal;
+            fresh->clusters.reserve(table.sampleCount());
+            for (std::size_t s = 0; s < table.sampleCount(); ++s)
+                fresh->clusters.push_back(table.materialize(s));
+            fresh->regions = region_finder.fromTable(table);
+        } else {
+            fresh->optimal = finder.optimalTrajectory(request.budget);
+            fresh->clusters = cluster_finder.clusters(request.budget,
+                                                      request.threshold);
+            fresh->regions =
+                region_finder.fromClusters(fresh->clusters);
+        }
+        analysisCache_.insert(key, fresh);
+        cached = std::move(fresh);
+    } else {
+        obs::traceInstant("svc.analysis_cache_hit");
+        result.analysisCacheHit = true;
+    }
+
+    result.optimal = cached->optimal;
+    result.clusters = cached->clusters;
+    result.regions = cached->regions;
     result.grid = std::move(grid);
     return result;
 }
@@ -164,8 +203,9 @@ CharacterizationService::submit(const TuningRequest &request)
     obs::TraceSpan submit_span("svc.submit");
     serviceMetrics().requests.add(1);
     bool cache_hit = false;
-    auto grid = gridFor(request.workload, request.space, cache_hit);
-    return analyze(request, std::move(grid), cache_hit);
+    const GridKey key = keyFor(request.workload, request.space);
+    auto grid = gridFor(key, request.workload, request.space, cache_hit);
+    return analyze(request, key.combined(), std::move(grid), cache_hit);
 }
 
 std::vector<TuningResult>
@@ -180,28 +220,37 @@ CharacterizationService::submitBatch(
 
     // Group requests sharing a grid so each distinct characterization
     // runs exactly once, then fan the groups out across the pool.
-    std::map<std::uint64_t, std::vector<std::size_t>> groups;
+    struct Group
+    {
+        GridKey key;
+        std::vector<std::size_t> members;
+    };
+    std::map<std::uint64_t, Group> groups;
     for (std::size_t i = 0; i < requests.size(); ++i) {
-        const GridKey key{fingerprintWorkload(requests[i].workload),
-                          fingerprintSpace(requests[i].space),
-                          configFingerprint_};
-        groups[key.combined()].push_back(i);
+        const GridKey key = keyFor(requests[i].workload,
+                                   requests[i].space);
+        Group &group = groups[key.combined()];
+        group.key = key;
+        group.members.push_back(i);
     }
 
     std::vector<std::future<void>> pending;
     pending.reserve(groups.size());
-    for (const auto &[digest, members] : groups) {
+    for (const auto &[digest, group] : groups) {
         pending.push_back(pool_.submit([this, &requests, &results,
-                                        &members, batch_start] {
+                                        &group, batch_start] {
             bool cache_hit = false;
-            auto grid = gridFor(requests[members.front()].workload,
+            const std::vector<std::size_t> &members = group.members;
+            auto grid = gridFor(group.key,
+                                requests[members.front()].workload,
                                 requests[members.front()].space,
                                 cache_hit);
+            const std::uint64_t grid_digest = group.key.combined();
             for (std::size_t j = 0; j < members.size(); ++j) {
                 const std::size_t i = members[j];
                 // Later members of the group reuse the first build.
-                results[i] =
-                    analyze(requests[i], grid, j == 0 ? cache_hit : true);
+                results[i] = analyze(requests[i], grid_digest, grid,
+                                     j == 0 ? cache_hit : true);
                 // Submit-to-complete latency of each batch member.
                 serviceMetrics().submitNs.record(
                     obs::elapsedNs(batch_start));

@@ -9,7 +9,7 @@
  * budget?" — without the caller touching GridRunner or the analysis
  * chain.
  *
- * Three mechanisms make repeated and concurrent traffic cheap:
+ * Four mechanisms make repeated and concurrent traffic cheap:
  *  - the per-setting model evaluation of a grid build fans out over
  *    the pool (bit-identical to the serial build, see GridRunner);
  *  - finished grids land in a sharded LRU cache keyed by content
@@ -17,7 +17,10 @@
  *    config) skips characterization entirely;
  *  - identical characterizations already in flight are coalesced:
  *    concurrent submitters of the same key wait for the first build
- *    instead of duplicating it.
+ *    instead of duplicating it;
+ *  - finished analyses land in a second sharded LRU cache keyed by
+ *    (grid fingerprint, budget, threshold), so repeated tuning
+ *    requests skip the §V/§VI analysis chain as well.
  */
 
 #ifndef MCDVFS_SVC_CHARACTERIZATION_SERVICE_HH
@@ -33,6 +36,7 @@
 #include "core/stable_regions.hh"
 #include "exec/thread_pool.hh"
 #include "sim/grid_runner.hh"
+#include "svc/analysis_cache.hh"
 #include "svc/grid_cache.hh"
 
 namespace mcdvfs
@@ -70,6 +74,11 @@ struct TuningResult
      * being characterized for this request.
      */
     bool cacheHit = false;
+    /**
+     * True when the §V/§VI analysis came from the analysis cache
+     * instead of being recomputed for this request.
+     */
+    bool analysisCacheHit = false;
 };
 
 /** Sizing knobs of a CharacterizationService. */
@@ -85,6 +94,10 @@ struct ServiceOptions
     std::size_t cacheCapacity = 32;
     /** Cache shards (lock granularity). */
     std::size_t cacheShards = 8;
+    /** Analyses kept by the analysis LRU cache. */
+    std::size_t analysisCapacity = 64;
+    /** Analysis-cache shards (lock granularity). */
+    std::size_t analysisShards = 8;
 };
 
 /** Thread-pooled, grid-cached tuning service. */
@@ -118,24 +131,38 @@ class CharacterizationService
         const std::vector<TuningRequest> &requests);
 
     GridCache::Stats cacheStats() const { return cache_.stats(); }
+    AnalysisCache::Stats analysisStats() const
+    {
+        return analysisCache_.stats();
+    }
     const SystemConfig &config() const { return config_; }
     std::size_t jobs() const { return pool_.size(); }
 
   private:
+    /** Content identity of one characterization. */
+    GridKey keyFor(const WorkloadProfile &workload,
+                   const SettingsSpace &space) const;
+
     /** Grid lookup that also reports whether a build was skipped. */
     std::shared_ptr<const MeasuredGrid> gridFor(
-        const WorkloadProfile &workload, const SettingsSpace &space,
-        bool &cache_hit);
+        const GridKey &key, const WorkloadProfile &workload,
+        const SettingsSpace &space, bool &cache_hit);
 
-    /** Run the §V/§VI analysis chain for one request over its grid. */
-    static TuningResult analyze(const TuningRequest &request,
-                                std::shared_ptr<const MeasuredGrid> grid,
-                                bool cache_hit);
+    /**
+     * Run (or fetch from the analysis cache) the §V/§VI analysis chain
+     * for one request over its grid.  @c grid_digest is the grid's
+     * GridKey::combined().
+     */
+    TuningResult analyze(const TuningRequest &request,
+                         std::uint64_t grid_digest,
+                         std::shared_ptr<const MeasuredGrid> grid,
+                         bool cache_hit);
 
     SystemConfig config_;
     std::uint64_t configFingerprint_;
     exec::ThreadPool pool_;
     GridCache cache_;
+    AnalysisCache analysisCache_;
 
     /** Builds of grids currently characterizing, for coalescing. */
     std::mutex inflightMutex_;

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Golden tests pinning the bitset analysis kernel to the scalar
+ * reference (core/reference_analysis.hh): every cluster, stable region
+ * and step-sensitivity row must match the pre-bitset algorithms
+ * exactly — serial and fanned over a thread pool.  Any kernel change
+ * that shifts a single bit fails here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/analysis_sweep.hh"
+#include "core/reference_analysis.hh"
+#include "exec/thread_pool.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+const std::vector<SweepPoint> &
+goldenPoints()
+{
+    static const std::vector<SweepPoint> points = {
+        {1.0, 0.0},  {1.0, 0.01}, {1.0, 0.05},
+        {1.3, 0.0},  {1.3, 0.01}, {1.3, 0.05},
+        {1.6, 0.03}, {2.0, 0.05},
+    };
+    return points;
+}
+
+void
+expectSameChoice(const OptimalChoice &got, const OptimalChoice &want)
+{
+    EXPECT_EQ(got.settingIndex, want.settingIndex);
+    EXPECT_TRUE(got.setting == want.setting);
+    EXPECT_EQ(got.speedup, want.speedup);            // bit-exact
+    EXPECT_EQ(got.inefficiency, want.inefficiency);  // bit-exact
+}
+
+void
+expectSameClusters(const std::vector<PerformanceCluster> &got,
+                   const std::vector<PerformanceCluster> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+        expectSameChoice(got[s].optimal, want[s].optimal);
+        EXPECT_EQ(got[s].settings, want[s].settings) << "sample " << s;
+    }
+}
+
+void
+expectSameRegions(const std::vector<StableRegion> &got,
+                  const std::vector<StableRegion> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t r = 0; r < got.size(); ++r) {
+        EXPECT_EQ(got[r].first, want[r].first);
+        EXPECT_EQ(got[r].last, want[r].last);
+        EXPECT_EQ(got[r].availableSettings, want[r].availableSettings);
+        EXPECT_EQ(got[r].chosenSettingIndex, want[r].chosenSettingIndex);
+        EXPECT_TRUE(got[r].chosenSetting == want[r].chosenSetting);
+    }
+}
+
+TEST(AnalysisKernelGolden, ClustersMatchReference)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    for (const SweepPoint &p : goldenPoints()) {
+        expectSameClusters(
+            clusters.clusters(p.budget, p.threshold),
+            referenceClusters(finder, p.budget, p.threshold));
+    }
+}
+
+TEST(AnalysisKernelGolden, RegionsMatchReference)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+    for (const SweepPoint &p : goldenPoints()) {
+        expectSameRegions(
+            regions.find(p.budget, p.threshold),
+            referenceStableRegions(
+                grid.space(),
+                referenceClusters(finder, p.budget, p.threshold)));
+    }
+}
+
+TEST(AnalysisKernelGolden, PooledRunsMatchSerial)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+    exec::ThreadPool pool(4);
+    for (const SweepPoint &p : goldenPoints()) {
+        expectSameClusters(clusters.clusters(p.budget, p.threshold, &pool),
+                           clusters.clusters(p.budget, p.threshold));
+        expectSameRegions(regions.find(p.budget, p.threshold, &pool),
+                          regions.find(p.budget, p.threshold));
+    }
+}
+
+TEST(AnalysisKernelGolden, SweepMatchesPointwiseQueries)
+{
+    const MeasuredGrid &grid = test::steadyGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder regions(clusters);
+    AnalysisSweep sweep(clusters);
+
+    exec::ThreadPool pool(3);
+    const std::vector<SweepResult> serial = sweep.run(goldenPoints());
+    const std::vector<SweepResult> pooled =
+        sweep.run(goldenPoints(), &pool);
+    ASSERT_EQ(serial.size(), goldenPoints().size());
+
+    for (std::size_t p = 0; p < serial.size(); ++p) {
+        const SweepPoint point = goldenPoints()[p];
+        const std::vector<PerformanceCluster> want =
+            referenceClusters(finder, point.budget, point.threshold);
+        ASSERT_EQ(serial[p].table.sampleCount(), want.size());
+        for (std::size_t s = 0; s < want.size(); ++s) {
+            const PerformanceCluster got = serial[p].table.materialize(s);
+            expectSameChoice(got.optimal, want[s].optimal);
+            EXPECT_EQ(got.settings, want[s].settings);
+        }
+        expectSameRegions(serial[p].regions,
+                          referenceStableRegions(grid.space(), want));
+        // The pooled sweep is bit-identical to the serial sweep.
+        EXPECT_EQ(pooled[p].table.masks, serial[p].table.masks);
+        expectSameRegions(pooled[p].regions, serial[p].regions);
+    }
+}
+
+TEST(AnalysisKernelGolden, CharacterizeSpaceMatchesReference)
+{
+    const MeasuredGrid &grid = test::phasedGrid();
+    exec::ThreadPool pool(4);
+    for (const SweepPoint &p :
+         {SweepPoint{1.0, 0.01}, SweepPoint{1.3, 0.03},
+          SweepPoint{1.6, 0.05}}) {
+        const SpaceCharacterization want =
+            referenceCharacterizeSpace(grid, p.budget, p.threshold);
+        for (exec::ThreadPool *worker : {(exec::ThreadPool *)nullptr,
+                                         &pool}) {
+            const SpaceCharacterization got =
+                StepSensitivity::characterizeSpace(grid, p.budget,
+                                                   p.threshold, worker);
+            EXPECT_EQ(got.settings, want.settings);
+            EXPECT_EQ(got.transitions, want.transitions);
+            EXPECT_EQ(got.avgRegionLength, want.avgRegionLength);
+            EXPECT_EQ(got.avgClusterSize, want.avgClusterSize);
+            EXPECT_EQ(got.optimalTime, want.optimalTime);
+        }
+    }
+}
+
+TEST(AnalysisKernelGolden, SplitKernelMatchesFillSample)
+{
+    // fillBudget + fillCluster (the sweep's split) must equal the
+    // one-shot fillSample for any (budget, threshold).
+    const MeasuredGrid &grid = test::steadyGrid();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    for (const SweepPoint &p : goldenPoints()) {
+        for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+            OptimalChoice whole_choice;
+            SettingMask whole_mask;
+            clusters.fillSample(s, p.budget, p.threshold, whole_choice,
+                                whole_mask);
+
+            OptimalChoice split_choice;
+            SettingMask feasible;
+            SettingMask split_mask;
+            clusters.fillBudget(s, p.budget, split_choice, feasible);
+            clusters.fillCluster(s, p.threshold, split_choice, feasible,
+                                 split_mask);
+            expectSameChoice(split_choice, whole_choice);
+            EXPECT_EQ(split_mask, whole_mask);
+            EXPECT_TRUE(feasible.test(split_choice.settingIndex));
+        }
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

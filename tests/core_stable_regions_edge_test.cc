@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Stable-region edge cases: a single-sample run, invalid budgets and
+ * thresholds, a zero threshold (clusters collapse toward the optimum),
+ * and the boundary behavior of the final region.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/stable_regions.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+struct Chain
+{
+    InefficiencyAnalysis analysis;
+    OptimalSettingsFinder finder;
+    ClusterFinder clusters;
+    StableRegionFinder regions;
+
+    explicit Chain(const MeasuredGrid &grid)
+        : analysis(grid), finder(analysis), clusters(finder),
+          regions(clusters)
+    {
+    }
+};
+
+/** A one-sample workload (the shortest legal run). */
+const MeasuredGrid &
+singleSampleGrid()
+{
+    static const MeasuredGrid grid = [] {
+        PhaseSpec spec;
+        spec.name = "only";
+        spec.hotFrac = 0.94;
+        spec.warmFrac = 0.05;
+        GridRunner runner(test::fastSystemConfig());
+        return runner.run(
+            WorkloadProfile("single", 1,
+                            [spec](std::size_t) { return spec; }, 7,
+                            /*jitter=*/0.0),
+            SettingsSpace::coarse());
+    }();
+    return grid;
+}
+
+TEST(StableRegionsEdge, SingleSampleRunIsOneRegion)
+{
+    Chain chain(singleSampleGrid());
+    const auto regions = chain.regions.find(1.3, 0.03);
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].first, 0u);
+    EXPECT_EQ(regions[0].last, 0u);
+    EXPECT_EQ(regions[0].length(), 1u);
+
+    // The region's available settings are exactly the sample's cluster.
+    const PerformanceCluster cluster =
+        chain.clusters.clusterForSample(0, 1.3, 0.03);
+    EXPECT_EQ(regions[0].availableSettings, cluster.settings);
+    EXPECT_TRUE(cluster.contains(regions[0].chosenSettingIndex));
+}
+
+TEST(StableRegionsEdge, InvalidBudgetAndThresholdFatal)
+{
+    Chain chain(test::steadyGrid());
+    EXPECT_THROW(chain.regions.find(0.99, 0.03), FatalError);
+    EXPECT_THROW(chain.regions.find(0.0, 0.03), FatalError);
+    EXPECT_THROW(chain.regions.find(1.3, -0.01), FatalError);
+    EXPECT_THROW(chain.clusters.clusters(0.5, 0.03), FatalError);
+}
+
+TEST(StableRegionsEdge, ZeroThresholdStillTilesTheRun)
+{
+    // threshold = 0 keeps only settings matching the optimum's speedup
+    // exactly; regions must still tile the run and stay non-empty.
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const auto regions = chain.regions.find(1.3, 0.0);
+    ASSERT_FALSE(regions.empty());
+    EXPECT_EQ(regions.front().first, 0u);
+    EXPECT_EQ(regions.back().last, grid.sampleCount() - 1);
+    for (std::size_t r = 1; r < regions.size(); ++r)
+        EXPECT_EQ(regions[r].first, regions[r - 1].last + 1);
+    for (const StableRegion &region : regions) {
+        ASSERT_FALSE(region.availableSettings.empty());
+        // Every cluster contains its optimum, so at threshold 0 each
+        // sample still contributes at least that setting.
+        for (std::size_t s = region.first; s <= region.last; ++s) {
+            const PerformanceCluster cluster =
+                chain.clusters.clusterForSample(s, 1.3, 0.0);
+            EXPECT_TRUE(cluster.contains(region.chosenSettingIndex));
+        }
+    }
+}
+
+TEST(StableRegionsEdge, RegionsAreMaximal)
+{
+    // Greedy growth closes a region only when the next sample's
+    // cluster would empty the common set: each region boundary must
+    // be justified by an empty intersection.
+    const MeasuredGrid &grid = test::phasedGrid();
+    Chain chain(grid);
+    const double budget = 1.3;
+    const double threshold = 0.01;
+    const auto regions = chain.regions.find(budget, threshold);
+    for (std::size_t r = 0; r + 1 < regions.size(); ++r) {
+        const std::size_t next_first = regions[r + 1].first;
+        const PerformanceCluster next =
+            chain.clusters.clusterForSample(next_first, budget,
+                                            threshold);
+        for (const std::size_t k : regions[r].availableSettings) {
+            EXPECT_FALSE(next.contains(k))
+                << "region " << r << " could have absorbed sample "
+                << next_first;
+        }
+    }
+    // The final region always reaches the last sample, even when it
+    // holds a single sample.
+    EXPECT_EQ(regions.back().last, grid.sampleCount() - 1);
+}
+
+TEST(StableRegionsEdge, FromTableMatchesFind)
+{
+    Chain chain(test::phasedGrid());
+    const double budget = 1.3;
+    const double threshold = 0.03;
+    const ClusterTable table = chain.clusters.table(budget, threshold);
+    const auto from_table = chain.regions.fromTable(table);
+    const auto found = chain.regions.find(budget, threshold);
+    ASSERT_EQ(from_table.size(), found.size());
+    for (std::size_t r = 0; r < found.size(); ++r) {
+        EXPECT_EQ(from_table[r].first, found[r].first);
+        EXPECT_EQ(from_table[r].last, found[r].last);
+        EXPECT_EQ(from_table[r].availableSettings,
+                  found[r].availableSettings);
+        EXPECT_EQ(from_table[r].chosenSettingIndex,
+                  found[r].chosenSettingIndex);
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -465,6 +465,11 @@ cmdTune(const ArgParser &args)
     std::cout << "grid cache: " << stats.hits << " hits, "
               << stats.misses << " misses, " << stats.evictions
               << " evictions\n";
+    const svc::AnalysisCache::Stats analysis_stats =
+        service.analysisStats();
+    std::cout << "analysis cache: " << analysis_stats.hits << " hits, "
+              << analysis_stats.misses << " misses, "
+              << analysis_stats.evictions << " evictions\n";
 
     if (args.has("trace-journal")) {
         obs::DecisionJournal journal;
