@@ -5,9 +5,11 @@
 #   1. ASan + UBSan over the full suite — memory errors and UB
 #      anywhere in the library;
 #   2. TSan over the concurrency-heavy subset (exec thread pool,
-#      svc cache/service, obs metrics and trace rings) — the lock-free
-#      metric stripes, the seqlock-protected trace slots and the
-#      cache/coalescing paths are where data races would live.
+#      svc cache/service, obs metrics and trace rings, the tuning
+#      daemon and its snapshot store) — the lock-free metric stripes,
+#      the seqlock-protected trace slots, the cache/coalescing paths
+#      and the daemon's batcher/drain handoffs are where data races
+#      would live.
 #
 # Usage: scripts/sanitize.sh [--asan-only|--tsan-only]
 # Build trees land in build-asan/ and build-tsan/ next to build/.
@@ -44,13 +46,15 @@ if [ "$run_tsan" = 1 ]; then
         -DMCDVFS_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" --target \
         exec_thread_pool_test exec_thread_pool_stress_test \
+        exec_thread_pool_drain_test \
         svc_grid_cache_test svc_grid_cache_property_test \
         svc_service_test sim_parallel_grid_test \
         obs_metrics_test obs_snapshot_golden_test \
         obs_instrumentation_test \
-        obs_trace_test obs_trace_stress_test
+        obs_trace_test obs_trace_stress_test \
+        daemon_snapshot_store_test daemon_tuning_daemon_test
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace'
+        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore'
 fi
 
 echo "sanitize: all requested passes clean"

@@ -1,0 +1,500 @@
+#include "daemon/snapshot_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/binio.hh"
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "sim/grid_io.hh"
+
+namespace mcdvfs
+{
+namespace daemon
+{
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Process-wide snapshot-store metrics (all stores share them). */
+struct StoreMetrics
+{
+    obs::Counter gridStores;
+    obs::Counter gridLoads;
+    obs::Counter analysisStores;
+    obs::Counter analysisLoads;
+    obs::Counter loadErrors;
+    obs::Histogram storeNs;
+    obs::Histogram loadNs;
+
+    StoreMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        const auto latency = obs::MetricsRegistry::latencyBucketsNs();
+        gridStores = reg.counter("daemon.snapshot.grid_stores");
+        gridLoads = reg.counter("daemon.snapshot.grid_loads");
+        analysisStores = reg.counter("daemon.snapshot.analysis_stores");
+        analysisLoads = reg.counter("daemon.snapshot.analysis_loads");
+        loadErrors = reg.counter("daemon.snapshot.load_errors");
+        storeNs = reg.histogram("daemon.snapshot.store_ns", latency);
+        loadNs = reg.histogram("daemon.snapshot.load_ns", latency);
+    }
+};
+
+StoreMetrics &
+storeMetrics()
+{
+    static StoreMetrics metrics;
+    return metrics;
+}
+
+/** Snapshot files cannot plausibly exceed this (see grid_io). */
+constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 31;
+
+std::string
+hexDigest(std::uint64_t digest)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return std::string(buffer, 16);
+}
+
+std::string
+gridKeyBytes(const svc::GridKey &key)
+{
+    ByteWriter w;
+    w.u64(key.workload);
+    w.u64(key.space);
+    w.u64(key.config);
+    return w.take();
+}
+
+svc::GridKey
+parseGridKey(const std::string &bytes)
+{
+    ByteReader r(bytes, "grid snapshot key");
+    svc::GridKey key;
+    key.workload = r.u64();
+    key.space = r.u64();
+    key.config = r.u64();
+    r.expectEnd();
+    return key;
+}
+
+std::string
+analysisKeyBytes(const svc::AnalysisKey &key)
+{
+    ByteWriter w;
+    w.u64(key.grid);
+    w.f64(key.budget);
+    w.f64(key.threshold);
+    return w.take();
+}
+
+svc::AnalysisKey
+parseAnalysisKey(const std::string &bytes)
+{
+    ByteReader r(bytes, "analysis snapshot key");
+    svc::AnalysisKey key;
+    key.grid = r.u64();
+    key.budget = r.f64();
+    key.threshold = r.f64();
+    r.expectEnd();
+    return key;
+}
+
+void
+writeChoice(ByteWriter &w, const OptimalChoice &choice)
+{
+    w.u64(choice.settingIndex);
+    w.f64(choice.setting.cpu);
+    w.f64(choice.setting.mem);
+    w.f64(choice.speedup);
+    w.f64(choice.inefficiency);
+}
+
+OptimalChoice
+readChoice(ByteReader &r)
+{
+    OptimalChoice choice;
+    choice.settingIndex = r.u64();
+    choice.setting.cpu = r.f64();
+    choice.setting.mem = r.f64();
+    choice.speedup = r.f64();
+    choice.inefficiency = r.f64();
+    return choice;
+}
+
+/** Guard a deserialized element count against corrupt length words. */
+std::uint32_t
+checkedCount(std::uint32_t count, const char *what)
+{
+    if (count > 100'000'000)
+        fatal("analysis snapshot: implausible ", what, " count ", count);
+    return count;
+}
+
+std::string
+analysisPayload(const svc::AnalysisResult &result)
+{
+    ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(result.optimal.size()));
+    for (const OptimalChoice &choice : result.optimal)
+        writeChoice(w, choice);
+
+    w.u32(static_cast<std::uint32_t>(result.clusters.size()));
+    for (const PerformanceCluster &cluster : result.clusters) {
+        writeChoice(w, cluster.optimal);
+        w.u32(static_cast<std::uint32_t>(cluster.settings.size()));
+        for (const std::size_t setting : cluster.settings)
+            w.u64(setting);
+    }
+
+    w.u32(static_cast<std::uint32_t>(result.regions.size()));
+    for (const StableRegion &region : result.regions) {
+        w.u64(region.first);
+        w.u64(region.last);
+        w.u32(static_cast<std::uint32_t>(
+            region.availableSettings.size()));
+        for (const std::size_t setting : region.availableSettings)
+            w.u64(setting);
+        w.u64(region.chosenSettingIndex);
+        w.f64(region.chosenSetting.cpu);
+        w.f64(region.chosenSetting.mem);
+    }
+    return w.take();
+}
+
+svc::AnalysisResult
+parseAnalysisPayload(const std::string &payload)
+{
+    ByteReader r(payload, "analysis snapshot");
+    svc::AnalysisResult result;
+
+    const std::uint32_t optima = checkedCount(r.u32(), "optimal");
+    result.optimal.reserve(optima);
+    for (std::uint32_t i = 0; i < optima; ++i)
+        result.optimal.push_back(readChoice(r));
+
+    const std::uint32_t clusters = checkedCount(r.u32(), "cluster");
+    result.clusters.reserve(clusters);
+    for (std::uint32_t i = 0; i < clusters; ++i) {
+        PerformanceCluster cluster;
+        cluster.optimal = readChoice(r);
+        const std::uint32_t members =
+            checkedCount(r.u32(), "cluster member");
+        cluster.settings.reserve(members);
+        for (std::uint32_t j = 0; j < members; ++j)
+            cluster.settings.push_back(r.u64());
+        result.clusters.push_back(std::move(cluster));
+    }
+
+    const std::uint32_t regions = checkedCount(r.u32(), "region");
+    result.regions.reserve(regions);
+    for (std::uint32_t i = 0; i < regions; ++i) {
+        StableRegion region;
+        region.first = r.u64();
+        region.last = r.u64();
+        const std::uint32_t avail =
+            checkedCount(r.u32(), "region setting");
+        region.availableSettings.reserve(avail);
+        for (std::uint32_t j = 0; j < avail; ++j)
+            region.availableSettings.push_back(r.u64());
+        region.chosenSettingIndex = r.u64();
+        region.chosenSetting.cpu = r.f64();
+        region.chosenSetting.mem = r.f64();
+        result.regions.push_back(std::move(region));
+    }
+    r.expectEnd();
+    return result;
+}
+
+} // namespace
+
+SnapshotStore::SnapshotStore(std::string directory)
+    : directory_(std::move(directory))
+{
+    if (directory_.empty())
+        fatal("snapshot store: empty directory path");
+    std::error_code ec;
+    fs::create_directories(directory_, ec);
+    if (ec || !fs::is_directory(directory_)) {
+        fatal("snapshot store: cannot create directory '", directory_,
+              "': ", ec.message());
+    }
+}
+
+std::string
+SnapshotStore::gridPath(const svc::GridKey &key) const
+{
+    return directory_ + "/grid-" + hexDigest(key.combined()) + ".snap";
+}
+
+std::string
+SnapshotStore::analysisPath(const svc::AnalysisKey &key) const
+{
+    return directory_ + "/analysis-" + hexDigest(key.combined()) +
+           ".snap";
+}
+
+void
+SnapshotStore::writeSnapshot(const std::string &path, Kind kind,
+                             const std::string &keyBytes,
+                             const std::string &payload)
+{
+    obs::ScopedTimer store_timer(storeMetrics().storeNs);
+    ByteWriter header;
+    for (const char c : kMagic)
+        header.u8(static_cast<std::uint8_t>(c));
+    header.u32(kVersion);
+    header.u32(static_cast<std::uint32_t>(kind));
+    header.str(keyBytes);
+    header.u64(payload.size());
+    // The checksum covers the key bytes too: a flipped bit in the key
+    // region must read as corruption, not as a different snapshot.
+    header.u64(
+        fnv1aString(fnv1aString(kFnvOffsetBasis, keyBytes), payload));
+
+    // Unique temp name per writer, atomically renamed into place:
+    // a crash mid-write leaves the old snapshot (or none), never a
+    // torn file under the final name.
+    const std::string temp =
+        path + ".tmp" +
+        std::to_string(tempSeq_.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out)
+            fatal("snapshot store: cannot open '", temp,
+                  "' for writing");
+        out.write(header.bytes().data(),
+                  static_cast<std::streamsize>(header.bytes().size()));
+        out.write(payload.data(),
+                  static_cast<std::streamsize>(payload.size()));
+        if (!out)
+            fatal("snapshot store: write failed for '", temp, "'");
+    }
+    std::error_code ec;
+    fs::rename(temp, path, ec);
+    if (ec) {
+        fs::remove(temp, ec);
+        fatal("snapshot store: cannot rename '", temp, "' to '", path,
+              "'");
+    }
+}
+
+bool
+SnapshotStore::readSnapshot(const std::string &path, Kind kind,
+                            std::string &keyBytes, std::string &payload)
+{
+    std::error_code ec;
+    if (!fs::exists(path, ec) || ec)
+        return false;
+
+    obs::ScopedTimer load_timer(storeMetrics().loadNs);
+    try {
+        std::ifstream in(path, std::ios::binary);
+        if (!in)
+            fatal("snapshot store: cannot open '", path, "'");
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string bytes = buffer.str();
+        if (bytes.size() > kMaxSnapshotBytes)
+            fatal("snapshot store: implausible file size ",
+                  bytes.size());
+
+        ByteReader r(bytes, "snapshot container");
+        for (const char expected : kMagic) {
+            if (static_cast<char>(r.u8()) != expected)
+                fatal("snapshot container: bad magic in '", path, "'");
+        }
+        const std::uint32_t version = r.u32();
+        if (version != kVersion)
+            fatal("snapshot container: unsupported version ", version,
+                  " in '", path, "' (expected ", kVersion, ")");
+        const std::uint32_t file_kind = r.u32();
+        if (file_kind != static_cast<std::uint32_t>(kind))
+            fatal("snapshot container: kind ", file_kind, " in '", path,
+                  "' does not match the expected kind ",
+                  static_cast<std::uint32_t>(kind));
+        keyBytes = r.str();
+        const std::uint64_t payload_size = r.u64();
+        const std::uint64_t checksum = r.u64();
+        if (payload_size != r.remaining())
+            fatal("snapshot container: truncated payload in '", path,
+                  "' (header claims ", payload_size, " bytes, file has ",
+                  r.remaining(), ")");
+        payload = bytes.substr(bytes.size() - payload_size);
+        if (fnv1aString(fnv1aString(kFnvOffsetBasis, keyBytes),
+                        payload) != checksum) {
+            fatal("snapshot container: checksum mismatch in '", path,
+                  "' (corrupt snapshot)");
+        }
+        return true;
+    } catch (const FatalError &err) {
+        loadErrors_.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().loadErrors.add(1);
+        warn("snapshot store: rejecting '", path, "': ", err.what());
+        return false;
+    }
+}
+
+void
+SnapshotStore::storeGrid(const svc::GridKey &key, const MeasuredGrid &grid)
+{
+    writeSnapshot(gridPath(key), Kind::Grid, gridKeyBytes(key),
+                  saveGridBinaryToString(grid));
+    gridStores_.fetch_add(1, std::memory_order_relaxed);
+    storeMetrics().gridStores.add(1);
+}
+
+std::shared_ptr<const MeasuredGrid>
+SnapshotStore::loadGrid(const svc::GridKey &key)
+{
+    std::string key_bytes;
+    std::string payload;
+    if (!readSnapshot(gridPath(key), Kind::Grid, key_bytes, payload))
+        return nullptr;
+    try {
+        if (!(parseGridKey(key_bytes) == key))
+            fatal("stored key does not match the requested key");
+        auto grid = std::make_shared<const MeasuredGrid>(
+            loadGridBinaryFromString(payload));
+        gridLoads_.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().gridLoads.add(1);
+        return grid;
+    } catch (const FatalError &err) {
+        loadErrors_.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().loadErrors.add(1);
+        warn("snapshot store: rejecting '", gridPath(key), "': ",
+             err.what());
+        return nullptr;
+    }
+}
+
+void
+SnapshotStore::storeAnalysis(const svc::AnalysisKey &key,
+                             const svc::AnalysisResult &result)
+{
+    writeSnapshot(analysisPath(key), Kind::Analysis,
+                  analysisKeyBytes(key), analysisPayload(result));
+    analysisStores_.fetch_add(1, std::memory_order_relaxed);
+    storeMetrics().analysisStores.add(1);
+}
+
+std::shared_ptr<const svc::AnalysisResult>
+SnapshotStore::loadAnalysis(const svc::AnalysisKey &key)
+{
+    std::string key_bytes;
+    std::string payload;
+    if (!readSnapshot(analysisPath(key), Kind::Analysis, key_bytes,
+                      payload)) {
+        return nullptr;
+    }
+    try {
+        if (!(parseAnalysisKey(key_bytes) == key))
+            fatal("stored key does not match the requested key");
+        auto result = std::make_shared<const svc::AnalysisResult>(
+            parseAnalysisPayload(payload));
+        analysisLoads_.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().analysisLoads.add(1);
+        return result;
+    } catch (const FatalError &err) {
+        loadErrors_.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().loadErrors.add(1);
+        warn("snapshot store: rejecting '", analysisPath(key), "': ",
+             err.what());
+        return nullptr;
+    }
+}
+
+std::vector<SnapshotStore::GridEntry>
+SnapshotStore::loadAllGrids()
+{
+    std::vector<GridEntry> entries;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(directory_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("grid-", 0) != 0 ||
+            name.size() < 5 || name.substr(name.size() - 5) != ".snap") {
+            continue;
+        }
+        std::string key_bytes;
+        std::string payload;
+        if (!readSnapshot(entry.path().string(), Kind::Grid, key_bytes,
+                          payload)) {
+            continue;
+        }
+        try {
+            GridEntry loaded;
+            loaded.key = parseGridKey(key_bytes);
+            loaded.grid = std::make_shared<const MeasuredGrid>(
+                loadGridBinaryFromString(payload));
+            gridLoads_.fetch_add(1, std::memory_order_relaxed);
+            storeMetrics().gridLoads.add(1);
+            entries.push_back(std::move(loaded));
+        } catch (const FatalError &err) {
+            loadErrors_.fetch_add(1, std::memory_order_relaxed);
+            storeMetrics().loadErrors.add(1);
+            warn("snapshot store: rejecting '", entry.path().string(),
+                 "': ", err.what());
+        }
+    }
+    return entries;
+}
+
+std::vector<SnapshotStore::AnalysisEntry>
+SnapshotStore::loadAllAnalyses()
+{
+    std::vector<AnalysisEntry> entries;
+    for (const fs::directory_entry &entry :
+         fs::directory_iterator(directory_)) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("analysis-", 0) != 0 ||
+            name.size() < 5 || name.substr(name.size() - 5) != ".snap") {
+            continue;
+        }
+        std::string key_bytes;
+        std::string payload;
+        if (!readSnapshot(entry.path().string(), Kind::Analysis,
+                          key_bytes, payload)) {
+            continue;
+        }
+        try {
+            AnalysisEntry loaded;
+            loaded.key = parseAnalysisKey(key_bytes);
+            loaded.result = std::make_shared<const svc::AnalysisResult>(
+                parseAnalysisPayload(payload));
+            analysisLoads_.fetch_add(1, std::memory_order_relaxed);
+            storeMetrics().analysisLoads.add(1);
+            entries.push_back(std::move(loaded));
+        } catch (const FatalError &err) {
+            loadErrors_.fetch_add(1, std::memory_order_relaxed);
+            storeMetrics().loadErrors.add(1);
+            warn("snapshot store: rejecting '", entry.path().string(),
+                 "': ", err.what());
+        }
+    }
+    return entries;
+}
+
+SnapshotStore::Stats
+SnapshotStore::stats() const
+{
+    Stats stats;
+    stats.gridStores = gridStores_.load(std::memory_order_relaxed);
+    stats.gridLoads = gridLoads_.load(std::memory_order_relaxed);
+    stats.analysisStores =
+        analysisStores_.load(std::memory_order_relaxed);
+    stats.analysisLoads = analysisLoads_.load(std::memory_order_relaxed);
+    stats.loadErrors = loadErrors_.load(std::memory_order_relaxed);
+    return stats;
+}
+
+} // namespace daemon
+} // namespace mcdvfs

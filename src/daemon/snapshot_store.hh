@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Persistent, fingerprint-addressed store of grid and analysis
+ * snapshots.
+ *
+ * A fleet-scale daemon must not recharacterize the world on every
+ * restart: a MeasuredGrid is the expensive artifact (hundreds of
+ * samples through the cache/DRAM simulator) and the §V/§VI analysis
+ * chain is the second-most expensive, yet both are pure functions of
+ * content-fingerprinted inputs (svc/fingerprint.hh).  SnapshotStore
+ * persists both as checksummed binary files addressed by their cache
+ * keys, so a restarting daemon reloads them into GridCache /
+ * AnalysisCache and serves its first requests hot.
+ *
+ * Layout: one file per snapshot inside one directory —
+ *
+ *   grid-<16-hex-digit key digest>.snap
+ *   analysis-<16-hex-digit key digest>.snap
+ *
+ * Each file is a container header (magic, version, kind, the full
+ * cache key, payload length, an FNV-1a checksum covering the key
+ * bytes and the payload) followed by the payload: for grids the sim/grid_io binary snapshot (itself
+ * checksummed and bit-identical on round trip), for analyses a
+ * common/binio.hh serialization of svc::AnalysisResult.
+ *
+ * Durability: every store writes to a unique temporary name in the
+ * same directory and atomically renames it into place, so a crash
+ * (kill -9) mid-write leaves either the old file or no file — never a
+ * torn one.  Loads verify magic, version, kind, key, and checksum;
+ * anything that fails verification is counted, warned about, and
+ * skipped (a corrupt snapshot degrades to a cache miss, never to UB).
+ */
+
+#ifndef MCDVFS_DAEMON_SNAPSHOT_STORE_HH
+#define MCDVFS_DAEMON_SNAPSHOT_STORE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "svc/analysis_cache.hh"
+#include "svc/grid_cache.hh"
+
+namespace mcdvfs
+{
+namespace daemon
+{
+
+/** Directory-backed snapshot store (thread-safe; see file comment). */
+class SnapshotStore
+{
+  public:
+    /** Magic leading every snapshot container. */
+    static constexpr char kMagic[8] = {'m', 'c', 'd', 'v',
+                                       'f', 's', 'S', 'S'};
+
+    /** Current container version. */
+    static constexpr std::uint32_t kVersion = 1;
+
+    /** Monotonic per-store I/O counters. */
+    struct Stats
+    {
+        std::uint64_t gridStores = 0;
+        std::uint64_t gridLoads = 0;
+        std::uint64_t analysisStores = 0;
+        std::uint64_t analysisLoads = 0;
+        /** Files rejected as truncated / corrupt / mismatched. */
+        std::uint64_t loadErrors = 0;
+    };
+
+    /** One reloaded grid snapshot with its cache key. */
+    struct GridEntry
+    {
+        svc::GridKey key;
+        std::shared_ptr<const MeasuredGrid> grid;
+    };
+
+    /** One reloaded analysis snapshot with its cache key. */
+    struct AnalysisEntry
+    {
+        svc::AnalysisKey key;
+        std::shared_ptr<const svc::AnalysisResult> result;
+    };
+
+    /**
+     * Open (creating if needed) the store directory.
+     * @throws FatalError when the directory cannot be created.
+     */
+    explicit SnapshotStore(std::string directory);
+
+    const std::string &directory() const { return directory_; }
+
+    /** Persist a grid under its cache key (write-to-temp + rename). */
+    void storeGrid(const svc::GridKey &key, const MeasuredGrid &grid);
+
+    /**
+     * Load the grid stored under @c key; nullptr when absent or when
+     * the file fails verification (counted in stats().loadErrors).
+     */
+    std::shared_ptr<const MeasuredGrid> loadGrid(const svc::GridKey &key);
+
+    /** Persist an analysis under its cache key. */
+    void storeAnalysis(const svc::AnalysisKey &key,
+                       const svc::AnalysisResult &result);
+
+    /** Load the analysis stored under @c key (nullptr as loadGrid). */
+    std::shared_ptr<const svc::AnalysisResult> loadAnalysis(
+        const svc::AnalysisKey &key);
+
+    /**
+     * Load every verifiable grid snapshot in the directory (warm
+     * restart).  Corrupt or foreign files are skipped with a warning.
+     */
+    std::vector<GridEntry> loadAllGrids();
+
+    /** Load every verifiable analysis snapshot in the directory. */
+    std::vector<AnalysisEntry> loadAllAnalyses();
+
+    Stats stats() const;
+
+  private:
+    enum class Kind : std::uint32_t
+    {
+        Grid = 1,
+        Analysis = 2,
+    };
+
+    std::string gridPath(const svc::GridKey &key) const;
+    std::string analysisPath(const svc::AnalysisKey &key) const;
+
+    /** Write container + payload to a temp file, rename into place. */
+    void writeSnapshot(const std::string &path, Kind kind,
+                       const std::string &keyBytes,
+                       const std::string &payload);
+
+    /**
+     * Read and verify one container; returns false (after counting
+     * and warning) when the file is absent or fails verification.
+     * On success fills @c keyBytes and @c payload.
+     */
+    bool readSnapshot(const std::string &path, Kind kind,
+                      std::string &keyBytes, std::string &payload);
+
+    std::string directory_;
+    std::atomic<std::uint64_t> tempSeq_{0};
+    std::atomic<std::uint64_t> gridStores_{0};
+    std::atomic<std::uint64_t> gridLoads_{0};
+    std::atomic<std::uint64_t> analysisStores_{0};
+    std::atomic<std::uint64_t> analysisLoads_{0};
+    std::atomic<std::uint64_t> loadErrors_{0};
+};
+
+} // namespace daemon
+} // namespace mcdvfs
+
+#endif // MCDVFS_DAEMON_SNAPSHOT_STORE_HH

@@ -1,0 +1,354 @@
+#include "daemon/tuning_daemon.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <utility>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace mcdvfs
+{
+namespace daemon
+{
+
+namespace
+{
+
+/** Process-wide daemon metrics (all instances share them). */
+struct DaemonMetrics
+{
+    obs::Gauge queueDepth;
+    obs::Counter admitted;
+    obs::Counter shedQueueFull;
+    obs::Counter shedDraining;
+    obs::Counter batches;
+    obs::Counter coalesced;
+    obs::Counter completed;
+    obs::Histogram queueWaitNs;
+    obs::Histogram gridStageNs;
+    obs::Histogram analysisStageNs;
+    obs::Histogram requestNs;
+
+    DaemonMetrics()
+    {
+        obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+        const auto latency = obs::MetricsRegistry::latencyBucketsNs();
+        queueDepth = reg.gauge("daemon.queue_depth");
+        admitted = reg.counter("daemon.admitted");
+        shedQueueFull = reg.counter("daemon.shed_queue_full");
+        shedDraining = reg.counter("daemon.shed_draining");
+        batches = reg.counter("daemon.batches");
+        coalesced = reg.counter("daemon.coalesced");
+        completed = reg.counter("daemon.completed");
+        queueWaitNs = reg.histogram("daemon.queue_wait_ns", latency);
+        gridStageNs = reg.histogram("daemon.grid_stage_ns", latency);
+        analysisStageNs =
+            reg.histogram("daemon.analysis_stage_ns", latency);
+        requestNs = reg.histogram("daemon.request_ns", latency);
+    }
+};
+
+DaemonMetrics &
+daemonMetrics()
+{
+    static DaemonMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+const char *
+shedReasonName(ShedReason reason)
+{
+    switch (reason) {
+    case ShedReason::None:
+        return "none";
+    case ShedReason::QueueFull:
+        return "queue-full";
+    case ShedReason::Draining:
+        return "draining";
+    }
+    return "unknown";
+}
+
+TuningDaemon::TuningDaemon(const SystemConfig &config,
+                           const Options &options)
+    : config_(config), options_(options),
+      service_(config, options.service)
+{
+    if (options_.queueCapacity == 0)
+        fatal("tuning daemon: queue capacity must be >= 1");
+    if (options_.maxBatch == 0)
+        fatal("tuning daemon: max batch must be >= 1");
+    if (options_.shedWatermark == 0 ||
+        options_.shedWatermark > options_.queueCapacity) {
+        options_.shedWatermark = options_.queueCapacity;
+    }
+    if (!options_.storeDir.empty()) {
+        store_ = std::make_unique<SnapshotStore>(options_.storeDir);
+        warmLoad();
+    }
+    batcher_ = std::thread([this] { batcherLoop(); });
+}
+
+TuningDaemon::~TuningDaemon()
+{
+    drain();
+}
+
+void
+TuningDaemon::warmLoad()
+{
+    obs::TraceSpan warm_span("daemon.warm_load");
+    for (SnapshotStore::GridEntry &entry : store_->loadAllGrids()) {
+        service_.primeGrid(entry.key, std::move(entry.grid));
+        ++warmGrids_;
+    }
+    for (SnapshotStore::AnalysisEntry &entry :
+         store_->loadAllAnalyses()) {
+        service_.primeAnalysis(entry.key, std::move(entry.result));
+        ++warmAnalyses_;
+    }
+    if (warmGrids_ + warmAnalyses_ > 0) {
+        inform("tuning daemon: warm-loaded ", warmGrids_,
+               " grid and ", warmAnalyses_,
+               " analysis snapshots from '", store_->directory(), "'");
+    }
+}
+
+void
+TuningDaemon::shed(std::promise<DaemonResponse> promise,
+                   ShedReason reason)
+{
+    DaemonResponse response;
+    response.shed = reason;
+    promise.set_value(std::move(response));
+}
+
+std::future<DaemonResponse>
+TuningDaemon::submit(const svc::TuningRequest &request)
+{
+    std::promise<DaemonResponse> promise;
+    std::future<DaemonResponse> future = promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (draining_) {
+            shedDraining_.fetch_add(1, std::memory_order_relaxed);
+            daemonMetrics().shedDraining.add(1);
+            obs::traceInstant("daemon.shed_draining");
+            shed(std::move(promise), ShedReason::Draining);
+            return future;
+        }
+        if (queue_.size() >= options_.shedWatermark) {
+            shedQueueFull_.fetch_add(1, std::memory_order_relaxed);
+            daemonMetrics().shedQueueFull.add(1);
+            obs::traceInstant("daemon.shed_queue_full");
+            shed(std::move(promise), ShedReason::QueueFull);
+            return future;
+        }
+        queue_.push_back(
+            Pending{request, std::move(promise), obs::metricsNow()});
+        daemonMetrics().queueDepth.set(
+            static_cast<std::int64_t>(queue_.size()));
+    }
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    daemonMetrics().admitted.add(1);
+    wake_.notify_one();
+    return future;
+}
+
+void
+TuningDaemon::batcherLoop()
+{
+    for (;;) {
+        std::vector<Pending> batch;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this] {
+                return draining_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // draining and nothing left to dispatch
+            const std::size_t take =
+                std::min(options_.maxBatch, queue_.size());
+            batch.reserve(take);
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue_.front()));
+                queue_.pop_front();
+            }
+            daemonMetrics().queueDepth.set(
+                static_cast<std::int64_t>(queue_.size()));
+        }
+        dispatchBatch(std::move(batch));
+    }
+}
+
+void
+TuningDaemon::dispatchBatch(std::vector<Pending> batch)
+{
+    obs::TraceSpan batch_span("daemon.dispatch_batch", batch.size());
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    daemonMetrics().batches.add(1);
+
+    // Coalesce by grid identity: every group characterizes its grid
+    // once; distinct groups run as independent pool tasks.
+    struct Group
+    {
+        svc::GridKey key;
+        std::shared_ptr<std::vector<Pending>> members;
+    };
+    std::map<std::uint64_t, Group> groups;
+    for (Pending &pending : batch) {
+        const svc::GridKey key = service_.keyFor(
+            pending.request.workload, pending.request.space);
+        Group &group = groups[key.combined()];
+        if (group.members == nullptr) {
+            group.key = key;
+            group.members = std::make_shared<std::vector<Pending>>();
+        } else {
+            coalesced_.fetch_add(1, std::memory_order_relaxed);
+            daemonMetrics().coalesced.add(1);
+        }
+        group.members->push_back(std::move(pending));
+    }
+
+    std::lock_guard<std::mutex> lock(inflightMutex_);
+    // Reap finished groups so the in-flight list stays small.
+    inflight_.erase(
+        std::remove_if(inflight_.begin(), inflight_.end(),
+                       [](std::future<void> &f) {
+                           return f.wait_for(std::chrono::seconds(0)) ==
+                                  std::future_status::ready;
+                       }),
+        inflight_.end());
+    for (auto &[digest, group] : groups) {
+        inflight_.push_back(service_.pool().submit(
+            [this, key = group.key, members = group.members] {
+                runGroup(key, members);
+            }));
+    }
+}
+
+void
+TuningDaemon::runGroup(const svc::GridKey &key,
+                       std::shared_ptr<std::vector<Pending>> members)
+{
+    obs::TraceSpan group_span("daemon.run_group", members->size());
+    std::size_t resolved = 0;
+    try {
+        // Grid stage: one characterization (or cache hit) per group.
+        const obs::Clock::time_point grid_start = obs::metricsNow();
+        bool grid_hit = false;
+        const svc::TuningRequest &first = members->front().request;
+        auto grid = service_.grid(first.workload, first.space, grid_hit);
+        const std::uint64_t grid_ns = obs::elapsedNs(grid_start);
+        daemonMetrics().gridStageNs.record(grid_ns);
+        if (!grid_hit && store_ != nullptr)
+            store_->storeGrid(key, *grid);
+
+        // Analysis stage: one per member (later members share the
+        // grid, so their grid stage is a hit by construction).
+        const std::uint64_t digest = key.combined();
+        for (Pending &pending : *members) {
+            const std::uint64_t queue_ns =
+                obs::elapsedNs(pending.submittedAt);
+            daemonMetrics().queueWaitNs.record(queue_ns);
+
+            const obs::Clock::time_point analysis_start =
+                obs::metricsNow();
+            svc::TuningResult result = service_.analyze(
+                pending.request, digest, grid,
+                resolved == 0 ? grid_hit : true);
+            const std::uint64_t analysis_ns =
+                obs::elapsedNs(analysis_start);
+            daemonMetrics().analysisStageNs.record(analysis_ns);
+
+            if (!result.analysisCacheHit && store_ != nullptr) {
+                svc::AnalysisResult snapshot;
+                snapshot.optimal = result.optimal;
+                snapshot.clusters = result.clusters;
+                snapshot.regions = result.regions;
+                store_->storeAnalysis(
+                    svc::AnalysisKey{digest, pending.request.budget,
+                                     pending.request.threshold},
+                    snapshot);
+            }
+
+            DaemonResponse response;
+            response.result = std::move(result);
+            response.queueNs = queue_ns;
+            response.gridNs = grid_ns;
+            response.analysisNs = analysis_ns;
+            response.totalNs = obs::elapsedNs(pending.submittedAt);
+            daemonMetrics().requestNs.record(response.totalNs);
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            daemonMetrics().completed.add(1);
+            pending.promise.set_value(std::move(response));
+            ++resolved;
+        }
+    } catch (...) {
+        // A grid- or analysis-stage failure fails every member that
+        // has not been resolved yet; the caller sees the exception
+        // through its future.
+        for (std::size_t i = resolved; i < members->size(); ++i) {
+            (*members)[i].promise.set_exception(
+                std::current_exception());
+        }
+    }
+}
+
+void
+TuningDaemon::drain()
+{
+    std::lock_guard<std::mutex> drain_lock(drainMutex_);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    wake_.notify_all();
+    if (batcher_.joinable())
+        batcher_.join();
+
+    // Every dispatched group must finish before the pool drains (a
+    // drained pool rejects the service's internal batch submits).
+    std::vector<std::future<void>> inflight;
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        inflight.swap(inflight_);
+    }
+    for (std::future<void> &future : inflight)
+        future.get();
+
+    if (!service_.pool().draining())
+        service_.pool().drain();
+}
+
+std::size_t
+TuningDaemon::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+DaemonStats
+TuningDaemon::stats() const
+{
+    DaemonStats stats;
+    stats.admitted = admitted_.load(std::memory_order_relaxed);
+    stats.shedQueueFull =
+        shedQueueFull_.load(std::memory_order_relaxed);
+    stats.shedDraining = shedDraining_.load(std::memory_order_relaxed);
+    stats.batches = batches_.load(std::memory_order_relaxed);
+    stats.coalesced = coalesced_.load(std::memory_order_relaxed);
+    stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.warmGrids = warmGrids_;
+    stats.warmAnalyses = warmAnalyses_;
+    return stats;
+}
+
+} // namespace daemon
+} // namespace mcdvfs

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Long-running fleet tuning daemon: an async request pipeline over
+ * svc::CharacterizationService.
+ *
+ * The paper's §VII tuner is a per-device loop; this daemon is the
+ * fleet-scale serving shape of the same computation.  Requests flow
+ * through four stages:
+ *
+ *   submit() --> bounded queue --> batcher --> grid stage --> analysis
+ *               (admission       (coalesce    (GridCache /   stage
+ *                control,         by grid      build over    (Analysis-
+ *                load-shed)       fingerprint) the pool)      Cache)
+ *
+ *  - Admission control: the submit queue is bounded; once its depth
+ *    reaches the shed watermark, new requests are rejected immediately
+ *    with a reason (the future still resolves — callers never hang),
+ *    counted in daemon.shed_*.  A saturated daemon degrades by
+ *    shedding load, not by growing an unbounded backlog.
+ *  - Batching/coalescing: a dedicated batcher thread drains up to
+ *    maxBatch requests at a time and groups them by grid fingerprint
+ *    (workload, space, config); each group characterizes its grid once
+ *    and fans the per-request analyses from it.  Groups run as
+ *    independent pool tasks, so distinct grids characterize
+ *    concurrently.
+ *  - Persistence: with a SnapshotStore attached, every fresh grid
+ *    build and fresh analysis is written through to the store, and
+ *    construction warm-loads every stored snapshot into the caches —
+ *    a restarted daemon answers its first requests from the store
+ *    instead of recharacterizing the fleet (snapshots round-trip
+ *    bit-identically, so warm results equal cold results exactly).
+ *  - Shutdown: drain() stops admission (Draining sheds), finishes the
+ *    queue and every in-flight batch, then drains the pool — no
+ *    accepted request is ever dropped.
+ *
+ * Metrics live under the daemon.* namespace (docs/OBSERVABILITY.md).
+ */
+
+#ifndef MCDVFS_DAEMON_TUNING_DAEMON_HH
+#define MCDVFS_DAEMON_TUNING_DAEMON_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "daemon/snapshot_store.hh"
+#include "obs/metrics.hh"
+#include "svc/characterization_service.hh"
+
+namespace mcdvfs
+{
+namespace daemon
+{
+
+/** Why a request was rejected instead of tuned. */
+enum class ShedReason
+{
+    None = 0,     ///< not shed: the response carries a result
+    QueueFull,    ///< queue depth at or above the shed watermark
+    Draining,     ///< daemon is shutting down
+};
+
+/** Human-readable label of a shed reason. */
+const char *shedReasonName(ShedReason reason);
+
+/** The daemon's answer to one submitted request. */
+struct DaemonResponse
+{
+    /** Valid (grid != nullptr) only when shed == None. */
+    svc::TuningResult result;
+    ShedReason shed = ShedReason::None;
+    /** Nanoseconds from submit() to queue exit (0 when shed). */
+    std::uint64_t queueNs = 0;
+    /** Nanoseconds in the grid stage (cache lookup or build). */
+    std::uint64_t gridNs = 0;
+    /** Nanoseconds in the analysis stage. */
+    std::uint64_t analysisNs = 0;
+    /** Nanoseconds from submit() to completion. */
+    std::uint64_t totalNs = 0;
+
+    bool ok() const { return shed == ShedReason::None; }
+};
+
+/** Sizing and policy knobs of a TuningDaemon. */
+struct DaemonOptions
+{
+    /** Service sizing (pool workers, cache capacities). */
+    svc::ServiceOptions service;
+    /** Hard bound on queued (admitted, not yet dispatched) requests. */
+    std::size_t queueCapacity = 4096;
+    /**
+     * Queue depth at which admission control starts shedding; 0 means
+     * "at capacity".  A watermark below capacity sheds early so the
+     * queue keeps headroom for bursts already admitted.
+     */
+    std::size_t shedWatermark = 0;
+    /** Most requests the batcher dispatches as one batch. */
+    std::size_t maxBatch = 128;
+    /**
+     * Snapshot store directory; empty disables persistence.  When set,
+     * construction warm-loads every stored snapshot and every fresh
+     * grid/analysis is written through.
+     */
+    std::string storeDir;
+};
+
+/** Counters summarizing a daemon's lifetime (see also daemon.*). */
+struct DaemonStats
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t shedQueueFull = 0;
+    std::uint64_t shedDraining = 0;
+    std::uint64_t batches = 0;
+    /** Requests that shared a batch group with an earlier request. */
+    std::uint64_t coalesced = 0;
+    std::uint64_t completed = 0;
+    /** Grid snapshots warm-loaded at construction. */
+    std::uint64_t warmGrids = 0;
+    /** Analysis snapshots warm-loaded at construction. */
+    std::uint64_t warmAnalyses = 0;
+};
+
+/** The long-running server loop (one instance per process, usually). */
+class TuningDaemon
+{
+  public:
+    using Options = DaemonOptions;
+
+    /**
+     * Build the service, warm-load the snapshot store (when
+     * configured), and start the batcher thread.  The daemon accepts
+     * requests as soon as the constructor returns.
+     */
+    explicit TuningDaemon(
+        const SystemConfig &config = SystemConfig::paperDefault(),
+        const Options &options = Options());
+
+    /** Drains (if not already drained) and stops the batcher. */
+    ~TuningDaemon();
+
+    TuningDaemon(const TuningDaemon &) = delete;
+    TuningDaemon &operator=(const TuningDaemon &) = delete;
+
+    /**
+     * Submit one request.  Never blocks on the pipeline and never
+     * throws for capacity reasons: a shed request resolves its future
+     * immediately with the shed reason filled in.
+     */
+    std::future<DaemonResponse> submit(const svc::TuningRequest &request);
+
+    /**
+     * Graceful shutdown: stop admitting (subsequent submits shed with
+     * Draining), finish every queued and in-flight request, then drain
+     * the pool.  Idempotent.
+     */
+    void drain();
+
+    /** Requests admitted but not yet dispatched to the pool. */
+    std::size_t queueDepth() const;
+
+    DaemonStats stats() const;
+    svc::CharacterizationService &service() { return service_; }
+    SnapshotStore *store() { return store_.get(); }
+
+  private:
+    /** One admitted request waiting in the submit queue. */
+    struct Pending
+    {
+        svc::TuningRequest request;
+        std::promise<DaemonResponse> promise;
+        obs::Clock::time_point submittedAt;
+    };
+
+    void warmLoad();
+    void batcherLoop();
+    /** Dispatch one drained batch as per-grid-group pool tasks. */
+    void dispatchBatch(std::vector<Pending> batch);
+    /** Grid stage + analysis stage for one coalesced group. */
+    void runGroup(const svc::GridKey &key,
+                  std::shared_ptr<std::vector<Pending>> members);
+    /** Resolve a request immediately with a shed response. */
+    static void shed(std::promise<DaemonResponse> promise,
+                     ShedReason reason);
+
+    SystemConfig config_;
+    Options options_;
+    svc::CharacterizationService service_;
+    std::unique_ptr<SnapshotStore> store_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::deque<Pending> queue_;
+    bool draining_ = false;
+
+    /** In-flight batch-group futures, reaped as they complete. */
+    std::mutex inflightMutex_;
+    std::vector<std::future<void>> inflight_;
+
+    /** Serializes drain() callers (drain is idempotent). */
+    std::mutex drainMutex_;
+
+    std::atomic<std::uint64_t> admitted_{0};
+    std::atomic<std::uint64_t> shedQueueFull_{0};
+    std::atomic<std::uint64_t> shedDraining_{0};
+    std::atomic<std::uint64_t> batches_{0};
+    std::atomic<std::uint64_t> coalesced_{0};
+    std::atomic<std::uint64_t> completed_{0};
+    std::uint64_t warmGrids_ = 0;
+    std::uint64_t warmAnalyses_ = 0;
+
+    std::thread batcher_;
+};
+
+} // namespace daemon
+} // namespace mcdvfs
+
+#endif // MCDVFS_DAEMON_TUNING_DAEMON_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/logging.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -165,9 +166,41 @@ ThreadPool::workerLoop()
                 return;  // stop_ set and the queue drained
             task = std::move(queue_.front());
             queue_.pop_front();
+            ++activeTasks_;
         }
         runTask(task);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --activeTasks_;
+            if (queue_.empty() && activeTasks_ == 0)
+                idle_.notify_all();
+        }
     }
+}
+
+void
+ThreadPool::checkAccepting() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_)
+        fatal("thread pool: submit() after drain()");
+}
+
+bool
+ThreadPool::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+void
+ThreadPool::drain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    idle_.wait(lock, [this] {
+        return queue_.empty() && activeTasks_ == 0;
+    });
 }
 
 void

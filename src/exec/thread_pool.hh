@@ -65,6 +65,9 @@ class ThreadPool
     /**
      * Run @c fn on a worker; the returned future carries its result or
      * any exception it threw.
+     *
+     * @throws FatalError after drain() was called (the pool no longer
+     *         accepts new work).
      */
     template <typename F>
     auto
@@ -74,6 +77,7 @@ class ThreadPool
         auto task = std::make_shared<std::packaged_task<Result()>>(
             std::forward<F>(fn));
         std::future<Result> future = task->get_future();
+        checkAccepting();
         if (workers_.empty()) {
             (*task)();
             noteInlineTask();
@@ -82,6 +86,23 @@ class ThreadPool
         enqueue([task] { (*task)(); });
         return future;
     }
+
+    /**
+     * Graceful shutdown of the submission side: stop accepting new
+     * submit() calls (they throw FatalError from now on), then block
+     * until every queued and in-flight task has finished.
+     *
+     * Tasks already running may still spawn internal work — a nested
+     * parallelFor() keeps functioning during and after a drain, since
+     * its chunks make progress on the calling thread — so "drained"
+     * means the queue is empty AND no worker is mid-task.  Idempotent;
+     * safe to call from any thread except a pool worker (a worker
+     * draining its own pool would deadlock waiting for itself).
+     */
+    void drain();
+
+    /** True once drain() was called (no new submit() accepted). */
+    bool draining() const;
 
     /**
      * Apply @c body to every index in [begin, end), spread over the
@@ -106,14 +127,22 @@ class ThreadPool
     void runTask(QueuedTask &task);
     void workerLoop();
 
+    /** fatal() when the pool is draining (submit-side gate). */
+    void checkAccepting() const;
+
     /** Account a task that ran inline on the submitting thread. */
     static void noteInlineTask();
 
     std::vector<std::thread> workers_;
     std::deque<QueuedTask> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable available_;
+    /** Signalled when the queue empties and the last task finishes. */
+    std::condition_variable idle_;
+    /** Tasks currently executing on workers. */
+    std::size_t activeTasks_ = 0;
     bool stop_ = false;
+    bool draining_ = false;
 };
 
 } // namespace exec

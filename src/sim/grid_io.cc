@@ -1,9 +1,13 @@
 #include "sim/grid_io.hh"
 
+#include <cstring>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <vector>
 
+#include "common/binio.hh"
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace mcdvfs
@@ -154,6 +158,219 @@ loadGridFromString(const std::string &text)
 {
     std::istringstream is(text);
     return loadGrid(is);
+}
+
+namespace
+{
+
+/** Checksum guarding a binary payload (byte-wise FNV-1a). */
+std::uint64_t
+payloadChecksum(const std::string &payload)
+{
+    std::uint64_t hash = kFnvOffsetBasis;
+    for (const char c : payload)
+        hash = fnv1aByte(hash, static_cast<std::uint8_t>(c));
+    return hash;
+}
+
+/**
+ * Upper bound on a plausible payload (a fine-space grid of thousands
+ * of samples is tens of MiB); a corrupted length word must not turn
+ * into a multi-GiB allocation.
+ */
+constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
+
+/** Serialize the grid body (everything after the container header). */
+std::string
+gridPayload(const MeasuredGrid &grid)
+{
+    ByteWriter w;
+    w.str(grid.workload());
+    w.u64(grid.sampleCount());
+    w.u64(grid.instructionsPerSample());
+
+    const auto write_ladder = [&w](const FrequencyLadder &ladder) {
+        w.u32(static_cast<std::uint32_t>(ladder.size()));
+        for (const Hertz f : ladder.steps())
+            w.f64(f);
+    };
+    write_ladder(grid.space().cpuLadder());
+    write_ladder(grid.space().memLadder());
+
+    w.u8(grid.hasProfiles() ? 1 : 0);
+    if (grid.hasProfiles()) {
+        for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+            const SampleProfile &p = grid.profile(s);
+            w.str(p.phaseName);
+            w.f64(p.baseCpi);
+            w.f64(p.activity);
+            w.f64(p.mlp);
+            w.f64(p.l1Mpki);
+            w.f64(p.l2Mpki);
+            w.f64(p.l2PerInstr);
+            w.f64(p.dramReadsPerInstr);
+            w.f64(p.dramWritesPerInstr);
+            w.f64(p.dramPrefetchPerInstr);
+            w.f64(p.rowHitFrac);
+            w.f64(p.rowClosedFrac);
+            w.f64(p.rowConflictFrac);
+        }
+    }
+
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < grid.settingCount(); ++k) {
+            w.f64(grid.secondsAt(s, k));
+            w.f64(grid.cpuEnergyAt(s, k));
+            w.f64(grid.memEnergyAt(s, k));
+            w.f64(grid.busyFracAt(s, k));
+            w.f64(grid.bwUtilAt(s, k));
+        }
+    }
+    return w.take();
+}
+
+/** Parse the grid body (payload already checksum-verified). */
+MeasuredGrid
+parseGridPayload(const std::string &payload)
+{
+    ByteReader r(payload, "grid snapshot");
+
+    std::string workload = r.str();
+    const std::uint64_t samples = r.u64();
+    const Count instructions = r.u64();
+
+    const auto read_ladder = [&r](const char *name) {
+        const std::uint32_t count = r.u32();
+        if (count == 0 || count > 1'000'000)
+            fatal("grid snapshot: implausible ", name, " ladder size ",
+                  count);
+        std::vector<Hertz> steps;
+        steps.reserve(count);
+        for (std::uint32_t i = 0; i < count; ++i)
+            steps.push_back(r.f64());
+        return FrequencyLadder(std::move(steps));
+    };
+    FrequencyLadder cpu = read_ladder("cpu");
+    FrequencyLadder mem = read_ladder("mem");
+
+    SettingsSpace space(std::move(cpu), std::move(mem));
+    const std::size_t settings = space.size();
+    if (samples > kMaxPayloadBytes / sizeof(double) / 5 / settings)
+        fatal("grid snapshot: implausible sample count ", samples);
+
+    MeasuredGrid grid(std::move(workload), std::move(space),
+                      static_cast<std::size_t>(samples), instructions);
+
+    const std::uint8_t has_profiles = r.u8();
+    if (has_profiles > 1)
+        fatal("grid snapshot: corrupt profile marker ",
+              static_cast<unsigned>(has_profiles));
+    if (has_profiles == 1) {
+        std::vector<SampleProfile> profiles(samples);
+        for (std::uint64_t s = 0; s < samples; ++s) {
+            SampleProfile &p = profiles[s];
+            p.phaseName = r.str();
+            p.baseCpi = r.f64();
+            p.activity = r.f64();
+            p.mlp = r.f64();
+            p.l1Mpki = r.f64();
+            p.l2Mpki = r.f64();
+            p.l2PerInstr = r.f64();
+            p.dramReadsPerInstr = r.f64();
+            p.dramWritesPerInstr = r.f64();
+            p.dramPrefetchPerInstr = r.f64();
+            p.rowHitFrac = r.f64();
+            p.rowClosedFrac = r.f64();
+            p.rowConflictFrac = r.f64();
+        }
+        grid.setProfiles(std::move(profiles));
+    }
+
+    for (std::uint64_t s = 0; s < samples; ++s) {
+        MeasuredGrid::RowView row = grid.fillRow(s);
+        for (std::size_t k = 0; k < settings; ++k) {
+            row.seconds[k] = r.f64();
+            row.cpuEnergy[k] = r.f64();
+            row.memEnergy[k] = r.f64();
+            row.busyFrac[k] = r.f64();
+            row.bwUtil[k] = r.f64();
+        }
+        grid.updateSampleAggregates(s);
+    }
+    grid.sealAggregates();
+    r.expectEnd();
+    return grid;
+}
+
+} // namespace
+
+void
+saveGridBinary(const MeasuredGrid &grid, std::ostream &os)
+{
+    const std::string payload = gridPayload(grid);
+    ByteWriter header;
+    for (const char c : kGridBinaryMagic)
+        header.u8(static_cast<std::uint8_t>(c));
+    header.u32(kGridBinaryVersion);
+    header.u64(payload.size());
+    header.u64(payloadChecksum(payload));
+    os.write(header.bytes().data(),
+             static_cast<std::streamsize>(header.bytes().size()));
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    if (!os)
+        fatal("grid snapshot: write failed");
+}
+
+std::string
+saveGridBinaryToString(const MeasuredGrid &grid)
+{
+    std::ostringstream os;
+    saveGridBinary(grid, os);
+    return os.str();
+}
+
+MeasuredGrid
+loadGridBinary(std::istream &is)
+{
+    char magic[sizeof(kGridBinaryMagic)] = {};
+    is.read(magic, sizeof(magic));
+    if (is.gcount() != sizeof(magic))
+        fatal("grid snapshot: truncated header (", is.gcount(),
+              " of ", sizeof(magic), " magic bytes)");
+    if (std::memcmp(magic, kGridBinaryMagic, sizeof(magic)) != 0)
+        fatal("grid snapshot: bad magic (not a binary grid snapshot)");
+
+    char fixed[4 + 8 + 8] = {};
+    is.read(fixed, sizeof(fixed));
+    if (is.gcount() != sizeof(fixed))
+        fatal("grid snapshot: truncated header fields");
+    ByteReader header(std::string_view(fixed, sizeof(fixed)),
+                      "grid snapshot header");
+    const std::uint32_t version = header.u32();
+    if (version != kGridBinaryVersion)
+        fatal("grid snapshot: unsupported version ", version,
+              " (expected ", kGridBinaryVersion, ")");
+    const std::uint64_t payload_size = header.u64();
+    const std::uint64_t checksum = header.u64();
+    if (payload_size > kMaxPayloadBytes)
+        fatal("grid snapshot: implausible payload size ", payload_size);
+
+    std::string payload(static_cast<std::size_t>(payload_size), '\0');
+    is.read(payload.data(),
+            static_cast<std::streamsize>(payload.size()));
+    if (static_cast<std::uint64_t>(is.gcount()) != payload_size)
+        fatal("grid snapshot: truncated payload (expected ",
+              payload_size, " bytes, got ", is.gcount(), ")");
+    if (payloadChecksum(payload) != checksum)
+        fatal("grid snapshot: checksum mismatch (corrupt snapshot)");
+    return parseGridPayload(payload);
+}
+
+MeasuredGrid
+loadGridBinaryFromString(const std::string &bytes)
+{
+    std::istringstream is(bytes);
+    return loadGridBinary(is);
 }
 
 } // namespace mcdvfs

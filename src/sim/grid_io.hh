@@ -1,11 +1,11 @@
 /**
  * @file
- * Text serialization of measured grids.
+ * Serialization of measured grids: a text format and a binary format.
  *
  * A characterized grid is the expensive artifact of this library;
  * saving it lets offline analyses (profiling, figure regeneration,
- * cross-machine comparisons) re-run without re-simulating.  The format
- * is line-oriented and versioned:
+ * cross-machine comparisons) re-run without re-simulating.  The text
+ * format is line-oriented and versioned:
  *
  *   mcdvfs-grid v1
  *   workload <name>
@@ -16,6 +16,15 @@
  *           <l2PerInstr> <dramReads> <dramWrites> <rowHit> <rowClosed>
  *           <rowConflict> <phaseName>
  *   cell <sample> <setting> <seconds> <cpuJ> <memJ> <busyFrac> <bwUtil>
+ *
+ * The binary format is the snapshot-store representation (see
+ * daemon/snapshot_store.hh): an 8-byte magic, a version word, the
+ * payload length, and an FNV-1a checksum of the payload, followed by
+ * the payload itself (common/binio.hh fields; doubles by bit pattern,
+ * so a round trip is bit-identical by construction).  The loader
+ * rejects truncated, corrupt, or version-mismatched input with a
+ * FatalError carrying a specific diagnostic — never UB, never a
+ * silently partial grid.
  */
 
 #ifndef MCDVFS_SIM_GRID_IO_HH
@@ -43,6 +52,36 @@ MeasuredGrid loadGrid(std::istream &is);
 
 /** Parse from a string (convenience). */
 MeasuredGrid loadGridFromString(const std::string &text);
+
+/** @name Binary snapshots (checksummed, bit-identical round trip). */
+///@{
+
+/** Magic leading every binary grid snapshot. */
+inline constexpr char kGridBinaryMagic[8] = {'m', 'c', 'd', 'v',
+                                             'f', 's', 'G', 'B'};
+
+/** Current binary snapshot version. */
+inline constexpr std::uint32_t kGridBinaryVersion = 1;
+
+/** Serialize @c grid as a checksummed binary snapshot. */
+void saveGridBinary(const MeasuredGrid &grid, std::ostream &os);
+
+/** Serialize to a string (convenience). */
+std::string saveGridBinaryToString(const MeasuredGrid &grid);
+
+/**
+ * Parse a binary snapshot previously produced by saveGridBinary.
+ *
+ * @throws FatalError with a specific diagnostic on a bad magic, an
+ *         unsupported version, a truncated header or payload, a
+ *         checksum mismatch, or any malformed field — the grid is
+ *         never partially loaded.
+ */
+MeasuredGrid loadGridBinary(std::istream &is);
+
+/** Parse from a string (convenience). */
+MeasuredGrid loadGridBinaryFromString(const std::string &bytes);
+///@}
 
 } // namespace mcdvfs
 

@@ -75,6 +75,29 @@ CharacterizationService::grid(const WorkloadProfile &workload,
 }
 
 std::shared_ptr<const MeasuredGrid>
+CharacterizationService::grid(const WorkloadProfile &workload,
+                              const SettingsSpace &space,
+                              bool &cache_hit)
+{
+    cache_hit = false;
+    return gridFor(keyFor(workload, space), workload, space, cache_hit);
+}
+
+void
+CharacterizationService::primeGrid(const GridKey &key,
+                                   std::shared_ptr<const MeasuredGrid> grid)
+{
+    cache_.insert(key, std::move(grid));
+}
+
+void
+CharacterizationService::primeAnalysis(
+    const AnalysisKey &key, std::shared_ptr<const AnalysisResult> result)
+{
+    analysisCache_.insert(key, std::move(result));
+}
+
+std::shared_ptr<const MeasuredGrid>
 CharacterizationService::gridFor(const GridKey &key,
                                  const WorkloadProfile &workload,
                                  const SettingsSpace &space,

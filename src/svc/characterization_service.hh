@@ -118,8 +118,50 @@ class CharacterizationService
     std::shared_ptr<const MeasuredGrid> grid(
         const WorkloadProfile &workload, const SettingsSpace &space);
 
+    /**
+     * Same, reporting through @c cache_hit whether the grid was served
+     * from the cache (or coalesced with a build already in flight)
+     * instead of characterized for this call.  Staged pipelines (the
+     * daemon's grid stage) use this to attribute latency and hit rates
+     * per stage.
+     */
+    std::shared_ptr<const MeasuredGrid> grid(
+        const WorkloadProfile &workload, const SettingsSpace &space,
+        bool &cache_hit);
+
+    /** Content identity of one characterization. */
+    GridKey keyFor(const WorkloadProfile &workload,
+                   const SettingsSpace &space) const;
+
+    /**
+     * Run (or fetch from the analysis cache) the §V/§VI analysis chain
+     * for one request over an already-fetched grid.  @c grid_digest is
+     * the grid's GridKey::combined(); @c cache_hit is copied into the
+     * result's cacheHit field.  This is the daemon's analysis stage;
+     * submit() is equivalent to keyFor + grid + analyze.
+     */
+    TuningResult analyze(const TuningRequest &request,
+                         std::uint64_t grid_digest,
+                         std::shared_ptr<const MeasuredGrid> grid,
+                         bool cache_hit);
+
     /** Answer one tuning request. */
     TuningResult submit(const TuningRequest &request);
+
+    /**
+     * @name Warm-restart priming.
+     *
+     * Insert an externally obtained (snapshot-loaded) grid or analysis
+     * directly into the caches, so a daemon restart starts hot instead
+     * of recharacterizing.  Neither counts a hit or a miss; entries
+     * are subject to normal LRU eviction.
+     */
+    ///@{
+    void primeGrid(const GridKey &key,
+                   std::shared_ptr<const MeasuredGrid> grid);
+    void primeAnalysis(const AnalysisKey &key,
+                       std::shared_ptr<const AnalysisResult> result);
+    ///@}
 
     /**
      * Answer a batch: requests with distinct grids characterize
@@ -138,25 +180,14 @@ class CharacterizationService
     const SystemConfig &config() const { return config_; }
     std::size_t jobs() const { return pool_.size(); }
 
-  private:
-    /** Content identity of one characterization. */
-    GridKey keyFor(const WorkloadProfile &workload,
-                   const SettingsSpace &space) const;
+    /** The pool grid builds and batches fan out over. */
+    exec::ThreadPool &pool() { return pool_; }
 
+  private:
     /** Grid lookup that also reports whether a build was skipped. */
     std::shared_ptr<const MeasuredGrid> gridFor(
         const GridKey &key, const WorkloadProfile &workload,
         const SettingsSpace &space, bool &cache_hit);
-
-    /**
-     * Run (or fetch from the analysis cache) the §V/§VI analysis chain
-     * for one request over its grid.  @c grid_digest is the grid's
-     * GridKey::combined().
-     */
-    TuningResult analyze(const TuningRequest &request,
-                         std::uint64_t grid_digest,
-                         std::shared_ptr<const MeasuredGrid> grid,
-                         bool cache_hit);
 
     SystemConfig config_;
     std::uint64_t configFingerprint_;

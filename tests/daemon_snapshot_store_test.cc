@@ -1,0 +1,410 @@
+/**
+ * @file
+ * SnapshotStore tests: bit-identical grid and analysis round trips,
+ * fingerprint addressing (including mismatched-key rejection),
+ * corrupt/truncated/version-skewed file rejection, atomic-write
+ * hygiene, and warm-restart bulk loads.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "daemon/snapshot_store.hh"
+#include "sim/grid_io.hh"
+#include "svc/characterization_service.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using daemon::SnapshotStore;
+
+/** Fresh store directory under the test's working directory. */
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "snapstore_" + name;
+    fs::remove_all(dir);
+    return dir;
+}
+
+svc::GridKey
+gridKey(std::uint64_t workload, std::uint64_t space = 11,
+        std::uint64_t config = 22)
+{
+    svc::GridKey key;
+    key.workload = workload;
+    key.space = space;
+    key.config = config;
+    return key;
+}
+
+svc::AnalysisKey
+analysisKey(std::uint64_t grid, double budget = 1.3,
+            double threshold = 0.03)
+{
+    svc::AnalysisKey key;
+    key.grid = grid;
+    key.budget = budget;
+    key.threshold = threshold;
+    return key;
+}
+
+/** A real analysis result (phasedGrid at the default budget). */
+const svc::AnalysisResult &
+sampleAnalysis()
+{
+    static const svc::AnalysisResult result = [] {
+        svc::CharacterizationService service(test::fastSystemConfig());
+        const svc::TuningResult tuned = service.submit(
+            svc::TuningRequest{test::phasedWorkload(),
+                               SettingsSpace::coarse(), 1.3, 0.03});
+        svc::AnalysisResult analysis;
+        analysis.optimal = tuned.optimal;
+        analysis.clusters = tuned.clusters;
+        analysis.regions = tuned.regions;
+        return analysis;
+    }();
+    return result;
+}
+
+std::uint64_t
+bitsOf(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+void
+expectChoicesBitEqual(const OptimalChoice &a, const OptimalChoice &b)
+{
+    EXPECT_EQ(a.settingIndex, b.settingIndex);
+    EXPECT_EQ(bitsOf(a.setting.cpu), bitsOf(b.setting.cpu));
+    EXPECT_EQ(bitsOf(a.setting.mem), bitsOf(b.setting.mem));
+    EXPECT_EQ(bitsOf(a.speedup), bitsOf(b.speedup));
+    EXPECT_EQ(bitsOf(a.inefficiency), bitsOf(b.inefficiency));
+}
+
+void
+expectAnalysesBitEqual(const svc::AnalysisResult &a,
+                       const svc::AnalysisResult &b)
+{
+    ASSERT_EQ(a.optimal.size(), b.optimal.size());
+    for (std::size_t i = 0; i < a.optimal.size(); ++i)
+        expectChoicesBitEqual(a.optimal[i], b.optimal[i]);
+
+    ASSERT_EQ(a.clusters.size(), b.clusters.size());
+    for (std::size_t i = 0; i < a.clusters.size(); ++i) {
+        expectChoicesBitEqual(a.clusters[i].optimal,
+                              b.clusters[i].optimal);
+        EXPECT_EQ(a.clusters[i].settings, b.clusters[i].settings);
+    }
+
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t i = 0; i < a.regions.size(); ++i) {
+        EXPECT_EQ(a.regions[i].first, b.regions[i].first);
+        EXPECT_EQ(a.regions[i].last, b.regions[i].last);
+        EXPECT_EQ(a.regions[i].availableSettings,
+                  b.regions[i].availableSettings);
+        EXPECT_EQ(a.regions[i].chosenSettingIndex,
+                  b.regions[i].chosenSettingIndex);
+        EXPECT_EQ(bitsOf(a.regions[i].chosenSetting.cpu),
+                  bitsOf(b.regions[i].chosenSetting.cpu));
+        EXPECT_EQ(bitsOf(a.regions[i].chosenSetting.mem),
+                  bitsOf(b.regions[i].chosenSetting.mem));
+    }
+}
+
+/** The single snapshot file in @c dir (fails the test otherwise). */
+std::string
+onlySnapshotPath(const std::string &dir)
+{
+    std::string found;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir)) {
+        EXPECT_TRUE(found.empty());
+        found = entry.path().string();
+    }
+    EXPECT_FALSE(found.empty());
+    return found;
+}
+
+TEST(SnapshotStore, GridRoundTripIsBitIdentical)
+{
+    const std::string dir = freshDir("grid_roundtrip");
+    SnapshotStore store(dir);
+    const svc::GridKey key = gridKey(1);
+
+    store.storeGrid(key, test::phasedGrid());
+    const auto loaded = store.loadGrid(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(saveGridBinaryToString(*loaded),
+              saveGridBinaryToString(test::phasedGrid()));
+
+    const SnapshotStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.gridStores, 1u);
+    EXPECT_EQ(stats.gridLoads, 1u);
+    EXPECT_EQ(stats.loadErrors, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, AnalysisRoundTripIsBitIdentical)
+{
+    const std::string dir = freshDir("analysis_roundtrip");
+    SnapshotStore store(dir);
+    const svc::AnalysisKey key = analysisKey(7);
+
+    store.storeAnalysis(key, sampleAnalysis());
+    const auto loaded = store.loadAnalysis(key);
+    ASSERT_NE(loaded, nullptr);
+    expectAnalysesBitEqual(*loaded, sampleAnalysis());
+
+    const SnapshotStore::Stats stats = store.stats();
+    EXPECT_EQ(stats.analysisStores, 1u);
+    EXPECT_EQ(stats.analysisLoads, 1u);
+    EXPECT_EQ(stats.loadErrors, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, AbsentSnapshotIsAMissNotAnError)
+{
+    const std::string dir = freshDir("absent");
+    SnapshotStore store(dir);
+    EXPECT_EQ(store.loadGrid(gridKey(42)), nullptr);
+    EXPECT_EQ(store.loadAnalysis(analysisKey(42)), nullptr);
+    EXPECT_EQ(store.stats().loadErrors, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, AddressesSnapshotsByFingerprint)
+{
+    const std::string dir = freshDir("addressing");
+    SnapshotStore store(dir);
+
+    // Distinct grids under distinct keys; each key must resolve to
+    // exactly the grid stored under it.
+    store.storeGrid(gridKey(1), test::phasedGrid());
+    store.storeGrid(gridKey(2), test::steadyGrid());
+    const auto first = store.loadGrid(gridKey(1));
+    const auto second = store.loadGrid(gridKey(2));
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(first->workload(), "phased");
+    EXPECT_EQ(second->workload(), "steady");
+
+    // Any key differing in any fingerprint component misses.
+    EXPECT_EQ(store.loadGrid(gridKey(3)), nullptr);
+    EXPECT_EQ(store.loadGrid(gridKey(1, 12)), nullptr);
+    EXPECT_EQ(store.loadGrid(gridKey(1, 11, 23)), nullptr);
+
+    // Analyses with the same grid digest but different budgets or
+    // thresholds are distinct snapshots.
+    store.storeAnalysis(analysisKey(9, 1.3, 0.03), sampleAnalysis());
+    EXPECT_NE(store.loadAnalysis(analysisKey(9, 1.3, 0.03)), nullptr);
+    EXPECT_EQ(store.loadAnalysis(analysisKey(9, 1.5, 0.03)), nullptr);
+    EXPECT_EQ(store.loadAnalysis(analysisKey(9, 1.3, 0.01)), nullptr);
+    EXPECT_EQ(store.stats().loadErrors, 0u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, RejectsSnapshotWhoseStoredKeyMismatches)
+{
+    const std::string dir = freshDir("key_mismatch");
+    const svc::GridKey stored_key = gridKey(1);
+    const svc::GridKey other_key = gridKey(2);
+    {
+        SnapshotStore store(dir);
+        store.storeGrid(stored_key, test::phasedGrid());
+    }
+    const std::string stored_path = onlySnapshotPath(dir);
+
+    SnapshotStore store(dir);
+    store.storeGrid(other_key, test::steadyGrid());
+    std::string other_path;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir)) {
+        if (entry.path().string() != stored_path)
+            other_path = entry.path().string();
+    }
+    ASSERT_FALSE(other_path.empty());
+
+    // Masquerade stored_key's snapshot as other_key's by copying its
+    // bytes over the path other_key addresses.  The container's
+    // embedded key must catch the forgery.
+    fs::copy_file(stored_path, other_path,
+                  fs::copy_options::overwrite_existing);
+    SnapshotStore reopened(dir);
+    EXPECT_EQ(reopened.loadGrid(other_key), nullptr);
+    EXPECT_EQ(reopened.stats().loadErrors, 1u);
+    // The honest key still loads.
+    EXPECT_NE(reopened.loadGrid(stored_key), nullptr);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, RejectsCorruptTruncatedAndSkewedFiles)
+{
+    const std::string dir = freshDir("corrupt");
+    const svc::GridKey key = gridKey(5);
+
+    {
+        SnapshotStore store(dir);
+        store.storeGrid(key, test::phasedGrid());
+    }
+    const std::string path = onlySnapshotPath(dir);
+    std::ifstream in(path, std::ios::binary);
+    std::string pristine((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(pristine.size(), 64u);
+
+    const auto rewrite = [&](const std::string &bytes) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    };
+
+    // Truncated to a partial header.
+    rewrite(pristine.substr(0, 10));
+    {
+        SnapshotStore store(dir);
+        EXPECT_EQ(store.loadGrid(key), nullptr);
+        EXPECT_EQ(store.stats().loadErrors, 1u);
+    }
+
+    // Truncated mid-payload.
+    rewrite(pristine.substr(0, pristine.size() - 7));
+    {
+        SnapshotStore store(dir);
+        EXPECT_EQ(store.loadGrid(key), nullptr);
+        EXPECT_EQ(store.stats().loadErrors, 1u);
+    }
+
+    // Flipped payload bit (checksum mismatch).
+    {
+        std::string corrupt = pristine;
+        corrupt[corrupt.size() / 2] ^= 0x10;
+        rewrite(corrupt);
+        SnapshotStore store(dir);
+        EXPECT_EQ(store.loadGrid(key), nullptr);
+        EXPECT_EQ(store.stats().loadErrors, 1u);
+        EXPECT_TRUE(store.loadAllGrids().empty());
+    }
+
+    // Flipped bit in the embedded-key region (byte 20 lies inside the
+    // key bytes, after magic + version + kind + length prefix).  The
+    // checksum covers the key, so this must read as corruption — not
+    // silently warm-load the grid under a different key.
+    {
+        std::string corrupt = pristine;
+        corrupt[20] ^= 0x04;
+        rewrite(corrupt);
+        SnapshotStore store(dir);
+        EXPECT_TRUE(store.loadAllGrids().empty());
+        EXPECT_EQ(store.stats().loadErrors, 1u);
+    }
+
+    // Bad magic.
+    {
+        std::string corrupt = pristine;
+        corrupt[0] = 'Z';
+        rewrite(corrupt);
+        SnapshotStore store(dir);
+        EXPECT_EQ(store.loadGrid(key), nullptr);
+    }
+
+    // Version from the future.
+    {
+        std::string corrupt = pristine;
+        corrupt[8] = static_cast<char>(0x7F);
+        rewrite(corrupt);
+        SnapshotStore store(dir);
+        EXPECT_EQ(store.loadGrid(key), nullptr);
+    }
+
+    // The pristine bytes still load: rejection was about the file, not
+    // the reader.
+    rewrite(pristine);
+    {
+        SnapshotStore store(dir);
+        EXPECT_NE(store.loadGrid(key), nullptr);
+        EXPECT_EQ(store.stats().loadErrors, 0u);
+    }
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, OverwritesInPlaceWithoutTempResidue)
+{
+    const std::string dir = freshDir("overwrite");
+    SnapshotStore store(dir);
+    const svc::GridKey key = gridKey(3);
+    store.storeGrid(key, test::phasedGrid());
+    store.storeGrid(key, test::steadyGrid());
+
+    // One file, no *.tmp* residue, and the latest store wins.
+    std::size_t files = 0;
+    for (const fs::directory_entry &entry : fs::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(entry.path().extension(), ".snap");
+    }
+    EXPECT_EQ(files, 1u);
+    const auto loaded = store.loadGrid(key);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->workload(), "steady");
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, WarmRestartLoadsEverythingVerifiable)
+{
+    const std::string dir = freshDir("warm");
+    const svc::GridKey key_a = gridKey(1);
+    const svc::GridKey key_b = gridKey(2);
+    const svc::AnalysisKey key_c = analysisKey(1);
+    {
+        SnapshotStore store(dir);
+        store.storeGrid(key_a, test::phasedGrid());
+        store.storeGrid(key_b, test::steadyGrid());
+        store.storeAnalysis(key_c, sampleAnalysis());
+    }
+    // Plant junk a warm restart must skip: a foreign file and a
+    // garbage .snap of each kind.
+    {
+        std::ofstream(dir + "/README.txt") << "not a snapshot";
+        std::ofstream(dir + "/grid-0000000000000000.snap") << "garbage";
+        std::ofstream(dir + "/analysis-0000000000000000.snap") << "junk";
+    }
+
+    SnapshotStore reopened(dir);
+    std::vector<SnapshotStore::GridEntry> grids =
+        reopened.loadAllGrids();
+    ASSERT_EQ(grids.size(), 2u);
+    for (const SnapshotStore::GridEntry &entry : grids) {
+        EXPECT_TRUE(entry.key == key_a || entry.key == key_b);
+        ASSERT_NE(entry.grid, nullptr);
+    }
+
+    std::vector<SnapshotStore::AnalysisEntry> analyses =
+        reopened.loadAllAnalyses();
+    ASSERT_EQ(analyses.size(), 1u);
+    EXPECT_TRUE(analyses[0].key == key_c);
+    expectAnalysesBitEqual(*analyses[0].result, sampleAnalysis());
+
+    EXPECT_EQ(reopened.stats().loadErrors, 2u);
+    fs::remove_all(dir);
+}
+
+TEST(SnapshotStore, FatalsOnUncreatableDirectory)
+{
+    const std::string dir = freshDir("not_a_dir");
+    std::ofstream(dir) << "file in the way";
+    EXPECT_THROW(SnapshotStore store(dir), FatalError);
+    fs::remove(dir);
+}
+
+} // namespace
+} // namespace mcdvfs

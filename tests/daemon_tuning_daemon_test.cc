@@ -1,0 +1,257 @@
+/**
+ * @file
+ * TuningDaemon tests: pipeline results match the direct service path
+ * bit-for-bit, admission control sheds (queue-full and draining),
+ * drain completes every admitted request, and a warm restart answers
+ * from the snapshot store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <future>
+#include <vector>
+
+#include "daemon/tuning_daemon.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+using daemon::DaemonOptions;
+using daemon::DaemonResponse;
+using daemon::DaemonStats;
+using daemon::ShedReason;
+using daemon::TuningDaemon;
+
+WorkloadProfile
+tinyWorkload(const std::string &name = "tiny", std::uint64_t seed = 5)
+{
+    PhaseSpec cpu;
+    cpu.name = "cpu";
+    cpu.hotFrac = 0.98;
+    cpu.warmFrac = 0.015;
+    PhaseSpec mem;
+    mem.name = "mem";
+    mem.hotFrac = 0.80;
+    mem.warmFrac = 0.10;
+    mem.coldSeqFrac = 0.3;
+    return WorkloadProfile(
+        name, 6, [cpu, mem](std::size_t s) { return s % 2 ? mem : cpu; },
+        seed, /*jitter=*/0.0);
+}
+
+SystemConfig
+fastConfig()
+{
+    SystemConfig config;
+    config.sampler.simInstructionsPerSample = 20'000;
+    config.sampler.warmupInstructions = 100'000;
+    return config;
+}
+
+svc::TuningRequest
+tinyRequest(const std::string &name = "tiny", double budget = 1.3)
+{
+    return svc::TuningRequest{tinyWorkload(name), SettingsSpace::coarse(),
+                              budget, 0.03};
+}
+
+std::uint64_t
+bitsOf(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+void
+expectResultsBitEqual(const svc::TuningResult &a,
+                      const svc::TuningResult &b)
+{
+    ASSERT_EQ(a.optimal.size(), b.optimal.size());
+    for (std::size_t i = 0; i < a.optimal.size(); ++i) {
+        EXPECT_EQ(a.optimal[i].settingIndex, b.optimal[i].settingIndex);
+        EXPECT_EQ(bitsOf(a.optimal[i].speedup),
+                  bitsOf(b.optimal[i].speedup));
+        EXPECT_EQ(bitsOf(a.optimal[i].inefficiency),
+                  bitsOf(b.optimal[i].inefficiency));
+    }
+    ASSERT_EQ(a.clusters.size(), b.clusters.size());
+    for (std::size_t i = 0; i < a.clusters.size(); ++i)
+        EXPECT_EQ(a.clusters[i].settings, b.clusters[i].settings);
+    ASSERT_EQ(a.regions.size(), b.regions.size());
+    for (std::size_t i = 0; i < a.regions.size(); ++i) {
+        EXPECT_EQ(a.regions[i].first, b.regions[i].first);
+        EXPECT_EQ(a.regions[i].last, b.regions[i].last);
+        EXPECT_EQ(a.regions[i].chosenSettingIndex,
+                  b.regions[i].chosenSettingIndex);
+    }
+}
+
+TEST(TuningDaemon, MatchesDirectServiceBitForBit)
+{
+    TuningDaemon daemon(fastConfig());
+    DaemonResponse response = daemon.submit(tinyRequest()).get();
+    ASSERT_TRUE(response.ok());
+    ASSERT_NE(response.result.grid, nullptr);
+    EXPECT_GT(response.totalNs, 0u);
+    EXPECT_GT(response.gridNs, 0u);
+    EXPECT_FALSE(response.result.cacheHit);
+
+    svc::CharacterizationService direct(fastConfig());
+    const svc::TuningResult expected = direct.submit(tinyRequest());
+    expectResultsBitEqual(response.result, expected);
+}
+
+TEST(TuningDaemon, CompletesEveryAdmittedRequest)
+{
+    DaemonOptions options;
+    options.service.jobs = 2;
+    TuningDaemon daemon(fastConfig(), options);
+
+    // Two distinct grids (different seeds), several budgets each; all
+    // futures must resolve with a valid result.
+    std::vector<std::future<DaemonResponse>> futures;
+    for (int round = 0; round < 4; ++round) {
+        for (double budget : {1.1, 1.3, 1.5, 2.0}) {
+            futures.push_back(
+                daemon.submit(tinyRequest("alpha", budget)));
+            futures.push_back(
+                daemon.submit(tinyRequest("beta", budget)));
+        }
+    }
+    std::vector<DaemonResponse> responses;
+    for (std::future<DaemonResponse> &future : futures)
+        responses.push_back(future.get());
+    for (const DaemonResponse &response : responses) {
+        ASSERT_TRUE(response.ok());
+        ASSERT_NE(response.result.grid, nullptr);
+    }
+    // Identical (workload, budget) submissions must agree exactly.
+    expectResultsBitEqual(responses.front().result,
+                          responses[8].result);
+    // Whether requests coalesced in a batch, joined an in-flight
+    // build, or hit the cache, each distinct grid characterizes
+    // exactly once — every response shares that one grid object.
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+        const std::size_t twin = i % 2;  // alpha at 0, beta at 1
+        EXPECT_EQ(responses[i].result.grid.get(),
+                  responses[twin].result.grid.get());
+    }
+
+    const DaemonStats stats = daemon.stats();
+    EXPECT_EQ(stats.admitted, futures.size());
+    EXPECT_EQ(stats.completed, futures.size());
+    EXPECT_EQ(stats.shedQueueFull, 0u);
+    EXPECT_GE(stats.batches, 1u);
+}
+
+TEST(TuningDaemon, ShedsWhenTheQueueIsFull)
+{
+    DaemonOptions options;
+    options.queueCapacity = 2;
+    options.maxBatch = 1;
+    TuningDaemon daemon(fastConfig(), options);
+
+    // A tight submit loop outpaces the batcher (which fingerprints
+    // every request it dispatches), so the two-deep queue must
+    // overflow quickly; bound the attempts so the test cannot hang.
+    std::vector<std::future<DaemonResponse>> futures;
+    const svc::TuningRequest request = tinyRequest();
+    bool shed_seen = false;
+    for (int i = 0; i < 100'000 && !shed_seen; ++i) {
+        futures.push_back(daemon.submit(request));
+        shed_seen = daemon.stats().shedQueueFull > 0;
+    }
+    EXPECT_TRUE(shed_seen);
+
+    daemon.drain();
+    std::uint64_t ok = 0;
+    std::uint64_t shed = 0;
+    for (std::future<DaemonResponse> &future : futures) {
+        const DaemonResponse response = future.get();
+        if (response.ok()) {
+            ++ok;
+            ASSERT_NE(response.result.grid, nullptr);
+        } else {
+            EXPECT_EQ(response.shed, ShedReason::QueueFull);
+            EXPECT_EQ(response.result.grid, nullptr);
+            ++shed;
+        }
+    }
+    const DaemonStats stats = daemon.stats();
+    EXPECT_EQ(ok, stats.completed);
+    EXPECT_EQ(shed, stats.shedQueueFull);
+    EXPECT_EQ(ok + shed, futures.size());
+}
+
+TEST(TuningDaemon, ShedsWithDrainingAfterDrain)
+{
+    TuningDaemon daemon(fastConfig());
+    std::future<DaemonResponse> admitted = daemon.submit(tinyRequest());
+    daemon.drain();
+
+    // The admitted request completed; the late one is shed, not hung.
+    EXPECT_TRUE(admitted.get().ok());
+    const DaemonResponse late = daemon.submit(tinyRequest()).get();
+    EXPECT_FALSE(late.ok());
+    EXPECT_EQ(late.shed, ShedReason::Draining);
+    EXPECT_EQ(daemon.stats().shedDraining, 1u);
+    EXPECT_STREQ(daemon::shedReasonName(late.shed), "draining");
+
+    daemon.drain();  // idempotent
+}
+
+TEST(TuningDaemon, WarmRestartAnswersFromTheSnapshotStore)
+{
+    const std::string dir = "daemon_warm_store";
+    fs::remove_all(dir);
+    DaemonOptions options;
+    options.storeDir = dir;
+
+    svc::TuningResult cold;
+    {
+        TuningDaemon daemon(fastConfig(), options);
+        EXPECT_EQ(daemon.stats().warmGrids, 0u);
+        DaemonResponse response = daemon.submit(tinyRequest()).get();
+        ASSERT_TRUE(response.ok());
+        EXPECT_FALSE(response.result.cacheHit);
+        EXPECT_FALSE(response.result.analysisCacheHit);
+        cold = response.result;
+        daemon.drain();
+        EXPECT_EQ(daemon.store()->stats().gridStores, 1u);
+        EXPECT_EQ(daemon.store()->stats().analysisStores, 1u);
+    }
+
+    TuningDaemon restarted(fastConfig(), options);
+    const DaemonStats stats = restarted.stats();
+    EXPECT_EQ(stats.warmGrids, 1u);
+    EXPECT_EQ(stats.warmAnalyses, 1u);
+
+    DaemonResponse warm = restarted.submit(tinyRequest()).get();
+    ASSERT_TRUE(warm.ok());
+    // Both stages hit: the caches were primed from disk, and the
+    // snapshot round trip is bit-identical, so warm equals cold
+    // exactly.
+    EXPECT_TRUE(warm.result.cacheHit);
+    EXPECT_TRUE(warm.result.analysisCacheHit);
+    expectResultsBitEqual(warm.result, cold);
+    fs::remove_all(dir);
+}
+
+TEST(TuningDaemon, RejectsZeroSizing)
+{
+    DaemonOptions zero_queue;
+    zero_queue.queueCapacity = 0;
+    EXPECT_THROW(TuningDaemon(fastConfig(), zero_queue), FatalError);
+    DaemonOptions zero_batch;
+    zero_batch.maxBatch = 0;
+    EXPECT_THROW(TuningDaemon(fastConfig(), zero_batch), FatalError);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * ThreadPool graceful-drain tests (stress label): drain() waits for
+ * every queued and running task, gates subsequent submits, tolerates
+ * nested parallelFor work, and survives racing producers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "exec/thread_pool.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+using exec::ThreadPool;
+
+TEST(ThreadPoolDrain, WaitsForQueuedAndRunningTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.submit([&ran] {
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+            ran.fetch_add(1, std::memory_order_relaxed);
+        }));
+    }
+    pool.drain();
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_TRUE(pool.draining());
+    for (std::future<void> &future : futures)
+        EXPECT_EQ(future.wait_for(std::chrono::seconds(0)),
+                  std::future_status::ready);
+}
+
+TEST(ThreadPoolDrain, GatesSubmitAfterDrain)
+{
+    ThreadPool pool(2);
+    pool.drain();
+    EXPECT_THROW(pool.submit([] {}), FatalError);
+}
+
+TEST(ThreadPoolDrain, IsIdempotent)
+{
+    ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    pool.submit([&ran] { ran.fetch_add(1); });
+    pool.drain();
+    pool.drain();
+    EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolDrain, EmptyPoolDrainsImmediately)
+{
+    ThreadPool pool(3);
+    pool.drain();
+    EXPECT_TRUE(pool.draining());
+}
+
+TEST(ThreadPoolDrain, WaitsForNestedParallelForWork)
+{
+    // An in-flight task may fan out over the pool (the service's grid
+    // builds do exactly this); drain must wait for the nested chunks
+    // too, even though they enqueue after draining began.
+    ThreadPool pool(4);
+    std::atomic<std::size_t> touched{0};
+    pool.submit([&pool, &touched] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        pool.parallelFor(
+            0, 1000,
+            [&touched](std::size_t) {
+                touched.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*grain=*/8);
+    });
+    pool.drain();
+    EXPECT_EQ(touched.load(), 1000u);
+}
+
+TEST(ThreadPoolDrain, StressRacingProducersLoseNoTasks)
+{
+    // Producers hammer submit() while the main thread drains.  Every
+    // submit must either throw FatalError (drain won the race) or be
+    // executed before the pool is destroyed — tasks are never lost.
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> executed{0};
+    {
+        ThreadPool pool(4);
+        std::atomic<bool> go{false};
+        std::vector<std::thread> producers;
+        for (int t = 0; t < 8; ++t) {
+            producers.emplace_back([&pool, &go, &accepted, &executed] {
+                while (!go.load(std::memory_order_acquire))
+                    std::this_thread::yield();
+                for (int i = 0; i < 4000; ++i) {
+                    try {
+                        pool.submit([&executed] {
+                            executed.fetch_add(
+                                1, std::memory_order_relaxed);
+                        });
+                        accepted.fetch_add(1,
+                                           std::memory_order_relaxed);
+                    } catch (const FatalError &) {
+                        break;  // drain closed the gate
+                    }
+                }
+            });
+        }
+        go.store(true, std::memory_order_release);
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        pool.drain();
+        for (std::thread &producer : producers)
+            producer.join();
+        // The pool destructor runs every task still queued (submits
+        // that slipped past the gate before drain() sampled the
+        // queue), so the accepted/executed comparison happens outside
+        // this scope.
+    }
+    EXPECT_EQ(executed.load(), accepted.load());
+    EXPECT_GT(accepted.load(), 0u);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -12,10 +12,14 @@
 #include <atomic>
 #include <cmath>
 #include <condition_variable>
+#include <filesystem>
+#include <future>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "daemon/tuning_daemon.hh"
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "repro/analyses.hh"
@@ -317,6 +321,92 @@ TEST(ObsInstrumentation, TuningLoopOverheadLedger)
         static_cast<double>(test::phasedGrid().sampleCount())));
     EXPECT_EQ(counterValue("runtime.tuning.budget_violations"),
               violations0 + violations);
+}
+
+TEST(ObsInstrumentation, DaemonPipelineAndSnapshotCounters)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t admitted0 = counterValue("daemon.admitted");
+    const std::uint64_t completed0 = counterValue("daemon.completed");
+    const std::uint64_t batches0 = counterValue("daemon.batches");
+    const std::uint64_t drainShed0 =
+        counterValue("daemon.shed_draining");
+    const std::uint64_t queueWaits0 =
+        histogramCount("daemon.queue_wait_ns");
+    const std::uint64_t gridStages0 =
+        histogramCount("daemon.grid_stage_ns");
+    const std::uint64_t analysisStages0 =
+        histogramCount("daemon.analysis_stage_ns");
+    const std::uint64_t requests0 = histogramCount("daemon.request_ns");
+    const std::uint64_t gridStores0 =
+        counterValue("daemon.snapshot.grid_stores");
+    const std::uint64_t gridLoads0 =
+        counterValue("daemon.snapshot.grid_loads");
+    const std::uint64_t analysisStores0 =
+        counterValue("daemon.snapshot.analysis_stores");
+    const std::uint64_t analysisLoads0 =
+        counterValue("daemon.snapshot.analysis_loads");
+    const std::uint64_t loadErrors0 =
+        counterValue("daemon.snapshot.load_errors");
+    const std::uint64_t storeNs0 =
+        histogramCount("daemon.snapshot.store_ns");
+    const std::uint64_t loadNs0 =
+        histogramCount("daemon.snapshot.load_ns");
+
+    const std::string dir = "obs_daemon_store";
+    std::filesystem::remove_all(dir);
+    daemon::DaemonOptions options;
+    options.service.jobs = 2;
+    options.storeDir = dir;
+    const svc::TuningRequest request{test::steadyWorkload(),
+                                     SettingsSpace::coarse(), 1.3, 0.03};
+    {
+        daemon::TuningDaemon server(test::fastSystemConfig(), options);
+        std::future<daemon::DaemonResponse> first =
+            server.submit(request);
+        std::future<daemon::DaemonResponse> second =
+            server.submit(request);
+        EXPECT_TRUE(first.get().ok());
+        EXPECT_TRUE(second.get().ok());
+        server.drain();
+        EXPECT_EQ(server.submit(request).get().shed,
+                  daemon::ShedReason::Draining);
+    }
+
+    EXPECT_EQ(counterValue("daemon.admitted"), admitted0 + 2);
+    EXPECT_EQ(counterValue("daemon.completed"), completed0 + 2);
+    EXPECT_EQ(counterValue("daemon.shed_draining"), drainShed0 + 1);
+    // The two identical requests land in one or two batches/groups
+    // depending on batcher timing; either way both complete.
+    EXPECT_GE(counterValue("daemon.batches"), batches0 + 1);
+    EXPECT_GE(histogramCount("daemon.grid_stage_ns"), gridStages0 + 1);
+    EXPECT_EQ(histogramCount("daemon.queue_wait_ns"), queueWaits0 + 2);
+    EXPECT_EQ(histogramCount("daemon.analysis_stage_ns"),
+              analysisStages0 + 2);
+    EXPECT_EQ(histogramCount("daemon.request_ns"), requests0 + 2);
+    EXPECT_EQ(gaugeValue("daemon.queue_depth"), 0);
+    // One grid fingerprint, one analysis key: each persisted once.
+    EXPECT_EQ(counterValue("daemon.snapshot.grid_stores"),
+              gridStores0 + 1);
+    EXPECT_EQ(counterValue("daemon.snapshot.analysis_stores"),
+              analysisStores0 + 1);
+    EXPECT_EQ(histogramCount("daemon.snapshot.store_ns"), storeNs0 + 2);
+
+    // A warm restart over the same store loads both snapshots back.
+    {
+        daemon::TuningDaemon restarted(test::fastSystemConfig(),
+                                       options);
+        const daemon::DaemonStats stats = restarted.stats();
+        EXPECT_EQ(stats.warmGrids, 1u);
+        EXPECT_EQ(stats.warmAnalyses, 1u);
+    }
+    EXPECT_EQ(counterValue("daemon.snapshot.grid_loads"),
+              gridLoads0 + 1);
+    EXPECT_EQ(counterValue("daemon.snapshot.analysis_loads"),
+              analysisLoads0 + 1);
+    EXPECT_EQ(counterValue("daemon.snapshot.load_errors"), loadErrors0);
+    EXPECT_EQ(histogramCount("daemon.snapshot.load_ns"), loadNs0 + 2);
+    std::filesystem::remove_all(dir);
 }
 
 TEST(ObsInstrumentation, SchedulerTransitionLedger)

@@ -11,6 +11,7 @@
  *   mcdvfs_cli tradeoff <workload> [--budget B] [--threshold PCT]
  *   mcdvfs_cli profile <workload> [--budget B] [--threshold PCT]
  *   mcdvfs_cli tune <wl[:budget]> ... [--threshold PCT] [--jobs N]
+ *   mcdvfs_cli serve [--store-dir DIR] [--jobs N]
  *   mcdvfs_cli stats [wl[:budget]] ...
  *
  * Workloads are the twelve SPEC-like profiles; grids come from the
@@ -19,6 +20,14 @@
  * model evaluation over N worker threads (results are bit-identical
  * to --jobs 1); grids are served through the characterization
  * service, so repeated grids within one invocation hit its cache.
+ *
+ * "serve" runs the long-lived tuning daemon (docs/FLEET.md): it reads
+ * newline-delimited wl[:budget] specs from stdin, answers them through
+ * the async request pipeline, and drains cleanly at EOF.  With
+ * --store-dir DIR the daemon persists grid/analysis snapshots there
+ * and warm-loads them on the next start; "tune" accepts the same flag
+ * to run its batch through a daemon over that store instead of a bare
+ * service.
  *
  * Every command accepts --metrics-out FILE to dump the process
  * metrics snapshot (docs/OBSERVABILITY.md) as JSON on exit; the
@@ -34,9 +43,12 @@
  */
 
 #include <fstream>
+#include <future>
 #include <iostream>
+#include <memory>
 
 #include "common/args.hh"
+#include "daemon/tuning_daemon.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "obs/journal.hh"
@@ -72,8 +84,11 @@ usage()
            "  pareto <workload> [--fine]\n"
            "  schedule <wl[:budget]> <wl[:budget]> ... [--budget B]\n"
            "  tune <wl[:budget]> <wl[:budget]> ... [--threshold PCT]\n"
+           "  serve [--store-dir DIR]               tuning daemon on stdin\n"
            "  stats [wl[:budget]] ...               metrics snapshot\n"
            "options: --jobs N parallelizes grid construction;\n"
+           "         --store-dir DIR persists grid/analysis snapshots\n"
+           "           (serve and tune) and warm-loads them on start;\n"
            "         --metrics-out FILE dumps metrics JSON on exit;\n"
            "         --trace-out FILE dumps a Chrome/Perfetto trace;\n"
            "         --trace-journal FILE dumps the per-sample tuning\n"
@@ -420,12 +435,23 @@ cmdProfile(const ArgParser &args)
     return 0;
 }
 
+daemon::DaemonOptions
+daemonOptions(const ArgParser &args)
+{
+    daemon::DaemonOptions options;
+    options.service = serviceOptions(args);
+    if (args.has("store-dir"))
+        options.storeDir = args.get("store-dir");
+    return options;
+}
+
 int
 cmdTune(const ArgParser &args)
 {
-    // tune <workload[:budget]> <workload[:budget]> ...
-    svc::CharacterizationService service(SystemConfig::paperDefault(),
-                                         serviceOptions(args));
+    // tune <workload[:budget]> <workload[:budget]> ... — with
+    // --store-dir, the batch runs through the persistent tuning
+    // daemon (snapshots written and warm-loaded) instead of a bare
+    // service.
     std::vector<svc::TuningRequest> requests;
     for (std::size_t i = 1; i < args.positionals().size(); ++i) {
         const std::string &spec = args.positionals()[i];
@@ -436,8 +462,32 @@ cmdTune(const ArgParser &args)
             args.getDouble("threshold", 3.0) / 100.0};
         requests.push_back(std::move(request));
     }
-    const std::vector<svc::TuningResult> results =
-        service.submitBatch(requests);
+
+    std::unique_ptr<svc::CharacterizationService> direct;
+    std::unique_ptr<daemon::TuningDaemon> server;
+    std::vector<svc::TuningResult> results;
+    if (args.has("store-dir")) {
+        server = std::make_unique<daemon::TuningDaemon>(
+            SystemConfig::paperDefault(), daemonOptions(args));
+        std::vector<std::future<daemon::DaemonResponse>> futures;
+        futures.reserve(requests.size());
+        for (const svc::TuningRequest &request : requests)
+            futures.push_back(server->submit(request));
+        for (std::future<daemon::DaemonResponse> &future : futures) {
+            daemon::DaemonResponse response = future.get();
+            if (!response.ok())
+                fatal("tune: request shed (",
+                      daemon::shedReasonName(response.shed), ")");
+            results.push_back(std::move(response.result));
+        }
+        server->drain();
+    } else {
+        direct = std::make_unique<svc::CharacterizationService>(
+            SystemConfig::paperDefault(), serviceOptions(args));
+        results = direct->submitBatch(requests);
+    }
+    svc::CharacterizationService &service =
+        server ? server->service() : *direct;
 
     Table table({"workload", "budget", "samples", "regions",
                  "mean length", "cached"});
@@ -470,6 +520,14 @@ cmdTune(const ArgParser &args)
     std::cout << "analysis cache: " << analysis_stats.hits << " hits, "
               << analysis_stats.misses << " misses, "
               << analysis_stats.evictions << " evictions\n";
+    if (server != nullptr) {
+        const daemon::DaemonStats stats = server->stats();
+        std::cout << "daemon: " << stats.completed << " completed, "
+                  << stats.coalesced << " coalesced, "
+                  << stats.warmGrids << "+" << stats.warmAnalyses
+                  << " snapshots warm-loaded from '"
+                  << server->store()->directory() << "'\n";
+    }
 
     if (args.has("trace-journal")) {
         obs::DecisionJournal journal;
@@ -481,6 +539,79 @@ cmdTune(const ArgParser &args)
         std::cerr << "wrote " << journal.records().size()
                   << " journal records to " << args.get("trace-journal")
                   << "\n";
+    }
+    return 0;
+}
+
+int
+cmdServe(const ArgParser &args)
+{
+    // serve — long-lived daemon loop: one wl[:budget] spec per stdin
+    // line ('#' comments and blank lines skipped), answered through
+    // the async pipeline; EOF drains and prints the summary.
+    daemon::TuningDaemon server(SystemConfig::paperDefault(),
+                                daemonOptions(args));
+    struct Submitted
+    {
+        std::string spec;
+        std::future<daemon::DaemonResponse> future;
+    };
+    std::vector<Submitted> submitted;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+        const std::size_t start = line.find_first_not_of(" \t");
+        if (start == std::string::npos || line[start] == '#')
+            continue;
+        const std::string spec =
+            line.substr(start, line.find_last_not_of(" \t\r") - start + 1);
+        const std::size_t colon = spec.find(':');
+        svc::TuningRequest request{
+            workloadByName(spec.substr(0, colon)), spaceFrom(args),
+            budgetFromSpec(spec, colon, args),
+            args.getDouble("threshold", 3.0) / 100.0};
+        submitted.push_back(Submitted{spec, server.submit(request)});
+    }
+    server.drain();
+
+    Table table({"request", "regions", "grid hit", "analysis hit",
+                 "status", "total ms"});
+    table.setTitle("tuning daemon (" +
+                   Table::num(static_cast<long long>(
+                       server.service().jobs())) +
+                   " jobs)");
+    for (Submitted &entry : submitted) {
+        daemon::DaemonResponse response = entry.future.get();
+        if (response.ok()) {
+            table.addRow(
+                {entry.spec,
+                 Table::num(static_cast<long long>(
+                     response.result.regions.size())),
+                 response.result.cacheHit ? "yes" : "no",
+                 response.result.analysisCacheHit ? "yes" : "no", "ok",
+                 Table::num(static_cast<double>(response.totalNs) / 1e6,
+                            3)});
+        } else {
+            table.addRow({entry.spec, "-", "-", "-",
+                          daemon::shedReasonName(response.shed), "-"});
+        }
+    }
+    table.print(std::cout);
+
+    const daemon::DaemonStats stats = server.stats();
+    std::cout << "daemon: " << stats.admitted << " admitted, "
+              << stats.completed << " completed, "
+              << stats.shedQueueFull + stats.shedDraining << " shed, "
+              << stats.batches << " batches, " << stats.coalesced
+              << " coalesced\n";
+    if (server.store() != nullptr) {
+        const daemon::SnapshotStore::Stats store_stats =
+            server.store()->stats();
+        std::cout << "store '" << server.store()->directory() << "': "
+                  << stats.warmGrids << "+" << stats.warmAnalyses
+                  << " snapshots warm-loaded, "
+                  << store_stats.gridStores << "+"
+                  << store_stats.analysisStores << " written, "
+                  << store_stats.loadErrors << " rejected\n";
     }
     return 0;
 }
@@ -524,6 +655,7 @@ main(int argc, char **argv)
     args.addOption("trace-out");
     args.addOption("trace-journal");
     args.addOption("log-level");
+    args.addOption("store-dir");
     args.addFlag("fine");
     args.addFlag("csv");
 
@@ -543,6 +675,8 @@ main(int argc, char **argv)
             rc = cmdList();
         else if (command == "stats")
             rc = cmdStats(args);
+        else if (command == "serve")
+            rc = cmdServe(args);
         else if (args.positionals().size() < 2)
             return usage();
         else if (command == "characterize")
