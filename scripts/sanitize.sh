@@ -6,10 +6,11 @@
 #      anywhere in the library;
 #   2. TSan over the concurrency-heavy subset (exec thread pool,
 #      svc cache/service, obs metrics and trace rings, the tuning
-#      daemon and its snapshot store) — the lock-free metric stripes,
-#      the seqlock-protected trace slots, the cache/coalescing paths
-#      and the daemon's batcher/drain handoffs are where data races
-#      would live.
+#      daemon and its snapshot store, the streaming-resume path) — the
+#      lock-free metric stripes, the seqlock-protected trace slots,
+#      the cache/coalescing paths, the daemon's batcher/drain handoffs
+#      and the checkpoint store probed/extended by concurrent daemon
+#      batches are where data races would live.
 #
 # Usage: scripts/sanitize.sh [--asan-only|--tsan-only]
 # Build trees land in build-asan/ and build-tsan/ next to build/.
@@ -52,9 +53,11 @@ if [ "$run_tsan" = 1 ]; then
         obs_metrics_test obs_snapshot_golden_test \
         obs_instrumentation_test \
         obs_trace_test obs_trace_stress_test \
-        daemon_snapshot_store_test daemon_tuning_daemon_test
+        daemon_snapshot_store_test daemon_tuning_daemon_test \
+        svc_analysis_cache_test core_incremental_analysis_test \
+        daemon_streaming_test
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore'
+        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore|AnalysisCache|Incremental|Streaming'
 fi
 
 echo "sanitize: all requested passes clean"

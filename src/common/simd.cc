@@ -1,0 +1,139 @@
+#include "common/simd.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace simd
+{
+
+namespace
+{
+
+/** Best level the build carries code for. */
+constexpr Level
+compiledBest()
+{
+#if MCDVFS_SIMD_AVX2
+    return Level::Avx2;
+#elif MCDVFS_SIMD_NEON
+    return Level::Neon;
+#else
+    return Level::Scalar;
+#endif
+}
+
+/** True when the CPU executing us can run @c level. */
+bool
+cpuSupports(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return true;
+    case Level::Neon:
+        // NEON is baseline on every aarch64 CPU the NEON path can be
+        // compiled for; no runtime probe exists or is needed.
+        return MCDVFS_SIMD_NEON != 0;
+    case Level::Avx2:
+#if MCDVFS_SIMD_AVX2
+        return __builtin_cpu_supports("avx2");
+#else
+        return false;
+#endif
+    }
+    return false;
+}
+
+/** Clamp a requested level to what is compiled in and runnable. */
+Level
+clampLevel(Level requested)
+{
+    if (static_cast<int>(requested) > static_cast<int>(compiledBest()))
+        requested = compiledBest();
+    while (requested != Level::Scalar && !cpuSupports(requested)) {
+        requested = static_cast<Level>(static_cast<int>(requested) - 1);
+    }
+    return requested;
+}
+
+/** Resolve the startup level: compiled best ∩ CPU ∩ MCDVFS_SIMD. */
+Level
+resolveLevel()
+{
+    Level level = clampLevel(compiledBest());
+    const char *env = std::getenv("MCDVFS_SIMD");
+    if (env == nullptr || std::strcmp(env, "auto") == 0 ||
+        env[0] == '\0') {
+        return level;
+    }
+    if (std::strcmp(env, "scalar") == 0)
+        return Level::Scalar;
+    if (std::strcmp(env, "neon") == 0)
+        return clampLevel(Level::Neon);
+    if (std::strcmp(env, "avx2") == 0)
+        return clampLevel(Level::Avx2);
+    warn("MCDVFS_SIMD: unknown level '", env,
+         "' (want scalar, neon, avx2 or auto); using ",
+         levelName(level));
+    return level;
+}
+
+/** -1 = unresolved; otherwise a Level. */
+std::atomic<int> g_level{-1};
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+    case Level::Scalar:
+        return "scalar";
+    case Level::Neon:
+        return "neon";
+    case Level::Avx2:
+        return "avx2";
+    }
+    return "unknown";
+}
+
+Level
+level()
+{
+    int current = g_level.load(std::memory_order_relaxed);
+    if (current < 0) {
+        // Racing resolvers all compute the same value, so a plain
+        // compare-exchange-free store is fine.
+        current = static_cast<int>(resolveLevel());
+        g_level.store(current, std::memory_order_relaxed);
+    }
+    return static_cast<Level>(current);
+}
+
+Level
+forceLevel(Level requested)
+{
+    const Level effective = clampLevel(requested);
+    g_level.store(static_cast<int>(effective),
+                  std::memory_order_relaxed);
+    return effective;
+}
+
+bool
+haveAvx2()
+{
+    return MCDVFS_SIMD_AVX2 != 0 && level() == Level::Avx2;
+}
+
+bool
+haveNeon()
+{
+    return MCDVFS_SIMD_NEON != 0 && level() == Level::Neon;
+}
+
+} // namespace simd
+} // namespace mcdvfs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Compile-time and runtime SIMD dispatch for the vector kernels.
+ *
+ * The explicit vector paths (SettingMask filters, the cluster compare
+ * passes, the grid kernel's fixed-point strip) are compiled only when
+ * the build opts into host tuning (-DMCDVFS_NATIVE=ON) *and* the
+ * target ISA provides the instructions (AVX2 on x86-64, NEON on
+ * aarch64).  At runtime one resolved Level gates every dispatch site:
+ * the compiled-in best, narrowed by a CPU-feature probe, narrowed
+ * again by the MCDVFS_SIMD environment variable ("scalar" forces the
+ * fallback everywhere — this is how CI proves the scalar path stays
+ * exercised on vector-capable hosts).
+ *
+ * Every vector kernel is bit-identical to its scalar fallback: the
+ * lanes run the same IEEE operations in the same per-element order,
+ * compares map to the same predicates, and MCDVFS_NATIVE's
+ * -ffp-contract=off keeps the compiler from fusing either path
+ * differently (docs/PERF.md "Vector kernels").
+ */
+
+#ifndef MCDVFS_COMMON_SIMD_HH
+#define MCDVFS_COMMON_SIMD_HH
+
+/** @name Compiled SIMD support.
+ *
+ * MCDVFS_SIMD_AVX2 / MCDVFS_SIMD_NEON are 1 when the corresponding
+ * intrinsics are compiled in.  Both require the MCDVFS_NATIVE build
+ * option: the default toolchain build carries no vector paths at all,
+ * so the portable artifact stays portable.
+ */
+///@{
+#if defined(MCDVFS_NATIVE_ENABLED) && defined(__AVX2__)
+#define MCDVFS_SIMD_AVX2 1
+#else
+#define MCDVFS_SIMD_AVX2 0
+#endif
+
+#if defined(MCDVFS_NATIVE_ENABLED) && defined(__ARM_NEON)
+#define MCDVFS_SIMD_NEON 1
+#else
+#define MCDVFS_SIMD_NEON 0
+#endif
+///@}
+
+#if MCDVFS_SIMD_AVX2
+#include <immintrin.h>
+#endif
+#if MCDVFS_SIMD_NEON
+#include <arm_neon.h>
+#endif
+
+namespace mcdvfs
+{
+namespace simd
+{
+
+/** Instruction-set level a kernel dispatches to. */
+enum class Level
+{
+    Scalar,  ///< portable fallback (always available)
+    Neon,    ///< 2 x f64 lanes (aarch64)
+    Avx2,    ///< 4 x f64 lanes (x86-64)
+};
+
+/** Human-readable level name ("scalar", "neon", "avx2"). */
+const char *levelName(Level level);
+
+/**
+ * The resolved dispatch level: compiled-in best, narrowed by the
+ * runtime CPU probe and the MCDVFS_SIMD environment variable
+ * ("scalar", "neon", "avx2", or "auto"/unset).  Resolved once on
+ * first use; one relaxed atomic load afterwards.
+ */
+Level level();
+
+/**
+ * Override the resolved level (tests and benches pin the scalar path
+ * to golden-check it against the vector path in one process).
+ * Requesting a level that is not compiled in or not supported by the
+ * CPU clamps to the best available.  Returns the level actually in
+ * effect.
+ */
+Level forceLevel(Level level);
+
+/** True when the AVX2 kernels are compiled in and active. */
+bool haveAvx2();
+
+/** True when the NEON kernels are compiled in and active. */
+bool haveNeon();
+
+} // namespace simd
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_SIMD_HH

@@ -85,8 +85,11 @@ AnalysisSweep::run(const std::vector<SweepPoint> &points,
     auto fill = [&](std::size_t i) {
         const std::size_t g = i / samples;
         const std::size_t s = i % samples;
-        OptimalChoice choice;
-        SettingMask feasible;
+        // Per-thread scratch, reused across every cell this worker
+        // claims: fillBudget/fillCluster fully overwrite both, so the
+        // hot body constructs nothing per cell.
+        static thread_local OptimalChoice choice;
+        static thread_local SettingMask feasible;
         clusters_.fillBudget(s, groups[g].budget, choice, feasible);
         for (const std::size_t p : groups[g].points) {
             out[p].table.optimal[s] = choice;

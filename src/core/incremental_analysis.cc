@@ -1,0 +1,76 @@
+#include "core/incremental_analysis.hh"
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+void
+IncrementalAnalyzer::extend(AnalysisCheckpoint &checkpoint,
+                            const ClusterFinder &clusters,
+                            std::size_t new_total)
+{
+    const MeasuredGrid &grid = clusters.finder().analysis().grid();
+    const SettingsSpace &space = grid.space();
+    MCDVFS_ASSERT(new_total <= grid.sampleCount(),
+                  "extend target beyond the grid");
+    MCDVFS_ASSERT(new_total >= checkpoint.samples,
+                  "checkpoints only extend forward");
+    MCDVFS_ASSERT(clusters.tableFirst() <= checkpoint.samples,
+                  "cluster tables must cover the appended range");
+    MCDVFS_ASSERT(checkpoint.regions.fedSamples() == checkpoint.samples,
+                  "checkpoint region state out of sync");
+
+    checkpoint.optimal.reserve(new_total);
+    checkpoint.masks.reserve(new_total);
+    for (std::size_t s = checkpoint.samples; s < new_total; ++s) {
+        OptimalChoice choice;
+        SettingMask mask;
+        clusters.fillSample(s, checkpoint.budget, checkpoint.threshold,
+                            choice, mask);
+        checkpoint.regions.feed(space, mask);
+        checkpoint.optimal.push_back(choice);
+        checkpoint.masks.push_back(mask);
+    }
+    checkpoint.samples = new_total;
+}
+
+AnalysisCheckpoint
+IncrementalAnalyzer::build(const ClusterFinder &clusters, double budget,
+                           double threshold, std::size_t samples)
+{
+    AnalysisCheckpoint checkpoint;
+    checkpoint.budget = budget;
+    checkpoint.threshold = threshold;
+    extend(checkpoint, clusters, samples);
+    return checkpoint;
+}
+
+AnalysisCheckpoint
+IncrementalAnalyzer::fromTable(const SettingsSpace &space,
+                               const ClusterTable &table)
+{
+    AnalysisCheckpoint checkpoint;
+    checkpoint.budget = table.budget;
+    checkpoint.threshold = table.threshold;
+    checkpoint.samples = table.sampleCount();
+    checkpoint.optimal = table.optimal;
+    checkpoint.masks = table.masks;
+    for (const SettingMask &mask : checkpoint.masks)
+        checkpoint.regions.feed(space, mask);
+    return checkpoint;
+}
+
+PerformanceCluster
+IncrementalAnalyzer::materializeCluster(const OptimalChoice &optimal,
+                                        const SettingMask &mask)
+{
+    PerformanceCluster cluster;
+    cluster.optimal = optimal;
+    cluster.settings.reserve(mask.count());
+    for (const std::size_t k : mask)
+        cluster.settings.push_back(k);
+    return cluster;
+}
+
+} // namespace mcdvfs

@@ -11,7 +11,6 @@ InefficiencyAnalysis::InefficiencyAnalysis(const MeasuredGrid &grid)
     : grid_(grid)
 {
     const std::size_t samples = grid.sampleCount();
-    const std::size_t settings = grid.settingCount();
     sampleEmin_.resize(samples);
     sampleSlowest_.resize(samples);
     for (std::size_t s = 0; s < samples; ++s) {
@@ -20,14 +19,24 @@ InefficiencyAnalysis::InefficiencyAnalysis(const MeasuredGrid &grid)
         MCDVFS_ASSERT(sampleEmin_[s] > 0.0,
                       "sample energy must be positive");
     }
-    runEnergy_.resize(settings);
-    runTime_.resize(settings);
-    for (std::size_t k = 0; k < settings; ++k) {
-        runEnergy_[k] = grid.totalEnergy(k);
-        runTime_[k] = grid.totalTime(k);
-    }
-    eminTotal_ = *std::min_element(runEnergy_.begin(), runEnergy_.end());
-    slowestTotal_ = *std::max_element(runTime_.begin(), runTime_.end());
+}
+
+void
+InefficiencyAnalysis::ensureRunAggregates() const
+{
+    std::call_once(runAggregatesOnce_, [this] {
+        const std::size_t settings = grid_.settingCount();
+        runEnergy_.resize(settings);
+        runTime_.resize(settings);
+        for (std::size_t k = 0; k < settings; ++k) {
+            runEnergy_[k] = grid_.totalEnergy(k);
+            runTime_[k] = grid_.totalTime(k);
+        }
+        eminTotal_ = *std::min_element(runEnergy_.begin(),
+                                       runEnergy_.end());
+        slowestTotal_ = *std::max_element(runTime_.begin(),
+                                          runTime_.end());
+    });
 }
 
 double
@@ -61,6 +70,7 @@ InefficiencyAnalysis::sampleSlowest(std::size_t sample) const
 double
 InefficiencyAnalysis::runInefficiency(std::size_t setting) const
 {
+    ensureRunAggregates();
     MCDVFS_ASSERT(setting < runEnergy_.size(), "setting out of range");
     return runEnergy_[setting] / eminTotal_;
 }
@@ -68,13 +78,22 @@ InefficiencyAnalysis::runInefficiency(std::size_t setting) const
 double
 InefficiencyAnalysis::runSpeedup(std::size_t setting) const
 {
+    ensureRunAggregates();
     MCDVFS_ASSERT(setting < runTime_.size(), "setting out of range");
     return slowestTotal_ / runTime_[setting];
+}
+
+Joules
+InefficiencyAnalysis::eminTotal() const
+{
+    ensureRunAggregates();
+    return eminTotal_;
 }
 
 double
 InefficiencyAnalysis::maxRunInefficiency() const
 {
+    ensureRunAggregates();
     double imax = 0.0;
     for (std::size_t k = 0; k < runEnergy_.size(); ++k)
         imax = std::max(imax, runInefficiency(k));

@@ -13,6 +13,7 @@
 #define MCDVFS_CORE_INEFFICIENCY_HH
 
 #include <limits>
+#include <mutex>
 #include <vector>
 
 #include "sim/measured_grid.hh"
@@ -62,7 +63,7 @@ class InefficiencyAnalysis
     double runSpeedup(std::size_t setting) const;
 
     /** Whole-run brute-force Emin. */
-    Joules eminTotal() const { return eminTotal_; }
+    Joules eminTotal() const;
 
     /**
      * The workload's maximum achievable whole-run inefficiency Imax
@@ -73,13 +74,24 @@ class InefficiencyAnalysis
     const MeasuredGrid &grid() const { return grid_; }
 
   private:
+    /**
+     * Build the whole-run tables on first use.  The per-setting
+     * totalEnergy/totalTime sums are O(settings x samples) — an order
+     * more work than everything else construction does — and only the
+     * Fig. 2-style whole-run queries need them, so the per-sample
+     * analysis chain (and the incremental analyzer's tail-range
+     * construction) never pays for history it will not read.
+     */
+    void ensureRunAggregates() const;
+
     const MeasuredGrid &grid_;
     std::vector<Joules> sampleEmin_;
     std::vector<Seconds> sampleSlowest_;
-    std::vector<Joules> runEnergy_;
-    std::vector<Seconds> runTime_;
-    Joules eminTotal_ = 0.0;
-    Seconds slowestTotal_ = 0.0;
+    mutable std::once_flag runAggregatesOnce_;
+    mutable std::vector<Joules> runEnergy_;
+    mutable std::vector<Seconds> runTime_;
+    mutable Joules eminTotal_ = 0.0;
+    mutable Seconds slowestTotal_ = 0.0;
 };
 
 } // namespace mcdvfs

@@ -31,8 +31,15 @@ ClusterTable::materialize(std::size_t sample) const
 }
 
 ClusterFinder::ClusterFinder(const OptimalSettingsFinder &finder)
+    : ClusterFinder(finder, 0)
+{
+}
+
+ClusterFinder::ClusterFinder(const OptimalSettingsFinder &finder,
+                             std::size_t first_sample)
     : finder_(finder),
-      settings_(finder.analysis().grid().space().all())
+      settings_(finder.analysis().grid().space().all()),
+      tableFirst_(first_sample)
 {
     const InefficiencyAnalysis &analysis = finder_.analysis();
     const MeasuredGrid &grid = analysis.grid();
@@ -43,18 +50,24 @@ ClusterFinder::ClusterFinder(const OptimalSettingsFinder &finder)
     // Hoist every division out of the query path: each cell's speedup
     // and inefficiency mirror InefficiencyAnalysis::sampleSpeedup /
     // sampleInefficiency exactly, so every downstream comparison stays
-    // bit-identical to the scalar reference.
+    // bit-identical to the scalar reference.  A tail-range finder
+    // hoists only [tableFirst_, samples): the division work stays
+    // proportional to the samples it will be asked about.
     const std::size_t samples = grid.sampleCount();
-    speedups_.resize(samples * settings);
-    inefficiencies_.resize(samples * settings);
-    for (std::size_t s = 0; s < samples; ++s) {
+    MCDVFS_ASSERT(tableFirst_ <= samples,
+                  "table range start out of range");
+    speedups_.resize((samples - tableFirst_) * settings);
+    inefficiencies_.resize((samples - tableFirst_) * settings);
+    for (std::size_t s = tableFirst_; s < samples; ++s) {
         const double emin = analysis.sampleEmin(s);
         const double slowest = analysis.sampleSlowest(s);
         const double *sec = grid.secondsRow(s);
         const double *cpu = grid.cpuEnergyRow(s);
         const double *mem = grid.memEnergyRow(s);
-        double *spd = speedups_.data() + s * settings;
-        double *ineff = inefficiencies_.data() + s * settings;
+        double *spd =
+            speedups_.data() + (s - tableFirst_) * settings;
+        double *ineff =
+            inefficiencies_.data() + (s - tableFirst_) * settings;
         for (std::size_t k = 0; k < settings; ++k) {
             spd[k] = slowest / sec[k];
             ineff[k] = (cpu[k] + mem[k]) / emin;
@@ -70,11 +83,9 @@ ClusterFinder::fillSample(std::size_t sample, double budget,
     if (threshold < 0.0)
         fatal("cluster threshold must be >= 0, got ", threshold);
 
-    OptimalChoice choice;
     SettingMask feasible;
-    fillBudget(sample, budget, choice, feasible);
-    fillCluster(sample, threshold, choice, feasible, mask);
-    optimal = choice;
+    fillBudget(sample, budget, optimal, feasible);
+    fillCluster(sample, threshold, optimal, feasible, mask);
 }
 
 void
@@ -93,18 +104,102 @@ ClusterFinder::fillBudget(std::size_t sample, double budget,
                   "settings space exceeds SettingMask capacity");
     MCDVFS_ASSERT(sample < grid.sampleCount(), "sample out of range");
 
-    const double *speedups = speedups_.data() + sample * settings;
-    const double *ineff = inefficiencies_.data() + sample * settings;
+    const double *speedups = speedupRow(sample);
+    const double *ineff = inefficiencyRow(sample);
 
     // Pass 1: one compare per setting over the precomputed rows derives
     // budget feasibility and the best feasible speedup — the divisions
-    // behind both values were hoisted to construction.
-    SettingMask feasible(settings);
+    // behind both values were hoisted to construction.  Filled into
+    // the caller's mask directly so sweep loops reuse one scratch
+    // object per thread instead of copying a local per cell.
+    feasible_out = SettingMask(settings);
+    SettingMask &feasible = feasible_out;
     double best_speedup = 0.0;
-    for (std::size_t k = 0; k < settings; ++k) {
-        if (ineff[k] <= budget) {
-            feasible.set(k);
-            best_speedup = std::max(best_speedup, speedups[k]);
+#if MCDVFS_SIMD_AVX2
+    if (simd::haveAvx2()) {
+        // Four lanes per compare: the LE predicate word comes from a
+        // movemask and the best feasible speedup from a masked max
+        // (infeasible lanes contribute 0.0, below every speedup).
+        // Max over doubles selects one of the operands, so any
+        // reduction order yields the same bits as the scalar loop.
+        const __m256d vbudget = _mm256_set1_pd(budget);
+        __m256d vbest = _mm256_setzero_pd();
+        for (std::size_t w = 0; w * 64 < settings; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t lanes = std::min<std::size_t>(
+                64, settings - base);
+            std::uint64_t bits = 0;
+            std::size_t j = 0;
+            for (; j + 4 <= lanes; j += 4) {
+                const __m256d vineff =
+                    _mm256_loadu_pd(ineff + base + j);
+                const __m256d le =
+                    _mm256_cmp_pd(vineff, vbudget, _CMP_LE_OQ);
+                bits |= static_cast<std::uint64_t>(
+                            _mm256_movemask_pd(le))
+                        << j;
+                const __m256d vspd =
+                    _mm256_loadu_pd(speedups + base + j);
+                vbest = _mm256_max_pd(vbest,
+                                      _mm256_and_pd(le, vspd));
+            }
+            for (; j < lanes; ++j) {
+                if (ineff[base + j] <= budget) {
+                    bits |= std::uint64_t{1} << j;
+                    best_speedup = std::max(best_speedup,
+                                            speedups[base + j]);
+                }
+            }
+            feasible.setWord(w, bits);
+        }
+        alignas(32) double fold[4];
+        _mm256_store_pd(fold, vbest);
+        for (const double lane : fold)
+            best_speedup = std::max(best_speedup, lane);
+    } else
+#elif MCDVFS_SIMD_NEON
+    if (simd::haveNeon()) {
+        const float64x2_t vbudget = vdupq_n_f64(budget);
+        float64x2_t vbest = vdupq_n_f64(0.0);
+        for (std::size_t w = 0; w * 64 < settings; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t lanes = std::min<std::size_t>(
+                64, settings - base);
+            std::uint64_t bits = 0;
+            std::size_t j = 0;
+            for (; j + 2 <= lanes; j += 2) {
+                const uint64x2_t le = vcleq_f64(
+                    vld1q_f64(ineff + base + j), vbudget);
+                bits |= (vgetq_lane_u64(le, 0) & 1) << j;
+                bits |= (vgetq_lane_u64(le, 1) & 1) << (j + 1);
+                const float64x2_t vspd =
+                    vld1q_f64(speedups + base + j);
+                vbest = vmaxq_f64(
+                    vbest,
+                    vreinterpretq_f64_u64(vandq_u64(
+                        le, vreinterpretq_u64_f64(vspd))));
+            }
+            for (; j < lanes; ++j) {
+                if (ineff[base + j] <= budget) {
+                    bits |= std::uint64_t{1} << j;
+                    best_speedup = std::max(best_speedup,
+                                            speedups[base + j]);
+                }
+            }
+            feasible.setWord(w, bits);
+        }
+        best_speedup = std::max(best_speedup,
+                                vgetq_lane_f64(vbest, 0));
+        best_speedup = std::max(best_speedup,
+                                vgetq_lane_f64(vbest, 1));
+    } else
+#endif
+    {
+        for (std::size_t k = 0; k < settings; ++k) {
+            if (ineff[k] <= budget) {
+                feasible.set(k);
+                best_speedup = std::max(best_speedup, speedups[k]);
+            }
         }
     }
     // The Emin setting always has inefficiency exactly 1.
@@ -131,7 +226,6 @@ ClusterFinder::fillBudget(std::size_t sample, double budget,
     choice.inefficiency = ineff[choice.settingIndex];
 
     optimal = choice;
-    feasible_out = feasible;
 }
 
 void
@@ -143,9 +237,7 @@ ClusterFinder::fillCluster(std::size_t sample, double threshold,
     if (threshold < 0.0)
         fatal("cluster threshold must be >= 0, got ", threshold);
 
-    const std::size_t settings =
-        finder_.analysis().grid().settingCount();
-    const double *speedups = speedups_.data() + sample * settings;
+    const double *speedups = speedupRow(sample);
 
     // Pass 3 (§VI-A): the cluster is the feasible set minus settings
     // below the threshold cutoff, one word-wise filter.

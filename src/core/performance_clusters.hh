@@ -82,6 +82,17 @@ class ClusterFinder
     explicit ClusterFinder(const OptimalSettingsFinder &finder);
 
     /**
+     * Tail-range construction for incremental analysis: hoist the
+     * speedup/inefficiency tables only for samples in
+     * [@c first_sample, sampleCount()).  Queries below @c first_sample
+     * are out of range — an IncrementalAnalyzer extending a checkpoint
+     * past its old length only ever touches the new tail, so the
+     * per-cell division work is O(new samples), not O(history).
+     */
+    ClusterFinder(const OptimalSettingsFinder &finder,
+                  std::size_t first_sample);
+
+    /**
      * Cluster of one sample.
      *
      * @param budget inefficiency budget (>= 1)
@@ -138,18 +149,42 @@ class ClusterFinder
 
     const OptimalSettingsFinder &finder() const { return finder_; }
 
+    /** First sample the hoisted tables cover (0 for full grids). */
+    std::size_t tableFirst() const { return tableFirst_; }
+
   private:
+    /** Hoisted-table row of one sample (tableFirst()-relative). */
+    const double *
+    speedupRow(std::size_t sample) const
+    {
+        MCDVFS_DEBUG_ASSERT(sample >= tableFirst_,
+                            "sample below the hoisted table range");
+        return speedups_.data() +
+               (sample - tableFirst_) * settings_.size();
+    }
+
+    const double *
+    inefficiencyRow(std::size_t sample) const
+    {
+        MCDVFS_DEBUG_ASSERT(sample >= tableFirst_,
+                            "sample below the hoisted table range");
+        return inefficiencies_.data() +
+               (sample - tableFirst_) * settings_.size();
+    }
+
     const OptimalSettingsFinder &finder_;
     /** The settings space materialized once (the §V tie-break scans it). */
     std::vector<FrequencySetting> settings_;
     /**
-     * Per-cell speedup and inefficiency, sample-major, hoisted at
-     * construction so queries are division-free.  Left empty when the
-     * space exceeds SettingMask capacity (the reference path serves
-     * those spaces).
+     * Per-cell speedup and inefficiency, sample-major from
+     * tableFirst_, hoisted at construction so queries are
+     * division-free.  Left empty when the space exceeds SettingMask
+     * capacity (the reference path serves those spaces).
      */
     std::vector<double> speedups_;
     std::vector<double> inefficiencies_;
+    /** First sample covered by the hoisted tables. */
+    std::size_t tableFirst_ = 0;
 };
 
 } // namespace mcdvfs

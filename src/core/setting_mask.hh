@@ -30,6 +30,7 @@
 #include <cstdint>
 
 #include "common/logging.hh"
+#include "common/simd.hh"
 
 namespace mcdvfs
 {
@@ -108,6 +109,66 @@ class SettingMask
             words_[w] &= other.words_[w];
     }
 
+    /**
+     * Fused stable-region growth step: this &= other, reporting
+     * whether any bit survived.  One pass over the words instead of
+     * andInplace() + any(); the AVX2 path runs the AND 256 bits at a
+     * time and folds the emptiness test into one vptest.
+     */
+    bool
+    andInplaceAny(const SettingMask &other)
+    {
+#if MCDVFS_SIMD_AVX2
+        if (simd::haveAvx2()) {
+            static_assert(kWords % 4 == 0, "whole-register words");
+            __m256i acc = _mm256_setzero_si256();
+            for (std::size_t w = 0; w < kWords; w += 4) {
+                const __m256i a = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(&words_[w]));
+                const __m256i b = _mm256_loadu_si256(
+                    reinterpret_cast<const __m256i *>(
+                        &other.words_[w]));
+                const __m256i anded = _mm256_and_si256(a, b);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(&words_[w]), anded);
+                acc = _mm256_or_si256(acc, anded);
+            }
+            return !_mm256_testz_si256(acc, acc);
+        }
+#endif
+        std::uint64_t survived = 0;
+        for (std::size_t w = 0; w < kWords; ++w) {
+            words_[w] &= other.words_[w];
+            survived |= words_[w];
+        }
+        return survived != 0;
+    }
+
+    /** Raw backing word @c w (tests and digests). */
+    std::uint64_t
+    word(std::size_t w) const
+    {
+        MCDVFS_DEBUG_ASSERT(w < kWords, "mask word out of range");
+        return words_[w];
+    }
+
+    /**
+     * Overwrite backing word @c w with @c bits (vector kernels build
+     * whole predicate words at once).  Bits at or above size() must be
+     * zero.
+     */
+    void
+    setWord(std::size_t w, std::uint64_t bits)
+    {
+        MCDVFS_DEBUG_ASSERT(w < kWords, "mask word out of range");
+        MCDVFS_DEBUG_ASSERT(
+            w * 64 >= size_ ? bits == 0
+                            : size_ - w * 64 >= 64 ||
+                                  (bits >> (size_ - w * 64)) == 0,
+            "mask word bits beyond the settings space");
+        words_[w] = bits;
+    }
+
     /** Number of set bits (cluster size). */
     std::size_t
     count() const
@@ -157,10 +218,24 @@ class SettingMask
      * @c cutoff.  Built word-wise and branchless — one compare per
      * lane folded into the word — so cutoff filtering never walks the
      * set bits one by one.  @c values must hold size() entries.
+     *
+     * The AVX2/NEON paths predicate 4/2 lanes per compare and movemask
+     * the results into the keep word; >= maps to the ordered-quiet GE
+     * predicate, which matches the scalar compare exactly (both are
+     * false on NaN), so the filtered mask is bit-identical to the
+     * scalar loop on any input.
      */
     SettingMask
     filterGE(const double *values, double cutoff) const
     {
+#if MCDVFS_SIMD_AVX2
+        if (simd::haveAvx2())
+            return filterGEAvx2(values, cutoff);
+#endif
+#if MCDVFS_SIMD_NEON
+        if (simd::haveNeon())
+            return filterGENeon(values, cutoff);
+#endif
         SettingMask out(size_);
         for (std::size_t w = 0; w * 64 < size_; ++w) {
             const std::size_t base = w * 64;
@@ -242,6 +317,67 @@ class SettingMask
     Iterator end() const { return Iterator(this, kWords); }
 
   private:
+#if MCDVFS_SIMD_AVX2
+    SettingMask
+    filterGEAvx2(const double *values, double cutoff) const
+    {
+        SettingMask out(size_);
+        const __m256d vcut = _mm256_set1_pd(cutoff);
+        for (std::size_t w = 0; w * 64 < size_; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t lanes = std::min<std::size_t>(
+                64, size_ - base);
+            std::uint64_t keep = 0;
+            std::size_t j = 0;
+            for (; j + 4 <= lanes; j += 4) {
+                const __m256d v =
+                    _mm256_loadu_pd(values + base + j);
+                const __m256d ge =
+                    _mm256_cmp_pd(v, vcut, _CMP_GE_OQ);
+                keep |= static_cast<std::uint64_t>(
+                            _mm256_movemask_pd(ge))
+                        << j;
+            }
+            for (; j < lanes; ++j) {
+                keep |= static_cast<std::uint64_t>(
+                            values[base + j] >= cutoff)
+                        << j;
+            }
+            out.words_[w] = words_[w] & keep;
+        }
+        return out;
+    }
+#endif
+
+#if MCDVFS_SIMD_NEON
+    SettingMask
+    filterGENeon(const double *values, double cutoff) const
+    {
+        SettingMask out(size_);
+        const float64x2_t vcut = vdupq_n_f64(cutoff);
+        for (std::size_t w = 0; w * 64 < size_; ++w) {
+            const std::size_t base = w * 64;
+            const std::size_t lanes = std::min<std::size_t>(
+                64, size_ - base);
+            std::uint64_t keep = 0;
+            std::size_t j = 0;
+            for (; j + 2 <= lanes; j += 2) {
+                const uint64x2_t ge =
+                    vcgeq_f64(vld1q_f64(values + base + j), vcut);
+                keep |= (vgetq_lane_u64(ge, 0) & 1) << j;
+                keep |= (vgetq_lane_u64(ge, 1) & 1) << (j + 1);
+            }
+            for (; j < lanes; ++j) {
+                keep |= static_cast<std::uint64_t>(
+                            values[base + j] >= cutoff)
+                        << j;
+            }
+            out.words_[w] = words_[w] & keep;
+        }
+        return out;
+    }
+#endif
+
     std::array<std::uint64_t, kWords> words_{};
     std::size_t size_ = 0;
 };

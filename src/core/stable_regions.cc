@@ -43,6 +43,44 @@ closeRegion(const SettingsSpace &space, StableRegion &region,
 
 } // namespace
 
+void
+StableRegionBuilder::feed(const SettingsSpace &space,
+                          const SettingMask &mask)
+{
+    if (fed_ == 0) {
+        current_ = StableRegion{};
+        current_.first = 0;
+        available_ = mask;
+        fed_ = 1;
+        return;
+    }
+    SettingMask next = available_;
+    if (!next.andInplaceAny(mask)) {
+        // Close the region at the previous sample.
+        closeRegion(space, current_, fed_ - 1, available_);
+        closed_.push_back(std::move(current_));
+        current_ = StableRegion{};
+        current_.first = fed_;
+        available_ = mask;
+    } else {
+        available_ = next;
+    }
+    ++fed_;
+}
+
+std::vector<StableRegion>
+StableRegionBuilder::regions(const SettingsSpace &space) const
+{
+    MCDVFS_ASSERT(fed_ > 0, "no clusters to regionize");
+    std::vector<StableRegion> out;
+    out.reserve(closed_.size() + 1);
+    out = closed_;
+    StableRegion last = current_;
+    closeRegion(space, last, fed_ - 1, available_);
+    out.push_back(std::move(last));
+    return out;
+}
+
 StableRegionFinder::StableRegionFinder(const ClusterFinder &clusters)
     : clusters_(clusters)
 {
@@ -69,28 +107,12 @@ StableRegionFinder::fromTable(const ClusterTable &table) const
     const SettingsSpace &space =
         clusters_.finder().analysis().grid().space();
 
-    std::vector<StableRegion> regions;
-    StableRegion current;
-    current.first = 0;
-    SettingMask available = table.masks.front();
-
-    for (std::size_t s = 1; s < table.sampleCount(); ++s) {
-        SettingMask next = available;
-        next.andInplace(table.masks[s]);
-        if (next.none()) {
-            // Close the region at the previous sample.
-            closeRegion(space, current, s - 1, available);
-            regions.push_back(std::move(current));
-            current = StableRegion{};
-            current.first = s;
-            available = table.masks[s];
-        } else {
-            available = next;
-        }
-    }
-    closeRegion(space, current, table.sampleCount() - 1, available);
-    regions.push_back(std::move(current));
-    return regions;
+    // One feed loop over the resumable builder — the exact code path
+    // incremental checkpoints extend, so the two can never diverge.
+    StableRegionBuilder builder;
+    for (std::size_t s = 0; s < table.sampleCount(); ++s)
+        builder.feed(space, table.masks[s]);
+    return builder.regions(space);
 }
 
 std::vector<StableRegion>

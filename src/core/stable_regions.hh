@@ -44,6 +44,40 @@ struct StableRegion
     std::size_t length() const { return last - first + 1; }
 };
 
+/**
+ * Resumable greedy region growth: feed cluster masks sample by sample;
+ * the builder keeps the closed regions plus the open region's start
+ * and surviving-settings mask.  Feeding one more sample is O(1) mask
+ * work, so a checkpointing analyzer extends regions in O(new samples)
+ * — and StableRegionFinder::fromTable is a feed loop over this same
+ * builder, which is what guarantees append == recompute bit for bit.
+ */
+class StableRegionBuilder
+{
+  public:
+    /** Grow by one sample's cluster mask (§VI-B intersection step). */
+    void feed(const SettingsSpace &space, const SettingMask &mask);
+
+    /**
+     * The regions of everything fed so far: the closed regions plus
+     * the open region closed at the last fed sample.  Does not mutate
+     * the builder — feeding may continue afterwards.  At least one
+     * sample must have been fed.
+     */
+    std::vector<StableRegion> regions(const SettingsSpace &space) const;
+
+    /** Samples fed so far. */
+    std::size_t fedSamples() const { return fed_; }
+
+  private:
+    std::vector<StableRegion> closed_;
+    /** Open region (valid once fed_ > 0). */
+    StableRegion current_;
+    /** Settings common to every cluster of the open region. */
+    SettingMask available_;
+    std::size_t fed_ = 0;
+};
+
 /** Greedy stable-region construction over per-sample clusters. */
 class StableRegionFinder
 {

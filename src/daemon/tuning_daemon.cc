@@ -27,6 +27,7 @@ struct DaemonMetrics
     obs::Counter batches;
     obs::Counter coalesced;
     obs::Counter completed;
+    obs::Counter analysisResumed;
     obs::Histogram queueWaitNs;
     obs::Histogram gridStageNs;
     obs::Histogram analysisStageNs;
@@ -43,6 +44,7 @@ struct DaemonMetrics
         batches = reg.counter("daemon.batches");
         coalesced = reg.counter("daemon.coalesced");
         completed = reg.counter("daemon.completed");
+        analysisResumed = reg.counter("daemon.analysis_resumed");
         queueWaitNs = reg.histogram("daemon.queue_wait_ns", latency);
         gridStageNs = reg.histogram("daemon.grid_stage_ns", latency);
         analysisStageNs =
@@ -266,6 +268,11 @@ TuningDaemon::runGroup(const svc::GridKey &key,
             const std::uint64_t analysis_ns =
                 obs::elapsedNs(analysis_start);
             daemonMetrics().analysisStageNs.record(analysis_ns);
+            if (result.analysisResumed) {
+                analysisResumed_.fetch_add(1,
+                                           std::memory_order_relaxed);
+                daemonMetrics().analysisResumed.add(1);
+            }
 
             if (!result.analysisCacheHit && store_ != nullptr) {
                 svc::AnalysisResult snapshot;
@@ -345,6 +352,8 @@ TuningDaemon::stats() const
     stats.batches = batches_.load(std::memory_order_relaxed);
     stats.coalesced = coalesced_.load(std::memory_order_relaxed);
     stats.completed = completed_.load(std::memory_order_relaxed);
+    stats.analysisResumed =
+        analysisResumed_.load(std::memory_order_relaxed);
     stats.warmGrids = warmGrids_;
     stats.warmAnalyses = warmAnalyses_;
     return stats;

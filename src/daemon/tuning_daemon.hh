@@ -121,6 +121,11 @@ struct DaemonStats
     /** Requests that shared a batch group with an earlier request. */
     std::uint64_t coalesced = 0;
     std::uint64_t completed = 0;
+    /**
+     * Analyses that resumed from an incremental checkpoint of a
+     * shorter content prefix instead of recomputing the full history.
+     */
+    std::uint64_t analysisResumed = 0;
     /** Grid snapshots warm-loaded at construction. */
     std::uint64_t warmGrids = 0;
     /** Analysis snapshots warm-loaded at construction. */
@@ -212,6 +217,7 @@ class TuningDaemon
     std::atomic<std::uint64_t> batches_{0};
     std::atomic<std::uint64_t> coalesced_{0};
     std::atomic<std::uint64_t> completed_{0};
+    std::atomic<std::uint64_t> analysisResumed_{0};
     std::uint64_t warmGrids_ = 0;
     std::uint64_t warmAnalyses_ = 0;
 

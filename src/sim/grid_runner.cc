@@ -6,6 +6,7 @@
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "sim/strip_kernel.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 
@@ -211,9 +212,8 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
         } else {
             // Damped fixed point: utilization depends on total time,
             // total time depends on queueing inflation, which depends
-            // on utilization.  The iteration count is uniform across
-            // the strip, so the loop runs iteration-major and the
-            // compiler vectorizes across memory frequencies.
+            // on utilization.  The iteration itself lives in
+            // sim/strip_kernel.hh (scalar + explicit AVX2/NEON paths).
             for (std::size_t m = 0; m < mem_steps; ++m)
                 total[m] = core_time + demand_fills * base_lat[m] / mlp;
 
@@ -225,33 +225,17 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
                         1.0, traffic_bytes / (total[m] * usable_bw[m]));
                 }
             } else {
-                const double cap = tp.bwUtilizationCap;
-                for (int iter = 0; iter < tp.fixedPointIterations;
-                     ++iter) {
-                    for (std::size_t m = 0; m < mem_steps; ++m) {
-                        const double rho = std::min(
-                            cap,
-                            traffic_bytes / (total[m] * usable_bw[m]));
-                        // M/D/1-flavoured inflation of the service
-                        // latency.
-                        const double inflated =
-                            base_lat[m] *
-                            (1.0 + 0.5 * rho * rho / (1.0 - rho));
-                        const double next =
-                            core_time + demand_fills * inflated / mlp;
-                        total[m] = 0.5 * (total[m] + next);
-                    }
-                }
-                for (std::size_t m = 0; m < mem_steps; ++m) {
-                    // The stream can never move faster than the
-                    // usable bandwidth.
-                    const double floored = std::max(
-                        total[m], traffic_bytes / usable_bw[m]);
-                    total[m] = floored;
-                    stall[m] = floored - core_time;
-                    util[m] = std::min(
-                        1.0, traffic_bytes / (floored * usable_bw[m]));
-                }
+                strip::StripParams params;
+                params.coreTime = core_time;
+                params.demandFills = demand_fills;
+                params.mlp = mlp;
+                params.trafficBytes = traffic_bytes;
+                params.cap = tp.bwUtilizationCap;
+                params.iterations = tp.fixedPointIterations;
+                strip::fixedPointStrip(total.data(), stall.data(),
+                                       util.data(), base_lat.data(),
+                                       usable_bw.data(), mem_steps,
+                                       params);
             }
         }
 

@@ -1,8 +1,10 @@
 #include "sim/measured_grid.hh"
 
 #include <algorithm>
+#include <bit>
 #include <limits>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace mcdvfs
@@ -50,6 +52,10 @@ MeasuredGrid::cell(std::size_t sample, std::size_t setting)
     const std::size_t i = index(sample, setting);
     // Handing out a mutable view may change any quantity.
     aggregatesValid_ = false;
+    {
+        std::lock_guard<std::mutex> lock(*digestMutex_);
+        digestedRows_ = 0;
+    }
     return GridCellRef(seconds_[i], cpuEnergy_[i], memEnergy_[i],
                        busyFrac_[i], bwUtil_[i]);
 }
@@ -184,6 +190,50 @@ MeasuredGrid::slowestTotal() const
     for (std::size_t k = 0; k < settings_; ++k)
         worst = std::max(worst, totalTime(k));
     return worst;
+}
+
+std::uint64_t
+MeasuredGrid::prefixDigest(std::size_t samples) const
+{
+    MCDVFS_ASSERT(samples >= 1 && samples <= samples_,
+                  "digest prefix length out of range");
+    std::lock_guard<std::mutex> lock(*digestMutex_);
+    if (digestedRows_ < samples) {
+        if (rowDigests_.size() < samples_)
+            rowDigests_.resize(samples_);
+        // Seed the chain with the settings-space content so prefixes
+        // only collide across identical spaces (the §V tie-break reads
+        // the setting frequencies, not just the measured columns).
+        std::uint64_t chain;
+        if (digestedRows_ == 0) {
+            chain = fnv1aMixWord(kFnvOffsetBasis, settings_);
+            for (const Hertz f : space_.cpuLadder().steps())
+                chain = fnv1aMixWord(
+                    chain, std::bit_cast<std::uint64_t>(f));
+            for (const Hertz f : space_.memLadder().steps())
+                chain = fnv1aMixWord(
+                    chain, std::bit_cast<std::uint64_t>(f));
+        } else {
+            chain = rowDigests_[digestedRows_ - 1];
+        }
+        for (std::size_t s = digestedRows_; s < samples; ++s) {
+            const std::size_t base = s * settings_;
+            for (std::size_t k = 0; k < settings_; ++k) {
+                chain = fnv1aMixWord(
+                    chain,
+                    std::bit_cast<std::uint64_t>(seconds_[base + k]));
+                chain = fnv1aMixWord(
+                    chain, std::bit_cast<std::uint64_t>(
+                               cpuEnergy_[base + k]));
+                chain = fnv1aMixWord(
+                    chain, std::bit_cast<std::uint64_t>(
+                               memEnergy_[base + k]));
+            }
+            rowDigests_[s] = chain;
+        }
+        digestedRows_ = samples;
+    }
+    return rowDigests_[samples - 1];
 }
 
 } // namespace mcdvfs

@@ -24,6 +24,9 @@
 #ifndef MCDVFS_SIM_MEASURED_GRID_HH
 #define MCDVFS_SIM_MEASURED_GRID_HH
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -252,6 +255,20 @@ class MeasuredGrid
     Seconds slowestTotal() const;
     ///@}
 
+    /**
+     * Chained content digest of the first @c samples sample rows
+     * (1 <= samples <= sampleCount()), over the analysis-relevant
+     * columns (seconds, cpuEnergy, memEnergy) plus the settings-space
+     * ladders.  Chaining makes prefixes self-identifying: a grid whose
+     * first N rows are bit-identical to another grid's first N rows
+     * yields the same prefixDigest(N) regardless of either grid's
+     * total length — this is the key of the incremental analysis
+     * checkpoints (svc::AnalysisCache).  Digests are computed lazily
+     * once per grid, under a lock (grids are shared across daemon
+     * batches), and invalidated by mutable cell() access.
+     */
+    std::uint64_t prefixDigest(std::size_t samples) const;
+
   private:
     std::size_t index(std::size_t sample, std::size_t setting) const;
 
@@ -289,6 +306,16 @@ class MeasuredGrid
     mutable std::vector<Seconds> sampleSlowest_;
     mutable std::vector<Seconds> sampleFastest_;
     mutable bool aggregatesValid_ = false;
+    ///@}
+
+    /** @name Chained row-digest cache (prefixDigest). */
+    ///@{
+    /** Held behind a shared_ptr so the grid stays copyable/movable. */
+    mutable std::shared_ptr<std::mutex> digestMutex_ =
+        std::make_shared<std::mutex>();
+    /** digests_[s] = chained digest through sample s. */
+    mutable std::vector<std::uint64_t> rowDigests_;
+    mutable std::size_t digestedRows_ = 0;
     ///@}
 
     std::vector<SampleProfile> profiles_;

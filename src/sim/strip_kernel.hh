@@ -1,0 +1,237 @@
+/**
+ * @file
+ * The grid kernel's per-setting fixed-point strip (timing model).
+ *
+ * For one (sample, cpu frequency) pair the kernel solves, per memory
+ * frequency, the damped fixed point coupling total time, bandwidth
+ * utilization and M/D/1-flavoured latency inflation, then floors the
+ * result at the bandwidth bound and derives stall time and
+ * utilization.  Each memory-frequency element evolves independently —
+ * no cross-element coupling — so the iteration can run per element,
+ * per vector lane, or iteration-outer across the strip and produce
+ * identical bits per element.
+ *
+ * The scalar path below keeps the exact loop structure (and exact
+ * expression order) of the original grid kernel.  The AVX2/NEON paths
+ * hold four/two elements' totals in registers across every iteration
+ * — the scalar code round-trips the strip through memory once per
+ * iteration — and mirror the scalar expression order op for op:
+ * min/max intrinsics select operands with the same tie semantics as
+ * std::min/std::max, division is correctly rounded in both, and
+ * MCDVFS_NATIVE's -ffp-contract=off forbids the compiler from fusing
+ * either path differently.  Golden tests pin scalar == vector bit for
+ * bit (tests/core_simd_golden_test.cc).
+ */
+
+#ifndef MCDVFS_SIM_STRIP_KERNEL_HH
+#define MCDVFS_SIM_STRIP_KERNEL_HH
+
+#include <algorithm>
+#include <cstddef>
+
+#include "common/simd.hh"
+
+namespace mcdvfs
+{
+namespace strip
+{
+
+/** Per-(sample, cpu-step) invariants of the fixed-point strip. */
+struct StripParams
+{
+    double coreTime = 0.0;      ///< compute time at this cpu step
+    double demandFills = 0.0;   ///< demand fills per sample
+    double mlp = 1.0;           ///< memory-level parallelism
+    double trafficBytes = 0.0;  ///< DRAM traffic of the sample
+    double cap = 0.0;           ///< bandwidth utilization cap
+    int iterations = 0;         ///< damped fixed-point iterations
+};
+
+/**
+ * One element's damped iteration + floor/stall/util, scalar.  The
+ * expression order here is the contract every vector lane mirrors.
+ */
+inline void
+fixedPointOne(double &total, double &stall, double &util,
+              double base_lat, double usable_bw, const StripParams &p)
+{
+    for (int iter = 0; iter < p.iterations; ++iter) {
+        const double rho = std::min(
+            p.cap, p.trafficBytes / (total * usable_bw));
+        // M/D/1-flavoured inflation of the service latency.
+        const double inflated =
+            base_lat * (1.0 + 0.5 * rho * rho / (1.0 - rho));
+        const double next =
+            p.coreTime + p.demandFills * inflated / p.mlp;
+        total = 0.5 * (total + next);
+    }
+    // The stream can never move faster than the usable bandwidth.
+    const double floored =
+        std::max(total, p.trafficBytes / usable_bw);
+    total = floored;
+    stall = floored - p.coreTime;
+    util = std::min(1.0, p.trafficBytes / (floored * usable_bw));
+}
+
+/** Scalar strip: the original iteration-outer grid-kernel loops. */
+inline void
+fixedPointStripScalar(double *total, double *stall, double *util,
+                      const double *base_lat, const double *usable_bw,
+                      std::size_t n, const StripParams &p)
+{
+    for (int iter = 0; iter < p.iterations; ++iter) {
+        for (std::size_t m = 0; m < n; ++m) {
+            const double rho = std::min(
+                p.cap, p.trafficBytes / (total[m] * usable_bw[m]));
+            const double inflated =
+                base_lat[m] * (1.0 + 0.5 * rho * rho / (1.0 - rho));
+            const double next =
+                p.coreTime + p.demandFills * inflated / p.mlp;
+            total[m] = 0.5 * (total[m] + next);
+        }
+    }
+    for (std::size_t m = 0; m < n; ++m) {
+        const double floored =
+            std::max(total[m], p.trafficBytes / usable_bw[m]);
+        total[m] = floored;
+        stall[m] = floored - p.coreTime;
+        util[m] = std::min(
+            1.0, p.trafficBytes / (floored * usable_bw[m]));
+    }
+}
+
+#if MCDVFS_SIMD_AVX2
+/**
+ * AVX2 strip: four elements per register, totals live in registers
+ * across all iterations.  std::min(cap, q) maps to min_pd(q, cap) and
+ * std::max(total, q) to max_pd(q, total) — both return the second
+ * operand on ties, matching the std:: tie rules for these argument
+ * orders.
+ */
+inline void
+fixedPointStripAvx2(double *total, double *stall, double *util,
+                    const double *base_lat, const double *usable_bw,
+                    std::size_t n, const StripParams &p)
+{
+    const __m256d vcap = _mm256_set1_pd(p.cap);
+    const __m256d vcore = _mm256_set1_pd(p.coreTime);
+    const __m256d vfills = _mm256_set1_pd(p.demandFills);
+    const __m256d vmlp = _mm256_set1_pd(p.mlp);
+    const __m256d vtraffic = _mm256_set1_pd(p.trafficBytes);
+    const __m256d vhalf = _mm256_set1_pd(0.5);
+    const __m256d vone = _mm256_set1_pd(1.0);
+
+    std::size_t m = 0;
+    for (; m + 4 <= n; m += 4) {
+        __m256d vtotal = _mm256_loadu_pd(total + m);
+        const __m256d vbase = _mm256_loadu_pd(base_lat + m);
+        const __m256d vbw = _mm256_loadu_pd(usable_bw + m);
+        for (int iter = 0; iter < p.iterations; ++iter) {
+            const __m256d vq = _mm256_div_pd(
+                vtraffic, _mm256_mul_pd(vtotal, vbw));
+            const __m256d vrho = _mm256_min_pd(vq, vcap);
+            const __m256d vnum = _mm256_mul_pd(
+                _mm256_mul_pd(vhalf, vrho), vrho);
+            const __m256d vden = _mm256_sub_pd(vone, vrho);
+            const __m256d vinflated = _mm256_mul_pd(
+                vbase,
+                _mm256_add_pd(vone, _mm256_div_pd(vnum, vden)));
+            const __m256d vnext = _mm256_add_pd(
+                vcore, _mm256_div_pd(
+                           _mm256_mul_pd(vfills, vinflated), vmlp));
+            vtotal = _mm256_mul_pd(
+                vhalf, _mm256_add_pd(vtotal, vnext));
+        }
+        const __m256d vfloor_q = _mm256_div_pd(vtraffic, vbw);
+        const __m256d vfloored = _mm256_max_pd(vfloor_q, vtotal);
+        _mm256_storeu_pd(total + m, vfloored);
+        _mm256_storeu_pd(stall + m,
+                         _mm256_sub_pd(vfloored, vcore));
+        const __m256d vutil_q = _mm256_div_pd(
+            vtraffic, _mm256_mul_pd(vfloored, vbw));
+        _mm256_storeu_pd(util + m, _mm256_min_pd(vutil_q, vone));
+    }
+    for (; m < n; ++m) {
+        fixedPointOne(total[m], stall[m], util[m], base_lat[m],
+                      usable_bw[m], p);
+    }
+}
+#endif // MCDVFS_SIMD_AVX2
+
+#if MCDVFS_SIMD_NEON
+/** NEON strip: two elements per register, same op-order contract. */
+inline void
+fixedPointStripNeon(double *total, double *stall, double *util,
+                    const double *base_lat, const double *usable_bw,
+                    std::size_t n, const StripParams &p)
+{
+    const float64x2_t vcap = vdupq_n_f64(p.cap);
+    const float64x2_t vcore = vdupq_n_f64(p.coreTime);
+    const float64x2_t vfills = vdupq_n_f64(p.demandFills);
+    const float64x2_t vmlp = vdupq_n_f64(p.mlp);
+    const float64x2_t vtraffic = vdupq_n_f64(p.trafficBytes);
+    const float64x2_t vhalf = vdupq_n_f64(0.5);
+    const float64x2_t vone = vdupq_n_f64(1.0);
+
+    std::size_t m = 0;
+    for (; m + 2 <= n; m += 2) {
+        float64x2_t vtotal = vld1q_f64(total + m);
+        const float64x2_t vbase = vld1q_f64(base_lat + m);
+        const float64x2_t vbw = vld1q_f64(usable_bw + m);
+        for (int iter = 0; iter < p.iterations; ++iter) {
+            const float64x2_t vq =
+                vdivq_f64(vtraffic, vmulq_f64(vtotal, vbw));
+            const float64x2_t vrho = vminq_f64(vq, vcap);
+            const float64x2_t vnum =
+                vmulq_f64(vmulq_f64(vhalf, vrho), vrho);
+            const float64x2_t vden = vsubq_f64(vone, vrho);
+            const float64x2_t vinflated = vmulq_f64(
+                vbase, vaddq_f64(vone, vdivq_f64(vnum, vden)));
+            const float64x2_t vnext = vaddq_f64(
+                vcore,
+                vdivq_f64(vmulq_f64(vfills, vinflated), vmlp));
+            vtotal = vmulq_f64(vhalf, vaddq_f64(vtotal, vnext));
+        }
+        const float64x2_t vfloor_q = vdivq_f64(vtraffic, vbw);
+        const float64x2_t vfloored = vmaxq_f64(vfloor_q, vtotal);
+        vst1q_f64(total + m, vfloored);
+        vst1q_f64(stall + m, vsubq_f64(vfloored, vcore));
+        const float64x2_t vutil_q =
+            vdivq_f64(vtraffic, vmulq_f64(vfloored, vbw));
+        vst1q_f64(util + m, vminq_f64(vutil_q, vone));
+    }
+    for (; m < n; ++m) {
+        fixedPointOne(total[m], stall[m], util[m], base_lat[m],
+                      usable_bw[m], p);
+    }
+}
+#endif // MCDVFS_SIMD_NEON
+
+/** Dispatching strip entry point (runtime level, scalar fallback). */
+inline void
+fixedPointStrip(double *total, double *stall, double *util,
+                const double *base_lat, const double *usable_bw,
+                std::size_t n, const StripParams &p)
+{
+#if MCDVFS_SIMD_AVX2
+    if (simd::haveAvx2()) {
+        fixedPointStripAvx2(total, stall, util, base_lat, usable_bw,
+                            n, p);
+        return;
+    }
+#endif
+#if MCDVFS_SIMD_NEON
+    if (simd::haveNeon()) {
+        fixedPointStripNeon(total, stall, util, base_lat, usable_bw,
+                            n, p);
+        return;
+    }
+#endif
+    fixedPointStripScalar(total, stall, util, base_lat, usable_bw, n,
+                          p);
+}
+
+} // namespace strip
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_STRIP_KERNEL_HH

@@ -22,6 +22,11 @@ struct AnalysisCacheMetrics
     obs::Counter evictions;
     obs::Counter inserts;
     obs::Gauge entries;
+    obs::Counter checkpointHits;
+    obs::Counter checkpointMisses;
+    obs::Counter checkpointEvictions;
+    obs::Counter checkpointInserts;
+    obs::Gauge checkpointEntries;
 
     AnalysisCacheMetrics()
     {
@@ -31,6 +36,15 @@ struct AnalysisCacheMetrics
         evictions = reg.counter("svc.analysis.evictions");
         inserts = reg.counter("svc.analysis.inserts");
         entries = reg.gauge("svc.analysis.entries");
+        checkpointHits = reg.counter("svc.analysis.checkpoint_hits");
+        checkpointMisses =
+            reg.counter("svc.analysis.checkpoint_misses");
+        checkpointEvictions =
+            reg.counter("svc.analysis.checkpoint_evictions");
+        checkpointInserts =
+            reg.counter("svc.analysis.checkpoint_inserts");
+        checkpointEntries =
+            reg.gauge("svc.analysis.checkpoint_entries");
     }
 };
 
@@ -69,8 +83,9 @@ AnalysisKey::combined() const
     return hash;
 }
 
-AnalysisCache::AnalysisCache(std::size_t capacity, std::size_t shards)
-    : capacity_(capacity)
+AnalysisCache::AnalysisCache(std::size_t capacity, std::size_t shards,
+                             std::size_t checkpoint_capacity)
+    : capacity_(capacity), checkpointCapacity_(checkpoint_capacity)
 {
     if (capacity == 0)
         fatal("AnalysisCache capacity must be at least 1");
@@ -79,31 +94,57 @@ AnalysisCache::AnalysisCache(std::size_t capacity, std::size_t shards)
     // Same distribution as GridCache: cap shards so each can hold at
     // least one entry, then hand the remainder to the first shards so
     // shard capacities sum exactly to the configured total.
-    shards = std::min(shards, capacity);
-    const std::size_t base = capacity / shards;
-    const std::size_t remainder = capacity % shards;
-    shards_.reserve(shards);
-    for (std::size_t i = 0; i < shards; ++i) {
-        auto shard = std::make_unique<Shard>();
-        shard->capacity = base + (i < remainder ? 1 : 0);
-        shards_.push_back(std::move(shard));
+    const std::size_t result_shards = std::min(shards, capacity);
+    {
+        const std::size_t base = capacity / result_shards;
+        const std::size_t remainder = capacity % result_shards;
+        shards_.reserve(result_shards);
+        for (std::size_t i = 0; i < result_shards; ++i) {
+            auto shard = std::make_unique<Shard>();
+            shard->capacity = base + (i < remainder ? 1 : 0);
+            shards_.push_back(std::move(shard));
+        }
+    }
+    if (checkpointCapacity_ > 0) {
+        const std::size_t cp_shards =
+            std::min(shards, checkpointCapacity_);
+        const std::size_t base = checkpointCapacity_ / cp_shards;
+        const std::size_t remainder = checkpointCapacity_ % cp_shards;
+        checkpointShards_.reserve(cp_shards);
+        for (std::size_t i = 0; i < cp_shards; ++i) {
+            auto shard = std::make_unique<CheckpointShard>();
+            shard->capacity = base + (i < remainder ? 1 : 0);
+            checkpointShards_.push_back(std::move(shard));
+        }
     }
 }
 
 AnalysisCache::~AnalysisCache()
 {
-    // Return this instance's resident entries to the global gauge.
+    // Return this instance's resident entries to the global gauges.
     std::size_t resident = 0;
     for (const auto &shard : shards_)
         resident += shard->lru.size();
     analysisCacheMetrics().entries.add(
         -static_cast<std::int64_t>(resident));
+    std::size_t cp_resident = 0;
+    for (const auto &shard : checkpointShards_)
+        cp_resident += shard->lru.size();
+    analysisCacheMetrics().checkpointEntries.add(
+        -static_cast<std::int64_t>(cp_resident));
 }
 
 AnalysisCache::Shard &
 AnalysisCache::shardFor(const AnalysisKey &key)
 {
     return *shards_[key.combined() % shards_.size()];
+}
+
+AnalysisCache::CheckpointShard &
+AnalysisCache::checkpointShardFor(const AnalysisKey &key)
+{
+    return *checkpointShards_[key.combined() %
+                              checkpointShards_.size()];
 }
 
 std::shared_ptr<const AnalysisResult>
@@ -150,12 +191,74 @@ AnalysisCache::insert(const AnalysisKey &key,
     analysisCacheMetrics().entries.add(1);
 }
 
+std::shared_ptr<const AnalysisCheckpoint>
+AnalysisCache::findLongestCheckpoint(
+    const std::vector<AnalysisKey> &keys)
+{
+    if (checkpointShards_.empty()) {
+        checkpointMisses_.fetch_add(1, std::memory_order_relaxed);
+        analysisCacheMetrics().checkpointMisses.add(1);
+        return nullptr;
+    }
+    for (const AnalysisKey &key : keys) {
+        CheckpointShard &shard = checkpointShardFor(key);
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto it = shard.index.find(key.combined());
+        if (it == shard.index.end() || !(it->second->key == key))
+            continue;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        checkpointHits_.fetch_add(1, std::memory_order_relaxed);
+        analysisCacheMetrics().checkpointHits.add(1);
+        return it->second->checkpoint;
+    }
+    checkpointMisses_.fetch_add(1, std::memory_order_relaxed);
+    analysisCacheMetrics().checkpointMisses.add(1);
+    return nullptr;
+}
+
+void
+AnalysisCache::insertCheckpoint(
+    const AnalysisKey &key,
+    std::shared_ptr<const AnalysisCheckpoint> checkpoint)
+{
+    if (checkpointShards_.empty())
+        return;
+    CheckpointShard &shard = checkpointShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::uint64_t digest = key.combined();
+    analysisCacheMetrics().checkpointInserts.add(1);
+    const auto it = shard.index.find(digest);
+    if (it != shard.index.end()) {
+        it->second->checkpoint = std::move(checkpoint);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+        const CheckpointEntry &victim = shard.lru.back();
+        shard.index.erase(victim.key.combined());
+        shard.lru.pop_back();
+        checkpointEvictions_.fetch_add(1, std::memory_order_relaxed);
+        analysisCacheMetrics().checkpointEvictions.add(1);
+        analysisCacheMetrics().checkpointEntries.add(-1);
+    }
+    shard.lru.push_front(CheckpointEntry{key, std::move(checkpoint)});
+    shard.index.emplace(digest, shard.lru.begin());
+    analysisCacheMetrics().checkpointEntries.add(1);
+}
+
 void
 AnalysisCache::clear()
 {
     for (auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         analysisCacheMetrics().entries.add(
+            -static_cast<std::int64_t>(shard->lru.size()));
+        shard->lru.clear();
+        shard->index.clear();
+    }
+    for (auto &shard : checkpointShards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        analysisCacheMetrics().checkpointEntries.add(
             -static_cast<std::int64_t>(shard->lru.size()));
         shard->lru.clear();
         shard->index.clear();
@@ -172,6 +275,16 @@ AnalysisCache::stats() const
     for (const auto &shard : shards_) {
         std::lock_guard<std::mutex> lock(shard->mutex);
         stats.entries += shard->lru.size();
+    }
+    stats.checkpointHits =
+        checkpointHits_.load(std::memory_order_relaxed);
+    stats.checkpointMisses =
+        checkpointMisses_.load(std::memory_order_relaxed);
+    stats.checkpointEvictions =
+        checkpointEvictions_.load(std::memory_order_relaxed);
+    for (const auto &shard : checkpointShards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.checkpointEntries += shard->lru.size();
     }
     return stats;
 }

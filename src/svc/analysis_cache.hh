@@ -17,6 +17,18 @@
  * still holds.  Process-wide counters are exported as
  * svc.analysis.{hits,misses,evictions,inserts} and the
  * svc.analysis.entries gauge.
+ *
+ * Next to finished results the cache keeps a second, independently
+ * sized LRU store of AnalysisCheckpoints — resumable incremental
+ * state keyed by (grid *content prefix* digest, budget, threshold),
+ * see MeasuredGrid::prefixDigest.  A streaming workload that grew by a
+ * few samples has a different result key (its full fingerprint
+ * changed) but shares every prefix digest with its shorter past, so
+ * the service can find the longest checkpointed prefix and analyze
+ * only the tail.  Checkpoint counters are exported as
+ * svc.analysis.checkpoint_{hits,misses,evictions,inserts} and the
+ * svc.analysis.checkpoint_entries gauge; one findLongestCheckpoint
+ * walk counts a single hit or miss however many prefixes it probes.
  */
 
 #ifndef MCDVFS_SVC_ANALYSIS_CACHE_HH
@@ -30,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/incremental_analysis.hh"
 #include "core/stable_regions.hh"
 
 namespace mcdvfs
@@ -71,15 +84,24 @@ class AnalysisCache
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::size_t entries = 0;
+        /** Checkpoint-store counters (one hit/miss per prefix walk). */
+        std::uint64_t checkpointHits = 0;
+        std::uint64_t checkpointMisses = 0;
+        std::uint64_t checkpointEvictions = 0;
+        std::size_t checkpointEntries = 0;
     };
 
     /**
      * @param capacity maximum cached analyses across all shards (>= 1)
      * @param shards number of independently locked shards (>= 1);
      *        per-shard capacities sum exactly to @c capacity
+     * @param checkpoint_capacity maximum resumable checkpoints across
+     *        all shards; 0 disables the checkpoint store (every walk
+     *        misses, inserts are dropped)
      * @throws FatalError for a zero capacity or shard count
      */
-    explicit AnalysisCache(std::size_t capacity, std::size_t shards = 8);
+    explicit AnalysisCache(std::size_t capacity, std::size_t shards = 8,
+                           std::size_t checkpoint_capacity = 64);
 
     ~AnalysisCache();
 
@@ -96,11 +118,31 @@ class AnalysisCache
     void insert(const AnalysisKey &key,
                 std::shared_ptr<const AnalysisResult> result);
 
-    /** Drop every entry (counters are kept). */
+    /**
+     * Find the checkpoint of the longest cached prefix.  @c keys must
+     * be ordered longest prefix first (the caller builds them from
+     * MeasuredGrid::prefixDigest, all sharing budget and threshold);
+     * the first key present wins and has its LRU position refreshed.
+     * The whole walk counts one checkpoint hit or one miss, however
+     * many prefixes it probes.  Returns nullptr on miss.
+     */
+    std::shared_ptr<const AnalysisCheckpoint> findLongestCheckpoint(
+        const std::vector<AnalysisKey> &keys);
+
+    /**
+     * Insert (or refresh) a resumable checkpoint under the digest of
+     * the prefix it covers.  Dropped when the store is disabled.
+     */
+    void insertCheckpoint(
+        const AnalysisKey &key,
+        std::shared_ptr<const AnalysisCheckpoint> checkpoint);
+
+    /** Drop every entry, results and checkpoints (counters kept). */
     void clear();
 
     Stats stats() const;
     std::size_t capacity() const { return capacity_; }
+    std::size_t checkpointCapacity() const { return checkpointCapacity_; }
     std::size_t shardCount() const { return shards_.size(); }
 
   private:
@@ -123,13 +165,37 @@ class AnalysisCache
             index;
     };
 
+    /** Checkpoint-store sibling of Shard (own LRU + index + lock). */
+    struct CheckpointEntry
+    {
+        AnalysisKey key;
+        std::shared_ptr<const AnalysisCheckpoint> checkpoint;
+    };
+
+    struct CheckpointShard
+    {
+        std::mutex mutex;
+        std::size_t capacity = 1;
+        /** Front = most recently used. */
+        std::list<CheckpointEntry> lru;
+        std::unordered_map<std::uint64_t,
+                           std::list<CheckpointEntry>::iterator>
+            index;
+    };
+
     Shard &shardFor(const AnalysisKey &key);
+    CheckpointShard &checkpointShardFor(const AnalysisKey &key);
 
     std::size_t capacity_;
+    std::size_t checkpointCapacity_;
     std::vector<std::unique_ptr<Shard>> shards_;
+    std::vector<std::unique_ptr<CheckpointShard>> checkpointShards_;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> checkpointHits_{0};
+    std::atomic<std::uint64_t> checkpointMisses_{0};
+    std::atomic<std::uint64_t> checkpointEvictions_{0};
 };
 
 } // namespace svc

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "core/incremental_analysis.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
 #include "svc/fingerprint.hh"
@@ -54,7 +55,8 @@ CharacterizationService::CharacterizationService(const SystemConfig &config,
     : config_(config), configFingerprint_(fingerprintConfig(config)),
       pool_(std::max<std::size_t>(1, options.jobs)),
       cache_(options.cacheCapacity, options.cacheShards),
-      analysisCache_(options.analysisCapacity, options.analysisShards)
+      analysisCache_(options.analysisCapacity, options.analysisShards,
+                     options.checkpointCapacity)
 {
 }
 
@@ -182,23 +184,77 @@ CharacterizationService::analyze(const TuningRequest &request,
     if (cached == nullptr) {
         InefficiencyAnalysis analysis(*grid);
         OptimalSettingsFinder finder(analysis);
-        ClusterFinder cluster_finder(finder);
-        StableRegionFinder region_finder(cluster_finder);
 
         auto fresh = std::make_shared<AnalysisResult>();
         if (SettingMask::supports(grid->settingCount())) {
-            // One mask-table pass feeds all three outputs, with the
-            // per-sample kernel fanned over the pool (bit-identical to
-            // the serial scalar chain; parallelFor is nest-safe, so
-            // this is fine from a batch worker too).
-            const ClusterTable table = cluster_finder.table(
-                request.budget, request.threshold, &pool_);
-            fresh->optimal = table.optimal;
-            fresh->clusters.reserve(table.sampleCount());
-            for (std::size_t s = 0; s < table.sampleCount(); ++s)
-                fresh->clusters.push_back(table.materialize(s));
-            fresh->regions = region_finder.fromTable(table);
+            const std::size_t samples = grid->sampleCount();
+
+            // Streaming resume: probe the checkpoint store for the
+            // longest analyzed content prefix of this grid.  A grown
+            // workload misses the result cache (its full fingerprint
+            // changed) but shares every prefix digest with its past.
+            const bool streaming =
+                analysisCache_.checkpointCapacity() > 0;
+            std::vector<AnalysisKey> prefix_keys;
+            std::shared_ptr<const AnalysisCheckpoint> resumed;
+            if (streaming) {
+                prefix_keys.reserve(samples);
+                for (std::size_t len = samples; len >= 1; --len)
+                    prefix_keys.push_back(
+                        AnalysisKey{grid->prefixDigest(len),
+                                    request.budget, request.threshold});
+                resumed =
+                    analysisCache_.findLongestCheckpoint(prefix_keys);
+            }
+
+            if (resumed != nullptr) {
+                // Clone the checkpoint and analyze only the tail:
+                // the range ClusterFinder fills [resumed, samples),
+                // extend() feeds the same fill kernel and region
+                // builder the from-scratch path runs, so the result
+                // is bit-identical to a full recompute.
+                obs::traceInstant("svc.analysis_resumed");
+                auto cp =
+                    std::make_shared<AnalysisCheckpoint>(*resumed);
+                ClusterFinder cluster_finder(finder, cp->samples);
+                IncrementalAnalyzer::extend(*cp, cluster_finder,
+                                            samples);
+                fresh->optimal = cp->optimal;
+                fresh->clusters.reserve(samples);
+                for (std::size_t s = 0; s < samples; ++s)
+                    fresh->clusters.push_back(
+                        IncrementalAnalyzer::materializeCluster(
+                            cp->optimal[s], cp->masks[s]));
+                fresh->regions = cp->regions.regions(grid->space());
+                result.analysisResumed = true;
+                result.resumedFromSamples = resumed->samples;
+                analysisCache_.insertCheckpoint(prefix_keys.front(),
+                                                std::move(cp));
+            } else {
+                // One mask-table pass feeds all three outputs, with
+                // the per-sample kernel fanned over the pool
+                // (bit-identical to the serial scalar chain;
+                // parallelFor is nest-safe, so this is fine from a
+                // batch worker too).
+                ClusterFinder cluster_finder(finder);
+                StableRegionFinder region_finder(cluster_finder);
+                const ClusterTable table = cluster_finder.table(
+                    request.budget, request.threshold, &pool_);
+                fresh->optimal = table.optimal;
+                fresh->clusters.reserve(table.sampleCount());
+                for (std::size_t s = 0; s < table.sampleCount(); ++s)
+                    fresh->clusters.push_back(table.materialize(s));
+                fresh->regions = region_finder.fromTable(table);
+                if (streaming)
+                    analysisCache_.insertCheckpoint(
+                        prefix_keys.front(),
+                        std::make_shared<AnalysisCheckpoint>(
+                            IncrementalAnalyzer::fromTable(
+                                grid->space(), table)));
+            }
         } else {
+            ClusterFinder cluster_finder(finder);
+            StableRegionFinder region_finder(cluster_finder);
             fresh->optimal = finder.optimalTrajectory(request.budget);
             fresh->clusters = cluster_finder.clusters(request.budget,
                                                       request.threshold);

@@ -20,7 +20,13 @@
  *    instead of duplicating it;
  *  - finished analyses land in a second sharded LRU cache keyed by
  *    (grid fingerprint, budget, threshold), so repeated tuning
- *    requests skip the §V/§VI analysis chain as well.
+ *    requests skip the §V/§VI analysis chain as well;
+ *  - streaming workloads resume: when the result cache misses, the
+ *    service probes the analysis cache's checkpoint store for the
+ *    longest already-analyzed *content prefix* of the grid
+ *    (MeasuredGrid::prefixDigest) and extends it over just the new
+ *    samples (core/incremental_analysis.hh), bit-identical to a full
+ *    recompute.
  */
 
 #ifndef MCDVFS_SVC_CHARACTERIZATION_SERVICE_HH
@@ -79,6 +85,14 @@ struct TuningResult
      * instead of being recomputed for this request.
      */
     bool analysisCacheHit = false;
+    /**
+     * True when the analysis resumed from a cached incremental
+     * checkpoint of a sample prefix instead of recomputing the full
+     * history; resumedFromSamples is the prefix length it resumed
+     * from (0 when not resumed).
+     */
+    bool analysisResumed = false;
+    std::size_t resumedFromSamples = 0;
 };
 
 /** Sizing knobs of a CharacterizationService. */
@@ -98,6 +112,11 @@ struct ServiceOptions
     std::size_t analysisCapacity = 64;
     /** Analysis-cache shards (lock granularity). */
     std::size_t analysisShards = 8;
+    /**
+     * Incremental-analysis checkpoints kept by the analysis cache's
+     * checkpoint store; 0 disables streaming resume entirely.
+     */
+    std::size_t checkpointCapacity = 64;
 };
 
 /** Thread-pooled, grid-cached tuning service. */

@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Golden bit-identity tests for the explicit vector kernels.
+ *
+ * Every AVX2/NEON path in the repo — SettingMask::filterGE and
+ * andInplaceAny, the ClusterFinder compare passes, the grid kernel's
+ * fixed-point strip — must produce exactly the bits of its scalar
+ * fallback.  These tests pin that: each runs the scalar path (via
+ * simd::forceLevel) and the best active path over the same inputs and
+ * compares bit for bit, across noise settings, serial and pooled
+ * sweeps, and the budget x threshold grids the figure benches use
+ * (fig04/05 clusters, fig09 region lengths, fig12 step sensitivity).
+ *
+ * In a default (non-MCDVFS_NATIVE) build no vector path is compiled,
+ * forceLevel clamps every request to Scalar, and the tests compare the
+ * scalar path against itself — trivially green, still exercising the
+ * dispatch plumbing.
+ */
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd.hh"
+#include "core/analysis_sweep.hh"
+#include "core/reference_analysis.hh"
+#include "exec/thread_pool.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+/** Pins the dispatch level for one scope, restoring on exit. */
+class LevelGuard
+{
+  public:
+    explicit LevelGuard(simd::Level level)
+        : previous_(simd::level())
+    {
+        simd::forceLevel(level);
+    }
+    ~LevelGuard() { simd::forceLevel(previous_); }
+
+  private:
+    simd::Level previous_;
+};
+
+/** The best level the build + CPU provide (what auto resolves to). */
+simd::Level
+bestLevel()
+{
+    return simd::forceLevel(simd::Level::Avx2);
+}
+
+/** Sweep points covering the fig04/05/09/12 budget x threshold use. */
+std::vector<SweepPoint>
+figureSweepPoints()
+{
+    std::vector<SweepPoint> points;
+    for (const double budget : {1.0, 1.1, 1.3, 1.6}) {
+        for (const double threshold : {0.01, 0.03, 0.05})
+            points.push_back({budget, threshold});
+    }
+    return points;
+}
+
+MeasuredGrid
+buildGrid(const WorkloadProfile &workload, double noise)
+{
+    SystemConfig config = test::fastSystemConfig();
+    config.measurementNoise = noise;
+    GridRunner runner(config);
+    return runner.run(workload, SettingsSpace::coarse());
+}
+
+void
+expectGridsIdentical(const MeasuredGrid &a, const MeasuredGrid &b)
+{
+    ASSERT_EQ(a.sampleCount(), b.sampleCount());
+    ASSERT_EQ(a.settingCount(), b.settingCount());
+    for (std::size_t s = 0; s < a.sampleCount(); ++s) {
+        for (std::size_t k = 0; k < a.settingCount(); ++k) {
+            const GridCell ca = a.cell(s, k);
+            const GridCell cb = b.cell(s, k);
+            ASSERT_EQ(ca.seconds, cb.seconds)
+                << "seconds at (" << s << ", " << k << ")";
+            ASSERT_EQ(ca.cpuEnergy, cb.cpuEnergy)
+                << "cpuEnergy at (" << s << ", " << k << ")";
+            ASSERT_EQ(ca.memEnergy, cb.memEnergy)
+                << "memEnergy at (" << s << ", " << k << ")";
+            ASSERT_EQ(ca.busyFrac, cb.busyFrac)
+                << "busyFrac at (" << s << ", " << k << ")";
+            ASSERT_EQ(ca.bwUtil, cb.bwUtil)
+                << "bwUtil at (" << s << ", " << k << ")";
+        }
+    }
+}
+
+void
+expectChoicesIdentical(const OptimalChoice &a, const OptimalChoice &b)
+{
+    ASSERT_EQ(a.settingIndex, b.settingIndex);
+    ASSERT_TRUE(a.setting == b.setting);
+    ASSERT_EQ(a.speedup, b.speedup);
+    ASSERT_EQ(a.inefficiency, b.inefficiency);
+}
+
+void
+expectRegionsIdentical(const std::vector<StableRegion> &a,
+                       const std::vector<StableRegion> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].first, b[i].first);
+        ASSERT_EQ(a[i].last, b[i].last);
+        ASSERT_EQ(a[i].availableSettings, b[i].availableSettings);
+        ASSERT_EQ(a[i].chosenSettingIndex, b[i].chosenSettingIndex);
+        ASSERT_TRUE(a[i].chosenSetting == b[i].chosenSetting);
+    }
+}
+
+void
+expectSweepsIdentical(const std::vector<SweepResult> &a,
+                      const std::vector<SweepResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t p = 0; p < a.size(); ++p) {
+        ASSERT_EQ(a[p].table.masks, b[p].table.masks)
+            << "masks diverge at point " << p;
+        ASSERT_EQ(a[p].table.sampleCount(), b[p].table.sampleCount());
+        for (std::size_t s = 0; s < a[p].table.sampleCount(); ++s) {
+            expectChoicesIdentical(a[p].table.optimal[s],
+                                   b[p].table.optimal[s]);
+        }
+        expectRegionsIdentical(a[p].regions, b[p].regions);
+    }
+}
+
+TEST(SimdDispatch, ForceLevelClampsAndRestores)
+{
+    const simd::Level best = bestLevel();
+    EXPECT_EQ(simd::forceLevel(simd::Level::Scalar),
+              simd::Level::Scalar);
+    EXPECT_EQ(simd::level(), simd::Level::Scalar);
+    EXPECT_FALSE(simd::haveAvx2());
+    EXPECT_FALSE(simd::haveNeon());
+    // Requesting more than the build/CPU provide clamps to the best.
+    EXPECT_EQ(simd::forceLevel(simd::Level::Avx2), best);
+    EXPECT_EQ(simd::level(), best);
+}
+
+TEST(SimdGolden, FilterGEMatchesScalar)
+{
+    // Values exercising ties, infinities and NaN: the GE compare must
+    // behave identically in every lane (ordered-quiet: NaN drops out).
+    const std::size_t n = 131;  // odd size exercises the scalar tail
+    std::vector<double> values(n);
+    SettingMask mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        values[i] = 0.1 * static_cast<double>(i % 23) - 1.0;
+        if (i % 17 == 0)
+            values[i] = std::numeric_limits<double>::quiet_NaN();
+        if (i % 13 == 0)
+            values[i] = 0.5;  // exact tie with one cutoff below
+        if (i % 3 != 0)
+            mask.set(i);
+    }
+    for (const double cutoff :
+         {0.5, 0.0, -2.0, std::numeric_limits<double>::infinity()}) {
+        SettingMask scalar_out(0);
+        {
+            LevelGuard guard(simd::Level::Scalar);
+            scalar_out = mask.filterGE(values.data(), cutoff);
+        }
+        LevelGuard guard(bestLevel());
+        const SettingMask best_out = mask.filterGE(values.data(), cutoff);
+        EXPECT_EQ(scalar_out, best_out) << "cutoff " << cutoff;
+    }
+}
+
+TEST(SimdGolden, AndInplaceAnyMatchesScalar)
+{
+    const std::size_t n = 200;
+    SettingMask a(n);
+    SettingMask b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 2 == 0)
+            a.set(i);
+        if (i % 3 == 0)
+            b.set(i);
+    }
+    SettingMask scalar_a = a;
+    bool scalar_any = false;
+    {
+        LevelGuard guard(simd::Level::Scalar);
+        scalar_any = scalar_a.andInplaceAny(b);
+    }
+    LevelGuard guard(bestLevel());
+    SettingMask best_a = a;
+    EXPECT_EQ(best_a.andInplaceAny(b), scalar_any);
+    EXPECT_EQ(best_a, scalar_a);
+
+    // Disjoint masks: the survived report must also agree on empty.
+    SettingMask odd(n);
+    SettingMask even(n);
+    for (std::size_t i = 0; i < n; ++i)
+        (i % 2 ? odd : even).set(i);
+    EXPECT_FALSE(odd.andInplaceAny(even));
+    EXPECT_TRUE(odd.none());
+}
+
+TEST(SimdGolden, GridBuildBitIdenticalAcrossLevels)
+{
+    for (const double noise : {0.0, 0.02}) {
+        for (const WorkloadProfile &workload :
+             {test::phasedWorkload(), test::steadyWorkload()}) {
+            MeasuredGrid scalar_grid = [&] {
+                LevelGuard guard(simd::Level::Scalar);
+                return buildGrid(workload, noise);
+            }();
+            LevelGuard guard(bestLevel());
+            const MeasuredGrid best_grid = buildGrid(workload, noise);
+            expectGridsIdentical(scalar_grid, best_grid);
+            EXPECT_EQ(scalar_grid.prefixDigest(
+                          scalar_grid.sampleCount()),
+                      best_grid.prefixDigest(best_grid.sampleCount()));
+        }
+    }
+}
+
+TEST(SimdGolden, AnalysisSweepBitIdenticalSerialAndPooled)
+{
+    const std::vector<SweepPoint> points = figureSweepPoints();
+    for (const WorkloadProfile &workload :
+         {test::phasedWorkload(), test::steadyWorkload()}) {
+        // One grid (built under the scalar level) feeds every sweep,
+        // so any divergence below is the analysis kernel's.
+        LevelGuard scalar_guard(simd::Level::Scalar);
+        const MeasuredGrid grid = buildGrid(workload, 0.01);
+        InefficiencyAnalysis analysis(grid);
+        OptimalSettingsFinder finder(analysis);
+        ClusterFinder clusters(finder);
+        AnalysisSweep sweep(clusters);
+
+        const std::vector<SweepResult> scalar_serial =
+            sweep.run(points);
+
+        LevelGuard best_guard(bestLevel());
+        expectSweepsIdentical(scalar_serial, sweep.run(points));
+        exec::ThreadPool pool(3);
+        expectSweepsIdentical(scalar_serial,
+                              sweep.run(points, &pool));
+    }
+}
+
+TEST(SimdGolden, VectorKernelsMatchScalarReference)
+{
+    // The scalar reference chain (core/reference_analysis) is the
+    // oracle the bitset kernel is pinned to; run it against the best
+    // vector level directly.
+    LevelGuard guard(bestLevel());
+    const MeasuredGrid &grid = test::phasedGrid();
+    const SettingsSpace space = SettingsSpace::coarse();
+    InefficiencyAnalysis analysis(grid);
+    OptimalSettingsFinder finder(analysis);
+    ClusterFinder clusters(finder);
+    StableRegionFinder region_finder(clusters);
+
+    for (const SweepPoint &point : figureSweepPoints()) {
+        const ClusterTable table =
+            clusters.table(point.budget, point.threshold);
+        const std::vector<PerformanceCluster> reference =
+            referenceClusters(finder, point.budget, point.threshold);
+        ASSERT_EQ(table.sampleCount(), reference.size());
+        for (std::size_t s = 0; s < reference.size(); ++s) {
+            const PerformanceCluster cluster = table.materialize(s);
+            expectChoicesIdentical(cluster.optimal,
+                                   reference[s].optimal);
+            ASSERT_EQ(cluster.settings, reference[s].settings);
+        }
+        expectRegionsIdentical(
+            region_finder.fromTable(table),
+            referenceStableRegions(space, reference));
+    }
+}
+
+} // namespace
+} // namespace mcdvfs

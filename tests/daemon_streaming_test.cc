@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Streaming-resume tests at the daemon layer: a fleet of workloads
+ * grows a few samples between batches, grown requests land
+ * concurrently from several submitter threads, and the daemon's
+ * analysis stage must resume them from the checkpoint store without
+ * changing a single result bit.  This is also the TSan target for the
+ * checkpoint store: concurrent batch groups probe, clone and insert
+ * checkpoints under load (scripts/sanitize.sh).
+ */
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "daemon/tuning_daemon.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+/** One steady fleet device, parameterized by name and history length:
+ *  growing @c samples keeps every earlier sample bit-identical, which
+ *  is what lets the daemon resume the analysis from a prefix
+ *  checkpoint. */
+WorkloadProfile
+deviceWorkload(const std::string &name, std::uint64_t seed,
+               std::size_t samples)
+{
+    PhaseSpec spec;
+    spec.name = "steady";
+    spec.hotFrac = 0.94;
+    spec.warmFrac = 0.05;
+    return WorkloadProfile(
+        name, samples, [spec](std::size_t) { return spec; }, seed,
+        /*jitter=*/0.01);
+}
+
+svc::TuningRequest
+requestFor(const WorkloadProfile &workload, double budget)
+{
+    return svc::TuningRequest{workload, SettingsSpace::coarse(), budget,
+                              0.03};
+}
+
+TEST(DaemonStreaming, ConcurrentGrownRequestsResumeFromCheckpoints)
+{
+    daemon::DaemonOptions options;
+    options.service.jobs = 3;
+    daemon::TuningDaemon daemon(test::fastSystemConfig(), options);
+
+    const std::vector<std::pair<std::string, std::uint64_t>> devices = {
+        {"dev-a", 101}, {"dev-b", 202}, {"dev-c", 303}};
+    const std::vector<double> budgets = {1.2, 1.4};
+
+    // Wave 1: every device's first 8 samples, at every budget.  These
+    // full computes leave a checkpoint per (grid prefix, budget,
+    // threshold) behind.
+    std::vector<std::future<daemon::DaemonResponse>> wave1;
+    for (const auto &[name, seed] : devices) {
+        for (const double budget : budgets) {
+            wave1.push_back(daemon.submit(
+                requestFor(deviceWorkload(name, seed, 8), budget)));
+        }
+    }
+    for (auto &future : wave1)
+        ASSERT_TRUE(future.get().ok());
+    EXPECT_EQ(daemon.stats().analysisResumed, 0u);
+
+    // Wave 2: the fleet reports grown histories, submitted from
+    // several threads at once so batch groups race on the checkpoint
+    // store.  Each grown grid has a new fingerprint (result-cache
+    // miss) but digests identically over its first 8 samples.
+    std::vector<std::future<daemon::DaemonResponse>> wave2;
+    std::mutex wave2_mutex;
+    std::vector<std::thread> submitters;
+    for (const auto &[name, seed] : devices) {
+        submitters.emplace_back([&, name = name, seed = seed] {
+            for (const std::size_t grown : {std::size_t{10},
+                                            std::size_t{12}}) {
+                for (const double budget : budgets) {
+                    auto future = daemon.submit(requestFor(
+                        deviceWorkload(name, seed, grown), budget));
+                    std::lock_guard<std::mutex> lock(wave2_mutex);
+                    wave2.push_back(std::move(future));
+                }
+            }
+        });
+    }
+    for (std::thread &submitter : submitters)
+        submitter.join();
+
+    std::vector<daemon::DaemonResponse> responses;
+    for (auto &future : wave2) {
+        responses.push_back(future.get());
+        ASSERT_TRUE(responses.back().ok());
+    }
+    daemon.drain();
+
+    // Every grown request had an 8-sample (or longer) checkpointed
+    // prefix available; at least one must have resumed (coalesced
+    // duplicates and timing may dedupe the rest).
+    EXPECT_GE(daemon.stats().analysisResumed, 1u);
+
+    // Resumed analyses must be bit-identical to a from-scratch
+    // service with the checkpoint store disabled.
+    svc::ServiceOptions control_options;
+    control_options.checkpointCapacity = 0;
+    svc::CharacterizationService control(test::fastSystemConfig(),
+                                         control_options);
+    std::size_t resumed_seen = 0;
+    for (const daemon::DaemonResponse &response : responses) {
+        if (!response.result.analysisResumed)
+            continue;
+        ++resumed_seen;
+        EXPECT_GE(response.result.resumedFromSamples, 8u);
+        // Rebuild the request from the response's grid: name and
+        // length identify the device and how far it had grown.
+        const svc::TuningResult &got = response.result;
+        const std::uint64_t seed =
+            got.grid->workload() == "dev-a"   ? 101
+            : got.grid->workload() == "dev-b" ? 202
+                                              : 303;
+        const svc::TuningRequest request{
+            deviceWorkload(got.grid->workload(), seed,
+                           got.grid->sampleCount()),
+            SettingsSpace::coarse(), got.budget, got.threshold};
+        const svc::TuningResult oracle = control.submit(request);
+        ASSERT_EQ(got.optimal.size(), oracle.optimal.size());
+        for (std::size_t s = 0; s < oracle.optimal.size(); ++s) {
+            ASSERT_EQ(got.optimal[s].settingIndex,
+                      oracle.optimal[s].settingIndex);
+            ASSERT_EQ(got.optimal[s].speedup, oracle.optimal[s].speedup);
+            ASSERT_EQ(got.optimal[s].inefficiency,
+                      oracle.optimal[s].inefficiency);
+        }
+        ASSERT_EQ(got.clusters.size(), oracle.clusters.size());
+        for (std::size_t s = 0; s < oracle.clusters.size(); ++s) {
+            ASSERT_EQ(got.clusters[s].settings,
+                      oracle.clusters[s].settings);
+        }
+        ASSERT_EQ(got.regions.size(), oracle.regions.size());
+        for (std::size_t i = 0; i < oracle.regions.size(); ++i) {
+            ASSERT_EQ(got.regions[i].first, oracle.regions[i].first);
+            ASSERT_EQ(got.regions[i].last, oracle.regions[i].last);
+            ASSERT_EQ(got.regions[i].availableSettings,
+                      oracle.regions[i].availableSettings);
+            ASSERT_EQ(got.regions[i].chosenSettingIndex,
+                      oracle.regions[i].chosenSettingIndex);
+        }
+    }
+    EXPECT_EQ(resumed_seen, daemon.stats().analysisResumed);
+}
+
+TEST(DaemonStreaming, DisabledCheckpointStoreNeverResumes)
+{
+    daemon::DaemonOptions options;
+    options.service.jobs = 2;
+    options.service.checkpointCapacity = 0;
+    daemon::TuningDaemon daemon(test::fastSystemConfig(), options);
+
+    auto base = daemon.submit(
+        requestFor(deviceWorkload("dev-z", 7, 8), 1.3));
+    ASSERT_TRUE(base.get().ok());
+    auto grown = daemon.submit(
+        requestFor(deviceWorkload("dev-z", 7, 12), 1.3));
+    const daemon::DaemonResponse response = grown.get();
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response.result.analysisResumed);
+    daemon.drain();
+    EXPECT_EQ(daemon.stats().analysisResumed, 0u);
+}
+
+} // namespace
+} // namespace mcdvfs

@@ -519,7 +519,9 @@ cmdTune(const ArgParser &args)
         service.analysisStats();
     std::cout << "analysis cache: " << analysis_stats.hits << " hits, "
               << analysis_stats.misses << " misses, "
-              << analysis_stats.evictions << " evictions\n";
+              << analysis_stats.evictions << " evictions; checkpoints: "
+              << analysis_stats.checkpointHits << " hits, "
+              << analysis_stats.checkpointMisses << " misses\n";
     if (server != nullptr) {
         const daemon::DaemonStats stats = server->stats();
         std::cout << "daemon: " << stats.completed << " completed, "
