@@ -64,13 +64,17 @@ ClusterFinder::ClusterFinder(const OptimalSettingsFinder &finder,
         const double *sec = grid.secondsRow(s);
         const double *cpu = grid.cpuEnergyRow(s);
         const double *mem = grid.memEnergyRow(s);
+        const double *gpu = grid.gpuEnergyRow(s);
         double *spd =
             speedups_.data() + (s - tableFirst_) * settings;
         double *ineff =
             inefficiencies_.data() + (s - tableFirst_) * settings;
         for (std::size_t k = 0; k < settings; ++k) {
             spd[k] = slowest / sec[k];
-            ineff[k] = (cpu[k] + mem[k]) / emin;
+            // Same association as MeasuredGrid::energyAt: the GPU
+            // column is +0.0 on two-domain grids, so their bits are
+            // untouched.
+            ineff[k] = ((cpu[k] + mem[k]) + gpu[k]) / emin;
         }
     }
 }

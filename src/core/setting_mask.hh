@@ -1,23 +1,30 @@
 /**
  * @file
- * Fixed-capacity bitset over the settings space.
+ * Tiered-capacity bitset over the settings space.
  *
  * The analysis layer's sets — "which settings are feasible under this
  * budget", "which settings are in this sample's performance cluster",
  * "which settings are still common to every sample of this stable
  * region" — are all subsets of one settings space, whose size is small
- * and fixed per grid (70 coarse, 496 fine).  SettingMask represents
- * such a subset as 64-bit words held inline (no allocation), so
- * membership is one shift+AND, cluster size is a popcount, and the
- * stable-region growth step — previously a sorted-vector
- * set_intersection — collapses to a handful of word-wise ANDs.  This
- * is the dense-bitmap representation kernel cpufreq/devfreq code uses
- * for frequency-table masks, applied to the paper's §V/§VI machinery.
+ * and fixed per grid (70 coarse, 496 fine, 560 with the GPU domain).
+ * SettingMask represents such a subset as 64-bit words, so membership
+ * is one shift+AND, cluster size is a popcount, and the stable-region
+ * growth step — previously a sorted-vector set_intersection —
+ * collapses to a handful of word-wise ANDs.  This is the dense-bitmap
+ * representation kernel cpufreq/devfreq code uses for frequency-table
+ * masks, applied to the paper's §V/§VI machinery.
  *
- * Capacity is a compile-time constant covering both paper spaces with
- * headroom.  Callers handling arbitrary spaces check supports() and
- * fall back to the scalar reference path (core/reference_analysis.hh)
- * beyond it.
+ * Storage is tiered: spaces up to kCapacity (512) live in an inline
+ * word array with exactly kWords words — no allocation, and every loop
+ * runs the same trip count it always has, which is what keeps the
+ * 1-2-word fast path bit-identical to the fixed-capacity mask
+ * (core_simd_golden_test pins this).  Larger spaces (a 3-domain
+ * CPU x mem x GPU cross product) spill to a heap word vector sized to
+ * the space, rounded up to a whole number of 256-bit registers so the
+ * AVX2 kernels never need a scalar tail.  supports() now only excludes
+ * absurd sizes (kMaxCapacity); callers handling arbitrary spaces still
+ * check it and fall back to the scalar reference path
+ * (core/reference_analysis.hh) beyond it.
  */
 
 #ifndef MCDVFS_CORE_SETTING_MASK_HH
@@ -28,6 +35,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/simd.hh"
@@ -35,14 +43,16 @@
 namespace mcdvfs
 {
 
-/** Fixed-capacity bitset of setting indices, one bit per setting. */
+/** Tiered-capacity bitset of setting indices, one bit per setting. */
 class SettingMask
 {
   public:
-    /** Largest representable settings space (fine space is 496). */
+    /** Largest space the inline (no-allocation) tier holds. */
     static constexpr std::size_t kCapacity = 512;
-    /** Inline 64-bit words backing the bits. */
+    /** Inline 64-bit words backing the bits of the inline tier. */
     static constexpr std::size_t kWords = kCapacity / 64;
+    /** Largest representable settings space across both tiers. */
+    static constexpr std::size_t kMaxCapacity = std::size_t{1} << 20;
     /** firstSet() result when no bit is set. */
     static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 
@@ -52,61 +62,83 @@ class SettingMask
     /**
      * Empty mask over a @c size -setting space.
      *
-     * @throws FatalError when @c size exceeds kCapacity
+     * @throws FatalError when @c size exceeds kMaxCapacity
      */
     explicit SettingMask(std::size_t size)
         : size_(size)
     {
-        if (size > kCapacity) {
+        if (size > kMaxCapacity) {
             fatal("SettingMask: settings space of ", size,
-                  " exceeds the mask capacity of ", kCapacity);
+                  " exceeds the mask capacity of ", kMaxCapacity);
         }
+        if (size > kCapacity)
+            heap_.assign(heapWords(size), 0);
     }
 
     /** True when a @c settings -sized space fits in the mask. */
     static bool
     supports(std::size_t settings)
     {
-        return settings <= kCapacity;
+        return settings <= kMaxCapacity;
     }
 
     /** Number of settings in the space (bit positions in use). */
     std::size_t size() const { return size_; }
 
+    /**
+     * Backing words in use: always kWords for the inline tier (so the
+     * small-space loops keep their historical trip count), the
+     * rounded-up heap size beyond it.  Trailing words past size() are
+     * zero in both tiers.
+     */
+    std::size_t
+    wordCount() const
+    {
+        return heap_.empty() ? kWords : heap_.size();
+    }
+
     void
     set(std::size_t idx)
     {
         MCDVFS_DEBUG_ASSERT(idx < size_, "mask index out of range");
-        words_[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
+        words()[idx >> 6] |= (std::uint64_t{1} << (idx & 63));
     }
 
     void
     reset(std::size_t idx)
     {
         MCDVFS_DEBUG_ASSERT(idx < size_, "mask index out of range");
-        words_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
+        words()[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
     }
 
     bool
     test(std::size_t idx) const
     {
         MCDVFS_DEBUG_ASSERT(idx < size_, "mask index out of range");
-        return (words_[idx >> 6] >> (idx & 63)) & 1;
+        return (words()[idx >> 6] >> (idx & 63)) & 1;
     }
 
     /** Clear every bit (size is kept). */
     void
     clear()
     {
-        words_.fill(0);
+        if (heap_.empty())
+            inline_.fill(0);
+        else
+            std::fill(heap_.begin(), heap_.end(), 0);
     }
 
     /** Word-wise intersection: this &= other. */
     void
     andInplace(const SettingMask &other)
     {
-        for (std::size_t w = 0; w < kWords; ++w)
-            words_[w] &= other.words_[w];
+        MCDVFS_DEBUG_ASSERT(size_ == other.size_,
+                            "mask spaces differ");
+        std::uint64_t *w = words();
+        const std::uint64_t *o = other.words();
+        const std::size_t n = wordCount();
+        for (std::size_t i = 0; i < n; ++i)
+            w[i] &= o[i];
     }
 
     /**
@@ -118,28 +150,35 @@ class SettingMask
     bool
     andInplaceAny(const SettingMask &other)
     {
+        MCDVFS_DEBUG_ASSERT(size_ == other.size_,
+                            "mask spaces differ");
+        std::uint64_t *w = words();
+        const std::uint64_t *o = other.words();
+        const std::size_t n = wordCount();
 #if MCDVFS_SIMD_AVX2
         if (simd::haveAvx2()) {
+            // Both tiers hold whole 256-bit registers: the inline
+            // array by the static_assert, the heap tier by
+            // heapWords() rounding up.
             static_assert(kWords % 4 == 0, "whole-register words");
             __m256i acc = _mm256_setzero_si256();
-            for (std::size_t w = 0; w < kWords; w += 4) {
+            for (std::size_t i = 0; i < n; i += 4) {
                 const __m256i a = _mm256_loadu_si256(
-                    reinterpret_cast<const __m256i *>(&words_[w]));
+                    reinterpret_cast<const __m256i *>(&w[i]));
                 const __m256i b = _mm256_loadu_si256(
-                    reinterpret_cast<const __m256i *>(
-                        &other.words_[w]));
+                    reinterpret_cast<const __m256i *>(&o[i]));
                 const __m256i anded = _mm256_and_si256(a, b);
                 _mm256_storeu_si256(
-                    reinterpret_cast<__m256i *>(&words_[w]), anded);
+                    reinterpret_cast<__m256i *>(&w[i]), anded);
                 acc = _mm256_or_si256(acc, anded);
             }
             return !_mm256_testz_si256(acc, acc);
         }
 #endif
         std::uint64_t survived = 0;
-        for (std::size_t w = 0; w < kWords; ++w) {
-            words_[w] &= other.words_[w];
-            survived |= words_[w];
+        for (std::size_t i = 0; i < n; ++i) {
+            w[i] &= o[i];
+            survived |= w[i];
         }
         return survived != 0;
     }
@@ -148,8 +187,8 @@ class SettingMask
     std::uint64_t
     word(std::size_t w) const
     {
-        MCDVFS_DEBUG_ASSERT(w < kWords, "mask word out of range");
-        return words_[w];
+        MCDVFS_DEBUG_ASSERT(w < wordCount(), "mask word out of range");
+        return words()[w];
     }
 
     /**
@@ -160,22 +199,24 @@ class SettingMask
     void
     setWord(std::size_t w, std::uint64_t bits)
     {
-        MCDVFS_DEBUG_ASSERT(w < kWords, "mask word out of range");
+        MCDVFS_DEBUG_ASSERT(w < wordCount(), "mask word out of range");
         MCDVFS_DEBUG_ASSERT(
             w * 64 >= size_ ? bits == 0
                             : size_ - w * 64 >= 64 ||
                                   (bits >> (size_ - w * 64)) == 0,
             "mask word bits beyond the settings space");
-        words_[w] = bits;
+        words()[w] = bits;
     }
 
     /** Number of set bits (cluster size). */
     std::size_t
     count() const
     {
+        const std::uint64_t *w = words();
+        const std::size_t n = wordCount();
         std::size_t total = 0;
-        for (const std::uint64_t word : words_)
-            total += static_cast<std::size_t>(std::popcount(word));
+        for (std::size_t i = 0; i < n; ++i)
+            total += static_cast<std::size_t>(std::popcount(w[i]));
         return total;
     }
 
@@ -183,11 +224,13 @@ class SettingMask
     std::size_t
     firstSet() const
     {
-        for (std::size_t w = 0; w < kWords; ++w) {
-            if (words_[w])
-                return w * 64 +
+        const std::uint64_t *w = words();
+        const std::size_t n = wordCount();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (w[i])
+                return i * 64 +
                        static_cast<std::size_t>(
-                           std::countr_zero(words_[w]));
+                           std::countr_zero(w[i]));
         }
         return kNpos;
     }
@@ -195,8 +238,10 @@ class SettingMask
     bool
     any() const
     {
-        for (const std::uint64_t word : words_)
-            if (word)
+        const std::uint64_t *w = words();
+        const std::size_t n = wordCount();
+        for (std::size_t i = 0; i < n; ++i)
+            if (w[i])
                 return true;
         return false;
     }
@@ -207,8 +252,13 @@ class SettingMask
     bool
     intersects(const SettingMask &other) const
     {
-        for (std::size_t w = 0; w < kWords; ++w)
-            if (words_[w] & other.words_[w])
+        MCDVFS_DEBUG_ASSERT(size_ == other.size_,
+                            "mask spaces differ");
+        const std::uint64_t *w = words();
+        const std::uint64_t *o = other.words();
+        const std::size_t n = wordCount();
+        for (std::size_t i = 0; i < n; ++i)
+            if (w[i] & o[i])
                 return true;
         return false;
     }
@@ -237,8 +287,10 @@ class SettingMask
             return filterGENeon(values, cutoff);
 #endif
         SettingMask out(size_);
-        for (std::size_t w = 0; w * 64 < size_; ++w) {
-            const std::size_t base = w * 64;
+        const std::uint64_t *w = words();
+        std::uint64_t *ow = out.words();
+        for (std::size_t i = 0; i * 64 < size_; ++i) {
+            const std::size_t base = i * 64;
             const std::size_t lanes = std::min<std::size_t>(
                 64, size_ - base);
             std::uint64_t keep = 0;
@@ -247,7 +299,7 @@ class SettingMask
                             values[base + j] >= cutoff)
                         << j;
             }
-            out.words_[w] = words_[w] & keep;
+            ow[i] = w[i] & keep;
         }
         return out;
     }
@@ -255,7 +307,11 @@ class SettingMask
     bool
     operator==(const SettingMask &other) const
     {
-        return size_ == other.size_ && words_ == other.words_;
+        if (size_ != other.size_)
+            return false;
+        const std::uint64_t *w = words();
+        const std::uint64_t *o = other.words();
+        return std::equal(w, w + wordCount(), o);
     }
 
     bool
@@ -271,8 +327,8 @@ class SettingMask
         Iterator(const SettingMask *mask, std::size_t word)
             : mask_(mask), word_(word)
         {
-            if (word_ < kWords)
-                bits_ = mask_->words_[word_];
+            if (word_ < mask_->wordCount())
+                bits_ = mask_->words()[word_];
             advance();
         }
 
@@ -302,9 +358,10 @@ class SettingMask
         void
         advance()
         {
-            while (!bits_ && word_ < kWords) {
+            const std::size_t n = mask_->wordCount();
+            while (!bits_ && word_ < n) {
                 ++word_;
-                bits_ = word_ < kWords ? mask_->words_[word_] : 0;
+                bits_ = word_ < n ? mask_->words()[word_] : 0;
             }
         }
 
@@ -314,17 +371,39 @@ class SettingMask
     };
 
     Iterator begin() const { return Iterator(this, 0); }
-    Iterator end() const { return Iterator(this, kWords); }
+    Iterator end() const { return Iterator(this, wordCount()); }
 
   private:
+    /** Heap tier word count: whole 256-bit registers over the space. */
+    static std::size_t
+    heapWords(std::size_t size)
+    {
+        const std::size_t raw = (size + 63) / 64;
+        return (raw + 3) & ~std::size_t{3};
+    }
+
+    const std::uint64_t *
+    words() const
+    {
+        return heap_.empty() ? inline_.data() : heap_.data();
+    }
+
+    std::uint64_t *
+    words()
+    {
+        return heap_.empty() ? inline_.data() : heap_.data();
+    }
+
 #if MCDVFS_SIMD_AVX2
     SettingMask
     filterGEAvx2(const double *values, double cutoff) const
     {
         SettingMask out(size_);
+        const std::uint64_t *w = words();
+        std::uint64_t *ow = out.words();
         const __m256d vcut = _mm256_set1_pd(cutoff);
-        for (std::size_t w = 0; w * 64 < size_; ++w) {
-            const std::size_t base = w * 64;
+        for (std::size_t i = 0; i * 64 < size_; ++i) {
+            const std::size_t base = i * 64;
             const std::size_t lanes = std::min<std::size_t>(
                 64, size_ - base);
             std::uint64_t keep = 0;
@@ -343,7 +422,7 @@ class SettingMask
                             values[base + j] >= cutoff)
                         << j;
             }
-            out.words_[w] = words_[w] & keep;
+            ow[i] = w[i] & keep;
         }
         return out;
     }
@@ -354,9 +433,11 @@ class SettingMask
     filterGENeon(const double *values, double cutoff) const
     {
         SettingMask out(size_);
+        const std::uint64_t *w = words();
+        std::uint64_t *ow = out.words();
         const float64x2_t vcut = vdupq_n_f64(cutoff);
-        for (std::size_t w = 0; w * 64 < size_; ++w) {
-            const std::size_t base = w * 64;
+        for (std::size_t i = 0; i * 64 < size_; ++i) {
+            const std::size_t base = i * 64;
             const std::size_t lanes = std::min<std::size_t>(
                 64, size_ - base);
             std::uint64_t keep = 0;
@@ -372,13 +453,16 @@ class SettingMask
                             values[base + j] >= cutoff)
                         << j;
             }
-            out.words_[w] = words_[w] & keep;
+            ow[i] = w[i] & keep;
         }
         return out;
     }
 #endif
 
-    std::array<std::uint64_t, kWords> words_{};
+    /** Inline tier (size_ <= kCapacity): fixed kWords words. */
+    std::array<std::uint64_t, kWords> inline_{};
+    /** Heap tier (size_ > kCapacity): heapWords(size_) words. */
+    std::vector<std::uint64_t> heap_;
     std::size_t size_ = 0;
 };
 

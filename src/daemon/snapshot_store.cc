@@ -115,6 +115,7 @@ writeChoice(ByteWriter &w, const OptimalChoice &choice)
     w.u64(choice.settingIndex);
     w.f64(choice.setting.cpu);
     w.f64(choice.setting.mem);
+    w.f64(choice.setting.gpu);
     w.f64(choice.speedup);
     w.f64(choice.inefficiency);
 }
@@ -126,6 +127,7 @@ readChoice(ByteReader &r)
     choice.settingIndex = r.u64();
     choice.setting.cpu = r.f64();
     choice.setting.mem = r.f64();
+    choice.setting.gpu = r.f64();
     choice.speedup = r.f64();
     choice.inefficiency = r.f64();
     return choice;
@@ -167,6 +169,7 @@ analysisPayload(const svc::AnalysisResult &result)
         w.u64(region.chosenSettingIndex);
         w.f64(region.chosenSetting.cpu);
         w.f64(region.chosenSetting.mem);
+        w.f64(region.chosenSetting.gpu);
     }
     return w.take();
 }
@@ -209,6 +212,7 @@ parseAnalysisPayload(const std::string &payload)
         region.chosenSettingIndex = r.u64();
         region.chosenSetting.cpu = r.f64();
         region.chosenSetting.mem = r.f64();
+        region.chosenSetting.gpu = r.f64();
         result.regions.push_back(std::move(region));
     }
     r.expectEnd();

@@ -56,8 +56,13 @@ class SnapshotStore
     static constexpr char kMagic[8] = {'m', 'c', 'd', 'v',
                                        'f', 's', 'S', 'S'};
 
-    /** Current container version. */
-    static constexpr std::uint32_t kVersion = 1;
+    /**
+     * Current container version.  v2 added the GPU frequency to every
+     * serialized FrequencySetting (optimal choices and stable-region
+     * chosen settings); v1 containers are rejected as a counted miss
+     * and simply recomputed.
+     */
+    static constexpr std::uint32_t kVersion = 2;
 
     /** Monotonic per-store I/O counters. */
     struct Stats

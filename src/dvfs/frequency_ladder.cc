@@ -55,6 +55,18 @@ FrequencyLadder::memFine()
     return FrequencyLadder(megaHertz(200), megaHertz(800), megaHertz(40));
 }
 
+FrequencyLadder
+FrequencyLadder::gpuCoarse()
+{
+    return FrequencyLadder(megaHertz(200), megaHertz(900), megaHertz(100));
+}
+
+FrequencyLadder
+FrequencyLadder::gpuFine()
+{
+    return FrequencyLadder(megaHertz(200), megaHertz(900), megaHertz(50));
+}
+
 Hertz
 FrequencyLadder::at(std::size_t idx) const
 {

@@ -44,6 +44,12 @@ class FrequencyLadder
     static FrequencyLadder memFine();     ///< 200-800 MHz / 40 MHz
     ///@}
 
+    /** @name GPU-domain extension ladders (SysScale-style 3rd domain). */
+    ///@{
+    static FrequencyLadder gpuCoarse();   ///< 200-900 MHz / 100 MHz
+    static FrequencyLadder gpuFine();     ///< 200-900 MHz / 50 MHz
+    ///@}
+
     std::size_t size() const { return steps_.size(); }
     Hertz at(std::size_t idx) const;
     Hertz lowest() const { return steps_.front(); }

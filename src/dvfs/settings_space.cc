@@ -11,9 +11,15 @@ namespace mcdvfs
 std::string
 FrequencySetting::label() const
 {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f/%.0f", toMegaHertz(cpu),
-                  toMegaHertz(mem));
+    char buf[48];
+    if (gpu > 0.0) {
+        std::snprintf(buf, sizeof(buf), "%.0f/%.0f/%.0f",
+                      toMegaHertz(cpu), toMegaHertz(mem),
+                      toMegaHertz(gpu));
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f/%.0f", toMegaHertz(cpu),
+                      toMegaHertz(mem));
+    }
     return buf;
 }
 
@@ -22,11 +28,19 @@ settingPreferred(const FrequencySetting &a, const FrequencySetting &b)
 {
     if (a.cpu != b.cpu)
         return a.cpu > b.cpu;
-    return a.mem > b.mem;
+    if (a.mem != b.mem)
+        return a.mem > b.mem;
+    return a.gpu > b.gpu;
 }
 
 SettingsSpace::SettingsSpace(FrequencyLadder cpu, FrequencyLadder mem)
     : cpu_(std::move(cpu)), mem_(std::move(mem))
+{
+}
+
+SettingsSpace::SettingsSpace(FrequencyLadder cpu, FrequencyLadder mem,
+                             FrequencyLadder gpu)
+    : cpu_(std::move(cpu)), mem_(std::move(mem)), gpu_(std::move(gpu))
 {
 }
 
@@ -44,11 +58,24 @@ SettingsSpace::fine()
                          FrequencyLadder::memFine());
 }
 
+SettingsSpace
+SettingsSpace::coarse3()
+{
+    return SettingsSpace(FrequencyLadder::cpuCoarse(),
+                         FrequencyLadder::memCoarse(),
+                         FrequencyLadder::gpuCoarse());
+}
+
 FrequencySetting
 SettingsSpace::at(std::size_t idx) const
 {
     MCDVFS_ASSERT(idx < size(), "settings index out of range");
     FrequencySetting setting;
+    if (gpu_) {
+        const std::size_t g = gpu_->size();
+        setting.gpu = gpu_->at(idx % g);
+        idx /= g;
+    }
     setting.cpu = cpu_.at(idx / mem_.size());
     setting.mem = mem_.at(idx % mem_.size());
     return setting;
@@ -63,19 +90,38 @@ SettingsSpace::indexOf(const FrequencySetting &setting) const
         std::abs(mem_.at(mi) - setting.mem) > 1.0) {
         fatal("setting ", setting.label(), " is not in this space");
     }
-    return ci * mem_.size() + mi;
+    if (!gpu_) {
+        if (setting.gpu != 0.0)
+            fatal("setting ", setting.label(),
+                  " names a GPU frequency but this space has no GPU "
+                  "domain");
+        return ci * mem_.size() + mi;
+    }
+    const std::size_t gi = gpu_->closestIndex(setting.gpu);
+    if (std::abs(gpu_->at(gi) - setting.gpu) > 1.0)
+        fatal("setting ", setting.label(), " is not in this space");
+    return (ci * mem_.size() + mi) * gpu_->size() + gi;
 }
 
 FrequencySetting
 SettingsSpace::maxSetting() const
 {
-    return FrequencySetting{cpu_.highest(), mem_.highest()};
+    return FrequencySetting{cpu_.highest(), mem_.highest(),
+                            gpu_ ? gpu_->highest() : 0.0};
 }
 
 FrequencySetting
 SettingsSpace::minSetting() const
 {
-    return FrequencySetting{cpu_.lowest(), mem_.lowest()};
+    return FrequencySetting{cpu_.lowest(), mem_.lowest(),
+                            gpu_ ? gpu_->lowest() : 0.0};
+}
+
+const FrequencyLadder &
+SettingsSpace::gpuLadder() const
+{
+    MCDVFS_ASSERT(gpu_.has_value(), "space has no GPU domain");
+    return *gpu_;
 }
 
 std::vector<FrequencySetting>

@@ -1,16 +1,24 @@
 /**
  * @file
- * The joint CPU x memory frequency setting space.
+ * The joint multi-domain frequency setting space.
  *
- * A FrequencySetting is one (CPU frequency, memory frequency) pair; a
- * SettingsSpace is the cross product of the two ladders, indexable so
- * analyses can store per-setting data in flat arrays.
+ * A FrequencySetting is one joint operating point of the frequency
+ * domains — (CPU, memory) in the paper's two-domain configuration,
+ * (CPU, memory, GPU) in the SysScale-style three-domain extension.  A
+ * SettingsSpace is the cross product of the per-domain ladders,
+ * indexable so analyses can store per-setting data in flat arrays.
+ *
+ * The GPU domain is optional: spaces built from two ladders behave
+ * exactly as before (same indices, same labels, gpu pinned to 0), and
+ * a third ladder extends the cross product with the GPU frequency as
+ * the fastest-varying index digit.
  */
 
 #ifndef MCDVFS_DVFS_SETTINGS_SPACE_HH
 #define MCDVFS_DVFS_SETTINGS_SPACE_HH
 
 #include <cstddef>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -20,33 +28,41 @@
 namespace mcdvfs
 {
 
-/** One joint operating point of the two frequency domains. */
+/** One joint operating point of the frequency domains. */
 struct FrequencySetting
 {
     Hertz cpu = 0.0;
     Hertz mem = 0.0;
+    /** GPU frequency; 0 in two-domain spaces (no GPU domain). */
+    Hertz gpu = 0.0;
 
     bool
     operator==(const FrequencySetting &other) const
     {
-        return cpu == other.cpu && mem == other.mem;
+        return cpu == other.cpu && mem == other.mem && gpu == other.gpu;
     }
 
-    /** "920/580" style label in MHz, for tables. */
+    /** "920/580" ("920/580/600" with a GPU) label in MHz, for tables. */
     std::string label() const;
 };
 
 /**
  * Ordering used by the paper's tie-break: prefer the setting with the
- * highest CPU frequency, then the highest memory frequency.
+ * highest CPU frequency, then the highest memory frequency, then the
+ * highest GPU frequency.  Two-domain settings (gpu == 0 on both
+ * sides) order exactly as before.
  */
 bool settingPreferred(const FrequencySetting &a, const FrequencySetting &b);
 
-/** Indexed cross product of a CPU ladder and a memory ladder. */
+/** Indexed cross product of the per-domain frequency ladders. */
 class SettingsSpace
 {
   public:
     SettingsSpace(FrequencyLadder cpu, FrequencyLadder mem);
+
+    /** Three-domain space: CPU x memory x GPU. */
+    SettingsSpace(FrequencyLadder cpu, FrequencyLadder mem,
+                  FrequencyLadder gpu);
 
     /** Paper's coarse 10 x 7 = 70-setting space. */
     static SettingsSpace coarse();
@@ -54,23 +70,39 @@ class SettingsSpace
     /** Paper's fine 31 x 16 = 496-setting space. */
     static SettingsSpace fine();
 
-    /** Total number of settings. */
-    std::size_t size() const { return cpu_.size() * mem_.size(); }
+    /** Three-domain coarse 10 x 7 x 8 = 560-setting space. */
+    static SettingsSpace coarse3();
 
-    /** Setting at flat index (CPU-major). */
+    /** Number of frequency domains (2 or 3). */
+    std::size_t domainCount() const { return gpu_ ? 3 : 2; }
+
+    /** True when the space carries a GPU domain. */
+    bool hasGpu() const { return gpu_.has_value(); }
+
+    /** Total number of settings. */
+    std::size_t
+    size() const
+    {
+        return cpu_.size() * mem_.size() * (gpu_ ? gpu_->size() : 1);
+    }
+
+    /** Setting at flat index (CPU-major, GPU fastest-varying). */
     FrequencySetting at(std::size_t idx) const;
 
     /** Flat index of a setting that must exist in the space. */
     std::size_t indexOf(const FrequencySetting &setting) const;
 
-    /** Highest-performance setting (max CPU, max memory). */
+    /** Highest-performance setting (max frequency in every domain). */
     FrequencySetting maxSetting() const;
 
-    /** Lowest setting (min CPU, min memory). */
+    /** Lowest setting (min frequency in every domain). */
     FrequencySetting minSetting() const;
 
     const FrequencyLadder &cpuLadder() const { return cpu_; }
     const FrequencyLadder &memLadder() const { return mem_; }
+
+    /** GPU ladder; only valid when hasGpu(). */
+    const FrequencyLadder &gpuLadder() const;
 
     /** All settings in flat-index order. */
     std::vector<FrequencySetting> all() const;
@@ -78,6 +110,7 @@ class SettingsSpace
   private:
     FrequencyLadder cpu_;
     FrequencyLadder mem_;
+    std::optional<FrequencyLadder> gpu_;
 };
 
 } // namespace mcdvfs

@@ -1,0 +1,82 @@
+#include "power/gpu_power.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+GpuPowerModel::GpuPowerModel(const GpuPowerParams &params,
+                             const VoltageCurve &curve)
+    : params_(params), curve_(curve)
+{
+    if (params_.peakDynamic <= 0.0 || params_.peakBackground < 0.0 ||
+        params_.leakageAtVmax < 0.0) {
+        fatal("gpu power model: calibration constants must be positive");
+    }
+}
+
+VoltageCurve
+GpuPowerModel::paperGpuCurve()
+{
+    return VoltageCurve(megaHertz(200), megaHertz(900), 0.65, 1.10);
+}
+
+GpuPowerModel
+GpuPowerModel::paperDefault()
+{
+    return GpuPowerModel(GpuPowerParams{}, paperGpuCurve());
+}
+
+GpuPowerBreakdown
+GpuPowerModel::power(Hertz freq, double activity) const
+{
+    const double act = std::clamp(activity, 0.0, 1.0);
+    const GpuOperatingPoint point = operatingPoint(freq);
+
+    GpuPowerBreakdown out;
+    out.dynamic = point.dynamicScale * act;
+    out.background = point.background;
+    out.leakage = point.leakage;
+    return out;
+}
+
+GpuOperatingPoint
+GpuPowerModel::operatingPoint(Hertz freq) const
+{
+    MCDVFS_ASSERT(freq > 0.0, "gpu frequency must be positive");
+    const Volts v = curve_.voltageAt(freq);
+    const double v_ratio = v / curve_.vMax();
+    const double f_ratio = freq / curve_.fMax();
+    const double vf_scale = v_ratio * v_ratio * f_ratio;
+
+    GpuOperatingPoint point;
+    point.dynamicScale = params_.peakDynamic * vf_scale;
+    point.background = params_.peakBackground * vf_scale;
+    point.leakage = params_.leakageAtVmax * (v / curve_.vMax());
+    return point;
+}
+
+std::vector<GpuOperatingPoint>
+GpuPowerModel::table(const FrequencyLadder &ladder) const
+{
+    std::vector<GpuOperatingPoint> table;
+    table.reserve(ladder.size());
+    for (const Hertz f : ladder.steps())
+        table.push_back(operatingPoint(f));
+    return table;
+}
+
+Joules
+GpuPowerModel::energy(Hertz freq, double activity, Seconds busy,
+                      Seconds total) const
+{
+    MCDVFS_ASSERT(busy >= 0.0 && total >= busy,
+                  "gpu busy window exceeds the sample");
+    const GpuPowerBreakdown busy_power = power(freq, activity);
+    return busy_power.dynamic * busy +
+           (busy_power.background + busy_power.leakage) * total;
+}
+
+} // namespace mcdvfs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Empirical GPU power model for the SysScale-style third DVFS domain.
+ *
+ * Same decomposition as the CPU model (§III-B applied to a mobile GPU
+ * core): dynamic power ∝ V²f scaled by a kernel activity factor,
+ * clocked-idle background power scaling the same way, and linear
+ * sub-threshold leakage.  Calibration targets an SGX540/Adreno-class
+ * mobile GPU next to the OMAP4430 CPU: a few hundred milliwatts at the
+ * top operating point.
+ *
+ * The energy split differs from the CPU model: GPU work overlaps the
+ * CPU's execution (kicks are asynchronous), so dynamic energy accrues
+ * only over the GPU's own busy window while background and leakage
+ * accrue over the whole sample — the GPU domain is powered as long as
+ * the SoC runs the sample.
+ */
+
+#ifndef MCDVFS_POWER_GPU_POWER_HH
+#define MCDVFS_POWER_GPU_POWER_HH
+
+#include <vector>
+
+#include "common/units.hh"
+#include "dvfs/frequency_ladder.hh"
+#include "power/opp.hh"
+
+namespace mcdvfs
+{
+
+/** Power decomposition at one GPU operating point. */
+struct GpuPowerBreakdown
+{
+    Watts dynamic = 0.0;
+    Watts background = 0.0;
+    Watts leakage = 0.0;
+
+    Watts total() const { return dynamic + background + leakage; }
+};
+
+/** Calibration constants of the empirical GPU model. */
+struct GpuPowerParams
+{
+    /** Dynamic power at fMax/vMax with activity factor 1. */
+    Watts peakDynamic = 0.45;
+    /** Background (clocked-idle) power at fMax/vMax. */
+    Watts peakBackground = 0.18;
+    /** Leakage power at vMax. */
+    Watts leakageAtVmax = 0.06;
+};
+
+/**
+ * Precomputed power coefficients of one (frequency, voltage) GPU
+ * operating point; same role as CpuOperatingPoint — built once per
+ * grid build so the kernel inner loop never touches the voltage curve.
+ */
+struct GpuOperatingPoint
+{
+    Watts dynamicScale = 0.0;  ///< dynamic power per unit activity
+    Watts background = 0.0;    ///< clocked-idle power at this point
+    Watts leakage = 0.0;       ///< sub-threshold leakage at this point
+};
+
+/** Voltage- and frequency-dependent GPU power/energy model. */
+class GpuPowerModel
+{
+  public:
+    /**
+     * @param params calibration constants
+     * @param curve voltage-frequency operating curve
+     * @throws FatalError for non-positive calibration values
+     */
+    GpuPowerModel(const GpuPowerParams &params, const VoltageCurve &curve);
+
+    /** Model with the default mobile-GPU calibration. */
+    static GpuPowerModel paperDefault();
+
+    /** The GPU domain's operating curve: 200-900 MHz, 0.65-1.10 V. */
+    static VoltageCurve paperGpuCurve();
+
+    /** Power at frequency @c freq with the given activity factor. */
+    GpuPowerBreakdown power(Hertz freq, double activity) const;
+
+    /**
+     * Energy over one sample: dynamic power over the GPU's busy
+     * window, background + leakage over the whole sample (the domain
+     * stays clocked while the CPU side runs).
+     */
+    Joules energy(Hertz freq, double activity, Seconds busy,
+                  Seconds total) const;
+
+    /**
+     * Coefficients of the operating point at @c freq.  power() and
+     * energy() factor through exactly these values, so evaluating from
+     * the table is bit-identical to calling them per cell.
+     */
+    GpuOperatingPoint operatingPoint(Hertz freq) const;
+
+    /** Operating points for every step of a GPU frequency ladder. */
+    std::vector<GpuOperatingPoint>
+    table(const FrequencyLadder &ladder) const;
+
+    const VoltageCurve &curve() const { return curve_; }
+    const GpuPowerParams &params() const { return params_; }
+
+  private:
+    GpuPowerParams params_;
+    VoltageCurve curve_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_POWER_GPU_POWER_HH

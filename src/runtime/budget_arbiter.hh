@@ -1,0 +1,163 @@
+/**
+ * @file
+ * System power-budget arbiter over the multi-domain settings space.
+ *
+ * The inefficiency governor answers "which joint setting is worth its
+ * energy"; the arbiter answers the orthogonal question "which joint
+ * settings may we afford right now".  It is modeled on the Tegra
+ * sysedp dynamic-capping scheme: a calibrated cap table maps an
+ * available system power budget to per-domain frequency caps, with two
+ * variants per row — CPU-priority rows keep the CPU fast and throttle
+ * the GPU harder, GPU-priority rows the reverse.  The arbiter layers
+ * those caps on top of the paper's cluster policy: it consults the
+ * same per-sample performance cluster as InefficiencyGovernor and
+ * vetoes members the active caps cannot afford.
+ *
+ * With an unconstrained budget (empty table, or a top row admitting
+ * every ladder step) the arbiter's decision sequence is bit-identical
+ * to InefficiencyGovernor's — the cap layer is pure filtering and adds
+ * no arithmetic to the cluster machinery.
+ *
+ * Observability: decisions are traced under "runtime.arbiter.decide"
+ * and counted in the "runtime.arbiter.*" metrics family (see
+ * docs/OBSERVABILITY.md).
+ */
+
+#ifndef MCDVFS_RUNTIME_BUDGET_ARBITER_HH
+#define MCDVFS_RUNTIME_BUDGET_ARBITER_HH
+
+#include <limits>
+#include <vector>
+
+#include "core/performance_clusters.hh"
+#include "core/setting_mask.hh"
+#include "dvfs/governor.hh"
+
+namespace mcdvfs
+{
+namespace runtime
+{
+
+/** Which domain a cap-table row protects when power is short. */
+enum class Priority
+{
+    Cpu,
+    Gpu,
+};
+
+/** Per-domain frequency caps of one cap-table row variant. */
+struct DomainCaps
+{
+    Hertz cpu = 0.0;
+    Hertz mem = 0.0;
+    /** Ignored on two-domain spaces. */
+    Hertz gpu = 0.0;
+};
+
+/**
+ * One row of the cap table: the caps in force once the available
+ * system budget reaches @c budget watts (rows are matched floor-wise,
+ * sysedp style — the last row whose budget does not exceed the
+ * available power wins; below the first row the first row applies).
+ */
+struct CapRow
+{
+    Watts budget = 0.0;
+    DomainCaps cpuPriority;
+    DomainCaps gpuPriority;
+};
+
+/**
+ * Budget-arbitrating governor: the paper's cluster policy under a
+ * sysedp-style system power cap.
+ */
+class BudgetArbiter : public Governor
+{
+  public:
+    /** Budget meaning "no cap row restriction". */
+    static constexpr Watts kUnconstrainedBudget =
+        std::numeric_limits<double>::infinity();
+
+    /**
+     * @param clusters cluster source over the workload's measured grid
+     *        (must outlive the arbiter)
+     * @param budget inefficiency budget (>= 1), as for
+     *        InefficiencyGovernor
+     * @param threshold cluster threshold, e.g. 0.03
+     * @param table cap table, rows in strictly ascending budget order;
+     *        empty means unconstrained
+     * @param priority which domain to protect when power is short
+     * @throws FatalError for invalid budget/threshold, a non-ascending
+     *         table, caps that exclude the space's minimum setting
+     *         (the arbiter must always have a legal choice), caps that
+     *         tighten as the budget grows, or a priority inversion
+     *         (a CPU-priority variant must never cap the CPU below its
+     *         GPU-priority sibling, and vice versa for the GPU)
+     */
+    BudgetArbiter(const ClusterFinder &clusters, double budget,
+                  double threshold, std::vector<CapRow> table,
+                  Priority priority = Priority::Cpu);
+
+    FrequencySetting decide(const SampleObservation *last) override;
+    std::string name() const override { return "budget-arbiter"; }
+
+    /** Update the available system power budget (watts). */
+    void setSystemBudget(Watts budget);
+
+    /** Switch the protected domain. */
+    void setPriority(Priority priority);
+
+    Watts systemBudget() const { return systemBudget_; }
+    Priority priority() const { return priority_; }
+
+    /** Caps currently in force (infinite when unconstrained). */
+    DomainCaps activeCaps() const;
+
+    /** Mask of settings the active caps admit. */
+    const SettingMask &allowedMask() const { return allowed_; }
+
+    /** @name Decision counters. */
+    ///@{
+    std::size_t decisions() const { return decisions_; }
+    /** Decisions that kept the previous setting. */
+    std::size_t keptSetting() const { return kept_; }
+    /** Decisions that re-tuned inside the caps. */
+    std::size_t retuned() const { return retuned_; }
+    /** Decisions where the caps vetoed the cluster optimum. */
+    std::size_t capped() const { return capped_; }
+    ///@}
+
+  private:
+    const SettingsSpace &space() const;
+
+    /** Index of the active cap row, or table_.size() if unconstrained. */
+    std::size_t activeRow() const;
+
+    /** Recompute the allowed mask from the active caps. */
+    void rebuildAllowed();
+
+    /** Most-preferred (§V ordering) setting in @c mask. */
+    FrequencySetting preferredIn(const SettingMask &mask) const;
+
+    const ClusterFinder &clusters_;
+    double budget_;
+    double threshold_;
+    std::vector<CapRow> table_;
+    Priority priority_;
+    Watts systemBudget_ = kUnconstrainedBudget;
+
+    std::vector<FrequencySetting> settings_;
+    SettingMask allowed_;
+
+    FrequencySetting current_{};
+    bool haveCurrent_ = false;
+    std::size_t decisions_ = 0;
+    std::size_t kept_ = 0;
+    std::size_t retuned_ = 0;
+    std::size_t capped_ = 0;
+};
+
+} // namespace runtime
+} // namespace mcdvfs
+
+#endif // MCDVFS_RUNTIME_BUDGET_ARBITER_HH

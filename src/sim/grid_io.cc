@@ -16,7 +16,11 @@ namespace mcdvfs
 void
 saveGrid(const MeasuredGrid &grid, std::ostream &os)
 {
-    os << "mcdvfs-grid v1\n";
+    // Two-domain grids keep the historical v1 bytes; three-domain
+    // grids write v2, which adds the GPU ladder line, two GPU profile
+    // fields, and a sixth cell column.
+    const bool has_gpu = grid.space().hasGpu();
+    os << (has_gpu ? "mcdvfs-grid v2\n" : "mcdvfs-grid v1\n");
     os << "workload " << grid.workload() << '\n';
     os << "samples " << grid.sampleCount() << " instructions "
        << grid.instructionsPerSample() << '\n';
@@ -29,6 +33,12 @@ saveGrid(const MeasuredGrid &grid, std::ostream &os)
     for (const Hertz f : grid.space().memLadder().steps())
         os << ' ' << toMegaHertz(f);
     os << '\n';
+    if (has_gpu) {
+        os << "gpu";
+        for (const Hertz f : grid.space().gpuLadder().steps())
+            os << ' ' << toMegaHertz(f);
+        os << '\n';
+    }
 
     os << std::setprecision(17);
     if (grid.hasProfiles()) {
@@ -40,7 +50,11 @@ saveGrid(const MeasuredGrid &grid, std::ostream &os)
                << p.dramReadsPerInstr << ' ' << p.dramWritesPerInstr
                << ' ' << p.dramPrefetchPerInstr << ' '
                << p.rowHitFrac << ' ' << p.rowClosedFrac << ' '
-               << p.rowConflictFrac << ' ' << p.phaseName << '\n';
+               << p.rowConflictFrac;
+            if (has_gpu)
+                os << ' ' << p.gpuWorkPerInstr << ' '
+                   << p.gpuActivity;
+            os << ' ' << p.phaseName << '\n';
         }
     }
     for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
@@ -48,7 +62,10 @@ saveGrid(const MeasuredGrid &grid, std::ostream &os)
             const GridCell &cell = grid.cell(s, k);
             os << "cell " << s << ' ' << k << ' ' << cell.seconds << ' '
                << cell.cpuEnergy << ' ' << cell.memEnergy << ' '
-               << cell.busyFrac << ' ' << cell.bwUtil << '\n';
+               << cell.busyFrac << ' ' << cell.bwUtil;
+            if (has_gpu)
+                os << ' ' << cell.gpuEnergy;
+            os << '\n';
         }
     }
 }
@@ -65,8 +82,10 @@ MeasuredGrid
 loadGrid(std::istream &is)
 {
     std::string line;
-    if (!std::getline(is, line) || line != "mcdvfs-grid v1")
+    if (!std::getline(is, line) ||
+        (line != "mcdvfs-grid v1" && line != "mcdvfs-grid v2"))
         fatal("grid io: missing or unsupported header");
+    const bool has_gpu = line == "mcdvfs-grid v2";
 
     std::string keyword;
     std::string workload;
@@ -103,10 +122,12 @@ loadGrid(std::istream &is)
     };
     FrequencyLadder cpu = read_ladder("cpu");
     FrequencyLadder mem = read_ladder("mem");
+    SettingsSpace space =
+        has_gpu ? SettingsSpace(std::move(cpu), std::move(mem),
+                                read_ladder("gpu"))
+                : SettingsSpace(std::move(cpu), std::move(mem));
 
-    MeasuredGrid grid(workload,
-                      SettingsSpace(std::move(cpu), std::move(mem)),
-                      samples, instructions);
+    MeasuredGrid grid(workload, std::move(space), samples, instructions);
 
     std::vector<SampleProfile> profiles;
     std::size_t cells_read = 0;
@@ -122,10 +143,14 @@ loadGrid(std::istream &is)
                   p.l1Mpki >> p.l2Mpki >> p.l2PerInstr >>
                   p.dramReadsPerInstr >> p.dramWritesPerInstr >>
                   p.dramPrefetchPerInstr >> p.rowHitFrac >>
-                  p.rowClosedFrac >> p.rowConflictFrac >>
-                  p.phaseName)) {
+                  p.rowClosedFrac >> p.rowConflictFrac)) {
                 fatal("grid io: malformed profile line");
             }
+            if (has_gpu &&
+                !(ls >> p.gpuWorkPerInstr >> p.gpuActivity))
+                fatal("grid io: malformed profile line");
+            if (!(ls >> p.phaseName))
+                fatal("grid io: malformed profile line");
             if (s != profiles.size())
                 fatal("grid io: profiles out of order");
             profiles.push_back(std::move(p));
@@ -137,6 +162,8 @@ loadGrid(std::istream &is)
                   cell.memEnergy >> cell.busyFrac >> cell.bwUtil)) {
                 fatal("grid io: malformed cell line");
             }
+            if (has_gpu && !(ls >> cell.gpuEnergy))
+                fatal("grid io: malformed cell line");
             if (s >= samples || k >= grid.settingCount())
                 fatal("grid io: cell index out of range");
             grid.cell(s, k) = cell;
@@ -184,6 +211,10 @@ constexpr std::uint64_t kMaxPayloadBytes = 1ull << 31;
 std::string
 gridPayload(const MeasuredGrid &grid)
 {
+    // Two-domain grids produce the historical v1 payload byte for
+    // byte; the GPU ladder, the two GPU profile fields and the sixth
+    // cell column exist only in v2 payloads.
+    const bool has_gpu = grid.space().hasGpu();
     ByteWriter w;
     w.str(grid.workload());
     w.u64(grid.sampleCount());
@@ -196,6 +227,8 @@ gridPayload(const MeasuredGrid &grid)
     };
     write_ladder(grid.space().cpuLadder());
     write_ladder(grid.space().memLadder());
+    if (has_gpu)
+        write_ladder(grid.space().gpuLadder());
 
     w.u8(grid.hasProfiles() ? 1 : 0);
     if (grid.hasProfiles()) {
@@ -214,6 +247,10 @@ gridPayload(const MeasuredGrid &grid)
             w.f64(p.rowHitFrac);
             w.f64(p.rowClosedFrac);
             w.f64(p.rowConflictFrac);
+            if (has_gpu) {
+                w.f64(p.gpuWorkPerInstr);
+                w.f64(p.gpuActivity);
+            }
         }
     }
 
@@ -224,6 +261,8 @@ gridPayload(const MeasuredGrid &grid)
             w.f64(grid.memEnergyAt(s, k));
             w.f64(grid.busyFracAt(s, k));
             w.f64(grid.bwUtilAt(s, k));
+            if (has_gpu)
+                w.f64(grid.gpuEnergyAt(s, k));
         }
     }
     return w.take();
@@ -231,8 +270,9 @@ gridPayload(const MeasuredGrid &grid)
 
 /** Parse the grid body (payload already checksum-verified). */
 MeasuredGrid
-parseGridPayload(const std::string &payload)
+parseGridPayload(const std::string &payload, std::uint32_t version)
 {
+    const bool has_gpu = version >= 2;
     ByteReader r(payload, "grid snapshot");
 
     std::string workload = r.str();
@@ -252,10 +292,15 @@ parseGridPayload(const std::string &payload)
     };
     FrequencyLadder cpu = read_ladder("cpu");
     FrequencyLadder mem = read_ladder("mem");
+    SettingsSpace space =
+        has_gpu ? SettingsSpace(std::move(cpu), std::move(mem),
+                                read_ladder("gpu"))
+                : SettingsSpace(std::move(cpu), std::move(mem));
 
-    SettingsSpace space(std::move(cpu), std::move(mem));
     const std::size_t settings = space.size();
-    if (samples > kMaxPayloadBytes / sizeof(double) / 5 / settings)
+    const std::size_t doubles_per_cell = has_gpu ? 6 : 5;
+    if (samples >
+        kMaxPayloadBytes / sizeof(double) / doubles_per_cell / settings)
         fatal("grid snapshot: implausible sample count ", samples);
 
     MeasuredGrid grid(std::move(workload), std::move(space),
@@ -282,6 +327,10 @@ parseGridPayload(const std::string &payload)
             p.rowHitFrac = r.f64();
             p.rowClosedFrac = r.f64();
             p.rowConflictFrac = r.f64();
+            if (has_gpu) {
+                p.gpuWorkPerInstr = r.f64();
+                p.gpuActivity = r.f64();
+            }
         }
         grid.setProfiles(std::move(profiles));
     }
@@ -294,6 +343,8 @@ parseGridPayload(const std::string &payload)
             row.memEnergy[k] = r.f64();
             row.busyFrac[k] = r.f64();
             row.bwUtil[k] = r.f64();
+            if (has_gpu)
+                row.gpuEnergy[k] = r.f64();
         }
         grid.updateSampleAggregates(s);
     }
@@ -311,7 +362,7 @@ saveGridBinary(const MeasuredGrid &grid, std::ostream &os)
     ByteWriter header;
     for (const char c : kGridBinaryMagic)
         header.u8(static_cast<std::uint8_t>(c));
-    header.u32(kGridBinaryVersion);
+    header.u32(grid.space().hasGpu() ? 2 : 1);
     header.u64(payload.size());
     header.u64(payloadChecksum(payload));
     os.write(header.bytes().data(),
@@ -347,9 +398,9 @@ loadGridBinary(std::istream &is)
     ByteReader header(std::string_view(fixed, sizeof(fixed)),
                       "grid snapshot header");
     const std::uint32_t version = header.u32();
-    if (version != kGridBinaryVersion)
+    if (version < 1 || version > kGridBinaryVersion)
         fatal("grid snapshot: unsupported version ", version,
-              " (expected ", kGridBinaryVersion, ")");
+              " (expected 1..", kGridBinaryVersion, ")");
     const std::uint64_t payload_size = header.u64();
     const std::uint64_t checksum = header.u64();
     if (payload_size > kMaxPayloadBytes)
@@ -363,7 +414,7 @@ loadGridBinary(std::istream &is)
               payload_size, " bytes, got ", is.gcount(), ")");
     if (payloadChecksum(payload) != checksum)
         fatal("grid snapshot: checksum mismatch (corrupt snapshot)");
-    return parseGridPayload(payload);
+    return parseGridPayload(payload, version);
 }
 
 MeasuredGrid

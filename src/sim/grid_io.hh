@@ -17,6 +17,11 @@
  *           <rowConflict> <phaseName>
  *   cell <sample> <setting> <seconds> <cpuJ> <memJ> <busyFrac> <bwUtil>
  *
+ * Three-domain grids write "mcdvfs-grid v2": a "gpu <mhz...>" ladder
+ * line follows "mem", profile lines carry <gpuWorkPerInstr>
+ * <gpuActivity> before the phase name, and cell lines end with the
+ * GPU energy column.  The loader accepts both versions.
+ *
  * The binary format is the snapshot-store representation (see
  * daemon/snapshot_store.hh): an 8-byte magic, a version word, the
  * payload length, and an FNV-1a checksum of the payload, followed by
@@ -60,8 +65,13 @@ MeasuredGrid loadGridFromString(const std::string &text);
 inline constexpr char kGridBinaryMagic[8] = {'m', 'c', 'd', 'v',
                                              'f', 's', 'G', 'B'};
 
-/** Current binary snapshot version. */
-inline constexpr std::uint32_t kGridBinaryVersion = 1;
+/**
+ * Newest supported binary snapshot version.  Two-domain grids are
+ * written as v1 (byte-identical to historical snapshots); three-domain
+ * grids as v2 (GPU ladder, GPU profile fields, sixth cell column).
+ * The loader accepts both.
+ */
+inline constexpr std::uint32_t kGridBinaryVersion = 2;
 
 /** Serialize @c grid as a checksummed binary snapshot. */
 void saveGridBinary(const MeasuredGrid &grid, std::ostream &os);

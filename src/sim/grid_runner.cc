@@ -52,7 +52,8 @@ GridRunner::GridRunner(const SystemConfig &config)
     : config_(config), timingModel_(config.timing),
       cpuPower_(config.cpuPower, VoltageCurve::paperCpu()),
       dramPower_(config.dramPower, config.timing.dramTiming,
-                 config.timing.dramConfig)
+                 config.timing.dramConfig),
+      gpuPower_(config.gpuPower, GpuPowerModel::paperGpuCurve())
 {
 }
 
@@ -80,6 +81,13 @@ GridRunner::buildTables(const std::string &workload_name,
     tables.memTiming = timingModel_.memTable(space.memLadder());
     tables.dramEnergy = dramPower_.table(space.memLadder());
     tables.cpuPower = cpuPower_.table(space.cpuLadder());
+    if (space.hasGpu()) {
+        for (const Hertz f : space.gpuLadder().steps()) {
+            if (f <= 0.0)
+                fatal("gpu model: frequencies must be positive");
+        }
+        tables.gpuPower = gpuPower_.table(space.gpuLadder());
+    }
     tables.workloadHash = fnv1aString(kFnvOffsetBasis, workload_name);
     return tables;
 }
@@ -182,6 +190,17 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
     const std::size_t mem_steps = space.memLadder().size();
     const std::vector<Hertz> &cpu_steps = space.cpuLadder().steps();
 
+    // GPU-domain invariants (three-domain spaces only).  The GPU busy
+    // window scales only with its own frequency, so the product is a
+    // per-sample constant.
+    const bool has_gpu = space.hasGpu();
+    const double gpu_work = n * profile.gpuWorkPerInstr;
+    const double gpu_act =
+        std::clamp(profile.gpuActivity, 0.0, 1.0);
+    static const std::vector<Hertz> kNoGpuSteps;
+    const std::vector<Hertz> &gpu_steps =
+        has_gpu ? space.gpuLadder().steps() : kNoGpuSteps;
+
     // Per-(sample, memory-frequency) strips: the row-outcome-weighted
     // uncontended latency and the usable bandwidth.
     std::vector<double> base_lat(mem_steps);
@@ -245,27 +264,78 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
         const double static_power = op.background + op.leakage;
         const std::size_t base = c * mem_steps;
 
-        for (std::size_t m = 0; m < mem_steps; ++m) {
-            const double t = total[m];
-            row.seconds[base + m] = t;
-            row.busyFrac[base + m] = t > 0.0 ? core_time / t : 1.0;
-            row.bwUtil[base + m] = util[m];
-            row.cpuEnergy[base + m] =
-                busy_dyn * core_time + stall_dyn * stall[m] +
-                static_power * (core_time + stall[m]);
+        if (!has_gpu) {
+            for (std::size_t m = 0; m < mem_steps; ++m) {
+                const double t = total[m];
+                row.seconds[base + m] = t;
+                row.busyFrac[base + m] = t > 0.0 ? core_time / t : 1.0;
+                row.bwUtil[base + m] = util[m];
+                row.cpuEnergy[base + m] =
+                    busy_dyn * core_time + stall_dyn * stall[m] +
+                    static_power * (core_time + stall[m]);
 
-            const DramFreqCoefficients &de = tables.dramEnergy[m];
-            double background_power = de.activeBackground;
-            if (power_down) {
-                const double u = std::clamp(util[m], 0.0, 1.0);
-                const double down_frac = (1.0 - u) * residency;
-                background_power =
-                    de.activeBackground * (1.0 - down_frac) +
-                    de.powerDownBackground * down_frac;
+                const DramFreqCoefficients &de = tables.dramEnergy[m];
+                double background_power = de.activeBackground;
+                if (power_down) {
+                    const double u = std::clamp(util[m], 0.0, 1.0);
+                    const double down_frac = (1.0 - u) * residency;
+                    background_power =
+                        de.activeBackground * (1.0 - down_frac) +
+                        de.powerDownBackground * down_frac;
+                }
+                row.memEnergy[base + m] =
+                    background_power * t +
+                    de.activateEnergy * activates_d +
+                    (de.readEnergy * reads_d +
+                     de.writeEnergy * writes_d);
             }
-            row.memEnergy[base + m] =
-                background_power * t + de.activateEnergy * activates_d +
-                (de.readEnergy * reads_d + de.writeEnergy * writes_d);
+        } else {
+            // Three-domain strip: the CPU/memory fixed point above is
+            // GPU-frequency-independent, so each (c, m) strip element
+            // expands into a contiguous run of GPU steps (the GPU index
+            // varies fastest in the flat setting order).  Kicks are
+            // asynchronous: the sample ends when the slower of the CPU
+            // side and the GPU finishes, the core draws only static
+            // power while it waits, and the DRAM background window
+            // stretches with the sample.
+            for (std::size_t m = 0; m < mem_steps; ++m) {
+                const double t = total[m];
+                const double cpu_base =
+                    busy_dyn * core_time + stall_dyn * stall[m] +
+                    static_power * (core_time + stall[m]);
+
+                const DramFreqCoefficients &de = tables.dramEnergy[m];
+                double background_power = de.activeBackground;
+                if (power_down) {
+                    const double u = std::clamp(util[m], 0.0, 1.0);
+                    const double down_frac = (1.0 - u) * residency;
+                    background_power =
+                        de.activeBackground * (1.0 - down_frac) +
+                        de.powerDownBackground * down_frac;
+                }
+
+                const std::size_t gbase =
+                    (base + m) * gpu_steps.size();
+                for (std::size_t g = 0; g < gpu_steps.size(); ++g) {
+                    const double gpu_time = gpu_work / gpu_steps[g];
+                    const double t_final = std::max(t, gpu_time);
+                    row.seconds[gbase + g] = t_final;
+                    row.busyFrac[gbase + g] =
+                        t_final > 0.0 ? core_time / t_final : 1.0;
+                    row.bwUtil[gbase + g] = util[m];
+                    row.cpuEnergy[gbase + g] =
+                        cpu_base + static_power * (t_final - t);
+                    row.memEnergy[gbase + g] =
+                        background_power * t_final +
+                        de.activateEnergy * activates_d +
+                        (de.readEnergy * reads_d +
+                         de.writeEnergy * writes_d);
+                    const GpuOperatingPoint &gop = tables.gpuPower[g];
+                    row.gpuEnergy[gbase + g] =
+                        (gop.dynamicScale * gpu_act) * gpu_time +
+                        (gop.background + gop.leakage) * t_final;
+                }
+            }
         }
     }
 
@@ -292,11 +362,18 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
         std::vector<double> wobble_sec(settings);
         std::vector<double> wobble_cpu(settings);
         std::vector<double> wobble_mem(settings);
+        // The GPU column wobbles only on three-domain grids: each cell
+        // gets a fresh Rng, so drawing a fourth factor never perturbs
+        // the first three — two-domain noise is bit-for-bit unchanged.
+        std::vector<double> wobble_gpu(has_gpu ? settings : 0);
         for (std::size_t k = 0; k < settings; ++k) {
             Rng noise(fnv1aMixWord(sample_hash, k));
             wobble_sec[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
             wobble_cpu[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
             wobble_mem[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+            if (has_gpu)
+                wobble_gpu[k] =
+                    1.0 + amp * (2.0 * noise.uniform() - 1.0);
         }
         for (std::size_t k = 0; k < settings; ++k)
             row.seconds[k] *= wobble_sec[k];
@@ -304,6 +381,10 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
             row.cpuEnergy[k] *= wobble_cpu[k];
         for (std::size_t k = 0; k < settings; ++k)
             row.memEnergy[k] *= wobble_mem[k];
+        if (has_gpu) {
+            for (std::size_t k = 0; k < settings; ++k)
+                row.gpuEnergy[k] *= wobble_gpu[k];
+        }
     }
 
     grid.updateSampleAggregates(sample);

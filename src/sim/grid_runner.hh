@@ -25,6 +25,7 @@
 #include "exec/thread_pool.hh"
 #include "power/cpu_power.hh"
 #include "power/dram_power.hh"
+#include "power/gpu_power.hh"
 #include "sim/measured_grid.hh"
 #include "sim/sample_simulator.hh"
 #include "sim/timing_model.hh"
@@ -40,6 +41,8 @@ struct SystemConfig
     TimingParams timing{};
     CpuPowerParams cpuPower{};
     DramPowerParams dramPower{};
+    /** GPU domain calibration; consulted only on three-domain spaces. */
+    GpuPowerParams gpuPower{};
 
     /**
      * Relative measurement noise applied to every grid cell
@@ -101,6 +104,8 @@ class GridRunner
         std::vector<DramFreqCoefficients> dramEnergy;
         /** Per-CPU-frequency power coefficients. */
         std::vector<CpuOperatingPoint> cpuPower;
+        /** Per-GPU-frequency power coefficients (3-domain spaces). */
+        std::vector<GpuOperatingPoint> gpuPower;
         /** Workload-name hash feeding the per-cell noise seeds. */
         std::uint64_t workloadHash = 0;
     };
@@ -118,6 +123,7 @@ class GridRunner
     TimingModel timingModel_;
     CpuPowerModel cpuPower_;
     DramPowerModel dramPower_;
+    GpuPowerModel gpuPower_;
     exec::ThreadPool *pool_ = nullptr;
 };
 

@@ -27,6 +27,7 @@ MeasuredGrid::MeasuredGrid(std::string workload, SettingsSpace space,
     memEnergy_.assign(cells, 0.0);
     busyFrac_.assign(cells, 1.0);
     bwUtil_.assign(cells, 0.0);
+    gpuEnergy_.assign(cells, 0.0);
     sampleEmin_.assign(samples_, 0.0);
     sampleSlowest_.assign(samples_, 0.0);
     sampleFastest_.assign(samples_, 0.0);
@@ -57,7 +58,7 @@ MeasuredGrid::cell(std::size_t sample, std::size_t setting)
         digestedRows_ = 0;
     }
     return GridCellRef(seconds_[i], cpuEnergy_[i], memEnergy_[i],
-                       busyFrac_[i], bwUtil_[i]);
+                       busyFrac_[i], bwUtil_[i], gpuEnergy_[i]);
 }
 
 GridCell
@@ -65,7 +66,7 @@ MeasuredGrid::cell(std::size_t sample, std::size_t setting) const
 {
     const std::size_t i = index(sample, setting);
     return GridCell{seconds_[i], cpuEnergy_[i], memEnergy_[i],
-                    busyFrac_[i], bwUtil_[i]};
+                    busyFrac_[i], bwUtil_[i],   gpuEnergy_[i]};
 }
 
 MeasuredGrid::RowView
@@ -73,9 +74,9 @@ MeasuredGrid::fillRow(std::size_t sample)
 {
     MCDVFS_ASSERT(sample < samples_, "sample index out of range");
     const std::size_t base = sample * settings_;
-    return RowView{seconds_.data() + base, cpuEnergy_.data() + base,
+    return RowView{seconds_.data() + base,  cpuEnergy_.data() + base,
                    memEnergy_.data() + base, busyFrac_.data() + base,
-                   bwUtil_.data() + base};
+                   bwUtil_.data() + base,    gpuEnergy_.data() + base};
 }
 
 void
@@ -87,7 +88,9 @@ MeasuredGrid::updateSampleAggregates(std::size_t sample)
     Seconds slowest = 0.0;
     Seconds fastest = std::numeric_limits<double>::infinity();
     for (std::size_t k = 0; k < settings_; ++k) {
-        emin = std::min(emin, cpuEnergy_[base + k] + memEnergy_[base + k]);
+        emin = std::min(emin,
+                        (cpuEnergy_[base + k] + memEnergy_[base + k]) +
+                            gpuEnergy_[base + k]);
         slowest = std::max(slowest, seconds_[base + k]);
         fastest = std::min(fastest, seconds_[base + k]);
     }
@@ -169,7 +172,7 @@ MeasuredGrid::totalEnergy(std::size_t setting) const
     Joules total = 0.0;
     for (std::size_t s = 0; s < samples_; ++s) {
         const std::size_t i = s * settings_ + setting;
-        total += cpuEnergy_[i] + memEnergy_[i];
+        total += (cpuEnergy_[i] + memEnergy_[i]) + gpuEnergy_[i];
     }
     return total;
 }
@@ -205,6 +208,7 @@ MeasuredGrid::prefixDigest(std::size_t samples) const
         // only collide across identical spaces (the §V tie-break reads
         // the setting frequencies, not just the measured columns).
         std::uint64_t chain;
+        const bool has_gpu = space_.hasGpu();
         if (digestedRows_ == 0) {
             chain = fnv1aMixWord(kFnvOffsetBasis, settings_);
             for (const Hertz f : space_.cpuLadder().steps())
@@ -213,6 +217,14 @@ MeasuredGrid::prefixDigest(std::size_t samples) const
             for (const Hertz f : space_.memLadder().steps())
                 chain = fnv1aMixWord(
                     chain, std::bit_cast<std::uint64_t>(f));
+            // Three-domain grids additionally chain the GPU ladder
+            // and column; two-domain digests are byte-for-byte what
+            // they always were, so existing checkpoints stay valid.
+            if (has_gpu) {
+                for (const Hertz f : space_.gpuLadder().steps())
+                    chain = fnv1aMixWord(
+                        chain, std::bit_cast<std::uint64_t>(f));
+            }
         } else {
             chain = rowDigests_[digestedRows_ - 1];
         }
@@ -228,6 +240,10 @@ MeasuredGrid::prefixDigest(std::size_t samples) const
                 chain = fnv1aMixWord(
                     chain, std::bit_cast<std::uint64_t>(
                                memEnergy_[base + k]));
+                if (has_gpu)
+                    chain = fnv1aMixWord(
+                        chain, std::bit_cast<std::uint64_t>(
+                                   gpuEnergy_[base + k]));
             }
             rowDigests_[s] = chain;
         }

@@ -48,8 +48,15 @@ struct GridCell
     double busyFrac = 1.0;
     /** DRAM bandwidth utilization. */
     double bwUtil = 0.0;
+    /** GPU-domain energy; 0 on two-domain grids. */
+    Joules gpuEnergy = 0.0;
 
-    Joules energy() const { return cpuEnergy + memEnergy; }
+    /**
+     * Total cell energy.  Association is fixed as (cpu + mem) + gpu
+     * everywhere so two-domain grids (gpu == +0.0) keep their exact
+     * historical bit patterns.
+     */
+    Joules energy() const { return (cpuEnergy + memEnergy) + gpuEnergy; }
 };
 
 /** Mutable view of one cell inside the SoA columns. */
@@ -57,9 +64,9 @@ class GridCellRef
 {
   public:
     GridCellRef(double &seconds_ref, double &cpu_ref, double &mem_ref,
-                double &busy_ref, double &bw_ref)
+                double &busy_ref, double &bw_ref, double &gpu_ref)
         : seconds(seconds_ref), cpuEnergy(cpu_ref), memEnergy(mem_ref),
-          busyFrac(busy_ref), bwUtil(bw_ref)
+          busyFrac(busy_ref), bwUtil(bw_ref), gpuEnergy(gpu_ref)
     {}
 
     double &seconds;
@@ -67,10 +74,11 @@ class GridCellRef
     double &memEnergy;
     double &busyFrac;
     double &bwUtil;
+    double &gpuEnergy;
 
-    Joules energy() const { return cpuEnergy + memEnergy; }
+    Joules energy() const { return (cpuEnergy + memEnergy) + gpuEnergy; }
 
-    /** Assign all five quantities from a value cell. */
+    /** Assign all six quantities from a value cell. */
     GridCellRef &
     operator=(const GridCell &cell)
     {
@@ -79,13 +87,15 @@ class GridCellRef
         memEnergy = cell.memEnergy;
         busyFrac = cell.busyFrac;
         bwUtil = cell.bwUtil;
+        gpuEnergy = cell.gpuEnergy;
         return *this;
     }
 
     /** Materialize a value cell from the view. */
     operator GridCell() const
     {
-        return GridCell{seconds, cpuEnergy, memEnergy, busyFrac, bwUtil};
+        return GridCell{seconds, cpuEnergy, memEnergy,
+                        busyFrac, bwUtil,    gpuEnergy};
     }
 };
 
@@ -108,6 +118,7 @@ class MeasuredGrid
         double *memEnergy = nullptr;
         double *busyFrac = nullptr;
         double *bwUtil = nullptr;
+        double *gpuEnergy = nullptr;
     };
 
     /**
@@ -160,12 +171,23 @@ class MeasuredGrid
         return memEnergy_[fastIndex(sample, setting)];
     }
 
-    /** Total (CPU + memory) energy of one cell. */
+    Joules
+    gpuEnergyAt(std::size_t sample, std::size_t setting) const
+    {
+        return gpuEnergy_[fastIndex(sample, setting)];
+    }
+
+    /**
+     * Total (CPU + memory + GPU) energy of one cell.  Association is
+     * fixed as (cpu + mem) + gpu: the GPU column is all +0.0 on
+     * two-domain grids, and x + 0.0 == x bit-for-bit for the positive
+     * finite energies here, so two-domain analyses are unchanged.
+     */
     Joules
     energyAt(std::size_t sample, std::size_t setting) const
     {
         const std::size_t i = fastIndex(sample, setting);
-        return cpuEnergy_[i] + memEnergy_[i];
+        return (cpuEnergy_[i] + memEnergy_[i]) + gpuEnergy_[i];
     }
 
     double
@@ -204,6 +226,12 @@ class MeasuredGrid
     memEnergyRow(std::size_t sample) const
     {
         return memEnergy_.data() + fastIndex(sample, 0);
+    }
+
+    const double *
+    gpuEnergyRow(std::size_t sample) const
+    {
+        return gpuEnergy_.data() + fastIndex(sample, 0);
     }
     ///@}
 
@@ -298,6 +326,7 @@ class MeasuredGrid
     std::vector<double> memEnergy_;
     std::vector<double> busyFrac_;
     std::vector<double> bwUtil_;
+    std::vector<double> gpuEnergy_;
     ///@}
 
     /** @name Per-sample aggregate cache. */

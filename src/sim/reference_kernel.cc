@@ -1,5 +1,6 @@
 #include "sim/reference_kernel.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/hash.hh"
@@ -54,11 +55,13 @@ evaluateSampleReference(MeasuredGrid &grid, const SystemConfig &config,
                         const TimingModel &timing_model,
                         const CpuPowerModel &cpu_power,
                         const DramPowerModel &dram_power,
+                        const GpuPowerModel &gpu_power,
                         const SampleProfile &profile, std::size_t sample,
                         const SettingsSpace &space,
                         Count instructions_per_sample)
 {
     const double n = static_cast<double>(instructions_per_sample);
+    const bool has_gpu = space.hasGpu();
 
     // Scale the per-instruction rates back up to the modeled
     // sample length for the DRAM energy accounting.
@@ -85,18 +88,47 @@ evaluateSampleReference(MeasuredGrid &grid, const SystemConfig &config,
         const SampleTiming timing = timing_model.evaluate(
             profile, setting, instructions_per_sample);
 
-        row.seconds[k] = timing.total;
-        row.busyFrac[k] =
-            timing.total > 0.0 ? timing.busy / timing.total : 1.0;
-        row.bwUtil[k] = timing.bwUtil;
-        row.cpuEnergy[k] =
-            cpu_power.energy(setting.cpu, profile.activity,
-                             timing.busy, timing.stall);
-        row.memEnergy[k] =
-            dram_power
-                .energy(dram_stats, setting.mem, timing.total,
-                        timing.bwUtil)
-                .total();
+        if (!has_gpu) {
+            row.seconds[k] = timing.total;
+            row.busyFrac[k] =
+                timing.total > 0.0 ? timing.busy / timing.total : 1.0;
+            row.bwUtil[k] = timing.bwUtil;
+            row.cpuEnergy[k] =
+                cpu_power.energy(setting.cpu, profile.activity,
+                                 timing.busy, timing.stall);
+            row.memEnergy[k] =
+                dram_power
+                    .energy(dram_stats, setting.mem, timing.total,
+                            timing.bwUtil)
+                    .total();
+        } else {
+            // Third domain: the GPU's busy window depends only on its
+            // own frequency; the sample ends when the slower side
+            // finishes.  The core draws only static power over the
+            // wait, the DRAM background window stretches with the
+            // sample, and the GPU domain stays clocked throughout.
+            const double gpu_time =
+                n * profile.gpuWorkPerInstr / setting.gpu;
+            const double t_final = std::max(timing.total, gpu_time);
+            const CpuOperatingPoint op =
+                cpu_power.operatingPoint(setting.cpu);
+            row.seconds[k] = t_final;
+            row.busyFrac[k] =
+                t_final > 0.0 ? timing.busy / t_final : 1.0;
+            row.bwUtil[k] = timing.bwUtil;
+            row.cpuEnergy[k] =
+                cpu_power.energy(setting.cpu, profile.activity,
+                                 timing.busy, timing.stall) +
+                (op.background + op.leakage) *
+                    (t_final - timing.total);
+            row.memEnergy[k] =
+                dram_power
+                    .energy(dram_stats, setting.mem, t_final,
+                            timing.bwUtil)
+                    .total();
+            row.gpuEnergy[k] = gpu_power.energy(
+                setting.gpu, profile.gpuActivity, gpu_time, t_final);
+        }
 
         if (config.measurementNoise > 0.0) {
             // Deterministic "simulation noise" on the measured
@@ -109,6 +141,8 @@ evaluateSampleReference(MeasuredGrid &grid, const SystemConfig &config,
             row.seconds[k] = wobble(row.seconds[k]);
             row.cpuEnergy[k] = wobble(row.cpuEnergy[k]);
             row.memEnergy[k] = wobble(row.memEnergy[k]);
+            if (has_gpu)
+                row.gpuEnergy[k] = wobble(row.gpuEnergy[k]);
         }
     }
 
@@ -131,14 +165,16 @@ referenceGridWithProfiles(const SystemConfig &config,
     const DramPowerModel dram_power(config.dramPower,
                                     config.timing.dramTiming,
                                     config.timing.dramConfig);
+    const GpuPowerModel gpu_power(config.gpuPower,
+                                  GpuPowerModel::paperGpuCurve());
 
     MeasuredGrid grid(workload_name, space, profiles.size(),
                       instructions_per_sample);
 
     auto eval = [&](std::size_t s) {
         evaluateSampleReference(grid, config, timing_model, cpu_power,
-                                dram_power, profiles[s], s, space,
-                                instructions_per_sample);
+                                dram_power, gpu_power, profiles[s], s,
+                                space, instructions_per_sample);
     };
     if (pool != nullptr && pool->size() > 0 && profiles.size() > 1)
         pool->parallelFor(0, profiles.size(), eval);

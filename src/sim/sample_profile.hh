@@ -34,6 +34,17 @@ struct SampleProfile
     double mlp = 1.5;       ///< sustainable overlapping DRAM misses
     ///@}
 
+    /** @name Measured GPU offload behaviour. */
+    ///@{
+    /**
+     * GPU cycles of offloaded work per instruction (measured kick rate
+     * times the phase's cycles per kick); 0 for CPU-only samples.
+     */
+    double gpuWorkPerInstr = 0.0;
+    /** GPU dynamic-power activity factor while busy. */
+    double gpuActivity = 0.0;
+    ///@}
+
     /** @name Measured cache behaviour (per instruction / per kilo). */
     ///@{
     double l1Mpki = 0.0;          ///< L1 misses per 1000 instructions

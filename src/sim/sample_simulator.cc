@@ -33,8 +33,13 @@ SampleSimulator::profileFromSource(TraceSource &gen, Count instructions,
     Count dram_reads = 0;
     Count dram_writes = 0;
     Count dram_prefetch = 0;
+    Count gpu_kicks = 0;
     for (Count i = 0; i < instructions; ++i) {
         const InstrRecord instr = gen.next();
+        if (instr.kind == InstrKind::GpuKick) {
+            ++gpu_kicks;
+            continue;
+        }
         if (!isMemory(instr.kind))
             continue;
         const bool is_write = instr.kind == InstrKind::Store;
@@ -70,6 +75,9 @@ SampleSimulator::profileFromSource(TraceSource &gen, Count instructions,
     profile.dramWritesPerInstr = static_cast<double>(dram_writes) / n;
     profile.dramPrefetchPerInstr =
         static_cast<double>(dram_prefetch) / n;
+    profile.gpuWorkPerInstr =
+        (static_cast<double>(gpu_kicks) / n) * spec.gpuCyclesPerKick;
+    profile.gpuActivity = spec.gpuActivity;
 
     const Count dram_total = dram_stats.accesses();
     if (dram_total > 0) {

@@ -29,7 +29,10 @@ addPhase(HashBuilder &h, const PhaseSpec &phase)
         .add(phase.coldBytes)
         .add(phase.coldSeqFrac)
         .add(phase.mlp)
-        .add(phase.activity);
+        .add(phase.activity)
+        .add(phase.gpuKickFrac)
+        .add(phase.gpuCyclesPerKick)
+        .add(phase.gpuActivity);
 }
 
 void
@@ -119,12 +122,23 @@ fingerprintWorkload(const WorkloadProfile &workload)
 std::uint64_t
 fingerprintSpace(const SettingsSpace &space)
 {
+    // Hash the domain list itself — count, then every ladder with its
+    // own length — rather than the flattened cross product.  Flattened
+    // (cpu, mem) tuples can be identical between a two-domain space
+    // and a three-domain space sharing its CPU x mem prefix (e.g. a
+    // one-step GPU ladder), and those must never collide: their grids
+    // have different shapes and different GPU columns.
     HashBuilder h;
-    h.add(static_cast<std::uint64_t>(space.size()));
-    for (std::size_t k = 0; k < space.size(); ++k) {
-        const FrequencySetting setting = space.at(k);
-        h.add(setting.cpu).add(setting.mem);
-    }
+    h.add(static_cast<std::uint64_t>(space.domainCount()));
+    const auto add_ladder = [&h](const FrequencyLadder &ladder) {
+        h.add(static_cast<std::uint64_t>(ladder.size()));
+        for (const Hertz f : ladder.steps())
+            h.add(f);
+    };
+    add_ladder(space.cpuLadder());
+    add_ladder(space.memLadder());
+    if (space.hasGpu())
+        add_ladder(space.gpuLadder());
     return h.digest();
 }
 
@@ -155,6 +169,11 @@ fingerprintConfig(const SystemConfig &config)
         .add(cpu.peakBackground)
         .add(cpu.leakageAtVmax)
         .add(cpu.stallActivity);
+
+    const GpuPowerParams &gpu = config.gpuPower;
+    h.add(gpu.peakDynamic)
+        .add(gpu.peakBackground)
+        .add(gpu.leakageAtVmax);
 
     const DramPowerParams &dram = config.dramPower;
     h.add(dram.vdd1).add(dram.vdd2).add(dram.specFreq);

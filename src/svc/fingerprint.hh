@@ -55,7 +55,12 @@ class HashBuilder
  */
 std::uint64_t fingerprintWorkload(const WorkloadProfile &workload);
 
-/** Content hash of a settings space (every setting, in index order). */
+/**
+ * Content hash of a settings space: the domain count and every
+ * per-domain ladder (length plus steps).  Hashing the domain list —
+ * not the flattened cross product — keeps a three-domain space from
+ * colliding with a two-domain space that shares its CPU x mem prefix.
+ */
 std::uint64_t fingerprintSpace(const SettingsSpace &space);
 
 /** Content hash of the full system configuration. */

@@ -21,6 +21,7 @@ enum class InstrKind : std::uint8_t
     Load,     ///< memory read
     Store,    ///< memory write
     Branch,   ///< control transfer
+    GpuKick,  ///< asynchronous GPU offload submission
 };
 
 /** One dynamic instruction. @c addr is meaningful for Load/Store only. */

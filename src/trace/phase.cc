@@ -15,7 +15,11 @@ PhaseSpec::validate() const
         !in01(fpFrac) || !in01(mulFrac)) {
         fatal("phase '", name, "': instruction-mix fraction out of [0,1]");
     }
-    if (loadFrac + storeFrac + branchFrac + fpFrac + mulFrac > 1.0 + 1e-9)
+    if (!in01(gpuKickFrac))
+        fatal("phase '", name, "': gpuKickFrac out of [0,1]");
+    if (loadFrac + storeFrac + branchFrac + fpFrac + mulFrac +
+            gpuKickFrac >
+        1.0 + 1e-9)
         fatal("phase '", name, "': instruction mix exceeds 1.0");
     if (!in01(hotFrac) || !in01(warmFrac) || hotFrac + warmFrac > 1.0 + 1e-9)
         fatal("phase '", name, "': footprint tier fractions invalid");
@@ -27,6 +31,10 @@ PhaseSpec::validate() const
         fatal("phase '", name, "': mlp must be >= 1");
     if (!in01(activity))
         fatal("phase '", name, "': activity out of [0,1]");
+    if (!in01(gpuActivity))
+        fatal("phase '", name, "': gpuActivity out of [0,1]");
+    if (gpuCyclesPerKick < 0.0)
+        fatal("phase '", name, "': gpuCyclesPerKick must be >= 0");
     if (hotBytes == 0 || warmBytes == 0 || coldBytes == 0)
         fatal("phase '", name, "': footprint sizes must be positive");
 }
@@ -57,6 +65,9 @@ PhaseSpec::lerp(const PhaseSpec &other, double t) const
     out.coldSeqFrac = mix(coldSeqFrac, other.coldSeqFrac);
     out.mlp = mix(mlp, other.mlp);
     out.activity = mix(activity, other.activity);
+    out.gpuKickFrac = mix(gpuKickFrac, other.gpuKickFrac);
+    out.gpuCyclesPerKick = mix(gpuCyclesPerKick, other.gpuCyclesPerKick);
+    out.gpuActivity = mix(gpuActivity, other.gpuActivity);
     return out;
 }
 

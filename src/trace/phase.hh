@@ -65,6 +65,20 @@ struct PhaseSpec
     /** Dynamic-power activity factor in [0, 1] relative to peak. */
     double activity = 0.7;
 
+    /** @name GPU offload channel (0 everywhere = CPU-only phase). */
+    ///@{
+    /**
+     * Fraction of dynamic instructions that are GPU kick commands
+     * (asynchronous offload submissions); part of the instruction mix
+     * sum alongside loads/stores/branches/fp/mul.
+     */
+    double gpuKickFrac = 0.0;
+    /** GPU cycles of work each kick enqueues. */
+    double gpuCyclesPerKick = 0.0;
+    /** GPU dynamic-power activity factor in [0, 1] while busy. */
+    double gpuActivity = 0.0;
+    ///@}
+
     /** Cold fraction implied by the tier fractions. */
     double coldFrac() const { return 1.0 - hotFrac - warmFrac; }
 

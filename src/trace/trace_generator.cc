@@ -77,6 +77,15 @@ TraceGenerator::next()
         rec.kind = InstrKind::IntMul;
         return rec;
     }
+    // GPU kick edge: gpuKickFrac is 0 for CPU-only phases, so the edge
+    // collapses (edge += 0.0 leaves the bits unchanged) and the branch
+    // structure — and therefore the RNG stream — is identical to the
+    // two-domain generator.
+    edge += spec_.gpuKickFrac;
+    if (k < edge) {
+        rec.kind = InstrKind::GpuKick;
+        return rec;
+    }
     rec.kind = InstrKind::IntAlu;
     return rec;
 }

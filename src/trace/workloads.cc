@@ -506,6 +506,60 @@ makeSoplex()
         0x50f1e321, /*jitter=*/0.03);
 }
 
+WorkloadProfile
+makeGlrender()
+{
+    // glrender: a mobile render loop.  The submit phase issues GPU
+    // kicks at a high rate (frame draw calls) with modest CPU work;
+    // the prepare phase is CPU-bound scene/physics work with only a
+    // trickle of kicks.  The alternation makes the optimal setting
+    // swing between GPU-priority and CPU-priority corners, which is
+    // what the budget arbiter's cap tables act on.
+    PhaseSpec submit = intBase();
+    submit.name = "glrender.submit";
+    submit.baseCpi = 0.95;
+    submit.loadFrac = 0.20;
+    submit.storeFrac = 0.08;
+    submit.branchFrac = 0.12;
+    submit.gpuKickFrac = 0.004;
+    submit.gpuCyclesPerKick = 220'000.0;
+    submit.gpuActivity = 0.85;
+    submit.hotFrac = 0.93;
+    submit.warmFrac = 0.05;
+    submit.coldSeqFrac = 0.70;
+    submit.mlp = 2.0;
+    submit.activity = 0.55;
+
+    PhaseSpec prepare = intBase();
+    prepare.name = "glrender.prepare";
+    prepare.baseCpi = 0.80;
+    prepare.gpuKickFrac = 0.0004;
+    prepare.gpuCyclesPerKick = 120'000.0;
+    prepare.gpuActivity = 0.70;
+    prepare.hotFrac = 0.95;
+    prepare.warmFrac = 0.04;
+    prepare.mlp = 1.6;
+    prepare.activity = 0.75;
+
+    return WorkloadProfile(
+        "glrender", 96,
+        [=](std::size_t s) {
+            // 8-sample frames: 3 submit-heavy, 5 prepare-heavy, with a
+            // blended boundary sample.
+            switch (s % 8) {
+              case 0:
+              case 1:
+              case 2:
+                return submit;
+              case 3:
+                return submit.lerp(prepare, 0.5);
+              default:
+                return prepare;
+            }
+        },
+        0x61e4de12, /*jitter=*/0.03);
+}
+
 std::vector<WorkloadProfile>
 standardWorkloads()
 {
@@ -529,6 +583,7 @@ extendedWorkloads()
     all.push_back(makeOmnetpp());
     all.push_back(makeNamd());
     all.push_back(makeSoplex());
+    all.push_back(makeGlrender());
     return all;
 }
 
@@ -541,7 +596,7 @@ workloadByName(const std::string &name)
     }
     fatal("unknown workload '", name,
           "' (expected one of: bzip2 gcc gobmk lbm libq. milc mcf "
-          "hmmer sjeng omnetpp namd soplex)");
+          "hmmer sjeng omnetpp namd soplex glrender)");
 }
 
 } // namespace mcdvfs

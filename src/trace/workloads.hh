@@ -103,6 +103,15 @@ WorkloadProfile makeNamd();       ///< FP, compute dense, CPU bound
 WorkloadProfile makeSoplex();     ///< FP, long memory/compute phases
 ///@}
 
+/**
+ * GPU-offload workload for the three-domain (CPU x mem x GPU) spaces:
+ * render-loop phases that alternate GPU-bound frame submission with
+ * CPU-bound scene preparation, exercising the trace generator's GPU
+ * kick channel.  On a two-domain space the kicks cost nothing and the
+ * workload degenerates to a light CPU phase.
+ */
+WorkloadProfile makeGlrender();
+
 /** The six benchmarks the paper reports, in its order. */
 std::vector<WorkloadProfile> standardWorkloads();
 

@@ -129,8 +129,58 @@ TEST(SettingMask, CapacityContract)
     EXPECT_TRUE(SettingMask::supports(0));
     EXPECT_TRUE(SettingMask::supports(496));
     EXPECT_TRUE(SettingMask::supports(SettingMask::kCapacity));
-    EXPECT_FALSE(SettingMask::supports(SettingMask::kCapacity + 1));
-    EXPECT_THROW(SettingMask(SettingMask::kCapacity + 1), FatalError);
+    // The heap tier carries spaces past the inline capacity up to the
+    // (generous) hard cap.
+    EXPECT_TRUE(SettingMask::supports(SettingMask::kCapacity + 1));
+    EXPECT_TRUE(SettingMask::supports(SettingMask::kMaxCapacity));
+    EXPECT_FALSE(SettingMask::supports(SettingMask::kMaxCapacity + 1));
+    EXPECT_THROW(SettingMask(SettingMask::kMaxCapacity + 1), FatalError);
+}
+
+TEST(SettingMask, HeapTierBehavesLikeInlineTier)
+{
+    // A 3-domain-sized space past the inline capacity: same bit
+    // semantics, word count rounded up to whole 256-bit registers.
+    SettingMask mask(1500);
+    EXPECT_EQ(mask.size(), 1500u);
+    EXPECT_EQ(mask.wordCount(), 24u);  // ceil(1500/64)=24, already x4
+    EXPECT_TRUE(mask.none());
+
+    const std::vector<std::size_t> bits = {0, 63, 512, 513, 1023, 1499};
+    for (const std::size_t k : bits)
+        mask.set(k);
+    EXPECT_EQ(toVector(mask), bits);
+    EXPECT_EQ(mask.count(), bits.size());
+    EXPECT_EQ(mask.firstSet(), 0u);
+    EXPECT_TRUE(mask.test(512));
+    EXPECT_FALSE(mask.test(511));
+
+    SettingMask other(1500);
+    other.set(513);
+    other.set(1499);
+    other.set(700);
+    EXPECT_TRUE(mask.intersects(other));
+    EXPECT_TRUE(mask.andInplaceAny(other));
+    EXPECT_EQ(toVector(mask), (std::vector<std::size_t>{513, 1499}));
+
+    std::vector<double> values(1500, 0.0);
+    values[513] = 2.0;
+    const SettingMask kept = mask.filterGE(values.data(), 1.0);
+    EXPECT_EQ(toVector(kept), std::vector<std::size_t>{513});
+
+    mask.clear();
+    EXPECT_TRUE(mask.none());
+    EXPECT_EQ(mask.size(), 1500u);
+}
+
+TEST(SettingMask, InlineTierKeepsHistoricalWordCount)
+{
+    // Small spaces must keep the fixed kWords backing so the vector
+    // kernels' trip counts (and the golden bit patterns) are unchanged.
+    EXPECT_EQ(SettingMask(70).wordCount(), SettingMask::kWords);
+    EXPECT_EQ(SettingMask(496).wordCount(), SettingMask::kWords);
+    EXPECT_EQ(SettingMask(512).wordCount(), SettingMask::kWords);
+    EXPECT_EQ(SettingMask(513).wordCount(), 12u);
 }
 
 } // namespace

@@ -213,6 +213,96 @@ TEST(SimdGolden, AndInplaceAnyMatchesScalar)
     EXPECT_TRUE(odd.none());
 }
 
+TEST(SimdGolden, FilterGEMatchesScalarHeapTier)
+{
+    // Same compare-semantics pin as FilterGEMatchesScalar, but past
+    // the inline tier: 1500 settings spill to the heap word vector,
+    // whose rounded-up register count the AVX2 path relies on.
+    const std::size_t n = 1500;
+    std::vector<double> values(n);
+    SettingMask mask(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        values[i] = 0.05 * static_cast<double>(i % 61) - 1.5;
+        if (i % 19 == 0)
+            values[i] = std::numeric_limits<double>::quiet_NaN();
+        if (i % 11 == 0)
+            values[i] = 0.5;
+        if (i % 5 != 0)
+            mask.set(i);
+    }
+    for (const double cutoff :
+         {0.5, 0.0, -2.0, std::numeric_limits<double>::infinity()}) {
+        SettingMask scalar_out(0);
+        {
+            LevelGuard guard(simd::Level::Scalar);
+            scalar_out = mask.filterGE(values.data(), cutoff);
+        }
+        LevelGuard guard(bestLevel());
+        const SettingMask best_out = mask.filterGE(values.data(), cutoff);
+        EXPECT_EQ(scalar_out, best_out) << "cutoff " << cutoff;
+    }
+}
+
+TEST(SimdGolden, AndInplaceAnyMatchesScalarHeapTier)
+{
+    const std::size_t n = 1500;
+    SettingMask a(n);
+    SettingMask b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i % 2 == 0)
+            a.set(i);
+        if (i % 7 == 0)
+            b.set(i);
+    }
+    SettingMask scalar_a = a;
+    bool scalar_any = false;
+    {
+        LevelGuard guard(simd::Level::Scalar);
+        scalar_any = scalar_a.andInplaceAny(b);
+    }
+    LevelGuard guard(bestLevel());
+    SettingMask best_a = a;
+    EXPECT_EQ(best_a.andInplaceAny(b), scalar_any);
+    EXPECT_EQ(best_a, scalar_a);
+
+    // A single surviving bit in the last heap word must be reported.
+    SettingMask lone(n);
+    SettingMask all(n);
+    lone.set(n - 1);
+    for (std::size_t i = 0; i < n; ++i)
+        all.set(i);
+    EXPECT_TRUE(lone.andInplaceAny(all));
+    EXPECT_EQ(lone.count(), 1u);
+}
+
+TEST(SimdGolden, ThreeDomainAnalysisBitIdenticalAcrossLevels)
+{
+    // A 560-setting CPU x mem x GPU space exercises the heap mask tier
+    // through the full cluster/region chain: scalar and best vector
+    // level must agree bit for bit, as on the two-domain fast path.
+    const SettingsSpace space = SettingsSpace::coarse3();
+    ASSERT_GT(space.size(), SettingMask::kCapacity);
+
+    const auto run_sweep = [&] {
+        GridRunner runner(test::fastSystemConfig());
+        const MeasuredGrid grid =
+            runner.run(test::phasedWorkload(), space);
+        InefficiencyAnalysis analysis(grid);
+        OptimalSettingsFinder finder(analysis);
+        ClusterFinder clusters(finder);
+        AnalysisSweep sweep(clusters);
+        return sweep.run(figureSweepPoints());
+    };
+
+    std::vector<SweepResult> scalar_results;
+    {
+        LevelGuard guard(simd::Level::Scalar);
+        scalar_results = run_sweep();
+    }
+    LevelGuard guard(bestLevel());
+    expectSweepsIdentical(scalar_results, run_sweep());
+}
+
 TEST(SimdGolden, GridBuildBitIdenticalAcrossLevels)
 {
     for (const double noise : {0.0, 0.02}) {

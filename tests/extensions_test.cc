@@ -222,12 +222,23 @@ TEST(BandwidthAblation, AgreesWhenFarFromSaturation)
     EXPECT_NEAR(t_full, t_lat, t_lat * 0.02);
 }
 
-TEST(ExtendedWorkloads, TwelveBenchmarksAvailable)
+TEST(ExtendedWorkloads, ThirteenBenchmarksAvailable)
 {
     const auto all = extendedWorkloads();
-    ASSERT_EQ(all.size(), 12u);
+    ASSERT_EQ(all.size(), 13u);
     EXPECT_EQ(workloadByName("mcf").name(), "mcf");
     EXPECT_EQ(workloadByName("soplex").name(), "soplex");
+    EXPECT_EQ(workloadByName("glrender").name(), "glrender");
+}
+
+TEST(ExtendedWorkloads, GlrenderCarriesGpuKicks)
+{
+    const WorkloadProfile gl = workloadByName("glrender");
+    const PhaseSpec submit = gl.phaseFor(0);
+    EXPECT_GT(submit.gpuKickFrac, 0.0);
+    EXPECT_GT(submit.gpuCyclesPerKick, 0.0);
+    EXPECT_GT(submit.gpuActivity, 0.0);
+    EXPECT_NO_THROW(submit.validate());
 }
 
 TEST(ExtendedWorkloads, AllPhasesValidate)

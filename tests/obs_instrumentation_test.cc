@@ -23,6 +23,7 @@
 #include "exec/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "repro/analyses.hh"
+#include "runtime/budget_arbiter.hh"
 #include "runtime/tuning_loop.hh"
 #include "sched/scheduler.hh"
 #include "sim/reference_kernel.hh"
@@ -321,6 +322,60 @@ TEST(ObsInstrumentation, TuningLoopOverheadLedger)
         static_cast<double>(test::phasedGrid().sampleCount())));
     EXPECT_EQ(counterValue("runtime.tuning.budget_violations"),
               violations0 + violations);
+}
+
+TEST(ObsInstrumentation, BudgetArbiterDecisionCounters)
+{
+    REQUIRE_METRICS_ON();
+    const std::uint64_t decisions0 =
+        counterValue("runtime.arbiter.decisions");
+    const std::uint64_t kept0 = counterValue("runtime.arbiter.kept");
+    const std::uint64_t retunes0 =
+        counterValue("runtime.arbiter.retunes");
+    const std::uint64_t capped0 = counterValue("runtime.arbiter.capped");
+    const std::uint64_t switches0 =
+        counterValue("runtime.arbiter.row_switches");
+
+    const MeasuredGrid &grid = test::phasedGrid();
+    GridAnalyses analyses(grid);
+    const FrequencySetting min = grid.space().minSetting();
+    runtime::CapRow tight;
+    tight.budget = 1.0;
+    tight.cpuPriority = {min.cpu, min.mem, megaHertz(900)};
+    tight.gpuPriority = tight.cpuPriority;
+    runtime::CapRow roomy;
+    roomy.budget = 2.0;
+    roomy.cpuPriority = {megaHertz(1000), megaHertz(800),
+                         megaHertz(900)};
+    roomy.gpuPriority = roomy.cpuPriority;
+    runtime::BudgetArbiter arbiter(analyses.clusters, 1.3, 0.03,
+                                   {tight, roomy});
+
+    // Half the run at the default (unconstrained) budget on the roomy
+    // row, then the budget drops below the first row: one row switch,
+    // and the tight caps — min setting only — force capped decisions.
+    FrequencySetting current = arbiter.decide(nullptr);
+    for (std::size_t s = 0; s < grid.sampleCount(); ++s) {
+        if (s == grid.sampleCount() / 2)
+            arbiter.setSystemBudget(0.5);
+        SampleObservation obs;
+        obs.sampleIndex = s;
+        obs.setting = current;
+        current = arbiter.decide(&obs);
+    }
+
+    EXPECT_EQ(counterValue("runtime.arbiter.decisions") - decisions0,
+              arbiter.decisions());
+    EXPECT_EQ(counterValue("runtime.arbiter.kept") - kept0,
+              arbiter.keptSetting());
+    EXPECT_EQ(counterValue("runtime.arbiter.retunes") - retunes0,
+              arbiter.retuned());
+    EXPECT_EQ(counterValue("runtime.arbiter.capped") - capped0,
+              arbiter.capped());
+    EXPECT_EQ(counterValue("runtime.arbiter.row_switches") - switches0,
+              1u);
+    EXPECT_EQ(arbiter.decisions(), grid.sampleCount() + 1);
+    EXPECT_GT(arbiter.capped(), 0u);
 }
 
 TEST(ObsInstrumentation, DaemonPipelineAndSnapshotCounters)

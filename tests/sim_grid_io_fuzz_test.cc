@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Randomized robustness tests for the binary grid snapshot loader.
+ *
+ * A snapshot read off disk can be truncated (crash mid-copy) or
+ * corrupted (bit rot, torn write) at any byte.  The loader's contract
+ * is that every such input raises FatalError with a diagnostic — never
+ * UB, never a silently partial grid.  These tests take pristine
+ * two-domain (v1) and three-domain (v2) snapshots and replay them
+ * through randomized truncation at every header byte plus sampled
+ * payload lengths, and single-byte XOR corruption at sampled offsets;
+ * the sanitize script runs this binary under ASan/UBSan so "never UB"
+ * is machine-checked, not asserted.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "sim/grid_io.hh"
+#include "test_grid.hh"
+
+namespace mcdvfs
+{
+namespace
+{
+
+/** steadyWorkload over the 560-setting three-domain space. */
+const MeasuredGrid &
+gpuGrid()
+{
+    static const MeasuredGrid grid = [] {
+        GridRunner runner(test::fastSystemConfig());
+        return runner.run(test::steadyWorkload(),
+                          SettingsSpace::coarse3());
+    }();
+    return grid;
+}
+
+/** Assert the loader throws (and only throws) on @c bytes. */
+void
+expectRejected(const std::string &bytes, const char *what)
+{
+    EXPECT_THROW(loadGridBinaryFromString(bytes), FatalError) << what;
+}
+
+void
+fuzzSnapshot(const MeasuredGrid &grid, std::uint64_t seed)
+{
+    const std::string pristine = saveGridBinaryToString(grid);
+    ASSERT_GT(pristine.size(), 64u);
+
+    // The pristine bytes round-trip bit-identically (the baseline the
+    // rejections below are measured against).
+    EXPECT_EQ(saveGridBinaryToString(loadGridBinaryFromString(pristine)),
+              pristine);
+
+    // Truncation at every header byte: magic, version, length and
+    // checksum words all live in the first 64 bytes.
+    for (std::size_t len = 0; len < 64; ++len)
+        expectRejected(pristine.substr(0, len), "header truncation");
+
+    // Truncation at sampled payload lengths (every prefix would be
+    // quadratic in snapshot size; 256 random cuts plus the last bytes
+    // cover the interesting boundaries).
+    Rng rng(seed);
+    for (int i = 0; i < 256; ++i) {
+        const std::size_t len = 64 + rng.uniformInt(pristine.size() - 64);
+        expectRejected(pristine.substr(0, len), "payload truncation");
+    }
+    for (std::size_t back = 1; back <= 8; ++back) {
+        expectRejected(pristine.substr(0, pristine.size() - back),
+                       "tail truncation");
+    }
+
+    // Single-byte corruption at sampled offsets: header damage trips
+    // the magic/version/length checks, payload damage the checksum.
+    for (int i = 0; i < 256; ++i) {
+        std::string corrupt = pristine;
+        const std::size_t pos = rng.uniformInt(corrupt.size());
+        corrupt[pos] = static_cast<char>(
+            corrupt[pos] ^
+            static_cast<char>(1 + rng.uniformInt(255)));
+        expectRejected(corrupt, "single-byte corruption");
+    }
+
+    // The length field pins the payload extent: bytes appended after
+    // it (stream framing) must not leak into the parse.
+    EXPECT_EQ(saveGridBinaryToString(loadGridBinaryFromString(
+                  pristine + std::string(16, '\0'))),
+              pristine);
+}
+
+TEST(GridIoFuzz, TwoDomainSnapshotNeverLoadsMalformedInput)
+{
+    fuzzSnapshot(test::phasedGrid(), 0x6B1D);
+}
+
+TEST(GridIoFuzz, ThreeDomainSnapshotNeverLoadsMalformedInput)
+{
+    fuzzSnapshot(gpuGrid(), 0x6B2D);
+}
+
+TEST(GridIoFuzz, VersionSkewIsRejectedNotMisparsed)
+{
+    // A v2 (three-domain) snapshot whose version word is rewritten to
+    // v1 parses the payload with the wrong cell width; the payload
+    // plausibility check must reject it rather than shear the columns.
+    std::string bytes = saveGridBinaryToString(gpuGrid());
+    ASSERT_EQ(bytes[8], 2);  // version word, little-endian low byte
+    bytes[8] = 1;
+    expectRejected(bytes, "v2 masqueraded as v1");
+
+    // Unknown future version.
+    std::string future = saveGridBinaryToString(test::phasedGrid());
+    future[8] = 0x7e;
+    expectRejected(future, "future version");
+}
+
+TEST(GridIoFuzz, TextFormatRejectsTruncationAtLineGranularity)
+{
+    // The text format is line-oriented: dropping trailing lines must
+    // fail the loader's completeness checks, not yield a partial grid.
+    const std::string text = saveGridToString(test::phasedGrid());
+    std::size_t lines = 0;
+    for (const char c : text)
+        lines += c == '\n';
+    ASSERT_GT(lines, 8u);
+
+    // The pristine text loads; every truncation below must not.
+    EXPECT_EQ(loadGridFromString(text).sampleCount(),
+              test::phasedGrid().sampleCount());
+    std::size_t cut = text.size() - 1;  // skip the final newline
+    for (std::size_t dropped = 1; dropped <= 32; ++dropped) {
+        cut = text.find_last_of('\n', cut - 1);
+        if (cut == std::string::npos || cut == 0)
+            break;
+        EXPECT_THROW(loadGridFromString(text.substr(0, cut + 1)),
+                     FatalError)
+            << "dropped " << dropped << " lines";
+    }
+}
+
+} // namespace
+} // namespace mcdvfs
