@@ -16,11 +16,14 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 
+#include "bench_json.hh"
 #include "cluster_panels.hh"
 #include "common/args.hh"
+#include "obs/metrics.hh"
 #include "sim/grid_runner.hh"
 #include "trace/workloads.hh"
 
@@ -102,29 +105,38 @@ main(int argc, char **argv)
 {
     ArgParser args("fig13_gpu_clusters");
     args.addOption("jobs");
+    args.addOption("out");
     args.addFlag("tiny");
     std::size_t jobs = 0;
     bool tiny = false;
+    std::string out_path;
     try {
         args.parse(argc, argv);
         jobs = static_cast<std::size_t>(args.getInt("jobs", 0, 0, 1024));
         tiny = args.flag("tiny");
+        out_path = args.get("out");
     } catch (const FatalError &err) {
         std::cerr << "error: " << err.what() << '\n';
         return 2;
     }
 
+    using Fig13Clock = std::chrono::steady_clock;
     SystemConfig config;
     config.sampler.simInstructionsPerSample = tiny ? 20'000 : 100'000;
     GridRunner runner(config);
+    const auto grid_start = Fig13Clock::now();
     const MeasuredGrid grid = runner.run(
         tiny ? tinyRenderWorkload() : makeGlrender(),
         SettingsSpace::coarse3());
+    const double grid_seconds =
+        std::chrono::duration<double>(Fig13Clock::now() - grid_start)
+            .count();
 
     GridAnalyses a(grid);
     AnalysisSweep sweep(a.clusters);
     const std::vector<SweepPoint> points =
         sweepGrid({1.0, 1.3}, {0.01, 0.05});
+    const auto sweep_start = Fig13Clock::now();
     if (jobs > 0) {
         exec::ThreadPool pool(jobs);
         for (const SweepResult &result : sweep.run(points, &pool))
@@ -132,6 +144,42 @@ main(int argc, char **argv)
     } else {
         for (const SweepResult &result : sweep.run(points))
             printGpuClusterPanel(grid, a, result);
+    }
+    const double sweep_seconds =
+        std::chrono::duration<double>(Fig13Clock::now() - sweep_start)
+            .count();
+
+    if (!out_path.empty()) {
+        const double cells = static_cast<double>(grid.sampleCount()) *
+                             static_cast<double>(grid.settingCount());
+        std::vector<bench::GridBenchRecord> records;
+        bench::GridBenchRecord build;
+        build.name = grid.workload() + " 3-domain grid";
+        build.kernel = "grid";
+        build.settings = grid.settingCount();
+        build.samples = grid.sampleCount();
+        build.jobs = 0; // the GridRunner sweep is serial here
+        build.buildSeconds = grid_seconds;
+        build.cellsPerSec = grid_seconds > 0 ? cells / grid_seconds : 0;
+        records.push_back(build);
+        bench::GridBenchRecord panels;
+        panels.name = grid.workload() + " 4-point cluster sweep";
+        panels.kernel = "sweep";
+        panels.settings = grid.settingCount();
+        panels.samples = grid.sampleCount();
+        panels.jobs = jobs;
+        panels.buildSeconds = sweep_seconds;
+        panels.cellsPerSec =
+            sweep_seconds > 0
+                ? cells * static_cast<double>(points.size()) /
+                      sweep_seconds
+                : 0;
+        records.push_back(panels);
+        bench::writeBenchGridJson(out_path, "fig13_gpu_clusters",
+                                  records, "mcdvfs-bench-fig13-v1");
+        obs::writeMetricsJson(bench::metricsSidecarPath(out_path));
+        std::cout << "wrote " << out_path << " and "
+                  << bench::metricsSidecarPath(out_path) << "\n";
     }
     return 0;
 }

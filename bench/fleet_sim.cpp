@@ -27,6 +27,17 @@
  *
  * --tiny shrinks the fleet so the binary doubles as the tier-1
  * "perf_smoke" ctest.
+ *
+ * Observability hooks (docs/OBSERVABILITY.md): a telemetry pipeline
+ * samples the whole run and --telemetry-out FILE exports its
+ * timeseries JSON; --trace-out FILE records a Chrome/Perfetto trace
+ * with per-request flows; --journal-out FILE dumps the daemon's
+ * request journal (JSONL).  Every run checks that labeled counter
+ * series sum exactly to their unlabeled totals, and — when both trace
+ * and journal are on — that every journaled request_id appears as a
+ * trace flow.  --overload replays a third phase against a queue of 2
+ * with no client flow control and fatals unless the shed_rate SLO
+ * rule trips.
  */
 
 #include <algorithm>
@@ -43,7 +54,10 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "daemon/tuning_daemon.hh"
+#include "obs/journal.hh"
 #include "obs/metrics.hh"
+#include "obs/telemetry.hh"
+#include "obs/trace.hh"
 #include "svc/fingerprint.hh"
 
 using namespace mcdvfs;
@@ -215,13 +229,14 @@ PhaseOutcome
 replay(const SystemConfig &config, const daemon::DaemonOptions &options,
        std::vector<DeviceClass> &classes,
        const std::vector<std::size_t> &schedule, std::size_t window,
-       const char *phase)
+       const char *phase, obs::DecisionJournal *journal = nullptr)
 {
     using FleetClock = std::chrono::steady_clock;
     PhaseOutcome outcome;
 
     const auto construct_start = FleetClock::now();
     daemon::TuningDaemon daemon(config, options);
+    daemon.setJournal(journal);
     outcome.startupSeconds =
         std::chrono::duration<double>(FleetClock::now() - construct_start)
             .count();
@@ -328,6 +343,101 @@ writePhaseJson(std::ofstream &out, const char *phase,
         << (last ? "" : ",") << "\n";
 }
 
+/**
+ * Invariant check: every labeled counter family (`base{k=v}` series)
+ * must sum exactly to its unlabeled base counter — labeled series are
+ * bumped at the same sites as their totals, so a mismatch means an
+ * instrumentation site lost a dimension.  Families that hit the label
+ * interner's overflow cap are skipped (the overflow series absorbs an
+ * unknown share).
+ */
+void
+checkLabelSums(const obs::MetricsSnapshot &snapshot)
+{
+    struct Family
+    {
+        std::uint64_t labeledSum = 0;
+        bool overflowed = false;
+    };
+    std::vector<std::pair<std::string, Family>> families;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::size_t brace = name.find('{');
+        if (brace == std::string::npos)
+            continue;
+        const std::string base = name.substr(0, brace);
+        Family *family = nullptr;
+        for (auto &[known, f] : families) {
+            if (known == base) {
+                family = &f;
+                break;
+            }
+        }
+        if (family == nullptr) {
+            families.emplace_back(base, Family{});
+            family = &families.back().second;
+        }
+        if (name.find("overflow=true") != std::string::npos)
+            family->overflowed = true;
+        else
+            family->labeledSum += value;
+    }
+
+    std::size_t checked = 0;
+    for (const auto &[base, family] : families) {
+        if (family.overflowed)
+            continue;
+        for (const auto &[name, value] : snapshot.counters) {
+            if (name != base)
+                continue;
+            if (family.labeledSum != value)
+                fatal("fleet sim: labeled series of '", base,
+                      "' sum to ", family.labeledSum,
+                      " but the unlabeled total is ", value);
+            ++checked;
+            break;
+        }
+    }
+    std::printf("label-sum check: %zu labeled families consistent\n",
+                checked);
+}
+
+/**
+ * Invariant check: with tracing on and no ring overwrites, every
+ * journaled request id must appear as a flow id on at least one
+ * daemon span — the journal and the trace share one id space.
+ */
+void
+checkJournalTraceCorrelation(const obs::DecisionJournal &journal)
+{
+    const obs::TraceSnapshot snapshot =
+        obs::TraceCollector::global().snapshot();
+    if (snapshot.droppedEvents != 0) {
+        std::printf("journal/trace check: skipped (%llu trace events "
+                    "dropped to ring wrap)\n",
+                    static_cast<unsigned long long>(
+                        snapshot.droppedEvents));
+        return;
+    }
+    std::vector<std::uint64_t> flows;
+    flows.reserve(snapshot.events.size());
+    for (const obs::TraceEventView &event : snapshot.events) {
+        if (event.flowId != 0)
+            flows.push_back(event.flowId);
+    }
+    std::sort(flows.begin(), flows.end());
+    std::size_t checked = 0;
+    for (const obs::RequestRecord &record : journal.requestRecords()) {
+        if (!std::binary_search(flows.begin(), flows.end(),
+                                record.requestId))
+            fatal("fleet sim: journal request_id ", record.requestId,
+                  " has no matching trace flow");
+        ++checked;
+    }
+    std::printf("journal/trace check: %zu request ids matched to "
+                "trace flows\n",
+                checked);
+}
+
 } // namespace
 
 int
@@ -335,6 +445,10 @@ main(int argc, char **argv)
 {
     ArgParser args("fleet_sim");
     args.addFlag("tiny");
+    args.addFlag("overload");
+    args.addOption("trace-out");
+    args.addOption("journal-out");
+    args.addOption("telemetry-out");
     args.addOption("devices");
     args.addOption("jobs");
     args.addOption("window");
@@ -404,17 +518,68 @@ main(int argc, char **argv)
                 devices, classes.size(), variants, jobs, window, queue,
                 store_dir.c_str());
 
+    if (args.has("trace-out"))
+        obs::TraceCollector::global().enable();
+    obs::DecisionJournal journal;
+    obs::DecisionJournal *journal_ptr =
+        args.has("journal-out") ? &journal : nullptr;
+
+    // The telemetry pipeline samples throughout the run; explicit
+    // tickNow() calls at phase boundaries make the phase deltas (and
+    // the overload SLO check below) deterministic regardless of the
+    // sampling period.
+    obs::TelemetryConfig telemetry_config;
+    telemetry_config.period = std::chrono::milliseconds(100);
+    obs::TelemetryPipeline pipeline(telemetry_config);
+    pipeline.start();
+
     // Cold phase: empty store, everything characterizes once.
     std::filesystem::remove_all(store_dir);
-    const PhaseOutcome cold =
-        replay(config, options, classes, schedule, window, "cold");
+    const PhaseOutcome cold = replay(config, options, classes, schedule,
+                                     window, "cold", journal_ptr);
     printPhase("cold", cold, devices);
+    pipeline.tickNow();
 
     // Warm phase: a restarted daemon over the populated store must
     // answer from the first request on and reproduce every digest.
-    const PhaseOutcome warm =
-        replay(config, options, classes, schedule, window, "warm");
+    const PhaseOutcome warm = replay(config, options, classes, schedule,
+                                     window, "warm", journal_ptr);
     printPhase("warm", warm, devices);
+    pipeline.tickNow();
+
+    if (args.flag("overload")) {
+        // Overload phase: a daemon with a near-zero admission queue
+        // and no client-side flow control (window = fleet size) sheds
+        // most of the schedule; the next telemetry tick must observe
+        // the burst and trip the shed_rate SLO rule.  Runs after the
+        // BENCH JSON phases and does not contribute to them.
+        const std::uint64_t breaches_before =
+            pipeline.watchdog().breachCount();
+        daemon::DaemonOptions overload_options = options;
+        overload_options.queueCapacity = 2;
+        const PhaseOutcome overload =
+            replay(config, overload_options, classes, schedule,
+                   schedule.size() + 1, "overload", journal_ptr);
+        printPhase("over", overload, devices);
+        pipeline.tickNow();
+        if (overload.shed == 0)
+            fatal("fleet sim: overload phase shed nothing — queue "
+                  "capacity 2 should overflow");
+        bool tripped = false;
+        for (const obs::SloBreach &breach :
+             pipeline.watchdog().breaches()) {
+            if (breach.rule == "shed_rate")
+                tripped = true;
+        }
+        if (!tripped ||
+            pipeline.watchdog().breachCount() <= breaches_before)
+            fatal("fleet sim: induced overload did not trip the "
+                  "shed_rate SLO rule");
+        std::printf("overload: shed_rate SLO breach counted (%llu "
+                    "total breaches)\n",
+                    static_cast<unsigned long long>(
+                        pipeline.watchdog().breachCount()));
+    }
 
     if (warm.stats.warmGrids == 0)
         fatal("fleet sim: warm restart loaded no grid snapshots");
@@ -451,5 +616,30 @@ main(int argc, char **argv)
     obs::writeMetricsJson(metrics_path);
     std::printf("wrote %s and %s\n", out_path.c_str(),
                 metrics_path.c_str());
+
+    // Final telemetry tick (stop flushes one), then verify the
+    // dimensional-metrics invariant over the quiesced registry.
+    pipeline.stop();
+    checkLabelSums(obs::MetricsRegistry::global().snapshot());
+
+    if (journal_ptr != nullptr) {
+        journal.write(args.get("journal-out"));
+        std::printf("wrote %zu request records to %s\n",
+                    journal.requestRecords().size(),
+                    args.get("journal-out").c_str());
+    }
+    if (args.has("trace-out")) {
+        obs::writeChromeTraceJson(args.get("trace-out"));
+        std::printf("wrote trace to %s\n",
+                    args.get("trace-out").c_str());
+    }
+    if (journal_ptr != nullptr && args.has("trace-out"))
+        checkJournalTraceCorrelation(journal);
+    if (args.has("telemetry-out")) {
+        pipeline.writeJson(args.get("telemetry-out"));
+        std::printf("wrote %llu telemetry ticks to %s\n",
+                    static_cast<unsigned long long>(pipeline.ticks()),
+                    args.get("telemetry-out").c_str());
+    }
     return 0;
 }

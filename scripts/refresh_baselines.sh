@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Regenerate the committed bench_gate baselines from the four tiny
+# perf_smoke benches.  Run this (and commit the result) whenever a
+# deliberate performance or schema change moves the benches:
+#
+#   ./scripts/refresh_baselines.sh [BUILD_DIR]
+#
+# Baselines are tiny-run artifacts, so they are fast to produce and
+# the gate's tolerance (default 25%) absorbs machine-to-machine noise;
+# CI compares them against a fresh run of the same benches.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+out="$repo/bench/baselines"
+
+if [ ! -x "$build/bench/micro_grid_kernel" ]; then
+    echo "refresh_baselines: build the repo first (missing" \
+         "$build/bench/micro_grid_kernel)" >&2
+    exit 2
+fi
+
+mkdir -p "$out"
+store="$(mktemp -d)"
+trap 'rm -rf "$store"' EXIT
+
+"$build/bench/micro_grid_kernel" --tiny \
+    --out "$out/BENCH_grid_smoke.json" >/dev/null
+"$build/bench/micro_analysis_kernel" --tiny --jobs 2 \
+    --out "$out/BENCH_analysis_smoke.json" >/dev/null
+"$build/bench/micro_incremental_analysis" --tiny \
+    --out "$out/BENCH_incremental_smoke.json" >/dev/null
+"$build/bench/fleet_sim" --tiny --store "$store/fleet_store" \
+    --out "$out/BENCH_fleet.json" >/dev/null
+
+# The metrics sidecars are run diagnostics, not baselines.
+rm -f "$out"/*.metrics.json
+
+echo "refreshed baselines in $out:"
+ls "$out"

@@ -5,10 +5,11 @@
 #   1. ASan + UBSan over the full suite — memory errors and UB
 #      anywhere in the library;
 #   2. TSan over the concurrency-heavy subset (exec thread pool,
-#      svc cache/service, obs metrics and trace rings, the tuning
-#      daemon and its snapshot store, the streaming-resume path, the
-#      snapshot corruption fuzz and the three-domain daemon
-#      round-trip) — the
+#      svc cache/service, obs metrics and trace rings, trace
+#      enable/disable toggling, the telemetry sampler thread and SLO
+#      watchdog, the tuning daemon and its snapshot store, the
+#      streaming-resume path, the snapshot corruption fuzz and the
+#      three-domain daemon round-trip) — the
 #      lock-free metric stripes, the seqlock-protected trace slots,
 #      the cache/coalescing paths, the daemon's batcher/drain handoffs
 #      and the checkpoint store probed/extended by concurrent daemon
@@ -55,12 +56,14 @@ if [ "$run_tsan" = 1 ]; then
         obs_metrics_test obs_snapshot_golden_test \
         obs_instrumentation_test \
         obs_trace_test obs_trace_stress_test \
+        obs_trace_toggle_stress_test \
+        obs_timeseries_test obs_telemetry_test \
         daemon_snapshot_store_test daemon_tuning_daemon_test \
         svc_analysis_cache_test core_incremental_analysis_test \
         daemon_streaming_test \
         daemon_snapshot_fuzz_test integration_gpu_test
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore|AnalysisCache|Incremental|Streaming|ThreeDomain'
+        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore|AnalysisCache|Incremental|Streaming|ThreeDomain|Timeseries|Telemetry|SloWatchdog'
 fi
 
 echo "sanitize: all requested passes clean"

@@ -1,0 +1,352 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace json
+{
+
+bool
+Value::asBool() const
+{
+    if (type_ != Type::Bool)
+        fatal("json: value is not a bool");
+    return bool_;
+}
+
+double
+Value::asNumber() const
+{
+    if (type_ != Type::Number)
+        fatal("json: value is not a number");
+    return number_;
+}
+
+const std::string &
+Value::asString() const
+{
+    if (type_ != Type::String)
+        fatal("json: value is not a string");
+    return string_;
+}
+
+const std::vector<Value> &
+Value::asArray() const
+{
+    if (type_ != Type::Array)
+        fatal("json: value is not an array");
+    return array_;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    if (type_ != Type::Object)
+        fatal("json: value is not an object");
+    return object_;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        return false;
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return true;
+    }
+    return false;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    if (type_ != Type::Object)
+        fatal("json: value is not an object (looking up '", key, "')");
+    for (const auto &[name, value] : object_) {
+        if (name == key)
+            return value;
+    }
+    fatal("json: object has no member '", key, "'");
+}
+
+double
+Value::numberOr(const std::string &key, double fallback) const
+{
+    return has(key) ? at(key).asNumber() : fallback;
+}
+
+std::string
+Value::stringOr(const std::string &key,
+                const std::string &fallback) const
+{
+    return has(key) ? at(key).asString() : fallback;
+}
+
+/** Recursive-descent parser over a complete in-memory document. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Value
+    document()
+    {
+        skipSpace();
+        Value value = parseValue();
+        skipSpace();
+        if (pos_ != text_.size())
+            fail("trailing garbage after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *message)
+    {
+        fatal("json: ", message, " at byte ", pos_);
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= text_.size())
+            fail("unexpected end of document");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *word)
+    {
+        std::size_t n = 0;
+        while (word[n] != '\0')
+            ++n;
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    Value
+    parseValue()
+    {
+        switch (peek()) {
+        case '{':
+            return parseObject();
+        case '[':
+            return parseArray();
+        case '"':
+            return parseString();
+        case 't':
+        case 'f':
+            return parseBool();
+        case 'n':
+            if (!consumeWord("null"))
+                fail("bad literal");
+            return Value{};
+        default:
+            return parseNumber();
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value value;
+        value.type_ = Value::Type::Object;
+        skipSpace();
+        if (peek() == '}') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            skipSpace();
+            Value key = parseString();
+            skipSpace();
+            expect(':');
+            skipSpace();
+            value.object_.emplace_back(key.string_, parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return value;
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value value;
+        value.type_ = Value::Type::Array;
+        skipSpace();
+        if (peek() == ']') {
+            ++pos_;
+            return value;
+        }
+        for (;;) {
+            skipSpace();
+            value.array_.push_back(parseValue());
+            skipSpace();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return value;
+        }
+    }
+
+    Value
+    parseString()
+    {
+        expect('"');
+        Value value;
+        value.type_ = Value::Type::String;
+        for (;;) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return value;
+            if (c != '\\') {
+                value.string_ += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                fail("unterminated escape");
+            const char escape = text_[pos_++];
+            switch (escape) {
+            case '"':
+            case '\\':
+            case '/':
+                value.string_ += escape;
+                break;
+            case 'b':
+                value.string_ += '\b';
+                break;
+            case 'f':
+                value.string_ += '\f';
+                break;
+            case 'n':
+                value.string_ += '\n';
+                break;
+            case 'r':
+                value.string_ += '\r';
+                break;
+            case 't':
+                value.string_ += '\t';
+                break;
+            case 'u': {
+                // Our own exporters never emit \u escapes; accept
+                // them as raw code-unit pass-through of the hex pair.
+                if (pos_ + 4 > text_.size())
+                    fail("bad \\u escape");
+                const std::string hex = text_.substr(pos_, 4);
+                pos_ += 4;
+                const unsigned long code =
+                    std::strtoul(hex.c_str(), nullptr, 16);
+                if (code < 0x80) {
+                    value.string_ += static_cast<char>(code);
+                } else {
+                    value.string_ += '?';
+                }
+                break;
+            }
+            default:
+                fail("bad escape character");
+            }
+        }
+    }
+
+    Value
+    parseBool()
+    {
+        Value value;
+        value.type_ = Value::Type::Bool;
+        if (consumeWord("true")) {
+            value.bool_ = true;
+            return value;
+        }
+        if (consumeWord("false")) {
+            value.bool_ = false;
+            return value;
+        }
+        fail("bad literal");
+    }
+
+    Value
+    parseNumber()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            fail("bad number");
+        const std::string token = text_.substr(start, pos_ - start);
+        char *end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end == nullptr || *end != '\0')
+            fail("bad number");
+        Value value;
+        value.type_ = Value::Type::Number;
+        value.number_ = parsed;
+        return value;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+Value
+parse(const std::string &text)
+{
+    Parser parser(text);
+    return parser.document();
+}
+
+Value
+parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("json: cannot open ", path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+} // namespace json
+} // namespace mcdvfs

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON reader for the repo's own artifacts.
+ *
+ * Every exporter in this codebase (bench_json.hh, metrics, timeseries,
+ * journal) writes plain, flat JSON; tools/bench_gate and tests need to
+ * read those documents back without an external dependency.  This is a
+ * strict recursive-descent parser over the standard grammar — objects,
+ * arrays, strings (with escapes), numbers, booleans, null — that keeps
+ * numbers as doubles (every value we emit fits) and object keys in
+ * insertion order.
+ *
+ * Not a general-purpose library: documents are trusted repo artifacts,
+ * so errors throw FatalError rather than supporting recovery.
+ */
+
+#ifndef MCDVFS_COMMON_JSON_HH
+#define MCDVFS_COMMON_JSON_HH
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcdvfs
+{
+namespace json
+{
+
+/** One parsed JSON value (a tagged tree). */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Value() = default;
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** @throws FatalError when the value is not of the asked type. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<Value> &asArray() const;
+
+    /** Object members in document order. */
+    const std::vector<std::pair<std::string, Value>> &members() const;
+
+    /** True when the object has a member named @c key. */
+    bool has(const std::string &key) const;
+
+    /**
+     * Member lookup.
+     * @throws FatalError when not an object or the key is absent.
+     */
+    const Value &at(const std::string &key) const;
+
+    /** asNumber() of at(key), or @c fallback when absent. */
+    double numberOr(const std::string &key, double fallback) const;
+
+    /** asString() of at(key), or @c fallback when absent. */
+    std::string stringOr(const std::string &key,
+                         const std::string &fallback) const;
+
+  private:
+    friend class Parser;
+
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<Value> array_;
+    std::vector<std::pair<std::string, Value>> object_;
+};
+
+/**
+ * Parse one JSON document (trailing whitespace allowed, trailing
+ * garbage rejected).
+ * @throws FatalError on any syntax error, with byte offset.
+ */
+Value parse(const std::string &text);
+
+/**
+ * Read and parse a JSON file.
+ * @throws FatalError on I/O or syntax errors.
+ */
+Value parseFile(const std::string &path);
+
+} // namespace json
+} // namespace mcdvfs
+
+#endif // MCDVFS_COMMON_JSON_HH

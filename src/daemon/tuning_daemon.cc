@@ -21,9 +21,14 @@ namespace
 struct DaemonMetrics
 {
     obs::Gauge queueDepth;
+    obs::Counter submitted;
     obs::Counter admitted;
+    obs::Counter shed;
     obs::Counter shedQueueFull;
     obs::Counter shedDraining;
+    /** Labeled views of `shed` (reasons sum to the total). */
+    obs::Counter shedReasonQueueFull;
+    obs::Counter shedReasonDraining;
     obs::Counter batches;
     obs::Counter coalesced;
     obs::Counter completed;
@@ -38,9 +43,15 @@ struct DaemonMetrics
         obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
         const auto latency = obs::MetricsRegistry::latencyBucketsNs();
         queueDepth = reg.gauge("daemon.queue_depth");
+        submitted = reg.counter("daemon.submitted");
         admitted = reg.counter("daemon.admitted");
+        shed = reg.counter("daemon.shed");
         shedQueueFull = reg.counter("daemon.shed_queue_full");
         shedDraining = reg.counter("daemon.shed_draining");
+        shedReasonQueueFull =
+            reg.counter("daemon.shed", {{"reason", "queue_full"}});
+        shedReasonDraining =
+            reg.counter("daemon.shed", {{"reason", "draining"}});
         batches = reg.counter("daemon.batches");
         coalesced = reg.counter("daemon.coalesced");
         completed = reg.counter("daemon.completed");
@@ -58,6 +69,30 @@ daemonMetrics()
 {
     static DaemonMetrics metrics;
     return metrics;
+}
+
+/**
+ * Process-wide request id allocator: unique across daemon instances
+ * (a warm restart in the same process keeps extending the same trace
+ * flow id space, so flows never collide).
+ */
+std::uint64_t
+nextRequestId()
+{
+    static std::atomic<std::uint64_t> next{1};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+/** FNV-1a of a workload class name (the journal/trace class id). */
+std::uint64_t
+classIdOf(const std::string &name)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : name) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 1099511628211ull;
+    }
+    return h;
 }
 
 } // namespace
@@ -136,29 +171,61 @@ TuningDaemon::submit(const svc::TuningRequest &request)
     std::promise<DaemonResponse> promise;
     std::future<DaemonResponse> future = promise.get_future();
 
+    // Request scope starts here: the id doubles as the trace flow id
+    // and the journal's request_id, so one fleet request is
+    // reconstructible across threads and artifacts.
+    const std::uint64_t request_id = nextRequestId();
+    const std::uint64_t class_id = classIdOf(request.workload.name());
+    obs::ScopedTraceContext context(
+        obs::TraceContext{request_id, class_id});
+    daemonMetrics().submitted.add(1);
+
+    ShedReason reason = ShedReason::None;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (draining_) {
+            reason = ShedReason::Draining;
+        } else if (queue_.size() >= options_.shedWatermark) {
+            reason = ShedReason::QueueFull;
+        } else {
+            queue_.push_back(Pending{request, std::move(promise),
+                                     obs::metricsNow(), request_id,
+                                     class_id});
+            daemonMetrics().queueDepth.set(
+                static_cast<std::int64_t>(queue_.size()));
+        }
+    }
+
+    if (reason != ShedReason::None) {
+        daemonMetrics().shed.add(1);
+        if (reason == ShedReason::Draining) {
             shedDraining_.fetch_add(1, std::memory_order_relaxed);
             daemonMetrics().shedDraining.add(1);
-            obs::traceInstant("daemon.shed_draining");
-            shed(std::move(promise), ShedReason::Draining);
-            return future;
-        }
-        if (queue_.size() >= options_.shedWatermark) {
+            daemonMetrics().shedReasonDraining.add(1);
+            obs::traceInstant("daemon.shed_draining", request_id);
+        } else {
             shedQueueFull_.fetch_add(1, std::memory_order_relaxed);
             daemonMetrics().shedQueueFull.add(1);
-            obs::traceInstant("daemon.shed_queue_full");
-            shed(std::move(promise), ShedReason::QueueFull);
-            return future;
+            daemonMetrics().shedReasonQueueFull.add(1);
+            obs::traceInstant("daemon.shed_queue_full", request_id);
         }
-        queue_.push_back(
-            Pending{request, std::move(promise), obs::metricsNow()});
-        daemonMetrics().queueDepth.set(
-            static_cast<std::int64_t>(queue_.size()));
+        if (journal_ != nullptr) {
+            obs::RequestRecord record;
+            record.requestId = request_id;
+            record.classId = class_id;
+            record.workload = request.workload.name();
+            record.budget = request.budget;
+            record.threshold = request.threshold;
+            record.shed = true;
+            journal_->appendRequest(std::move(record));
+        }
+        shed(std::move(promise), reason);
+        return future;
     }
+
     admitted_.fetch_add(1, std::memory_order_relaxed);
     daemonMetrics().admitted.add(1);
+    obs::traceInstant("daemon.submit", request_id);
     wake_.notify_one();
     return future;
 }
@@ -242,11 +309,18 @@ TuningDaemon::runGroup(const svc::GridKey &key,
     obs::TraceSpan group_span("daemon.run_group", members->size());
     std::size_t resolved = 0;
     try {
-        // Grid stage: one characterization (or cache hit) per group.
+        // Grid stage: one characterization (or cache hit) per group,
+        // attributed to the first member's request flow.
         const obs::Clock::time_point grid_start = obs::metricsNow();
         bool grid_hit = false;
-        const svc::TuningRequest &first = members->front().request;
-        auto grid = service_.grid(first.workload, first.space, grid_hit);
+        const Pending &lead = members->front();
+        std::shared_ptr<const MeasuredGrid> grid;
+        {
+            obs::ScopedTraceContext grid_context(
+                obs::TraceContext{lead.requestId, lead.classId});
+            grid = service_.grid(lead.request.workload,
+                                 lead.request.space, grid_hit);
+        }
         const std::uint64_t grid_ns = obs::elapsedNs(grid_start);
         daemonMetrics().gridStageNs.record(grid_ns);
         if (!grid_hit && store_ != nullptr)
@@ -256,6 +330,11 @@ TuningDaemon::runGroup(const svc::GridKey &key,
         // grid, so their grid stage is a hit by construction).
         const std::uint64_t digest = key.combined();
         for (Pending &pending : *members) {
+            // Re-enter the member's request scope on this pool
+            // thread: svc/analysis/arbiter spans and journal fills
+            // below all stamp its request id.
+            obs::ScopedTraceContext member_context(
+                obs::TraceContext{pending.requestId, pending.classId});
             const std::uint64_t queue_ns =
                 obs::elapsedNs(pending.submittedAt);
             daemonMetrics().queueWaitNs.record(queue_ns);
@@ -285,6 +364,22 @@ TuningDaemon::runGroup(const svc::GridKey &key,
                     snapshot);
             }
 
+            if (journal_ != nullptr) {
+                obs::RequestRecord record;
+                record.requestId = pending.requestId;
+                record.classId = pending.classId;
+                record.workload = pending.request.workload.name();
+                record.budget = pending.request.budget;
+                record.threshold = pending.request.threshold;
+                record.cacheHit = result.cacheHit;
+                record.analysisCacheHit = result.analysisCacheHit;
+                record.analysisResumed = result.analysisResumed;
+                record.queueWaitNs = queue_ns;
+                record.requestNs = obs::elapsedNs(pending.submittedAt);
+                record.regions = result.regions.size();
+                journal_->appendRequest(std::move(record));
+            }
+
             DaemonResponse response;
             response.result = std::move(result);
             response.queueNs = queue_ns;
@@ -294,6 +389,10 @@ TuningDaemon::runGroup(const svc::GridKey &key,
             daemonMetrics().requestNs.record(response.totalNs);
             completed_.fetch_add(1, std::memory_order_relaxed);
             daemonMetrics().completed.add(1);
+            obs::MetricsRegistry::global()
+                .counter("daemon.completed",
+                         {{"wl", pending.request.workload.name()}})
+                .add(1);
             pending.promise.set_value(std::move(response));
             ++resolved;
         }

@@ -51,6 +51,7 @@
 #include <vector>
 
 #include "daemon/snapshot_store.hh"
+#include "obs/journal.hh"
 #include "obs/metrics.hh"
 #include "svc/characterization_service.hh"
 
@@ -174,6 +175,14 @@ class TuningDaemon
     svc::CharacterizationService &service() { return service_; }
     SnapshotStore *store() { return store_.get(); }
 
+    /**
+     * Attach a journal: every request (served or shed) appends one
+     * RequestRecord carrying its request/class ids, stage latencies
+     * and cache outcomes.  Set before traffic; the journal must
+     * outlive the daemon.
+     */
+    void setJournal(obs::DecisionJournal *journal) { journal_ = journal; }
+
   private:
     /** One admitted request waiting in the submit queue. */
     struct Pending
@@ -181,6 +190,10 @@ class TuningDaemon
         svc::TuningRequest request;
         std::promise<DaemonResponse> promise;
         obs::Clock::time_point submittedAt;
+        /** Process-unique request id (also the trace flow id). */
+        std::uint64_t requestId = 0;
+        /** FNV-1a hash of the workload class name. */
+        std::uint64_t classId = 0;
     };
 
     void warmLoad();
@@ -198,6 +211,7 @@ class TuningDaemon
     Options options_;
     svc::CharacterizationService service_;
     std::unique_ptr<SnapshotStore> store_;
+    obs::DecisionJournal *journal_ = nullptr;
 
     mutable std::mutex mutex_;
     std::condition_variable wake_;

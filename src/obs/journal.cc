@@ -59,15 +59,25 @@ DecisionJournal::toJsonl() const
     std::ostringstream out;
     out << "{\"schema\": \"mcdvfs-trace-v1\", \"kind\": \"journal\", "
            "\"records\": "
-        << records_.size() << "}\n";
+        << records_.size();
+    // Request records are a daemon-era addition; 2-domain offline
+    // journals keep the original header byte-for-byte.
+    if (!requests_.empty())
+        out << ", \"requests\": " << requests_.size();
+    out << "}\n";
     for (const DecisionRecord &r : records_) {
         out << "{\"kind\": \"sample\", \"workload\": \"" << r.workload
             << "\", \"policy\": \"" << r.policy
-            << "\", \"sample\": " << r.sample << ", \"cpi\": "
+            << "\", \"sample\": " << r.sample;
+        if (r.requestId != 0)
+            out << ", \"request_id\": " << r.requestId;
+        out << ", \"cpi\": "
             << num(r.cpi) << ", \"mpki\": " << num(r.mpki)
             << ", \"cpu_mhz\": " << num(r.cpuMhz)
-            << ", \"mem_mhz\": " << num(r.memMhz)
-            << ", \"inefficiency\": " << num(r.inefficiency)
+            << ", \"mem_mhz\": " << num(r.memMhz);
+        if (r.hasGpu)
+            out << ", \"gpu_mhz\": " << num(r.gpuMhz);
+        out << ", \"inefficiency\": " << num(r.inefficiency)
             << ", \"budget\": " << num(r.budget)
             << ", \"in_cluster\": " << boolWord(r.inCluster)
             << ", \"region\": " << r.region
@@ -75,6 +85,20 @@ DecisionJournal::toJsonl() const
             << ", \"transition\": " << boolWord(r.transition)
             << ", \"overhead_ns\": " << r.overheadNs
             << ", \"overhead_nj\": " << r.overheadNj << "}\n";
+    }
+    for (const RequestRecord &r : requests_) {
+        out << "{\"kind\": \"request\", \"request_id\": " << r.requestId
+            << ", \"class_id\": " << r.classId << ", \"workload\": \""
+            << r.workload << "\", \"budget\": " << num(r.budget)
+            << ", \"threshold\": " << num(r.threshold)
+            << ", \"shed\": " << boolWord(r.shed)
+            << ", \"cache_hit\": " << boolWord(r.cacheHit)
+            << ", \"analysis_cache_hit\": "
+            << boolWord(r.analysisCacheHit)
+            << ", \"analysis_resumed\": " << boolWord(r.analysisResumed)
+            << ", \"queue_wait_ns\": " << r.queueWaitNs
+            << ", \"request_ns\": " << r.requestNs
+            << ", \"regions\": " << r.regions << "}\n";
     }
     return out.str();
 }

@@ -23,6 +23,7 @@
 #define MCDVFS_OBS_JOURNAL_HH
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,12 @@ struct DecisionRecord
     std::string policy;
     /** Sample index within the run. */
     std::size_t sample = 0;
+    /**
+     * Fleet request this run was characterized for (0 = offline run,
+     * field absent from the JSONL).  Matches the trace's Perfetto
+     * flow ids, so one request is reconstructible end-to-end.
+     */
+    std::uint64_t requestId = 0;
 
     /** @name Sample characterization (when profiles are attached). */
     ///@{
@@ -51,6 +58,10 @@ struct DecisionRecord
     ///@{
     double cpuMhz = 0.0;  ///< chosen CPU frequency
     double memMhz = 0.0;  ///< chosen memory frequency
+    /** Chosen GPU frequency (only meaningful when hasGpu). */
+    double gpuMhz = 0.0;
+    /** Run used a 3-domain space; gpu_mhz is emitted iff true. */
+    bool hasGpu = false;
     /** Achieved inefficiency of the chosen setting on this sample. */
     double inefficiency = 0.0;
     /** Inefficiency budget the schedule was run with. */
@@ -78,14 +89,51 @@ struct DecisionRecord
     ///@}
 };
 
-/** Ordered collection of decision records with a JSONL exporter. */
+/**
+ * One fleet request as the daemon served it: ids, stage latencies
+ * and cache outcomes.  Appended by TuningDaemon per completed
+ * request; the per-sample DecisionRecords above come from offline
+ * TuningLoop runs that have no request scope.
+ */
+struct RequestRecord
+{
+    std::uint64_t requestId = 0;
+    /** FNV-1a hash of the workload class name. */
+    std::uint64_t classId = 0;
+    std::string workload;
+    double budget = 0.0;
+    double threshold = 0.0;
+    bool cacheHit = false;
+    bool analysisCacheHit = false;
+    bool analysisResumed = false;
+    std::uint64_t queueWaitNs = 0;
+    std::uint64_t requestNs = 0;
+    /** Stable regions in the result (0 when shed). */
+    std::size_t regions = 0;
+    /** Request was shed instead of served. */
+    bool shed = false;
+};
+
+/**
+ * Ordered collection of decision + request records with a JSONL
+ * exporter.  Appends are thread-safe (daemon pool workers journal
+ * concurrently); reads expect the writers to be quiescent.
+ */
 class DecisionJournal
 {
   public:
     void
     append(DecisionRecord record)
     {
+        std::lock_guard<std::mutex> lock(mutex_);
         records_.push_back(std::move(record));
+    }
+
+    void
+    appendRequest(RequestRecord record)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        requests_.push_back(std::move(record));
     }
 
     const std::vector<DecisionRecord> &records() const
@@ -93,7 +141,18 @@ class DecisionJournal
         return records_;
     }
 
-    void clear() { records_.clear(); }
+    const std::vector<RequestRecord> &requestRecords() const
+    {
+        return requests_;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        records_.clear();
+        requests_.clear();
+    }
 
     /** Records flagged as re-tunes. */
     std::size_t retuneCount() const;
@@ -115,7 +174,9 @@ class DecisionJournal
     void write(const std::string &path) const;
 
   private:
+    mutable std::mutex mutex_;
     std::vector<DecisionRecord> records_;
+    std::vector<RequestRecord> requests_;
 };
 
 } // namespace obs

@@ -127,40 +127,120 @@ MetricsRegistry::global()
     return registry;
 }
 
-Counter
-MetricsRegistry::counter(const std::string &name)
+detail::CounterCells *
+MetricsRegistry::counterCellsLocked(const std::string &name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
     const auto kind = kinds_.find(name);
     if (kind != kinds_.end()) {
         if (kind->second != Kind::CounterKind)
             fatal("metrics: '", name, "' is already registered as a "
                   "different metric kind");
-        return Counter(counters_.at(name).get());
+        return counters_.at(name).get();
     }
     kinds_.emplace(name, Kind::CounterKind);
     auto cells = std::make_unique<detail::CounterCells>();
-    Counter handle(cells.get());
+    detail::CounterCells *raw = cells.get();
     counters_.emplace(name, std::move(cells));
-    return handle;
+    return raw;
+}
+
+detail::GaugeCells *
+MetricsRegistry::gaugeCellsLocked(const std::string &name)
+{
+    const auto kind = kinds_.find(name);
+    if (kind != kinds_.end()) {
+        if (kind->second != Kind::GaugeKind)
+            fatal("metrics: '", name, "' is already registered as a "
+                  "different metric kind");
+        return gauges_.at(name).get();
+    }
+    kinds_.emplace(name, Kind::GaugeKind);
+    auto cells = std::make_unique<detail::GaugeCells>();
+    detail::GaugeCells *raw = cells.get();
+    gauges_.emplace(name, std::move(cells));
+    return raw;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Counter(counterCellsLocked(name));
 }
 
 Gauge
 MetricsRegistry::gauge(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto kind = kinds_.find(name);
-    if (kind != kinds_.end()) {
-        if (kind->second != Kind::GaugeKind)
-            fatal("metrics: '", name, "' is already registered as a "
-                  "different metric kind");
-        return Gauge(gauges_.at(name).get());
+    return Gauge(gaugeCellsLocked(name));
+}
+
+std::string
+labeledName(const std::string &name, const MetricLabels &labels)
+{
+    MetricLabels sorted = labels;
+    std::sort(sorted.begin(), sorted.end());
+    std::string out = name;
+    out += '{';
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+        if (i != 0)
+            out += ',';
+        out += sorted[i].first;
+        out += '=';
+        for (const char c : sorted[i].second) {
+            const bool unsafe = c == '{' || c == '}' || c == '=' ||
+                                c == ',' || c == '"';
+            out += unsafe ? '_' : c;
+        }
     }
-    kinds_.emplace(name, Kind::GaugeKind);
-    auto cells = std::make_unique<detail::GaugeCells>();
-    Gauge handle(cells.get());
-    gauges_.emplace(name, std::move(cells));
-    return handle;
+    out += '}';
+    return out;
+}
+
+std::string
+MetricsRegistry::internLabeledLocked(const std::string &name,
+                                     const MetricLabels &labels)
+{
+    std::string series = labeledName(name, labels);
+    if (kinds_.count(series) != 0)
+        return series;
+    if (labeledSeries_ >= labelLimit_) {
+        // Cardinality cap: collapse the new label set into the
+        // family's overflow series so memory stays bounded.
+        counterCellsLocked("obs.labels.overflowed")->add(1);
+        return labeledName(name, {{"overflow", "true"}});
+    }
+    ++labeledSeries_;
+    return series;
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name,
+                         const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Counter(counterCellsLocked(internLabeledLocked(name, labels)));
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name, const MetricLabels &labels)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Gauge(gaugeCellsLocked(internLabeledLocked(name, labels)));
+}
+
+std::size_t
+MetricsRegistry::labelLimit() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return labelLimit_;
+}
+
+void
+MetricsRegistry::setLabelLimit(std::size_t limit)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    labelLimit_ = limit;
 }
 
 Histogram
@@ -288,6 +368,101 @@ toJson(const MetricsSnapshot &snapshot)
     }
     out << (snapshot.histograms.empty() ? "}" : "\n  }") << "\n";
     out << "}\n";
+    return out.str();
+}
+
+namespace
+{
+
+/** Prometheus-safe metric name + label body from a canonical name. */
+struct PromSeries
+{
+    std::string name;
+    /** `k="v",k2="v2"` (empty when the series is unlabeled). */
+    std::string labels;
+};
+
+PromSeries
+promSeries(const std::string &canonical)
+{
+    PromSeries out;
+    const std::size_t brace = canonical.find('{');
+    std::string base = canonical.substr(0, brace);
+    for (char &c : base) {
+        if (c == '.' || c == '-')
+            c = '_';
+    }
+    out.name = base;
+    if (brace == std::string::npos || canonical.back() != '}')
+        return out;
+    const std::string body =
+        canonical.substr(brace + 1, canonical.size() - brace - 2);
+    std::size_t pos = 0;
+    while (pos < body.size()) {
+        std::size_t comma = body.find(',', pos);
+        if (comma == std::string::npos)
+            comma = body.size();
+        const std::string pair = body.substr(pos, comma - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq != std::string::npos) {
+            if (!out.labels.empty())
+                out.labels += ',';
+            out.labels += pair.substr(0, eq);
+            out.labels += "=\"";
+            out.labels += pair.substr(eq + 1);
+            out.labels += '"';
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+void
+writePromLine(std::ostringstream &out, const PromSeries &series,
+              const std::string &suffix, const std::string &extraLabel,
+              std::uint64_t value)
+{
+    out << series.name << suffix;
+    if (!series.labels.empty() || !extraLabel.empty()) {
+        out << '{' << series.labels;
+        if (!series.labels.empty() && !extraLabel.empty())
+            out << ',';
+        out << extraLabel << '}';
+    }
+    out << ' ' << value << '\n';
+}
+
+} // namespace
+
+std::string
+toPromText(const MetricsSnapshot &snapshot)
+{
+    std::ostringstream out;
+    for (const auto &[name, value] : snapshot.counters) {
+        const PromSeries series = promSeries(name);
+        writePromLine(out, series, "_total", "", value);
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const PromSeries series = promSeries(name);
+        out << series.name;
+        if (!series.labels.empty())
+            out << '{' << series.labels << '}';
+        out << ' ' << value << '\n';
+    }
+    for (const MetricsSnapshot::HistogramView &h : snapshot.histograms) {
+        const PromSeries series = promSeries(h.name);
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            cumulative += h.counts[i];
+            std::string le = "le=\"";
+            le += i < h.bounds.size() ? std::to_string(h.bounds[i])
+                                      : std::string("+Inf");
+            le += '"';
+            writePromLine(out, series, "_bucket", le, cumulative);
+        }
+        writePromLine(out, series, "_sum", "", h.sum);
+        writePromLine(out, series, "_count", "", h.count);
+    }
     return out.str();
 }
 

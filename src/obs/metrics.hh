@@ -133,6 +133,22 @@ struct HistogramCells
 
 } // namespace detail
 
+/**
+ * One dimension of a labeled metric: key/value pairs such as
+ * {{"wl", "gobmk"}, {"domain", "gpu"}}.  Keys are sorted on
+ * canonicalization, so label order at the call site does not matter.
+ */
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/**
+ * Canonical series name of a labeled metric:
+ * `name{k1=v1,k2=v2}` with keys sorted and the characters
+ * `{ } = , "` in values replaced by '_' (so the name is safe in both
+ * the JSON and the Prometheus exporters).
+ */
+std::string labeledName(const std::string &name,
+                        const MetricLabels &labels);
+
 /** Monotonically increasing named value. */
 class Counter
 {
@@ -272,6 +288,28 @@ class MetricsRegistry
                         const std::vector<std::uint64_t> &bounds);
 
     /**
+     * Register (or look up) one series of a dimensional counter
+     * family: `reg.counter("daemon.completed", {{"wl", "gobmk"}})`
+     * names the series `daemon.completed{wl=gobmk}`.  Labeled series
+     * are ordinary counters — they appear in snapshots and exporters
+     * under the canonical name — and the interner is bounded: once
+     * labelLimit() distinct label sets exist, further new sets
+     * collapse into `name{overflow=true}` (counted by
+     * `obs.labels.overflowed`) so unbounded label cardinality cannot
+     * exhaust memory.  Sites increment the labeled series *and* the
+     * unlabeled total, so per-label values always sum to the base
+     * counter.
+     */
+    Counter counter(const std::string &name, const MetricLabels &labels);
+
+    /** Same interning for a labeled gauge series. */
+    Gauge gauge(const std::string &name, const MetricLabels &labels);
+
+    /** Distinct labeled series the interner still admits (default 1024). */
+    std::size_t labelLimit() const;
+    void setLabelLimit(std::size_t limit);
+
+    /**
      * Canonical latency bucket upper bounds in nanoseconds: decades
      * from 1 us to 1 s (pinned by the snapshot golden test).
      */
@@ -291,7 +329,16 @@ class MetricsRegistry
         HistogramKind
     };
 
+    /** Find-or-create cell helpers (mutex_ held by the caller). */
+    detail::CounterCells *counterCellsLocked(const std::string &name);
+    detail::GaugeCells *gaugeCellsLocked(const std::string &name);
+    /** Interner of one labeled series name (mutex_ held). */
+    std::string internLabeledLocked(const std::string &name,
+                                    const MetricLabels &labels);
+
     mutable std::mutex mutex_;
+    std::size_t labelLimit_ = 1024;
+    std::size_t labeledSeries_ = 0;
     std::map<std::string, Kind> kinds_;
     std::map<std::string, std::unique_ptr<detail::CounterCells>>
         counters_;
@@ -343,6 +390,14 @@ class ScopedTimer
  * bench/bench_json.hh); schema "mcdvfs-metrics-v1", keys sorted.
  */
 std::string toJson(const MetricsSnapshot &snapshot);
+
+/**
+ * Serialize a snapshot as Prometheus text exposition: dots in metric
+ * names become underscores, canonical `name{k=v}` series become
+ * `name{k="v"}`, histograms expand to cumulative `_bucket{le="..."}`
+ * lines plus `_sum` and `_count`.
+ */
+std::string toPromText(const MetricsSnapshot &snapshot);
 
 /**
  * Write the global registry's snapshot to @c path.

@@ -1,0 +1,288 @@
+#include "obs/telemetry.hh"
+
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+SloWatchdog::SloWatchdog(const TimeseriesStore *store,
+                         MetricsRegistry *registry)
+    : store_(store), registry_(registry),
+      breachTotal_(registry->counter("obs.slo.breach")),
+      evaluations_(registry->counter("obs.slo.evaluations"))
+{
+}
+
+void
+SloWatchdog::addRule(const SloRule &rule)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ArmedRule armed;
+    armed.rule = rule;
+    armed.breachCounter =
+        registry_->counter("obs.slo.breach", {{"rule", rule.name}});
+    rules_.push_back(std::move(armed));
+}
+
+std::vector<SloRule>
+SloWatchdog::defaultRules()
+{
+    std::vector<SloRule> rules;
+
+    SloRule p99;
+    p99.name = "submit_p99";
+    p99.kind = SloRule::Kind::QuantileAbove;
+    p99.metric = "daemon.request_ns";
+    p99.quantile = 0.99;
+    p99.threshold = 2e9; // 2 s end-to-end
+    rules.push_back(p99);
+
+    SloRule shed;
+    shed.name = "shed_rate";
+    shed.kind = SloRule::Kind::ShareAbove;
+    shed.metric = "daemon.shed";
+    shed.denominator = "daemon.admitted";
+    shed.threshold = 0.05;
+    rules.push_back(shed);
+
+    SloRule hits;
+    hits.name = "snapshot_hit_rate";
+    hits.kind = SloRule::Kind::ShareBelow;
+    hits.metric = "svc.cache.hits";
+    hits.denominator = "svc.cache.misses";
+    hits.threshold = 0.05;
+    hits.minEvents = 32;
+    rules.push_back(hits);
+
+    SloRule overhead;
+    overhead.name = "overhead_per_decision";
+    overhead.kind = SloRule::Kind::PerEventAbove;
+    overhead.metric = "runtime.tuning.overhead_time_ns";
+    overhead.denominator = "runtime.tuning.events";
+    overhead.threshold = 600e3; // paper charges 500 us per event
+    overhead.minEvents = 1;
+    rules.push_back(overhead);
+
+    return rules;
+}
+
+std::vector<SloBreach>
+SloWatchdog::evaluate()
+{
+    evaluations_.add(1);
+    const std::uint64_t tick = store_->totalTicks();
+    std::vector<SloBreach> found;
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (ArmedRule &armed : rules_) {
+        const SloRule &rule = armed.rule;
+        double value = 0.0;
+        bool breached = false;
+
+        switch (rule.kind) {
+        case SloRule::Kind::ShareAbove:
+        case SloRule::Kind::ShareBelow: {
+            const std::uint64_t numerator =
+                store_->counterDelta(rule.metric, rule.window);
+            const std::uint64_t other =
+                store_->counterDelta(rule.denominator, rule.window);
+            const std::uint64_t total = numerator + other;
+            if (total < rule.minEvents)
+                continue;
+            value = static_cast<double>(numerator) /
+                    static_cast<double>(total);
+            breached = rule.kind == SloRule::Kind::ShareAbove
+                           ? value > rule.threshold
+                           : value < rule.threshold;
+            break;
+        }
+        case SloRule::Kind::QuantileAbove: {
+            const std::uint64_t events =
+                store_->histogramEvents(rule.metric, rule.window);
+            if (events < rule.minEvents)
+                continue;
+            value = store_->quantile(rule.metric, rule.quantile,
+                                     rule.window);
+            breached = value > rule.threshold;
+            break;
+        }
+        case SloRule::Kind::PerEventAbove: {
+            const std::uint64_t numerator =
+                store_->counterDelta(rule.metric, rule.window);
+            const std::uint64_t events =
+                store_->counterDelta(rule.denominator, rule.window);
+            if (events < rule.minEvents)
+                continue;
+            value = static_cast<double>(numerator) /
+                    static_cast<double>(events);
+            breached = value > rule.threshold;
+            break;
+        }
+        }
+
+        if (!breached)
+            continue;
+        breachTotal_.add(1);
+        armed.breachCounter.add(1);
+        warn("slo breach: rule=", rule.name, " value=", value,
+             " threshold=", rule.threshold, " tick=", tick);
+        SloBreach breach;
+        breach.rule = rule.name;
+        breach.value = value;
+        breach.threshold = rule.threshold;
+        breach.tick = tick;
+        log_.push_back(breach);
+        found.push_back(breach);
+    }
+    return found;
+}
+
+std::vector<SloBreach>
+SloWatchdog::breaches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return log_;
+}
+
+std::uint64_t
+SloWatchdog::breachCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return log_.size();
+}
+
+TelemetryPipeline::TelemetryPipeline(TelemetryConfig config,
+                                     MetricsRegistry *registry)
+    : registry_(registry), config_(config), store_(config.capacity),
+      watchdog_(&store_, registry),
+      tickCounter_(registry->counter("obs.telemetry.ticks")),
+      epoch_(std::chrono::steady_clock::now())
+{
+    if (config_.defaultRules) {
+        for (const SloRule &rule : SloWatchdog::defaultRules())
+            watchdog_.addRule(rule);
+    }
+}
+
+TelemetryPipeline::~TelemetryPipeline()
+{
+    stop();
+}
+
+void
+TelemetryPipeline::start()
+{
+    std::lock_guard<std::mutex> lock(threadMutex_);
+    if (running_)
+        return;
+    stopping_ = false;
+    running_ = true;
+    thread_ = std::thread(&TelemetryPipeline::samplerLoop, this);
+}
+
+void
+TelemetryPipeline::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(threadMutex_);
+        if (!running_) {
+            stopping_ = true;
+            return;
+        }
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    thread_.join();
+    {
+        std::lock_guard<std::mutex> lock(threadMutex_);
+        running_ = false;
+    }
+    // Flush: short runs still get at least one tick of data.
+    tickNow();
+}
+
+void
+TelemetryPipeline::setTickCallback(TickCallback callback)
+{
+    std::lock_guard<std::mutex> lock(sampleMutex_);
+    callback_ = std::move(callback);
+}
+
+void
+TelemetryPipeline::tickNow()
+{
+    TickCallback callback;
+    MetricsSnapshot snapshot;
+    std::uint64_t tick = 0;
+    {
+        std::lock_guard<std::mutex> lock(sampleMutex_);
+        snapshot = registry_->snapshot();
+        const auto elapsed =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - epoch_);
+        store_.append(snapshot, elapsed.count() > 0
+                                    ? static_cast<std::uint64_t>(
+                                          elapsed.count())
+                                    : 0);
+        tickCounter_.add(1);
+        tick = ++tickIndex_;
+        lastSnapshot_ = snapshot;
+        callback = callback_;
+    }
+    watchdog_.evaluate();
+    if (callback)
+        callback(snapshot, tick);
+}
+
+void
+TelemetryPipeline::samplerLoop()
+{
+    std::unique_lock<std::mutex> lock(threadMutex_);
+    while (!stopping_) {
+        wake_.wait_for(lock, config_.period,
+                       [this] { return stopping_; });
+        if (stopping_)
+            break;
+        lock.unlock();
+        tickNow();
+        lock.lock();
+    }
+}
+
+std::uint64_t
+TelemetryPipeline::ticks() const
+{
+    std::lock_guard<std::mutex> lock(sampleMutex_);
+    return tickIndex_;
+}
+
+std::string
+TelemetryPipeline::exportJson() const
+{
+    return store_.toJson(watchdog_.breaches());
+}
+
+std::string
+TelemetryPipeline::exportProm() const
+{
+    std::lock_guard<std::mutex> lock(sampleMutex_);
+    return toPromText(lastSnapshot_);
+}
+
+void
+TelemetryPipeline::writeJson(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("telemetry json: cannot open ", path, " for writing");
+    out << exportJson();
+    if (!out)
+        fatal("telemetry json: failed writing ", path);
+}
+
+} // namespace obs
+} // namespace mcdvfs

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Telemetry pipeline: a background sampler thread feeding a
+ * TimeseriesStore from periodic MetricsRegistry snapshots, plus an
+ * SLO watchdog evaluating declarative rules over the window each
+ * tick.
+ *
+ * The paper charges every tuning event a fixed overhead (Sec. 6-C);
+ * the watchdog's default rules turn that accounting into a live
+ * alarm: submit p99, shed rate, grid-cache hit rate and overhead per
+ * decision are checked against thresholds every sampling tick, and a
+ * violation bumps `obs.slo.breach` (total and `{rule=...}` series),
+ * logs a warning line, and lands in the timeseries JSON export.
+ *
+ * Rule catalog and the export schema live in docs/OBSERVABILITY.md.
+ */
+
+#ifndef MCDVFS_OBS_TELEMETRY_HH
+#define MCDVFS_OBS_TELEMETRY_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+/** One declarative SLO rule, evaluated over the timeseries window. */
+struct SloRule
+{
+    enum class Kind
+    {
+        /** metric / (metric + denominator) above threshold (ratio). */
+        ShareAbove,
+        /** metric / (metric + denominator) below threshold (ratio). */
+        ShareBelow,
+        /** Histogram quantile above threshold (same units as values). */
+        QuantileAbove,
+        /** metric delta / denominator delta above threshold. */
+        PerEventAbove
+    };
+
+    std::string name;
+    Kind kind = Kind::ShareAbove;
+    /** Counter (Share/PerEvent) or histogram (Quantile) name. */
+    std::string metric;
+    /** Second counter of the ratio (unused for Quantile rules). */
+    std::string denominator;
+    double quantile = 0.99;
+    double threshold = 0.0;
+    /** Ticks of history per evaluation (0 = whole retained window). */
+    std::size_t window = 8;
+    /** Skip evaluation until the window holds this many events. */
+    std::uint64_t minEvents = 16;
+};
+
+/** Evaluates SloRules over a TimeseriesStore; counts breaches. */
+class SloWatchdog
+{
+  public:
+    SloWatchdog(const TimeseriesStore *store, MetricsRegistry *registry);
+
+    SloWatchdog(const SloWatchdog &) = delete;
+    SloWatchdog &operator=(const SloWatchdog &) = delete;
+
+    void addRule(const SloRule &rule);
+
+    /**
+     * The stock rule set: daemon submit p99 (2 s), shed rate (5%),
+     * grid-cache hit rate floor (5%), and Sec. 6-C overhead per
+     * tuning event (600 us — the paper's 500 us charge plus slack).
+     */
+    static std::vector<SloRule> defaultRules();
+
+    /**
+     * Evaluate every rule against the store's current window.  Each
+     * violation bumps `obs.slo.breach` plus its `{rule=...}` series,
+     * warns, and is retained for export.  Returns this evaluation's
+     * breaches.
+     */
+    std::vector<SloBreach> evaluate();
+
+    /** Every breach since construction (export with the timeseries). */
+    std::vector<SloBreach> breaches() const;
+
+    /** Total breaches counted so far. */
+    std::uint64_t breachCount() const;
+
+  private:
+    struct ArmedRule
+    {
+        SloRule rule;
+        Counter breachCounter;
+    };
+
+    const TimeseriesStore *store_;
+    MetricsRegistry *registry_;
+    Counter breachTotal_;
+    Counter evaluations_;
+    mutable std::mutex mutex_;
+    std::vector<ArmedRule> rules_;
+    std::vector<SloBreach> log_;
+};
+
+/** Sampler configuration. */
+struct TelemetryConfig
+{
+    /** Sampling period of the background thread. */
+    std::chrono::milliseconds period{250};
+    /** Timeseries ring capacity, in ticks. */
+    std::size_t capacity = 256;
+    /** Install SloWatchdog::defaultRules() at construction. */
+    bool defaultRules = true;
+};
+
+/**
+ * Owns the sampler thread, the TimeseriesStore and the SloWatchdog.
+ * start() launches sampling; stop() (or destruction) takes one final
+ * tick and joins, so short runs still export at least one tick.
+ * tickNow() samples synchronously — tests and drain paths use it to
+ * make tick boundaries deterministic.
+ */
+class TelemetryPipeline
+{
+  public:
+    using TickCallback = std::function<void(const MetricsSnapshot &,
+                                            std::uint64_t tick)>;
+
+    explicit TelemetryPipeline(
+        TelemetryConfig config = {},
+        MetricsRegistry *registry = &MetricsRegistry::global());
+    ~TelemetryPipeline();
+
+    TelemetryPipeline(const TelemetryPipeline &) = delete;
+    TelemetryPipeline &operator=(const TelemetryPipeline &) = delete;
+
+    /** Launch the sampler thread (idempotent). */
+    void start();
+
+    /** Final tick, then stop and join the sampler (idempotent). */
+    void stop();
+
+    /** Take one sample + watchdog evaluation synchronously. */
+    void tickNow();
+
+    /** Invoked after every tick (set before start()). */
+    void setTickCallback(TickCallback callback);
+
+    TimeseriesStore &store() { return store_; }
+    const TimeseriesStore &store() const { return store_; }
+    SloWatchdog &watchdog() { return watchdog_; }
+
+    /** Ticks taken so far. */
+    std::uint64_t ticks() const;
+
+    /** "mcdvfs-timeseries-v1" JSON of the window + breach log. */
+    std::string exportJson() const;
+
+    /** Prometheus text of the latest cumulative snapshot. */
+    std::string exportProm() const;
+
+    /** Write exportJson() to @c path. @throws FatalError on I/O. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    void samplerLoop();
+
+    MetricsRegistry *registry_;
+    TelemetryConfig config_;
+    TimeseriesStore store_;
+    SloWatchdog watchdog_;
+    Counter tickCounter_;
+    std::chrono::steady_clock::time_point epoch_;
+
+    mutable std::mutex sampleMutex_;
+    MetricsSnapshot lastSnapshot_;
+    std::uint64_t tickIndex_ = 0;
+    TickCallback callback_;
+
+    std::mutex threadMutex_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+    bool running_ = false;
+    std::thread thread_;
+};
+
+} // namespace obs
+} // namespace mcdvfs
+
+#endif // MCDVFS_OBS_TELEMETRY_HH

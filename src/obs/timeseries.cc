@@ -1,0 +1,323 @@
+#include "obs/timeseries.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Shortest-faithful double form, matching the journal's convention. */
+std::string
+num(double v)
+{
+    char buffer[40];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", v);
+    return buffer;
+}
+
+/** Find-or-append a name in an index map (returns its column). */
+std::size_t
+internName(std::map<std::string, std::size_t> &index,
+           const std::string &name)
+{
+    const auto it = index.find(name);
+    if (it != index.end())
+        return it->second;
+    const std::size_t column = index.size();
+    index.emplace(name, column);
+    return column;
+}
+
+/** Quantile by linear interpolation over inclusive-bound buckets. */
+double
+interpolateQuantile(const std::vector<std::uint64_t> &bounds,
+                    const std::vector<std::uint64_t> &counts, double q)
+{
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : counts)
+        total += c;
+    if (total == 0)
+        return -1.0;
+    const double clamped = std::min(std::max(q, 0.0), 1.0);
+    const double target = clamped * static_cast<double>(total);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double before = static_cast<double>(cumulative);
+        cumulative += counts[i];
+        if (static_cast<double>(cumulative) < target)
+            continue;
+        const double lower =
+            i == 0 ? 0.0 : static_cast<double>(bounds[i - 1]);
+        const double upper =
+            i < bounds.size()
+                ? static_cast<double>(bounds[i])
+                : 10.0 * static_cast<double>(bounds.back());
+        const double fraction =
+            (target - before) / static_cast<double>(counts[i]);
+        return lower + (upper - lower) * fraction;
+    }
+    return bounds.empty() ? 0.0
+                          : 10.0 * static_cast<double>(bounds.back());
+}
+
+} // namespace
+
+TimeseriesStore::TimeseriesStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity))
+{
+}
+
+void
+TimeseriesStore::append(const MetricsSnapshot &snapshot,
+                        std::uint64_t ts_ns)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+
+    Tick tick;
+    tick.tsNs = ts_ns;
+
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::size_t column = internName(counterIndex_, name);
+        if (column >= lastCounterTotals_.size())
+            lastCounterTotals_.resize(column + 1, 0);
+        if (column >= tick.counterDeltas.size())
+            tick.counterDeltas.resize(column + 1, 0);
+        const std::uint64_t last = lastCounterTotals_[column];
+        tick.counterDeltas[column] = value >= last ? value - last : 0;
+        lastCounterTotals_[column] = value;
+    }
+    tick.counterDeltas.resize(counterIndex_.size(), 0);
+
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::size_t column = internName(gaugeIndex_, name);
+        if (column >= tick.gaugeValues.size())
+            tick.gaugeValues.resize(column + 1, 0);
+        tick.gaugeValues[column] = value;
+    }
+    tick.gaugeValues.resize(gaugeIndex_.size(), 0);
+
+    for (const MetricsSnapshot::HistogramView &h : snapshot.histograms) {
+        const std::size_t column = internName(histIndex_, h.name);
+        if (column >= histBounds_.size()) {
+            histBounds_.resize(column + 1);
+            lastHistCounts_.resize(column + 1);
+        }
+        if (histBounds_[column].empty())
+            histBounds_[column] = h.bounds;
+        if (column >= tick.histDeltas.size())
+            tick.histDeltas.resize(column + 1);
+        std::vector<std::uint64_t> &last = lastHistCounts_[column];
+        last.resize(h.counts.size(), 0);
+        std::vector<std::uint64_t> deltas(h.counts.size(), 0);
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            deltas[i] =
+                h.counts[i] >= last[i] ? h.counts[i] - last[i] : 0;
+            last[i] = h.counts[i];
+        }
+        tick.histDeltas[column] = std::move(deltas);
+    }
+    tick.histDeltas.resize(histIndex_.size());
+
+    ticks_.push_back(std::move(tick));
+    ++total_;
+    while (ticks_.size() > capacity_)
+        ticks_.pop_front();
+}
+
+std::size_t
+TimeseriesStore::retained() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ticks_.size();
+}
+
+std::uint64_t
+TimeseriesStore::totalTicks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::uint64_t
+TimeseriesStore::droppedTicks() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_ - ticks_.size();
+}
+
+std::uint64_t
+TimeseriesStore::counterDelta(const std::string &name,
+                              std::size_t window) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = counterIndex_.find(name);
+    if (it == counterIndex_.end())
+        return 0;
+    const std::size_t column = it->second;
+    const std::size_t span =
+        window == 0 ? ticks_.size() : std::min(window, ticks_.size());
+    std::uint64_t sum = 0;
+    for (std::size_t i = ticks_.size() - span; i < ticks_.size(); ++i) {
+        const Tick &tick = ticks_[i];
+        if (column < tick.counterDeltas.size())
+            sum += tick.counterDeltas[column];
+    }
+    return sum;
+}
+
+std::int64_t
+TimeseriesStore::gaugeLast(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = gaugeIndex_.find(name);
+    if (it == gaugeIndex_.end() || ticks_.empty())
+        return 0;
+    const Tick &tick = ticks_.back();
+    return it->second < tick.gaugeValues.size()
+               ? tick.gaugeValues[it->second]
+               : 0;
+}
+
+std::vector<std::uint64_t>
+TimeseriesStore::windowBucketsLocked(std::size_t index,
+                                     std::size_t window) const
+{
+    const std::size_t span =
+        window == 0 ? ticks_.size() : std::min(window, ticks_.size());
+    std::vector<std::uint64_t> buckets;
+    for (std::size_t i = ticks_.size() - span; i < ticks_.size(); ++i) {
+        const Tick &tick = ticks_[i];
+        if (index >= tick.histDeltas.size())
+            continue;
+        const std::vector<std::uint64_t> &deltas = tick.histDeltas[index];
+        if (buckets.size() < deltas.size())
+            buckets.resize(deltas.size(), 0);
+        for (std::size_t b = 0; b < deltas.size(); ++b)
+            buckets[b] += deltas[b];
+    }
+    return buckets;
+}
+
+std::uint64_t
+TimeseriesStore::histogramEvents(const std::string &name,
+                                 std::size_t window) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histIndex_.find(name);
+    if (it == histIndex_.end())
+        return 0;
+    std::uint64_t total = 0;
+    for (const std::uint64_t c : windowBucketsLocked(it->second, window))
+        total += c;
+    return total;
+}
+
+double
+TimeseriesStore::quantile(const std::string &name, double q,
+                          std::size_t window) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histIndex_.find(name);
+    if (it == histIndex_.end())
+        return -1.0;
+    return interpolateQuantile(histBounds_[it->second],
+                               windowBucketsLocked(it->second, window),
+                               q);
+}
+
+std::string
+TimeseriesStore::toJson(const std::vector<SloBreach> &breaches) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\n";
+    out << "  \"schema\": \"mcdvfs-timeseries-v1\",\n";
+    out << "  \"ticks\": " << total_ << ",\n";
+    out << "  \"retained\": " << ticks_.size() << ",\n";
+    out << "  \"dropped_ticks\": " << total_ - ticks_.size() << ",\n";
+
+    out << "  \"ts_ns\": [";
+    for (std::size_t i = 0; i < ticks_.size(); ++i)
+        out << (i == 0 ? "" : ", ") << ticks_[i].tsNs;
+    out << "],\n";
+
+    out << "  \"counters\": {";
+    bool first = true;
+    for (const auto &[name, column] : counterIndex_) {
+        out << (first ? "\n" : ",\n") << "    \"" << name << "\": [";
+        first = false;
+        for (std::size_t i = 0; i < ticks_.size(); ++i) {
+            const Tick &tick = ticks_[i];
+            out << (i == 0 ? "" : ", ")
+                << (column < tick.counterDeltas.size()
+                        ? tick.counterDeltas[column]
+                        : 0);
+        }
+        out << "]";
+    }
+    out << (counterIndex_.empty() ? "}" : "\n  }") << ",\n";
+
+    out << "  \"gauges\": {";
+    first = true;
+    for (const auto &[name, column] : gaugeIndex_) {
+        out << (first ? "\n" : ",\n") << "    \"" << name << "\": [";
+        first = false;
+        for (std::size_t i = 0; i < ticks_.size(); ++i) {
+            const Tick &tick = ticks_[i];
+            out << (i == 0 ? "" : ", ")
+                << (column < tick.gaugeValues.size()
+                        ? tick.gaugeValues[column]
+                        : 0);
+        }
+        out << "]";
+    }
+    out << (gaugeIndex_.empty() ? "}" : "\n  }") << ",\n";
+
+    out << "  \"quantiles\": {";
+    first = true;
+    for (const auto &[name, column] : histIndex_) {
+        out << (first ? "\n" : ",\n") << "    \"" << name << "\": {";
+        first = false;
+        const double qs[] = {0.50, 0.90, 0.99};
+        const char *labels[] = {"p50", "p90", "p99"};
+        for (std::size_t qi = 0; qi < 3; ++qi) {
+            out << (qi == 0 ? "" : ", ") << "\"" << labels[qi]
+                << "\": [";
+            for (std::size_t i = 0; i < ticks_.size(); ++i) {
+                const Tick &tick = ticks_[i];
+                double value = -1.0;
+                if (column < tick.histDeltas.size())
+                    value = interpolateQuantile(histBounds_[column],
+                                                tick.histDeltas[column],
+                                                qs[qi]);
+                out << (i == 0 ? "" : ", ") << num(value);
+            }
+            out << "]";
+        }
+        out << "}";
+    }
+    out << (histIndex_.empty() ? "}" : "\n  }") << ",\n";
+
+    out << "  \"slo_breaches\": [";
+    for (std::size_t i = 0; i < breaches.size(); ++i) {
+        const SloBreach &b = breaches[i];
+        out << (i == 0 ? "\n" : ",\n") << "    {\"rule\": \"" << b.rule
+            << "\", \"value\": " << num(b.value)
+            << ", \"threshold\": " << num(b.threshold)
+            << ", \"tick\": " << b.tick << "}";
+    }
+    out << (breaches.empty() ? "]\n" : "\n  ]\n");
+    out << "}\n";
+    return out.str();
+}
+
+} // namespace obs
+} // namespace mcdvfs

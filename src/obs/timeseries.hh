@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Fixed-capacity time-series ring over MetricsRegistry snapshots.
+ *
+ * The metrics layer answers "how much, ever"; this store answers
+ * "how much, when": each append() turns a cumulative snapshot into
+ * one tick of counter *deltas*, gauge *points* and per-histogram
+ * bucket deltas, retained in a bounded ring so a long-running daemon
+ * keeps a sliding window instead of an unbounded log.  The
+ * TelemetryPipeline (obs/telemetry.hh) owns the sampler thread that
+ * feeds it; the SloWatchdog evaluates rules over its window.
+ *
+ * Exported as schema "mcdvfs-timeseries-v1": columnar per-series
+ * arrays (one entry per retained tick, zero-padded for ticks that
+ * predate a series), plus p50/p90/p99 estimates per histogram tick
+ * interpolated over the delta bucket counts.
+ */
+
+#ifndef MCDVFS_OBS_TIMESERIES_HH
+#define MCDVFS_OBS_TIMESERIES_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+
+/** One SLO rule violation (see obs/telemetry.hh), kept for export. */
+struct SloBreach
+{
+    std::string rule;
+    /** Observed value (ratio, ns, or per-event units per the rule). */
+    double value = 0.0;
+    double threshold = 0.0;
+    /** Tick index (TimeseriesStore::totalTicks()) at evaluation. */
+    std::uint64_t tick = 0;
+};
+
+/** Bounded ring of per-tick metric deltas (thread-safe). */
+class TimeseriesStore
+{
+  public:
+    explicit TimeseriesStore(std::size_t capacity = 256);
+
+    TimeseriesStore(const TimeseriesStore &) = delete;
+    TimeseriesStore &operator=(const TimeseriesStore &) = delete;
+
+    /**
+     * Append one tick: deltas of @c snapshot against the previous
+     * append.  @c ts_ns is the caller's monotonic timestamp.  A
+     * counter that moved backwards (registry reset) contributes a
+     * zero delta for that tick.
+     */
+    void append(const MetricsSnapshot &snapshot, std::uint64_t ts_ns);
+
+    /** Ticks currently retained (<= capacity). */
+    std::size_t retained() const;
+
+    /** Ticks ever appended (monotonic). */
+    std::uint64_t totalTicks() const;
+
+    /** Ticks lost to ring wrap-around. */
+    std::uint64_t droppedTicks() const;
+
+    /**
+     * Sum of a counter's deltas over the last @c window retained
+     * ticks (0 = the whole retained window).  Unknown names read 0.
+     */
+    std::uint64_t counterDelta(const std::string &name,
+                               std::size_t window = 0) const;
+
+    /** Latest retained gauge point (0 when unknown or empty). */
+    std::int64_t gaugeLast(const std::string &name) const;
+
+    /** Histogram events recorded within the window. */
+    std::uint64_t histogramEvents(const std::string &name,
+                                  std::size_t window = 0) const;
+
+    /**
+     * Quantile estimate (linear interpolation over the window's
+     * aggregated delta buckets; the overflow bucket extrapolates to
+     * 10x the last bound).  Returns -1 when the window holds no
+     * events.
+     */
+    double quantile(const std::string &name, double q,
+                    std::size_t window = 0) const;
+
+    /**
+     * Serialize the retained window as "mcdvfs-timeseries-v1" JSON;
+     * @c breaches (usually SloWatchdog::breaches()) rides along as
+     * the "slo_breaches" array.
+     */
+    std::string toJson(const std::vector<SloBreach> &breaches = {}) const;
+
+  private:
+    struct Tick
+    {
+        std::uint64_t tsNs = 0;
+        std::vector<std::uint64_t> counterDeltas;
+        std::vector<std::int64_t> gaugeValues;
+        /** Per histogram: bucket-count deltas for this tick. */
+        std::vector<std::vector<std::uint64_t>> histDeltas;
+    };
+
+    /** Aggregate a histogram's delta buckets over the window. */
+    std::vector<std::uint64_t>
+    windowBucketsLocked(std::size_t index, std::size_t window) const;
+
+    const std::size_t capacity_;
+    mutable std::mutex mutex_;
+    std::uint64_t total_ = 0;
+    std::deque<Tick> ticks_;
+
+    std::map<std::string, std::size_t> counterIndex_;
+    std::map<std::string, std::size_t> gaugeIndex_;
+    std::map<std::string, std::size_t> histIndex_;
+    std::vector<std::vector<std::uint64_t>> histBounds_;
+    std::vector<std::uint64_t> lastCounterTotals_;
+    std::vector<std::vector<std::uint64_t>> lastHistCounts_;
+};
+
+} // namespace obs
+} // namespace mcdvfs
+
+#endif // MCDVFS_OBS_TIMESERIES_HH

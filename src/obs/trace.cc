@@ -25,7 +25,8 @@ TraceRing::TraceRing(std::size_t capacity, std::size_t tid)
 
 void
 TraceRing::push(char phase, const char *name, std::uint64_t ts_ns,
-                std::uint64_t dur_ns, std::uint64_t arg)
+                std::uint64_t dur_ns, std::uint64_t arg,
+                std::uint64_t flow)
 {
     const std::uint64_t w = writeIndex_.load(std::memory_order_relaxed);
     TraceSlot &slot = slots_[static_cast<std::size_t>(w % capacity_)];
@@ -38,6 +39,7 @@ TraceRing::push(char phase, const char *name, std::uint64_t ts_ns,
     slot.tsNs.store(ts_ns, std::memory_order_relaxed);
     slot.durNs.store(dur_ns, std::memory_order_relaxed);
     slot.arg.store(arg, std::memory_order_relaxed);
+    slot.flow.store(flow, std::memory_order_relaxed);
     slot.name.store(name, std::memory_order_relaxed);
     slot.phase.store(phase, std::memory_order_relaxed);
     slot.seq.store(2 * (w + 1), std::memory_order_release);
@@ -71,6 +73,7 @@ TraceRing::readInto(std::vector<TraceEventView> &out) const
         event.tsNs = slot.tsNs.load(std::memory_order_relaxed);
         event.durNs = slot.durNs.load(std::memory_order_relaxed);
         event.arg = slot.arg.load(std::memory_order_relaxed);
+        event.flowId = slot.flow.load(std::memory_order_relaxed);
         event.name = slot.name.load(std::memory_order_relaxed);
         event.phase = slot.phase.load(std::memory_order_relaxed);
         event.tid = tid_;
@@ -146,11 +149,19 @@ TraceCollector::ringForThisThread()
 
 void
 TraceCollector::record(char phase, const char *name, std::uint64_t ts_ns,
-                       std::uint64_t dur_ns, std::uint64_t arg)
+                       std::uint64_t dur_ns, std::uint64_t arg,
+                       std::uint64_t flow)
 {
     if (!enabled())
         return;
-    ringForThisThread()->push(phase, name, ts_ns, dur_ns, arg);
+    ringForThisThread()->push(phase, name, ts_ns, dur_ns, arg, flow);
+}
+
+TraceContext &
+currentTraceContext()
+{
+    thread_local TraceContext context;
+    return context;
 }
 
 TraceSnapshot
@@ -209,8 +220,18 @@ toChromeJson(const TraceSnapshot &snapshot)
             out << ", \"dur\": " << microsFromNs(e.durNs);
         if (e.phase == 'i')
             out << ", \"s\": \"t\"";
+        // Perfetto flow binding: events stamped with a request id
+        // chain into one flow per request.  Unstamped events keep
+        // the historical byte-for-byte layout.
+        if (e.flowId != 0)
+            out << ", \"bind_id\": \"0x" << std::hex << e.flowId
+                << std::dec
+                << "\", \"flow_in\": true, \"flow_out\": true";
         out << ", \"pid\": 1, \"tid\": " << e.tid
-            << ", \"args\": {\"v\": " << e.arg << "}}";
+            << ", \"args\": {\"v\": " << e.arg;
+        if (e.flowId != 0)
+            out << ", \"request_id\": " << e.flowId;
+        out << "}}";
     }
     out << (snapshot.events.empty() ? "]\n" : "\n  ]\n");
     out << "}\n";

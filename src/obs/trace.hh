@@ -71,8 +71,51 @@ struct TraceEventView
     std::uint64_t durNs = 0;
     /** One free-form integer argument (sample index, chunk id, ...). */
     std::uint64_t arg = 0;
+    /**
+     * Request flow id (0 = none): the TraceContext request id active
+     * when the event was recorded; exported as a Perfetto flow
+     * (bind_id + flow_in/flow_out) so one request's spans chain.
+     */
+    std::uint64_t flowId = 0;
     /** Collector-assigned writer-thread id (registration order). */
     std::size_t tid = 0;
+};
+
+/**
+ * Request-scoped correlation ids, carried in a thread-local and
+ * stamped into every span/instant recorded while installed (see
+ * ScopedTraceContext).  requestId 0 means "no request in scope".
+ * The daemon allocates ids at TuningDaemon::submit and re-installs
+ * the context on the batcher and pool threads that serve the request,
+ * so the journal and the trace share one id space.
+ */
+struct TraceContext
+{
+    std::uint64_t requestId = 0;
+    /** FNV-1a hash of the workload class name. */
+    std::uint64_t classId = 0;
+};
+
+/** The calling thread's active context (mutable; prefer the RAII). */
+TraceContext &currentTraceContext();
+
+/** Install a context for a scope; restores the previous one on exit. */
+class ScopedTraceContext
+{
+  public:
+    explicit ScopedTraceContext(TraceContext context)
+        : saved_(currentTraceContext())
+    {
+        currentTraceContext() = context;
+    }
+
+    ScopedTraceContext(const ScopedTraceContext &) = delete;
+    ScopedTraceContext &operator=(const ScopedTraceContext &) = delete;
+
+    ~ScopedTraceContext() { currentTraceContext() = saved_; }
+
+  private:
+    TraceContext saved_;
 };
 
 /** Point-in-time view of every ring, ordered by (tid, record order). */
@@ -99,6 +142,7 @@ struct TraceSlot
     std::atomic<std::uint64_t> tsNs{0};
     std::atomic<std::uint64_t> durNs{0};
     std::atomic<std::uint64_t> arg{0};
+    std::atomic<std::uint64_t> flow{0};
     std::atomic<const char *> name{nullptr};
     std::atomic<char> phase{0};
 };
@@ -114,7 +158,8 @@ class TraceRing
 
     /** Record one event (owning thread only; never blocks). */
     void push(char phase, const char *name, std::uint64_t ts_ns,
-              std::uint64_t dur_ns, std::uint64_t arg);
+              std::uint64_t dur_ns, std::uint64_t arg,
+              std::uint64_t flow = 0);
 
     /** Events ever pushed (monotonic). */
     std::uint64_t written() const
@@ -185,7 +230,8 @@ class TraceCollector
      * that need explicit timestamps.
      */
     void record(char phase, const char *name, std::uint64_t ts_ns,
-                std::uint64_t dur_ns, std::uint64_t arg);
+                std::uint64_t dur_ns, std::uint64_t arg,
+                std::uint64_t flow = 0);
 
     /** Consistent view of every ring (safe while writers run). */
     TraceSnapshot snapshot() const;
@@ -235,6 +281,7 @@ class TraceSpan
         if (tracingActive()) {
             name_ = name;
             arg_ = arg;
+            flow_ = currentTraceContext().requestId;
             startNs_ = TraceCollector::nowNs();
             active_ = true;
         }
@@ -258,7 +305,7 @@ class TraceSpan
             active_ = false;
             TraceCollector::global().record(
                 'X', name_, startNs_,
-                TraceCollector::nowNs() - startNs_, arg_);
+                TraceCollector::nowNs() - startNs_, arg_, flow_);
         }
 #endif
     }
@@ -268,6 +315,7 @@ class TraceSpan
     const char *name_ = nullptr;
     std::uint64_t startNs_ = 0;
     std::uint64_t arg_ = 0;
+    std::uint64_t flow_ = 0;
     bool active_ = false;
 #endif
 };
@@ -279,7 +327,8 @@ traceInstant(const char *name, std::uint64_t arg = 0)
     if constexpr (kTracingEnabled) {
         if (tracingActive()) {
             TraceCollector::global().record(
-                'i', name, TraceCollector::nowNs(), 0, arg);
+                'i', name, TraceCollector::nowNs(), 0, arg,
+                currentTraceContext().requestId);
         }
     } else {
         (void)name;

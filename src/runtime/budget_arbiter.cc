@@ -22,6 +22,9 @@ struct ArbiterMetrics
     obs::Counter kept;
     obs::Counter retunes;
     obs::Counter capped;
+    /** Labeled views of `capped` by active priority variant. */
+    obs::Counter cappedCpuPriority;
+    obs::Counter cappedGpuPriority;
     obs::Counter rowSwitches;
 
     ArbiterMetrics()
@@ -31,6 +34,10 @@ struct ArbiterMetrics
         kept = reg.counter("runtime.arbiter.kept");
         retunes = reg.counter("runtime.arbiter.retunes");
         capped = reg.counter("runtime.arbiter.capped");
+        cappedCpuPriority =
+            reg.counter("runtime.arbiter.capped", {{"priority", "cpu"}});
+        cappedGpuPriority =
+            reg.counter("runtime.arbiter.capped", {{"priority", "gpu"}});
         rowSwitches = reg.counter("runtime.arbiter.row_switches");
     }
 };
@@ -251,6 +258,10 @@ BudgetArbiter::decide(const SampleObservation *last)
     // affordable setting anywhere (the validated caps always admit at
     // least the minimum setting).
     metrics.capped.add(1);
+    if (priority_ == Priority::Cpu)
+        metrics.cappedCpuPriority.add(1);
+    else
+        metrics.cappedGpuPriority.add(1);
     ++capped_;
     bool have = false;
     FrequencySetting best{};

@@ -26,6 +26,11 @@ struct TuningMetrics
     obs::Counter overheadTimeNs;
     obs::Counter overheadEnergyNj;
     obs::Counter budgetViolations;
+    /** Per-domain frequency changes; one transition can change all. */
+    obs::Counter domainChanges;
+    obs::Counter cpuChanges;
+    obs::Counter memChanges;
+    obs::Counter gpuChanges;
 
     TuningMetrics()
     {
@@ -38,6 +43,13 @@ struct TuningMetrics
             reg.counter("runtime.tuning.overhead_energy_nj");
         budgetViolations =
             reg.counter("runtime.tuning.budget_violations");
+        domainChanges = reg.counter("runtime.tuning.domain_changes");
+        cpuChanges = reg.counter("runtime.tuning.domain_changes",
+                                 {{"domain", "cpu"}});
+        memChanges = reg.counter("runtime.tuning.domain_changes",
+                                 {{"domain", "mem"}});
+        gpuChanges = reg.counter("runtime.tuning.domain_changes",
+                                 {{"domain", "gpu"}});
     }
 };
 
@@ -87,6 +99,9 @@ TuningLoop::evaluate(const std::string &policy,
     Joules emin_sum = 0.0;
     std::size_t violations = 0;
     std::size_t tuning_events = 0;
+    std::uint64_t cpu_changes = 0;
+    std::uint64_t mem_changes = 0;
+    std::uint64_t gpu_changes = 0;
     for (std::size_t s = 0; s < sequence.size(); ++s) {
         result.time += grid.secondsAt(s, sequence[s]);
         result.energy += grid.energyAt(s, sequence[s]);
@@ -100,6 +115,12 @@ TuningLoop::evaluate(const std::string &policy,
         if (s > 0 && sequence[s] != sequence[s - 1]) {
             ++result.transitions;
             obs::traceInstant("runtime.tuning.transition", s);
+            const SettingsSpace &space = grid.space();
+            const FrequencySetting from = space.at(sequence[s - 1]);
+            const FrequencySetting to = space.at(sequence[s]);
+            cpu_changes += from.cpu != to.cpu ? 1 : 0;
+            mem_changes += from.mem != to.mem ? 1 : 0;
+            gpu_changes += from.gpu != to.gpu ? 1 : 0;
         }
     }
     result.tuningEvents = tuning_events;
@@ -119,6 +140,13 @@ TuningLoop::evaluate(const std::string &policy,
     metrics.overheadTimeNs.add(toNano(overhead.latency));
     metrics.overheadEnergyNj.add(toNano(overhead.energy));
     metrics.budgetViolations.add(violations);
+    metrics.domainChanges.add(cpu_changes + mem_changes + gpu_changes);
+    if (cpu_changes > 0)
+        metrics.cpuChanges.add(cpu_changes);
+    if (mem_changes > 0)
+        metrics.memChanges.add(mem_changes);
+    if (gpu_changes > 0)
+        metrics.gpuChanges.add(gpu_changes);
 
     if (journal_ != nullptr)
         journalRun(policy, sequence, retuned, budget, threshold);
@@ -156,6 +184,7 @@ TuningLoop::journalRun(const std::string &policy,
         record.workload = grid.workload();
         record.policy = policy;
         record.sample = s;
+        record.requestId = obs::currentTraceContext().requestId;
         if (grid.hasProfiles()) {
             record.cpi = grid.profile(s).baseCpi;
             record.mpki = grid.profile(s).l2Mpki;
@@ -163,6 +192,10 @@ TuningLoop::journalRun(const std::string &policy,
         const FrequencySetting setting = space.at(sequence[s]);
         record.cpuMhz = toMegaHertz(setting.cpu);
         record.memMhz = toMegaHertz(setting.mem);
+        if (space.hasGpu()) {
+            record.hasGpu = true;
+            record.gpuMhz = toMegaHertz(setting.gpu);
+        }
         record.inefficiency =
             analysis.sampleInefficiency(s, sequence[s]);
         record.budget = budget;

@@ -281,6 +281,10 @@ CharacterizationService::submit(const TuningRequest &request)
     obs::ScopedTimer submit_timer(serviceMetrics().submitNs);
     obs::TraceSpan submit_span("svc.submit");
     serviceMetrics().requests.add(1);
+    obs::MetricsRegistry::global()
+        .counter("svc.service.requests",
+                 {{"wl", request.workload.name()}})
+        .add(1);
     bool cache_hit = false;
     const GridKey key = keyFor(request.workload, request.space);
     auto grid = gridFor(key, request.workload, request.space, cache_hit);
@@ -295,6 +299,12 @@ CharacterizationService::submitBatch(
     obs::TraceSpan batch_span("svc.submit_batch", requests.size());
     serviceMetrics().batches.add(1);
     serviceMetrics().requests.add(requests.size());
+    for (const TuningRequest &request : requests) {
+        obs::MetricsRegistry::global()
+            .counter("svc.service.requests",
+                     {{"wl", request.workload.name()}})
+            .add(1);
+    }
     const obs::Clock::time_point batch_start = obs::metricsNow();
 
     // Group requests sharing a grid so each distinct characterization

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests of the minimal JSON reader (common/json.hh) used by
+ * tools/bench_gate: value access, insertion-ordered objects, string
+ * escapes, strict error handling with byte offsets, and file I/O.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+namespace json
+{
+namespace
+{
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_TRUE(parse("true").asBool());
+    EXPECT_FALSE(parse("false").asBool());
+    EXPECT_DOUBLE_EQ(parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(parse("-1.5e3").asNumber(), -1500.0);
+    EXPECT_EQ(parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesNestedDocumentInInsertionOrder)
+{
+    const Value doc = parse(
+        "{\"schema\": \"v1\", \"results\": [{\"name\": \"a\", "
+        "\"build_seconds\": 0.25}, {\"name\": \"b\"}], "
+        "\"count\": 2}");
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_EQ(doc.members().size(), 3u);
+    EXPECT_EQ(doc.members()[0].first, "schema");
+    EXPECT_EQ(doc.members()[1].first, "results");
+    EXPECT_EQ(doc.members()[2].first, "count");
+
+    EXPECT_EQ(doc.at("schema").asString(), "v1");
+    const auto &results = doc.at("results").asArray();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].at("name").asString(), "a");
+    EXPECT_DOUBLE_EQ(results[0].at("build_seconds").asNumber(), 0.25);
+    EXPECT_TRUE(doc.has("count"));
+    EXPECT_FALSE(doc.has("missing"));
+}
+
+TEST(Json, FallbackAccessors)
+{
+    const Value doc = parse("{\"n\": 7, \"s\": \"x\"}");
+    EXPECT_DOUBLE_EQ(doc.numberOr("n", -1.0), 7.0);
+    EXPECT_DOUBLE_EQ(doc.numberOr("absent", -1.0), -1.0);
+    EXPECT_EQ(doc.stringOr("s", "d"), "x");
+    EXPECT_EQ(doc.stringOr("absent", "d"), "d");
+}
+
+TEST(Json, StringEscapes)
+{
+    EXPECT_EQ(parse("\"a\\\"b\\\\c\\n\\t\"").asString(), "a\"b\\c\n\t");
+    EXPECT_EQ(parse("\"\\u0041\"").asString(), "A");
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_TRUE(parse("{}").members().empty());
+    EXPECT_TRUE(parse("[]").asArray().empty());
+    EXPECT_TRUE(parse("  { }  ").isObject());
+}
+
+TEST(Json, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parse(""), FatalError);
+    EXPECT_THROW(parse("{"), FatalError);
+    EXPECT_THROW(parse("{\"a\": }"), FatalError);
+    EXPECT_THROW(parse("[1, 2,]"), FatalError);
+    EXPECT_THROW(parse("tru"), FatalError);
+    EXPECT_THROW(parse("\"unterminated"), FatalError);
+    EXPECT_THROW(parse("1 2"), FatalError); // trailing garbage
+    EXPECT_THROW(parse("nan"), FatalError);
+}
+
+TEST(Json, TypeMismatchThrows)
+{
+    const Value doc = parse("{\"a\": 1}");
+    EXPECT_THROW(doc.at("a").asString(), FatalError);
+    EXPECT_THROW(doc.at("missing"), FatalError);
+    EXPECT_THROW(parse("[]").members(), FatalError);
+    EXPECT_THROW(parse("1").asArray(), FatalError);
+}
+
+TEST(Json, ParseFileRoundTrip)
+{
+    const std::string path =
+        testing::TempDir() + "common_json_test_doc.json";
+    {
+        std::ofstream out(path);
+        out << "{\"schema\": \"mcdvfs-bench-grid-v1\", \"results\": "
+               "[{\"cells_per_sec\": 1e6}]}";
+    }
+    const Value doc = parseFile(path);
+    EXPECT_EQ(doc.at("schema").asString(), "mcdvfs-bench-grid-v1");
+    EXPECT_DOUBLE_EQ(
+        doc.at("results").asArray()[0].at("cells_per_sec").asNumber(),
+        1e6);
+    std::remove(path.c_str());
+    EXPECT_THROW(parseFile(path), FatalError);
+}
+
+} // namespace
+} // namespace json
+} // namespace mcdvfs

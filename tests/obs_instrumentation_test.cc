@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <filesystem>
 #include <future>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -502,6 +503,67 @@ TEST(ObsInstrumentation, SchedulerTransitionLedger)
                     counterValue("sched.transition_time_ns") - timeNs0),
                 result.transitionLatency * 1e9, 100.0);
     EXPECT_GT(counterValue("sched.transition_energy_nj"), energyNj0);
+}
+
+TEST(ObsInstrumentation, LabeledCounterFamiliesSumToUnlabeledTotals)
+{
+    REQUIRE_METRICS_ON();
+    // Each test runs in its own process, so the global registry holds
+    // only what this body produced.  Drive the daemon across two
+    // workloads plus a draining shed, then check the dimensional
+    // invariant: every `base{...}` family sums exactly to its
+    // unlabeled base counter (sites bump both).
+    daemon::DaemonOptions options;
+    options.service.jobs = 2;
+    const svc::TuningRequest phased{test::phasedWorkload(),
+                                    SettingsSpace::coarse(), 1.3, 0.03};
+    const svc::TuningRequest steady{test::steadyWorkload(),
+                                    SettingsSpace::coarse(), 1.1, 0.05};
+    {
+        daemon::TuningDaemon server(test::fastSystemConfig(), options);
+        std::future<daemon::DaemonResponse> first =
+            server.submit(phased);
+        std::future<daemon::DaemonResponse> second =
+            server.submit(steady);
+        EXPECT_TRUE(first.get().ok());
+        EXPECT_TRUE(second.get().ok());
+        server.drain();
+        EXPECT_EQ(server.submit(phased).get().shed,
+                  daemon::ShedReason::Draining);
+    }
+    // The daemon drives grids/analyses directly; the front-door
+    // service path owns svc.service.requests{wl}.
+    {
+        svc::CharacterizationService service(test::fastSystemConfig());
+        service.submit(phased);
+        service.submit(steady);
+    }
+
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    std::map<std::string, std::uint64_t> base;
+    std::map<std::string, std::uint64_t> labeledSum;
+    for (const auto &[name, value] : snap.counters) {
+        const std::size_t brace = name.find('{');
+        if (brace == std::string::npos) {
+            base[name] = value;
+        } else if (name.find("overflow=true") == std::string::npos) {
+            labeledSum[name.substr(0, brace)] += value;
+        }
+    }
+    std::size_t families = 0;
+    for (const auto &[family, sum] : labeledSum) {
+        const auto it = base.find(family);
+        ASSERT_NE(it, base.end()) << family << " has no base counter";
+        EXPECT_EQ(it->second, sum) << family;
+        ++families;
+    }
+    // The run above must have produced the three labeled families the
+    // daemon path owns (arbiter capping only fires with a GPU domain).
+    EXPECT_GE(families, 3u);
+    EXPECT_EQ(labeledSum.count("daemon.completed"), 1u);
+    EXPECT_EQ(labeledSum.count("daemon.shed"), 1u);
+    EXPECT_EQ(labeledSum.count("svc.service.requests"), 1u);
 }
 
 } // namespace

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * TelemetryPipeline and SloWatchdog tests over a private
+ * MetricsRegistry: rule evaluation per kind, minEvents guards, breach
+ * counting (total and per-rule labeled series), the sampler thread's
+ * start/stop lifecycle, and the JSON / Prometheus exports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "obs/telemetry.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+namespace
+{
+
+#define REQUIRE_METRICS_ON()                                           \
+    if (!kMetricsEnabled)                                              \
+    GTEST_SKIP() << "metrics disabled in this build"
+
+SloRule
+shareRule(const char *name, SloRule::Kind kind, const char *metric,
+          const char *denominator, double threshold,
+          std::uint64_t min_events = 1)
+{
+    SloRule rule;
+    rule.name = name;
+    rule.kind = kind;
+    rule.metric = metric;
+    rule.denominator = denominator;
+    rule.threshold = threshold;
+    rule.minEvents = min_events;
+    return rule;
+}
+
+TEST(SloWatchdog, ShareAboveBreachesAndCounts)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TimeseriesStore store(16);
+    SloWatchdog watchdog(&store, &reg);
+    watchdog.addRule(shareRule("shed_rate", SloRule::Kind::ShareAbove,
+                               "shed", "admitted", 0.05));
+
+    Counter shed = reg.counter("shed");
+    Counter admitted = reg.counter("admitted");
+    shed.add(10);
+    admitted.add(10);
+    store.append(reg.snapshot(), 100);
+
+    const std::vector<SloBreach> found = watchdog.evaluate();
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].rule, "shed_rate");
+    EXPECT_DOUBLE_EQ(found[0].value, 0.5);
+    EXPECT_EQ(watchdog.breachCount(), 1u);
+    EXPECT_EQ(reg.counter("obs.slo.breach").value(), 1u);
+    EXPECT_EQ(reg.counter("obs.slo.breach", {{"rule", "shed_rate"}})
+                  .value(),
+              1u);
+    EXPECT_EQ(reg.counter("obs.slo.evaluations").value(), 1u);
+}
+
+TEST(SloWatchdog, ShareAboveHonoursMinEvents)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TimeseriesStore store(16);
+    SloWatchdog watchdog(&store, &reg);
+    watchdog.addRule(shareRule("shed_rate", SloRule::Kind::ShareAbove,
+                               "shed", "admitted", 0.05,
+                               /*min_events=*/16));
+
+    reg.counter("shed").add(5); // 5 events < 16: not evaluated
+    store.append(reg.snapshot(), 100);
+    EXPECT_TRUE(watchdog.evaluate().empty());
+
+    reg.counter("shed").add(20);
+    store.append(reg.snapshot(), 200);
+    EXPECT_EQ(watchdog.evaluate().size(), 1u);
+}
+
+TEST(SloWatchdog, ShareBelowBreachesOnLowRatio)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TimeseriesStore store(16);
+    SloWatchdog watchdog(&store, &reg);
+    watchdog.addRule(shareRule("hit_rate", SloRule::Kind::ShareBelow,
+                               "hits", "misses", 0.5));
+
+    reg.counter("hits").add(1);
+    reg.counter("misses").add(9);
+    store.append(reg.snapshot(), 100);
+    ASSERT_EQ(watchdog.evaluate().size(), 1u);
+
+    // Healthy ratio: no further breach.
+    reg.counter("hits").add(90);
+    store.append(reg.snapshot(), 200);
+    SloRule narrow = shareRule("hit_rate_tail",
+                               SloRule::Kind::ShareBelow, "hits",
+                               "misses", 0.5);
+    narrow.window = 1;
+    watchdog.addRule(narrow);
+    const std::vector<SloBreach> found = watchdog.evaluate();
+    for (const SloBreach &breach : found)
+        EXPECT_NE(breach.rule, "hit_rate_tail");
+}
+
+TEST(SloWatchdog, PerEventAboveDividesDeltas)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TimeseriesStore store(16);
+    SloWatchdog watchdog(&store, &reg);
+    watchdog.addRule(shareRule("overhead", SloRule::Kind::PerEventAbove,
+                               "overhead_ns", "events", 600e3));
+
+    reg.counter("overhead_ns").add(500'000 * 4); // 500 us/event: ok
+    reg.counter("events").add(4);
+    store.append(reg.snapshot(), 100);
+    EXPECT_TRUE(watchdog.evaluate().empty());
+
+    reg.counter("overhead_ns").add(2'000'000); // 2 ms/event: breach
+    reg.counter("events").add(1);
+    SloRule tail = shareRule("overhead_tail",
+                             SloRule::Kind::PerEventAbove,
+                             "overhead_ns", "events", 600e3);
+    tail.window = 1;
+    watchdog.addRule(tail);
+    store.append(reg.snapshot(), 200);
+    const std::vector<SloBreach> found = watchdog.evaluate();
+    bool tail_breached = false;
+    for (const SloBreach &breach : found)
+        tail_breached |= breach.rule == "overhead_tail";
+    EXPECT_TRUE(tail_breached);
+}
+
+TEST(SloWatchdog, QuantileAboveUsesWindowedHistogram)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TimeseriesStore store(16);
+    SloWatchdog watchdog(&store, &reg);
+    SloRule rule;
+    rule.name = "p99";
+    rule.kind = SloRule::Kind::QuantileAbove;
+    rule.metric = "lat";
+    rule.quantile = 0.99;
+    rule.threshold = 1e6; // 1 ms
+    rule.minEvents = 4;
+    watchdog.addRule(rule);
+
+    Histogram lat =
+        reg.histogram("lat", MetricsRegistry::latencyBucketsNs());
+    for (int i = 0; i < 100; ++i)
+        lat.record(10'000'000); // 10 ms
+    store.append(reg.snapshot(), 100);
+
+    const std::vector<SloBreach> found = watchdog.evaluate();
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_GT(found[0].value, 1e6);
+}
+
+TEST(SloWatchdog, DefaultRulesCoverTheStockCatalog)
+{
+    const std::vector<SloRule> rules = SloWatchdog::defaultRules();
+    ASSERT_EQ(rules.size(), 4u);
+    EXPECT_EQ(rules[0].name, "submit_p99");
+    EXPECT_EQ(rules[1].name, "shed_rate");
+    EXPECT_EQ(rules[2].name, "snapshot_hit_rate");
+    EXPECT_EQ(rules[3].name, "overhead_per_decision");
+}
+
+TEST(TelemetryPipeline, TickNowSamplesSynchronously)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TelemetryConfig config;
+    config.defaultRules = false;
+    TelemetryPipeline pipeline(config, &reg);
+
+    reg.counter("work").add(3);
+    pipeline.tickNow();
+    EXPECT_EQ(pipeline.ticks(), 1u);
+    EXPECT_EQ(pipeline.store().counterDelta("work"), 3u);
+    EXPECT_EQ(reg.counter("obs.telemetry.ticks").value(), 1u);
+}
+
+TEST(TelemetryPipeline, StartStopFlushesAtLeastOneTick)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TelemetryConfig config;
+    config.period = std::chrono::milliseconds(5);
+    config.defaultRules = false;
+    TelemetryPipeline pipeline(config, &reg);
+    pipeline.start();
+    reg.counter("work").add(7);
+    pipeline.stop();
+    EXPECT_GE(pipeline.ticks(), 1u);
+    EXPECT_EQ(pipeline.store().counterDelta("work"), 7u);
+}
+
+TEST(TelemetryPipeline, TickCallbackSeesSnapshotAndIndex)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TelemetryConfig config;
+    config.defaultRules = false;
+    TelemetryPipeline pipeline(config, &reg);
+
+    std::uint64_t seen_tick = 0;
+    std::uint64_t seen_value = 0;
+    pipeline.setTickCallback(
+        [&](const MetricsSnapshot &snapshot, std::uint64_t tick) {
+            seen_tick = tick;
+            for (const auto &[name, value] : snapshot.counters) {
+                if (name == "work")
+                    seen_value = value;
+            }
+        });
+    reg.counter("work").add(11);
+    pipeline.tickNow();
+    EXPECT_EQ(seen_tick, 1u);
+    EXPECT_EQ(seen_value, 11u);
+}
+
+TEST(TelemetryPipeline, ExportsJsonAndPromText)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TelemetryConfig config;
+    config.defaultRules = false;
+    TelemetryPipeline pipeline(config, &reg);
+    reg.counter("svc.cache.hits", {{"wl", "gobmk"}}).add(2);
+    reg.counter("svc.cache.hits").add(2);
+    pipeline.tickNow();
+
+    const std::string json = pipeline.exportJson();
+    EXPECT_NE(json.find("\"schema\": \"mcdvfs-timeseries-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("svc.cache.hits{wl=gobmk}"),
+              std::string::npos);
+
+    const std::string prom = pipeline.exportProm();
+    EXPECT_NE(prom.find("svc_cache_hits_total{wl=\"gobmk\"} 2"),
+              std::string::npos);
+    EXPECT_NE(prom.find("svc_cache_hits_total 2"), std::string::npos);
+}
+
+TEST(TelemetryPipeline, WatchdogBreachesLandInExport)
+{
+    REQUIRE_METRICS_ON();
+    MetricsRegistry reg;
+    TelemetryConfig config;
+    config.defaultRules = true;
+    TelemetryPipeline pipeline(config, &reg);
+
+    // Overdrive the stock shed_rate rule (5%).
+    reg.counter("daemon.shed").add(50);
+    reg.counter("daemon.admitted").add(50);
+    pipeline.tickNow();
+
+    EXPECT_GE(pipeline.watchdog().breachCount(), 1u);
+    const std::string json = pipeline.exportJson();
+    EXPECT_NE(json.find("\"rule\": \"shed_rate\""), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace mcdvfs

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * TimeseriesStore tests: snapshot-to-delta conversion, bounded ring
+ * retention, window queries, quantile interpolation over delta
+ * buckets, and the "mcdvfs-timeseries-v1" JSON export.
+ */
+
+#include <gtest/gtest.h>
+
+#include "obs/timeseries.hh"
+
+namespace mcdvfs
+{
+namespace obs
+{
+namespace
+{
+
+MetricsSnapshot
+counterSnap(std::uint64_t a, std::uint64_t b)
+{
+    MetricsSnapshot snap;
+    snap.counters = {{"alpha", a}, {"beta", b}};
+    return snap;
+}
+
+TEST(TimeseriesStore, CumulativeSnapshotsBecomePerTickDeltas)
+{
+    TimeseriesStore store(8);
+    store.append(counterSnap(10, 0), 100);
+    store.append(counterSnap(25, 5), 200);
+    store.append(counterSnap(25, 9), 300);
+
+    EXPECT_EQ(store.retained(), 3u);
+    EXPECT_EQ(store.totalTicks(), 3u);
+    EXPECT_EQ(store.droppedTicks(), 0u);
+    // Whole window: the full cumulative values.
+    EXPECT_EQ(store.counterDelta("alpha"), 25u);
+    EXPECT_EQ(store.counterDelta("beta"), 9u);
+    // Last tick only.
+    EXPECT_EQ(store.counterDelta("alpha", 1), 0u);
+    EXPECT_EQ(store.counterDelta("beta", 1), 4u);
+    // Last two ticks.
+    EXPECT_EQ(store.counterDelta("alpha", 2), 15u);
+    EXPECT_EQ(store.counterDelta("unknown", 0), 0u);
+}
+
+TEST(TimeseriesStore, BackwardsCounterClampsToZeroDelta)
+{
+    TimeseriesStore store(8);
+    store.append(counterSnap(100, 0), 100);
+    // Registry reset: cumulative value fell.  The tick contributes a
+    // zero delta instead of a huge unsigned wraparound.
+    store.append(counterSnap(40, 0), 200);
+    EXPECT_EQ(store.counterDelta("alpha", 1), 0u);
+    store.append(counterSnap(41, 0), 300);
+    EXPECT_EQ(store.counterDelta("alpha", 1), 1u);
+}
+
+TEST(TimeseriesStore, RingDropsOldestTicks)
+{
+    TimeseriesStore store(4);
+    for (std::uint64_t i = 1; i <= 10; ++i)
+        store.append(counterSnap(i, 0), i * 100);
+
+    EXPECT_EQ(store.retained(), 4u);
+    EXPECT_EQ(store.totalTicks(), 10u);
+    EXPECT_EQ(store.droppedTicks(), 6u);
+    // Only the last four unit deltas remain.
+    EXPECT_EQ(store.counterDelta("alpha"), 4u);
+}
+
+TEST(TimeseriesStore, LateAppearingSeriesZeroPadsEarlierTicks)
+{
+    TimeseriesStore store(8);
+    MetricsSnapshot first;
+    first.counters = {{"alpha", 5}};
+    store.append(first, 100);
+
+    MetricsSnapshot second;
+    second.counters = {{"alpha", 6}, {"late", 3}};
+    store.append(second, 200);
+
+    EXPECT_EQ(store.counterDelta("late"), 3u);
+    const std::string json = store.toJson();
+    // The late series still has one entry per retained tick.
+    EXPECT_NE(json.find("\"late\": [0, 3]"), std::string::npos);
+}
+
+TEST(TimeseriesStore, GaugeKeepsLatestPoint)
+{
+    TimeseriesStore store(4);
+    MetricsSnapshot snap;
+    snap.gauges = {{"depth", 7}};
+    store.append(snap, 100);
+    snap.gauges = {{"depth", -2}};
+    store.append(snap, 200);
+    EXPECT_EQ(store.gaugeLast("depth"), -2);
+    EXPECT_EQ(store.gaugeLast("unknown"), 0);
+}
+
+MetricsSnapshot
+histSnap(std::uint64_t lo, std::uint64_t mid, std::uint64_t overflow)
+{
+    MetricsSnapshot snap;
+    MetricsSnapshot::HistogramView view;
+    view.name = "lat";
+    view.bounds = {100, 1000};
+    view.counts = {lo, mid, overflow};
+    view.count = lo + mid + overflow;
+    view.sum = 0;
+    snap.histograms.push_back(view);
+    return snap;
+}
+
+TEST(TimeseriesStore, QuantileInterpolatesOverWindowDeltas)
+{
+    TimeseriesStore store(8);
+    store.append(histSnap(0, 0, 0), 100);
+    // This tick: 10 events <= 100ns, 10 in (100, 1000].
+    store.append(histSnap(10, 10, 0), 200);
+
+    EXPECT_EQ(store.histogramEvents("lat"), 20u);
+    const double p50 = store.quantile("lat", 0.5);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_LE(p50, 100.0);
+    const double p99 = store.quantile("lat", 0.99);
+    EXPECT_GT(p99, 900.0);
+    EXPECT_LE(p99, 1000.0);
+}
+
+TEST(TimeseriesStore, QuantileOverflowBucketExtrapolates)
+{
+    TimeseriesStore store(8);
+    store.append(histSnap(0, 0, 0), 100);
+    store.append(histSnap(0, 0, 10), 200);
+    const double p99 = store.quantile("lat", 0.99);
+    EXPECT_GT(p99, 1000.0);
+    EXPECT_LE(p99, 10000.0); // caps at 10x the last bound
+}
+
+TEST(TimeseriesStore, QuantileWithoutEventsIsMinusOne)
+{
+    TimeseriesStore store(8);
+    EXPECT_EQ(store.quantile("lat", 0.5), -1.0);
+    store.append(histSnap(0, 0, 0), 100);
+    EXPECT_EQ(store.quantile("lat", 0.5), -1.0);
+    EXPECT_EQ(store.quantile("unknown", 0.5), -1.0);
+}
+
+TEST(TimeseriesStore, JsonExportCarriesSchemaTicksAndBreaches)
+{
+    TimeseriesStore store(4);
+    store.append(counterSnap(3, 1), 100);
+    store.append(counterSnap(5, 1), 200);
+
+    SloBreach breach;
+    breach.rule = "shed_rate";
+    breach.value = 0.5;
+    breach.threshold = 0.05;
+    breach.tick = 2;
+    const std::string json = store.toJson({breach});
+
+    EXPECT_NE(json.find("\"schema\": \"mcdvfs-timeseries-v1\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ticks\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"alpha\": [3, 2]"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"shed_rate\""), std::string::npos);
+    EXPECT_NE(json.find("\"slo_breaches\""), std::string::npos);
+}
+
+} // namespace
+} // namespace obs
+} // namespace mcdvfs

@@ -126,6 +126,128 @@ TEST(JournalGolden, EmptyJournalHeaderOnly)
               "\"records\": 0}\n");
 }
 
+TEST(TraceGolden, FlowStampedEventsPinnedByteForByte)
+{
+    // Events recorded with a request id gain Perfetto flow binding
+    // (bind_id in hex + flow_in/flow_out) and a request_id arg; the
+    // 0-flow layout is pinned unchanged above.
+    TraceCollector collector;
+    collector.enable(16);
+    collector.record('X', "daemon.analysis", /*ts_ns=*/1000,
+                     /*dur_ns=*/500, /*arg=*/7, /*flow=*/42);
+    collector.record('i', "daemon.submit", /*ts_ns=*/2500,
+                     /*dur_ns=*/0, /*arg=*/3, /*flow=*/42);
+
+    const std::string expected = "{\n"
+        "  \"displayTimeUnit\": \"ns\",\n"
+        "  \"otherData\": {\"schema\": \"mcdvfs-trace-v1\", "
+        "\"dropped_events\": 0, \"torn_reads\": 0},\n"
+        "  \"traceEvents\": [\n"
+        "    {\"name\": \"daemon.analysis\", \"cat\": \"mcdvfs\", "
+        "\"ph\": \"X\", \"ts\": 1.000, \"dur\": 0.500, "
+        "\"bind_id\": \"0x2a\", \"flow_in\": true, "
+        "\"flow_out\": true, \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"v\": 7, \"request_id\": 42}},\n"
+        "    {\"name\": \"daemon.submit\", \"cat\": \"mcdvfs\", "
+        "\"ph\": \"i\", \"ts\": 2.500, \"s\": \"t\", "
+        "\"bind_id\": \"0x2a\", \"flow_in\": true, "
+        "\"flow_out\": true, \"pid\": 1, \"tid\": 0, "
+        "\"args\": {\"v\": 3, \"request_id\": 42}}\n"
+        "  ]\n"
+        "}\n";
+    EXPECT_EQ(toChromeJson(collector.snapshot()), expected);
+}
+
+TEST(TraceGolden, SpanStampsAmbientRequestContextAsFlow)
+{
+    if (!kTracingEnabled)
+        GTEST_SKIP() << "tracing disabled in this build";
+
+    TraceCollector &global = TraceCollector::global();
+    global.reset();
+    global.enable(16);
+    {
+        TraceContext context;
+        context.requestId = 7;
+        ScopedTraceContext scope(context);
+        TraceSpan span("golden.request_span", 1);
+        traceInstant("golden.request_instant", 2);
+    }
+    traceInstant("golden.unscoped_instant", 3);
+    global.disable();
+
+    const TraceSnapshot snap = global.snapshot();
+    ASSERT_EQ(snap.events.size(), 3u);
+    // Record order: the instant lands before the span's end() record.
+    EXPECT_EQ(snap.events[0].flowId, 7u);
+    EXPECT_EQ(snap.events[1].flowId, 7u);
+    EXPECT_EQ(snap.events[2].flowId, 0u);
+    global.reset();
+}
+
+TEST(JournalGolden, GpuAndRequestFieldsPinnedBothWays)
+{
+    // With hasGpu/requestId set, the sample line gains gpu_mhz and
+    // request_id in pinned positions; the header counts requests only
+    // when request records exist.  The 2-domain layout without them
+    // is pinned byte-for-byte above.
+    DecisionJournal journal;
+    DecisionRecord record;
+    record.workload = "glrender";
+    record.policy = "oracle";
+    record.sample = 1;
+    record.requestId = 9;
+    record.cpi = 1.5;
+    record.mpki = 3.25;
+    record.cpuMhz = 1890;
+    record.memMhz = 800;
+    record.hasGpu = true;
+    record.gpuMhz = 450;
+    record.inefficiency = 1.1;
+    record.budget = 1.3;
+    record.inCluster = true;
+    record.region = 0;
+    record.retuned = false;
+    record.transition = false;
+    record.overheadNs = 500000;
+    record.overheadNj = 30000;
+    journal.append(record);
+
+    RequestRecord request;
+    request.requestId = 9;
+    request.classId = 1234;
+    request.workload = "glrender";
+    request.budget = 1.3;
+    request.threshold = 0.03;
+    request.shed = false;
+    request.cacheHit = true;
+    request.analysisCacheHit = false;
+    request.analysisResumed = true;
+    request.queueWaitNs = 2000;
+    request.requestNs = 150000;
+    request.regions = 4;
+    journal.appendRequest(request);
+
+    const std::string expected =
+        "{\"schema\": \"mcdvfs-trace-v1\", \"kind\": \"journal\", "
+        "\"records\": 1, \"requests\": 1}\n"
+        "{\"kind\": \"sample\", \"workload\": \"glrender\", "
+        "\"policy\": \"oracle\", \"sample\": 1, \"request_id\": 9, "
+        "\"cpi\": 1.5, \"mpki\": 3.25, \"cpu_mhz\": 1890, "
+        "\"mem_mhz\": 800, \"gpu_mhz\": 450, "
+        "\"inefficiency\": 1.1, \"budget\": 1.3, "
+        "\"in_cluster\": true, \"region\": 0, \"retune\": false, "
+        "\"transition\": false, \"overhead_ns\": 500000, "
+        "\"overhead_nj\": 30000}\n"
+        "{\"kind\": \"request\", \"request_id\": 9, "
+        "\"class_id\": 1234, \"workload\": \"glrender\", "
+        "\"budget\": 1.3, \"threshold\": 0.03, \"shed\": false, "
+        "\"cache_hit\": true, \"analysis_cache_hit\": false, "
+        "\"analysis_resumed\": true, \"queue_wait_ns\": 2000, "
+        "\"request_ns\": 150000, \"regions\": 4}\n";
+    EXPECT_EQ(journal.toJsonl(), expected);
+}
+
 } // namespace
 } // namespace obs
 } // namespace mcdvfs

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Bench regression gate: compare a candidate BENCH_*.json artifact
+ * against a committed baseline and fail on schema drift or timing
+ * regression beyond a tolerance.
+ *
+ * Field semantics (applied per record, by key name):
+ *  - "schema" / "benchmark" at top level, and every string or
+ *    structural field in a baseline record ("name", "phase", "kernel",
+ *    "settings", "samples", "jobs", "devices", ...): exact match.
+ *    A mismatch or a missing/extra record is schema drift, which
+ *    fails regardless of tolerance — drifted artifacts can't be
+ *    compared, they need a deliberate baseline refresh.
+ *  - lower-is-better timings ("*_seconds", "p50_ns", "p99_ns"):
+ *    candidate must be <= baseline * (1 + tolerance).
+ *  - higher-is-better throughput ("cells_per_sec"): candidate must
+ *    be >= baseline * (1 - tolerance).
+ *  - everything else (rates, hit counts, speedup ratios) is
+ *    informational and ignored.
+ *
+ * Usage:
+ *   bench_gate --baseline FILE --candidate FILE [--tolerance 0.25]
+ *
+ * Exit codes: 0 = pass, 1 = gate failure, 2 = usage/IO error.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/args.hh"
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using mcdvfs::json::Value;
+
+struct GateReport
+{
+    std::vector<std::string> failures;
+    std::size_t comparedFields = 0;
+
+    void
+    fail(std::string message)
+    {
+        failures.push_back(std::move(message));
+    }
+};
+
+bool
+endsWith(const std::string &text, const std::string &suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+bool
+lowerIsBetter(const std::string &key)
+{
+    return endsWith(key, "_seconds") || key == "p50_ns" ||
+           key == "p99_ns";
+}
+
+bool
+higherIsBetter(const std::string &key)
+{
+    return key == "cells_per_sec";
+}
+
+/** Identity label for one record inside a results/phases array. */
+std::string
+recordIdentity(const Value &record, std::size_t index)
+{
+    if (record.has("name"))
+        return record.at("name").asString();
+    if (record.has("phase"))
+        return record.at("phase").asString();
+    return "record[" + std::to_string(index) + "]";
+}
+
+std::string
+num(double value)
+{
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+    return buffer;
+}
+
+void
+compareRecord(const std::string &where, const Value &base,
+              const Value &cand, double tolerance, GateReport &report)
+{
+    for (const auto &[key, baseValue] : base.members()) {
+        if (!cand.has(key)) {
+            report.fail(where + ": candidate is missing field '" +
+                        key + "' (schema drift)");
+            continue;
+        }
+        const Value &candValue = cand.at(key);
+        if (baseValue.isString()) {
+            if (!candValue.isString() ||
+                candValue.asString() != baseValue.asString())
+                report.fail(where + "." + key + ": expected \"" +
+                            baseValue.asString() +
+                            "\" (schema drift)");
+            continue;
+        }
+        if (!baseValue.isNumber() || !candValue.isNumber())
+            continue;
+        const double b = baseValue.asNumber();
+        const double c = candValue.asNumber();
+        if (lowerIsBetter(key)) {
+            ++report.comparedFields;
+            if (b > 0.0 && c > b * (1.0 + tolerance))
+                report.fail(where + "." + key + ": " + num(c) +
+                            " exceeds baseline " + num(b) + " by >" +
+                            num(tolerance * 100.0) + "%");
+        } else if (higherIsBetter(key)) {
+            ++report.comparedFields;
+            if (b > 0.0 && c < b * (1.0 - tolerance))
+                report.fail(where + "." + key + ": " + num(c) +
+                            " is below baseline " + num(b) + " by >" +
+                            num(tolerance * 100.0) + "%");
+        } else if (key == "settings" || key == "samples" ||
+                   key == "jobs" || key == "devices" ||
+                   key == "classes" || key == "window" ||
+                   key == "queue_capacity" || key == "seed") {
+            // Structural run parameters: a change means the bench ran
+            // a different experiment, so timings aren't comparable.
+            if (c != b)
+                report.fail(where + "." + key + ": " + num(c) +
+                            " != baseline " + num(b) +
+                            " (schema drift)");
+        }
+    }
+    for (const auto &[key, candValue] : cand.members()) {
+        (void)candValue;
+        if (!base.has(key))
+            report.fail(where + ": unexpected new field '" + key +
+                        "' (schema drift; refresh the baseline)");
+    }
+}
+
+void
+compareRecordArray(const std::string &key, const Value &base,
+                   const Value &cand, double tolerance,
+                   GateReport &report)
+{
+    const std::vector<Value> &baseRecords = base.at(key).asArray();
+    if (!cand.has(key) || !cand.at(key).isArray()) {
+        report.fail("candidate is missing the '" + key +
+                    "' array (schema drift)");
+        return;
+    }
+    const std::vector<Value> &candRecords = cand.at(key).asArray();
+
+    for (std::size_t i = 0; i < baseRecords.size(); ++i) {
+        const std::string id = recordIdentity(baseRecords[i], i);
+        bool found = false;
+        for (std::size_t j = 0; j < candRecords.size(); ++j) {
+            if (recordIdentity(candRecords[j], j) != id)
+                continue;
+            found = true;
+            compareRecord(key + "/" + id, baseRecords[i],
+                          candRecords[j], tolerance, report);
+            break;
+        }
+        if (!found)
+            report.fail(key + "/" + id +
+                        ": missing from candidate (schema drift)");
+    }
+    for (std::size_t j = 0; j < candRecords.size(); ++j) {
+        const std::string id = recordIdentity(candRecords[j], j);
+        bool known = false;
+        for (std::size_t i = 0; i < baseRecords.size(); ++i) {
+            if (recordIdentity(baseRecords[i], i) == id) {
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            report.fail(key + "/" + id +
+                        ": not in baseline (schema drift; refresh "
+                        "the baseline)");
+    }
+}
+
+void
+compareDocuments(const Value &base, const Value &cand, double tolerance,
+                 GateReport &report)
+{
+    for (const char *key : {"schema", "benchmark"}) {
+        const std::string expected = base.at(key).asString();
+        if (!cand.has(key) || !cand.at(key).isString() ||
+            cand.at(key).asString() != expected) {
+            report.fail(std::string(key) + ": expected \"" + expected +
+                        "\" (schema drift)");
+            return;
+        }
+    }
+
+    // Top-level structural scalars (fleet_sim keeps devices/seed/...
+    // at the top level; grid-style records keep them per record).
+    compareRecord("top-level", base, cand, tolerance, report);
+
+    for (const char *key : {"results", "phases"}) {
+        if (base.has(key) && base.at(key).isArray())
+            compareRecordArray(key, base, cand, tolerance, report);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    mcdvfs::ArgParser args("bench_gate");
+    args.addOption("baseline");
+    args.addOption("candidate");
+    args.addOption("tolerance");
+
+    try {
+        args.parse(argc, argv);
+        if (!args.has("baseline") || !args.has("candidate")) {
+            std::fprintf(stderr,
+                         "usage: bench_gate --baseline FILE "
+                         "--candidate FILE [--tolerance 0.25]\n");
+            return 2;
+        }
+        const double tolerance = args.getDouble("tolerance", 0.25);
+        if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+            std::fprintf(stderr,
+                         "bench_gate: tolerance must be finite and "
+                         ">= 0\n");
+            return 2;
+        }
+
+        const Value base =
+            mcdvfs::json::parseFile(args.get("baseline"));
+        const Value cand =
+            mcdvfs::json::parseFile(args.get("candidate"));
+
+        GateReport report;
+        compareDocuments(base, cand, tolerance, report);
+
+        if (report.failures.empty()) {
+            std::printf("bench_gate: PASS %s vs %s (%zu timing "
+                        "fields within %.0f%%)\n",
+                        args.get("candidate").c_str(),
+                        args.get("baseline").c_str(),
+                        report.comparedFields, tolerance * 100.0);
+            return 0;
+        }
+        std::fprintf(stderr, "bench_gate: FAIL %s vs %s\n",
+                     args.get("candidate").c_str(),
+                     args.get("baseline").c_str());
+        for (const std::string &failure : report.failures)
+            std::fprintf(stderr, "  - %s\n", failure.c_str());
+        return 1;
+    } catch (const std::exception &error) {
+        std::fprintf(stderr, "bench_gate: %s\n", error.what());
+        return 2;
+    }
+}

@@ -33,6 +33,13 @@
  * metrics snapshot (docs/OBSERVABILITY.md) as JSON on exit; the
  * "stats" command prints the same snapshot to stdout, optionally
  * after running a batch of tuning requests to generate activity.
+ * "stats --watch SECS [--watch-count N]" runs a live telemetry
+ * pipeline instead: each tick prints the counters that moved to
+ * stderr and, after N ticks (default 5), the windowed timeseries
+ * JSON (schema mcdvfs-timeseries-v1) goes to stdout.  "serve
+ * --telemetry-out FILE [--telemetry-period-ms MS]" samples the
+ * daemon the same way for its whole life — SLO watchdog armed —
+ * and writes the timeseries JSON at exit.
  *
  * Every command also accepts --trace-out FILE to record an execution
  * trace (Chrome trace_event JSON, loadable in Perfetto or
@@ -42,10 +49,14 @@
  * decision journal (JSONL, schema mcdvfs-trace-v1).
  */
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <future>
 #include <iostream>
 #include <memory>
+
+#include "obs/telemetry.hh"
 
 #include "common/args.hh"
 #include "daemon/tuning_daemon.hh"
@@ -89,6 +100,12 @@ usage()
            "options: --jobs N parallelizes grid construction;\n"
            "         --store-dir DIR persists grid/analysis snapshots\n"
            "           (serve and tune) and warm-loads them on start;\n"
+           "         --watch SECS samples a live timeseries instead\n"
+           "           (stats; per-tick deltas on stderr, timeseries\n"
+           "           JSON on stdout after --watch-count ticks);\n"
+           "         --telemetry-out FILE samples the daemon at\n"
+           "           --telemetry-period-ms (serve; default 250) and\n"
+           "           writes the timeseries JSON on exit;\n"
            "         --metrics-out FILE dumps metrics JSON on exit;\n"
            "         --trace-out FILE dumps a Chrome/Perfetto trace;\n"
            "         --trace-journal FILE dumps the per-sample tuning\n"
@@ -550,7 +567,18 @@ cmdServe(const ArgParser &args)
 {
     // serve — long-lived daemon loop: one wl[:budget] spec per stdin
     // line ('#' comments and blank lines skipped), answered through
-    // the async pipeline; EOF drains and prints the summary.
+    // the async pipeline; EOF drains and prints the summary.  With
+    // --telemetry-out FILE a background pipeline samples the metrics
+    // registry (SLO watchdog armed) for the daemon's whole life and
+    // writes the timeseries JSON on exit.
+    std::unique_ptr<obs::TelemetryPipeline> telemetry;
+    if (args.has("telemetry-out")) {
+        obs::TelemetryConfig config;
+        config.period = std::chrono::milliseconds(args.getInt(
+            "telemetry-period-ms", 250, 1, 3600000));
+        telemetry = std::make_unique<obs::TelemetryPipeline>(config);
+        telemetry->start();
+    }
     daemon::TuningDaemon server(SystemConfig::paperDefault(),
                                 daemonOptions(args));
     struct Submitted
@@ -615,7 +643,32 @@ cmdServe(const ArgParser &args)
                   << store_stats.analysisStores << " written, "
                   << store_stats.loadErrors << " rejected\n";
     }
+    if (telemetry != nullptr) {
+        telemetry->stop();
+        telemetry->writeJson(args.get("telemetry-out"));
+        std::cerr << "wrote " << telemetry->ticks()
+                  << " telemetry ticks to "
+                  << args.get("telemetry-out") << "\n";
+    }
     return 0;
+}
+
+void
+runStatsBatch(const ArgParser &args)
+{
+    svc::CharacterizationService service(SystemConfig::paperDefault(),
+                                         serviceOptions(args));
+    std::vector<svc::TuningRequest> requests;
+    for (std::size_t i = 1; i < args.positionals().size(); ++i) {
+        const std::string &spec = args.positionals()[i];
+        const std::size_t colon = spec.find(':');
+        svc::TuningRequest request{
+            workloadByName(spec.substr(0, colon)), spaceFrom(args),
+            budgetFromSpec(spec, colon, args),
+            args.getDouble("threshold", 3.0) / 100.0};
+        requests.push_back(std::move(request));
+    }
+    service.submitBatch(requests);
 }
 
 int
@@ -623,23 +676,69 @@ cmdStats(const ArgParser &args)
 {
     // stats [workload[:budget]] ... — optionally run a tuning batch
     // first so the snapshot reflects real activity, then print the
-    // process-wide metrics snapshot as JSON.
-    if (args.positionals().size() > 1) {
-        svc::CharacterizationService service(
-            SystemConfig::paperDefault(), serviceOptions(args));
-        std::vector<svc::TuningRequest> requests;
-        for (std::size_t i = 1; i < args.positionals().size(); ++i) {
-            const std::string &spec = args.positionals()[i];
-            const std::size_t colon = spec.find(':');
-            svc::TuningRequest request{
-                workloadByName(spec.substr(0, colon)), spaceFrom(args),
-                budgetFromSpec(spec, colon, args),
-                args.getDouble("threshold", 3.0) / 100.0};
-            requests.push_back(std::move(request));
-        }
-        service.submitBatch(requests);
+    // process-wide metrics snapshot as JSON.  With --watch SECS, a
+    // telemetry pipeline samples at that period instead: each tick
+    // prints the counters that moved to stderr, and after
+    // --watch-count ticks (default 5) the timeseries JSON goes to
+    // stdout.
+    if (!args.has("watch")) {
+        if (args.positionals().size() > 1)
+            runStatsBatch(args);
+        std::cout << obs::toJson(
+            obs::MetricsRegistry::global().snapshot());
+        return 0;
     }
-    std::cout << obs::toJson(obs::MetricsRegistry::global().snapshot());
+
+    const double period_s = args.getDouble("watch", 1.0);
+    if (!(period_s > 0.0))
+        fatal("stats: --watch period must be > 0 seconds");
+    const long long want = args.getInt("watch-count", 5, 1, 1000000);
+
+    obs::TelemetryConfig config;
+    config.period = std::chrono::milliseconds(
+        std::max(1LL, static_cast<long long>(period_s * 1000.0)));
+    obs::TelemetryPipeline pipeline(config);
+
+    std::promise<void> done;
+    auto previous = std::make_shared<
+        std::vector<std::pair<std::string, std::uint64_t>>>();
+    pipeline.setTickCallback(
+        [&done, previous, want](const obs::MetricsSnapshot &snapshot,
+                                std::uint64_t tick) {
+            // Only the single sampler thread runs this, so the
+            // captured previous-snapshot state needs no lock.
+            std::string moved;
+            std::size_t shown = 0;
+            for (const auto &[name, value] : snapshot.counters) {
+                std::uint64_t before = 0;
+                for (const auto &[old_name, old_value] : *previous) {
+                    if (old_name == name) {
+                        before = old_value;
+                        break;
+                    }
+                }
+                if (value == before)
+                    continue;
+                if (shown++ == 6) {
+                    moved += " ...";
+                    break;
+                }
+                moved += " " + name + "+" +
+                         std::to_string(value - before);
+            }
+            *previous = snapshot.counters;
+            std::cerr << "tick " << tick << ":"
+                      << (moved.empty() ? " (idle)" : moved) << "\n";
+            if (tick == static_cast<std::uint64_t>(want))
+                done.set_value();
+        });
+    pipeline.start();
+    if (args.positionals().size() > 1)
+        runStatsBatch(args);
+    done.get_future().wait();
+    pipeline.setTickCallback(nullptr); // stop()'s flush tick is quiet
+    pipeline.stop();
+    std::cout << pipeline.exportJson();
     return 0;
 }
 
@@ -658,6 +757,10 @@ main(int argc, char **argv)
     args.addOption("trace-journal");
     args.addOption("log-level");
     args.addOption("store-dir");
+    args.addOption("watch");
+    args.addOption("watch-count");
+    args.addOption("telemetry-out");
+    args.addOption("telemetry-period-ms");
     args.addFlag("fine");
     args.addFlag("csv");
 
