@@ -78,10 +78,19 @@ struct PhaseOutcome
 {
     double startupSeconds = 0.0;  ///< daemon construction (+ warm load)
     double replaySeconds = 0.0;
+    /** Time spent characterizing samples ("sim.grid.characterize_ns"
+     *  delta over the phase, summed across builder threads). */
+    double characterizeSeconds = 0.0;
+    /** Time spent in the §V/§VI analysis chain ("svc.service.analyze_ns"
+     *  delta over the phase, summed across threads). */
+    double analyzeSeconds = 0.0;
     std::uint64_t completed = 0;
     std::uint64_t shed = 0;
     std::uint64_t gridHits = 0;
     std::uint64_t analysisHits = 0;
+    /** Profile-cache traffic of the phase (0 when memoization is off). */
+    std::uint64_t profileHits = 0;
+    std::uint64_t profileMisses = 0;
     /** Grid hits / completions among the first `window` submissions. */
     std::uint64_t firstWindowHits = 0;
     std::uint64_t firstWindowTotal = 0;
@@ -89,6 +98,19 @@ struct PhaseOutcome
     std::uint64_t p99Ns = 0;
     daemon::DaemonStats stats;
 };
+
+/** Current value of one unlabeled counter (0 when never registered). */
+std::uint64_t
+counterValue(const char *name)
+{
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::global().snapshot();
+    for (const auto &[key, value] : snapshot.counters) {
+        if (key == name)
+            return value;
+    }
+    return 0;
+}
 
 /** Deterministic synthetic workload variant @c index. */
 WorkloadProfile
@@ -107,12 +129,16 @@ fleetWorkload(std::size_t index)
     mem.coldSeqFrac = 0.25;
     mem.mlp = 1.2 + 0.1 * static_cast<double>(index % 3);
     const std::size_t period = 2 + index % 3;
+    // PerPhase seeding: the fleet's variants share phases (index % 5 /
+    // % 4 / % 3 parameterizations), so with memoization on, each
+    // distinct phase characterizes once across the whole fleet.
     return WorkloadProfile(
         "fleet-v" + std::to_string(index), 8,
         [cpu, mem, period](std::size_t s) {
             return (s / period) % 2 ? mem : cpu;
         },
-        100 + index, /*jitter=*/0.0);
+        100 + index, /*jitter=*/0.0,
+        WorkloadProfile::SeedMode::PerPhase);
 }
 
 /** The class table: variants x budgets x thresholds. */
@@ -234,6 +260,15 @@ replay(const SystemConfig &config, const daemon::DaemonOptions &options,
     using FleetClock = std::chrono::steady_clock;
     PhaseOutcome outcome;
 
+    const std::uint64_t characterize_before =
+        counterValue("sim.grid.characterize_ns");
+    const std::uint64_t analyze_before =
+        counterValue("svc.service.analyze_ns");
+    const std::uint64_t profile_hits_before =
+        counterValue("svc.profile.hits");
+    const std::uint64_t profile_misses_before =
+        counterValue("svc.profile.misses");
+
     const auto construct_start = FleetClock::now();
     daemon::TuningDaemon daemon(config, options);
     daemon.setJournal(journal);
@@ -275,6 +310,18 @@ replay(const SystemConfig &config, const daemon::DaemonOptions &options,
     outcome.replaySeconds =
         std::chrono::duration<double>(FleetClock::now() - replay_start)
             .count();
+    outcome.characterizeSeconds =
+        static_cast<double>(counterValue("sim.grid.characterize_ns") -
+                            characterize_before) /
+        1e9;
+    outcome.analyzeSeconds =
+        static_cast<double>(counterValue("svc.service.analyze_ns") -
+                            analyze_before) /
+        1e9;
+    outcome.profileHits =
+        counterValue("svc.profile.hits") - profile_hits_before;
+    outcome.profileMisses =
+        counterValue("svc.profile.misses") - profile_misses_before;
 
     std::sort(latencies.begin(), latencies.end());
     if (!latencies.empty()) {
@@ -318,6 +365,11 @@ printPhase(const char *phase, const PhaseOutcome &o,
                 100.0 * rate(o.firstWindowHits, o.firstWindowTotal),
                 static_cast<unsigned long long>(o.stats.warmGrids),
                 static_cast<unsigned long long>(o.stats.warmAnalyses));
+    std::printf("      characterize %8.3f s   analyze %8.3f s   "
+                "profile cache %llu hits / %llu misses\n",
+                o.characterizeSeconds, o.analyzeSeconds,
+                static_cast<unsigned long long>(o.profileHits),
+                static_cast<unsigned long long>(o.profileMisses));
 }
 
 void
@@ -327,6 +379,10 @@ writePhaseJson(std::ofstream &out, const char *phase,
     out << "    {\"phase\": \"" << phase << "\""
         << ", \"startup_seconds\": " << o.startupSeconds
         << ", \"replay_seconds\": " << o.replaySeconds
+        << ",\n     \"characterize_seconds\": " << o.characterizeSeconds
+        << ", \"analyze_seconds\": " << o.analyzeSeconds
+        << ", \"profile_hits\": " << o.profileHits
+        << ", \"profile_misses\": " << o.profileMisses
         << ",\n     \"completed\": " << o.completed
         << ", \"shed\": " << o.shed
         << ", \"shed_rate\": " << rate(o.shed, o.completed + o.shed)
@@ -457,12 +513,14 @@ main(int argc, char **argv)
     args.addOption("seed");
     args.addOption("store");
     args.addOption("out");
+    args.addOption("profile-cache-capacity");
     bool tiny = false;
     std::size_t devices = 0;
     std::size_t jobs = 0;
     std::size_t window = 0;
     std::size_t queue = 0;
     std::size_t variants = 0;
+    std::size_t profile_capacity = 0;
     std::uint64_t seed = 0;
     std::string store_dir;
     std::string out_path;
@@ -479,6 +537,11 @@ main(int argc, char **argv)
             args.getInt("queue", tiny ? 64 : 256, 1, 1'000'000));
         variants = static_cast<std::size_t>(
             args.getInt("variants", tiny ? 2 : 8, 1, 64));
+        // Characterization memoization is on by default (the fleet's
+        // phase-keyed workloads are what it exists for); 0 disables it
+        // and falls back to warm-state characterization.
+        profile_capacity = static_cast<std::size_t>(args.getInt(
+            "profile-cache-capacity", tiny ? 256 : 1024, 0, 1 << 20));
         seed = static_cast<std::uint64_t>(
             args.getInt("seed", 42, 0, 1'000'000'000));
         store_dir = args.get("store", "fleet_store");
@@ -493,6 +556,7 @@ main(int argc, char **argv)
     SystemConfig config = SystemConfig::paperDefault();
     config.sampler.simInstructionsPerSample = 20'000;
     config.sampler.warmupInstructions = 100'000;
+    config.sampler.profileWarmupInstructions = 40'000;
 
     std::vector<DeviceClass> classes = buildClasses(variants, tiny);
     Rng rng(seed);
@@ -510,13 +574,15 @@ main(int argc, char **argv)
         std::max<std::size_t>(32, 8 * variants);
     options.service.analysisCapacity =
         std::max<std::size_t>(64, 8 * classes.size());
+    options.service.profileCacheCapacity = profile_capacity;
     options.queueCapacity = queue;
     options.storeDir = store_dir;
 
     std::printf("fleet_sim: %zu devices, %zu classes (%zu grids), "
-                "jobs %zu, window %zu, queue %zu, store '%s'\n",
+                "jobs %zu, window %zu, queue %zu, profile cache %zu, "
+                "store '%s'\n",
                 devices, classes.size(), variants, jobs, window, queue,
-                store_dir.c_str());
+                profile_capacity, store_dir.c_str());
 
     if (args.has("trace-out"))
         obs::TraceCollector::global().enable();
@@ -599,7 +665,8 @@ main(int argc, char **argv)
         << "  \"devices\": " << devices
         << ", \"classes\": " << classes.size()
         << ", \"distinct_grids\": " << variants
-        << ", \"jobs\": " << jobs << ",\n"
+        << ", \"jobs\": " << jobs
+        << ", \"profile_cache_capacity\": " << profile_capacity << ",\n"
         << "  \"window\": " << window
         << ", \"queue_capacity\": " << queue
         << ", \"zipf_exponent\": " << zipf_exponent

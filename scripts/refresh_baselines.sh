@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate the committed bench_gate baselines from the four tiny
+# Regenerate the committed bench_gate baselines from the five tiny
 # perf_smoke benches.  Run this (and commit the result) whenever a
 # deliberate performance or schema change moves the benches:
 #
@@ -30,6 +30,8 @@ trap 'rm -rf "$store"' EXIT
     --out "$out/BENCH_analysis_smoke.json" >/dev/null
 "$build/bench/micro_incremental_analysis" --tiny \
     --out "$out/BENCH_incremental_smoke.json" >/dev/null
+"$build/bench/micro_profile_dedup" --tiny --jobs 2 \
+    --out "$out/BENCH_profile_smoke.json" >/dev/null
 "$build/bench/fleet_sim" --tiny --store "$store/fleet_store" \
     --out "$out/BENCH_fleet.json" >/dev/null
 

@@ -4,16 +4,18 @@
 #
 #   1. ASan + UBSan over the full suite — memory errors and UB
 #      anywhere in the library;
-#   2. TSan over the concurrency-heavy subset (exec thread pool,
-#      svc cache/service, obs metrics and trace rings, trace
-#      enable/disable toggling, the telemetry sampler thread and SLO
-#      watchdog, the tuning daemon and its snapshot store, the
-#      streaming-resume path, the snapshot corruption fuzz and the
-#      three-domain daemon round-trip) — the
-#      lock-free metric stripes, the seqlock-protected trace slots,
-#      the cache/coalescing paths, the daemon's batcher/drain handoffs
-#      and the checkpoint store probed/extended by concurrent daemon
-#      batches are where data races would live.
+#   2. TSan over the concurrency-heavy subset (exec thread pool and
+#      its work-stealing strips, svc cache/service, the profile
+#      cache's sharded LRU and the dedup grid evaluation, obs metrics
+#      and trace rings, trace enable/disable toggling, the telemetry
+#      sampler thread and SLO watchdog, the tuning daemon and its
+#      snapshot store, the streaming-resume path, the snapshot
+#      corruption fuzz and the three-domain daemon round-trip) — the
+#      lock-free metric stripes, the strip CAS pop/steal protocol,
+#      the seqlock-protected trace slots, the cache/coalescing paths,
+#      the daemon's batcher/drain handoffs and the checkpoint store
+#      probed/extended by concurrent daemon batches are where data
+#      races would live.
 #
 # Usage: scripts/sanitize.sh [--asan-only|--tsan-only]
 # Build trees land in build-asan/ and build-tsan/ next to build/.
@@ -50,7 +52,8 @@ if [ "$run_tsan" = 1 ]; then
         -DMCDVFS_SANITIZE=thread
     cmake --build build-tsan -j "$jobs" --target \
         exec_thread_pool_test exec_thread_pool_stress_test \
-        exec_thread_pool_drain_test \
+        exec_thread_pool_drain_test exec_thread_pool_steal_test \
+        sim_profile_cache_test sim_profile_dedup_test \
         svc_grid_cache_test svc_grid_cache_property_test \
         svc_service_test sim_parallel_grid_test \
         obs_metrics_test obs_snapshot_golden_test \
@@ -63,7 +66,7 @@ if [ "$run_tsan" = 1 ]; then
         daemon_streaming_test \
         daemon_snapshot_fuzz_test integration_gpu_test
     ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore|AnalysisCache|Incremental|Streaming|ThreeDomain|Timeseries|Telemetry|SloWatchdog'
+        -R 'ThreadPool|GridCache|Service|Obs|ParallelGrid|Trace|Daemon|SnapshotStore|AnalysisCache|Incremental|Streaming|ThreeDomain|Timeseries|Telemetry|SloWatchdog|ProfileCache|ProfileDedup|ProfileFingerprint|MemoizedCharacterization'
 fi
 
 echo "sanitize: all requested passes clean"

@@ -5,14 +5,18 @@
  * The pool backs the characterization service and the parallel grid
  * build: submit() runs an arbitrary callable on a worker and returns a
  * std::future carrying its result (or its exception); parallelFor()
- * splits an index range into chunks that workers *and the calling
- * thread* claim from a shared counter.
+ * splits an index range into chunks spread over per-participant
+ * work-stealing strips — every participant (workers *and the calling
+ * thread*) drains its own contiguous strip from the front, and a
+ * participant that runs dry steals the back half of a loaded strip, so
+ * skewed chunk costs rebalance instead of serializing behind the
+ * slowest participant.
  *
  * The caller participating in parallelFor() is what makes nesting safe:
  * a task already running on a worker may itself call parallelFor()
  * without risking deadlock, because the nested loop makes progress on
- * the calling thread even when every other worker is busy.  Chunks are
- * claimed, never pre-assigned, so a busy worker simply claims nothing.
+ * the calling thread even when every other worker is busy.  A busy
+ * worker's strip is simply stolen empty by the others.
  */
 
 #ifndef MCDVFS_EXEC_THREAD_POOL_HH

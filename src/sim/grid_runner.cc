@@ -1,11 +1,13 @@
 #include "sim/grid_runner.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "sim/profile_cache.hh"
 #include "sim/strip_kernel.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
@@ -23,6 +25,10 @@ struct GridMetrics
     obs::Counter samples;
     obs::Counter cells;
     obs::Counter fixedPointIters;
+    obs::Counter uniqueRows;
+    obs::Counter rowsDeduped;
+    obs::Counter characterizeNs;
+    obs::Counter tableReuse;
     obs::Histogram buildNs;
 
     GridMetrics()
@@ -33,6 +39,10 @@ struct GridMetrics
         cells = reg.counter("sim.grid.cells_evaluated");
         fixedPointIters =
             reg.counter("sim.grid.fixed_point_iterations");
+        uniqueRows = reg.counter("sim.grid.unique_rows");
+        rowsDeduped = reg.counter("sim.grid.rows_deduped");
+        characterizeNs = reg.counter("sim.grid.characterize_ns");
+        tableReuse = reg.counter("sim.kernel.table_reuse");
         buildNs = reg.histogram(
             "sim.grid.build_ns",
             obs::MetricsRegistry::latencyBucketsNs());
@@ -44,6 +54,67 @@ gridMetrics()
 {
     static GridMetrics metrics;
     return metrics;
+}
+
+/**
+ * Content hash of a settings space (domain count, then every ladder
+ * with its length and step bit patterns): the table-cache key.
+ */
+std::uint64_t
+spaceContentHash(const SettingsSpace &space)
+{
+    std::uint64_t h = fnv1aWordBytes(kFnvOffsetBasis,
+                                     space.domainCount());
+    auto addLadder = [&h](const FrequencyLadder &ladder) {
+        h = fnv1aWordBytes(h, ladder.size());
+        for (const Hertz f : ladder.steps())
+            h = fnv1aWordBytes(h, std::bit_cast<std::uint64_t>(f));
+    };
+    addLadder(space.cpuLadder());
+    addLadder(space.memLadder());
+    if (space.hasGpu())
+        addLadder(space.gpuLadder());
+    return h;
+}
+
+/**
+ * Hash of the evaluation-relevant SampleProfile fields (everything the
+ * kernel reads; phaseName excluded — it never reaches a cell value).
+ */
+std::uint64_t
+profileEvalHash(const SampleProfile &p)
+{
+    std::uint64_t h = kFnvOffsetBasis;
+    for (const double v :
+         {p.baseCpi, p.activity, p.mlp, p.gpuWorkPerInstr,
+          p.gpuActivity, p.l1Mpki, p.l2Mpki, p.l2PerInstr,
+          p.dramReadsPerInstr, p.dramWritesPerInstr,
+          p.dramPrefetchPerInstr, p.rowHitFrac, p.rowClosedFrac,
+          p.rowConflictFrac})
+        h = fnv1aWordBytes(h, std::bit_cast<std::uint64_t>(v));
+    return h;
+}
+
+/** Byte equality over the same evaluation-relevant field set. */
+bool
+profileEvalEqual(const SampleProfile &a, const SampleProfile &b)
+{
+    auto same = [](double x, double y) {
+        return std::bit_cast<std::uint64_t>(x) ==
+               std::bit_cast<std::uint64_t>(y);
+    };
+    return same(a.baseCpi, b.baseCpi) && same(a.activity, b.activity) &&
+           same(a.mlp, b.mlp) &&
+           same(a.gpuWorkPerInstr, b.gpuWorkPerInstr) &&
+           same(a.gpuActivity, b.gpuActivity) &&
+           same(a.l1Mpki, b.l1Mpki) && same(a.l2Mpki, b.l2Mpki) &&
+           same(a.l2PerInstr, b.l2PerInstr) &&
+           same(a.dramReadsPerInstr, b.dramReadsPerInstr) &&
+           same(a.dramWritesPerInstr, b.dramWritesPerInstr) &&
+           same(a.dramPrefetchPerInstr, b.dramPrefetchPerInstr) &&
+           same(a.rowHitFrac, b.rowHitFrac) &&
+           same(a.rowClosedFrac, b.rowClosedFrac) &&
+           same(a.rowConflictFrac, b.rowConflictFrac);
 }
 
 } // namespace
@@ -61,17 +132,20 @@ MeasuredGrid
 GridRunner::run(const WorkloadProfile &workload, const SettingsSpace &space)
 {
     SampleSimulator simulator(config_.sampler);
+    simulator.setProfileCache(profileCache_);
     obs::TraceSpan characterize_span("sim.characterize");
+    const obs::Clock::time_point characterize_start = obs::metricsNow();
     const std::vector<SampleProfile> profiles =
         simulator.characterize(workload);
+    gridMetrics().characterizeNs.add(
+        obs::elapsedNs(characterize_start));
     characterize_span.end();
     return runWithProfiles(workload.name(), profiles, space,
                            workload.modeledInstructionsPerSample());
 }
 
 GridRunner::Tables
-GridRunner::buildTables(const std::string &workload_name,
-                        const SettingsSpace &space) const
+GridRunner::buildTables(const SettingsSpace &space) const
 {
     for (const Hertz f : space.cpuLadder().steps()) {
         if (f <= 0.0)
@@ -88,8 +162,32 @@ GridRunner::buildTables(const std::string &workload_name,
         }
         tables.gpuPower = gpuPower_.table(space.gpuLadder());
     }
-    tables.workloadHash = fnv1aString(kFnvOffsetBasis, workload_name);
     return tables;
+}
+
+std::shared_ptr<const GridRunner::Tables>
+GridRunner::tablesFor(const SettingsSpace &space) const
+{
+    const std::uint64_t key = spaceContentHash(space);
+    {
+        std::lock_guard<std::mutex> lock(tablesMutex_);
+        const auto it = tablesCache_.find(key);
+        if (it != tablesCache_.end()) {
+            gridMetrics().tableReuse.add(1);
+            return it->second;
+        }
+    }
+    // Build outside the lock — table construction walks the power and
+    // timing models — then publish; a concurrent same-space build just
+    // produces an identical value and the first insert wins.
+    auto tables = std::make_shared<const Tables>(buildTables(space));
+    std::lock_guard<std::mutex> lock(tablesMutex_);
+    // Runners see a handful of spaces over their life; bound the cache
+    // anyway so a space-sweeping caller can't grow it without limit.
+    if (tablesCache_.size() >= 16)
+        tablesCache_.clear();
+    const auto [it, inserted] = tablesCache_.emplace(key, tables);
+    return it->second;
 }
 
 MeasuredGrid
@@ -103,21 +201,100 @@ GridRunner::runWithProfiles(const std::string &workload_name,
     MeasuredGrid grid(workload_name, space, profiles.size(),
                       instructions_per_sample);
     obs::TraceSpan tables_span("sim.grid.tables");
-    const Tables tables = buildTables(workload_name, space);
+    const std::shared_ptr<const Tables> tables = tablesFor(space);
     tables_span.end();
+    const std::uint64_t workload_hash =
+        fnv1aString(kFnvOffsetBasis, workload_name);
+
+    // Dedup byte-identical profiles into unique rows: the pre-noise
+    // cells of a row are a pure function of the profile bytes (plus
+    // space/tables), so each distinct profile runs the strip kernel
+    // once and is scattered to every sample carrying it.  Noise stays
+    // per-sample, applied at scatter time with the cell-at-a-time
+    // path's exact seeds, so dedup never changes a single bit.
+    std::vector<std::vector<std::size_t>> groups;
+    {
+        std::unordered_map<std::uint64_t, std::vector<std::size_t>>
+            by_hash;
+        for (std::size_t s = 0; s < profiles.size(); ++s) {
+            const std::uint64_t h = profileEvalHash(profiles[s]);
+            std::vector<std::size_t> &candidates = by_hash[h];
+            std::size_t id = groups.size();
+            for (const std::size_t u : candidates) {
+                if (profileEvalEqual(profiles[groups[u].front()],
+                                     profiles[s])) {
+                    id = u;
+                    break;
+                }
+            }
+            if (id == groups.size()) {
+                candidates.push_back(id);
+                groups.emplace_back();
+            }
+            groups[id].push_back(s);
+        }
+    }
+    const bool dedup = groups.size() < profiles.size();
 
     obs::TraceSpan eval_span("sim.grid.eval", profiles.size());
-    if (pool_ != nullptr && pool_->size() > 0 && profiles.size() > 1) {
-        // Samples are independent and write disjoint cell rows, so the
-        // fan-out needs no synchronization beyond the loop barrier.
-        pool_->parallelFor(0, profiles.size(), [&](std::size_t s) {
-            evaluateSample(grid, profiles[s], s, space,
-                           instructions_per_sample, tables);
-        });
+    if (!dedup) {
+        if (pool_ != nullptr && pool_->size() > 0 &&
+            profiles.size() > 1) {
+            // Samples are independent and write disjoint cell rows, so
+            // the fan-out needs no synchronization beyond the loop
+            // barrier.
+            pool_->parallelFor(0, profiles.size(), [&](std::size_t s) {
+                evaluateSample(grid, profiles[s], s, space,
+                               instructions_per_sample, *tables,
+                               workload_hash);
+            });
+        } else {
+            for (std::size_t s = 0; s < profiles.size(); ++s)
+                evaluateSample(grid, profiles[s], s, space,
+                               instructions_per_sample, *tables,
+                               workload_hash);
+        }
     } else {
-        for (std::size_t s = 0; s < profiles.size(); ++s)
-            evaluateSample(grid, profiles[s], s, space,
-                           instructions_per_sample, tables);
+        const std::size_t settings = space.size();
+        const bool has_gpu = space.hasGpu();
+        auto evaluateGroup = [&](std::size_t u) {
+            const std::vector<std::size_t> &members = groups[u];
+            // Evaluate the kernel once, into the first member's row.
+            const std::size_t lead = members.front();
+            const MeasuredGrid::RowView lead_row = grid.fillRow(lead);
+            evaluateRow(lead_row, profiles[lead], space,
+                        instructions_per_sample, *tables);
+            // Scatter the pre-noise cells to the other members' rows.
+            for (std::size_t i = 1; i < members.size(); ++i) {
+                const MeasuredGrid::RowView dst =
+                    grid.fillRow(members[i]);
+                std::copy_n(lead_row.seconds, settings, dst.seconds);
+                std::copy_n(lead_row.busyFrac, settings, dst.busyFrac);
+                std::copy_n(lead_row.bwUtil, settings, dst.bwUtil);
+                std::copy_n(lead_row.cpuEnergy, settings,
+                            dst.cpuEnergy);
+                std::copy_n(lead_row.memEnergy, settings,
+                            dst.memEnergy);
+                if (has_gpu)
+                    std::copy_n(lead_row.gpuEnergy, settings,
+                                dst.gpuEnergy);
+            }
+            // Per-sample noise and aggregates (lead included).
+            for (const std::size_t s : members) {
+                const MeasuredGrid::RowView dst = grid.fillRow(s);
+                applyNoise(dst, s, workload_hash, settings, has_gpu);
+                grid.updateSampleAggregates(s);
+            }
+        };
+        if (pool_ != nullptr && pool_->size() > 0 &&
+            groups.size() > 1) {
+            // Groups own disjoint sample-row sets; same independence
+            // argument as the per-sample fan-out.
+            pool_->parallelFor(0, groups.size(), evaluateGroup);
+        } else {
+            for (std::size_t u = 0; u < groups.size(); ++u)
+                evaluateGroup(u);
+        }
     }
     eval_span.end();
     grid.sealAggregates();
@@ -128,14 +305,17 @@ GridRunner::runWithProfiles(const std::string &workload_name,
     metrics.builds.add(1);
     metrics.samples.add(profiles.size());
     metrics.cells.add(profiles.size() * space.size());
+    metrics.uniqueRows.add(groups.size());
+    metrics.rowsDeduped.add(profiles.size() - groups.size());
     return grid;
 }
 
 void
-GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
-                           std::size_t sample, const SettingsSpace &space,
-                           Count instructions_per_sample,
-                           const Tables &tables) const
+GridRunner::evaluateRow(const MeasuredGrid::RowView &row,
+                        const SampleProfile &profile,
+                        const SettingsSpace &space,
+                        Count instructions_per_sample,
+                        const Tables &tables) const
 {
     const double n = static_cast<double>(instructions_per_sample);
 
@@ -186,7 +366,6 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
     const double residency =
         std::clamp(dp.powerDownResidency, 0.0, 1.0);
 
-    const std::size_t settings = space.size();
     const std::size_t mem_steps = space.memLadder().size();
     const std::vector<Hertz> &cpu_steps = space.cpuLadder().steps();
 
@@ -216,8 +395,6 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
     std::vector<double> total(mem_steps);
     std::vector<double> stall(mem_steps);
     std::vector<double> util(mem_steps);
-
-    MeasuredGrid::RowView row = grid.fillRow(sample);
 
     for (std::size_t c = 0; c < cpu_steps.size(); ++c) {
         const Seconds core_time = n * core_cpi / cpu_steps[c];
@@ -349,44 +526,62 @@ GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
             static_cast<std::size_t>(
                 std::max(0, tp.fixedPointIterations)));
     }
+}
 
-    if (config_.measurementNoise > 0.0) {
-        // Deterministic "simulation noise" on the measured quantities
-        // (see SystemConfig::measurementNoise).  Wobble factors come
-        // from one short-lived Rng per cell, seeded exactly as the
-        // cell-at-a-time path seeded them, then applied in three flat
-        // multiply passes over the row.
-        const double amp = config_.measurementNoise;
-        const std::uint64_t sample_hash =
-            fnv1aMixWord(tables.workloadHash, sample);
-        std::vector<double> wobble_sec(settings);
-        std::vector<double> wobble_cpu(settings);
-        std::vector<double> wobble_mem(settings);
-        // The GPU column wobbles only on three-domain grids: each cell
-        // gets a fresh Rng, so drawing a fourth factor never perturbs
-        // the first three — two-domain noise is bit-for-bit unchanged.
-        std::vector<double> wobble_gpu(has_gpu ? settings : 0);
-        for (std::size_t k = 0; k < settings; ++k) {
-            Rng noise(fnv1aMixWord(sample_hash, k));
-            wobble_sec[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
-            wobble_cpu[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
-            wobble_mem[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
-            if (has_gpu)
-                wobble_gpu[k] =
-                    1.0 + amp * (2.0 * noise.uniform() - 1.0);
-        }
-        for (std::size_t k = 0; k < settings; ++k)
-            row.seconds[k] *= wobble_sec[k];
-        for (std::size_t k = 0; k < settings; ++k)
-            row.cpuEnergy[k] *= wobble_cpu[k];
-        for (std::size_t k = 0; k < settings; ++k)
-            row.memEnergy[k] *= wobble_mem[k];
-        if (has_gpu) {
-            for (std::size_t k = 0; k < settings; ++k)
-                row.gpuEnergy[k] *= wobble_gpu[k];
-        }
+void
+GridRunner::applyNoise(const MeasuredGrid::RowView &row,
+                       std::size_t sample, std::uint64_t workload_hash,
+                       std::size_t settings, bool has_gpu) const
+{
+    if (config_.measurementNoise <= 0.0)
+        return;
+    // Deterministic "simulation noise" on the measured quantities
+    // (see SystemConfig::measurementNoise).  Wobble factors come
+    // from one short-lived Rng per cell, seeded exactly as the
+    // cell-at-a-time path seeded them, then applied in three flat
+    // multiply passes over the row.
+    const double amp = config_.measurementNoise;
+    const std::uint64_t sample_hash =
+        fnv1aMixWord(workload_hash, sample);
+    std::vector<double> wobble_sec(settings);
+    std::vector<double> wobble_cpu(settings);
+    std::vector<double> wobble_mem(settings);
+    // The GPU column wobbles only on three-domain grids: each cell
+    // gets a fresh Rng, so drawing a fourth factor never perturbs
+    // the first three — two-domain noise is bit-for-bit unchanged.
+    std::vector<double> wobble_gpu(has_gpu ? settings : 0);
+    for (std::size_t k = 0; k < settings; ++k) {
+        Rng noise(fnv1aMixWord(sample_hash, k));
+        wobble_sec[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+        wobble_cpu[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+        wobble_mem[k] = 1.0 + amp * (2.0 * noise.uniform() - 1.0);
+        if (has_gpu)
+            wobble_gpu[k] =
+                1.0 + amp * (2.0 * noise.uniform() - 1.0);
     }
+    for (std::size_t k = 0; k < settings; ++k)
+        row.seconds[k] *= wobble_sec[k];
+    for (std::size_t k = 0; k < settings; ++k)
+        row.cpuEnergy[k] *= wobble_cpu[k];
+    for (std::size_t k = 0; k < settings; ++k)
+        row.memEnergy[k] *= wobble_mem[k];
+    if (has_gpu) {
+        for (std::size_t k = 0; k < settings; ++k)
+            row.gpuEnergy[k] *= wobble_gpu[k];
+    }
+}
 
+void
+GridRunner::evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
+                           std::size_t sample, const SettingsSpace &space,
+                           Count instructions_per_sample,
+                           const Tables &tables,
+                           std::uint64_t workload_hash) const
+{
+    const MeasuredGrid::RowView row = grid.fillRow(sample);
+    evaluateRow(row, profile, space, instructions_per_sample, tables);
+    applyNoise(row, sample, workload_hash, space.size(),
+               space.hasGpu());
     grid.updateSampleAggregates(sample);
 }
 

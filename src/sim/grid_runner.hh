@@ -22,6 +22,10 @@
 #ifndef MCDVFS_SIM_GRID_RUNNER_HH
 #define MCDVFS_SIM_GRID_RUNNER_HH
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
 #include "exec/thread_pool.hh"
 #include "power/cpu_power.hh"
 #include "power/dram_power.hh"
@@ -59,6 +63,8 @@ struct SystemConfig
     static SystemConfig paperDefault() { return SystemConfig{}; }
 };
 
+class ProfileCache;
+
 /** Builds MeasuredGrids for workloads. */
 class GridRunner
 {
@@ -92,10 +98,23 @@ class GridRunner
      */
     void setThreadPool(exec::ThreadPool *pool) { pool_ = pool; }
 
+    /**
+     * Attach a characterization memoization cache (non-owning; nullptr
+     * detaches).  Passed through to the SampleSimulator run() creates,
+     * switching it to canonical per-sample characterization — see
+     * SampleSimulator::setProfileCache for the semantics.
+     */
+    void setProfileCache(ProfileCache *cache) { profileCache_ = cache; }
+
     const SystemConfig &config() const { return config_; }
 
   private:
-    /** Per-setting tables, built once per grid build. */
+    /**
+     * Per-setting tables.  A pure function of (settings space, system
+     * config); the config is fixed per runner, so built tables are
+     * cached by space content and reused across builds
+     * (sim.kernel.table_reuse).
+     */
     struct Tables
     {
         /** Per-memory-frequency DRAM timing terms. */
@@ -106,18 +125,40 @@ class GridRunner
         std::vector<CpuOperatingPoint> cpuPower;
         /** Per-GPU-frequency power coefficients (3-domain spaces). */
         std::vector<GpuOperatingPoint> gpuPower;
-        /** Workload-name hash feeding the per-cell noise seeds. */
-        std::uint64_t workloadHash = 0;
     };
 
-    Tables buildTables(const std::string &workload_name,
-                       const SettingsSpace &space) const;
+    Tables buildTables(const SettingsSpace &space) const;
+
+    /** Cached-table lookup (thread-safe; builds on first use). */
+    std::shared_ptr<const Tables> tablesFor(
+        const SettingsSpace &space) const;
+
+    /**
+     * Evaluate one profile's cells into @c row, pre-noise.  A pure
+     * function of (profile bytes, space, instruction count, tables) —
+     * the anchor of unique-row dedup.
+     */
+    void evaluateRow(const MeasuredGrid::RowView &row,
+                     const SampleProfile &profile,
+                     const SettingsSpace &space,
+                     Count instructions_per_sample,
+                     const Tables &tables) const;
+
+    /**
+     * Apply the deterministic per-cell measurement noise for
+     * @c sample; seeds are exactly the cell-at-a-time path's, so a
+     * scattered row is bit-identical to one evaluated in place.
+     */
+    void applyNoise(const MeasuredGrid::RowView &row, std::size_t sample,
+                    std::uint64_t workload_hash, std::size_t settings,
+                    bool has_gpu) const;
 
     /** Fill one sample's row of cells (safe to run concurrently). */
     void evaluateSample(MeasuredGrid &grid, const SampleProfile &profile,
                         std::size_t sample, const SettingsSpace &space,
                         Count instructions_per_sample,
-                        const Tables &tables) const;
+                        const Tables &tables,
+                        std::uint64_t workload_hash) const;
 
     SystemConfig config_;
     TimingModel timingModel_;
@@ -125,6 +166,15 @@ class GridRunner
     DramPowerModel dramPower_;
     GpuPowerModel gpuPower_;
     exec::ThreadPool *pool_ = nullptr;
+    ProfileCache *profileCache_ = nullptr;
+
+    /** @name Table cache, keyed by space content hash. */
+    ///@{
+    mutable std::mutex tablesMutex_;
+    mutable std::unordered_map<std::uint64_t,
+                               std::shared_ptr<const Tables>>
+        tablesCache_;
+    ///@}
 };
 
 } // namespace mcdvfs

@@ -1,0 +1,136 @@
+#include "sim/profile_cache.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace mcdvfs
+{
+
+std::uint64_t
+ProfileKey::combined() const
+{
+    // Byte-wise FNV-1a over the four component words: avalanche
+    // quality matters here because the map hashes with the combined
+    // digest and shards select by its low bits.
+    std::uint64_t hash = kFnvOffsetBasis;
+    for (const std::uint64_t part : {phase, seed, instructions, config})
+        hash = fnv1aWordBytes(hash, part);
+    return hash;
+}
+
+ProfileCache::ProfileCache(std::size_t capacity, std::size_t shards,
+                           const std::string &metric_prefix)
+    : capacity_(capacity)
+{
+    if (capacity == 0)
+        fatal("ProfileCache capacity must be at least 1");
+    if (shards == 0)
+        fatal("ProfileCache shard count must be at least 1");
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    metricHits_ = reg.counter(metric_prefix + ".hits");
+    metricMisses_ = reg.counter(metric_prefix + ".misses");
+    metricEvictions_ = reg.counter(metric_prefix + ".evictions");
+    metricInserts_ = reg.counter(metric_prefix + ".inserts");
+    metricEntries_ = reg.gauge(metric_prefix + ".entries");
+    // Same distribution rule as svc::GridCache: every shard gets
+    // capacity >= 1 and the shard capacities sum to the total.
+    shards = std::min(shards, capacity);
+    const std::size_t base = capacity / shards;
+    const std::size_t remainder = capacity % shards;
+    shards_.reserve(shards);
+    for (std::size_t i = 0; i < shards; ++i) {
+        auto shard = std::make_unique<Shard>();
+        shard->capacity = base + (i < remainder ? 1 : 0);
+        shards_.push_back(std::move(shard));
+    }
+}
+
+ProfileCache::~ProfileCache()
+{
+    // Return this instance's resident entries to the prefix gauge.
+    std::size_t resident = 0;
+    for (const auto &shard : shards_)
+        resident += shard->lru.size();
+    metricEntries_.add(-static_cast<std::int64_t>(resident));
+}
+
+ProfileCache::Shard &
+ProfileCache::shardFor(const ProfileKey &key)
+{
+    return *shards_[key.combined() % shards_.size()];
+}
+
+std::shared_ptr<const SampleProfile>
+ProfileCache::find(const ProfileKey &key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(key.combined());
+    if (it == shard.index.end() || !(it->second->key == key)) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        metricMisses_.add(1);
+        return nullptr;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    metricHits_.add(1);
+    return it->second->profile;
+}
+
+void
+ProfileCache::insert(const ProfileKey &key, SampleProfile profile)
+{
+    auto value = std::make_shared<const SampleProfile>(std::move(profile));
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const std::uint64_t digest = key.combined();
+    metricInserts_.add(1);
+    const auto it = shard.index.find(digest);
+    if (it != shard.index.end()) {
+        it->second->profile = std::move(value);
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    if (shard.lru.size() >= shard.capacity) {
+        const Entry &victim = shard.lru.back();
+        shard.index.erase(victim.key.combined());
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        metricEvictions_.add(1);
+        metricEntries_.add(-1);
+    }
+    shard.lru.push_front(Entry{key, std::move(value)});
+    shard.index.emplace(digest, shard.lru.begin());
+    metricEntries_.add(1);
+}
+
+void
+ProfileCache::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        metricEntries_.add(
+            -static_cast<std::int64_t>(shard->lru.size()));
+        shard->lru.clear();
+        shard->index.clear();
+    }
+}
+
+ProfileCache::Stats
+ProfileCache::stats() const
+{
+    Stats stats;
+    stats.hits = hits_.load(std::memory_order_relaxed);
+    stats.misses = misses_.load(std::memory_order_relaxed);
+    stats.evictions = evictions_.load(std::memory_order_relaxed);
+    for (const auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mutex);
+        stats.entries += shard->lru.size();
+    }
+    return stats;
+}
+
+} // namespace mcdvfs

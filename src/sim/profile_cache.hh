@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Sharded LRU cache of memoized characterizations.
+ *
+ * Characterizing one sample is the unit cost the paper's methodology
+ * already pays only once per sample — but fleet workloads are phase
+ * scripts whose samples repeat the same microarchitectural profiles
+ * over and over.  ProfileCache keys a SampleProfile by the complete
+ * set of characterization inputs — phase-spec fingerprint, trace seed,
+ * simulated instruction count and sampler-config fingerprint — so a
+ * SampleSimulator with a cache attached simulates each distinct
+ * (phase, seed-class) once and replays the profile everywhere else,
+ * within a workload and across workloads.
+ *
+ * Entries are only valid for *canonical* characterizations (caches and
+ * bank state reset, deterministic warmup per miss): those are pure
+ * functions of the key, so a hit is byte-identical to a recompute
+ * regardless of what was characterized before it.  SampleSimulator
+ * switches to canonical mode whenever a cache is attached.
+ *
+ * The shard/LRU structure mirrors svc::GridCache: per-shard mutexes,
+ * shared_ptr values so eviction never invalidates a profile in use,
+ * atomic counters.  The metric prefix is a constructor parameter so
+ * the sim-layer cache ("sim.profile.*") and the service-wide cache
+ * ("svc.profile.*") stay separately observable.
+ */
+
+#ifndef MCDVFS_SIM_PROFILE_CACHE_HH
+#define MCDVFS_SIM_PROFILE_CACHE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "sim/sample_profile.hh"
+
+namespace mcdvfs
+{
+
+/** Complete identity of one canonical characterization. */
+struct ProfileKey
+{
+    std::uint64_t phase = 0;         ///< PhaseSpec::fingerprint()
+    std::uint64_t seed = 0;          ///< trace stream seed
+    std::uint64_t instructions = 0;  ///< simulated instructions
+    std::uint64_t config = 0;        ///< sampler-config fingerprint
+
+    bool
+    operator==(const ProfileKey &other) const
+    {
+        return phase == other.phase && seed == other.seed &&
+               instructions == other.instructions &&
+               config == other.config;
+    }
+
+    /** Combined 64-bit digest (shard selection and map hashing). */
+    std::uint64_t combined() const;
+};
+
+/** Sharded, mutex-guarded LRU cache of canonical SampleProfiles. */
+class ProfileCache
+{
+  public:
+    /** Hit/miss/eviction counters (monotonic over the cache's life). */
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::size_t entries = 0;
+    };
+
+    /**
+     * @param capacity maximum cached profiles across all shards (>= 1)
+     * @param shards number of independently locked shards (>= 1);
+     *        per-shard capacities sum exactly to @c capacity
+     * @param metric_prefix registry prefix for this instance's
+     *        counters (e.g. "sim.profile" -> "sim.profile.hits")
+     * @throws FatalError for a zero capacity or shard count
+     */
+    explicit ProfileCache(std::size_t capacity, std::size_t shards = 8,
+                          const std::string &metric_prefix = "sim.profile");
+
+    ~ProfileCache();
+
+    /**
+     * Look up a profile, refreshing its LRU position.  Counts a hit or
+     * a miss; returns nullptr on miss.
+     */
+    std::shared_ptr<const SampleProfile> find(const ProfileKey &key);
+
+    /**
+     * Insert (or refresh) a profile, evicting the shard's least
+     * recently used entry when the shard is full.
+     */
+    void insert(const ProfileKey &key, SampleProfile profile);
+
+    /** Drop every entry (counters are kept). */
+    void clear();
+
+    Stats stats() const;
+    std::size_t capacity() const { return capacity_; }
+    std::size_t shardCount() const { return shards_.size(); }
+
+  private:
+    struct Entry
+    {
+        ProfileKey key;
+        std::shared_ptr<const SampleProfile> profile;
+    };
+
+    /** One LRU list + index, guarded by its own mutex. */
+    struct Shard
+    {
+        std::mutex mutex;
+        /** Entries this shard may hold (shard capacities sum to
+         *  the cache capacity). */
+        std::size_t capacity = 1;
+        /** Front = most recently used. */
+        std::list<Entry> lru;
+        std::unordered_map<std::uint64_t, std::list<Entry>::iterator>
+            index;
+    };
+
+    Shard &shardFor(const ProfileKey &key);
+
+    std::size_t capacity_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+
+    /** Registry handles under this instance's prefix. */
+    obs::Counter metricHits_;
+    obs::Counter metricMisses_;
+    obs::Counter metricEvictions_;
+    obs::Counter metricInserts_;
+    obs::Gauge metricEntries_;
+};
+
+} // namespace mcdvfs
+
+#endif // MCDVFS_SIM_PROFILE_CACHE_HH

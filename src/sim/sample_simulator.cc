@@ -2,14 +2,49 @@
 
 #include <algorithm>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "sim/profile_cache.hh"
 #include "trace/trace_generator.hh"
 
 namespace mcdvfs
 {
 
+namespace
+{
+
+std::uint64_t
+addCacheConfig(std::uint64_t h, const CacheConfig &cache)
+{
+    h = fnv1aString(h, cache.name);
+    h = fnv1aWordBytes(h, cache.name.size());
+    h = fnv1aWordBytes(h, cache.sizeBytes);
+    h = fnv1aWordBytes(h, cache.associativity);
+    h = fnv1aWordBytes(h, cache.lineBytes);
+    h = fnv1aWordBytes(h, cache.latencyCycles);
+    return h;
+}
+
+} // namespace
+
+std::uint64_t
+SampleSimulatorConfig::profileFingerprint() const
+{
+    std::uint64_t h = fnv1aString(kFnvOffsetBasis, "sampler-config-v1");
+    h = addCacheConfig(h, hierarchy.l1);
+    h = addCacheConfig(h, hierarchy.l2);
+    h = fnv1aWordBytes(h, hierarchy.nextLinePrefetch ? 1 : 0);
+    h = fnv1aWordBytes(h, dram.banks);
+    h = fnv1aWordBytes(h, dram.rowBytes);
+    h = fnv1aWordBytes(h, dram.busBytes);
+    h = fnv1aWordBytes(h, dram.lineBytes);
+    h = fnv1aWordBytes(h, profileWarmupInstructions);
+    return h;
+}
+
 SampleSimulator::SampleSimulator(const SampleSimulatorConfig &config)
-    : config_(config), hierarchy_(config.hierarchy), dram_(config.dram)
+    : config_(config), hierarchy_(config.hierarchy), dram_(config.dram),
+      configKey_(config.profileFingerprint())
 {
     if (config_.simInstructionsPerSample == 0)
         fatal("sample simulator: simInstructionsPerSample must be > 0");
@@ -93,8 +128,61 @@ SampleSimulator::profileFromSource(TraceSource &gen, Count instructions,
     return profile;
 }
 
+SampleProfile
+SampleSimulator::characterizeCanonical(const PhaseSpec &spec,
+                                       std::uint64_t seed,
+                                       Count instructions)
+{
+    hierarchy_.reset();
+    dram_.reset();
+    // Deterministic per-phase warmup: same chunking and stream-seed
+    // derivation as the sequential warmup, but over this phase alone,
+    // so the measurement below depends on nothing but the arguments.
+    Count remaining = config_.profileWarmupInstructions;
+    std::size_t w = 0;
+    while (remaining > 0) {
+        const Count chunk = std::min(remaining, instructions);
+        runSample(spec,
+                  seed ^ (0x57a7ab1e0ddba11ull + w * 0x9e3779b97f4a7c15ull),
+                  chunk);
+        remaining -= chunk;
+        ++w;
+    }
+    return runSample(spec, seed, instructions);
+}
+
 std::vector<SampleProfile>
 SampleSimulator::characterize(const WorkloadProfile &workload)
+{
+    lastStats_ = CharacterizeStats{};
+    if (cache_ == nullptr)
+        return characterizeSequential(workload);
+
+    std::vector<SampleProfile> profiles;
+    profiles.reserve(workload.sampleCount());
+    for (std::size_t s = 0; s < workload.sampleCount(); ++s) {
+        const PhaseSpec spec = workload.phaseFor(s);
+        const std::uint64_t seed = workload.traceSeedFor(s);
+        ProfileKey key;
+        key.phase = spec.fingerprint();
+        key.seed = seed;
+        key.instructions = config_.simInstructionsPerSample;
+        key.config = configKey_;
+        if (auto hit = cache_->find(key)) {
+            ++lastStats_.cacheHits;
+            profiles.push_back(*hit);
+            continue;
+        }
+        ++lastStats_.cacheMisses;
+        profiles.push_back(characterizeCanonical(
+            spec, seed, config_.simInstructionsPerSample));
+        cache_->insert(key, profiles.back());
+    }
+    return profiles;
+}
+
+std::vector<SampleProfile>
+SampleSimulator::characterizeSequential(const WorkloadProfile &workload)
 {
     hierarchy_.reset();
     dram_.reset();

@@ -44,16 +44,56 @@ struct SampleSimulatorConfig
      */
     Count warmupInstructions = 4'000'000;
 
+    /**
+     * Warmup executed per *canonical* (memoized) characterization:
+     * when a ProfileCache is attached, every cache miss resets the
+     * hierarchy and row buffers, replays this many unrecorded
+     * instructions of the missing phase, then measures.  The profile
+     * becomes a pure function of (phase, seed, instructions, sampler
+     * config) — cacheable across workloads and build orders — at the
+     * price of a per-unique-phase rather than per-workload warmup.
+     * Ignored when no cache is attached.
+     */
+    Count profileWarmupInstructions = 200'000;
+
     HierarchyConfig hierarchy = HierarchyConfig::paperDefault();
     DramConfig dram{};
+
+    /**
+     * Content fingerprint of everything that shapes a canonical
+     * characterization besides the phase/seed/instruction-count triple
+     * (cache geometry, prefetcher, DRAM organization, canonical
+     * warmup).  Part of every ProfileKey.
+     */
+    std::uint64_t profileFingerprint() const;
 };
+
+class ProfileCache;
 
 /** Runs the characterization pass over a workload. */
 class SampleSimulator
 {
   public:
+    /** Cache traffic of the most recent characterize() call. */
+    struct CharacterizeStats
+    {
+        std::uint64_t cacheHits = 0;
+        std::uint64_t cacheMisses = 0;
+    };
+
     /** @throws FatalError on invalid configuration. */
     explicit SampleSimulator(const SampleSimulatorConfig &config = {});
+
+    /**
+     * Attach a memoization cache (nullptr detaches; not owned, must
+     * outlive the simulator).  With a cache attached characterize()
+     * switches to canonical per-sample characterization: results are
+     * pure functions of each sample's (phase, seed, instructions,
+     * config) key rather than of the warm state the preceding samples
+     * left behind, so they differ from the detached (historical) mode
+     * but are identical for every repeated phase.
+     */
+    void setProfileCache(ProfileCache *cache) { cache_ = cache; }
 
     /**
      * Characterize every sample of @c workload.
@@ -79,10 +119,28 @@ class SampleSimulator
 
     const SampleSimulatorConfig &config() const { return config_; }
 
+    /** Cache traffic of the most recent characterize() call. */
+    const CharacterizeStats &lastCharacterizeStats() const
+    {
+        return lastStats_;
+    }
+
   private:
     /** Run @c instructions of @c spec through the warm hierarchy. */
     SampleProfile runSample(const PhaseSpec &spec, std::uint64_t seed,
                             Count instructions);
+
+    /**
+     * Reset, run the canonical warmup for @c spec, then measure: the
+     * result depends only on the arguments and the sampler config.
+     */
+    SampleProfile characterizeCanonical(const PhaseSpec &spec,
+                                        std::uint64_t seed,
+                                        Count instructions);
+
+    /** Historical warm-state characterization (cache detached). */
+    std::vector<SampleProfile> characterizeSequential(
+        const WorkloadProfile &workload);
 
     /** Push @c instructions from @c source through the hierarchy. */
     SampleProfile profileFromSource(TraceSource &source,
@@ -92,6 +150,11 @@ class SampleSimulator
     SampleSimulatorConfig config_;
     CacheHierarchy hierarchy_;
     DramDevice dram_;
+    /** Memoization cache; nullptr = historical sequential mode. */
+    ProfileCache *cache_ = nullptr;
+    /** Precomputed config().profileFingerprint(). */
+    std::uint64_t configKey_ = 0;
+    CharacterizeStats lastStats_;
 };
 
 } // namespace mcdvfs

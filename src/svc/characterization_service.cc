@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 #include "core/incremental_analysis.hh"
 #include "obs/metrics.hh"
@@ -23,6 +24,7 @@ struct ServiceMetrics
     obs::Counter batches;
     obs::Counter gridBuilds;
     obs::Counter coalescedWaits;
+    obs::Counter analyzeNs;
     obs::Gauge inflightBuilds;
     obs::Histogram submitNs;
     obs::Histogram buildNs;
@@ -35,6 +37,7 @@ struct ServiceMetrics
         batches = reg.counter("svc.service.batches");
         gridBuilds = reg.counter("svc.service.grid_builds");
         coalescedWaits = reg.counter("svc.service.coalesced_waits");
+        analyzeNs = reg.counter("svc.service.analyze_ns");
         inflightBuilds = reg.gauge("svc.service.inflight_builds");
         submitNs = reg.histogram("svc.service.submit_ns", latency);
         buildNs = reg.histogram("svc.service.build_ns", latency);
@@ -54,10 +57,28 @@ CharacterizationService::CharacterizationService(const SystemConfig &config,
                                                  const Options &options)
     : config_(config), configFingerprint_(fingerprintConfig(config)),
       pool_(std::max<std::size_t>(1, options.jobs)),
-      cache_(options.cacheCapacity, options.cacheShards),
+      profileCache_(options.profileCacheCapacity > 0
+                        ? std::make_unique<ProfileCache>(
+                              options.profileCacheCapacity,
+                              options.profileCacheShards, "svc.profile")
+                        : nullptr),
+      runner_(config_), cache_(options.cacheCapacity, options.cacheShards),
       analysisCache_(options.analysisCapacity, options.analysisShards,
                      options.checkpointCapacity)
 {
+    runner_.setThreadPool(&pool_);
+    if (profileCache_ != nullptr) {
+        runner_.setProfileCache(profileCache_.get());
+        // Memoized (canonical) characterization produces different grid
+        // content than the historical warm-state path, so the mode must
+        // be part of every grid's identity: mix a tag plus the warmup
+        // length into the config fingerprint so memoized and
+        // non-memoized grids never alias in the grid cache, the
+        // analysis cache, or a snapshot store.
+        configFingerprint_ = fnv1aMixWord(
+            fnv1aMixWord(configFingerprint_, 0x70726f66696c6531ull),
+            config_.sampler.profileWarmupInstructions);
+    }
 }
 
 GridKey
@@ -139,10 +160,8 @@ CharacterizationService::gridFor(const GridKey &key,
     try {
         const obs::Clock::time_point build_start = obs::metricsNow();
         obs::TraceSpan build_span("svc.grid_build");
-        GridRunner runner(config_);
-        runner.setThreadPool(&pool_);
         auto grid = std::make_shared<const MeasuredGrid>(
-            runner.run(workload, space));
+            runner_.run(workload, space));
         build_span.end();
         serviceMetrics().buildNs.record(obs::elapsedNs(build_start));
         serviceMetrics().gridBuilds.add(1);
@@ -172,6 +191,7 @@ CharacterizationService::analyze(const TuningRequest &request,
                                  std::shared_ptr<const MeasuredGrid> grid,
                                  bool cache_hit)
 {
+    const obs::Clock::time_point analyze_start = obs::metricsNow();
     obs::TraceSpan analyze_span("svc.analyze");
     TuningResult result;
     result.budget = request.budget;
@@ -272,6 +292,7 @@ CharacterizationService::analyze(const TuningRequest &request,
     result.clusters = cached->clusters;
     result.regions = cached->regions;
     result.grid = std::move(grid);
+    serviceMetrics().analyzeNs.add(obs::elapsedNs(analyze_start));
     return result;
 }
 

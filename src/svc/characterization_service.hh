@@ -42,6 +42,7 @@
 #include "core/stable_regions.hh"
 #include "exec/thread_pool.hh"
 #include "sim/grid_runner.hh"
+#include "sim/profile_cache.hh"
 #include "svc/analysis_cache.hh"
 #include "svc/grid_cache.hh"
 
@@ -117,6 +118,21 @@ struct ServiceOptions
      * checkpoint store; 0 disables streaming resume entirely.
      */
     std::size_t checkpointCapacity = 64;
+    /**
+     * Characterization memoization (sim::ProfileCache) capacity; 0 —
+     * the default — disables it and keeps the historical warm-state
+     * characterization bit-identical.  When enabled, every sample is
+     * characterized canonically and each distinct (phase, seed,
+     * instructions, sampler config) simulates once *across all
+     * workloads* the service ever sees ("svc.profile.*" counters).
+     * Enabling changes grid content (canonical vs warm-state
+     * profiles), so it is mixed into the config fingerprint: grids
+     * built with and without memoization never alias in the grid
+     * cache or the snapshot store.
+     */
+    std::size_t profileCacheCapacity = 0;
+    /** Profile-cache shards (lock granularity). */
+    std::size_t profileCacheShards = 8;
 };
 
 /** Thread-pooled, grid-cached tuning service. */
@@ -196,6 +212,18 @@ class CharacterizationService
     {
         return analysisCache_.stats();
     }
+
+    /** True when characterization memoization is on. */
+    bool profileCacheEnabled() const { return profileCache_ != nullptr; }
+
+    /**
+     * Profile-cache traffic (all zeros when memoization is disabled).
+     */
+    ProfileCache::Stats profileStats() const
+    {
+        return profileCache_ ? profileCache_->stats()
+                             : ProfileCache::Stats{};
+    }
     const SystemConfig &config() const { return config_; }
     std::size_t jobs() const { return pool_.size(); }
 
@@ -211,6 +239,18 @@ class CharacterizationService
     SystemConfig config_;
     std::uint64_t configFingerprint_;
     exec::ThreadPool pool_;
+    /**
+     * Characterization memoization shared by every build this service
+     * runs (created only when profileCacheCapacity > 0).  Declared
+     * before runner_, which holds a pointer into it.
+     */
+    std::unique_ptr<ProfileCache> profileCache_;
+    /**
+     * One runner for all builds, so precomputed per-space tables and
+     * the profile cache persist across workloads (run() is
+     * thread-safe; concurrent builders share it).
+     */
+    GridRunner runner_;
     GridCache cache_;
     AnalysisCache analysisCache_;
 

@@ -1,7 +1,9 @@
 #include "trace/phase.hh"
 
 #include <algorithm>
+#include <bit>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace mcdvfs
@@ -37,6 +39,41 @@ PhaseSpec::validate() const
         fatal("phase '", name, "': gpuCyclesPerKick must be >= 0");
     if (hotBytes == 0 || warmBytes == 0 || coldBytes == 0)
         fatal("phase '", name, "': footprint sizes must be positive");
+}
+
+std::uint64_t
+PhaseSpec::fingerprint(std::uint64_t seed) const
+{
+    std::uint64_t h = seed;
+    auto addDouble = [&h](double v) {
+        // Normalize -0.0 so equal-comparing specs hash equally (the
+        // svc::HashBuilder fingerprints follow the same rule).
+        if (v == 0.0)
+            v = 0.0;
+        h = fnv1aWordBytes(h, std::bit_cast<std::uint64_t>(v));
+    };
+    auto addWord = [&h](std::uint64_t v) { h = fnv1aWordBytes(h, v); };
+
+    h = fnv1aString(h, name);
+    addWord(name.size());
+    addDouble(loadFrac);
+    addDouble(storeFrac);
+    addDouble(branchFrac);
+    addDouble(fpFrac);
+    addDouble(mulFrac);
+    addDouble(baseCpi);
+    addDouble(hotFrac);
+    addDouble(warmFrac);
+    addWord(hotBytes);
+    addWord(warmBytes);
+    addWord(coldBytes);
+    addDouble(coldSeqFrac);
+    addDouble(mlp);
+    addDouble(activity);
+    addDouble(gpuKickFrac);
+    addDouble(gpuCyclesPerKick);
+    addDouble(gpuActivity);
+    return h;
 }
 
 PhaseSpec

@@ -96,6 +96,18 @@ struct PhaseSpec
      * drift); @c t in [0,1], 0 yields @c *this.
      */
     PhaseSpec lerp(const PhaseSpec &other, double t) const;
+
+    /**
+     * FNV-1a content hash over every field (doubles by bit pattern,
+     * with -0.0 normalized to +0.0).  Two specs with equal fingerprints
+     * generate identical traces for a given seed, so the fingerprint is
+     * a valid characterization-memoization key component; it also seeds
+     * phase-keyed trace streams (WorkloadProfile::SeedMode::PerPhase).
+     *
+     * @param seed chaining basis, FNV offset basis by default
+     */
+    std::uint64_t fingerprint(
+        std::uint64_t seed = 0xcbf29ce484222325ull) const;
 };
 
 } // namespace mcdvfs

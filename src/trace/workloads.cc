@@ -12,9 +12,10 @@ namespace mcdvfs
 
 WorkloadProfile::WorkloadProfile(std::string name, std::size_t sample_count,
                                  Script script, std::uint64_t seed,
-                                 double jitter)
+                                 double jitter, SeedMode seed_mode)
     : name_(std::move(name)), sampleCount_(sample_count),
-      script_(std::move(script)), seed_(seed), jitter_(jitter)
+      script_(std::move(script)), seed_(seed), jitter_(jitter),
+      seedMode_(seed_mode)
 {
     if (sampleCount_ == 0)
         fatal("workload '", name_, "' must have at least one sample");
@@ -29,10 +30,22 @@ WorkloadProfile::totalModeledInstructions() const
 }
 
 std::uint64_t
-WorkloadProfile::traceSeedFor(std::size_t sample) const
+WorkloadProfile::sampleSeedFor(std::size_t sample) const
 {
     // Distinct, deterministic per-sample stream seeds.
     return seed_ * 0x100000001b3ull + sample * 0x9e3779b97f4a7c15ull + 1;
+}
+
+std::uint64_t
+WorkloadProfile::traceSeedFor(std::size_t sample) const
+{
+    if (seedMode_ == SeedMode::PerSample)
+        return sampleSeedFor(sample);
+    // PerPhase: the seed is a pure function of the post-jitter phase
+    // content — not of the workload seed or sample index — so repeated
+    // phases anywhere in the fleet share one characterization.  The
+    // salt keeps the stream disjoint from fingerprint consumers.
+    return phaseFor(sample).fingerprint(0x9e3779b97f4a7c15ull);
 }
 
 PhaseSpec
@@ -47,7 +60,10 @@ WorkloadProfile::phaseFor(std::size_t sample) const
         // Small deterministic per-sample perturbation so consecutive
         // samples are similar but not identical (simulation noise the
         // paper's 0.5% tie-break filter exists to absorb).
-        Rng rng(traceSeedFor(sample) ^ 0xa5a5a5a5deadbeefull);
+        // Always the PerSample stream: in PerPhase seed mode the trace
+        // seed is derived *from* the jittered phase, so jitter drawing
+        // from traceSeedFor() would be circular.
+        Rng rng(sampleSeedFor(sample) ^ 0xa5a5a5a5deadbeefull);
         auto wobble = [&](double v) {
             return v * (1.0 + jitter_ * (2.0 * rng.uniform() - 1.0));
         };

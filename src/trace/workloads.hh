@@ -31,16 +31,38 @@ class WorkloadProfile
     /** Script mapping a sample index to its (pre-jitter) phase. */
     using Script = std::function<PhaseSpec(std::size_t)>;
 
+    /** How per-sample trace seeds are derived. */
+    enum class SeedMode
+    {
+        /**
+         * Every sample gets a distinct stream seed derived from the
+         * workload seed and the sample index (the historical default;
+         * all golden grids were built this way).
+         */
+        PerSample,
+        /**
+         * The stream seed is the content fingerprint of the sample's
+         * post-jitter phase: samples repeating the same phase — within
+         * this workload or across workloads — share a seed, so their
+         * characterizations are byte-identical and memoizable
+         * (sim::ProfileCache).  Per-sample jitter still draws from the
+         * PerSample stream, so jittered phases stay distinct.
+         */
+        PerPhase,
+    };
+
     /**
      * @param name benchmark name (e.g. "gobmk")
      * @param sample_count number of samples in the run
      * @param script per-sample phase script
      * @param seed workload-level RNG seed
      * @param jitter relative magnitude of per-sample jitter (0 = none)
+     * @param seed_mode trace-seed derivation (see SeedMode)
      */
     WorkloadProfile(std::string name, std::size_t sample_count,
                     Script script, std::uint64_t seed,
-                    double jitter = 0.02);
+                    double jitter = 0.02,
+                    SeedMode seed_mode = SeedMode::PerSample);
 
     /** Benchmark name. */
     const std::string &name() const { return name_; }
@@ -65,17 +87,24 @@ class WorkloadProfile
      */
     PhaseSpec phaseFor(std::size_t sample) const;
 
-    /** Deterministic seed for the trace of one sample. */
+    /** Deterministic seed for the trace of one sample (per seedMode). */
     std::uint64_t traceSeedFor(std::size_t sample) const;
+
+    /** Trace-seed derivation mode. */
+    SeedMode seedMode() const { return seedMode_; }
 
   private:
     static constexpr Count kModeledPerSample = 10'000'000;
+
+    /** The historical per-sample stream seed (jitter always uses it). */
+    std::uint64_t sampleSeedFor(std::size_t sample) const;
 
     std::string name_;
     std::size_t sampleCount_;
     Script script_;
     std::uint64_t seed_;
     double jitter_;
+    SeedMode seedMode_;
 };
 
 /** @name Profiles for the paper's six reported benchmarks. */

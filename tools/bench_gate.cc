@@ -62,6 +62,13 @@ endsWith(const std::string &text, const std::string &suffix)
 bool
 lowerIsBetter(const std::string &key)
 {
+    // The fleet replay's per-phase characterize/analyze split is a
+    // few-millisecond slice of a concurrent replay at --tiny scale —
+    // run-to-run spread exceeds any tolerance that would still catch
+    // regressions, so those two stay informational; the phase's
+    // replay_seconds total remains gated.
+    if (key == "characterize_seconds" || key == "analyze_seconds")
+        return false;
     return endsWith(key, "_seconds") || key == "p50_ns" ||
            key == "p99_ns";
 }

@@ -143,6 +143,8 @@ serviceOptions(const ArgParser &args)
 {
     svc::CharacterizationService::Options options;
     options.jobs = jobsFrom(args);
+    options.profileCacheCapacity = static_cast<std::size_t>(
+        args.getInt("profile-cache", 0, 0, 1 << 20));
     return options;
 }
 
@@ -539,6 +541,14 @@ cmdTune(const ArgParser &args)
               << analysis_stats.evictions << " evictions; checkpoints: "
               << analysis_stats.checkpointHits << " hits, "
               << analysis_stats.checkpointMisses << " misses\n";
+    if (service.profileCacheEnabled()) {
+        const ProfileCache::Stats profile_stats =
+            service.profileStats();
+        std::cout << "profile cache: " << profile_stats.hits
+                  << " hits, " << profile_stats.misses << " misses, "
+                  << profile_stats.evictions << " evictions, "
+                  << profile_stats.entries << " resident\n";
+    }
     if (server != nullptr) {
         const daemon::DaemonStats stats = server->stats();
         std::cout << "daemon: " << stats.completed << " completed, "
@@ -752,6 +762,7 @@ main(int argc, char **argv)
     args.addOption("threshold");
     args.addOption("out");
     args.addOption("jobs");
+    args.addOption("profile-cache");
     args.addOption("metrics-out");
     args.addOption("trace-out");
     args.addOption("trace-journal");
